@@ -1,0 +1,120 @@
+// vdr-sql is an interactive SQL shell against an in-process cluster: it
+// starts a database + Distributed R session, seeds an optional demo table,
+// and executes statements from stdin. The prediction UDFs and R_Models are
+// installed, so the full Figure 3 SQL surface is available.
+//
+// Usage:
+//
+//	vdr-sql [-nodes 4] [-demo]
+//	> SELECT count(*) FROM demo;
+//	> SELECT GlmPredict(a, b USING PARAMETERS model='m') OVER (PARTITION BEST) FROM demo;
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+
+	"verticadr"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "database cluster size")
+	demo := flag.Bool("demo", false, "create and fill a demo table plus a deployed model")
+	flag.Parse()
+
+	s, err := verticadr.Start(verticadr.Config{DBNodes: *nodes})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	fmt.Printf("connected: %d-node database, %d Distributed R workers\n", *nodes, *nodes)
+
+	if *demo {
+		seedDemo(s)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("vdr> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == "\\q" || line == "exit" || line == "quit":
+			return
+		case line == "\\d":
+			for _, t := range s.DB.Catalog().List() {
+				def, _ := s.DB.TableDef(t)
+				rows, _ := s.DB.TableRows(t)
+				fmt.Printf("  %s (%d rows, %s)\n", t, rows, def.Seg)
+			}
+		default:
+			res, err := s.Query(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			if len(res.Schema()) > 0 {
+				names := make([]string, len(res.Schema()))
+				for i, c := range res.Schema() {
+					names[i] = c.Name
+				}
+				fmt.Println(strings.Join(names, " | "))
+				for i, row := range res.Rows() {
+					if i >= 50 {
+						fmt.Printf("... (%d rows total)\n", res.Len())
+						break
+					}
+					parts := make([]string, len(row))
+					for j, v := range row {
+						parts[j] = fmt.Sprintf("%v", v)
+					}
+					fmt.Println(strings.Join(parts, " | "))
+				}
+			}
+			fmt.Println("OK")
+		}
+		fmt.Print("vdr> ")
+	}
+}
+
+func seedDemo(s *verticadr.Session) {
+	if err := s.Exec(`CREATE TABLE demo (a FLOAT, b FLOAT, y FLOAT)`); err != nil {
+		log.Fatal(err)
+	}
+	const n = 5000
+	rng := rand.New(rand.NewSource(1))
+	cols := [][]float64{make([]float64, n), make([]float64, n), make([]float64, n)}
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		cols[0][i], cols[1][i] = a, b
+		cols[2][i] = 1 + 2*a - 3*b + rng.NormFloat64()*0.1
+	}
+	if err := s.DB.LoadColumns("demo", cols); err != nil {
+		log.Fatal(err)
+	}
+	x, _, err := s.DB2DArray("demo", []string{"a", "b"}, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	y, _, err := s.DB2DArray("demo", []string{"y"}, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := verticadr.LM(x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.DeployModel("m", "demo", "demo regression", model); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(`demo table "demo" (5000 rows) and model 'm' ready; try:`)
+	fmt.Println(`  SELECT count(*), avg(y) FROM demo;`)
+	fmt.Println(`  SELECT * FROM R_Models;`)
+	fmt.Println(`  SELECT GlmPredict(a, b USING PARAMETERS model='m') OVER (PARTITION BEST) FROM demo LIMIT 5;`)
+}

@@ -1,0 +1,3 @@
+module verticadr
+
+go 1.22

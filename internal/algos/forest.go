@@ -1,0 +1,269 @@
+package algos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"verticadr/internal/darray"
+)
+
+// TreeNode is one node of a CART regression/classification tree, stored in a
+// flat slice (index-linked) so models serialize compactly.
+type TreeNode struct {
+	Feature int     // -1 for leaf
+	Split   float64 // go left when x[Feature] <= Split
+	Left    int     // child indexes into Forest.Nodes slices
+	Right   int
+	Value   float64 // leaf prediction
+}
+
+// Tree is one decision tree as a flat node array; node 0 is the root.
+type Tree struct {
+	Nodes []TreeNode
+}
+
+// Predict walks the tree for one feature row.
+func (t *Tree) Predict(row []float64) float64 {
+	i := 0
+	for {
+		n := t.Nodes[i]
+		if n.Feature < 0 {
+			return n.Value
+		}
+		if row[n.Feature] <= n.Split {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// ForestModel is a bagged ensemble of CART trees (hpdRF in Distributed R).
+// Classify selects majority vote over rounded tree outputs; regression
+// averages.
+type ForestModel struct {
+	Trees    []Tree
+	Classify bool
+	Features int
+}
+
+// ForestOpts configures training.
+type ForestOpts struct {
+	Trees       int     // total trees across the cluster (default 10)
+	MaxDepth    int     // default 8
+	MinLeaf     int     // minimum samples per leaf (default 5)
+	FeatureFrac float64 // fraction of features tried per split (default 1/3, min 1)
+	Classify    bool
+	Seed        int64
+}
+
+// RandomForest trains a forest distributedly: trees are divided among
+// partitions, each worker growing its share on a bootstrap sample of its
+// *local* partition (bagging with data locality — no data movement), and the
+// master concatenates the trees. This mirrors how Distributed R's
+// HPdclassifier forest trains per-worker trees.
+func RandomForest(x, y *darray.DArray, opts ForestOpts) (*ForestModel, error) {
+	if err := darray.CheckCoPartitioned(x, y); err != nil {
+		return nil, err
+	}
+	if y.Cols() != 1 {
+		return nil, fmt.Errorf("algos: forest response must have one column")
+	}
+	if opts.Trees <= 0 {
+		opts.Trees = 10
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 8
+	}
+	if opts.MinLeaf <= 0 {
+		opts.MinLeaf = 5
+	}
+	d := x.Cols()
+	mtry := int(math.Ceil(opts.FeatureFrac * float64(d)))
+	if opts.FeatureFrac <= 0 {
+		mtry = (d + 2) / 3
+	}
+	if mtry < 1 {
+		mtry = 1
+	}
+	if mtry > d {
+		mtry = d
+	}
+	nparts := x.NPartitions()
+	treesPer := make([]int, nparts)
+	for i := 0; i < opts.Trees; i++ {
+		treesPer[i%nparts]++
+	}
+	var mu sync.Mutex
+	model := &ForestModel{Classify: opts.Classify, Features: d}
+	err := darray.Zip(x, y, func(p int, mx, my *darray.Mat) error {
+		if mx.Rows == 0 {
+			return nil
+		}
+		rng := rand.New(rand.NewSource(opts.Seed + int64(p)*7919))
+		var local []Tree
+		for t := 0; t < treesPer[p]; t++ {
+			idx := make([]int, mx.Rows)
+			for i := range idx {
+				idx[i] = rng.Intn(mx.Rows)
+			}
+			tree := growTree(mx, my, idx, opts, mtry, rng)
+			local = append(local, tree)
+		}
+		mu.Lock()
+		model.Trees = append(model.Trees, local...)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(model.Trees) == 0 {
+		return nil, fmt.Errorf("algos: forest trained no trees (empty data?)")
+	}
+	return model, nil
+}
+
+type splitCand struct {
+	feature int
+	split   float64
+	score   float64 // variance reduction
+	ok      bool
+}
+
+func growTree(mx, my *darray.Mat, idx []int, opts ForestOpts, mtry int, rng *rand.Rand) Tree {
+	t := Tree{}
+	var build func(idx []int, depth int) int
+	build = func(idx []int, depth int) int {
+		node := TreeNode{Feature: -1, Value: meanY(my, idx)}
+		self := len(t.Nodes)
+		t.Nodes = append(t.Nodes, node)
+		if depth >= opts.MaxDepth || len(idx) < 2*opts.MinLeaf || pureY(my, idx) {
+			return self
+		}
+		best := splitCand{}
+		feats := rng.Perm(mx.Cols)[:mtry]
+		for _, f := range feats {
+			if c := bestSplit(mx, my, idx, f, opts.MinLeaf); c.ok && (!best.ok || c.score > best.score) {
+				best = c
+			}
+		}
+		if !best.ok {
+			return self
+		}
+		var left, right []int
+		for _, i := range idx {
+			if mx.At(i, best.feature) <= best.split {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		}
+		if len(left) < opts.MinLeaf || len(right) < opts.MinLeaf {
+			return self
+		}
+		li := build(left, depth+1)
+		ri := build(right, depth+1)
+		t.Nodes[self].Feature = best.feature
+		t.Nodes[self].Split = best.split
+		t.Nodes[self].Left = li
+		t.Nodes[self].Right = ri
+		return self
+	}
+	build(idx, 0)
+	return t
+}
+
+func meanY(my *darray.Mat, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var s float64
+	for _, i := range idx {
+		s += my.At(i, 0)
+	}
+	return s / float64(len(idx))
+}
+
+func pureY(my *darray.Mat, idx []int) bool {
+	if len(idx) == 0 {
+		return true
+	}
+	first := my.At(idx[0], 0)
+	for _, i := range idx {
+		if my.At(i, 0) != first {
+			return false
+		}
+	}
+	return true
+}
+
+// bestSplit finds the variance-reduction-optimal threshold on one feature by
+// sorting the candidate rows and sweeping prefix sums.
+func bestSplit(mx, my *darray.Mat, idx []int, f, minLeaf int) splitCand {
+	n := len(idx)
+	type pair struct{ x, y float64 }
+	ps := make([]pair, n)
+	for i, r := range idx {
+		ps[i] = pair{mx.At(r, f), my.At(r, 0)}
+	}
+	sort.Slice(ps, func(a, b int) bool { return ps[a].x < ps[b].x })
+	var totalSum, totalSq float64
+	for _, p := range ps {
+		totalSum += p.y
+		totalSq += p.y * p.y
+	}
+	var leftSum float64
+	best := splitCand{feature: f}
+	for i := 0; i < n-1; i++ {
+		leftSum += ps[i].y
+		if ps[i].x == ps[i+1].x {
+			continue // can't split between equal values
+		}
+		nl, nr := float64(i+1), float64(n-i-1)
+		if i+1 < minLeaf || n-i-1 < minLeaf {
+			continue
+		}
+		rightSum := totalSum - leftSum
+		// Variance reduction ∝ sum² terms (total SS constant per feature).
+		score := leftSum*leftSum/nl + rightSum*rightSum/nr
+		if !best.ok || score > best.score {
+			best = splitCand{
+				feature: f,
+				split:   (ps[i].x + ps[i+1].x) / 2,
+				score:   score,
+				ok:      true,
+			}
+		}
+	}
+	return best
+}
+
+// Predict aggregates the forest for one row: mean for regression, rounded
+// majority for classification.
+func (m *ForestModel) Predict(row []float64) float64 {
+	if len(m.Trees) == 0 {
+		return 0
+	}
+	if m.Classify {
+		votes := map[float64]int{}
+		for i := range m.Trees {
+			votes[math.Round(m.Trees[i].Predict(row))]++
+		}
+		bestV, bestN := 0.0, -1
+		for v, n := range votes {
+			if n > bestN || (n == bestN && v < bestV) {
+				bestV, bestN = v, n
+			}
+		}
+		return bestV
+	}
+	var s float64
+	for i := range m.Trees {
+		s += m.Trees[i].Predict(row)
+	}
+	return s / float64(len(m.Trees))
+}

@@ -1,0 +1,267 @@
+// Package algos implements the parallel machine-learning algorithms of
+// HP Distributed R used throughout the paper's evaluation: distributed
+// K-means clustering (hpdkmeans), generalized linear models via
+// Newton–Raphson / iteratively reweighted least squares (hpdglm — the paper
+// notes Distributed R fits regressions with Newton–Raphson where stock R
+// uses matrix decomposition, §7.3.1), plain linear regression, k-fold
+// cross-validation (cv.hpdglm) and a bagged random forest. All algorithms
+// operate on the distributed arrays of internal/darray: each iteration maps
+// over partitions on their owning workers and reduces partial statistics at
+// the master.
+package algos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"verticadr/internal/darray"
+	"verticadr/internal/linalg"
+)
+
+// KmeansModel is a fitted clustering model: the final centers (what the
+// paper stores in the database for KmeansPredict, §5).
+type KmeansModel struct {
+	K          int
+	Centers    [][]float64
+	Iterations int
+	Objective  float64 // final within-cluster sum of squares
+	Converged  bool
+}
+
+// KmeansOpts configures the solver.
+type KmeansOpts struct {
+	K        int
+	MaxIter  int     // default 20
+	Tol      float64 // center-movement convergence threshold (default 1e-4)
+	Seed     int64
+	InitPlus bool // k-means++ initialization instead of random rows
+}
+
+// Kmeans runs distributed Lloyd's iterations over a row-partitioned array.
+// Per iteration every partition computes, on its worker, partial sums and
+// counts per center against a broadcast copy of the centers; the master
+// reduces partials and recomputes centers — one logical round trip per
+// iteration, exactly the communication structure of the paper's hpdkmeans.
+func Kmeans(x *darray.DArray, opts KmeansOpts) (*KmeansModel, error) {
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("algos: kmeans needs K >= 1")
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 20
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-4
+	}
+	d := x.Cols()
+	n := x.Rows()
+	if n < opts.K {
+		return nil, fmt.Errorf("algos: kmeans with %d rows < K=%d", n, opts.K)
+	}
+	centers, err := initCenters(x, opts)
+	if err != nil {
+		return nil, err
+	}
+	model := &KmeansModel{K: opts.K}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		sums := make([][]float64, opts.K)
+		counts := make([]int, opts.K)
+		var objective float64
+		var mu sync.Mutex
+		for k := range sums {
+			sums[k] = make([]float64, d)
+		}
+		err := x.Foreach(func(_ int, m *darray.Mat) error {
+			localSums := make([][]float64, opts.K)
+			for k := range localSums {
+				localSums[k] = make([]float64, d)
+			}
+			localCounts := make([]int, opts.K)
+			var localObj float64
+			for r := 0; r < m.Rows; r++ {
+				row := m.Row(r)
+				best, bestD := 0, math.Inf(1)
+				for k, c := range centers {
+					dd := linalg.SqDist(row, c)
+					if dd < bestD {
+						best, bestD = k, dd
+					}
+				}
+				localCounts[best]++
+				localObj += bestD
+				s := localSums[best]
+				for j, v := range row {
+					s[j] += v
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			objective += localObj
+			for k := range sums {
+				counts[k] += localCounts[k]
+				for j := range sums[k] {
+					sums[k][j] += localSums[k][j]
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Recompute centers; empty clusters keep their previous center.
+		var moved float64
+		newCenters := make([][]float64, opts.K)
+		for k := range newCenters {
+			nc := make([]float64, d)
+			if counts[k] == 0 {
+				copy(nc, centers[k])
+			} else {
+				for j := range nc {
+					nc[j] = sums[k][j] / float64(counts[k])
+				}
+			}
+			moved += linalg.SqDist(nc, centers[k])
+			newCenters[k] = nc
+		}
+		centers = newCenters
+		model.Iterations = iter + 1
+		model.Objective = objective
+		if math.Sqrt(moved) < opts.Tol {
+			model.Converged = true
+			break
+		}
+	}
+	model.Centers = centers
+	return model, nil
+}
+
+// initCenters picks initial centers: random distinct rows, or k-means++
+// (sampling proportional to squared distance from chosen centers).
+func initCenters(x *darray.DArray, opts KmeansOpts) ([][]float64, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	sizes := x.PartitionSizes()
+	// Global row index -> (partition, local row).
+	locate := func(g int) (int, int) {
+		for p, s := range sizes {
+			if g < s[0] {
+				return p, g
+			}
+			g -= s[0]
+		}
+		return len(sizes) - 1, sizes[len(sizes)-1][0] - 1
+	}
+	fetchRow := func(g int) ([]float64, error) {
+		p, r := locate(g)
+		m, err := x.Part(p)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, m.Cols)
+		copy(out, m.Row(r))
+		return out, nil
+	}
+	n := x.Rows()
+	centers := make([][]float64, 0, opts.K)
+	first, err := fetchRow(rng.Intn(n))
+	if err != nil {
+		return nil, err
+	}
+	centers = append(centers, first)
+	if !opts.InitPlus {
+		seen := map[int]bool{}
+		for len(centers) < opts.K {
+			g := rng.Intn(n)
+			if seen[g] {
+				continue
+			}
+			seen[g] = true
+			row, err := fetchRow(g)
+			if err != nil {
+				return nil, err
+			}
+			centers = append(centers, row)
+		}
+		return centers, nil
+	}
+	// k-means++: weights computed distributedly per candidate round.
+	for len(centers) < opts.K {
+		// Compute D²(x) for every row (distributed), then sample one row
+		// with probability proportional to D².
+		var mu sync.Mutex
+		partWeights := make([]float64, len(sizes))
+		partDists := make([][]float64, len(sizes))
+		err := x.Foreach(func(p int, m *darray.Mat) error {
+			ds := make([]float64, m.Rows)
+			var total float64
+			for r := 0; r < m.Rows; r++ {
+				row := m.Row(r)
+				best := math.Inf(1)
+				for _, c := range centers {
+					if dd := linalg.SqDist(row, c); dd < best {
+						best = dd
+					}
+				}
+				ds[r] = best
+				total += best
+			}
+			mu.Lock()
+			partWeights[p] = total
+			partDists[p] = ds
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var grand float64
+		for _, w := range partWeights {
+			grand += w
+		}
+		if grand == 0 {
+			// All points coincide with centers; fall back to random rows.
+			row, err := fetchRow(rng.Intn(n))
+			if err != nil {
+				return nil, err
+			}
+			centers = append(centers, row)
+			continue
+		}
+		target := rng.Float64() * grand
+		chosenPart, chosenRow := len(sizes)-1, 0
+		for p, w := range partWeights {
+			if target < w {
+				chosenPart = p
+				for r, dd := range partDists[p] {
+					if target < dd {
+						chosenRow = r
+						break
+					}
+					target -= dd
+					chosenRow = r
+				}
+				break
+			}
+			target -= w
+		}
+		m, err := x.Part(chosenPart)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, m.Cols)
+		copy(row, m.Row(chosenRow))
+		centers = append(centers, row)
+	}
+	return centers, nil
+}
+
+// Assign returns the nearest-center index for a single point.
+func (m *KmeansModel) Assign(row []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for k, c := range m.Centers {
+		if dd := linalg.SqDist(row, c); dd < bestD {
+			best, bestD = k, dd
+		}
+	}
+	return best
+}

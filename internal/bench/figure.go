@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) measurement of a series.
+type Point struct {
+	X float64 // x-axis value (GB, rows, cores, nodes...)
+	Y float64 // seconds unless the figure says otherwise
+}
+
+// Series is one line/bar group of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Get looks up the Y at x (exact match) or panics — figures are generated
+// from fixed sweeps, so a miss is a programming error.
+func (s *Series) Get(x float64) float64 {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y
+		}
+	}
+	panic(fmt.Sprintf("bench: series %q has no point at x=%v", s.Name, x))
+}
+
+// Figure is one regenerated table/figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Get returns series by name.
+func (f *Figure) Get(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	panic(fmt.Sprintf("bench: figure %s has no series %q", f.ID, name))
+}
+
+// String renders the figure as an aligned text table (the vdr-bench output).
+func (f *Figure) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", f.ID, f.Title)
+	// Union of x values, sorted.
+	xsSet := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xsSet[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	fmt.Fprintf(&sb, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "%18s", s.Name)
+	}
+	fmt.Fprintf(&sb, "    (%s)\n", f.YLabel)
+	for _, x := range xs {
+		fmt.Fprintf(&sb, "%-14s", trimFloat(x))
+		for _, s := range f.Series {
+			y, ok := lookup(s, x)
+			if !ok {
+				fmt.Fprintf(&sb, "%18s", "-")
+			} else {
+				fmt.Fprintf(&sb, "%18s", trimFloat(y))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+func lookup(s Series, x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.1f", v)
+	s = strings.TrimSuffix(s, ".0")
+	return s
+}

@@ -1,0 +1,293 @@
+package bench
+
+import "fmt"
+
+// Fig1 regenerates the motivating Figure 1: extraction time over ODBC for a
+// single R process vs Distributed R with 120 parallel connections, 5-node
+// database, 50–150 GB.
+func Fig1(c Calib) *Figure {
+	f := &Figure{
+		ID:     "fig1",
+		Title:  "Extracting data from a database over ODBC is slow (5-node DB)",
+		XLabel: "table GB",
+		YLabel: "seconds",
+	}
+	var single, distr Series
+	single.Name = "R (1 conn)"
+	distr.Name = "Distributed R (120 conns)"
+	for _, gb := range []float64{50, 100, 150} {
+		single.Points = append(single.Points, Point{X: gb, Y: SimSingleRTransfer(c, gb, 5)})
+		distr.Points = append(distr.Points, Point{X: gb, Y: SimODBCTransfer(c, gb, 5, 120, 120)})
+	}
+	f.Series = []Series{single, distr}
+	f.Notes = append(f.Notes, "paper: 1 conn loads 50 GB in ~1 h; 120 conns still need ~40 min at 150 GB")
+	return f
+}
+
+// Fig12 regenerates Figure 12: parallel ODBC vs Vertica Fast Transfer on a
+// 5-node cluster, 50–150 GB, 24 R instances per node, locality policy.
+func Fig12(c Calib) *Figure {
+	f := &Figure{
+		ID:     "fig12",
+		Title:  "ODBC vs Vertica Fast Transfer, 5-node cluster",
+		XLabel: "table GB",
+		YLabel: "seconds",
+	}
+	var odbcS, vftS Series
+	odbcS.Name = "ODBC"
+	vftS.Name = "VFT"
+	for _, gb := range []float64{50, 100, 150} {
+		odbcS.Points = append(odbcS.Points, Point{X: gb, Y: SimODBCTransfer(c, gb, 5, 5*24, 5*24)})
+		vftS.Points = append(vftS.Points, Point{X: gb, Y: SimVFTTransfer(c, gb, 5, 24).Total})
+	}
+	f.Series = []Series{odbcS, vftS}
+	f.Notes = append(f.Notes, "paper: 150 GB in <6 min with VFT vs ~40 min with ODBC (~6x)")
+	return f
+}
+
+// Fig13 regenerates Figure 13: the same comparison on a 12-node cluster up
+// to 400 GB (288 ODBC connections).
+func Fig13(c Calib) *Figure {
+	f := &Figure{
+		ID:     "fig13",
+		Title:  "ODBC vs Vertica Fast Transfer, 12-node cluster",
+		XLabel: "table GB",
+		YLabel: "seconds",
+	}
+	var odbcS, vftS Series
+	odbcS.Name = "ODBC"
+	vftS.Name = "VFT"
+	for _, gb := range []float64{100, 200, 300, 400} {
+		odbcS.Points = append(odbcS.Points, Point{X: gb, Y: SimODBCTransfer(c, gb, 12, 12*24, 12*24)})
+		vftS.Points = append(vftS.Points, Point{X: gb, Y: SimVFTTransfer(c, gb, 12, 24).Total})
+	}
+	f.Series = []Series{odbcS, vftS}
+	f.Notes = append(f.Notes, "paper: 400 GB in <10 min with VFT vs ~1 h with ODBC")
+	return f
+}
+
+// Fig14 regenerates Figure 14: the VFT time breakdown (DB side vs R side)
+// at 400 GB on 12 nodes as R instances per server grow. The DB part stays
+// constant (the planner picks its own parallelism); the R part shrinks.
+func Fig14(c Calib) *Figure {
+	f := &Figure{
+		ID:     "fig14",
+		Title:  "VFT time breakdown, 400 GB, 12 nodes",
+		XLabel: "R instances/server",
+		YLabel: "seconds",
+	}
+	var db, r, total Series
+	db.Name = "DB part"
+	r.Name = "R part"
+	total.Name = "total"
+	for _, inst := range []int{2, 4, 8, 16, 24} {
+		b := SimVFTTransfer(c, 400, 12, inst)
+		x := float64(inst)
+		db.Points = append(db.Points, Point{X: x, Y: b.DBPart})
+		r.Points = append(r.Points, Point{X: x, Y: b.RPart})
+		total.Points = append(total.Points, Point{X: x, Y: b.Total})
+	}
+	f.Series = []Series{db, r, total}
+	f.Notes = append(f.Notes,
+		"paper: at 2 instances/server ~half the time is buffering+converting; DB time is constant")
+	return f
+}
+
+// predictScaling builds Figs. 15–16: in-database prediction time vs table
+// rows on a 5-node cluster, near-linear in rows. One simnet process per
+// node scans its share through the per-node scoring capacity.
+func predictScaling(id, title string, rowsPerNodeSec, overhead float64) *Figure {
+	f := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "table rows",
+		YLabel: "seconds",
+	}
+	var s Series
+	s.Name = "in-db prediction"
+	nodes := 5.0
+	for _, rows := range []float64{1e7, 1e8, 5e8, 1e9} {
+		t := overhead + rows/nodes/rowsPerNodeSec
+		s.Points = append(s.Points, Point{X: rows, Y: t})
+	}
+	f.Series = []Series{s}
+	return f
+}
+
+// Fig15 regenerates Figure 15: K-means prediction scalability.
+func Fig15(c Calib) *Figure {
+	f := predictScaling("fig15", "In-database K-means prediction, 5 nodes, 6 columns",
+		c.KmeansPredictRowsPerNodeSec, c.KmeansPredictOverheadSec)
+	f.Notes = append(f.Notes, "paper: <20 s at 10M rows, 318 s at 1B rows (near-linear)")
+	return f
+}
+
+// Fig16 regenerates Figure 16: GLM (linear regression) prediction
+// scalability.
+func Fig16(c Calib) *Figure {
+	f := predictScaling("fig16", "In-database linear-regression prediction, 5 nodes, 6 columns",
+		c.GlmPredictRowsPerNodeSec, c.GlmPredictOverheadSec)
+	f.Notes = append(f.Notes, "paper: <10 s at 10M rows, 206 s at 1B rows (near-linear)")
+	return f
+}
+
+// amdahl computes parallel runtime with a serial fraction over effective
+// cores: the hyperthreading plateau past the physical core count is the
+// paper's own explanation for Fig. 17.
+func amdahl(t1, serialFrac float64, cores, physCores int, htFrac float64) float64 {
+	eff := float64(cores)
+	if cores > physCores {
+		eff = float64(physCores) + htFrac*float64(cores-physCores)
+	}
+	return t1 * (serialFrac + (1-serialFrac)/eff)
+}
+
+// Fig17 regenerates Figure 17: single-node K-means (1M×100, K=1000) per
+// iteration, stock R vs Distributed R, 1–24 cores.
+func Fig17(c Calib) *Figure {
+	f := &Figure{
+		ID:     "fig17",
+		Title:  "K-means per-iteration, single node, 1M x 100, K=1000",
+		XLabel: "cores",
+		YLabel: "seconds",
+	}
+	var rS, drS Series
+	rS.Name = "R"
+	drS.Name = "Distributed R"
+	for _, cores := range []int{1, 2, 4, 8, 12, 16, 20, 24} {
+		rS.Points = append(rS.Points, Point{X: float64(cores), Y: c.RKmeansIterSec})
+		drS.Points = append(drS.Points, Point{X: float64(cores),
+			Y: amdahl(c.DRKmeansIter1Core, c.DRKmeansSerialFrac, cores, c.PhysCoresPerNode, c.HTSpeedFrac)})
+	}
+	f.Series = []Series{rS, drS}
+	f.Notes = append(f.Notes, "paper: R flat at ~35 min; DR <4 min by 12 cores, ~9x, plateau past 12 physical cores")
+	return f
+}
+
+// Fig18 regenerates Figure 18: single-node linear regression (100M×7),
+// stock R (QR decomposition) vs Distributed R (Newton–Raphson).
+func Fig18(c Calib) *Figure {
+	f := &Figure{
+		ID:     "fig18",
+		Title:  "Linear regression, single node, 100M x 7",
+		XLabel: "cores",
+		YLabel: "seconds",
+	}
+	var rS, drS Series
+	rS.Name = "R"
+	drS.Name = "Distributed R"
+	for _, cores := range []int{1, 2, 4, 8, 12, 16, 20, 24} {
+		rS.Points = append(rS.Points, Point{X: float64(cores), Y: c.RLMSec})
+		drS.Points = append(drS.Points, Point{X: float64(cores),
+			Y: amdahl(c.DRLM1Core, c.DRLMSerialFrac, cores, c.PhysCoresPerNode, 0.35)})
+	}
+	f.Series = []Series{rS, drS}
+	f.Notes = append(f.Notes,
+		"paper: R >25 min (QR, single thread, any cores); DR <10 min at 1 core, ~9x by 24 cores")
+	return f
+}
+
+// Fig19 regenerates Figure 19: distributed regression weak scaling — 1/4/8
+// nodes with 30M/120M/240M rows × 100 features; per-iteration and total
+// convergence time.
+func Fig19(c Calib) *Figure {
+	f := &Figure{
+		ID:     "fig19",
+		Title:  "Distributed regression weak scaling (30M rows x 100 features per node)",
+		XLabel: "nodes",
+		YLabel: "seconds",
+	}
+	var perIter, converge Series
+	perIter.Name = "per-iteration"
+	converge.Name = "convergence"
+	for _, nodes := range []int{1, 4, 8} {
+		it := c.DRRegIterPerNodeSec + c.DRRegReducePerNode*float64(nodes)
+		perIter.Points = append(perIter.Points, Point{X: float64(nodes), Y: it})
+		converge.Points = append(converge.Points, Point{X: float64(nodes), Y: float64(c.DRRegIterations) * it})
+	}
+	f.Series = []Series{perIter, converge}
+	f.Notes = append(f.Notes, "paper: <2 min per Newton-Raphson iteration, converges in 2 iterations (~4 min)")
+	return f
+}
+
+// sparkIter derives the Spark per-iteration time from the shared K-means
+// math plus Spark's own costs (task launches, broadcast, JVM factor).
+func sparkIter(c Calib, nodes int) float64 {
+	dr := drKmeansIter(c, nodes)
+	perNodeOverhead := c.SparkTaskOverheadSec*float64(c.SparkTasksPerNode) + c.SparkBroadcastSec
+	return dr*c.SparkJVMFactor + perNodeOverhead
+}
+
+func drKmeansIter(c Calib, nodes int) float64 {
+	return c.DRKmeansIterNodeSec * (1 + c.DRKmeansScaleLoss*float64(nodes-1))
+}
+
+// Fig20 regenerates Figure 20: K-means per iteration, Distributed R on
+// Vertica vs Spark on HDFS, proportional scale-up (60M rows × 100 per
+// node, K=1000).
+func Fig20(c Calib) *Figure {
+	f := &Figure{
+		ID:     "fig20",
+		Title:  "K-means per-iteration: Distributed R vs Spark (60M x 100 per node, K=1000)",
+		XLabel: "nodes",
+		YLabel: "seconds",
+	}
+	var drS, spS Series
+	drS.Name = "Distributed R"
+	spS.Name = "Spark"
+	for _, nodes := range []int{1, 4, 8} {
+		drS.Points = append(drS.Points, Point{X: float64(nodes), Y: drKmeansIter(c, nodes)})
+		spS.Points = append(spS.Points, Point{X: float64(nodes), Y: sparkIter(c, nodes)})
+	}
+	f.Series = []Series{drS, spS}
+	f.Notes = append(f.Notes, "paper: ~16 min vs ~21 min per iteration at 8 nodes; DR ~20% faster; both ~flat")
+	return f
+}
+
+// Fig21 regenerates Figure 21: end-to-end on 4 nodes (240M × 100): load time
+// plus one K-means iteration for Vertica→Distributed R, Spark on HDFS, and
+// Distributed R reading local ext4 files.
+func Fig21(c Calib) *Figure {
+	f := &Figure{
+		ID:     "fig21",
+		Title:  "End-to-end, 4 nodes, 240M x 100: load + K-means iteration",
+		XLabel: "phase (0=load,1=iteration,2=total)",
+		YLabel: "seconds",
+	}
+	nodes := 4
+	gb := 240e6 * BytesPerRow100f / 1e9 // logical GB
+	// 100-feature float rows serialize and convert slower than the narrow
+	// transfer tables of Figs. 12-13; scale the per-byte CPU stages.
+	wide := c
+	wide.VFTSerializeMBps = c.VFTSerializeMBps / c.VFTWideRowFactor
+	wide.VFTConvertMBps = c.VFTConvertMBps / c.VFTWideRowFactor
+	loadVFT := SimVFTTransfer(wide, gb, nodes, 24).Total
+	perNodeGB := gb / float64(nodes)
+	loadHDFS := perNodeGB * 1e9 / (c.HDFSLoadMBps * 1e6)
+	loadExt4 := perNodeGB * 1e9 / (c.Ext4LoadMBps * 1e6)
+	drIter := drKmeansIter(c, nodes)
+	spIter := sparkIter(c, nodes)
+
+	mk := func(name string, load, iter float64) Series {
+		return Series{Name: name, Points: []Point{
+			{X: 0, Y: load}, {X: 1, Y: iter}, {X: 2, Y: load + iter},
+		}}
+	}
+	f.Series = []Series{
+		mk("Vertica+DR", loadVFT, drIter),
+		mk("Spark+HDFS", loadHDFS, spIter),
+		mk("DR-disk", loadExt4, drIter),
+	}
+	f.Notes = append(f.Notes,
+		"paper: loads 15 min (Vertica) / 11 min (HDFS) / 5 min (ext4); end-to-end Vertica+DR ~= Spark",
+		fmt.Sprintf("dataset ~%.0f GB logical", gb))
+	return f
+}
+
+// AllFigures regenerates every simulated figure in paper order.
+func AllFigures(c Calib) []*Figure {
+	return []*Figure{
+		Fig1(c), Fig12(c), Fig13(c), Fig14(c), Fig15(c), Fig16(c),
+		Fig17(c), Fig18(c), Fig19(c), Fig20(c), Fig21(c),
+	}
+}

@@ -1,0 +1,322 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests pin the *shape* claims of every figure: who wins, by roughly
+// what factor, and where behaviour changes — the reproduction contract.
+
+func TestFig1Shape(t *testing.T) {
+	f := Fig1(DefaultCalib())
+	single := f.Get("R (1 conn)")
+	distr := f.Get("Distributed R (120 conns)")
+	// Single R: ~1 h for 50 GB.
+	if y := single.Get(50); y < 3000 || y > 5500 {
+		t.Fatalf("single-R 50 GB = %v s, want ~3600", y)
+	}
+	// Parallel ODBC still ~40 min at 150 GB.
+	if y := distr.Get(150); y < 2000 || y > 3300 {
+		t.Fatalf("parallel ODBC 150 GB = %v s, want ~2400", y)
+	}
+	// Parallel beats single everywhere; both grow with size.
+	for _, gb := range []float64{50, 100, 150} {
+		if distr.Get(gb) >= single.Get(gb) {
+			t.Fatalf("parallel ODBC should beat one connection at %v GB", gb)
+		}
+	}
+	if single.Get(150) <= single.Get(50) || distr.Get(150) <= distr.Get(50) {
+		t.Fatal("transfer time must grow with data size")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	f := Fig12(DefaultCalib())
+	odbcY := f.Get("ODBC").Get(150)
+	vftY := f.Get("VFT").Get(150)
+	// VFT loads 150 GB in under 6 minutes; ODBC ~40 minutes; ratio ≈6-9x.
+	if vftY > 360 {
+		t.Fatalf("VFT 150 GB = %v s, want <360", vftY)
+	}
+	if odbcY < 2000 || odbcY > 3300 {
+		t.Fatalf("ODBC 150 GB = %v s, want ~2400", odbcY)
+	}
+	ratio := odbcY / vftY
+	if ratio < 5 || ratio > 11 {
+		t.Fatalf("VFT speedup = %vx, want ~6-9x", ratio)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	f := Fig13(DefaultCalib())
+	odbcY := f.Get("ODBC").Get(400)
+	vftY := f.Get("VFT").Get(400)
+	// 400 GB: <10 min VFT vs ~1 h ODBC.
+	if vftY > 600 {
+		t.Fatalf("VFT 400 GB = %v s, want <600", vftY)
+	}
+	if odbcY < 2700 || odbcY > 4200 {
+		t.Fatalf("ODBC 400 GB = %v s, want ~3300", odbcY)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	f := Fig14(DefaultCalib())
+	db := f.Get("DB part")
+	r := f.Get("R part")
+	// DB part constant across R parallelism.
+	base := db.Get(2)
+	for _, x := range []float64{4, 8, 16, 24} {
+		if diff := db.Get(x) - base; diff > 1 || diff < -1 {
+			t.Fatalf("DB part not constant: %v at %v vs %v", db.Get(x), x, base)
+		}
+	}
+	// At 2 instances the R part is roughly half the total.
+	total2 := db.Get(2) + r.Get(2)
+	frac := r.Get(2) / total2
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("R-part fraction at 2 instances = %v, want ~0.5", frac)
+	}
+	// R part monotonically non-increasing with more instances.
+	prev := r.Get(2)
+	for _, x := range []float64{4, 8, 16, 24} {
+		if r.Get(x) > prev+1e-9 {
+			t.Fatalf("R part increased at %v instances", x)
+		}
+		prev = r.Get(x)
+	}
+	if r.Get(24) > 0.2*r.Get(2) {
+		t.Fatalf("R part should shrink strongly: %v -> %v", r.Get(2), r.Get(24))
+	}
+}
+
+func TestFig15Fig16Shape(t *testing.T) {
+	c := DefaultCalib()
+	for _, tc := range []struct {
+		fig        *Figure
+		small, big float64
+	}{
+		{Fig15(c), 20, 318},
+		{Fig16(c), 10, 206},
+	} {
+		s := tc.fig.Get("in-db prediction")
+		if y := s.Get(1e7); y > tc.small*1.15 {
+			t.Fatalf("%s at 10M rows = %v, want <=%v", tc.fig.ID, y, tc.small)
+		}
+		big := s.Get(1e9)
+		if big < tc.big*0.85 || big > tc.big*1.15 {
+			t.Fatalf("%s at 1B rows = %v, want ~%v", tc.fig.ID, big, tc.big)
+		}
+		// Near-linear: 100x rows ⇒ between 10x and 110x time (sub-linear
+		// early because of fixed overhead).
+		ratio := big / s.Get(1e7)
+		if ratio < 10 || ratio > 110 {
+			t.Fatalf("%s scaling ratio = %v", tc.fig.ID, ratio)
+		}
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	f := Fig17(DefaultCalib())
+	r := f.Get("R")
+	dr := f.Get("Distributed R")
+	// R flat at ~35 min regardless of cores.
+	for _, x := range []float64{1, 8, 24} {
+		if y := r.Get(x); y < 1900 || y > 2300 {
+			t.Fatalf("R at %v cores = %v, want ~2100", x, y)
+		}
+	}
+	// DR under 4 minutes by 12 cores; ~9x over R.
+	if y := dr.Get(12); y > 240 {
+		t.Fatalf("DR at 12 cores = %v, want <240", y)
+	}
+	sp := r.Get(12) / dr.Get(12)
+	if sp < 7.5 || sp > 11 {
+		t.Fatalf("speedup at 12 cores = %v, want ~9", sp)
+	}
+	// Plateau past 12 physical cores.
+	if dr.Get(24) < dr.Get(12)*0.95 {
+		t.Fatalf("DR should plateau past 12 cores: %v vs %v", dr.Get(24), dr.Get(12))
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	f := Fig18(DefaultCalib())
+	r := f.Get("R")
+	dr := f.Get("Distributed R")
+	// R >25 min; DR <10 min even on one core (Newton–Raphson vs QR).
+	if r.Get(1) < 1500 {
+		t.Fatalf("R = %v, want >1500", r.Get(1))
+	}
+	if dr.Get(1) > 600 {
+		t.Fatalf("DR 1 core = %v, want <600", dr.Get(1))
+	}
+	// ~9x from 1 to 24 cores; under a minute at 24.
+	sp := dr.Get(1) / dr.Get(24)
+	if sp < 7.5 || sp > 11 {
+		t.Fatalf("DR core scaling = %vx, want ~9", sp)
+	}
+	if dr.Get(24) > 60 {
+		t.Fatalf("DR 24 cores = %v, want <60", dr.Get(24))
+	}
+}
+
+func TestFig19Shape(t *testing.T) {
+	f := Fig19(DefaultCalib())
+	it := f.Get("per-iteration")
+	cv := f.Get("convergence")
+	for _, nodes := range []float64{1, 4, 8} {
+		if it.Get(nodes) > 120 {
+			t.Fatalf("per-iteration at %v nodes = %v, want <120 (2 min)", nodes, it.Get(nodes))
+		}
+		if cv.Get(nodes) > 250 {
+			t.Fatalf("convergence at %v nodes = %v, want ~4 min", nodes, cv.Get(nodes))
+		}
+	}
+	// Weak scaling: 8-node iteration within 15% of 1-node.
+	if it.Get(8) > it.Get(1)*1.15 {
+		t.Fatalf("weak scaling broken: %v vs %v", it.Get(8), it.Get(1))
+	}
+}
+
+func TestFig20Shape(t *testing.T) {
+	f := Fig20(DefaultCalib())
+	dr := f.Get("Distributed R")
+	sp := f.Get("Spark")
+	// ~16 min vs ~21 min at 8 nodes; DR ~20-30% faster.
+	if y := dr.Get(8); y < 850 || y > 1100 {
+		t.Fatalf("DR at 8 nodes = %v, want ~960", y)
+	}
+	if y := sp.Get(8); y < 1100 || y > 1450 {
+		t.Fatalf("Spark at 8 nodes = %v, want ~1260", y)
+	}
+	for _, nodes := range []float64{1, 4, 8} {
+		adv := sp.Get(nodes) / dr.Get(nodes)
+		if adv < 1.1 || adv > 1.5 {
+			t.Fatalf("DR advantage at %v nodes = %v, want ~1.2-1.3", nodes, adv)
+		}
+	}
+	// Both roughly flat under proportional scale-up.
+	if dr.Get(8) > dr.Get(1)*1.2 || sp.Get(8) > sp.Get(1)*1.2 {
+		t.Fatal("proportional scale-up should keep per-iteration time ~flat")
+	}
+}
+
+func TestFig21Shape(t *testing.T) {
+	f := Fig21(DefaultCalib())
+	vdr := f.Get("Vertica+DR")
+	sph := f.Get("Spark+HDFS")
+	disk := f.Get("DR-disk")
+	loadV, loadH, loadD := vdr.Get(0), sph.Get(0), disk.Get(0)
+	// Paper: 15 / 11 / 5 minutes.
+	if loadV < 750 || loadV > 1100 {
+		t.Fatalf("Vertica load = %v, want ~900", loadV)
+	}
+	if loadH < 550 || loadH > 800 {
+		t.Fatalf("HDFS load = %v, want ~660", loadH)
+	}
+	if loadD < 240 || loadD > 380 {
+		t.Fatalf("ext4 load = %v, want ~300", loadD)
+	}
+	// Ordering: ext4 < HDFS < Vertica; ext4 ~2x faster than HDFS, ~3x than
+	// Vertica.
+	if !(loadD < loadH && loadH < loadV) {
+		t.Fatal("load ordering broken")
+	}
+	if r := loadH / loadD; r < 1.6 || r > 2.6 {
+		t.Fatalf("HDFS/ext4 = %v, want ~2", r)
+	}
+	if r := loadV / loadD; r < 2.4 || r > 3.6 {
+		t.Fatalf("Vertica/ext4 = %v, want ~3", r)
+	}
+	// End-to-end parity within 15%.
+	tv, ts := vdr.Get(2), sph.Get(2)
+	if diff := tv/ts - 1; diff > 0.15 || diff < -0.15 {
+		t.Fatalf("end-to-end parity broken: %v vs %v", tv, ts)
+	}
+}
+
+func TestSimODBCValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad shape")
+		}
+	}()
+	SimODBCTransfer(DefaultCalib(), 1, 0, 1, 1)
+}
+
+func TestSimVFTValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad shape")
+		}
+	}()
+	SimVFTTransfer(DefaultCalib(), 1, 1, 0)
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := Fig12(DefaultCalib())
+	s := f.String()
+	for _, want := range []string{"fig12", "ODBC", "VFT", "150", "seconds"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered figure missing %q:\n%s", want, s)
+		}
+	}
+	// Missing lookups fail loudly.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for missing series")
+			}
+		}()
+		f.Get("nope")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for missing x")
+			}
+		}()
+		f.Get("ODBC").Get(9999)
+	}()
+}
+
+func TestAllFiguresComplete(t *testing.T) {
+	figs := AllFigures(DefaultCalib())
+	if len(figs) != 11 {
+		t.Fatalf("expected 11 figures, got %d", len(figs))
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		if seen[f.ID] {
+			t.Fatalf("duplicate figure %s", f.ID)
+		}
+		seen[f.ID] = true
+		if len(f.Series) == 0 {
+			t.Fatalf("figure %s has no series", f.ID)
+		}
+		for _, s := range f.Series {
+			if len(s.Points) == 0 {
+				t.Fatalf("figure %s series %s empty", f.ID, s.Name)
+			}
+			for _, p := range s.Points {
+				if p.Y <= 0 {
+					t.Fatalf("figure %s series %s has nonpositive y at x=%v", f.ID, s.Name, p.X)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministicFigures(t *testing.T) {
+	a := Fig13(DefaultCalib())
+	b := Fig13(DefaultCalib())
+	for i := range a.Series {
+		for j := range a.Series[i].Points {
+			if a.Series[i].Points[j] != b.Series[i].Points[j] {
+				t.Fatal("simulated figures must be deterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package bench
+
+import (
+	"verticadr/internal/colstore"
+	"verticadr/internal/core"
+)
+
+// batchFromCols builds a batch matching the named table's schema from
+// float64 column slices (helper for direct node placement).
+func batchFromCols(s *core.Session, table string, cols [][]float64) (*colstore.Batch, error) {
+	def, err := s.DB.TableDef(table)
+	if err != nil {
+		return nil, err
+	}
+	b := &colstore.Batch{Schema: def.Schema, Cols: make([]*colstore.Vector, len(cols))}
+	for i, c := range cols {
+		b.Cols[i] = colstore.FloatVector(c)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

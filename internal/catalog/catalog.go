@@ -1,0 +1,205 @@
+// Package catalog holds the database metadata for the Vertica substitute:
+// table definitions and their segmentation schemes. Segmentation decides
+// which cluster node stores each row (the paper's table "segments", §3.1);
+// the locality-preserving transfer policy later reuses exactly this mapping.
+package catalog
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+
+	"verticadr/internal/colstore"
+)
+
+// SegKind enumerates segmentation schemes.
+type SegKind uint8
+
+const (
+	// SegRoundRobin spreads rows evenly across nodes in arrival order.
+	SegRoundRobin SegKind = iota
+	// SegHash routes each row by a hash of one column's value. Skewed value
+	// distributions produce skewed segments — the situation §3.2 describes.
+	SegHash
+)
+
+// Segmentation is a table's row-placement scheme.
+type Segmentation struct {
+	Kind   SegKind
+	Column string // used by SegHash
+}
+
+// String renders the scheme in DDL-ish form.
+func (s Segmentation) String() string {
+	switch s.Kind {
+	case SegHash:
+		return fmt.Sprintf("SEGMENTED BY HASH(%s)", s.Column)
+	default:
+		return "SEGMENTED BY ROUND ROBIN"
+	}
+}
+
+// TableDef is the catalog entry for one table.
+type TableDef struct {
+	Name   string
+	Schema colstore.Schema
+	Seg    Segmentation
+}
+
+// Catalog is a concurrency-safe table registry. In a real MPP database the
+// catalog is replicated to every node; here every node shares one instance.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*TableDef
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*TableDef)}
+}
+
+// Create registers a table definition; the name must be unused.
+func (c *Catalog) Create(def *TableDef) error {
+	if def.Name == "" {
+		return fmt.Errorf("catalog: empty table name")
+	}
+	if len(def.Schema) == 0 {
+		return fmt.Errorf("catalog: table %q has no columns", def.Name)
+	}
+	seen := map[string]bool{}
+	for _, col := range def.Schema {
+		if seen[col.Name] {
+			return fmt.Errorf("catalog: duplicate column %q in table %q", col.Name, def.Name)
+		}
+		seen[col.Name] = true
+	}
+	if def.Seg.Kind == SegHash && def.Schema.ColIndex(def.Seg.Column) < 0 {
+		return fmt.Errorf("catalog: segmentation column %q not in table %q", def.Seg.Column, def.Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[def.Name]; ok {
+		return fmt.Errorf("catalog: table %q already exists", def.Name)
+	}
+	c.tables[def.Name] = def
+	return nil
+}
+
+// Get returns the definition of the named table.
+func (c *Catalog) Get(name string) (*TableDef, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	def, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	return def, nil
+}
+
+// Drop removes the named table.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// List returns the table names in sorted order.
+func (c *Catalog) List() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Splitter assigns each row of a batch to one of n nodes according to a
+// segmentation scheme. It carries round-robin state across batches so that a
+// multi-batch load stays balanced.
+type Splitter struct {
+	seg    Segmentation
+	nodes  int
+	colIdx int
+	next   int // round-robin cursor
+}
+
+// NewSplitter builds a splitter for the segmentation over the given schema.
+func NewSplitter(seg Segmentation, schema colstore.Schema, nodes int) (*Splitter, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("catalog: splitter needs >=1 node, got %d", nodes)
+	}
+	s := &Splitter{seg: seg, nodes: nodes, colIdx: -1}
+	if seg.Kind == SegHash {
+		s.colIdx = schema.ColIndex(seg.Column)
+		if s.colIdx < 0 {
+			return nil, fmt.Errorf("catalog: segmentation column %q missing from schema", seg.Column)
+		}
+	}
+	return s, nil
+}
+
+// Split partitions the batch into one (possibly empty) batch per node.
+func (s *Splitter) Split(b *colstore.Batch) ([]*colstore.Batch, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	idxs := make([][]int, s.nodes)
+	n := b.Len()
+	switch s.seg.Kind {
+	case SegRoundRobin:
+		for i := 0; i < n; i++ {
+			node := s.next % s.nodes
+			s.next++
+			idxs[node] = append(idxs[node], i)
+		}
+	case SegHash:
+		col := b.Cols[s.colIdx]
+		for i := 0; i < n; i++ {
+			node := int(hashValue(col, i) % uint64(s.nodes))
+			idxs[node] = append(idxs[node], i)
+		}
+	default:
+		return nil, fmt.Errorf("catalog: unknown segmentation kind %d", s.seg.Kind)
+	}
+	out := make([]*colstore.Batch, s.nodes)
+	for node, idx := range idxs {
+		out[node] = b.Gather(idx)
+	}
+	return out, nil
+}
+
+func hashValue(v *colstore.Vector, i int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	switch v.Type {
+	case colstore.TypeInt64:
+		putU64(buf[:], uint64(v.Ints[i]))
+		h.Write(buf[:])
+	case colstore.TypeFloat64:
+		putU64(buf[:], math.Float64bits(v.Floats[i]))
+		h.Write(buf[:])
+	case colstore.TypeString:
+		h.Write([]byte(v.Strs[i]))
+	case colstore.TypeBool:
+		if v.Bools[i] {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	return h.Sum64()
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

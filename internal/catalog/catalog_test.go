@@ -1,0 +1,235 @@
+package catalog
+
+import (
+	"testing"
+	"testing/quick"
+
+	"verticadr/internal/colstore"
+)
+
+func schema() colstore.Schema {
+	return colstore.Schema{
+		{Name: "id", Type: colstore.TypeInt64},
+		{Name: "x", Type: colstore.TypeFloat64},
+	}
+}
+
+func TestCatalogCreateGetDropList(t *testing.T) {
+	c := New()
+	def := &TableDef{Name: "t1", Schema: schema()}
+	if err := c.Create(def); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("t1")
+	if err != nil || got.Name != "t1" {
+		t.Fatalf("get: %v %v", got, err)
+	}
+	if err := c.Create(def); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+	_ = c.Create(&TableDef{Name: "a", Schema: schema()})
+	names := c.List()
+	if len(names) != 2 || names[0] != "a" || names[1] != "t1" {
+		t.Fatalf("list = %v", names)
+	}
+	if err := c.Drop("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("t1"); err == nil {
+		t.Fatal("dropped table should be gone")
+	}
+	if err := c.Drop("t1"); err == nil {
+		t.Fatal("double drop should fail")
+	}
+}
+
+func TestCatalogValidation(t *testing.T) {
+	c := New()
+	if err := c.Create(&TableDef{Name: "", Schema: schema()}); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	if err := c.Create(&TableDef{Name: "t", Schema: nil}); err == nil {
+		t.Fatal("empty schema should fail")
+	}
+	dup := colstore.Schema{{Name: "a", Type: colstore.TypeInt64}, {Name: "a", Type: colstore.TypeInt64}}
+	if err := c.Create(&TableDef{Name: "t", Schema: dup}); err == nil {
+		t.Fatal("duplicate column should fail")
+	}
+	bad := &TableDef{Name: "t", Schema: schema(), Seg: Segmentation{Kind: SegHash, Column: "nope"}}
+	if err := c.Create(bad); err == nil {
+		t.Fatal("bad segmentation column should fail")
+	}
+}
+
+func TestSegmentationString(t *testing.T) {
+	if (Segmentation{Kind: SegHash, Column: "id"}).String() != "SEGMENTED BY HASH(id)" {
+		t.Fatal("hash string")
+	}
+	if (Segmentation{}).String() != "SEGMENTED BY ROUND ROBIN" {
+		t.Fatal("rr string")
+	}
+}
+
+func makeBatch(t *testing.T, n int) *colstore.Batch {
+	t.Helper()
+	b := colstore.NewBatch(schema())
+	for i := 0; i < n; i++ {
+		if err := b.AppendRow(int64(i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func TestSplitterRoundRobinEven(t *testing.T) {
+	sp, err := NewSplitter(Segmentation{Kind: SegRoundRobin}, schema(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := sp.Split(makeBatch(t, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parts {
+		if p.Len() != 25 {
+			t.Fatalf("node %d got %d rows", i, p.Len())
+		}
+	}
+}
+
+func TestSplitterRoundRobinStateAcrossBatches(t *testing.T) {
+	sp, _ := NewSplitter(Segmentation{Kind: SegRoundRobin}, schema(), 3)
+	total := make([]int, 3)
+	// 4 batches of 5 rows = 20 rows over 3 nodes: balance must be 7/7/6.
+	for b := 0; b < 4; b++ {
+		parts, err := sp.Split(makeBatch(t, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range parts {
+			total[i] += p.Len()
+		}
+	}
+	if total[0] != 7 || total[1] != 7 || total[2] != 6 {
+		t.Fatalf("cross-batch balance = %v", total)
+	}
+}
+
+func TestSplitterHashDeterministic(t *testing.T) {
+	seg := Segmentation{Kind: SegHash, Column: "id"}
+	sp1, _ := NewSplitter(seg, schema(), 5)
+	sp2, _ := NewSplitter(seg, schema(), 5)
+	b := makeBatch(t, 200)
+	p1, _ := sp1.Split(b)
+	p2, _ := sp2.Split(b)
+	for i := range p1 {
+		if p1[i].Len() != p2[i].Len() {
+			t.Fatal("hash split must be deterministic")
+		}
+	}
+	// Same id value always lands on the same node.
+	single := colstore.NewBatch(schema())
+	_ = single.AppendRow(int64(42), 0.0)
+	q1, _ := sp1.Split(single)
+	q2, _ := sp2.Split(single)
+	for i := range q1 {
+		if (q1[i].Len() == 1) != (q2[i].Len() == 1) {
+			t.Fatal("same key routed to different nodes")
+		}
+	}
+}
+
+func TestSplitterHashRoughBalance(t *testing.T) {
+	seg := Segmentation{Kind: SegHash, Column: "id"}
+	sp, _ := NewSplitter(seg, schema(), 4)
+	parts, _ := sp.Split(makeBatch(t, 10000))
+	for i, p := range parts {
+		if p.Len() < 2000 || p.Len() > 3000 {
+			t.Fatalf("hash split node %d badly unbalanced: %d", i, p.Len())
+		}
+	}
+}
+
+func TestSplitterHashSkewOnSkewedValues(t *testing.T) {
+	// All rows share one key: they must all land on one node (the skewed
+	// segmentation scenario of §3.2).
+	seg := Segmentation{Kind: SegHash, Column: "id"}
+	sp, _ := NewSplitter(seg, schema(), 4)
+	b := colstore.NewBatch(schema())
+	for i := 0; i < 50; i++ {
+		_ = b.AppendRow(int64(7), float64(i))
+	}
+	parts, _ := sp.Split(b)
+	nonEmpty := 0
+	for _, p := range parts {
+		if p.Len() > 0 {
+			nonEmpty++
+			if p.Len() != 50 {
+				t.Fatalf("expected all rows on one node, got %d", p.Len())
+			}
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("constant key should hit exactly one node, hit %d", nonEmpty)
+	}
+}
+
+func TestSplitterErrors(t *testing.T) {
+	if _, err := NewSplitter(Segmentation{}, schema(), 0); err == nil {
+		t.Fatal("0 nodes should fail")
+	}
+	if _, err := NewSplitter(Segmentation{Kind: SegHash, Column: "zz"}, schema(), 2); err == nil {
+		t.Fatal("missing hash column should fail")
+	}
+}
+
+// Property: splitting preserves every row exactly once (union of parts ==
+// input as a multiset, and in this implementation also per-node order).
+func TestQuickSplitPreservesRows(t *testing.T) {
+	f := func(ids []int64, useHash bool, nodesRaw uint8) bool {
+		nodes := int(nodesRaw%7) + 1
+		seg := Segmentation{Kind: SegRoundRobin}
+		if useHash {
+			seg = Segmentation{Kind: SegHash, Column: "id"}
+		}
+		sp, err := NewSplitter(seg, schema(), nodes)
+		if err != nil {
+			return false
+		}
+		b := colstore.NewBatch(schema())
+		for _, id := range ids {
+			_ = b.AppendRow(id, float64(id))
+		}
+		parts, err := sp.Split(b)
+		if err != nil || len(parts) != nodes {
+			return false
+		}
+		count := map[int64]int{}
+		total := 0
+		for _, p := range parts {
+			total += p.Len()
+			for _, v := range p.Cols[0].Ints {
+				count[v]++
+			}
+		}
+		if total != len(ids) {
+			return false
+		}
+		want := map[int64]int{}
+		for _, id := range ids {
+			want[id]++
+		}
+		if len(count) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if count[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,415 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encoding enumerates the physical block encodings. Vertica's storage applies
+// per-column compression; we implement the classic columnar family: plain,
+// run-length, delta (integers), and dictionary (strings).
+type Encoding uint8
+
+const (
+	// EncPlain stores values verbatim.
+	EncPlain Encoding = iota
+	// EncRLE stores (value, run-length) pairs.
+	EncRLE
+	// EncDelta stores zig-zag varint deltas (integer columns only).
+	EncDelta
+	// EncDict stores a dictionary plus varint codes (string columns only).
+	EncDict
+)
+
+// String names the encoding.
+func (e Encoding) String() string {
+	switch e {
+	case EncPlain:
+		return "PLAIN"
+	case EncRLE:
+		return "RLE"
+	case EncDelta:
+		return "DELTA"
+	case EncDict:
+		return "DICT"
+	default:
+		return fmt.Sprintf("ENC(%d)", uint8(e))
+	}
+}
+
+// Block header layout: [type byte][encoding byte][uvarint row count][payload].
+
+// EncodeBlock serializes a vector with the chosen encoding.
+func EncodeBlock(v *Vector, enc Encoding) ([]byte, error) {
+	buf := make([]byte, 0, 16+v.Len()*8)
+	buf = append(buf, byte(v.Type), byte(enc))
+	buf = binary.AppendUvarint(buf, uint64(v.Len()))
+	var err error
+	switch enc {
+	case EncPlain:
+		buf, err = encodePlain(buf, v)
+	case EncRLE:
+		buf, err = encodeRLE(buf, v)
+	case EncDelta:
+		buf, err = encodeDelta(buf, v)
+	case EncDict:
+		buf, err = encodeDict(buf, v)
+	default:
+		err = fmt.Errorf("colstore: unknown encoding %v", enc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// BestEncoding picks an encoding for the vector by inspecting its contents:
+// long runs favor RLE, small distinct string sets favor DICT, sorted-ish
+// integers favor DELTA; otherwise PLAIN.
+func BestEncoding(v *Vector) Encoding {
+	n := v.Len()
+	if n == 0 {
+		return EncPlain
+	}
+	runs := countRuns(v)
+	if runs*4 <= n { // average run length >= 4
+		return EncRLE
+	}
+	switch v.Type {
+	case TypeString:
+		distinct := map[string]struct{}{}
+		for _, s := range v.Strs {
+			distinct[s] = struct{}{}
+			if len(distinct) > n/4+1 {
+				return EncPlain
+			}
+		}
+		return EncDict
+	case TypeInt64:
+		// Delta wins when consecutive deltas are small.
+		var smallDeltas int
+		for i := 1; i < n; i++ {
+			d := v.Ints[i] - v.Ints[i-1]
+			if d >= -(1<<20) && d < 1<<20 {
+				smallDeltas++
+			}
+		}
+		if smallDeltas*10 >= (n-1)*9 { // ≥90% small deltas
+			return EncDelta
+		}
+	}
+	return EncPlain
+}
+
+func countRuns(v *Vector) int {
+	n := v.Len()
+	if n == 0 {
+		return 0
+	}
+	runs := 1
+	for i := 1; i < n; i++ {
+		if !valueEq(v, i, i-1) {
+			runs++
+		}
+	}
+	return runs
+}
+
+func valueEq(v *Vector, i, j int) bool {
+	switch v.Type {
+	case TypeInt64:
+		return v.Ints[i] == v.Ints[j]
+	case TypeFloat64:
+		// Treat NaN as equal to NaN so RLE round-trips bit-wise.
+		return math.Float64bits(v.Floats[i]) == math.Float64bits(v.Floats[j])
+	case TypeString:
+		return v.Strs[i] == v.Strs[j]
+	case TypeBool:
+		return v.Bools[i] == v.Bools[j]
+	}
+	return false
+}
+
+func encodePlain(buf []byte, v *Vector) ([]byte, error) {
+	switch v.Type {
+	case TypeInt64:
+		for _, x := range v.Ints {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(x))
+		}
+	case TypeFloat64:
+		for _, x := range v.Floats {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+		}
+	case TypeString:
+		for _, s := range v.Strs {
+			buf = binary.AppendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		}
+	case TypeBool:
+		for _, b := range v.Bools {
+			if b {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("colstore: plain-encode invalid type %v", v.Type)
+	}
+	return buf, nil
+}
+
+func encodeRLE(buf []byte, v *Vector) ([]byte, error) {
+	n := v.Len()
+	i := 0
+	for i < n {
+		j := i + 1
+		for j < n && valueEq(v, j, i) {
+			j++
+		}
+		buf = binary.AppendUvarint(buf, uint64(j-i))
+		var err error
+		buf, err = appendOne(buf, v, i)
+		if err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	return buf, nil
+}
+
+func appendOne(buf []byte, v *Vector, i int) ([]byte, error) {
+	switch v.Type {
+	case TypeInt64:
+		return binary.LittleEndian.AppendUint64(buf, uint64(v.Ints[i])), nil
+	case TypeFloat64:
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Floats[i])), nil
+	case TypeString:
+		buf = binary.AppendUvarint(buf, uint64(len(v.Strs[i])))
+		return append(buf, v.Strs[i]...), nil
+	case TypeBool:
+		if v.Bools[i] {
+			return append(buf, 1), nil
+		}
+		return append(buf, 0), nil
+	}
+	return nil, fmt.Errorf("colstore: encode invalid type %v", v.Type)
+}
+
+func encodeDelta(buf []byte, v *Vector) ([]byte, error) {
+	if v.Type != TypeInt64 {
+		return nil, fmt.Errorf("colstore: DELTA encoding requires INTEGER, got %v", v.Type)
+	}
+	prev := int64(0)
+	for _, x := range v.Ints {
+		buf = binary.AppendVarint(buf, x-prev)
+		prev = x
+	}
+	return buf, nil
+}
+
+func encodeDict(buf []byte, v *Vector) ([]byte, error) {
+	if v.Type != TypeString {
+		return nil, fmt.Errorf("colstore: DICT encoding requires VARCHAR, got %v", v.Type)
+	}
+	dict := map[string]uint64{}
+	var order []string
+	codes := make([]uint64, 0, v.Len())
+	for _, s := range v.Strs {
+		c, ok := dict[s]
+		if !ok {
+			c = uint64(len(order))
+			dict[s] = c
+			order = append(order, s)
+		}
+		codes = append(codes, c)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(order)))
+	for _, s := range order {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	for _, c := range codes {
+		buf = binary.AppendUvarint(buf, c)
+	}
+	return buf, nil
+}
+
+// DecodeBlock deserializes a block produced by EncodeBlock.
+func DecodeBlock(data []byte) (*Vector, error) {
+	if len(data) < 3 {
+		return nil, fmt.Errorf("colstore: block too short (%d bytes)", len(data))
+	}
+	typ := Type(data[0])
+	enc := Encoding(data[1])
+	rest := data[2:]
+	count, m := binary.Uvarint(rest)
+	if m <= 0 {
+		return nil, fmt.Errorf("colstore: corrupt block header")
+	}
+	rest = rest[m:]
+	n := int(count)
+	v := NewVector(typ, n)
+	switch enc {
+	case EncPlain:
+		return decodePlain(v, rest, n)
+	case EncRLE:
+		return decodeRLE(v, rest, n)
+	case EncDelta:
+		return decodeDelta(v, rest, n)
+	case EncDict:
+		return decodeDict(v, rest, n)
+	default:
+		return nil, fmt.Errorf("colstore: unknown encoding byte %d", data[1])
+	}
+}
+
+func decodePlain(v *Vector, rest []byte, n int) (*Vector, error) {
+	switch v.Type {
+	case TypeInt64, TypeFloat64:
+		if len(rest) < 8*n {
+			return nil, fmt.Errorf("colstore: truncated plain block")
+		}
+		for i := 0; i < n; i++ {
+			u := binary.LittleEndian.Uint64(rest[i*8:])
+			if v.Type == TypeInt64 {
+				v.Ints = append(v.Ints, int64(u))
+			} else {
+				v.Floats = append(v.Floats, math.Float64frombits(u))
+			}
+		}
+	case TypeString:
+		for i := 0; i < n; i++ {
+			l, m := binary.Uvarint(rest)
+			if m <= 0 || uint64(len(rest)-m) < l {
+				return nil, fmt.Errorf("colstore: truncated string block")
+			}
+			rest = rest[m:]
+			v.Strs = append(v.Strs, string(rest[:l]))
+			rest = rest[l:]
+		}
+	case TypeBool:
+		if len(rest) < n {
+			return nil, fmt.Errorf("colstore: truncated bool block")
+		}
+		for i := 0; i < n; i++ {
+			v.Bools = append(v.Bools, rest[i] != 0)
+		}
+	default:
+		return nil, fmt.Errorf("colstore: decode invalid type %v", v.Type)
+	}
+	return v, nil
+}
+
+func decodeRLE(v *Vector, rest []byte, n int) (*Vector, error) {
+	total := 0
+	for total < n {
+		run, m := binary.Uvarint(rest)
+		if m <= 0 {
+			return nil, fmt.Errorf("colstore: truncated RLE block")
+		}
+		rest = rest[m:]
+		var err error
+		rest, err = decodeOneRepeated(v, rest, int(run))
+		if err != nil {
+			return nil, err
+		}
+		total += int(run)
+	}
+	if total != n {
+		return nil, fmt.Errorf("colstore: RLE block decoded %d rows, want %d", total, n)
+	}
+	return v, nil
+}
+
+func decodeOneRepeated(v *Vector, rest []byte, run int) ([]byte, error) {
+	switch v.Type {
+	case TypeInt64, TypeFloat64:
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("colstore: truncated RLE value")
+		}
+		u := binary.LittleEndian.Uint64(rest)
+		rest = rest[8:]
+		for i := 0; i < run; i++ {
+			if v.Type == TypeInt64 {
+				v.Ints = append(v.Ints, int64(u))
+			} else {
+				v.Floats = append(v.Floats, math.Float64frombits(u))
+			}
+		}
+	case TypeString:
+		l, m := binary.Uvarint(rest)
+		if m <= 0 || uint64(len(rest)-m) < l {
+			return nil, fmt.Errorf("colstore: truncated RLE string")
+		}
+		rest = rest[m:]
+		s := string(rest[:l])
+		rest = rest[l:]
+		for i := 0; i < run; i++ {
+			v.Strs = append(v.Strs, s)
+		}
+	case TypeBool:
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("colstore: truncated RLE bool")
+		}
+		b := rest[0] != 0
+		rest = rest[1:]
+		for i := 0; i < run; i++ {
+			v.Bools = append(v.Bools, b)
+		}
+	default:
+		return nil, fmt.Errorf("colstore: decode invalid type %v", v.Type)
+	}
+	return rest, nil
+}
+
+func decodeDelta(v *Vector, rest []byte, n int) (*Vector, error) {
+	if v.Type != TypeInt64 {
+		return nil, fmt.Errorf("colstore: DELTA block with type %v", v.Type)
+	}
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		d, m := binary.Varint(rest)
+		if m <= 0 {
+			return nil, fmt.Errorf("colstore: truncated delta block")
+		}
+		rest = rest[m:]
+		prev += d
+		v.Ints = append(v.Ints, prev)
+	}
+	return v, nil
+}
+
+func decodeDict(v *Vector, rest []byte, n int) (*Vector, error) {
+	if v.Type != TypeString {
+		return nil, fmt.Errorf("colstore: DICT block with type %v", v.Type)
+	}
+	dn, m := binary.Uvarint(rest)
+	if m <= 0 {
+		return nil, fmt.Errorf("colstore: truncated dict header")
+	}
+	rest = rest[m:]
+	dict := make([]string, 0, dn)
+	for i := uint64(0); i < dn; i++ {
+		l, m := binary.Uvarint(rest)
+		if m <= 0 || uint64(len(rest)-m) < l {
+			return nil, fmt.Errorf("colstore: truncated dict entry")
+		}
+		rest = rest[m:]
+		dict = append(dict, string(rest[:l]))
+		rest = rest[l:]
+	}
+	for i := 0; i < n; i++ {
+		c, m := binary.Uvarint(rest)
+		if m <= 0 {
+			return nil, fmt.Errorf("colstore: truncated dict codes")
+		}
+		rest = rest[m:]
+		if c >= uint64(len(dict)) {
+			return nil, fmt.Errorf("colstore: dict code %d out of range %d", c, len(dict))
+		}
+		v.Strs = append(v.Strs, dict[c])
+	}
+	return v, nil
+}

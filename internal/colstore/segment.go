@@ -1,0 +1,449 @@
+package colstore
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultBlockRows is the number of rows per sealed block when not overridden.
+const DefaultBlockRows = 4096
+
+// blockRef is one sealed, encoded block of a column plus its zone-map stats.
+type blockRef struct {
+	data     []byte
+	rows     int
+	hasStats bool
+	min, max float64 // valid for numeric columns when hasStats
+}
+
+// Segment is a horizontal slice of a table stored on one database node as
+// encoded column blocks. Appends buffer into an open tail batch which is
+// sealed into blocks every blockRows rows; scans decode block-at-a-time and
+// can skip blocks using min/max statistics (zone maps).
+type Segment struct {
+	schema    Schema
+	blockRows int
+	sealed    [][]blockRef // per column
+	tail      *Batch
+	rows      int
+}
+
+// NewSegment creates an empty segment. blockRows <= 0 selects the default.
+func NewSegment(schema Schema, blockRows int) *Segment {
+	if blockRows <= 0 {
+		blockRows = DefaultBlockRows
+	}
+	return &Segment{
+		schema:    schema,
+		blockRows: blockRows,
+		sealed:    make([][]blockRef, len(schema)),
+		tail:      NewBatch(schema),
+	}
+}
+
+// Schema returns the segment's schema.
+func (s *Segment) Schema() Schema { return s.schema }
+
+// Rows returns the total row count.
+func (s *Segment) Rows() int { return s.rows }
+
+// Append adds the batch's rows to the segment.
+func (s *Segment) Append(b *Batch) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if !b.Schema.Equal(s.schema) {
+		return fmt.Errorf("colstore: segment append schema mismatch")
+	}
+	if err := s.tail.AppendBatch(b); err != nil {
+		return err
+	}
+	s.rows += b.Len()
+	for s.tail.Len() >= s.blockRows {
+		if err := s.sealPrefix(s.blockRows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Seal flushes the open tail into sealed blocks.
+func (s *Segment) Seal() error {
+	if s.tail.Len() == 0 {
+		return nil
+	}
+	return s.sealPrefix(s.tail.Len())
+}
+
+func (s *Segment) sealPrefix(n int) error {
+	head := s.tail.Slice(0, n)
+	rest := s.tail.Slice(n, s.tail.Len())
+	for i, col := range head.Cols {
+		enc := BestEncoding(col)
+		data, err := EncodeBlock(col, enc)
+		if err != nil {
+			return err
+		}
+		ref := blockRef{data: data, rows: col.Len()}
+		ref.hasStats, ref.min, ref.max = vectorStats(col)
+		s.sealed[i] = append(s.sealed[i], ref)
+	}
+	// Copy the remainder into a fresh tail so the sealed blocks do not share
+	// backing arrays with future appends.
+	nt := NewBatch(s.schema)
+	if err := nt.AppendBatch(rest); err != nil {
+		return err
+	}
+	s.tail = nt
+	return nil
+}
+
+func vectorStats(v *Vector) (ok bool, min, max float64) {
+	switch v.Type {
+	case TypeInt64:
+		if len(v.Ints) == 0 {
+			return false, 0, 0
+		}
+		min, max = float64(v.Ints[0]), float64(v.Ints[0])
+		for _, x := range v.Ints {
+			f := float64(x)
+			if f < min {
+				min = f
+			}
+			if f > max {
+				max = f
+			}
+		}
+		return true, min, max
+	case TypeFloat64:
+		if len(v.Floats) == 0 {
+			return false, 0, 0
+		}
+		min, max = v.Floats[0], v.Floats[0]
+		for _, x := range v.Floats {
+			if math.IsNaN(x) {
+				return false, 0, 0
+			}
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		return true, min, max
+	}
+	return false, 0, 0
+}
+
+// CompareOp is a comparison operator for pushed-down predicates.
+type CompareOp uint8
+
+// Comparison operators.
+const (
+	OpEQ CompareOp = iota
+	OpNE
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+)
+
+// String returns the SQL spelling of the operator.
+func (op CompareOp) String() string {
+	switch op {
+	case OpEQ:
+		return "="
+	case OpNE:
+		return "<>"
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	}
+	return "?"
+}
+
+// Pred is a single-column comparison predicate that scans can push down to
+// skip blocks via zone maps and filter rows without materializing them.
+type Pred struct {
+	Col string
+	Op  CompareOp
+	Val any // int64, float64, string or bool
+}
+
+// blockMayMatch consults the zone map; returning true means "cannot rule out".
+func (p *Pred) blockMayMatch(ref blockRef) bool {
+	if !ref.hasStats {
+		return true
+	}
+	var v float64
+	switch x := p.Val.(type) {
+	case int64:
+		v = float64(x)
+	case float64:
+		v = x
+	default:
+		return true
+	}
+	switch p.Op {
+	case OpEQ:
+		return v >= ref.min && v <= ref.max
+	case OpLT:
+		return ref.min < v
+	case OpLE:
+		return ref.min <= v
+	case OpGT:
+		return ref.max > v
+	case OpGE:
+		return ref.max >= v
+	default: // OpNE cannot be excluded by a min/max range in general
+		return true
+	}
+}
+
+// matchRows evaluates the predicate over a vector, returning matching indexes.
+func (p *Pred) matchRows(v *Vector) ([]int, error) {
+	n := v.Len()
+	idx := make([]int, 0, n)
+	cmp := func(c int) bool {
+		switch p.Op {
+		case OpEQ:
+			return c == 0
+		case OpNE:
+			return c != 0
+		case OpLT:
+			return c < 0
+		case OpLE:
+			return c <= 0
+		case OpGT:
+			return c > 0
+		case OpGE:
+			return c >= 0
+		}
+		return false
+	}
+	for i := 0; i < n; i++ {
+		c, err := CompareValues(v.Value(i), p.Val)
+		if err != nil {
+			return nil, err
+		}
+		if cmp(c) {
+			idx = append(idx, i)
+		}
+	}
+	return idx, nil
+}
+
+// CompareValues compares two boxed values with SQL numeric widening
+// (INTEGER vs FLOAT compares numerically). Returns -1, 0 or 1.
+func CompareValues(a, b any) (int, error) {
+	switch x := a.(type) {
+	case int64:
+		switch y := b.(type) {
+		case int64:
+			return cmpOrdered(x, y), nil
+		case float64:
+			return cmpOrdered(float64(x), y), nil
+		}
+	case float64:
+		switch y := b.(type) {
+		case int64:
+			return cmpOrdered(x, float64(y)), nil
+		case float64:
+			return cmpOrdered(x, y), nil
+		}
+	case string:
+		if y, ok := b.(string); ok {
+			return cmpOrdered(x, y), nil
+		}
+	case bool:
+		if y, ok := b.(bool); ok {
+			xi, yi := 0, 0
+			if x {
+				xi = 1
+			}
+			if y {
+				yi = 1
+			}
+			return cmpOrdered(xi, yi), nil
+		}
+	}
+	return 0, fmt.Errorf("colstore: cannot compare %T with %T", a, b)
+}
+
+func cmpOrdered[T int | int64 | float64 | string](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Scan streams the named columns (nil = all) through fn in batches, applying
+// the optional predicate. The predicate column need not be in the projection.
+// fn receives batches it may retain; they do not alias segment storage.
+func (s *Segment) Scan(cols []string, pred *Pred, fn func(*Batch) error) error {
+	if cols == nil {
+		cols = make([]string, len(s.schema))
+		for i, c := range s.schema {
+			cols[i] = c.Name
+		}
+	}
+	outSchema, err := s.schema.Project(cols)
+	if err != nil {
+		return err
+	}
+	var predIdx = -1
+	if pred != nil {
+		predIdx = s.schema.ColIndex(pred.Col)
+		if predIdx < 0 {
+			return fmt.Errorf("colstore: predicate on unknown column %q", pred.Col)
+		}
+	}
+	colIdx := make([]int, len(cols))
+	for i, n := range cols {
+		colIdx[i] = s.schema.ColIndex(n)
+	}
+	// Sealed blocks: every column has the same block boundaries.
+	nblocks := 0
+	if len(s.sealed) > 0 {
+		nblocks = len(s.sealed[0])
+	}
+	for bi := 0; bi < nblocks; bi++ {
+		if pred != nil && predIdx >= 0 && !pred.blockMayMatch(s.sealed[predIdx][bi]) {
+			continue // zone-map skip
+		}
+		batch, err := s.decodeBlockRow(bi, colIdx, outSchema, predIdx, pred)
+		if err != nil {
+			return err
+		}
+		if batch.Len() == 0 {
+			continue
+		}
+		if err := fn(batch); err != nil {
+			return err
+		}
+	}
+	// Tail.
+	if s.tail.Len() > 0 {
+		batch, err := filterProject(s.tail, colIdx, outSchema, predIdx, pred)
+		if err != nil {
+			return err
+		}
+		if batch.Len() > 0 {
+			if err := fn(batch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Segment) decodeBlockRow(bi int, colIdx []int, outSchema Schema, predIdx int, pred *Pred) (*Batch, error) {
+	var matchIdx []int
+	if pred != nil {
+		pv, err := DecodeBlock(s.sealed[predIdx][bi].data)
+		if err != nil {
+			return nil, err
+		}
+		matchIdx, err = pred.matchRows(pv)
+		if err != nil {
+			return nil, err
+		}
+		if len(matchIdx) == 0 {
+			return &Batch{Schema: outSchema, Cols: emptyCols(outSchema)}, nil
+		}
+	}
+	out := &Batch{Schema: outSchema, Cols: make([]*Vector, len(colIdx))}
+	for i, ci := range colIdx {
+		v, err := DecodeBlock(s.sealed[ci][bi].data)
+		if err != nil {
+			return nil, err
+		}
+		if matchIdx != nil {
+			v = v.Gather(matchIdx)
+		}
+		out.Cols[i] = v
+	}
+	return out, nil
+}
+
+func filterProject(b *Batch, colIdx []int, outSchema Schema, predIdx int, pred *Pred) (*Batch, error) {
+	var matchIdx []int
+	if pred != nil {
+		var err error
+		matchIdx, err = pred.matchRows(b.Cols[predIdx])
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &Batch{Schema: outSchema, Cols: make([]*Vector, len(colIdx))}
+	for i, ci := range colIdx {
+		v := b.Cols[ci]
+		if matchIdx != nil {
+			v = v.Gather(matchIdx)
+		} else {
+			nv := NewVector(v.Type, v.Len())
+			if err := nv.AppendVector(v); err != nil {
+				return nil, err
+			}
+			v = nv
+		}
+		out.Cols[i] = v
+	}
+	return out, nil
+}
+
+func emptyCols(schema Schema) []*Vector {
+	out := make([]*Vector, len(schema))
+	for i, c := range schema {
+		out[i] = NewVector(c.Type, 0)
+	}
+	return out
+}
+
+// ReadAll materializes the whole segment (projection cols, nil = all).
+func (s *Segment) ReadAll(cols []string) (*Batch, error) {
+	var out *Batch
+	err := s.Scan(cols, nil, func(b *Batch) error {
+		if out == nil {
+			out = b
+			return nil
+		}
+		return out.AppendBatch(b)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		schema := s.schema
+		if cols != nil {
+			schema, err = s.schema.Project(cols)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = NewBatch(schema)
+	}
+	return out, nil
+}
+
+// CompressedBytes reports the total size of sealed block data (the on-wire /
+// on-disk footprint before file framing).
+func (s *Segment) CompressedBytes() int {
+	total := 0
+	for _, col := range s.sealed {
+		for _, ref := range col {
+			total += len(ref.data)
+		}
+	}
+	return total
+}

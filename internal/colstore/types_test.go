@@ -1,0 +1,196 @@
+package colstore
+
+import (
+	"testing"
+)
+
+func testSchema() Schema {
+	return Schema{
+		{Name: "id", Type: TypeInt64},
+		{Name: "x", Type: TypeFloat64},
+		{Name: "name", Type: TypeString},
+		{Name: "flag", Type: TypeBool},
+	}
+}
+
+func TestParseType(t *testing.T) {
+	cases := map[string]Type{
+		"INTEGER": TypeInt64, "int": TypeInt64, "BIGINT": TypeInt64,
+		"FLOAT": TypeFloat64, "double": TypeFloat64, "NUMERIC": TypeFloat64,
+		"VARCHAR": TypeString, "text": TypeString,
+		"BOOLEAN": TypeBool, "bool": TypeBool,
+	}
+	for in, want := range cases {
+		got, err := ParseType(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseType(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseType("BLOB"); err == nil {
+		t.Fatal("expected error for unknown type")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeInt64.String() != "INTEGER" || TypeFloat64.String() != "FLOAT" ||
+		TypeString.String() != "VARCHAR" || TypeBool.String() != "BOOLEAN" {
+		t.Fatal("type names wrong")
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := testSchema()
+	p, err := s.Project([]string{"x", "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0].Name != "x" || p[1].Name != "id" {
+		t.Fatalf("projection order wrong: %v", p)
+	}
+	if _, err := s.Project([]string{"nope"}); err == nil {
+		t.Fatal("expected error for unknown column")
+	}
+}
+
+func TestSchemaEqualAndIndex(t *testing.T) {
+	s := testSchema()
+	if !s.Equal(testSchema()) {
+		t.Fatal("identical schemas should be equal")
+	}
+	if s.Equal(s[:2]) {
+		t.Fatal("different lengths should not be equal")
+	}
+	if s.ColIndex("name") != 2 || s.ColIndex("zz") != -1 {
+		t.Fatal("ColIndex wrong")
+	}
+}
+
+func TestVectorAppendValue(t *testing.T) {
+	v := NewVector(TypeFloat64, 0)
+	if err := v.AppendValue(1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AppendValue(int64(2)); err != nil { // numeric widening
+		t.Fatal(err)
+	}
+	if err := v.AppendValue("x"); err == nil {
+		t.Fatal("expected type error")
+	}
+	if v.Len() != 2 || v.Floats[1] != 2.0 {
+		t.Fatalf("vector = %v", v.Floats)
+	}
+
+	iv := NewVector(TypeInt64, 0)
+	if err := iv.AppendValue(3.14); err == nil {
+		t.Fatal("float into int column should fail")
+	}
+	sv := NewVector(TypeString, 0)
+	if err := sv.AppendValue("hi"); err != nil {
+		t.Fatal(err)
+	}
+	bv := NewVector(TypeBool, 0)
+	if err := bv.AppendValue(true); err != nil {
+		t.Fatal(err)
+	}
+	if sv.Value(0) != "hi" || bv.Value(0) != true {
+		t.Fatal("Value accessor wrong")
+	}
+}
+
+func TestVectorSliceGather(t *testing.T) {
+	v := IntVector([]int64{10, 20, 30, 40})
+	sl := v.Slice(1, 3)
+	if sl.Len() != 2 || sl.Ints[0] != 20 {
+		t.Fatalf("slice = %v", sl.Ints)
+	}
+	g := v.Gather([]int{3, 0})
+	if g.Ints[0] != 40 || g.Ints[1] != 10 {
+		t.Fatalf("gather = %v", g.Ints)
+	}
+}
+
+func TestBatchAppendRowValidate(t *testing.T) {
+	b := NewBatch(testSchema())
+	if err := b.AppendRow(int64(1), 2.5, "a", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendRow(int64(2), 3.5, "b", false); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendRow(int64(1)); err == nil {
+		t.Fatal("wrong arity should fail")
+	}
+	row := b.Row(1)
+	if row[0] != int64(2) || row[2] != "b" {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestBatchValidateCatchesRagged(t *testing.T) {
+	b := NewBatch(testSchema())
+	_ = b.AppendRow(int64(1), 1.0, "a", true)
+	b.Cols[0].Ints = append(b.Cols[0].Ints, 99) // corrupt
+	if err := b.Validate(); err == nil {
+		t.Fatal("ragged batch should fail validation")
+	}
+}
+
+func TestBatchProjectAndSlice(t *testing.T) {
+	b := NewBatch(testSchema())
+	for i := 0; i < 5; i++ {
+		_ = b.AppendRow(int64(i), float64(i), "s", i%2 == 0)
+	}
+	p, err := b.Project([]string{"x", "flag"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cols) != 2 || p.Schema[0].Name != "x" {
+		t.Fatalf("project = %+v", p.Schema)
+	}
+	sl := b.Slice(2, 4)
+	if sl.Len() != 2 || sl.Cols[0].Ints[0] != 2 {
+		t.Fatal("slice wrong")
+	}
+	g := b.Gather([]int{4, 0})
+	if g.Cols[0].Ints[0] != 4 || g.Cols[0].Ints[1] != 0 {
+		t.Fatal("gather wrong")
+	}
+}
+
+func TestBatchAppendBatchSchemaMismatch(t *testing.T) {
+	a := NewBatch(testSchema())
+	b := NewBatch(testSchema()[:2])
+	if err := a.AppendBatch(b); err == nil {
+		t.Fatal("schema mismatch should fail")
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	cases := []struct {
+		a, b any
+		want int
+	}{
+		{int64(1), int64(2), -1},
+		{int64(2), int64(2), 0},
+		{float64(3), int64(2), 1},
+		{int64(2), float64(2.5), -1},
+		{"a", "b", -1},
+		{true, false, 1},
+		{false, false, 0},
+	}
+	for _, c := range cases {
+		got, err := CompareValues(c.a, c.b)
+		if err != nil || got != c.want {
+			t.Fatalf("CompareValues(%v,%v) = %d,%v want %d", c.a, c.b, got, err, c.want)
+		}
+	}
+	if _, err := CompareValues("a", int64(1)); err == nil {
+		t.Fatal("incomparable types should error")
+	}
+}

@@ -1,0 +1,274 @@
+// Package core is the integration layer the paper contributes: it wires the
+// MPP database (internal/vertica) to the Distributed R runtime
+// (internal/dr) with fast parallel transfer (internal/vft), distributed
+// model creation (internal/algos over internal/darray), in-database model
+// deployment and prediction (internal/models), the ODBC baseline connector
+// (internal/odbc) and YARN-brokered resources (internal/yarn). A Session is
+// the programmatic equivalent of Figure 3's R console: distributedR_start()
+// through deploy.model and glmPredict.
+package core
+
+import (
+	"fmt"
+
+	"verticadr/internal/darray"
+	"verticadr/internal/dr"
+	"verticadr/internal/models"
+	"verticadr/internal/odbc"
+	"verticadr/internal/spark"
+	"verticadr/internal/sqlexec"
+	"verticadr/internal/vertica"
+	"verticadr/internal/vft"
+	"verticadr/internal/yarn"
+)
+
+// Config sizes a session.
+type Config struct {
+	// DBNodes is the database cluster size (default 4).
+	DBNodes int
+	// DRWorkers is the Distributed R worker count (default DBNodes, which
+	// enables the locality transfer policy).
+	DRWorkers int
+	// InstancesPerWorker is the R instances per worker (default 4).
+	InstancesPerWorker int
+	// UDFInstancesPerNode is the database planner's PARTITION BEST
+	// parallelism (default 4).
+	UDFInstancesPerNode int
+	// Replication is the DFS replication factor for models (default 2).
+	Replication int
+	// BlockRows overrides the storage block size (tests use small blocks).
+	BlockRows int
+	// DataDir enables on-disk persistence when set.
+	DataDir string
+	// UseYARN brokers CPU/memory through the resource manager (§6): the
+	// database takes long-lived containers, the session per-use containers.
+	UseYARN bool
+	// UseTCPTransfer routes VFT chunk streams over real loopback TCP
+	// sockets (worker listeners + database-side dialers) instead of
+	// in-process handoff — the deployment where Distributed R runs on
+	// different machines than the database.
+	UseTCPTransfer bool
+	// CoresPerNode / MemoryMBPerNode size the YARN nodes (defaults 24 /
+	// 196000, the paper's testbed).
+	CoresPerNode    int
+	MemoryMBPerNode int
+}
+
+// Session is a running database + Distributed R pairing.
+type Session struct {
+	DB     *vertica.DB
+	DR     *dr.Cluster
+	Hub    *vft.Hub
+	Models *models.Manager
+	ODBC   *odbc.Server
+
+	RM           *yarn.ResourceManager
+	tcp          *vft.TCPService
+	dbApp        *yarn.App
+	drApp        *yarn.App
+	dbContainers []*yarn.Container
+	drContainers []*yarn.Container
+}
+
+// Start launches a session (Fig. 3 lines 1–3).
+func Start(cfg Config) (*Session, error) {
+	if cfg.DBNodes <= 0 {
+		cfg.DBNodes = 4
+	}
+	if cfg.DRWorkers <= 0 {
+		cfg.DRWorkers = cfg.DBNodes
+	}
+	if cfg.InstancesPerWorker <= 0 {
+		cfg.InstancesPerWorker = 4
+	}
+	if cfg.UDFInstancesPerNode <= 0 {
+		cfg.UDFInstancesPerNode = 4
+	}
+	if cfg.CoresPerNode <= 0 {
+		cfg.CoresPerNode = 24
+	}
+	if cfg.MemoryMBPerNode <= 0 {
+		cfg.MemoryMBPerNode = 196_000
+	}
+	s := &Session{}
+
+	if cfg.UseYARN {
+		// One YARN node per physical node; the database and Distributed R
+		// share nodes under capacity isolation (§6).
+		nodes := cfg.DBNodes
+		if cfg.DRWorkers > nodes {
+			nodes = cfg.DRWorkers
+		}
+		nrs := make([]yarn.NodeResources, nodes)
+		for i := range nrs {
+			nrs[i] = yarn.NodeResources{Cores: cfg.CoresPerNode, MemoryMB: cfg.MemoryMBPerNode}
+		}
+		rm, err := yarn.New(yarn.Config{
+			Nodes:  nrs,
+			Queues: map[string]float64{"db": 0.5, "analytics": 0.5},
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.RM = rm
+		// The database acquires resources for long-term use.
+		s.dbApp, err = rm.Submit("vertica", "db")
+		if err != nil {
+			return nil, err
+		}
+		for n := 0; n < cfg.DBNodes; n++ {
+			c, err := s.dbApp.Request(cfg.CoresPerNode/2, cfg.MemoryMBPerNode/2, n, false)
+			if err != nil {
+				return nil, fmt.Errorf("core: database container on node %d: %w", n, err)
+			}
+			s.dbContainers = append(s.dbContainers, c)
+		}
+		// The Distributed R session requests per-session containers with
+		// locality preference to the database nodes.
+		s.drApp, err = rm.Submit("distributedR", "analytics")
+		if err != nil {
+			return nil, err
+		}
+		for w := 0; w < cfg.DRWorkers; w++ {
+			c, err := s.drApp.Request(cfg.InstancesPerWorker, 4096*cfg.InstancesPerWorker, w%cfg.DBNodes, false)
+			if err != nil {
+				s.releaseYARN()
+				return nil, fmt.Errorf("core: Distributed R container %d: %w", w, err)
+			}
+			s.drContainers = append(s.drContainers, c)
+		}
+	}
+
+	db, err := vertica.Open(vertica.Config{
+		Nodes:               cfg.DBNodes,
+		UDFInstancesPerNode: cfg.UDFInstancesPerNode,
+		Replication:         cfg.Replication,
+		BlockRows:           cfg.BlockRows,
+		DataDir:             cfg.DataDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	drc, err := dr.Start(dr.Config{Workers: cfg.DRWorkers, InstancesPerWorker: cfg.InstancesPerWorker})
+	if err != nil {
+		return nil, err
+	}
+	hub := vft.NewHub()
+	if err := vft.Register(db, hub); err != nil {
+		return nil, err
+	}
+	mgr, err := models.NewManager(db)
+	if err != nil {
+		return nil, err
+	}
+	s.DB = db
+	s.DR = drc
+	s.Hub = hub
+	s.Models = mgr
+	s.ODBC = odbc.NewServer(db, 0)
+	if cfg.UseTCPTransfer {
+		svc, err := vft.ServeTCP(hub, cfg.DRWorkers)
+		if err != nil {
+			drc.Shutdown()
+			return nil, err
+		}
+		s.tcp = svc
+	}
+	return s, nil
+}
+
+func (s *Session) releaseYARN() {
+	for _, c := range s.drContainers {
+		_ = s.drApp.Release(c)
+	}
+	s.drContainers = nil
+	for _, c := range s.dbContainers {
+		_ = s.dbApp.Release(c)
+	}
+	s.dbContainers = nil
+}
+
+// Close shuts down the Distributed R session and returns its YARN
+// containers; the database keeps its long-lived reservation model but this
+// in-process instance releases everything.
+func (s *Session) Close() {
+	if s.tcp != nil {
+		_ = s.tcp.Close()
+	}
+	s.DR.Shutdown()
+	if s.RM != nil {
+		s.releaseYARN()
+	}
+}
+
+// Query runs SQL against the database (Fig. 3 lines 10–11 use this for
+// in-database prediction).
+func (s *Session) Query(sql string) (*sqlexec.Result, error) { return s.DB.Query(sql) }
+
+// Exec runs SQL discarding results.
+func (s *Session) Exec(sql string) error { return s.DB.Exec(sql) }
+
+// DB2DFrame loads table columns into a distributed data frame via Vertica
+// Fast Transfer (§3). Policy is vft.PolicyLocality or vft.PolicyUniform;
+// empty selects locality when node counts match, else uniform.
+func (s *Session) DB2DFrame(table string, cols []string, policy string) (*darray.DFrame, *vft.Stats, error) {
+	if policy == "" {
+		if s.DB.NumNodes() == s.DR.NumWorkers() {
+			policy = vft.PolicyLocality
+		} else {
+			policy = vft.PolicyUniform
+		}
+	}
+	rows, err := s.DB.TableRows(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The paper: partition-size hints = rows / receiving R instances.
+	psize := rows / (s.DR.NumWorkers() * s.DR.InstancesPerWorker())
+	if s.tcp != nil {
+		return vft.LoadTCP(s.DB, s.DR, s.Hub, s.tcp, table, cols, policy, psize)
+	}
+	return vft.Load(s.DB, s.DR, s.Hub, table, cols, policy, psize)
+}
+
+// DB2DArray is Fig. 3 line 5: load numeric feature columns from a table
+// into a distributed array.
+func (s *Session) DB2DArray(table string, cols []string, policy string) (*darray.DArray, *vft.Stats, error) {
+	frame, stats, err := s.DB2DFrame(table, cols, policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	arr, err := frame.AsDArray(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return arr, stats, nil
+}
+
+// LoadODBC is the baseline loader: `connections` parallel ODBC sessions
+// each fetching an ordered slice of the table.
+func (s *Session) LoadODBC(table string, cols []string, connections int) (*darray.DFrame, error) {
+	return odbc.Load(s.DB, s.ODBC, s.DR, table, cols, connections)
+}
+
+// DeployModel is Fig. 3 line 9: serialize a model created in Distributed R
+// and store it in the database (DFS blob + R_Models row).
+func (s *Session) DeployModel(name, owner, description string, model any) error {
+	return s.Models.Deploy(name, owner, description, model)
+}
+
+// DB2RDD loads table columns through Vertica Fast Transfer and exposes them
+// to the Spark comparator as an RDD — the §8 extension showing the transfer
+// mechanism is engine-agnostic. The returned RDD shares the session's
+// worker data (one RDD partition per frame partition).
+func (s *Session) DB2RDD(ctx *spark.Context, table string, cols []string, policy string) (*spark.RDD, *vft.Stats, error) {
+	frame, stats, err := s.DB2DFrame(table, cols, policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	rdd, err := spark.FromFrame(ctx, frame, cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rdd, stats, nil
+}

@@ -1,0 +1,391 @@
+package darray
+
+import (
+	"sync"
+	"testing"
+
+	"verticadr/internal/colstore"
+	"verticadr/internal/dr"
+)
+
+func cluster(t *testing.T, workers int) *dr.Cluster {
+	t.Helper()
+	c, err := dr.Start(dr.Config{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	return c
+}
+
+func TestMatAccessors(t *testing.T) {
+	m := NewMat(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("set/at")
+	}
+	if r := m.Row(1); len(r) != 3 || r[2] != 7 {
+		t.Fatalf("row = %v", r)
+	}
+}
+
+func TestDeclareWithoutAllocation(t *testing.T) {
+	c := cluster(t, 3)
+	a, err := New(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NPartitions() != 5 {
+		t.Fatalf("nparts = %d", a.NPartitions())
+	}
+	// Declaration creates only metadata — no worker stores any payload yet.
+	for i := 0; i < 3; i++ {
+		w, _ := c.Worker(i)
+		if len(w.Keys()) != 0 {
+			t.Fatalf("worker %d has data before fill: %v", i, w.Keys())
+		}
+	}
+	if a.Filled() {
+		t.Fatal("unfilled array reports filled")
+	}
+	if _, err := New(c, 0); err == nil {
+		t.Fatal("0 partitions should fail")
+	}
+}
+
+func TestFillUnevenPartitions(t *testing.T) {
+	// The Figure 8 scenario: partitions of 1, 3 and 2 rows.
+	c := cluster(t, 3)
+	a, _ := New(c, 3)
+	sizes := []int{1, 3, 2}
+	for i, rows := range sizes {
+		m := NewMat(rows, 2)
+		for r := 0; r < rows; r++ {
+			m.Set(r, 0, float64(i))
+			m.Set(r, 1, float64(r))
+		}
+		if err := a.Fill(i, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !a.Filled() || a.Rows() != 6 || a.Cols() != 2 {
+		t.Fatalf("rows=%d cols=%d", a.Rows(), a.Cols())
+	}
+	r, cc, err := a.PartitionSize(1)
+	if err != nil || r != 3 || cc != 2 {
+		t.Fatalf("partitionsize(1) = %d,%d,%v", r, cc, err)
+	}
+	all := a.PartitionSizes()
+	for i, s := range sizes {
+		if all[i][0] != s {
+			t.Fatalf("sizes = %v", all)
+		}
+	}
+	whole, err := a.Collect()
+	if err != nil || whole.Rows != 6 {
+		t.Fatalf("collect: %v rows=%d", err, whole.Rows)
+	}
+	if whole.At(1, 0) != 1 || whole.At(4, 0) != 2 {
+		t.Fatal("collect order wrong")
+	}
+}
+
+func TestConformityCheck(t *testing.T) {
+	c := cluster(t, 2)
+	a, _ := New(c, 2)
+	if err := a.Fill(0, NewMat(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Fill(1, NewMat(5, 4)); err == nil {
+		t.Fatal("mismatched column count must be rejected (conformity)")
+	}
+	if err := a.Fill(1, NewMat(5, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillValidation(t *testing.T) {
+	c := cluster(t, 2)
+	a, _ := New(c, 2)
+	if err := a.Fill(9, NewMat(1, 1)); err == nil {
+		t.Fatal("bad partition index should fail")
+	}
+	if err := a.Fill(0, nil); err == nil {
+		t.Fatal("nil matrix should fail")
+	}
+	if err := a.Fill(0, &Mat{Rows: 2, Cols: 2, Data: []float64{1}}); err == nil {
+		t.Fatal("malformed matrix should fail")
+	}
+	if _, err := a.Part(0); err == nil {
+		t.Fatal("part of unfilled partition should fail")
+	}
+	if _, _, err := a.PartitionSize(9); err == nil {
+		t.Fatal("bad index should fail")
+	}
+}
+
+func TestSetWorkerPlacement(t *testing.T) {
+	c := cluster(t, 3)
+	a, _ := New(c, 3)
+	if err := a.SetWorker(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if a.WorkerOf(0) != 2 {
+		t.Fatal("placement not applied")
+	}
+	_ = a.Fill(0, NewMat(1, 1))
+	w, _ := c.Worker(2)
+	if len(w.Keys()) != 1 {
+		t.Fatal("payload not on assigned worker")
+	}
+	if err := a.SetWorker(0, 1); err == nil {
+		t.Fatal("moving a filled partition should fail")
+	}
+	if err := a.SetWorker(1, 9); err == nil {
+		t.Fatal("bad worker should fail")
+	}
+	if err := a.SetWorker(9, 0); err == nil {
+		t.Fatal("bad partition should fail")
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := cluster(t, 2)
+	a, _ := New(c, 3)
+	for i, rows := range []int{4, 1, 2} {
+		_ = a.SetWorker(i, i%2)
+		if err := a.Fill(i, NewMat(rows, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	y, err := a.Clone(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.NPartitions() != 3 || y.Cols() != 1 || y.Rows() != 7 {
+		t.Fatalf("clone shape: parts=%d cols=%d rows=%d", y.NPartitions(), y.Cols(), y.Rows())
+	}
+	for i := 0; i < 3; i++ {
+		if y.WorkerOf(i) != a.WorkerOf(i) {
+			t.Fatal("clone must be co-located")
+		}
+		ra, _, _ := a.PartitionSize(i)
+		ry, _, _ := y.PartitionSize(i)
+		if ra != ry {
+			t.Fatal("clone row counts must match")
+		}
+	}
+	if err := CheckCoPartitioned(a, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Clone(0); err == nil {
+		t.Fatal("ncol=0 should fail")
+	}
+	b, _ := New(c, 1)
+	if _, err := b.Clone(1); err == nil {
+		t.Fatal("clone of unfilled array should fail")
+	}
+}
+
+func TestForeachRunsEveryPartition(t *testing.T) {
+	c := cluster(t, 3)
+	a, _ := New(c, 6)
+	for i := 0; i < 6; i++ {
+		_ = a.Fill(i, NewMat(i+1, 2))
+	}
+	var mu sync.Mutex
+	seen := map[int]int{}
+	err := a.Foreach(func(p int, m *Mat) error {
+		mu.Lock()
+		seen[p] = m.Rows
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 6 {
+		t.Fatalf("visited %d partitions", len(seen))
+	}
+	for p, rows := range seen {
+		if rows != p+1 {
+			t.Fatalf("partition %d rows %d", p, rows)
+		}
+	}
+	empty, _ := New(c, 2)
+	if err := empty.Foreach(func(int, *Mat) error { return nil }); err == nil {
+		t.Fatal("foreach over unfilled array should fail")
+	}
+}
+
+func TestZipCoPartitioned(t *testing.T) {
+	c := cluster(t, 2)
+	x, _ := New(c, 3)
+	for i, rows := range []int{2, 3, 1} {
+		_ = x.Fill(i, NewMat(rows, 4))
+	}
+	y, _ := x.Clone(1)
+	var mu sync.Mutex
+	var visited int
+	err := Zip(x, y, func(p int, mx, my *Mat) error {
+		if mx.Rows != my.Rows {
+			t.Errorf("partition %d row mismatch", p)
+		}
+		mu.Lock()
+		visited++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil || visited != 3 {
+		t.Fatalf("zip: %v visited=%d", err, visited)
+	}
+	// Non-co-partitioned arrays are rejected.
+	z, _ := New(c, 2)
+	_ = z.Fill(0, NewMat(2, 1))
+	_ = z.Fill(1, NewMat(2, 1))
+	if err := Zip(x, z, func(int, *Mat, *Mat) error { return nil }); err == nil {
+		t.Fatal("zip of non-co-partitioned arrays should fail")
+	}
+}
+
+func TestFromMat(t *testing.T) {
+	c := cluster(t, 2)
+	m := NewMat(10, 2)
+	for i := 0; i < 10; i++ {
+		m.Set(i, 0, float64(i))
+	}
+	a, err := FromMat(c, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows() != 10 || a.Cols() != 2 {
+		t.Fatalf("shape %dx%d", a.Rows(), a.Cols())
+	}
+	back, _ := a.Collect()
+	for i := 0; i < 10; i++ {
+		if back.At(i, 0) != float64(i) {
+			t.Fatal("round trip order broken")
+		}
+	}
+}
+
+func TestDFrameBasics(t *testing.T) {
+	c := cluster(t, 2)
+	f, err := NewFrame(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := colstore.Schema{
+		{Name: "x", Type: colstore.TypeFloat64},
+		{Name: "n", Type: colstore.TypeInt64},
+	}
+	b0 := colstore.NewBatch(schema)
+	_ = b0.AppendRow(1.5, int64(10))
+	_ = b0.AppendRow(2.5, int64(20))
+	b1 := colstore.NewBatch(schema)
+	_ = b1.AppendRow(3.5, int64(30))
+	if err := f.Fill(0, b0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Fill(1, b1); err != nil {
+		t.Fatal(err)
+	}
+	if f.Rows() != 3 || !f.Schema().Equal(schema) {
+		t.Fatalf("frame rows=%d", f.Rows())
+	}
+	r, cc, _ := f.PartitionSize(0)
+	if r != 2 || cc != 2 {
+		t.Fatalf("psize = %d,%d", r, cc)
+	}
+	// Schema conformity.
+	other := colstore.NewBatch(colstore.Schema{{Name: "z", Type: colstore.TypeBool}})
+	_ = other.AppendRow(true)
+	if err := f.Fill(0, other); err == nil {
+		t.Fatal("schema mismatch should fail")
+	}
+	// Foreach.
+	var mu sync.Mutex
+	total := 0
+	if err := f.Foreach(func(p int, b *colstore.Batch) error {
+		mu.Lock()
+		total += b.Len()
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 {
+		t.Fatalf("foreach total = %d", total)
+	}
+}
+
+func TestDFrameAsDArray(t *testing.T) {
+	c := cluster(t, 2)
+	f, _ := NewFrame(c, 2)
+	schema := colstore.Schema{
+		{Name: "x", Type: colstore.TypeFloat64},
+		{Name: "n", Type: colstore.TypeInt64},
+		{Name: "s", Type: colstore.TypeString},
+	}
+	b0 := colstore.NewBatch(schema)
+	_ = b0.AppendRow(1.0, int64(2), "a")
+	b1 := colstore.NewBatch(schema)
+	_ = b1.AppendRow(3.0, int64(4), "b")
+	_ = f.Fill(0, b0)
+	_ = f.Fill(1, b1)
+	a, err := f.AsDArray([]string{"x", "n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows() != 2 || a.Cols() != 2 {
+		t.Fatalf("shape %dx%d", a.Rows(), a.Cols())
+	}
+	if a.WorkerOf(0) != f.WorkerOf(0) || a.WorkerOf(1) != f.WorkerOf(1) {
+		t.Fatal("AsDArray must co-locate with the frame")
+	}
+	m, _ := a.Part(1)
+	if m.At(0, 0) != 3.0 || m.At(0, 1) != 4.0 {
+		t.Fatalf("values = %v", m.Data)
+	}
+	if _, err := f.AsDArray([]string{"s"}); err == nil {
+		t.Fatal("string column to darray should fail")
+	}
+	empty, _ := NewFrame(c, 1)
+	if _, err := empty.AsDArray(nil); err == nil {
+		t.Fatal("empty frame should fail")
+	}
+}
+
+func TestDList(t *testing.T) {
+	c := cluster(t, 2)
+	l, err := NewList(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NPartitions() != 3 {
+		t.Fatal("nparts")
+	}
+	_ = l.Fill(0, []any{1, 2})
+	_ = l.Fill(1, []any{"a"})
+	_ = l.Fill(2, []any{})
+	n, err := l.PartitionSize(0)
+	if err != nil || n != 2 {
+		t.Fatalf("psize = %d %v", n, err)
+	}
+	all, err := l.Collect()
+	if err != nil || len(all) != 3 {
+		t.Fatalf("collect = %v %v", all, err)
+	}
+	if all[0] != 1 || all[2] != "a" {
+		t.Fatalf("collect order = %v", all)
+	}
+	if _, err := l.Part(9); err == nil {
+		t.Fatal("bad index should fail")
+	}
+	if _, err := NewList(c, 0); err == nil {
+		t.Fatal("0 partitions should fail")
+	}
+	if l.WorkerOf(0) != 0 || l.WorkerOf(1) != 1 {
+		t.Fatal("round-robin placement expected")
+	}
+}

@@ -1,0 +1,310 @@
+package darray
+
+import (
+	"fmt"
+	"sync"
+
+	"verticadr/internal/colstore"
+	"verticadr/internal/dr"
+)
+
+// DFrame is a distributed data frame: partitions are typed column batches
+// (colstore.Batch). Declared with only a partition count (Table 1:
+// dframe(npartitions=)); partitions may have different row counts but must
+// agree on schema.
+type DFrame struct {
+	c    *dr.Cluster
+	name string
+	mu   sync.RWMutex
+	part []partMeta
+	sch  colstore.Schema // established by the first fill
+}
+
+// NewFrame declares a distributed data frame with empty partitions.
+func NewFrame(c *dr.Cluster, npartitions int) (*DFrame, error) {
+	if npartitions <= 0 {
+		return nil, fmt.Errorf("darray: npartitions must be >= 1")
+	}
+	f := &DFrame{c: c, name: c.GenName("dframe"), part: make([]partMeta, npartitions)}
+	for i := range f.part {
+		f.part[i].worker = i % c.NumWorkers()
+		f.part[i].key = fmt.Sprintf("%s/p%d", f.name, i)
+	}
+	return f, nil
+}
+
+// Name returns the frame's symbol-table name.
+func (f *DFrame) Name() string { return f.name }
+
+// NPartitions returns the partition count.
+func (f *DFrame) NPartitions() int { return len(f.part) }
+
+// WorkerOf returns the worker holding partition i.
+func (f *DFrame) WorkerOf(i int) int { return f.part[i].worker }
+
+// SetWorker reassigns an unfilled partition.
+func (f *DFrame) SetWorker(i, worker int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if i < 0 || i >= len(f.part) {
+		return fmt.Errorf("darray: no partition %d", i)
+	}
+	if f.part[i].filled {
+		return fmt.Errorf("darray: partition %d already filled", i)
+	}
+	if worker < 0 || worker >= f.c.NumWorkers() {
+		return fmt.Errorf("darray: no worker %d", worker)
+	}
+	f.part[i].worker = worker
+	return nil
+}
+
+// Fill stores a batch as partition i; all partitions must share a schema
+// (the data-frame conformity check).
+func (f *DFrame) Fill(i int, b *colstore.Batch) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if i < 0 || i >= len(f.part) {
+		f.mu.Unlock()
+		return fmt.Errorf("darray: no partition %d", i)
+	}
+	if f.sch == nil {
+		f.sch = b.Schema
+	} else if !f.sch.Equal(b.Schema) {
+		f.mu.Unlock()
+		return fmt.Errorf("darray: partition %d schema differs from frame schema", i)
+	}
+	meta := &f.part[i]
+	meta.rows, meta.cols, meta.filled = b.Len(), len(b.Schema), true
+	worker, key := meta.worker, meta.key
+	f.mu.Unlock()
+
+	w, err := f.c.Worker(worker)
+	if err != nil {
+		return err
+	}
+	w.Put(key, b)
+	return nil
+}
+
+// Schema returns the frame schema (nil until the first fill).
+func (f *DFrame) Schema() colstore.Schema {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.sch
+}
+
+// PartitionSize returns (rows, cols) of partition i.
+func (f *DFrame) PartitionSize(i int) (int, int, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if i < 0 || i >= len(f.part) {
+		return 0, 0, fmt.Errorf("darray: no partition %d", i)
+	}
+	return f.part[i].rows, f.part[i].cols, nil
+}
+
+// Rows returns the total row count.
+func (f *DFrame) Rows() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n := 0
+	for _, p := range f.part {
+		n += p.rows
+	}
+	return n
+}
+
+// Part fetches partition i's batch.
+func (f *DFrame) Part(i int) (*colstore.Batch, error) {
+	f.mu.RLock()
+	if i < 0 || i >= len(f.part) {
+		f.mu.RUnlock()
+		return nil, fmt.Errorf("darray: no partition %d", i)
+	}
+	meta := f.part[i]
+	f.mu.RUnlock()
+	if !meta.filled {
+		return nil, fmt.Errorf("darray: partition %d not filled", i)
+	}
+	w, err := f.c.Worker(meta.worker)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := w.Get(meta.key)
+	if !ok {
+		return nil, fmt.Errorf("darray: partition %d missing from worker %d", i, meta.worker)
+	}
+	return v.(*colstore.Batch), nil
+}
+
+// Foreach runs fn on every partition on its owning worker, in parallel.
+func (f *DFrame) Foreach(fn func(part int, b *colstore.Batch) error) error {
+	tasks := map[int][]dr.Task{}
+	f.mu.RLock()
+	for i := range f.part {
+		i := i
+		meta := f.part[i]
+		if !meta.filled {
+			f.mu.RUnlock()
+			return fmt.Errorf("darray: foreach over unfilled partition %d", i)
+		}
+		tasks[meta.worker] = append(tasks[meta.worker], func(w *dr.Worker) error {
+			v, ok := w.Get(meta.key)
+			if !ok {
+				return fmt.Errorf("darray: partition %d missing on worker %d", i, w.ID())
+			}
+			return fn(i, v.(*colstore.Batch))
+		})
+	}
+	f.mu.RUnlock()
+	return f.c.RunAll(tasks)
+}
+
+// AsDArray converts numeric columns (in schema order, or the named subset)
+// into a co-located distributed array; this is the bridge db2darray uses to
+// hand loaded frames to the math algorithms.
+func (f *DFrame) AsDArray(cols []string) (*DArray, error) {
+	sch := f.Schema()
+	if sch == nil {
+		return nil, fmt.Errorf("darray: frame has no data")
+	}
+	if cols == nil {
+		for _, c := range sch {
+			cols = append(cols, c.Name)
+		}
+	}
+	a, err := New(f.c, f.NPartitions())
+	if err != nil {
+		return nil, err
+	}
+	for i := range f.part {
+		if err := a.SetWorker(i, f.WorkerOf(i)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < f.NPartitions(); i++ {
+		b, err := f.Part(i)
+		if err != nil {
+			return nil, err
+		}
+		p, err := b.Project(cols)
+		if err != nil {
+			return nil, err
+		}
+		m := NewMat(p.Len(), len(cols))
+		for j, col := range p.Cols {
+			switch col.Type {
+			case colstore.TypeFloat64:
+				for r, v := range col.Floats {
+					m.Set(r, j, v)
+				}
+			case colstore.TypeInt64:
+				for r, v := range col.Ints {
+					m.Set(r, j, float64(v))
+				}
+			default:
+				return nil, fmt.Errorf("darray: column %q is %v, not numeric", cols[j], col.Type)
+			}
+		}
+		if err := a.Fill(i, m); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// DList is a distributed list: each partition holds an arbitrary []any
+// (Table 1: dlist(npartitions=)).
+type DList struct {
+	c    *dr.Cluster
+	name string
+	mu   sync.RWMutex
+	part []partMeta
+}
+
+// NewList declares a distributed list with empty partitions.
+func NewList(c *dr.Cluster, npartitions int) (*DList, error) {
+	if npartitions <= 0 {
+		return nil, fmt.Errorf("darray: npartitions must be >= 1")
+	}
+	l := &DList{c: c, name: c.GenName("dlist"), part: make([]partMeta, npartitions)}
+	for i := range l.part {
+		l.part[i].worker = i % c.NumWorkers()
+		l.part[i].key = fmt.Sprintf("%s/p%d", l.name, i)
+	}
+	return l, nil
+}
+
+// NPartitions returns the partition count.
+func (l *DList) NPartitions() int { return len(l.part) }
+
+// WorkerOf returns the worker holding partition i.
+func (l *DList) WorkerOf(i int) int { return l.part[i].worker }
+
+// Fill stores items as partition i.
+func (l *DList) Fill(i int, items []any) error {
+	l.mu.Lock()
+	if i < 0 || i >= len(l.part) {
+		l.mu.Unlock()
+		return fmt.Errorf("darray: no partition %d", i)
+	}
+	meta := &l.part[i]
+	meta.rows, meta.filled = len(items), true
+	worker, key := meta.worker, meta.key
+	l.mu.Unlock()
+	w, err := l.c.Worker(worker)
+	if err != nil {
+		return err
+	}
+	w.Put(key, items)
+	return nil
+}
+
+// PartitionSize returns the element count of partition i.
+func (l *DList) PartitionSize(i int) (int, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if i < 0 || i >= len(l.part) {
+		return 0, fmt.Errorf("darray: no partition %d", i)
+	}
+	return l.part[i].rows, nil
+}
+
+// Part fetches partition i.
+func (l *DList) Part(i int) ([]any, error) {
+	l.mu.RLock()
+	if i < 0 || i >= len(l.part) {
+		l.mu.RUnlock()
+		return nil, fmt.Errorf("darray: no partition %d", i)
+	}
+	meta := l.part[i]
+	l.mu.RUnlock()
+	if !meta.filled {
+		return nil, fmt.Errorf("darray: partition %d not filled", i)
+	}
+	w, err := l.c.Worker(meta.worker)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := w.Get(meta.key)
+	if !ok {
+		return nil, fmt.Errorf("darray: partition %d missing from worker %d", i, meta.worker)
+	}
+	return v.([]any), nil
+}
+
+// Collect gathers all elements in partition order.
+func (l *DList) Collect() ([]any, error) {
+	var out []any
+	for i := 0; i < l.NPartitions(); i++ {
+		items, err := l.Part(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, items...)
+	}
+	return out, nil
+}

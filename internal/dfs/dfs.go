@@ -1,0 +1,279 @@
+// Package dfs implements the Vertica-internal distributed file system the
+// paper uses to store serialized R models (§5): a replicated blob store whose
+// files are visible to the query engine on every node. Models "provide the
+// same fault-tolerance guarantees as Vertica tables" — here that means each
+// blob is written to `replication` node-local stores and reads fall back
+// across replicas when nodes are down.
+package dfs
+
+import (
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FileInfo describes one stored blob.
+type FileInfo struct {
+	Name     string
+	Size     int
+	CRC      uint32
+	Replicas []int // node ids holding a copy
+}
+
+// nodeStore is one node's local blob storage; in-memory with an optional
+// spill directory so blobs survive process restarts in the demo tools.
+type nodeStore struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte
+	dir   string // optional
+	down  bool
+}
+
+func (n *nodeStore) put(name string, data []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return fmt.Errorf("dfs: node is down")
+	}
+	cp := append([]byte(nil), data...)
+	n.blobs[name] = cp
+	if n.dir != "" {
+		path := filepath.Join(n.dir, sanitize(name))
+		if err := os.WriteFile(path, cp, 0o644); err != nil {
+			return fmt.Errorf("dfs: spill %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func (n *nodeStore) get(name string) ([]byte, bool, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.down {
+		return nil, false, fmt.Errorf("dfs: node is down")
+	}
+	b, ok := n.blobs[name]
+	if !ok && n.dir != "" {
+		data, err := os.ReadFile(filepath.Join(n.dir, sanitize(name)))
+		if err == nil {
+			return data, true, nil
+		}
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), b...), true, nil
+}
+
+func (n *nodeStore) del(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blobs, name)
+	if n.dir != "" {
+		os.Remove(filepath.Join(n.dir, sanitize(name)))
+	}
+}
+
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// DFS is the cluster-wide file system: a replicated namespace over per-node
+// blob stores.
+type DFS struct {
+	mu          sync.RWMutex
+	files       map[string]*FileInfo
+	nodes       []*nodeStore
+	replication int
+}
+
+// New creates a DFS over `nodes` node-local stores with the given replication
+// factor (clamped to the node count). spillDir, when non-empty, creates one
+// subdirectory per node for persistence.
+func New(nodes, replication int, spillDir string) (*DFS, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("dfs: need at least one node")
+	}
+	if replication <= 0 {
+		replication = 1
+	}
+	if replication > nodes {
+		replication = nodes
+	}
+	d := &DFS{
+		files:       make(map[string]*FileInfo),
+		replication: replication,
+	}
+	for i := 0; i < nodes; i++ {
+		ns := &nodeStore{blobs: make(map[string][]byte)}
+		if spillDir != "" {
+			dir := filepath.Join(spillDir, fmt.Sprintf("node%d", i))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, fmt.Errorf("dfs: create spill dir: %w", err)
+			}
+			ns.dir = dir
+		}
+		d.nodes = append(d.nodes, ns)
+	}
+	return d, nil
+}
+
+// Nodes returns the node count.
+func (d *DFS) Nodes() int { return len(d.nodes) }
+
+// Replication returns the effective replication factor.
+func (d *DFS) Replication() int { return d.replication }
+
+// replicaSet picks the nodes that store a file: consecutive nodes starting at
+// the file-name hash (consistent and deterministic).
+func (d *DFS) replicaSet(name string) []int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	start := int(h.Sum32()) % len(d.nodes)
+	if start < 0 {
+		start += len(d.nodes)
+	}
+	out := make([]int, 0, d.replication)
+	for i := 0; i < d.replication; i++ {
+		out = append(out, (start+i)%len(d.nodes))
+	}
+	return out
+}
+
+// Write stores (or overwrites) a blob on all replicas. It fails if any
+// replica write fails (no partial-success bookkeeping; the caller retries).
+func (d *DFS) Write(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("dfs: empty file name")
+	}
+	replicas := d.replicaSet(name)
+	for _, nid := range replicas {
+		if err := d.nodes[nid].put(name, data); err != nil {
+			return fmt.Errorf("dfs: write %q to node %d: %w", name, nid, err)
+		}
+	}
+	d.mu.Lock()
+	d.files[name] = &FileInfo{
+		Name:     name,
+		Size:     len(data),
+		CRC:      crc32.ChecksumIEEE(data),
+		Replicas: replicas,
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// Read retrieves a blob, trying replicas in order and skipping down nodes.
+// Content is verified against the stored checksum.
+func (d *DFS) Read(name string) ([]byte, error) {
+	d.mu.RLock()
+	info, ok := d.files[name]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("dfs: file %q does not exist", name)
+	}
+	var lastErr error
+	for _, nid := range info.Replicas {
+		data, found, err := d.nodes[nid].get(name)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !found {
+			lastErr = fmt.Errorf("dfs: replica on node %d missing blob %q", nid, name)
+			continue
+		}
+		if crc32.ChecksumIEEE(data) != info.CRC {
+			lastErr = fmt.Errorf("dfs: checksum mismatch for %q on node %d", name, nid)
+			continue
+		}
+		return data, nil
+	}
+	return nil, fmt.Errorf("dfs: all replicas of %q unavailable: %w", name, lastErr)
+}
+
+// ReadFrom retrieves a blob as seen from a specific node: it prefers the
+// local replica (no "network") and falls back to remote replicas. The
+// prediction UDFs use this to model §5's "retrieve the models from DFS".
+func (d *DFS) ReadFrom(node int, name string) (data []byte, local bool, err error) {
+	d.mu.RLock()
+	info, ok := d.files[name]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, false, fmt.Errorf("dfs: file %q does not exist", name)
+	}
+	for _, nid := range info.Replicas {
+		if nid == node {
+			if b, found, err := d.nodes[nid].get(name); err == nil && found {
+				return b, true, nil
+			}
+		}
+	}
+	b, err := d.Read(name)
+	return b, false, err
+}
+
+// Delete removes the blob from all replicas and the namespace.
+func (d *DFS) Delete(name string) error {
+	d.mu.Lock()
+	info, ok := d.files[name]
+	if ok {
+		delete(d.files, name)
+	}
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("dfs: file %q does not exist", name)
+	}
+	for _, nid := range info.Replicas {
+		d.nodes[nid].del(name)
+	}
+	return nil
+}
+
+// Stat returns metadata for a blob.
+func (d *DFS) Stat(name string) (FileInfo, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	info, ok := d.files[name]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("dfs: file %q does not exist", name)
+	}
+	return *info, nil
+}
+
+// List returns metadata for all blobs, sorted by name.
+func (d *DFS) List() []FileInfo {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]FileInfo, 0, len(d.files))
+	for _, info := range d.files {
+		out = append(out, *info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SetNodeDown toggles a node's availability (fault injection for tests).
+func (d *DFS) SetNodeDown(node int, down bool) error {
+	if node < 0 || node >= len(d.nodes) {
+		return fmt.Errorf("dfs: no node %d", node)
+	}
+	ns := d.nodes[node]
+	ns.mu.Lock()
+	ns.down = down
+	ns.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,216 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadDelete(t *testing.T) {
+	d, err := New(3, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("serialized model bytes")
+	if err := d.Write("model1", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read("model1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read != written")
+	}
+	info, err := d.Stat("model1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != len(data) || len(info.Replicas) != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+	if err := d.Delete("model1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Read("model1"); err == nil {
+		t.Fatal("read after delete should fail")
+	}
+	if err := d.Delete("model1"); err == nil {
+		t.Fatal("double delete should fail")
+	}
+}
+
+func TestReplicationSurvivesNodeFailure(t *testing.T) {
+	d, _ := New(4, 3, "")
+	if err := d.Write("m", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := d.Stat("m")
+	// Take down all but the last replica.
+	for _, nid := range info.Replicas[:len(info.Replicas)-1] {
+		if err := d.SetNodeDown(nid, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := d.Read("m")
+	if err != nil || string(got) != "x" {
+		t.Fatalf("read with failures: %v %q", err, got)
+	}
+	// Take down the last replica too: read must fail.
+	_ = d.SetNodeDown(info.Replicas[len(info.Replicas)-1], true)
+	if _, err := d.Read("m"); err == nil {
+		t.Fatal("read with all replicas down should fail")
+	}
+	// Recovery.
+	_ = d.SetNodeDown(info.Replicas[0], false)
+	if _, err := d.Read("m"); err != nil {
+		t.Fatalf("read after recovery: %v", err)
+	}
+}
+
+func TestWriteToDownNodeFails(t *testing.T) {
+	d, _ := New(2, 2, "")
+	_ = d.SetNodeDown(0, true)
+	if err := d.Write("m", []byte("x")); err == nil {
+		t.Fatal("write with a down replica should fail (replication=all nodes)")
+	}
+}
+
+func TestReadFromPrefersLocal(t *testing.T) {
+	d, _ := New(3, 2, "")
+	_ = d.Write("m", []byte("payload"))
+	info, _ := d.Stat("m")
+	// From a replica node the read is local.
+	data, local, err := d.ReadFrom(info.Replicas[0], "m")
+	if err != nil || !local || string(data) != "payload" {
+		t.Fatalf("local read: %v local=%v", err, local)
+	}
+	// From a non-replica node the read is remote.
+	nonReplica := -1
+	for n := 0; n < 3; n++ {
+		isRep := false
+		for _, r := range info.Replicas {
+			if r == n {
+				isRep = true
+			}
+		}
+		if !isRep {
+			nonReplica = n
+		}
+	}
+	if nonReplica == -1 {
+		t.Skip("all nodes are replicas")
+	}
+	data, local, err = d.ReadFrom(nonReplica, "m")
+	if err != nil || local || string(data) != "payload" {
+		t.Fatalf("remote read: %v local=%v", err, local)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	d, _ := New(2, 1, "")
+	_ = d.Write("b", []byte("1"))
+	_ = d.Write("a", []byte("2"))
+	l := d.List()
+	if len(l) != 2 || l[0].Name != "a" || l[1].Name != "b" {
+		t.Fatalf("list = %v", l)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 1, ""); err == nil {
+		t.Fatal("0 nodes should fail")
+	}
+	d, _ := New(2, 5, "") // replication clamped
+	if d.Replication() != 2 {
+		t.Fatalf("replication = %d", d.Replication())
+	}
+	if err := d.Write("", []byte("x")); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	if _, err := d.Read("missing"); err == nil {
+		t.Fatal("missing read should fail")
+	}
+	if _, err := d.Stat("missing"); err == nil {
+		t.Fatal("missing stat should fail")
+	}
+	if err := d.SetNodeDown(9, true); err == nil {
+		t.Fatal("bad node id should fail")
+	}
+	if _, _, err := d.ReadFrom(0, "missing"); err == nil {
+		t.Fatal("missing ReadFrom should fail")
+	}
+}
+
+func TestSpillPersistence(t *testing.T) {
+	dir := t.TempDir()
+	d, err := New(2, 2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write("my/model:v1", []byte("bytes")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read("my/model:v1")
+	if err != nil || string(got) != "bytes" {
+		t.Fatalf("spill read: %v %q", err, got)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	d, _ := New(3, 2, "")
+	_ = d.Write("m", []byte("v1"))
+	_ = d.Write("m", []byte("v2"))
+	got, err := d.Read("m")
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("overwrite: %v %q", err, got)
+	}
+	if len(d.List()) != 1 {
+		t.Fatal("overwrite should not duplicate namespace entry")
+	}
+}
+
+// Property: replica sets are deterministic, the right size, and distinct.
+func TestQuickReplicaSets(t *testing.T) {
+	d, _ := New(5, 3, "")
+	f := func(name string) bool {
+		if name == "" {
+			return true
+		}
+		a := d.replicaSet(name)
+		b := d.replicaSet(name)
+		if len(a) != 3 {
+			return false
+		}
+		seen := map[int]bool{}
+		for i := range a {
+			if a[i] != b[i] || a[i] < 0 || a[i] >= 5 || seen[a[i]] {
+				return false
+			}
+			seen[a[i]] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: write/read round-trips arbitrary binary blobs.
+func TestQuickWriteReadRoundTrip(t *testing.T) {
+	d, _ := New(4, 2, "")
+	i := 0
+	f := func(data []byte) bool {
+		i++
+		name := fmt.Sprintf("blob-%d", i)
+		if err := d.Write(name, data); err != nil {
+			return false
+		}
+		got, err := d.Read(name)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package dr implements the Distributed R substitute: a master/worker
+// runtime with per-worker in-memory partition stores and a bounded task
+// executor per worker (the paper's "R instances per node"). Distributed
+// data structures (internal/darray) and the parallel ML algorithms
+// (internal/algos) run on top of this substrate; the transfer paths
+// (internal/odbc, internal/vft) deliver data into worker stores.
+//
+// The paper's Distributed R runs workers as separate OS processes across
+// machines; here workers are in-process with their own stores and bounded
+// executors, which preserves the scheduling and data-placement behaviour
+// while remaining runnable on one machine.
+package dr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Config configures a Distributed R session.
+type Config struct {
+	// Workers is the number of worker nodes (>= 1).
+	Workers int
+	// InstancesPerWorker bounds concurrent tasks per worker — the number of
+	// R instances started on each node (default 4; the paper uses 24).
+	InstancesPerWorker int
+}
+
+// Cluster is a running Distributed R session: one master plus workers.
+type Cluster struct {
+	cfg     Config
+	workers []*Worker
+	nextID  atomic.Uint64
+	closed  atomic.Bool
+}
+
+// Start launches a session.
+func Start(cfg Config) (*Cluster, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("dr: need at least 1 worker")
+	}
+	if cfg.InstancesPerWorker <= 0 {
+		cfg.InstancesPerWorker = 4
+	}
+	c := &Cluster{cfg: cfg}
+	for i := 0; i < cfg.Workers; i++ {
+		c.workers = append(c.workers, newWorker(i, cfg.InstancesPerWorker))
+	}
+	return c, nil
+}
+
+// Shutdown stops the session; subsequent task submissions fail.
+func (c *Cluster) Shutdown() {
+	if c.closed.Swap(true) {
+		return
+	}
+	for _, w := range c.workers {
+		w.close()
+	}
+}
+
+// NumWorkers returns the worker count.
+func (c *Cluster) NumWorkers() int { return len(c.workers) }
+
+// InstancesPerWorker returns the per-worker executor width.
+func (c *Cluster) InstancesPerWorker() int { return c.cfg.InstancesPerWorker }
+
+// Worker returns worker i.
+func (c *Cluster) Worker(i int) (*Worker, error) {
+	if i < 0 || i >= len(c.workers) {
+		return nil, fmt.Errorf("dr: no worker %d", i)
+	}
+	return c.workers[i], nil
+}
+
+// GenName allocates a cluster-unique object name (the master's symbol table
+// namespace for distributed objects).
+func (c *Cluster) GenName(prefix string) string {
+	return fmt.Sprintf("%s-%d", prefix, c.nextID.Add(1))
+}
+
+// Task is a unit of work executed on a worker, with access to that worker's
+// partition store.
+type Task func(w *Worker) error
+
+// Run submits one task to worker i and waits for it.
+func (c *Cluster) Run(i int, t Task) error {
+	w, err := c.Worker(i)
+	if err != nil {
+		return err
+	}
+	errCh := make(chan error, 1)
+	if err := w.submit(func() { errCh <- t(w) }); err != nil {
+		return err
+	}
+	return <-errCh
+}
+
+// RunAll executes, for each worker, a list of tasks. Tasks assigned to the
+// same worker share that worker's bounded executor (at most
+// InstancesPerWorker run concurrently); different workers run fully in
+// parallel. The first error aborts the wait and is returned.
+func (c *Cluster) RunAll(tasks map[int][]Task) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for wid, list := range tasks {
+		w, err := c.Worker(wid)
+		if err != nil {
+			return err
+		}
+		for _, t := range list {
+			wg.Add(1)
+			t := t
+			if err := w.submit(func() {
+				defer wg.Done()
+				record(t(w))
+			}); err != nil {
+				wg.Done()
+				record(err)
+			}
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Worker is one Distributed R worker node: an in-memory partition store
+// (the paper stages incoming data in /dev/shm) plus a bounded executor.
+type Worker struct {
+	id    int
+	sem   chan struct{}
+	mu    sync.RWMutex
+	store map[string]any
+	done  chan struct{}
+	once  sync.Once
+}
+
+func newWorker(id, instances int) *Worker {
+	return &Worker{
+		id:    id,
+		sem:   make(chan struct{}, instances),
+		store: make(map[string]any),
+		done:  make(chan struct{}),
+	}
+}
+
+// ID returns the worker's node id.
+func (w *Worker) ID() int { return w.id }
+
+func (w *Worker) close() { w.once.Do(func() { close(w.done) }) }
+
+// submit schedules fn respecting the instance bound.
+func (w *Worker) submit(fn func()) error {
+	select {
+	case <-w.done:
+		return fmt.Errorf("dr: worker %d is shut down", w.id)
+	default:
+	}
+	go func() {
+		w.sem <- struct{}{}
+		defer func() { <-w.sem }()
+		fn()
+	}()
+	return nil
+}
+
+// Put stores a partition value under key.
+func (w *Worker) Put(key string, v any) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.store[key] = v
+}
+
+// Get fetches a partition value.
+func (w *Worker) Get(key string) (any, bool) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	v, ok := w.store[key]
+	return v, ok
+}
+
+// Delete removes a partition value.
+func (w *Worker) Delete(key string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.store, key)
+}
+
+// Keys lists stored keys, sorted (diagnostics and tests).
+func (w *Worker) Keys() []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make([]string, 0, len(w.store))
+	for k := range w.store {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

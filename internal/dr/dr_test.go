@@ -1,0 +1,193 @@
+package dr
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStartValidation(t *testing.T) {
+	if _, err := Start(Config{Workers: 0}); err == nil {
+		t.Fatal("0 workers should fail")
+	}
+	c, err := Start(Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if c.NumWorkers() != 3 {
+		t.Fatalf("workers = %d", c.NumWorkers())
+	}
+	if c.InstancesPerWorker() != 4 {
+		t.Fatalf("default instances = %d", c.InstancesPerWorker())
+	}
+	if _, err := c.Worker(5); err == nil {
+		t.Fatal("bad worker id should fail")
+	}
+}
+
+func TestWorkerStore(t *testing.T) {
+	c, _ := Start(Config{Workers: 2})
+	defer c.Shutdown()
+	w, _ := c.Worker(0)
+	w.Put("a", 1)
+	w.Put("b", 2)
+	if v, ok := w.Get("a"); !ok || v != 1 {
+		t.Fatalf("get = %v %v", v, ok)
+	}
+	if _, ok := w.Get("zz"); ok {
+		t.Fatal("missing key should not be found")
+	}
+	if keys := w.Keys(); len(keys) != 2 || keys[0] != "a" {
+		t.Fatalf("keys = %v", keys)
+	}
+	w.Delete("a")
+	if _, ok := w.Get("a"); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestRunExecutesOnWorker(t *testing.T) {
+	c, _ := Start(Config{Workers: 2})
+	defer c.Shutdown()
+	err := c.Run(1, func(w *Worker) error {
+		if w.ID() != 1 {
+			t.Errorf("ran on worker %d", w.ID())
+		}
+		w.Put("x", "y")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := c.Worker(1)
+	if v, _ := w.Get("x"); v != "y" {
+		t.Fatal("task effect not visible")
+	}
+	if err := c.Run(9, func(*Worker) error { return nil }); err == nil {
+		t.Fatal("bad worker should fail")
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	c, _ := Start(Config{Workers: 1})
+	defer c.Shutdown()
+	want := errors.New("boom")
+	if err := c.Run(0, func(*Worker) error { return want }); !errors.Is(err, want) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunAllParallelAcrossWorkers(t *testing.T) {
+	c, _ := Start(Config{Workers: 4, InstancesPerWorker: 1})
+	defer c.Shutdown()
+	var count atomic.Int32
+	tasks := map[int][]Task{}
+	for w := 0; w < 4; w++ {
+		for k := 0; k < 3; k++ {
+			tasks[w] = append(tasks[w], func(*Worker) error {
+				count.Add(1)
+				return nil
+			})
+		}
+	}
+	if err := c.RunAll(tasks); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 12 {
+		t.Fatalf("ran %d tasks", count.Load())
+	}
+}
+
+func TestRunAllBoundsPerWorkerConcurrency(t *testing.T) {
+	c, _ := Start(Config{Workers: 1, InstancesPerWorker: 2})
+	defer c.Shutdown()
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	tasks := map[int][]Task{0: {}}
+	for i := 0; i < 8; i++ {
+		tasks[0] = append(tasks[0], func(*Worker) error {
+			n := cur.Add(1)
+			mu.Lock()
+			if n > peak.Load() {
+				peak.Store(n)
+			}
+			mu.Unlock()
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := c.RunAll(tasks); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak concurrency %d exceeds instance bound 2", p)
+	}
+}
+
+func TestRunAllFirstError(t *testing.T) {
+	c, _ := Start(Config{Workers: 2})
+	defer c.Shutdown()
+	boom := errors.New("boom")
+	tasks := map[int][]Task{
+		0: {func(*Worker) error { return nil }, func(*Worker) error { return boom }},
+		1: {func(*Worker) error { return nil }},
+	}
+	if err := c.RunAll(tasks); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Bad worker id in the map fails fast.
+	if err := c.RunAll(map[int][]Task{7: {func(*Worker) error { return nil }}}); err == nil {
+		t.Fatal("bad worker id should fail")
+	}
+}
+
+func TestShutdownRejectsNewWork(t *testing.T) {
+	c, _ := Start(Config{Workers: 1})
+	c.Shutdown()
+	c.Shutdown() // idempotent
+	if err := c.Run(0, func(*Worker) error { return nil }); err == nil {
+		t.Fatal("run after shutdown should fail")
+	}
+}
+
+func TestGenNameUnique(t *testing.T) {
+	c, _ := Start(Config{Workers: 1})
+	defer c.Shutdown()
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		n := c.GenName("obj")
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestGenNameConcurrent(t *testing.T) {
+	c, _ := Start(Config{Workers: 1})
+	defer c.Shutdown()
+	var wg sync.WaitGroup
+	names := make(chan string, 200)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				names <- c.GenName("x")
+			}
+		}()
+	}
+	wg.Wait()
+	close(names)
+	seen := map[string]bool{}
+	for n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate concurrent name %q", n)
+		}
+		seen[n] = true
+	}
+}

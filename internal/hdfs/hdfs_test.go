@@ -1,0 +1,160 @@
+package hdfs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs, err := New(Config{DataNodes: 4, BlockSize: 64, Replication: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte(strings.Repeat("hello world line\n", 50))
+	if err := fs.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	blocks, _ := fs.Blocks("f")
+	if len(blocks) < 5 {
+		t.Fatalf("expected multiple blocks, got %d", len(blocks))
+	}
+	for _, b := range blocks {
+		if len(b.Replicas) != 3 {
+			t.Fatalf("block %d has %d replicas", b.Index, len(b.Replicas))
+		}
+	}
+}
+
+func TestLineAlignedBlocks(t *testing.T) {
+	fs, _ := New(Config{DataNodes: 2, BlockSize: 10, Replication: 1})
+	data := []byte("aaaaaaaaaaaaaaa\nbb\ncc\n")
+	_ = fs.WriteFile("f", data)
+	blocks, _ := fs.Blocks("f")
+	for i := range blocks {
+		blk, _, err := fs.ReadBlock("f", i, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blk) > 0 && blk[len(blk)-1] != '\n' {
+			t.Fatalf("block %d does not end at line boundary: %q", i, blk)
+		}
+	}
+}
+
+func TestReadBlockLocality(t *testing.T) {
+	fs, _ := New(Config{DataNodes: 5, BlockSize: 8, Replication: 2})
+	_ = fs.WriteFile("f", []byte("0123456\n89abcdef\nghijklmn\n"))
+	blocks, _ := fs.Blocks("f")
+	for _, b := range blocks {
+		_, local, err := fs.ReadBlock("f", b.Index, b.Replicas[0])
+		if err != nil || !local {
+			t.Fatalf("read from replica should be local: %v %v", local, err)
+		}
+		// Find a non-replica node.
+		for n := 0; n < 5; n++ {
+			isRep := false
+			for _, r := range b.Replicas {
+				if r == n {
+					isRep = true
+				}
+			}
+			if !isRep {
+				_, local, err := fs.ReadBlock("f", b.Index, n)
+				if err != nil || local {
+					t.Fatalf("read from non-replica should be remote")
+				}
+				break
+			}
+		}
+	}
+}
+
+func TestDeleteAndUsage(t *testing.T) {
+	fs, _ := New(Config{DataNodes: 3, BlockSize: 8, Replication: 3})
+	_ = fs.WriteFile("f", []byte("12345678\nabcdefgh\n"))
+	used := fs.UsedBytes()
+	var total int
+	for _, u := range used {
+		total += u
+	}
+	if total != 18*3 {
+		t.Fatalf("replicated usage = %d, want %d", total, 18*3)
+	}
+	if err := fs.Delete("f"); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range fs.UsedBytes() {
+		if u != 0 {
+			t.Fatalf("usage after delete = %v", fs.UsedBytes())
+		}
+	}
+	if err := fs.Delete("f"); err == nil {
+		t.Fatal("double delete should fail")
+	}
+}
+
+func TestValidationAndErrors(t *testing.T) {
+	if _, err := New(Config{DataNodes: 0}); err == nil {
+		t.Fatal("0 datanodes should fail")
+	}
+	fs, _ := New(Config{DataNodes: 2, Replication: 9})
+	if err := fs.WriteFile("", []byte("x")); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	_ = fs.WriteFile("f", []byte("x"))
+	if err := fs.WriteFile("f", []byte("y")); err == nil {
+		t.Fatal("duplicate write should fail")
+	}
+	if _, err := fs.ReadFile("zz"); err == nil {
+		t.Fatal("missing read should fail")
+	}
+	if _, err := fs.Blocks("zz"); err == nil {
+		t.Fatal("missing blocks should fail")
+	}
+	if _, _, err := fs.ReadBlock("f", 5, 0); err == nil {
+		t.Fatal("bad block index should fail")
+	}
+	if _, _, err := fs.ReadBlock("zz", 0, 0); err == nil {
+		t.Fatal("missing file block read should fail")
+	}
+	if l := fs.List(); len(l) != 1 || l[0] != "f" {
+		t.Fatalf("list = %v", l)
+	}
+}
+
+// Property: concatenated blocks always equal the original file.
+func TestQuickBlockReassembly(t *testing.T) {
+	fs, _ := New(Config{DataNodes: 3, BlockSize: 16, Replication: 2})
+	i := 0
+	f := func(chunks []string) bool {
+		i++
+		data := []byte(strings.Join(chunks, "\n"))
+		name := strings.Repeat("f", i%7+1) + string(rune('a'+i%26)) + strings.Repeat("x", i/26%5)
+		name = name + "-" + string(rune('0'+i%10)) + string(rune('0'+(i/10)%10)) + string(rune('0'+(i/100)%10))
+		if err := fs.WriteFile(name, data); err != nil {
+			return false
+		}
+		blocks, err := fs.Blocks(name)
+		if err != nil {
+			return false
+		}
+		var re []byte
+		for _, b := range blocks {
+			blk, _, err := fs.ReadBlock(name, b.Index, 0)
+			if err != nil {
+				return false
+			}
+			re = append(re, blk...)
+		}
+		return bytes.Equal(re, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

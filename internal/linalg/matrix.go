@@ -1,0 +1,307 @@
+// Package linalg provides the small dense linear-algebra substrate used by
+// the distributed machine-learning algorithms (GLM via Newton–Raphson, linear
+// regression, K-means) and by the single-threaded R baseline (QR
+// decomposition). Matrices are row-major and sized for model dimensions
+// (typically ≤ a few hundred columns), not for bulk data.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix returns a zero-valued rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices; all rows must have equal length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("linalg: ragged input: row %d has %d cols, want %d", i, len(r), cols)
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared backing array).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Add accumulates other into m element-wise. Dimensions must match.
+func (m *Matrix) Add(other *Matrix) error {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return fmt.Errorf("linalg: add dimension mismatch %dx%d vs %dx%d", m.Rows, m.Cols, other.Rows, other.Cols)
+	}
+	for i := range m.Data {
+		m.Data[i] += other.Data[i]
+	}
+	return nil
+}
+
+// Scale multiplies every element by s.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Mul returns m × other.
+func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
+	if m.Cols != other.Rows {
+		return nil, fmt.Errorf("linalg: mul dimension mismatch %dx%d × %dx%d", m.Rows, m.Cols, other.Rows, other.Cols)
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < m.Cols; k++ {
+			a := mrow[k]
+			if a == 0 {
+				continue
+			}
+			brow := other.Row(k)
+			for j := range orow {
+				orow[j] += a * brow[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m × v as a new vector.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if m.Cols != len(v) {
+		return nil, fmt.Errorf("linalg: mulvec dimension mismatch %dx%d × %d", m.Rows, m.Cols, len(v))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), v)
+	}
+	return out, nil
+}
+
+// Dot returns the inner product of a and b; the slices must have equal length.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// SqDist returns the squared Euclidean distance between a and b.
+func SqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// ErrNotPositiveDefinite is returned by CholeskySolve when the system matrix
+// is singular or not positive definite (e.g. collinear features).
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// CholeskySolve solves A·x = b for symmetric positive-definite A, in-place
+// factoring a copy of A. This is the solver used by the Newton–Raphson GLM
+// step (A = XᵀWX, b = XᵀWz).
+func CholeskySolve(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("linalg: cholesky needs square matrix, got %dx%d", n, a.Cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: cholesky rhs length %d, want %d", len(b), n)
+	}
+	l := a.Clone()
+	// Factor: L lower-triangular with A = L·Lᵀ.
+	for j := 0; j < n; j++ {
+		d := l.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := l.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	// Forward solve L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back solve Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// QRSolve solves the least-squares problem min ‖A·x − b‖₂ via Householder QR.
+// It is deliberately the textbook dense decomposition: the paper notes that
+// stock R implements lm() this way, while Distributed R uses Newton–Raphson;
+// the single-threaded baseline (internal/rbaseline) calls this.
+func QRSolve(a *Matrix, b []float64) ([]float64, error) {
+	m, n := a.Rows, a.Cols
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: qr rhs length %d, want %d", len(b), m)
+	}
+	if m < n {
+		return nil, fmt.Errorf("linalg: qr underdetermined system %dx%d", m, n)
+	}
+	r := a.Clone()
+	rhs := make([]float64, m)
+	copy(rhs, b)
+	for k := 0; k < n; k++ {
+		// Householder vector for column k.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm += r.At(i, k) * r.At(i, k)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return nil, errors.New("linalg: rank-deficient matrix in QR")
+		}
+		if r.At(k, k) > 0 {
+			norm = -norm
+		}
+		v := make([]float64, m-k)
+		for i := k; i < m; i++ {
+			v[i-k] = r.At(i, k)
+		}
+		v[0] -= norm
+		vnorm := Norm2(v)
+		if vnorm == 0 {
+			continue
+		}
+		for i := range v {
+			v[i] /= vnorm
+		}
+		// Apply H = I − 2vvᵀ to remaining columns of R and to rhs.
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * r.At(i, j)
+			}
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-2*dot*v[i-k])
+			}
+		}
+		var dot float64
+		for i := k; i < m; i++ {
+			dot += v[i-k] * rhs[i]
+		}
+		for i := k; i < m; i++ {
+			rhs[i] -= 2 * dot * v[i-k]
+		}
+	}
+	// Back substitution on the upper-triangular R.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := rhs[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		d := r.At(i, i)
+		if d == 0 {
+			return nil, errors.New("linalg: singular R in QR back substitution")
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// Symmetrize averages m with its transpose in place (guards accumulated
+// floating-point asymmetry before a Cholesky factorization).
+func (m *Matrix) Symmetrize() {
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			v := (m.At(i, j) + m.At(j, i)) / 2
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+}
+
+// AddRidge adds lambda to the diagonal (Tikhonov regularization; also used to
+// nudge nearly singular normal equations to positive definiteness).
+func (m *Matrix) AddRidge(lambda float64) {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	for i := 0; i < n; i++ {
+		m.Set(i, i, m.At(i, i)+lambda)
+	}
+}

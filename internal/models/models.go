@@ -1,0 +1,240 @@
+// Package models implements §5 of the paper: saving machine-learning models
+// created in Distributed R into the database and applying them with
+// in-database parallel prediction functions. Models are serialized (gob)
+// and stored as binary blobs in the database's distributed file system —
+// "since models can be large ... we don't store them as part of a regular
+// table" — while their metadata lives in an actual R_Models table (Fig. 10)
+// queryable with plain SQL. Prediction functions (KmeansPredict, GlmPredict,
+// RfPredict) are transform UDFs: the query planner fans out parallel
+// instances, each of which fetches the model from DFS (preferring the local
+// replica), deserializes it, and scores its partition of rows.
+package models
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"regexp"
+
+	"verticadr/internal/algos"
+	"verticadr/internal/dfs"
+	"verticadr/internal/sqlexec"
+	"verticadr/internal/udf"
+)
+
+// Model type tags stored in R_Models.type.
+const (
+	TypeKmeans       = "kmeans"
+	TypeRegression   = "regression"
+	TypeGLM          = "glm"
+	TypeRandomForest = "randomforest"
+)
+
+// ServiceName is the UDF service key for the model manager.
+const ServiceName = "models"
+
+// MetaTable is the metadata table name (Fig. 10).
+const MetaTable = "R_Models"
+
+// envelope is the gob wire format: exactly one payload field is set.
+type envelope struct {
+	Kind   string
+	Kmeans *algos.KmeansModel
+	GLM    *algos.GLMModel
+	Forest *algos.ForestModel
+}
+
+// Serialize encodes a supported model, returning its bytes and type tag.
+func Serialize(model any) ([]byte, string, error) {
+	env := envelope{}
+	switch m := model.(type) {
+	case *algos.KmeansModel:
+		env.Kind, env.Kmeans = TypeKmeans, m
+	case *algos.GLMModel:
+		if m.Family == algos.Gaussian {
+			env.Kind = TypeRegression
+		} else {
+			env.Kind = TypeGLM
+		}
+		env.GLM = m
+	case *algos.ForestModel:
+		env.Kind, env.Forest = TypeRandomForest, m
+	default:
+		return nil, "", fmt.Errorf("models: unsupported model type %T", model)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return nil, "", fmt.Errorf("models: serialize: %w", err)
+	}
+	return buf.Bytes(), env.Kind, nil
+}
+
+// Deserialize decodes model bytes back into the concrete model value.
+func Deserialize(data []byte) (any, string, error) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return nil, "", fmt.Errorf("models: deserialize: %w", err)
+	}
+	switch {
+	case env.Kmeans != nil:
+		return env.Kmeans, env.Kind, nil
+	case env.GLM != nil:
+		return env.GLM, env.Kind, nil
+	case env.Forest != nil:
+		return env.Forest, env.Kind, nil
+	default:
+		return nil, "", fmt.Errorf("models: empty model envelope (kind %q)", env.Kind)
+	}
+}
+
+// Database is the database surface the manager needs; internal/vertica.DB
+// satisfies it.
+type Database interface {
+	Exec(sql string) error
+	Query(sql string) (*sqlexec.Result, error)
+	UDFs() *udf.Registry
+	RegisterService(name string, svc any)
+	DFS() *dfs.DFS
+}
+
+var nameRE = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_.-]*$`)
+
+// Manager deploys models to the database and serves them to prediction UDFs.
+type Manager struct {
+	db  Database
+	acl *acl
+}
+
+// NewManager creates the R_Models metadata table, registers the manager as
+// a UDF service, and installs the prediction functions.
+func NewManager(db Database) (*Manager, error) {
+	m := &Manager{db: db, acl: newACL()}
+	err := db.Exec(`CREATE TABLE ` + MetaTable + ` (model VARCHAR, owner VARCHAR, type VARCHAR, size INTEGER, description VARCHAR)`)
+	if err != nil {
+		return nil, fmt.Errorf("models: create metadata table: %w", err)
+	}
+	db.RegisterService(ServiceName, m)
+	if err := db.UDFs().Register("KmeansPredict", func() udf.Transform { return predictUDF{want: TypeKmeans} }); err != nil {
+		return nil, err
+	}
+	if err := db.UDFs().Register("GlmPredict", func() udf.Transform { return predictUDF{want: TypeGLM} }); err != nil {
+		return nil, err
+	}
+	if err := db.UDFs().Register("RfPredict", func() udf.Transform { return predictUDF{want: TypeRandomForest} }); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func blobPath(name string) string { return "models/" + name }
+
+// Deploy serializes a model, stores the blob in DFS (replicated) and records
+// metadata in R_Models — the server half of deploy.model (Fig. 3 line 9).
+func (m *Manager) Deploy(name, owner, description string, model any) error {
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("models: invalid model name %q", name)
+	}
+	if exists, err := m.exists(name); err != nil {
+		return err
+	} else if exists {
+		return fmt.Errorf("models: model %q already exists", name)
+	}
+	data, kind, err := Serialize(model)
+	if err != nil {
+		return err
+	}
+	if err := m.db.DFS().Write(blobPath(name), data); err != nil {
+		return err
+	}
+	ins := fmt.Sprintf(`INSERT INTO %s VALUES ('%s', '%s', '%s', %d, '%s')`,
+		MetaTable, name, sqlEscape(owner), kind, len(data), sqlEscape(description))
+	if err := m.db.Exec(ins); err != nil {
+		// Roll back the blob so namespace and metadata stay consistent.
+		_ = m.db.DFS().Delete(blobPath(name))
+		return err
+	}
+	m.acl.register(name, owner)
+	return nil
+}
+
+func sqlEscape(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == '\'' {
+			out = append(out, '\'')
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+func (m *Manager) exists(name string) (bool, error) {
+	res, err := m.db.Query(fmt.Sprintf(`SELECT count(*) AS n FROM %s WHERE model = '%s'`, MetaTable, sqlEscape(name)))
+	if err != nil {
+		return false, err
+	}
+	return res.Rows()[0][0].(int64) > 0, nil
+}
+
+// Load fetches and deserializes a deployed model, preferring the node-local
+// DFS replica when node >= 0.
+func (m *Manager) Load(name string, node int) (any, string, error) {
+	var data []byte
+	var err error
+	if node >= 0 {
+		data, _, err = m.db.DFS().ReadFrom(node, blobPath(name))
+	} else {
+		data, err = m.db.DFS().Read(blobPath(name))
+	}
+	if err != nil {
+		return nil, "", fmt.Errorf("models: model %q not found in DFS: %w", name, err)
+	}
+	return Deserialize(data)
+}
+
+// Drop removes a model's blob and metadata.
+func (m *Manager) Drop(name string) error {
+	exists, err := m.exists(name)
+	if err != nil {
+		return err
+	}
+	if !exists {
+		return fmt.Errorf("models: model %q does not exist", name)
+	}
+	if err := m.db.DFS().Delete(blobPath(name)); err != nil {
+		return err
+	}
+	m.acl.forget(name)
+	// The SQL subset has no DELETE; rebuild the metadata table without the
+	// dropped row (metadata is tiny — Fig. 10 scale).
+	rows, err := m.db.Query(`SELECT model, owner, type, size, description FROM ` + MetaTable)
+	if err != nil {
+		return err
+	}
+	if err := m.db.Exec(`DROP TABLE ` + MetaTable); err != nil {
+		return err
+	}
+	if err := m.db.Exec(`CREATE TABLE ` + MetaTable + ` (model VARCHAR, owner VARCHAR, type VARCHAR, size INTEGER, description VARCHAR)`); err != nil {
+		return err
+	}
+	for _, r := range rows.Rows() {
+		if r[0].(string) == name {
+			continue
+		}
+		ins := fmt.Sprintf(`INSERT INTO %s VALUES ('%s', '%s', '%s', %d, '%s')`,
+			MetaTable, sqlEscape(r[0].(string)), sqlEscape(r[1].(string)), r[2].(string), r[3].(int64), sqlEscape(r[4].(string)))
+		if err := m.db.Exec(ins); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// List returns the R_Models rows (model, owner, type, size, description).
+func (m *Manager) List() ([][]any, error) {
+	res, err := m.db.Query(`SELECT model, owner, type, size, description FROM ` + MetaTable + ` ORDER BY model`)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows(), nil
+}

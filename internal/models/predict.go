@@ -1,0 +1,158 @@
+package models
+
+import (
+	"fmt"
+
+	"verticadr/internal/algos"
+	"verticadr/internal/colstore"
+	"verticadr/internal/udf"
+)
+
+// predictUDF is the shared implementation behind KmeansPredict, GlmPredict
+// and RfPredict (§5, Fig. 11). Each parallel instance fetches the named
+// model from DFS (local replica preferred), deserializes it once, and scores
+// its partition of rows. `want` documents the expected family; a model of a
+// different family is rejected with a clear error.
+type predictUDF struct {
+	want string
+}
+
+// OutputSchema: a single prediction column. KmeansPredict emits the nearest
+// cluster index (INTEGER); the regression predictors emit FLOAT.
+func (p predictUDF) OutputSchema(in colstore.Schema, params udf.Params) (colstore.Schema, error) {
+	if len(in) == 0 {
+		return nil, fmt.Errorf("models: prediction needs at least one feature column")
+	}
+	for _, c := range in {
+		if c.Type != colstore.TypeFloat64 && c.Type != colstore.TypeInt64 {
+			return nil, fmt.Errorf("models: feature column %q is %v, need numeric", c.Name, c.Type)
+		}
+	}
+	if _, err := params.String("model"); err != nil {
+		return nil, err
+	}
+	if p.want == TypeKmeans {
+		return colstore.Schema{{Name: "cluster", Type: colstore.TypeInt64}}, nil
+	}
+	return colstore.Schema{{Name: "prediction", Type: colstore.TypeFloat64}}, nil
+}
+
+func (p predictUDF) ProcessPartition(ctx *udf.Ctx, in udf.BatchReader, out udf.BatchWriter) error {
+	svc, err := ctx.Service(ServiceName)
+	if err != nil {
+		return err
+	}
+	mgr, ok := svc.(*Manager)
+	if !ok {
+		return fmt.Errorf("models: service %q is %T, not *Manager", ServiceName, svc)
+	}
+	name, err := ctx.Params.String("model")
+	if err != nil {
+		return err
+	}
+	// Retrieve from DFS as seen from this database node; deserialize once
+	// per instance (the paper's "retrieve the models from DFS, deserialize
+	// and load them in R"). An optional user parameter enforces the model's
+	// access permissions.
+	user := ctx.Params.StringOr("user", "")
+	model, kind, err := mgr.LoadAs(name, ctx.NodeID, user)
+	if err != nil {
+		return err
+	}
+	scorer, dims, err := p.scorer(model, kind)
+	if err != nil {
+		return err
+	}
+	row := make([]float64, 0, 16)
+	for {
+		b, err := in.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		if dims > 0 && len(b.Cols) != dims {
+			return fmt.Errorf("models: model %q expects %d features, query passed %d", name, dims, len(b.Cols))
+		}
+		n := b.Len()
+		if p.want == TypeKmeans {
+			preds := make([]int64, n)
+			for r := 0; r < n; r++ {
+				row = gatherRow(row[:0], b, r)
+				preds[r] = int64(scorer(row))
+			}
+			ob := &colstore.Batch{
+				Schema: colstore.Schema{{Name: "cluster", Type: colstore.TypeInt64}},
+				Cols:   []*colstore.Vector{colstore.IntVector(preds)},
+			}
+			if err := out.Write(ob); err != nil {
+				return err
+			}
+			continue
+		}
+		preds := make([]float64, n)
+		for r := 0; r < n; r++ {
+			row = gatherRow(row[:0], b, r)
+			preds[r] = scorer(row)
+		}
+		ob := &colstore.Batch{
+			Schema: colstore.Schema{{Name: "prediction", Type: colstore.TypeFloat64}},
+			Cols:   []*colstore.Vector{colstore.FloatVector(preds)},
+		}
+		if err := out.Write(ob); err != nil {
+			return err
+		}
+	}
+}
+
+// scorer adapts the concrete model to a row-scoring closure and reports the
+// expected feature count (0 = unchecked).
+func (p predictUDF) scorer(model any, kind string) (func([]float64) float64, int, error) {
+	switch m := model.(type) {
+	case *algos.KmeansModel:
+		if p.want != TypeKmeans {
+			return nil, 0, fmt.Errorf("models: %s applied to a kmeans model", p.funcName())
+		}
+		dims := 0
+		if len(m.Centers) > 0 {
+			dims = len(m.Centers[0])
+		}
+		return func(row []float64) float64 { return float64(m.Assign(row)) }, dims, nil
+	case *algos.GLMModel:
+		if p.want != TypeGLM {
+			return nil, 0, fmt.Errorf("models: %s applied to a %s model", p.funcName(), kind)
+		}
+		return m.Predict, len(m.Coefficients) - 1, nil
+	case *algos.ForestModel:
+		if p.want != TypeRandomForest {
+			return nil, 0, fmt.Errorf("models: %s applied to a randomforest model", p.funcName())
+		}
+		return m.Predict, m.Features, nil
+	default:
+		return nil, 0, fmt.Errorf("models: cannot score model of type %T", model)
+	}
+}
+
+func (p predictUDF) funcName() string {
+	switch p.want {
+	case TypeKmeans:
+		return "KmeansPredict"
+	case TypeRandomForest:
+		return "RfPredict"
+	default:
+		return "GlmPredict"
+	}
+}
+
+func gatherRow(dst []float64, b *colstore.Batch, r int) []float64 {
+	for _, col := range b.Cols {
+		switch col.Type {
+		case colstore.TypeFloat64:
+			dst = append(dst, col.Floats[r])
+		case colstore.TypeInt64:
+			dst = append(dst, float64(col.Ints[r]))
+		}
+	}
+	return dst
+}

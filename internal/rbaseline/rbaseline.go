@@ -1,0 +1,124 @@
+// Package rbaseline is the stock-R stand-in the paper compares against in
+// §7.3.1 (Figs. 17–18): strictly single-threaded implementations of K-means
+// and linear regression. Its lm() deliberately solves the least-squares
+// problem with a dense QR decomposition — "R uses matrix decomposition to
+// implement regression, while Distributed R uses the Newton-Raphson
+// technique" — so the same accuracy arrives with very different work, and
+// none of it parallelizes.
+package rbaseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"verticadr/internal/linalg"
+)
+
+// KmeansResult is a single-node clustering fit.
+type KmeansResult struct {
+	Centers    [][]float64
+	Iterations int
+	Objective  float64
+	Converged  bool
+}
+
+// Kmeans runs sequential Lloyd's iterations on an in-memory dataset; one
+// goroutine, one core, exactly like calling kmeans() in an R console.
+func Kmeans(points [][]float64, k, maxIter int, seed int64) (*KmeansResult, error) {
+	n := len(points)
+	if k <= 0 || n < k {
+		return nil, fmt.Errorf("rbaseline: kmeans needs 1 <= K <= rows (K=%d, rows=%d)", k, n)
+	}
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	d := len(points[0])
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, k)
+	for i, idx := range rng.Perm(n)[:k] {
+		c := make([]float64, d)
+		copy(c, points[idx])
+		centers[i] = c
+	}
+	res := &KmeansResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for i := range sums {
+			sums[i] = make([]float64, d)
+		}
+		var obj float64
+		for _, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for ci, c := range centers {
+				if dd := linalg.SqDist(p, c); dd < bestD {
+					best, bestD = ci, dd
+				}
+			}
+			counts[best]++
+			obj += bestD
+			for j, v := range p {
+				sums[best][j] += v
+			}
+		}
+		var moved float64
+		for ci := range centers {
+			nc := make([]float64, d)
+			if counts[ci] == 0 {
+				copy(nc, centers[ci])
+			} else {
+				for j := range nc {
+					nc[j] = sums[ci][j] / float64(counts[ci])
+				}
+			}
+			moved += linalg.SqDist(nc, centers[ci])
+			centers[ci] = nc
+		}
+		res.Iterations = iter + 1
+		res.Objective = obj
+		if math.Sqrt(moved) < 1e-4 {
+			res.Converged = true
+			break
+		}
+	}
+	res.Centers = centers
+	return res, nil
+}
+
+// LMResult is a single-node regression fit.
+type LMResult struct {
+	Coefficients []float64 // intercept first
+}
+
+// LM fits ordinary least squares by materializing the full design matrix
+// (with intercept column) and running a Householder QR decomposition — the
+// O(n·p²) single-threaded path of stock R's lm().
+func LM(x [][]float64, y []float64) (*LMResult, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("rbaseline: lm needs matching non-empty x and y")
+	}
+	p := len(x[0]) + 1
+	design := linalg.NewMatrix(n, p)
+	for i, row := range x {
+		design.Set(i, 0, 1)
+		for j, v := range row {
+			design.Set(i, j+1, v)
+		}
+	}
+	beta, err := linalg.QRSolve(design, y)
+	if err != nil {
+		return nil, fmt.Errorf("rbaseline: lm: %w", err)
+	}
+	return &LMResult{Coefficients: beta}, nil
+}
+
+// Predict applies the fitted coefficients to one feature row.
+func (m *LMResult) Predict(row []float64) float64 {
+	v := m.Coefficients[0]
+	for j, x := range row {
+		v += m.Coefficients[j+1] * x
+	}
+	return v
+}

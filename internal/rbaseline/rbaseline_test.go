@@ -1,0 +1,85 @@
+package rbaseline
+
+import (
+	"math"
+	"testing"
+
+	"verticadr/internal/workload"
+)
+
+func TestKmeansRecovery(t *testing.T) {
+	data := workload.GenKmeans(1, 400, 3, 3, 0.1)
+	res, err := Kmeans(data.Points, 3, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	for _, pc := range data.Centers {
+		best := math.Inf(1)
+		for _, fc := range res.Centers {
+			d := 0.0
+			for j := range pc {
+				d += (pc[j] - fc[j]) * (pc[j] - fc[j])
+			}
+			if d < best {
+				best = d
+			}
+		}
+		if math.Sqrt(best) > 1 {
+			t.Fatalf("center not recovered (%v)", math.Sqrt(best))
+		}
+	}
+}
+
+func TestKmeansValidation(t *testing.T) {
+	if _, err := Kmeans([][]float64{{1}}, 2, 10, 1); err == nil {
+		t.Fatal("K > n should fail")
+	}
+	if _, err := Kmeans([][]float64{{1}}, 0, 10, 1); err == nil {
+		t.Fatal("K = 0 should fail")
+	}
+}
+
+func TestLMMatchesPlantedBeta(t *testing.T) {
+	data := workload.GenLinear(5, 3000, 4, 0.01)
+	res, err := LM(data.X, data.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range data.Beta {
+		if math.Abs(res.Coefficients[i]-b) > 0.01 {
+			t.Fatalf("coef %d = %v want %v", i, res.Coefficients[i], b)
+		}
+	}
+	if math.Abs(res.Predict(data.X[0])-data.Y[0]) > 0.1 {
+		t.Fatal("prediction off")
+	}
+}
+
+func TestLMValidation(t *testing.T) {
+	if _, err := LM(nil, nil); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	if _, err := LM([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+// The two solvers (QR here, Newton–Raphson in internal/algos) must agree —
+// checked again at higher level in the ablation bench; this is the unit
+// guard.
+func TestLMAgreesWithNormalEquationsShape(t *testing.T) {
+	data := workload.GenLinear(9, 500, 2, 0)
+	res, err := LM(data.X, data.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noiseless: residuals ~ 0.
+	for i := 0; i < 50; i++ {
+		if math.Abs(res.Predict(data.X[i])-data.Y[i]) > 1e-8 {
+			t.Fatalf("residual too large at %d", i)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package simnet
+
+// Queue is an unbounded producer/consumer counter used to model pipelined
+// stages (a transfer buffer between a producer device and a consumer
+// device). Put makes items available; Get blocks until one is available.
+// Close marks the stream ended: Get returns false once drained.
+type Queue struct {
+	sim     *Sim
+	n       int
+	closed  bool
+	waiters []*Proc
+}
+
+// NewQueue creates an empty open queue.
+func (s *Sim) NewQueue() *Queue { return &Queue{sim: s} }
+
+// Put makes k items available and wakes all waiters (they re-check).
+func (q *Queue) Put(k int) {
+	s := q.sim
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q.n += k
+	for _, w := range q.waiters {
+		s.wakeLocked(w)
+	}
+	q.waiters = nil
+}
+
+// Close ends the stream; blocked and future Gets on an empty queue return
+// false.
+func (q *Queue) Close() {
+	s := q.sim
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q.closed = true
+	for _, w := range q.waiters {
+		s.wakeLocked(w)
+	}
+	q.waiters = nil
+}
+
+// Get takes one item, blocking while the queue is empty and open. It
+// reports false when the queue is closed and drained.
+func (q *Queue) Get(p *Proc) bool {
+	s := q.sim
+	for {
+		s.mu.Lock()
+		if q.n > 0 {
+			q.n--
+			s.mu.Unlock()
+			return true
+		}
+		if q.closed {
+			s.mu.Unlock()
+			return false
+		}
+		q.waiters = append(q.waiters, p)
+		s.mu.Unlock()
+		p.block()
+	}
+}

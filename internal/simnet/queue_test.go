@@ -1,0 +1,90 @@
+package simnet
+
+import "testing"
+
+func TestQueuePipelines(t *testing.T) {
+	// Producer makes an item every 1s (10 items); consumer takes 2s each.
+	// Pipelined total: first item ready at 1s, consumer busy 20s → 21s.
+	s := New()
+	q := s.NewQueue()
+	s.Go("producer", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(1)
+			q.Put(1)
+		}
+		q.Close()
+	})
+	var consumed int
+	s.Go("consumer", func(p *Proc) {
+		for q.Get(p) {
+			p.Sleep(2)
+			consumed++
+		}
+	})
+	total := s.Run()
+	if consumed != 10 {
+		t.Fatalf("consumed %d", consumed)
+	}
+	if !almost(total, 21) {
+		t.Fatalf("total = %v, want 21", total)
+	}
+}
+
+func TestQueueMultipleConsumers(t *testing.T) {
+	s := New()
+	q := s.NewQueue()
+	s.Go("producer", func(p *Proc) {
+		q.Put(6)
+		q.Close()
+	})
+	var done [3]int
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Go("consumer", func(p *Proc) {
+			for q.Get(p) {
+				p.Sleep(1)
+				done[i]++
+			}
+		})
+	}
+	total := s.Run()
+	if done[0]+done[1]+done[2] != 6 {
+		t.Fatalf("consumed %v", done)
+	}
+	if !almost(total, 2) {
+		t.Fatalf("3 consumers on 6 items: total = %v, want 2", total)
+	}
+}
+
+func TestQueueCloseUnblocks(t *testing.T) {
+	s := New()
+	q := s.NewQueue()
+	got := true
+	s.Go("consumer", func(p *Proc) {
+		got = q.Get(p)
+	})
+	s.Go("closer", func(p *Proc) {
+		p.Sleep(1)
+		q.Close()
+	})
+	total := s.Run()
+	if got || !almost(total, 1) {
+		t.Fatalf("got=%v total=%v", got, total)
+	}
+}
+
+func TestQueueGetAfterClosedDrained(t *testing.T) {
+	s := New()
+	q := s.NewQueue()
+	var first, second bool
+	s.Go("p", func(p *Proc) {
+		q.Put(1)
+		q.Close()
+		first = q.Get(p)
+		second = q.Get(p)
+	})
+	s.Run()
+	if !first || second {
+		t.Fatalf("first=%v second=%v", first, second)
+	}
+}

@@ -1,0 +1,111 @@
+package spark
+
+import (
+	"math"
+	"testing"
+
+	"verticadr/internal/colstore"
+	"verticadr/internal/darray"
+	"verticadr/internal/dr"
+	"verticadr/internal/workload"
+)
+
+func TestFromFrame(t *testing.T) {
+	c, err := dr.Start(dr.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	frame, _ := darray.NewFrame(c, 3)
+	schema := colstore.Schema{
+		{Name: "x", Type: colstore.TypeFloat64},
+		{Name: "n", Type: colstore.TypeInt64},
+		{Name: "s", Type: colstore.TypeString},
+	}
+	total := 0
+	for p := 0; p < 3; p++ {
+		b := colstore.NewBatch(schema)
+		for i := 0; i <= p; i++ { // uneven partitions: 1, 2, 3 rows
+			_ = b.AppendRow(float64(p)+0.5, int64(i), "z")
+			total++
+		}
+		if err := frame.Fill(p, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs := newFS(t, 2, 1024)
+	ctx, _ := NewContext(fs, 2)
+	rdd, err := FromFrame(ctx, frame, []string{"x", "n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rdd.NumPartitions() != 3 {
+		t.Fatalf("parts = %d", rdd.NumPartitions())
+	}
+	rows, err := rdd.Collect()
+	if err != nil || len(rows) != total {
+		t.Fatalf("collect: %d rows, %v", len(rows), err)
+	}
+	if rows[0][0] != 0.5 || rows[len(rows)-1][0] != 2.5 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// String column selection is rejected.
+	if _, err := FromFrame(ctx, frame, []string{"s"}); err == nil {
+		t.Fatal("string column should fail")
+	}
+	if _, err := FromFrame(ctx, frame, []string{"zz"}); err == nil {
+		t.Fatal("missing column should fail")
+	}
+	empty, _ := darray.NewFrame(c, 1)
+	if _, err := FromFrame(ctx, empty, nil); err == nil {
+		t.Fatal("empty frame should fail")
+	}
+}
+
+func TestVerticaToSparkKmeans(t *testing.T) {
+	// The §8 extension end to end: frame → RDD → MLlib-style K-means.
+	c, err := dr.Start(dr.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	data := workload.GenKmeans(21, 400, 3, 2, 0.1)
+	schema := colstore.Schema{
+		{Name: "a", Type: colstore.TypeFloat64},
+		{Name: "b", Type: colstore.TypeFloat64},
+		{Name: "c", Type: colstore.TypeFloat64},
+	}
+	frame, _ := darray.NewFrame(c, 4)
+	for p := 0; p < 4; p++ {
+		b := colstore.NewBatch(schema)
+		for i := p * 100; i < (p+1)*100; i++ {
+			_ = b.AppendRow(data.Points[i][0], data.Points[i][1], data.Points[i][2])
+		}
+		_ = frame.Fill(p, b)
+	}
+	fs := newFS(t, 2, 1024)
+	ctx, _ := NewContext(fs, 4)
+	rdd, err := FromFrame(ctx, frame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := Kmeans(rdd.Cache(), 2, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range data.Centers {
+		best := math.Inf(1)
+		for _, fc := range model.Centers {
+			var d float64
+			for j := range pc {
+				d += (pc[j] - fc[j]) * (pc[j] - fc[j])
+			}
+			if d < best {
+				best = d
+			}
+		}
+		if math.Sqrt(best) > 1 {
+			t.Fatalf("center missed by %v", math.Sqrt(best))
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package sqlexec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"verticadr/internal/colstore"
+	"verticadr/internal/sqlparse"
+)
+
+func testBatch() *colstore.Batch {
+	return &colstore.Batch{
+		Schema: colstore.Schema{
+			{Name: "i", Type: colstore.TypeInt64},
+			{Name: "f", Type: colstore.TypeFloat64},
+			{Name: "s", Type: colstore.TypeString},
+			{Name: "b", Type: colstore.TypeBool},
+		},
+		Cols: []*colstore.Vector{
+			colstore.IntVector([]int64{1, 2, 3}),
+			colstore.FloatVector([]float64{0.5, -1.5, 2.0}),
+			colstore.StringVector([]string{"a", "B", "c"}),
+			colstore.BoolVector([]bool{true, false, true}),
+		},
+	}
+}
+
+func expr(t *testing.T, s string) sqlparse.Expr {
+	t.Helper()
+	stmt, err := sqlparse.Parse("SELECT " + s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return stmt.(*sqlparse.Select).Items[0].Expr
+}
+
+func evalOne(t *testing.T, s string) *colstore.Vector {
+	t.Helper()
+	v, err := evalExpr(expr(t, s), testBatch())
+	if err != nil {
+		t.Fatalf("eval %q: %v", s, err)
+	}
+	return v
+}
+
+func TestEvalColumnAndLiterals(t *testing.T) {
+	if v := evalOne(t, "i"); v.Ints[2] != 3 {
+		t.Fatal("col ref")
+	}
+	if v := evalOne(t, "42"); v.Type != colstore.TypeInt64 || v.Ints[0] != 42 || v.Len() != 3 {
+		t.Fatal("int literal broadcast")
+	}
+	if v := evalOne(t, "1.5"); v.Floats[1] != 1.5 {
+		t.Fatal("float literal")
+	}
+	if v := evalOne(t, "'x'"); v.Strs[2] != "x" {
+		t.Fatal("string literal")
+	}
+	if v := evalOne(t, "TRUE"); !v.Bools[0] {
+		t.Fatal("bool literal")
+	}
+}
+
+func TestEvalArithmeticTyping(t *testing.T) {
+	// int op int stays int except division.
+	if v := evalOne(t, "i + 1"); v.Type != colstore.TypeInt64 || v.Ints[0] != 2 {
+		t.Fatalf("int add: %+v", v)
+	}
+	if v := evalOne(t, "i * i"); v.Ints[2] != 9 {
+		t.Fatal("int mul")
+	}
+	if v := evalOne(t, "i / 2"); v.Type != colstore.TypeFloat64 || v.Floats[0] != 0.5 {
+		t.Fatalf("division must be float: %+v", v)
+	}
+	// Mixed int/float widens.
+	if v := evalOne(t, "i + f"); v.Type != colstore.TypeFloat64 || v.Floats[0] != 1.5 {
+		t.Fatal("mixed widening")
+	}
+	if v := evalOne(t, "-f"); v.Floats[1] != 1.5 {
+		t.Fatal("unary minus")
+	}
+	if v := evalOne(t, "-i"); v.Type != colstore.TypeInt64 || v.Ints[0] != -1 {
+		t.Fatal("unary minus int")
+	}
+}
+
+func TestEvalComparisonsAndLogic(t *testing.T) {
+	if v := evalOne(t, "i >= 2"); v.Bools[0] || !v.Bools[1] || !v.Bools[2] {
+		t.Fatalf("compare: %v", v.Bools)
+	}
+	if v := evalOne(t, "i = 2 OR i = 3"); v.Bools[0] || !v.Bools[1] {
+		t.Fatal("or")
+	}
+	if v := evalOne(t, "b AND i < 3"); !v.Bools[0] || v.Bools[2] {
+		t.Fatal("and")
+	}
+	if v := evalOne(t, "NOT b"); v.Bools[0] || !v.Bools[1] {
+		t.Fatal("not")
+	}
+	if v := evalOne(t, "s <> 'a'"); v.Bools[0] || !v.Bools[1] {
+		t.Fatal("string compare")
+	}
+	// int vs float numeric comparison.
+	if v := evalOne(t, "i > f"); !v.Bools[0] || !v.Bools[1] {
+		t.Fatal("cross-type compare")
+	}
+}
+
+func TestEvalScalarFunctions(t *testing.T) {
+	if v := evalOne(t, "abs(f)"); v.Floats[1] != 1.5 {
+		t.Fatal("abs")
+	}
+	if v := evalOne(t, "sqrt(i + 1)"); math.Abs(v.Floats[2]-2) > 1e-12 {
+		t.Fatal("sqrt")
+	}
+	if v := evalOne(t, "floor(f)"); v.Floats[0] != 0 || v.Floats[1] != -2 {
+		t.Fatal("floor")
+	}
+	if v := evalOne(t, "ceil(f)"); v.Floats[0] != 1 {
+		t.Fatal("ceil")
+	}
+	if v := evalOne(t, "exp(0)"); v.Floats[0] != 1 {
+		t.Fatal("exp")
+	}
+	if v := evalOne(t, "ln(exp(1))"); math.Abs(v.Floats[0]-1) > 1e-12 {
+		t.Fatal("ln")
+	}
+	if v := evalOne(t, "upper(s)"); v.Strs[0] != "A" {
+		t.Fatal("upper")
+	}
+	if v := evalOne(t, "lower(s)"); v.Strs[1] != "b" {
+		t.Fatal("lower")
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	bad := []string{
+		"zzz",         // unknown column
+		"i AND b",     // AND on non-bool
+		"NOT i",       // NOT on non-bool
+		"-s",          // minus on string
+		"s + 1",       // arithmetic on string
+		"abs(s)",      // math on string
+		"upper(i)",    // upper on int
+		"abs(i, i)",   // arity
+		"nosuchfn(i)", // unknown function
+		"sum(i)",      // aggregate outside aggregation context
+		"i = b",       // incomparable types
+	}
+	for _, s := range bad {
+		if _, err := evalExpr(expr(t, s), testBatch()); err == nil {
+			t.Fatalf("expected error for %q", s)
+		}
+	}
+}
+
+func TestExtractPushdown(t *testing.T) {
+	cases := map[string]*colstore.Pred{
+		"i > 5":     {Col: "i", Op: colstore.OpGT, Val: int64(5)},
+		"5 > i":     {Col: "i", Op: colstore.OpLT, Val: int64(5)},
+		"f <= 1.5":  {Col: "f", Op: colstore.OpLE, Val: 1.5},
+		"s = 'x'":   {Col: "s", Op: colstore.OpEQ, Val: "x"},
+		"b <> TRUE": {Col: "b", Op: colstore.OpNE, Val: true},
+	}
+	for s, want := range cases {
+		got := extractPushdown(expr(t, s))
+		if got == nil || got.Col != want.Col || got.Op != want.Op || got.Val != want.Val {
+			t.Fatalf("pushdown %q = %+v, want %+v", s, got, want)
+		}
+	}
+	// Not pushdownable shapes.
+	for _, s := range []string{"i + 1 > 5", "i > f", "i > 5 AND f < 2", "NOT b"} {
+		if got := extractPushdown(expr(t, s)); got != nil {
+			t.Fatalf("%q should not push down, got %+v", s, got)
+		}
+	}
+}
+
+func TestLiteral(t *testing.T) {
+	if v, ok := Literal(expr(t, "42")); !ok || v != int64(42) {
+		t.Fatal("int literal")
+	}
+	if v, ok := Literal(expr(t, "-42")); !ok || v != int64(-42) {
+		t.Fatal("negative int literal")
+	}
+	if v, ok := Literal(expr(t, "-1.5")); !ok || v != -1.5 {
+		t.Fatal("negative float literal")
+	}
+	if v, ok := Literal(expr(t, "'hi'")); !ok || v != "hi" {
+		t.Fatal("string literal")
+	}
+	if v, ok := Literal(expr(t, "FALSE")); !ok || v != false {
+		t.Fatal("bool literal")
+	}
+	if _, ok := Literal(expr(t, "1 + 1")); ok {
+		t.Fatal("expression is not a literal")
+	}
+	if _, ok := Literal(expr(t, "-'x'")); ok {
+		t.Fatal("minus string is not a literal")
+	}
+}
+
+func TestExprTypeInference(t *testing.T) {
+	schema := testBatch().Schema
+	cases := map[string]colstore.Type{
+		"i":        colstore.TypeInt64,
+		"f":        colstore.TypeFloat64,
+		"s":        colstore.TypeString,
+		"b":        colstore.TypeBool,
+		"i + 1":    colstore.TypeInt64,
+		"i + f":    colstore.TypeFloat64,
+		"i / 2":    colstore.TypeFloat64,
+		"i > 2":    colstore.TypeBool,
+		"NOT b":    colstore.TypeBool,
+		"-f":       colstore.TypeFloat64,
+		"upper(s)": colstore.TypeString,
+		"abs(f)":   colstore.TypeFloat64,
+	}
+	for s, want := range cases {
+		got, err := exprType(expr(t, s), schema)
+		if err != nil || got != want {
+			t.Fatalf("exprType(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := exprType(expr(t, "zzz"), schema); err == nil {
+		t.Fatal("unknown column should fail")
+	}
+}
+
+// Property: evaluating `i + C` always adds C to every row of any int column.
+func TestQuickEvalAddConstant(t *testing.T) {
+	f := func(vals []int64, c int16) bool {
+		b := &colstore.Batch{
+			Schema: colstore.Schema{{Name: "i", Type: colstore.TypeInt64}},
+			Cols:   []*colstore.Vector{colstore.IntVector(vals)},
+		}
+		e := &sqlparse.Binary{
+			Op: "+",
+			L:  &sqlparse.ColRef{Name: "i"},
+			R:  &sqlparse.NumberLit{IsInt: true, Int: int64(c)},
+		}
+		v, err := evalExpr(e, b)
+		if err != nil || v.Len() != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if v.Ints[i] != vals[i]+int64(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: comparison results partition rows — (x < c) XOR (x >= c) is
+// always true.
+func TestQuickComparisonPartition(t *testing.T) {
+	f := func(vals []float64, c float64) bool {
+		b := &colstore.Batch{
+			Schema: colstore.Schema{{Name: "f", Type: colstore.TypeFloat64}},
+			Cols:   []*colstore.Vector{colstore.FloatVector(vals)},
+		}
+		lt, err1 := evalExpr(&sqlparse.Binary{Op: "<", L: &sqlparse.ColRef{Name: "f"}, R: &sqlparse.NumberLit{Float: c}}, b)
+		ge, err2 := evalExpr(&sqlparse.Binary{Op: ">=", L: &sqlparse.ColRef{Name: "f"}, R: &sqlparse.NumberLit{Float: c}}, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range vals {
+			if lt.Bools[i] == ge.Bools[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,584 @@
+package sqlexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"verticadr/internal/catalog"
+	"verticadr/internal/colstore"
+	"verticadr/internal/sqlparse"
+	"verticadr/internal/udf"
+)
+
+// Database is the executor's view of the MPP database. internal/vertica
+// implements it; tests can provide fakes.
+type Database interface {
+	// TableDef resolves a table definition.
+	TableDef(name string) (*catalog.TableDef, error)
+	// Segments returns one segment per node for the table (possibly empty
+	// segments on nodes holding no rows).
+	Segments(name string) ([]*colstore.Segment, error)
+	// UDFs returns the transform-function registry.
+	UDFs() *udf.Registry
+	// UDFInstancesPerNode is the planner's parallelism for PARTITION BEST
+	// (the paper: "Vertica's PARTITION BEST takes into account resource
+	// availability ... to determine the optimal number of UDF instances").
+	UDFInstancesPerNode() int
+	// Services exposes extension services to UDFs (DFS, model manager...).
+	Services() map[string]any
+}
+
+// Result is a fully materialized query result.
+type Result struct {
+	Batch *colstore.Batch
+}
+
+// Schema returns the result schema.
+func (r *Result) Schema() colstore.Schema { return r.Batch.Schema }
+
+// Len returns the number of result rows.
+func (r *Result) Len() int { return r.Batch.Len() }
+
+// Rows renders all rows as boxed values (convenience for tests and shells).
+func (r *Result) Rows() [][]any {
+	out := make([][]any, r.Batch.Len())
+	for i := range out {
+		out[i] = r.Batch.Row(i)
+	}
+	return out
+}
+
+// RunSelect executes a SELECT statement.
+func RunSelect(db Database, sel *sqlparse.Select) (*Result, error) {
+	// UDTF query: exactly one projection which is a function call with OVER.
+	if fc := udtfCall(sel); fc != nil {
+		return runUDTF(db, sel, fc)
+	}
+	if sel.From == "" {
+		return runConstSelect(sel)
+	}
+	agg := len(sel.GroupBy) > 0
+	for _, item := range sel.Items {
+		if !item.Star && hasAggregate(item.Expr) {
+			agg = true
+		}
+	}
+	if agg {
+		return runAggregate(db, sel)
+	}
+	return runProjection(db, sel)
+}
+
+func udtfCall(sel *sqlparse.Select) *sqlparse.FuncCall {
+	if len(sel.Items) != 1 || sel.Items[0].Star {
+		return nil
+	}
+	fc, ok := sel.Items[0].Expr.(*sqlparse.FuncCall)
+	if !ok || fc.Over == nil {
+		return nil
+	}
+	return fc
+}
+
+func runConstSelect(sel *sqlparse.Select) (*Result, error) {
+	dummy := &colstore.Batch{
+		Schema: colstore.Schema{{Name: "$dummy", Type: colstore.TypeInt64}},
+		Cols:   []*colstore.Vector{colstore.IntVector([]int64{0})},
+	}
+	out := &colstore.Batch{}
+	for i, item := range sel.Items {
+		if item.Star {
+			return nil, fmt.Errorf("sqlexec: SELECT * requires a FROM clause")
+		}
+		v, err := evalExpr(item.Expr, dummy)
+		if err != nil {
+			return nil, err
+		}
+		name := item.Alias
+		if name == "" {
+			name = exprName(item.Expr, i)
+		}
+		out.Schema = append(out.Schema, colstore.ColumnSchema{Name: name, Type: v.Type})
+		out.Cols = append(out.Cols, v)
+	}
+	return &Result{Batch: out}, nil
+}
+
+// collectCols gathers all column names referenced by the statement.
+func collectCols(sel *sqlparse.Select, schema colstore.Schema) ([]string, error) {
+	seen := map[string]bool{}
+	var names []string
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	var walk func(e sqlparse.Expr)
+	walk = func(e sqlparse.Expr) {
+		switch x := e.(type) {
+		case *sqlparse.ColRef:
+			add(x.Name)
+		case *sqlparse.Binary:
+			walk(x.L)
+			walk(x.R)
+		case *sqlparse.Unary:
+			walk(x.X)
+		case *sqlparse.FuncCall:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	for _, item := range sel.Items {
+		if item.Star {
+			for _, c := range schema {
+				add(c.Name)
+			}
+			continue
+		}
+		walk(item.Expr)
+	}
+	if sel.Where != nil {
+		walk(sel.Where)
+	}
+	for _, g := range sel.GroupBy {
+		add(g)
+	}
+	for _, o := range sel.OrderBy {
+		// ORDER BY may reference an output alias; resolved later if so.
+		if schema.ColIndex(o.Col) >= 0 {
+			add(o.Col)
+		}
+	}
+	for _, n := range names {
+		if schema.ColIndex(n) < 0 {
+			return nil, fmt.Errorf("sqlexec: unknown column %q", n)
+		}
+	}
+	return names, nil
+}
+
+// scanTable scans all segments of a table in parallel, applying the WHERE
+// clause (with single-column pushdown when possible), and returns the
+// concatenated surviving rows projected to `cols`.
+func scanTable(db Database, table string, cols []string, where sqlparse.Expr) (*colstore.Batch, error) {
+	def, err := db.TableDef(table)
+	if err != nil {
+		return nil, err
+	}
+	segs, err := db.Segments(table)
+	if err != nil {
+		return nil, err
+	}
+	var pushed *colstore.Pred
+	residual := where
+	if where != nil {
+		if p := extractPushdown(where); p != nil {
+			pushed = p
+			residual = nil
+		}
+	}
+	outSchema, err := def.Schema.Project(cols)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*colstore.Batch, len(segs))
+	errs := make([]error, len(segs))
+	var wg sync.WaitGroup
+	for i, seg := range segs {
+		wg.Add(1)
+		go func(i int, seg *colstore.Segment) {
+			defer wg.Done()
+			// Scan needed + residual-filter columns, filter, then project.
+			scanCols := cols
+			if residual != nil {
+				// Residual filters may need columns outside the projection.
+				extra, err := collectCols(&sqlparse.Select{Where: residual}, def.Schema)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				scanCols = union(cols, extra)
+			}
+			local := colstore.NewBatch(mustProject(def.Schema, scanCols))
+			err := seg.Scan(scanCols, pushed, func(b *colstore.Batch) error {
+				if residual != nil {
+					keep, err := evalExpr(residual, b)
+					if err != nil {
+						return err
+					}
+					if keep.Type != colstore.TypeBool {
+						return fmt.Errorf("sqlexec: WHERE clause is not boolean")
+					}
+					idx := make([]int, 0, b.Len())
+					for r, k := range keep.Bools {
+						if k {
+							idx = append(idx, r)
+						}
+					}
+					b = b.Gather(idx)
+				}
+				return local.AppendBatch(b)
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			pb, err := local.Project(cols)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = pb
+		}(i, seg)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	out := colstore.NewBatch(outSchema)
+	for _, b := range results {
+		if b == nil {
+			continue
+		}
+		if err := out.AppendBatch(b); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func union(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range append(append([]string{}, a...), b...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func mustProject(s colstore.Schema, cols []string) colstore.Schema {
+	p, err := s.Project(cols)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func runProjection(db Database, sel *sqlparse.Select) (*Result, error) {
+	def, err := db.TableDef(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := collectCols(sel, def.Schema)
+	if err != nil {
+		return nil, err
+	}
+	data, err := scanTable(db, sel.From, cols, sel.Where)
+	if err != nil {
+		return nil, err
+	}
+	out := &colstore.Batch{}
+	for i, item := range sel.Items {
+		if item.Star {
+			for _, c := range def.Schema {
+				ci := data.Schema.ColIndex(c.Name)
+				out.Schema = append(out.Schema, c)
+				out.Cols = append(out.Cols, data.Cols[ci])
+			}
+			continue
+		}
+		v, err := evalExpr(item.Expr, data)
+		if err != nil {
+			return nil, err
+		}
+		name := item.Alias
+		if name == "" {
+			name = exprName(item.Expr, i)
+		}
+		out.Schema = append(out.Schema, colstore.ColumnSchema{Name: name, Type: v.Type})
+		out.Cols = append(out.Cols, v)
+	}
+	return finishSelect(out, sel)
+}
+
+// finishSelect applies ORDER BY and LIMIT to the projected output.
+func finishSelect(out *colstore.Batch, sel *sqlparse.Select) (*Result, error) {
+	if len(sel.OrderBy) > 0 {
+		keys := make([]int, len(sel.OrderBy))
+		for i, o := range sel.OrderBy {
+			ci := out.Schema.ColIndex(o.Col)
+			if ci < 0 {
+				return nil, fmt.Errorf("sqlexec: ORDER BY column %q not in output", o.Col)
+			}
+			keys[i] = ci
+		}
+		idx := make([]int, out.Len())
+		for i := range idx {
+			idx[i] = i
+		}
+		var sortErr error
+		sort.SliceStable(idx, func(a, b int) bool {
+			for k, ci := range keys {
+				c, err := colstore.CompareValues(out.Cols[ci].Value(idx[a]), out.Cols[ci].Value(idx[b]))
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				if c != 0 {
+					if sel.OrderBy[k].Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+		out = out.Gather(idx)
+	}
+	if sel.Limit >= 0 && out.Len() > sel.Limit {
+		out = out.Slice(0, sel.Limit)
+	}
+	return &Result{Batch: out}, nil
+}
+
+// aggState accumulates one aggregate function over a group.
+type aggState struct {
+	fn    string
+	count int64
+	sum   float64
+	min   any
+	max   any
+}
+
+func (a *aggState) add(v any) error {
+	a.count++
+	switch a.fn {
+	case "SUM", "AVG":
+		switch x := v.(type) {
+		case int64:
+			a.sum += float64(x)
+		case float64:
+			a.sum += x
+		default:
+			return fmt.Errorf("sqlexec: %s over non-numeric value %T", a.fn, v)
+		}
+	case "MIN":
+		if a.min == nil {
+			a.min = v
+		} else if c, err := colstore.CompareValues(v, a.min); err != nil {
+			return err
+		} else if c < 0 {
+			a.min = v
+		}
+	case "MAX":
+		if a.max == nil {
+			a.max = v
+		} else if c, err := colstore.CompareValues(v, a.max); err != nil {
+			return err
+		} else if c > 0 {
+			a.max = v
+		}
+	}
+	return nil
+}
+
+func (a *aggState) result() any {
+	switch a.fn {
+	case "COUNT":
+		return a.count
+	case "SUM":
+		return a.sum
+	case "AVG":
+		if a.count == 0 {
+			return 0.0
+		}
+		return a.sum / float64(a.count)
+	case "MIN":
+		return a.min
+	case "MAX":
+		return a.max
+	}
+	return nil
+}
+
+func runAggregate(db Database, sel *sqlparse.Select) (*Result, error) {
+	def, err := db.TableDef(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := collectCols(sel, def.Schema)
+	if err != nil {
+		return nil, err
+	}
+	// Validate projection shape: items are group-by columns or aggregates.
+	type itemPlan struct {
+		isGroupCol bool
+		colName    string
+		fn         *sqlparse.FuncCall
+		outName    string
+	}
+	plans := make([]itemPlan, 0, len(sel.Items))
+	inGroup := func(name string) bool {
+		for _, g := range sel.GroupBy {
+			if g == name {
+				return true
+			}
+		}
+		return false
+	}
+	for i, item := range sel.Items {
+		if item.Star {
+			return nil, fmt.Errorf("sqlexec: SELECT * not allowed with aggregation")
+		}
+		name := item.Alias
+		if name == "" {
+			name = exprName(item.Expr, i)
+		}
+		switch x := item.Expr.(type) {
+		case *sqlparse.ColRef:
+			if !inGroup(x.Name) {
+				return nil, fmt.Errorf("sqlexec: column %q must appear in GROUP BY", x.Name)
+			}
+			plans = append(plans, itemPlan{isGroupCol: true, colName: x.Name, outName: name})
+		case *sqlparse.FuncCall:
+			if !isAggregate(x.Name) {
+				return nil, fmt.Errorf("sqlexec: %s is not an aggregate", x.Name)
+			}
+			if !x.Star && len(x.Args) != 1 {
+				return nil, fmt.Errorf("sqlexec: %s takes one argument", x.Name)
+			}
+			plans = append(plans, itemPlan{fn: x, outName: name})
+		default:
+			return nil, fmt.Errorf("sqlexec: unsupported aggregate projection %s", item.Expr.String())
+		}
+	}
+	data, err := scanTable(db, sel.From, cols, sel.Where)
+	if err != nil {
+		return nil, err
+	}
+
+	// Evaluate aggregate argument vectors once.
+	argVecs := make([]*colstore.Vector, len(plans))
+	for pi, p := range plans {
+		if p.fn != nil && !p.fn.Star {
+			v, err := evalExpr(p.fn.Args[0], data)
+			if err != nil {
+				return nil, err
+			}
+			argVecs[pi] = v
+		}
+	}
+	groupIdx := make([]int, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		groupIdx[i] = data.Schema.ColIndex(g)
+	}
+	type group struct {
+		keyVals []any
+		states  []*aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+	n := data.Len()
+	for r := 0; r < n; r++ {
+		var kb strings.Builder
+		keyVals := make([]any, len(groupIdx))
+		for i, gi := range groupIdx {
+			v := data.Cols[gi].Value(r)
+			keyVals[i] = v
+			fmt.Fprintf(&kb, "%v\x00", v)
+		}
+		key := kb.String()
+		g, ok := groups[key]
+		if !ok {
+			g = &group{keyVals: keyVals}
+			for _, p := range plans {
+				if p.fn != nil {
+					g.states = append(g.states, &aggState{fn: p.fn.Name})
+				} else {
+					g.states = append(g.states, nil)
+				}
+			}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for pi, p := range plans {
+			if p.fn == nil {
+				continue
+			}
+			var v any = int64(1) // COUNT(*)
+			if !p.fn.Star {
+				v = argVecs[pi].Value(r)
+			}
+			if err := g.states[pi].add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// A global aggregate over zero rows still yields one row.
+	if len(sel.GroupBy) == 0 && len(order) == 0 {
+		g := &group{}
+		for _, p := range plans {
+			g.states = append(g.states, &aggState{fn: p.fn.Name})
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+	// Build output.
+	out := &colstore.Batch{}
+	for pi, p := range plans {
+		var t colstore.Type
+		if p.isGroupCol {
+			t = def.Schema[def.Schema.ColIndex(p.colName)].Type
+		} else {
+			switch p.fn.Name {
+			case "COUNT":
+				t = colstore.TypeInt64
+			case "SUM", "AVG":
+				t = colstore.TypeFloat64
+			default: // MIN/MAX keep their input type
+				if p.fn.Star {
+					return nil, fmt.Errorf("sqlexec: %s(*) not supported", p.fn.Name)
+				}
+				t = argVecs[pi].Type
+			}
+		}
+		out.Schema = append(out.Schema, colstore.ColumnSchema{Name: p.outName, Type: t})
+		out.Cols = append(out.Cols, colstore.NewVector(t, len(order)))
+	}
+	for _, key := range order {
+		g := groups[key]
+		gi := 0
+		for pi, p := range plans {
+			var v any
+			if p.isGroupCol {
+				for i, name := range sel.GroupBy {
+					if name == p.colName {
+						gi = i
+					}
+				}
+				v = g.keyVals[gi]
+			} else {
+				v = g.states[pi].result()
+				if v == nil { // MIN/MAX over empty input
+					return nil, fmt.Errorf("sqlexec: %s over empty input", p.fn.Name)
+				}
+			}
+			if err := out.Cols[pi].AppendValue(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return finishSelect(out, sel)
+}

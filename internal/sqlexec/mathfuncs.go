@@ -1,0 +1,9 @@
+package sqlexec
+
+import "math"
+
+func sqrt(a float64) float64  { return math.Sqrt(a) }
+func floor(a float64) float64 { return math.Floor(a) }
+func ceil(a float64) float64  { return math.Ceil(a) }
+func ln(a float64) float64    { return math.Log(a) }
+func exp(a float64) float64   { return math.Exp(a) }

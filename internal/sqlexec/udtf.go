@@ -1,0 +1,290 @@
+package sqlexec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"verticadr/internal/colstore"
+	"verticadr/internal/sqlparse"
+	"verticadr/internal/udf"
+)
+
+// runUDTF executes a transform-function query of the form
+//
+//	SELECT f(args... USING PARAMETERS ...) OVER (PARTITION BEST | PARTITION BY cols) FROM t
+//
+// The planner spawns parallel function instances: with PARTITION BEST, each
+// node's local segment is split into UDFInstancesPerNode chunks processed
+// locally (the paper's locality-friendly mode, §3.1); with PARTITION BY, rows
+// are grouped by the key columns and each group is one partition.
+func runUDTF(db Database, sel *sqlparse.Select, fc *sqlparse.FuncCall) (*Result, error) {
+	if sel.From == "" {
+		return nil, fmt.Errorf("sqlexec: UDTF query requires a FROM clause")
+	}
+	if sel.Where != nil || len(sel.GroupBy) > 0 {
+		return nil, fmt.Errorf("sqlexec: UDTF queries do not support WHERE/GROUP BY")
+	}
+	factory, err := db.UDFs().Lookup(fc.Name)
+	if err != nil {
+		return nil, err
+	}
+	params, err := evalParams(fc.Params)
+	if err != nil {
+		return nil, err
+	}
+	def, err := db.TableDef(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	segs, err := db.Segments(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the UDTF input schema from its argument expressions.
+	inSchema := make(colstore.Schema, len(fc.Args))
+	for i, a := range fc.Args {
+		name := exprName(a, i)
+		t, err := exprType(a, def.Schema)
+		if err != nil {
+			return nil, err
+		}
+		inSchema[i] = colstore.ColumnSchema{Name: name, Type: t}
+	}
+	outSchema, err := factory().OutputSchema(inSchema, params)
+	if err != nil {
+		return nil, err
+	}
+	// Columns needed to evaluate the argument expressions.
+	need, err := collectExprCols(fc.Args, def.Schema)
+	if err != nil {
+		return nil, err
+	}
+	over := fc.Over
+	if !over.PartitionBest && len(over.PartitionBy) > 0 {
+		for _, c := range over.PartitionBy {
+			if def.Schema.ColIndex(c) < 0 {
+				return nil, fmt.Errorf("sqlexec: PARTITION BY column %q unknown", c)
+			}
+		}
+		need = union(need, over.PartitionBy)
+	}
+
+	type partition struct {
+		node int
+		data *colstore.Batch // already projected to inSchema
+	}
+	var parts []partition
+	for node, seg := range segs {
+		raw, err := readSegment(seg, need, def.Schema)
+		if err != nil {
+			return nil, err
+		}
+		argBatch, err := evalArgs(fc.Args, raw, inSchema)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case over.PartitionBest || len(over.PartitionBy) == 0:
+			k := db.UDFInstancesPerNode()
+			if k <= 0 {
+				k = 1
+			}
+			n := argBatch.Len()
+			if n == 0 {
+				continue
+			}
+			if k > n {
+				k = n
+			}
+			for i := 0; i < k; i++ {
+				lo, hi := i*n/k, (i+1)*n/k
+				if lo == hi {
+					continue
+				}
+				parts = append(parts, partition{node: node, data: argBatch.Slice(lo, hi)})
+			}
+		default: // PARTITION BY
+			groups := map[string][]int{}
+			var order []string
+			keyIdx := make([]int, len(over.PartitionBy))
+			for i, c := range over.PartitionBy {
+				keyIdx[i] = raw.Schema.ColIndex(c)
+			}
+			for r := 0; r < raw.Len(); r++ {
+				var kb strings.Builder
+				for _, ki := range keyIdx {
+					fmt.Fprintf(&kb, "%v\x00", raw.Cols[ki].Value(r))
+				}
+				key := kb.String()
+				if _, ok := groups[key]; !ok {
+					order = append(order, key)
+				}
+				groups[key] = append(groups[key], r)
+			}
+			for _, key := range order {
+				parts = append(parts, partition{node: node, data: argBatch.Gather(groups[key])})
+			}
+		}
+	}
+
+	// Run all partitions in parallel (bounded).
+	writer := &udf.CollectWriter{}
+	sem := make(chan struct{}, maxParallel(len(parts)))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	instanceOnNode := map[int]int{}
+	for i, p := range parts {
+		inst := instanceOnNode[p.node]
+		instanceOnNode[p.node]++
+		wg.Add(1)
+		go func(i int, p partition, inst int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ctx := &udf.Ctx{
+				Params:   params,
+				NodeID:   p.node,
+				NumNodes: len(segs),
+				Instance: inst,
+				Services: db.Services(),
+			}
+			tf := factory()
+			errs[i] = tf.ProcessPartition(ctx, streamReader(p.data), writer)
+		}(i, p, inst)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	merged, err := writer.Result(outSchema)
+	if err != nil {
+		return nil, err
+	}
+	return finishSelect(merged, sel)
+}
+
+func maxParallel(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > 64 {
+		return 64
+	}
+	return n
+}
+
+// streamReader feeds a batch to the UDF in storage-sized chunks so transforms
+// see a stream rather than one giant batch.
+func streamReader(b *colstore.Batch) udf.BatchReader {
+	const chunk = colstore.DefaultBlockRows
+	var batches []*colstore.Batch
+	for lo := 0; lo < b.Len(); lo += chunk {
+		hi := lo + chunk
+		if hi > b.Len() {
+			hi = b.Len()
+		}
+		batches = append(batches, b.Slice(lo, hi))
+	}
+	return udf.NewSliceReader(batches...)
+}
+
+func readSegment(seg *colstore.Segment, cols []string, schema colstore.Schema) (*colstore.Batch, error) {
+	if len(cols) == 0 {
+		// UDTF with no arguments still needs the row count; scan one column.
+		cols = []string{schema[0].Name}
+	}
+	return seg.ReadAll(cols)
+}
+
+func evalArgs(args []sqlparse.Expr, raw *colstore.Batch, inSchema colstore.Schema) (*colstore.Batch, error) {
+	out := &colstore.Batch{Schema: inSchema, Cols: make([]*colstore.Vector, len(args))}
+	for i, a := range args {
+		v, err := evalExpr(a, raw)
+		if err != nil {
+			return nil, err
+		}
+		if v.Type != inSchema[i].Type {
+			return nil, fmt.Errorf("sqlexec: UDTF argument %d evaluated to %v, expected %v", i, v.Type, inSchema[i].Type)
+		}
+		out.Cols[i] = v
+	}
+	return out, nil
+}
+
+func collectExprCols(exprs []sqlparse.Expr, schema colstore.Schema) ([]string, error) {
+	fake := &sqlparse.Select{}
+	for _, e := range exprs {
+		fake.Items = append(fake.Items, sqlparse.SelectItem{Expr: e})
+	}
+	return collectCols(fake, schema)
+}
+
+// evalParams resolves USING PARAMETERS values; they must be literals.
+func evalParams(in map[string]sqlparse.Expr) (udf.Params, error) {
+	out := udf.Params{}
+	for k, e := range in {
+		v, ok := literalValue(e)
+		if !ok {
+			return nil, fmt.Errorf("sqlexec: parameter %q must be a literal", k)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// exprType infers an expression's result type against a schema.
+func exprType(e sqlparse.Expr, schema colstore.Schema) (colstore.Type, error) {
+	switch x := e.(type) {
+	case *sqlparse.ColRef:
+		i := schema.ColIndex(x.Name)
+		if i < 0 {
+			return colstore.TypeInvalid, fmt.Errorf("sqlexec: unknown column %q", x.Name)
+		}
+		return schema[i].Type, nil
+	case *sqlparse.NumberLit:
+		if x.IsInt {
+			return colstore.TypeInt64, nil
+		}
+		return colstore.TypeFloat64, nil
+	case *sqlparse.StringLit:
+		return colstore.TypeString, nil
+	case *sqlparse.BoolLit:
+		return colstore.TypeBool, nil
+	case *sqlparse.Unary:
+		if x.Op == "NOT" {
+			return colstore.TypeBool, nil
+		}
+		return exprType(x.X, schema)
+	case *sqlparse.Binary:
+		switch x.Op {
+		case "AND", "OR", "=", "<>", "<", "<=", ">", ">=":
+			return colstore.TypeBool, nil
+		case "/":
+			return colstore.TypeFloat64, nil
+		default:
+			lt, err := exprType(x.L, schema)
+			if err != nil {
+				return colstore.TypeInvalid, err
+			}
+			rt, err := exprType(x.R, schema)
+			if err != nil {
+				return colstore.TypeInvalid, err
+			}
+			if lt == colstore.TypeInt64 && rt == colstore.TypeInt64 {
+				return colstore.TypeInt64, nil
+			}
+			return colstore.TypeFloat64, nil
+		}
+	case *sqlparse.FuncCall:
+		switch x.Name {
+		case "UPPER", "LOWER":
+			return colstore.TypeString, nil
+		default:
+			return colstore.TypeFloat64, nil
+		}
+	}
+	return colstore.TypeInvalid, fmt.Errorf("sqlexec: cannot type expression %T", e)
+}

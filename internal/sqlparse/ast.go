@@ -1,0 +1,192 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmtNode() }
+
+// ColDef is one column in a CREATE TABLE.
+type ColDef struct {
+	Name string
+	Type string // raw SQL type name, resolved by the executor
+}
+
+// SegClause is the optional SEGMENTED BY clause.
+type SegClause struct {
+	Hash   bool   // true: HASH(Column); false: ROUND ROBIN
+	Column string // set when Hash
+}
+
+// CreateTable is CREATE TABLE name (cols...) [SEGMENTED BY ...].
+type CreateTable struct {
+	Name string
+	Cols []ColDef
+	Seg  *SegClause
+}
+
+func (*CreateTable) stmtNode() {}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+func (*DropTable) stmtNode() {}
+
+// Insert is INSERT INTO name [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table   string
+	Columns []string // nil means table order
+	Rows    [][]Expr
+}
+
+func (*Insert) stmtNode() {}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Col  string
+	Desc bool
+}
+
+// SelectItem is one projection: either * or an expression with optional alias.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// Select is a SELECT statement over at most one table.
+type Select struct {
+	Items   []SelectItem
+	From    string // empty for table-less SELECT (e.g. SELECT 1+1)
+	Where   Expr
+	GroupBy []string
+	OrderBy []OrderItem
+	Limit   int // -1 when absent
+}
+
+func (*Select) stmtNode() {}
+
+// Expr is any expression node.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// ColRef references a column by name.
+type ColRef struct{ Name string }
+
+func (*ColRef) exprNode() {}
+
+// String returns the column name.
+func (c *ColRef) String() string { return c.Name }
+
+// NumberLit is a numeric literal; IsInt distinguishes INTEGER from FLOAT.
+type NumberLit struct {
+	IsInt bool
+	Int   int64
+	Float float64
+}
+
+func (*NumberLit) exprNode() {}
+
+// String formats the literal.
+func (n *NumberLit) String() string {
+	if n.IsInt {
+		return fmt.Sprintf("%d", n.Int)
+	}
+	return fmt.Sprintf("%g", n.Float)
+}
+
+// StringLit is a string literal.
+type StringLit struct{ Val string }
+
+func (*StringLit) exprNode() {}
+
+// String formats the literal with SQL quoting.
+func (s *StringLit) String() string { return "'" + strings.ReplaceAll(s.Val, "'", "''") + "'" }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ Val bool }
+
+func (*BoolLit) exprNode() {}
+
+// String formats the literal.
+func (b *BoolLit) String() string {
+	if b.Val {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// Binary is a binary operation; Op is one of + - * / = <> < <= > >= AND OR.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+func (*Binary) exprNode() {}
+
+// String parenthesizes fully.
+func (b *Binary) String() string { return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")" }
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op string // "NOT" or "-"
+	X  Expr
+}
+
+func (*Unary) exprNode() {}
+
+// String parenthesizes.
+func (u *Unary) String() string { return "(" + u.Op + " " + u.X.String() + ")" }
+
+// Over is the OVER clause on an analytic / transform function call.
+type Over struct {
+	PartitionBest bool
+	PartitionBy   []string
+}
+
+// FuncCall is a function invocation: aggregate (SUM, COUNT...), scalar, or a
+// UDTF when Over is present. Params carries the Vertica-style
+// USING PARAMETERS key-value list.
+type FuncCall struct {
+	Name   string // upper-cased
+	Star   bool   // COUNT(*)
+	Args   []Expr
+	Params map[string]Expr // USING PARAMETERS
+	Over   *Over
+}
+
+func (*FuncCall) exprNode() {}
+
+// String formats the call.
+func (f *FuncCall) String() string {
+	var sb strings.Builder
+	sb.WriteString(f.Name)
+	sb.WriteByte('(')
+	if f.Star {
+		sb.WriteByte('*')
+	}
+	for i, a := range f.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.String())
+	}
+	if len(f.Params) > 0 {
+		sb.WriteString(" USING PARAMETERS ...")
+	}
+	sb.WriteByte(')')
+	if f.Over != nil {
+		if f.Over.PartitionBest {
+			sb.WriteString(" OVER (PARTITION BEST)")
+		} else if len(f.Over.PartitionBy) > 0 {
+			sb.WriteString(" OVER (PARTITION BY " + strings.Join(f.Over.PartitionBy, ", ") + ")")
+		} else {
+			sb.WriteString(" OVER ()")
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,155 @@
+// Package sqlparse implements the SQL front end of the Vertica substitute: a
+// hand-written lexer and recursive-descent parser for the dialect subset the
+// paper's workflows need — DDL, INSERT, and SELECT with WHERE/GROUP BY/ORDER
+// BY/LIMIT plus analytic UDTF invocations of the form
+//
+//	SELECT glmPredict(a, b USING PARAMETERS model='m') OVER (PARTITION BEST) FROM t
+//
+// exactly as in Figure 3 (line 10) and Figure 4 of the paper.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokSymbol
+)
+
+// Token is one lexical token with its source position (1-based).
+type Token struct {
+	Kind TokKind
+	Text string // keywords are upper-cased; idents keep original case
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "ASC": true, "DESC": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "TRUE": true, "FALSE": true,
+	"CREATE": true, "TABLE": true, "DROP": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "SEGMENTED": true, "HASH": true, "ROUND": true,
+	"ROBIN": true, "USING": true, "PARAMETERS": true, "OVER": true,
+	"PARTITION": true, "BEST": true, "NULL": true, "DISTINCT": true,
+}
+
+var symbols = []string{"<=", ">=", "<>", "!=", "(", ")", ",", ";", "*", "+", "-", "/", "=", "<", ">", "."}
+
+// Lex tokenizes the input, returning a token stream ending in TokEOF.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '\'': // string literal with '' escape
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= n {
+					return nil, fmt.Errorf("sqlparse: unterminated string at %d", i+1)
+				}
+				if input[j] == '\'' {
+					if j+1 < n && input[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: i + 1})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			j := i
+			seenDot, seenExp := false, false
+			for j < n {
+				d := input[j]
+				if d >= '0' && d <= '9' {
+					j++
+				} else if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					j++
+				} else if (d == 'e' || d == 'E') && !seenExp && j+1 < n {
+					nx := input[j+1]
+					if nx >= '0' && nx <= '9' || nx == '+' || nx == '-' {
+						seenExp = true
+						j += 2
+					} else {
+						break
+					}
+				} else {
+					break
+				}
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[i:j], Pos: i + 1})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: up, Pos: i + 1})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: i + 1})
+			}
+			i = j
+		case c == '"': // quoted identifier
+			j := i + 1
+			for j < n && input[j] != '"' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sqlparse: unterminated quoted identifier at %d", i+1)
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: input[i+1 : j], Pos: i + 1})
+			i = j + 1
+		default:
+			matched := false
+			for _, s := range symbols {
+				if strings.HasPrefix(input[i:], s) {
+					toks = append(toks, Token{Kind: TokSymbol, Text: s, Pos: i + 1})
+					i += len(s)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("sqlparse: unexpected character %q at %d", c, i+1)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n + 1})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

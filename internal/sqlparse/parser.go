@@ -1,0 +1,562 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single SQL statement (an optional trailing semicolon is
+// allowed).
+func Parse(input string) (Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokSymbol, ";")
+	if p.cur().Kind != TokEOF {
+		return nil, p.errf("trailing input starting at %q", p.cur().Text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: at offset %d: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+// accept consumes the token if it matches; reports whether it did.
+func (p *parser) accept(kind TokKind, text string) bool {
+	t := p.cur()
+	if t.Kind == kind && (text == "" || t.Text == text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect consumes a token or fails.
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	t := p.cur()
+	if t.Kind == kind && (text == "" || t.Text == text) {
+		p.pos++
+		return t, nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return Token{}, p.errf("expected %s, found %q", want, t.Text)
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return nil, p.errf("expected statement keyword, found %q", t.Text)
+	}
+	switch t.Text {
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	case "INSERT":
+		return p.parseInsert()
+	case "SELECT":
+		return p.parseSelect()
+	default:
+		return nil, p.errf("unsupported statement %q", t.Text)
+	}
+}
+
+func (p *parser) parseIdent() (string, error) {
+	t := p.cur()
+	if t.Kind == TokIdent {
+		p.pos++
+		return t.Text, nil
+	}
+	return "", p.errf("expected identifier, found %q", t.Text)
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	p.next() // CREATE
+	if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSymbol, "("); err != nil {
+		return nil, err
+	}
+	var cols []ColDef
+	for {
+		cn, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		tt := p.cur()
+		if tt.Kind != TokIdent && tt.Kind != TokKeyword {
+			return nil, p.errf("expected type for column %q, found %q", cn, tt.Text)
+		}
+		p.pos++
+		cols = append(cols, ColDef{Name: cn, Type: strings.ToUpper(tt.Text)})
+		if p.accept(TokSymbol, ",") {
+			continue
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	ct := &CreateTable{Name: name, Cols: cols}
+	if p.accept(TokKeyword, "SEGMENTED") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		if p.accept(TokKeyword, "HASH") {
+			if _, err := p.expect(TokSymbol, "("); err != nil {
+				return nil, err
+			}
+			col, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			ct.Seg = &SegClause{Hash: true, Column: col}
+		} else if p.accept(TokKeyword, "ROUND") {
+			if _, err := p.expect(TokKeyword, "ROBIN"); err != nil {
+				return nil, err
+			}
+			ct.Seg = &SegClause{}
+		} else {
+			return nil, p.errf("expected HASH or ROUND ROBIN after SEGMENTED BY")
+		}
+	}
+	return ct, nil
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	p.next() // DROP
+	if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTable{Name: name}, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	p.next() // INSERT
+	if _, err := p.expect(TokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	if p.accept(TokSymbol, "(") {
+		for {
+			c, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, c)
+			if p.accept(TokSymbol, ",") {
+				continue
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	if _, err := p.expect(TokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(TokSymbol, ",") {
+				continue
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseSelect() (Statement, error) {
+	p.next() // SELECT
+	sel := &Select{Limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(TokKeyword, "FROM") {
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = name
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.accept(TokKeyword, "GROUP") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, c)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "ORDER") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: c}
+			if p.accept(TokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(TokKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "LIMIT") {
+		t, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid LIMIT %q", t.Text)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(TokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(TokKeyword, "AS") {
+		a, err := p.parseIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.cur().Kind == TokIdent {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+// Expression grammar (loosest to tightest): OR, AND, NOT, comparison,
+// additive, multiplicative, unary minus, primary.
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(TokKeyword, "NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"<=", ">=", "<>", "!=", "=", "<", ">"} {
+		if p.accept(TokSymbol, op) {
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.accept(TokSymbol, "+") {
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: "+", L: l, R: r}
+		} else if p.accept(TokSymbol, "-") {
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: "-", L: l, R: r}
+		} else {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.accept(TokSymbol, "*") {
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: "*", L: l, R: r}
+		} else if p.accept(TokSymbol, "/") {
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: "/", L: l, R: r}
+		} else {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(TokSymbol, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.pos++
+		if !strings.ContainsAny(t.Text, ".eE") {
+			n, err := strconv.ParseInt(t.Text, 10, 64)
+			if err == nil {
+				return &NumberLit{IsInt: true, Int: n}, nil
+			}
+		}
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.Text)
+		}
+		return &NumberLit{Float: f}, nil
+	case t.Kind == TokString:
+		p.pos++
+		return &StringLit{Val: t.Text}, nil
+	case t.Kind == TokKeyword && t.Text == "TRUE":
+		p.pos++
+		return &BoolLit{Val: true}, nil
+	case t.Kind == TokKeyword && t.Text == "FALSE":
+		p.pos++
+		return &BoolLit{Val: false}, nil
+	case t.Kind == TokSymbol && t.Text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokIdent:
+		p.pos++
+		if p.cur().Kind == TokSymbol && p.cur().Text == "(" {
+			return p.parseFuncCall(t.Text)
+		}
+		return &ColRef{Name: t.Text}, nil
+	default:
+		return nil, p.errf("unexpected token %q in expression", t.Text)
+	}
+}
+
+func (p *parser) parseFuncCall(name string) (Expr, error) {
+	p.next() // (
+	fc := &FuncCall{Name: strings.ToUpper(name)}
+	if p.accept(TokSymbol, "*") {
+		fc.Star = true
+	} else if !(p.cur().Kind == TokSymbol && p.cur().Text == ")") &&
+		!(p.cur().Kind == TokKeyword && p.cur().Text == "USING") {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "USING") {
+		if _, err := p.expect(TokKeyword, "PARAMETERS"); err != nil {
+			return nil, err
+		}
+		fc.Params = map[string]Expr{}
+		for {
+			k, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, "="); err != nil {
+				return nil, err
+			}
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Params[strings.ToLower(k)] = v
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	if p.accept(TokKeyword, "OVER") {
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		ov := &Over{}
+		if p.accept(TokKeyword, "PARTITION") {
+			if p.accept(TokKeyword, "BEST") {
+				ov.PartitionBest = true
+			} else if p.accept(TokKeyword, "BY") {
+				for {
+					c, err := p.parseIdent()
+					if err != nil {
+						return nil, err
+					}
+					ov.PartitionBy = append(ov.PartitionBy, c)
+					if !p.accept(TokSymbol, ",") {
+						break
+					}
+				}
+			} else {
+				return nil, p.errf("expected BEST or BY after PARTITION")
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		fc.Over = ov
+	}
+	return fc, nil
+}

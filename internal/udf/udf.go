@@ -1,0 +1,225 @@
+// Package udf is the user-defined function framework of the Vertica
+// substitute. The paper's integration is built almost entirely out of UDFs:
+// ExportToDistributedR performs the fast-transfer export (§3, Fig. 4), and
+// KmeansPredict / GlmPredict / RfPredict run in-database prediction (§5).
+// Transform functions (UDTFs) process one table partition at a time and are
+// invoked with Vertica's OVER (PARTITION BY ... | PARTITION BEST) syntax;
+// the query planner spawns one instance per partition, in parallel.
+package udf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"verticadr/internal/colstore"
+)
+
+// Params is the USING PARAMETERS key-value list, with lower-cased keys.
+type Params map[string]any
+
+// String fetches a required string parameter.
+func (p Params) String(key string) (string, error) {
+	v, ok := p[key]
+	if !ok {
+		return "", fmt.Errorf("udf: missing required parameter %q", key)
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("udf: parameter %q must be a string, got %T", key, v)
+	}
+	return s, nil
+}
+
+// StringOr fetches an optional string parameter with a default.
+func (p Params) StringOr(key, def string) string {
+	if s, err := p.String(key); err == nil {
+		return s
+	}
+	return def
+}
+
+// Int fetches a required integer parameter (accepting float64 with integral
+// value, since SQL literals may arrive either way).
+func (p Params) Int(key string) (int64, error) {
+	v, ok := p[key]
+	if !ok {
+		return 0, fmt.Errorf("udf: missing required parameter %q", key)
+	}
+	switch x := v.(type) {
+	case int64:
+		return x, nil
+	case float64:
+		if x == float64(int64(x)) {
+			return int64(x), nil
+		}
+	}
+	return 0, fmt.Errorf("udf: parameter %q must be an integer, got %v", key, v)
+}
+
+// IntOr fetches an optional integer parameter with a default.
+func (p Params) IntOr(key string, def int64) int64 {
+	if n, err := p.Int(key); err == nil {
+		return n
+	}
+	return def
+}
+
+// Ctx is the execution context handed to each transform-function instance.
+type Ctx struct {
+	Params   Params
+	NodeID   int // database node this instance runs on
+	NumNodes int
+	Instance int // instance index within the node (0-based)
+	// Services exposes database-side extension points by name (for example
+	// "dfs" → the node's distributed-file-system client, "models" → the model
+	// manager). UDFs type-assert what they need.
+	Services map[string]any
+}
+
+// Service fetches a named service or errors with a helpful message.
+func (c *Ctx) Service(name string) (any, error) {
+	if c.Services == nil {
+		return nil, fmt.Errorf("udf: no services available (wanted %q)", name)
+	}
+	s, ok := c.Services[name]
+	if !ok {
+		return nil, fmt.Errorf("udf: service %q not registered", name)
+	}
+	return s, nil
+}
+
+// BatchReader streams a partition's rows to the UDF. Next returns nil at the
+// end of the partition.
+type BatchReader interface {
+	Next() (*colstore.Batch, error)
+}
+
+// BatchWriter receives the UDF's output rows.
+type BatchWriter interface {
+	Write(*colstore.Batch) error
+}
+
+// Transform is a user-defined transform function (Vertica UDTF).
+type Transform interface {
+	// OutputSchema resolves the output schema given the input schema (the
+	// UDTF's argument columns, in call order) and parameters.
+	OutputSchema(in colstore.Schema, params Params) (colstore.Schema, error)
+	// ProcessPartition consumes one partition and writes output rows.
+	ProcessPartition(ctx *Ctx, in BatchReader, out BatchWriter) error
+}
+
+// Factory creates a fresh Transform instance (one per partition/instance).
+type Factory func() Transform
+
+// Registry maps function names to factories. A Registry is safe for
+// concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	funcs map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{funcs: make(map[string]Factory)}
+}
+
+// Register adds a transform factory under a case-insensitive name.
+func (r *Registry) Register(name string, f Factory) error {
+	key := strings.ToUpper(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.funcs[key]; ok {
+		return fmt.Errorf("udf: function %q already registered", name)
+	}
+	r.funcs[key] = f
+	return nil
+}
+
+// MustRegister registers or panics; for init-time wiring.
+func (r *Registry) MustRegister(name string, f Factory) {
+	if err := r.Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup finds a factory by case-insensitive name.
+func (r *Registry) Lookup(name string) (Factory, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.funcs[strings.ToUpper(name)]
+	if !ok {
+		return nil, fmt.Errorf("udf: unknown function %q", name)
+	}
+	return f, nil
+}
+
+// Names lists registered function names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.funcs))
+	for k := range r.funcs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SliceReader adapts an in-memory batch list to a BatchReader.
+type SliceReader struct {
+	batches []*colstore.Batch
+	i       int
+}
+
+// NewSliceReader wraps batches.
+func NewSliceReader(batches ...*colstore.Batch) *SliceReader {
+	return &SliceReader{batches: batches}
+}
+
+// Next implements BatchReader.
+func (s *SliceReader) Next() (*colstore.Batch, error) {
+	if s.i >= len(s.batches) {
+		return nil, nil
+	}
+	b := s.batches[s.i]
+	s.i++
+	return b, nil
+}
+
+// CollectWriter accumulates written batches in memory.
+type CollectWriter struct {
+	mu      sync.Mutex
+	Batches []*colstore.Batch
+}
+
+// Write implements BatchWriter.
+func (c *CollectWriter) Write(b *colstore.Batch) error {
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("udf: output batch invalid: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Batches = append(c.Batches, b)
+	return nil
+}
+
+// Result merges everything written into one batch (empty batch if none).
+func (c *CollectWriter) Result(schema colstore.Schema) (*colstore.Batch, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := colstore.NewBatch(schema)
+	for _, b := range c.Batches {
+		if err := out.AppendBatch(b); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// FuncWriter adapts a function to a BatchWriter.
+type FuncWriter func(*colstore.Batch) error
+
+// Write implements BatchWriter.
+func (f FuncWriter) Write(b *colstore.Batch) error { return f(b) }

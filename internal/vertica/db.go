@@ -1,0 +1,384 @@
+// Package vertica assembles the MPP columnar database substitute: an N-node
+// cluster where each table is stored as per-node segments (internal/colstore)
+// placed by the table's segmentation scheme (internal/catalog), queried
+// through the SQL engine (internal/sqlparse + internal/sqlexec), extended by
+// user-defined transform functions (internal/udf) and backed by a replicated
+// blob file system for models (internal/dfs). It corresponds to the
+// database half of Figure 2 in the paper.
+package vertica
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"verticadr/internal/catalog"
+	"verticadr/internal/colstore"
+	"verticadr/internal/dfs"
+	"verticadr/internal/sqlexec"
+	"verticadr/internal/sqlparse"
+	"verticadr/internal/udf"
+)
+
+// Config configures a database cluster.
+type Config struct {
+	// Nodes is the cluster size (>= 1).
+	Nodes int
+	// UDFInstancesPerNode is the planner's PARTITION BEST parallelism
+	// (default 4).
+	UDFInstancesPerNode int
+	// Replication is the DFS replication factor for model blobs (default 2).
+	Replication int
+	// BlockRows overrides the storage block size (default
+	// colstore.DefaultBlockRows).
+	BlockRows int
+	// DataDir, when set, persists segments and DFS blobs under this
+	// directory.
+	DataDir string
+}
+
+// DB is a running database cluster.
+type DB struct {
+	cfg      Config
+	cat      *catalog.Catalog
+	udfs     *udf.Registry
+	fs       *dfs.DFS
+	mu       sync.RWMutex
+	segs     map[string][]*colstore.Segment // table -> one segment per node
+	split    map[string]*catalog.Splitter
+	services map[string]any
+}
+
+// Open creates a cluster.
+func Open(cfg Config) (*DB, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("vertica: need at least 1 node")
+	}
+	if cfg.UDFInstancesPerNode <= 0 {
+		cfg.UDFInstancesPerNode = 4
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+	var spill string
+	if cfg.DataDir != "" {
+		spill = filepath.Join(cfg.DataDir, "dfs")
+	}
+	fs, err := dfs.New(cfg.Nodes, cfg.Replication, spill)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		cfg:      cfg,
+		cat:      catalog.New(),
+		udfs:     udf.NewRegistry(),
+		fs:       fs,
+		segs:     make(map[string][]*colstore.Segment),
+		split:    make(map[string]*catalog.Splitter),
+		services: make(map[string]any),
+	}
+	db.services["dfs"] = fs
+	return db, nil
+}
+
+// NumNodes returns the cluster size.
+func (db *DB) NumNodes() int { return db.cfg.Nodes }
+
+// Catalog exposes the table catalog.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// DFS exposes the internal distributed file system.
+func (db *DB) DFS() *dfs.DFS { return db.fs }
+
+// UDFs returns the transform-function registry (sqlexec.Database).
+func (db *DB) UDFs() *udf.Registry { return db.udfs }
+
+// UDFInstancesPerNode implements sqlexec.Database.
+func (db *DB) UDFInstancesPerNode() int { return db.cfg.UDFInstancesPerNode }
+
+// Services implements sqlexec.Database.
+func (db *DB) Services() map[string]any {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[string]any, len(db.services))
+	for k, v := range db.services {
+		out[k] = v
+	}
+	return out
+}
+
+// RegisterService exposes an extension service to UDFs by name.
+func (db *DB) RegisterService(name string, svc any) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.services[name] = svc
+}
+
+// TableDef implements sqlexec.Database.
+func (db *DB) TableDef(name string) (*catalog.TableDef, error) { return db.cat.Get(name) }
+
+// Segments implements sqlexec.Database.
+func (db *DB) Segments(name string) ([]*colstore.Segment, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	segs, ok := db.segs[name]
+	if !ok {
+		return nil, fmt.Errorf("vertica: table %q has no storage", name)
+	}
+	return segs, nil
+}
+
+// CreateTable registers a table and allocates its per-node segments.
+func (db *DB) CreateTable(def *catalog.TableDef) error {
+	if err := db.cat.Create(def); err != nil {
+		return err
+	}
+	sp, err := catalog.NewSplitter(def.Seg, def.Schema, db.cfg.Nodes)
+	if err != nil {
+		db.cat.Drop(def.Name) //nolint:errcheck // best-effort rollback
+		return err
+	}
+	segs := make([]*colstore.Segment, db.cfg.Nodes)
+	for i := range segs {
+		segs[i] = colstore.NewSegment(def.Schema, db.cfg.BlockRows)
+	}
+	db.mu.Lock()
+	db.segs[def.Name] = segs
+	db.split[def.Name] = sp
+	db.mu.Unlock()
+	return nil
+}
+
+// DropTable removes a table and its storage.
+func (db *DB) DropTable(name string) error {
+	if err := db.cat.Drop(name); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	delete(db.segs, name)
+	delete(db.split, name)
+	db.mu.Unlock()
+	return nil
+}
+
+// Load appends a batch of rows to a table, routing rows to nodes by the
+// table's segmentation scheme (the bulk-load / COPY path).
+func (db *DB) Load(table string, b *colstore.Batch) error {
+	db.mu.RLock()
+	segs, ok := db.segs[table]
+	sp := db.split[table]
+	db.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("vertica: table %q does not exist", table)
+	}
+	parts, err := sp.Split(b)
+	if err != nil {
+		return err
+	}
+	for node, part := range parts {
+		if part.Len() == 0 {
+			continue
+		}
+		if err := segs[node].Append(part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadAt appends rows directly to one node's segment, bypassing the
+// segmentation scheme. Tests and benchmarks use it to construct skewed
+// segmentations (§3.2).
+func (db *DB) LoadAt(table string, node int, b *colstore.Batch) error {
+	db.mu.RLock()
+	segs, ok := db.segs[table]
+	db.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("vertica: table %q does not exist", table)
+	}
+	if node < 0 || node >= len(segs) {
+		return fmt.Errorf("vertica: no node %d", node)
+	}
+	return segs[node].Append(b)
+}
+
+// LoadColumns is a convenience bulk loader from float64 column slices.
+func (db *DB) LoadColumns(table string, cols [][]float64) error {
+	def, err := db.cat.Get(table)
+	if err != nil {
+		return err
+	}
+	if len(cols) != len(def.Schema) {
+		return fmt.Errorf("vertica: %d columns for table with %d", len(cols), len(def.Schema))
+	}
+	b := &colstore.Batch{Schema: def.Schema, Cols: make([]*colstore.Vector, len(cols))}
+	for i, c := range cols {
+		if def.Schema[i].Type != colstore.TypeFloat64 {
+			return fmt.Errorf("vertica: LoadColumns requires FLOAT columns, %q is %v", def.Schema[i].Name, def.Schema[i].Type)
+		}
+		b.Cols[i] = colstore.FloatVector(c)
+	}
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	return db.Load(table, b)
+}
+
+// TableRows returns the table's total row count across nodes.
+func (db *DB) TableRows(table string) (int, error) {
+	segs, err := db.Segments(table)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.Rows()
+	}
+	return total, nil
+}
+
+// SegmentSizes returns per-node row counts (the segmentation layout that the
+// locality-preserving transfer policy mirrors).
+func (db *DB) SegmentSizes(table string) ([]int, error) {
+	segs, err := db.Segments(table)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(segs))
+	for i, s := range segs {
+		out[i] = s.Rows()
+	}
+	return out, nil
+}
+
+// Exec runs a statement, discarding any result rows.
+func (db *DB) Exec(sql string) error {
+	_, err := db.Query(sql)
+	return err
+}
+
+// Query parses and executes a single SQL statement. DDL and INSERT return an
+// empty result.
+func (db *DB) Query(sql string) (*sqlexec.Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sqlparse.Select:
+		return sqlexec.RunSelect(db, s)
+	case *sqlparse.CreateTable:
+		return emptyResult(), db.execCreate(s)
+	case *sqlparse.DropTable:
+		return emptyResult(), db.DropTable(s.Name)
+	case *sqlparse.Insert:
+		return emptyResult(), db.execInsert(s)
+	default:
+		return nil, fmt.Errorf("vertica: unsupported statement %T", stmt)
+	}
+}
+
+func emptyResult() *sqlexec.Result {
+	return &sqlexec.Result{Batch: colstore.NewBatch(colstore.Schema{})}
+}
+
+func (db *DB) execCreate(s *sqlparse.CreateTable) error {
+	schema := make(colstore.Schema, 0, len(s.Cols))
+	for _, c := range s.Cols {
+		t, err := colstore.ParseType(c.Type)
+		if err != nil {
+			return err
+		}
+		schema = append(schema, colstore.ColumnSchema{Name: c.Name, Type: t})
+	}
+	def := &catalog.TableDef{Name: s.Name, Schema: schema}
+	if s.Seg != nil {
+		if s.Seg.Hash {
+			def.Seg = catalog.Segmentation{Kind: catalog.SegHash, Column: s.Seg.Column}
+		} else {
+			def.Seg = catalog.Segmentation{Kind: catalog.SegRoundRobin}
+		}
+	}
+	return db.CreateTable(def)
+}
+
+func (db *DB) execInsert(s *sqlparse.Insert) error {
+	def, err := db.cat.Get(s.Table)
+	if err != nil {
+		return err
+	}
+	cols := s.Columns
+	if cols == nil {
+		cols = make([]string, len(def.Schema))
+		for i, c := range def.Schema {
+			cols[i] = c.Name
+		}
+	}
+	if len(cols) != len(def.Schema) {
+		return fmt.Errorf("vertica: INSERT must provide all %d columns", len(def.Schema))
+	}
+	// Map provided column order onto the table order.
+	pos := make([]int, len(def.Schema))
+	for i := range pos {
+		pos[i] = -1
+	}
+	for provIdx, name := range cols {
+		ti := def.Schema.ColIndex(name)
+		if ti < 0 {
+			return fmt.Errorf("vertica: unknown column %q in INSERT", name)
+		}
+		pos[ti] = provIdx
+	}
+	for ti, p := range pos {
+		if p < 0 {
+			return fmt.Errorf("vertica: INSERT missing column %q", def.Schema[ti].Name)
+		}
+	}
+	b := colstore.NewBatch(def.Schema)
+	for ri, row := range s.Rows {
+		if len(row) != len(cols) {
+			return fmt.Errorf("vertica: INSERT row %d has %d values, want %d", ri, len(row), len(cols))
+		}
+		vals := make([]any, len(def.Schema))
+		for ti := range def.Schema {
+			v, ok := sqlexec.Literal(row[pos[ti]])
+			if !ok {
+				return fmt.Errorf("vertica: INSERT values must be literals (row %d)", ri)
+			}
+			vals[ti] = v
+		}
+		if err := b.AppendRow(vals...); err != nil {
+			return err
+		}
+	}
+	return db.Load(s.Table, b)
+}
+
+// Persist seals and writes every segment of every table under DataDir,
+// along with the catalog manifest, so Restore can reopen the database.
+func (db *DB) Persist() error {
+	if db.cfg.DataDir == "" {
+		return fmt.Errorf("vertica: no DataDir configured")
+	}
+	if err := db.persistCatalog(); err != nil {
+		return err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for table, segs := range db.segs {
+		dir := filepath.Join(db.cfg.DataDir, "tables", table)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for node, seg := range segs {
+			path := filepath.Join(dir, fmt.Sprintf("node%d.vseg", node))
+			if err := seg.Persist(path); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+var _ sqlexec.Database = (*DB)(nil)

@@ -1,0 +1,124 @@
+package vertica
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"verticadr/internal/catalog"
+	"verticadr/internal/colstore"
+)
+
+// catalogFile is the on-disk catalog manifest written next to the segment
+// files by Persist and read back by Restore.
+const catalogFile = "catalog.json"
+
+type persistedColumn struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+type persistedTable struct {
+	Name      string            `json:"name"`
+	Columns   []persistedColumn `json:"columns"`
+	SegKind   string            `json:"segmentation"`
+	SegColumn string            `json:"seg_column,omitempty"`
+}
+
+type persistedCatalog struct {
+	Nodes  int              `json:"nodes"`
+	Tables []persistedTable `json:"tables"`
+}
+
+// persistCatalog writes the catalog manifest under DataDir.
+func (db *DB) persistCatalog() error {
+	pc := persistedCatalog{Nodes: db.cfg.Nodes}
+	for _, name := range db.cat.List() {
+		def, err := db.cat.Get(name)
+		if err != nil {
+			return err
+		}
+		pt := persistedTable{Name: name}
+		for _, c := range def.Schema {
+			pt.Columns = append(pt.Columns, persistedColumn{Name: c.Name, Type: c.Type.String()})
+		}
+		switch def.Seg.Kind {
+		case catalog.SegHash:
+			pt.SegKind = "hash"
+			pt.SegColumn = def.Seg.Column
+		default:
+			pt.SegKind = "roundrobin"
+		}
+		pc.Tables = append(pc.Tables, pt)
+	}
+	data, err := json.MarshalIndent(pc, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(db.cfg.DataDir, catalogFile+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(db.cfg.DataDir, catalogFile))
+}
+
+// Restore reopens every table persisted under cfg.DataDir into a fresh
+// cluster: catalog manifest plus per-node segment files. The cluster size
+// must match the one that persisted the data (segments are per node).
+func Restore(cfg Config) (*DB, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("vertica: Restore requires DataDir")
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.DataDir, catalogFile))
+	if err != nil {
+		return nil, fmt.Errorf("vertica: read catalog manifest: %w", err)
+	}
+	var pc persistedCatalog
+	if err := json.Unmarshal(data, &pc); err != nil {
+		return nil, fmt.Errorf("vertica: parse catalog manifest: %w", err)
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = pc.Nodes
+	}
+	if cfg.Nodes != pc.Nodes {
+		return nil, fmt.Errorf("vertica: cluster size %d does not match persisted %d", cfg.Nodes, pc.Nodes)
+	}
+	db, err := Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range pc.Tables {
+		schema := make(colstore.Schema, 0, len(pt.Columns))
+		for _, c := range pt.Columns {
+			typ, err := colstore.ParseType(c.Type)
+			if err != nil {
+				return nil, fmt.Errorf("vertica: table %q: %w", pt.Name, err)
+			}
+			schema = append(schema, colstore.ColumnSchema{Name: c.Name, Type: typ})
+		}
+		def := &catalog.TableDef{Name: pt.Name, Schema: schema}
+		if pt.SegKind == "hash" {
+			def.Seg = catalog.Segmentation{Kind: catalog.SegHash, Column: pt.SegColumn}
+		}
+		if err := db.CreateTable(def); err != nil {
+			return nil, err
+		}
+		segs := make([]*colstore.Segment, cfg.Nodes)
+		for node := 0; node < cfg.Nodes; node++ {
+			path := filepath.Join(cfg.DataDir, "tables", pt.Name, fmt.Sprintf("node%d.vseg", node))
+			seg, err := colstore.OpenSegment(path)
+			if err != nil {
+				return nil, fmt.Errorf("vertica: reopen %q node %d: %w", pt.Name, node, err)
+			}
+			if !seg.Schema().Equal(schema) {
+				return nil, fmt.Errorf("vertica: segment schema drift in %q node %d", pt.Name, node)
+			}
+			segs[node] = seg
+		}
+		db.mu.Lock()
+		db.segs[pt.Name] = segs
+		db.mu.Unlock()
+	}
+	return db, nil
+}

@@ -1,0 +1,155 @@
+package vft
+
+import (
+	"fmt"
+	"time"
+
+	"verticadr/internal/colstore"
+	"verticadr/internal/udf"
+)
+
+// exportUDF is the ExportToDistributedR transform function (Fig. 4). One
+// instance runs per node-local chunk under OVER (PARTITION BEST); each
+// instance reads its rows, buffers them (psize rows per chunk — the
+// partition-size hint of §3.1), encodes each buffer as a columnar chunk and
+// pushes it to the target worker's staging area through the Hub.
+type exportUDF struct{}
+
+// OutputSchema: one summary row per instance (node, rows, bytes).
+func (exportUDF) OutputSchema(in colstore.Schema, params udf.Params) (colstore.Schema, error) {
+	if len(in) == 0 {
+		return nil, fmt.Errorf("vft: ExportToDistributedR needs at least one column argument")
+	}
+	if _, err := params.String("session"); err != nil {
+		return nil, err
+	}
+	policy := params.StringOr("policy", PolicyLocality)
+	if policy != PolicyLocality && policy != PolicyUniform {
+		return nil, fmt.Errorf("vft: unknown policy %q", policy)
+	}
+	if _, err := params.Int("workers"); err != nil {
+		return nil, err
+	}
+	return colstore.Schema{
+		{Name: "node", Type: colstore.TypeInt64},
+		{Name: "rows", Type: colstore.TypeInt64},
+		{Name: "bytes", Type: colstore.TypeInt64},
+	}, nil
+}
+
+func (exportUDF) ProcessPartition(ctx *udf.Ctx, in udf.BatchReader, out udf.BatchWriter) error {
+	svc, err := ctx.Service(ServiceName)
+	if err != nil {
+		return err
+	}
+	sink, ok := svc.(ChunkSink)
+	if !ok {
+		return fmt.Errorf("vft: service %q is %T, not a ChunkSink", ServiceName, svc)
+	}
+	sessionID, err := ctx.Params.String("session")
+	if err != nil {
+		return err
+	}
+	policy := ctx.Params.StringOr("policy", PolicyLocality)
+	workers := int(ctx.Params.IntOr("workers", 1))
+	bufRows := int(ctx.Params.IntOr("psize", 4096))
+	if bufRows <= 0 {
+		bufRows = 4096
+	}
+
+	var schema colstore.Schema
+	var buf *colstore.Batch
+	totalRows, totalBytes := 0, 0
+	localSeq := 0
+	// Round-robin cursor for the uniform policy; offset by node and instance
+	// so concurrent instances do not all start at worker 0.
+	rr := ctx.NodeID + ctx.Instance
+
+	flush := func() error {
+		if buf == nil || buf.Len() == 0 {
+			return nil
+		}
+		start := time.Now()
+		msg, err := EncodeChunk(buf)
+		if err != nil {
+			return err
+		}
+		var target int
+		switch policy {
+		case PolicyLocality:
+			// Node i's data goes to partition i (= worker i), Fig. 5.
+			target = ctx.NodeID
+		case PolicyUniform:
+			target = rr % workers
+			rr++
+		default:
+			return fmt.Errorf("vft: unknown policy %q", policy)
+		}
+		rows := buf.Len()
+		elapsed := time.Since(start)
+		seq := OrderKey(ctx.NodeID, ctx.Instance, localSeq)
+		localSeq++
+		if err := sink.Send(sessionID, target, seq, msg, rows, elapsed); err != nil {
+			return err
+		}
+		totalRows += rows
+		totalBytes += len(msg)
+		buf = colstore.NewBatch(schema)
+		return nil
+	}
+
+	for {
+		b, err := in.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if schema == nil {
+			schema = b.Schema
+			buf = colstore.NewBatch(schema)
+		}
+		// Stage rows into the in-memory buffer, flushing every bufRows.
+		off := 0
+		for off < b.Len() {
+			take := bufRows - buf.Len()
+			if take > b.Len()-off {
+				take = b.Len() - off
+			}
+			if err := buf.AppendBatch(b.Slice(off, off+take)); err != nil {
+				return err
+			}
+			off += take
+			if buf.Len() >= bufRows {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if schema != nil {
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+	summary := colstore.NewBatch(colstore.Schema{
+		{Name: "node", Type: colstore.TypeInt64},
+		{Name: "rows", Type: colstore.TypeInt64},
+		{Name: "bytes", Type: colstore.TypeInt64},
+	})
+	if err := summary.AppendRow(int64(ctx.NodeID), int64(totalRows), int64(totalBytes)); err != nil {
+		return err
+	}
+	return out.Write(summary)
+}
+
+// Register installs the export UDF and the hub service into a database.
+// The db argument is any registry owner (internal/vertica.DB satisfies it).
+func Register(db interface {
+	UDFs() *udf.Registry
+	RegisterService(name string, svc any)
+}, hub *Hub) error {
+	db.RegisterService(ServiceName, hub)
+	return db.UDFs().Register(FuncName, func() udf.Transform { return exportUDF{} })
+}

@@ -1,0 +1,104 @@
+package vft
+
+import (
+	"fmt"
+	"strings"
+
+	"verticadr/internal/catalog"
+	"verticadr/internal/darray"
+	"verticadr/internal/dr"
+)
+
+// DB is the slice of the database that VFT needs: metadata plus the ability
+// to run the export query. internal/vertica.DB satisfies it.
+type DB interface {
+	TableDef(name string) (*catalog.TableDef, error)
+	NumNodes() int
+	Exec(sql string) error
+}
+
+// ServiceDB additionally lets callers swap the chunk sink the export UDF
+// uses (in-proc hub vs TCP client). internal/vertica.DB satisfies it.
+type ServiceDB interface {
+	DB
+	RegisterService(name string, svc any)
+}
+
+// LoadTCP runs a fast transfer whose data plane crosses real TCP sockets:
+// worker listeners (svc) receive framed chunks from the database-side UDF
+// instances, exactly as when the database and Distributed R run on
+// different machines. Control flow is otherwise identical to Load.
+func LoadTCP(db ServiceDB, c *dr.Cluster, hub *Hub, svc *TCPService, table string, cols []string, policy string, psize int) (*darray.DFrame, *Stats, error) {
+	client := NewTCPClient(svc.Addrs())
+	defer client.Close()
+	db.RegisterService(ServiceName, client)
+	defer db.RegisterService(ServiceName, hub)
+	return Load(db, c, hub, table, cols, policy, psize)
+}
+
+// Load performs one complete fast transfer (the db2darray internals of §3):
+//
+//  1. Declare an empty distributed data frame — partitions sized later.
+//  2. Workers stand by (their staging areas live in the Hub).
+//  3. The master issues ONE SQL query invoking ExportToDistributedR with the
+//     worker/network metadata, partition-size hint and policy (Fig. 4).
+//  4. Vertica fans out UDF instances per node that stream encoded chunks.
+//  5. Finalize converts staged chunks into frame partitions on the workers.
+//
+// With PolicyLocality the frame has one partition per database node,
+// co-numbered with workers (requires equal counts); with PolicyUniform one
+// partition per worker with near-even sizes.
+func Load(db DB, c *dr.Cluster, hub *Hub, table string, cols []string, policy string, psize int) (*darray.DFrame, *Stats, error) {
+	def, err := db.TableDef(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(cols) == 0 {
+		for _, cs := range def.Schema {
+			cols = append(cols, cs.Name)
+		}
+	}
+	schema, err := def.Schema.Project(cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes, workers := db.NumNodes(), c.NumWorkers()
+	var nparts int
+	switch policy {
+	case PolicyLocality:
+		if nodes != workers {
+			return nil, nil, fmt.Errorf("vft: locality policy requires equal node counts (db=%d, dr=%d); use %q", nodes, workers, PolicyUniform)
+		}
+		nparts = nodes
+	case PolicyUniform:
+		nparts = workers
+	default:
+		return nil, nil, fmt.Errorf("vft: unknown policy %q", policy)
+	}
+	if psize <= 0 {
+		// The paper: partition sizes are estimated as table rows divided by
+		// the number of receiving R instances, and used as buffering hints.
+		psize = 4096
+	}
+	frame, err := darray.NewFrame(c, nparts)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < nparts; i++ {
+		if err := frame.SetWorker(i, i%workers); err != nil {
+			return nil, nil, err
+		}
+	}
+	sessionID := hub.open(frame, schema, policy)
+	q := fmt.Sprintf(
+		"SELECT %s(%s USING PARAMETERS session='%s', policy='%s', psize=%d, workers=%d) OVER (PARTITION BEST) FROM %s",
+		FuncName, strings.Join(cols, ", "), sessionID, policy, psize, workers, table)
+	if err := db.Exec(q); err != nil {
+		return nil, nil, fmt.Errorf("vft: export query failed: %w", err)
+	}
+	stats, err := hub.finalize(sessionID, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return frame, stats, nil
+}

@@ -1,0 +1,270 @@
+package vft
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChunkSink is where export UDF instances push encoded chunks. The in-proc
+// Hub implements it directly; TCPClient implements it over real sockets so
+// the database and Distributed R can run as separate processes/machines
+// (the paper: "The new transfer mechanism works irrespective of whether R
+// instances are on the same or different nodes as the database").
+type ChunkSink interface {
+	Send(sessionID string, part int, seq uint64, msg []byte, rows int, dbTime time.Duration) error
+}
+
+var _ ChunkSink = (*Hub)(nil)
+
+// Frame layout (little-endian):
+//
+//	u32 payload length, then payload:
+//	  uvarint len(session) | session | uvarint part | uvarint seq |
+//	  uvarint rows | uvarint dbTimeNanos | chunk bytes (rest of payload)
+//	reply: 1 status byte (0 ok) | on error: u16 length + message
+
+// TCPService runs one listener per Distributed R worker; received frames
+// are staged into the Hub exactly as in-process sends are. This is the
+// "workers start listening for network connections from Vertica processes"
+// step of §3.1.
+type TCPService struct {
+	hub       *Hub
+	listeners []net.Listener
+	addrs     []string
+	closed    atomic.Bool
+	wg        sync.WaitGroup
+}
+
+// ServeTCP starts `workers` loopback listeners feeding the hub.
+func ServeTCP(hub *Hub, workers int) (*TCPService, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("vft: need at least one worker listener")
+	}
+	s := &TCPService{hub: hub}
+	for i := 0; i < workers; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("vft: listen: %w", err)
+		}
+		s.listeners = append(s.listeners, ln)
+		s.addrs = append(s.addrs, ln.Addr().String())
+		s.wg.Add(1)
+		go s.acceptLoop(ln)
+	}
+	return s, nil
+}
+
+// Addrs returns the per-worker listener addresses — the hosts argument of
+// the ExportToDistributedR call (Fig. 4).
+func (s *TCPService) Addrs() []string { return append([]string(nil), s.addrs...) }
+
+// Close stops all listeners and waits for handler goroutines.
+func (s *TCPService) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	for _, ln := range s.listeners {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *TCPService) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *TCPService) handle(conn net.Conn) {
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return // EOF or closed
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n > 1<<30 {
+			writeReply(conn, fmt.Errorf("vft: frame too large (%d bytes)", n))
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		err := s.dispatch(payload)
+		if writeReply(conn, err) != nil {
+			return
+		}
+	}
+}
+
+func (s *TCPService) dispatch(payload []byte) error {
+	session, rest, err := readString(payload)
+	if err != nil {
+		return err
+	}
+	part, m := binary.Uvarint(rest)
+	if m <= 0 {
+		return fmt.Errorf("vft: corrupt frame (part)")
+	}
+	rest = rest[m:]
+	seq, m := binary.Uvarint(rest)
+	if m <= 0 {
+		return fmt.Errorf("vft: corrupt frame (seq)")
+	}
+	rest = rest[m:]
+	rows, m := binary.Uvarint(rest)
+	if m <= 0 {
+		return fmt.Errorf("vft: corrupt frame (rows)")
+	}
+	rest = rest[m:]
+	nanos, m := binary.Uvarint(rest)
+	if m <= 0 {
+		return fmt.Errorf("vft: corrupt frame (time)")
+	}
+	rest = rest[m:]
+	chunk := append([]byte(nil), rest...)
+	return s.hub.Send(session, int(part), seq, chunk, int(rows), time.Duration(nanos))
+}
+
+func readString(b []byte) (string, []byte, error) {
+	l, m := binary.Uvarint(b)
+	if m <= 0 || uint64(len(b)-m) < l {
+		return "", nil, fmt.Errorf("vft: corrupt frame (string)")
+	}
+	return string(b[m : m+int(l)]), b[m+int(l):], nil
+}
+
+func writeReply(conn net.Conn, err error) error {
+	if err == nil {
+		_, werr := conn.Write([]byte{0})
+		return werr
+	}
+	msg := err.Error()
+	if len(msg) > 1<<15 {
+		msg = msg[:1<<15]
+	}
+	buf := make([]byte, 3+len(msg))
+	buf[0] = 1
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(msg)))
+	copy(buf[3:], msg)
+	_, werr := conn.Write(buf)
+	return werr
+}
+
+// TCPClient is the database-side sender: it dials worker listeners and
+// frames chunks onto sockets, with a small per-address connection pool so
+// concurrent UDF instances reuse connections.
+type TCPClient struct {
+	addrs []string
+	mu    sync.Mutex
+	pool  map[string][]net.Conn
+}
+
+// NewTCPClient builds a sender for the given worker addresses (index ==
+// target partition, which equals the worker index under both policies).
+func NewTCPClient(addrs []string) *TCPClient {
+	return &TCPClient{addrs: addrs, pool: map[string][]net.Conn{}}
+}
+
+var _ ChunkSink = (*TCPClient)(nil)
+
+func (c *TCPClient) getConn(addr string) (net.Conn, error) {
+	c.mu.Lock()
+	conns := c.pool[addr]
+	if len(conns) > 0 {
+		conn := conns[len(conns)-1]
+		c.pool[addr] = conns[:len(conns)-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	return net.Dial("tcp", addr)
+}
+
+func (c *TCPClient) putConn(addr string, conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pool[addr] = append(c.pool[addr], conn)
+}
+
+// Send implements ChunkSink over TCP with a synchronous ack.
+func (c *TCPClient) Send(sessionID string, part int, seq uint64, msg []byte, rows int, dbTime time.Duration) error {
+	if part < 0 || part >= len(c.addrs) {
+		return fmt.Errorf("vft: no listener for partition %d", part)
+	}
+	addr := c.addrs[part]
+	conn, err := c.getConn(addr)
+	if err != nil {
+		return fmt.Errorf("vft: dial %s: %w", addr, err)
+	}
+	ok := false
+	defer func() {
+		if ok {
+			c.putConn(addr, conn)
+		} else {
+			conn.Close()
+		}
+	}()
+
+	payload := binary.AppendUvarint(nil, uint64(len(sessionID)))
+	payload = append(payload, sessionID...)
+	payload = binary.AppendUvarint(payload, uint64(part))
+	payload = binary.AppendUvarint(payload, seq)
+	payload = binary.AppendUvarint(payload, uint64(rows))
+	payload = binary.AppendUvarint(payload, uint64(dbTime.Nanoseconds()))
+	payload = append(payload, msg...)
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if _, err := conn.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("vft: send frame: %w", err)
+	}
+	if _, err := conn.Write(payload); err != nil {
+		return fmt.Errorf("vft: send frame: %w", err)
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(conn, status[:]); err != nil {
+		return fmt.Errorf("vft: read ack: %w", err)
+	}
+	if status[0] != 0 {
+		var lb [2]byte
+		if _, err := io.ReadFull(conn, lb[:]); err != nil {
+			return fmt.Errorf("vft: read error reply: %w", err)
+		}
+		msg := make([]byte, binary.LittleEndian.Uint16(lb[:]))
+		if _, err := io.ReadFull(conn, msg); err != nil {
+			return fmt.Errorf("vft: read error reply: %w", err)
+		}
+		return fmt.Errorf("vft: remote: %s", msg)
+	}
+	ok = true
+	return nil
+}
+
+// Close drains the connection pool.
+func (c *TCPClient) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, conns := range c.pool {
+		for _, conn := range conns {
+			conn.Close()
+		}
+	}
+	c.pool = map[string][]net.Conn{}
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenKmeansShape(t *testing.T) {
+	d := GenKmeans(1, 100, 5, 3, 0.1)
+	if len(d.Points) != 100 || len(d.Points[0]) != 5 {
+		t.Fatalf("points shape %dx%d", len(d.Points), len(d.Points[0]))
+	}
+	if len(d.Centers) != 3 || len(d.Labels) != 100 {
+		t.Fatalf("centers=%d labels=%d", len(d.Centers), len(d.Labels))
+	}
+	for _, l := range d.Labels {
+		if l < 0 || l >= 3 {
+			t.Fatalf("label out of range: %d", l)
+		}
+	}
+}
+
+func TestGenKmeansDeterministic(t *testing.T) {
+	a := GenKmeans(42, 50, 4, 2, 0.5)
+	b := GenKmeans(42, 50, 4, 2, 0.5)
+	for i := range a.Points {
+		for j := range a.Points[i] {
+			if a.Points[i][j] != b.Points[i][j] {
+				t.Fatal("same seed must produce identical data")
+			}
+		}
+	}
+	c := GenKmeans(43, 50, 4, 2, 0.5)
+	same := true
+	for i := range a.Points {
+		for j := range a.Points[i] {
+			if a.Points[i][j] != c.Points[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenKmeansPointsNearCenters(t *testing.T) {
+	d := GenKmeans(7, 200, 3, 4, 0.01)
+	for i, p := range d.Points {
+		c := d.Centers[d.Labels[i]]
+		var dist float64
+		for j := range p {
+			dist += (p[j] - c[j]) * (p[j] - c[j])
+		}
+		if math.Sqrt(dist) > 1 {
+			t.Fatalf("point %d far from its planted center: %v", i, math.Sqrt(dist))
+		}
+	}
+}
+
+func TestGenLinearRecoverable(t *testing.T) {
+	d := GenLinear(9, 5000, 3, 0.01)
+	if len(d.X) != 5000 || len(d.Y) != 5000 || len(d.Beta) != 4 {
+		t.Fatalf("shapes %d %d %d", len(d.X), len(d.Y), len(d.Beta))
+	}
+	// With tiny noise, y should be very close to the planted linear form.
+	for i := 0; i < 100; i++ {
+		v := d.Beta[0]
+		for j := 0; j < 3; j++ {
+			v += d.Beta[j+1] * d.X[i][j]
+		}
+		if math.Abs(v-d.Y[i]) > 0.1 {
+			t.Fatalf("row %d residual %v too large", i, v-d.Y[i])
+		}
+	}
+}
+
+func TestGenLogisticBalanced(t *testing.T) {
+	d := GenLogistic(3, 10000, 4)
+	var ones float64
+	for _, y := range d.Y {
+		if y != 0 && y != 1 {
+			t.Fatalf("non-binary response %v", y)
+		}
+		ones += y
+	}
+	frac := ones / float64(len(d.Y))
+	if frac < 0.05 || frac > 0.95 {
+		t.Fatalf("degenerate class balance %v", frac)
+	}
+}
+
+func TestTableSpecGen(t *testing.T) {
+	ts := TableSpec{Name: "t", FeatCols: []string{"a", "b"}, RespCol: "y", Rows: 100, Seed: 5}
+	cols, names, beta := ts.Gen()
+	if len(cols) != 3 || len(names) != 3 || len(beta) != 3 {
+		t.Fatalf("gen shapes cols=%d names=%d beta=%d", len(cols), len(names), len(beta))
+	}
+	if names[2] != "y" {
+		t.Fatalf("names = %v", names)
+	}
+	for _, c := range cols {
+		if len(c) != 100 {
+			t.Fatalf("column length %d", len(c))
+		}
+	}
+	// No response column requested.
+	ts2 := TableSpec{Name: "t2", FeatCols: []string{"a"}, Rows: 10, Seed: 5}
+	cols2, names2, _ := ts2.Gen()
+	if len(cols2) != 1 || len(names2) != 1 {
+		t.Fatalf("gen without resp: cols=%d names=%d", len(cols2), len(names2))
+	}
+}
+
+func TestSkewedSizesEven(t *testing.T) {
+	s := SkewedSizes(100, 4, 1.0)
+	for _, v := range s {
+		if v != 25 {
+			t.Fatalf("even split gave %v", s)
+		}
+	}
+}
+
+func TestSkewedSizesSkew(t *testing.T) {
+	s := SkewedSizes(1000, 4, 2.0)
+	sum := 0
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			t.Fatalf("skew should be nondecreasing: %v", s)
+		}
+	}
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 1000 {
+		t.Fatalf("sizes sum to %d, want 1000", sum)
+	}
+	if s[3] < 3*s[0] {
+		t.Fatalf("expected strong skew, got %v", s)
+	}
+}
+
+// Property: SkewedSizes always sums to n with nonnegative parts.
+func TestQuickSkewedSizesSum(t *testing.T) {
+	f := func(n uint16, parts uint8, factorRaw uint8) bool {
+		p := int(parts%16) + 1
+		factor := 0.5 + float64(factorRaw)/64.0
+		sizes := SkewedSizes(int(n), p, factor)
+		sum := 0
+		for _, s := range sizes {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		return sum == int(n) && len(sizes) == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+package yarn
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func newRM(t *testing.T) *ResourceManager {
+	t.Helper()
+	rm, err := New(Config{
+		Nodes: []NodeResources{
+			{Cores: 8, MemoryMB: 16000},
+			{Cores: 8, MemoryMB: 16000},
+		},
+		Queues: map[string]float64{"db": 0.5, "analytics": 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rm
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("no nodes should fail")
+	}
+	if _, err := New(Config{Nodes: []NodeResources{{Cores: 0, MemoryMB: 1}}}); err == nil {
+		t.Fatal("zero cores should fail")
+	}
+	if _, err := New(Config{Nodes: []NodeResources{{1, 1}}, Queues: map[string]float64{"a": 2}}); err == nil {
+		t.Fatal("share > 1 should fail")
+	}
+	if _, err := New(Config{Nodes: []NodeResources{{1, 1}}, Queues: map[string]float64{"a": 0.7, "b": 0.7}}); err == nil {
+		t.Fatal("shares > 1 total should fail")
+	}
+	rm := newRM(t)
+	if _, err := rm.Submit("x", "nope"); err == nil {
+		t.Fatal("unknown queue should fail")
+	}
+	if len(rm.Queues()) != 2 {
+		t.Fatal("queues")
+	}
+}
+
+func TestRequestReleaseAccounting(t *testing.T) {
+	rm := newRM(t)
+	app, _ := rm.Submit("vertica", "db")
+	c, err := app.Request(4, 8000, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Node != 0 || c.Cores != 4 {
+		t.Fatalf("container = %+v", c)
+	}
+	u := rm.Usage()
+	if u.FreeCores[0] != 4 || u.QueueCores["db"] != 4 || u.Outstanding != 1 {
+		t.Fatalf("usage = %+v", u)
+	}
+	if err := app.Release(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Release(c); err == nil {
+		t.Fatal("double release should fail")
+	}
+	u = rm.Usage()
+	if u.FreeCores[0] != 8 || u.Outstanding != 0 {
+		t.Fatalf("usage after release = %+v", u)
+	}
+}
+
+func TestLocalityPreference(t *testing.T) {
+	rm, err := New(Config{
+		Nodes: []NodeResources{
+			{Cores: 8, MemoryMB: 16000},
+			{Cores: 8, MemoryMB: 16000},
+		},
+		Queues: map[string]float64{"analytics": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _ := rm.Submit("dr", "analytics")
+	c, _ := app.Request(2, 1000, 1, false)
+	if c.Node != 1 {
+		t.Fatalf("locality preference ignored: node %d", c.Node)
+	}
+	// Fill node 1; next preferred-1 request falls back to node 0.
+	c2, _ := app.Request(6, 1000, 1, false)
+	if c2.Node != 1 {
+		t.Fatalf("node 1 had room: %+v", c2)
+	}
+	c3, err := app.Request(2, 1000, 1, false)
+	if err != nil || c3.Node != 0 {
+		t.Fatalf("fallback failed: %+v %v", c3, err)
+	}
+}
+
+func TestCapacityProtectsOtherQueues(t *testing.T) {
+	rm := newRM(t)
+	dr, _ := rm.Submit("dr", "analytics")
+	// analytics' share is 8 of 16 cores. It may take its share...
+	if _, err := dr.RequestN(4, 2, 1000, false); err != nil {
+		t.Fatal(err)
+	}
+	// ...but not eat into db's guaranteed half while db is unused? With
+	// elasticity, extra idle beyond db's guarantee is zero here (db has 8
+	// reserved), so the next request must fail.
+	if _, err := dr.Request(2, 1000, -1, false); err == nil {
+		t.Fatal("analytics should not exceed its share while db's guarantee is reserved")
+	}
+	// db can still get its full share immediately.
+	db, _ := rm.Submit("vertica", "db")
+	if _, err := db.RequestN(4, 2, 1000, false); err != nil {
+		t.Fatalf("db blocked from its guaranteed share: %v", err)
+	}
+}
+
+func TestRequestNRollsBackOnFailure(t *testing.T) {
+	rm := newRM(t)
+	app, _ := rm.Submit("dr", "analytics")
+	// 5 containers × 2 cores = 10 > its 8-core entitlement → failure, and
+	// nothing should stay allocated.
+	if _, err := app.RequestN(5, 2, 1000, false); err == nil {
+		t.Fatal("over-entitlement should fail")
+	}
+	u := rm.Usage()
+	if u.Outstanding != 0 || u.QueueCores["analytics"] != 0 {
+		t.Fatalf("rollback incomplete: %+v", u)
+	}
+}
+
+func TestWaitingRequestUnblocksOnRelease(t *testing.T) {
+	rm := newRM(t)
+	db, _ := rm.Submit("vertica", "db")
+	held, err := db.RequestN(4, 2, 1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, _ := rm.Submit("dr", "analytics")
+	if _, err := dr.RequestN(4, 2, 1000, false); err != nil {
+		t.Fatal(err)
+	}
+	// The db queue is fully allocated; a second db request should block
+	// then succeed when the first application releases a container.
+	db2, _ := rm.Submit("vertica-etl", "db")
+	done := make(chan *Container)
+	go func() {
+		c, err := db2.Request(2, 1000, -1, true)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- c
+	}()
+	select {
+	case <-done:
+		t.Fatal("request should have blocked")
+	case <-time.After(20 * time.Millisecond):
+	}
+	_ = db.Release(held[0])
+	select {
+	case c := <-done:
+		if c == nil {
+			t.Fatal("nil container")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiting request never unblocked")
+	}
+}
+
+func TestElasticityWhenOtherQueueIdle(t *testing.T) {
+	rm, err := New(Config{
+		Nodes:  []NodeResources{{Cores: 8, MemoryMB: 8000}},
+		Queues: map[string]float64{"a": 0.25, "b": 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shares only cover half the cluster; the rest is unreserved, so queue a
+	// may elastically exceed its 2-core share up to 6 cores.
+	app, _ := rm.Submit("x", "a")
+	if _, err := app.Request(6, 1000, -1, false); err != nil {
+		t.Fatalf("elastic allocation failed: %v", err)
+	}
+	// But not beyond what protects b's 2 cores.
+	if _, err := app.Request(2, 1000, -1, false); err == nil {
+		t.Fatal("should not invade queue b's guarantee")
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	rm, _ := New(Config{
+		Nodes:  []NodeResources{{Cores: 16, MemoryMB: 64000}, {Cores: 16, MemoryMB: 64000}},
+		Queues: map[string]float64{"q": 1},
+	})
+	app, _ := rm.Submit("x", "q")
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var grants []*Container
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := app.Request(1, 1000, -1, false)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			grants = append(grants, c)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if len(grants) != 32 {
+		t.Fatalf("granted %d", len(grants))
+	}
+	u := rm.Usage()
+	if u.FreeCores[0] != 0 || u.FreeCores[1] != 0 {
+		t.Fatalf("usage = %+v", u)
+	}
+	for _, c := range grants {
+		if err := app.Release(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBadDemands(t *testing.T) {
+	rm := newRM(t)
+	app, _ := rm.Submit("x", "db")
+	if _, err := app.Request(0, 100, -1, false); err == nil {
+		t.Fatal("zero cores should fail")
+	}
+	if _, err := app.Request(1, 0, -1, false); err == nil {
+		t.Fatal("zero memory should fail")
+	}
+	if _, err := app.Request(99, 100, -1, false); err == nil {
+		t.Fatal("impossible demand should fail fast with wait=false")
+	}
+}

@@ -1,0 +1,123 @@
+// Package verticadr is a from-scratch Go reproduction of "Large-scale
+// Predictive Analytics in Vertica: Fast Data Transfer, Distributed Model
+// Creation, and In-database Prediction" (Prasad et al., SIGMOD 2015).
+//
+// It pairs an MPP columnar database (the Vertica substitute) with a
+// distributed in-memory analytics runtime (the Distributed R substitute)
+// and provides the paper's three contributions as a library:
+//
+//   - fast, parallel data transfer between the database and the analytics
+//     runtime (Vertica Fast Transfer, with locality-preserving and uniform
+//     distribution policies), plus the classic parallel-ODBC baseline;
+//   - distributed model creation: K-means, GLM/linear regression via
+//     Newton–Raphson, cross-validation and random forests over distributed
+//     arrays with uneven partitions;
+//   - in-database model deployment and parallel prediction: models are
+//     serialized into the database's replicated file system, catalogued in
+//     the R_Models table, and applied with SQL — e.g.
+//     SELECT GlmPredict(a, b USING PARAMETERS model='m') OVER (PARTITION BEST) FROM t.
+//
+// Quickstart (the paper's Figure 3 workflow):
+//
+//	s, _ := verticadr.Start(verticadr.Config{DBNodes: 4})
+//	defer s.Close()
+//	s.Exec(`CREATE TABLE mytable (a FLOAT, b FLOAT, y FLOAT)`)
+//	// ... load data ...
+//	x, _, _ := s.DB2DArray("mytable", []string{"a", "b"}, "")
+//	y, _, _ := s.DB2DArray("mytable", []string{"y"}, "")
+//	model, _ := verticadr.GLM(x, y, verticadr.GLMOpts{Family: verticadr.Gaussian})
+//	s.DeployModel("rModel", "me", "forecast", model)
+//	res, _ := s.Query(`SELECT GlmPredict(a, b USING PARAMETERS model='rModel') OVER (PARTITION BEST) FROM mytable`)
+//	_ = res
+package verticadr
+
+import (
+	"verticadr/internal/algos"
+	"verticadr/internal/core"
+	"verticadr/internal/darray"
+	"verticadr/internal/vft"
+)
+
+// Config sizes a session: database nodes, Distributed R workers, R
+// instances per worker, optional YARN brokering and persistence.
+type Config = core.Config
+
+// Session is a paired database + Distributed R runtime (Figure 2 of the
+// paper). Sessions are created with Start and must be Closed.
+type Session = core.Session
+
+// Start launches a session (distributedR_start(), Fig. 3 lines 1–3).
+func Start(cfg Config) (*Session, error) { return core.Start(cfg) }
+
+// Transfer policies for DB2DArray / DB2DFrame (§3.2).
+const (
+	// PolicyLocality preserves table-segment locality (Fig. 5); requires
+	// equal database-node and worker counts.
+	PolicyLocality = vft.PolicyLocality
+	// PolicyUniform spreads rows evenly regardless of segmentation skew
+	// (Fig. 6).
+	PolicyUniform = vft.PolicyUniform
+)
+
+// Distributed data structures (§4, Table 1).
+type (
+	// DArray is a row-partitioned distributed matrix supporting uneven
+	// partition sizes.
+	DArray = darray.DArray
+	// DFrame is a distributed typed data frame.
+	DFrame = darray.DFrame
+	// DList is a distributed list.
+	DList = darray.DList
+	// Mat is one dense matrix partition.
+	Mat = darray.Mat
+)
+
+// NewMat allocates a zeroed matrix partition.
+func NewMat(rows, cols int) *Mat { return darray.NewMat(rows, cols) }
+
+// Machine-learning models and solvers (§7.3's workloads).
+type (
+	// KmeansModel is a fitted clustering model.
+	KmeansModel = algos.KmeansModel
+	// KmeansOpts configures Kmeans.
+	KmeansOpts = algos.KmeansOpts
+	// GLMModel is a fitted (generalized) linear model.
+	GLMModel = algos.GLMModel
+	// GLMOpts configures GLM.
+	GLMOpts = algos.GLMOpts
+	// ForestModel is a bagged random forest.
+	ForestModel = algos.ForestModel
+	// ForestOpts configures RandomForest.
+	ForestOpts = algos.ForestOpts
+	// CVResult holds cross-validation deviances.
+	CVResult = algos.CVResult
+	// Family selects the GLM response family.
+	Family = algos.Family
+)
+
+// GLM families.
+const (
+	Gaussian = algos.Gaussian
+	Binomial = algos.Binomial
+	Poisson  = algos.Poisson
+)
+
+// Kmeans fits distributed K-means (hpdkmeans) over a distributed array.
+func Kmeans(x *DArray, opts KmeansOpts) (*KmeansModel, error) { return algos.Kmeans(x, opts) }
+
+// GLM fits a generalized linear model with distributed Newton–Raphson
+// (hpdglm, Fig. 3 line 6).
+func GLM(x, y *DArray, opts GLMOpts) (*GLMModel, error) { return algos.GLM(x, y, opts) }
+
+// LM fits ordinary least squares (Gaussian GLM).
+func LM(x, y *DArray) (*GLMModel, error) { return algos.LM(x, y) }
+
+// CrossValidate runs k-fold cross-validation (cv.hpdglm, Fig. 3 line 7).
+func CrossValidate(x, y *DArray, opts GLMOpts, folds int) (*CVResult, error) {
+	return algos.CrossValidate(x, y, opts, folds)
+}
+
+// RandomForest trains a bagged forest with per-worker data locality.
+func RandomForest(x, y *DArray, opts ForestOpts) (*ForestModel, error) {
+	return algos.RandomForest(x, y, opts)
+}
