@@ -1,0 +1,28 @@
+GO ?= go
+
+# Tier-1 verify (referenced from ROADMAP.md): everything must build and
+# every test must pass before a PR lands.
+.PHONY: check
+check: vet build test race
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+# Race-check the packages with real shared-state concurrency: the
+# telemetry registry, the vft staging hub, and the dr scheduler.
+.PHONY: race
+race:
+	$(GO) test -race ./internal/telemetry/... ./internal/vft/... ./internal/dr/...
+
+.PHONY: bench
+bench:
+	$(GO) run ./cmd/vdr-bench -metrics bench-metrics.json

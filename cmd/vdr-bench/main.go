@@ -9,6 +9,7 @@
 //	vdr-bench                      # print every simulated figure
 //	vdr-bench -experiment fig13    # one figure
 //	vdr-bench -real                # also run the real-engine experiments
+//	vdr-bench -metrics out.json    # dump the telemetry registry afterwards
 package main
 
 import (
@@ -18,11 +19,13 @@ import (
 	"os"
 
 	"verticadr/internal/bench"
+	"verticadr/internal/telemetry"
 )
 
 func main() {
 	experiment := flag.String("experiment", "", "single experiment id (fig1, fig12..fig21, tab1, fig10)")
 	real := flag.Bool("real", false, "also run reduced-scale measured experiments on the live engines")
+	metrics := flag.String("metrics", "", "write the telemetry registry as JSON to this file after the run")
 	flag.Parse()
 
 	c := bench.DefaultCalib()
@@ -50,6 +53,17 @@ func main() {
 
 	if *real {
 		runReal()
+	}
+
+	if *metrics != "" {
+		data, err := telemetry.Default().SnapshotJSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*metrics, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry registry written to %s\n", *metrics)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"strings"
 	"time"
 
 	"verticadr"
@@ -52,7 +53,6 @@ func main() {
 	fmt.Printf("  ETL loaded %d rows; segment sizes per node: %v\n", n, sizes)
 
 	step(5, `data <- db2darray("mytable", ...) — Vertica Fast Transfer`)
-	start := time.Now()
 	x, stats, err := s.DB2DArray("mytable", []string{"a", "b"}, "")
 	if err != nil {
 		log.Fatal(err)
@@ -61,8 +61,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  policy=%s, %d chunks, %d bytes, partitions=%v, in %v\n",
-		stats.Policy, stats.Chunks, stats.Bytes, stats.PartSizes, time.Since(start))
+	for _, line := range strings.Split(stats.String(), "\n") {
+		fmt.Printf("  %s\n", line)
+	}
 
 	step(6, "model <- hpdglm(data$Y, data$X, family=gaussian) — distributed Newton-Raphson")
 	model, err := verticadr.GLM(x, y, verticadr.GLMOpts{Family: verticadr.Gaussian})
@@ -96,7 +97,7 @@ func main() {
 	if err := s.Exec(`INSERT INTO mytable2 VALUES (1.0, 1.0), (-1.0, 0.5), (0.0, 0.0)`); err != nil {
 		log.Fatal(err)
 	}
-	start = time.Now()
+	start := time.Now()
 	res, err := s.Query(`SELECT glmPredict(a, b USING PARAMETERS model='rModel') OVER (PARTITION BEST) FROM mytable2`)
 	if err != nil {
 		log.Fatal(err)

@@ -7,6 +7,9 @@
 //
 //	vdr-sql [-nodes 4] [-demo]
 //	> SELECT count(*) FROM demo;
+//	> PROFILE SELECT count(*) FROM demo;           -- per-operator rows + timings
+//	> \profile                                     -- profile every SELECT
+//	> \metrics                                     -- dump the telemetry registry
 //	> SELECT GlmPredict(a, b USING PARAMETERS model='m') OVER (PARTITION BEST) FROM demo;
 package main
 
@@ -20,6 +23,7 @@ import (
 	"strings"
 
 	"verticadr"
+	"verticadr/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +42,7 @@ func main() {
 		seedDemo(s)
 	}
 
+	profileAll := false
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Print("vdr> ")
@@ -53,11 +58,23 @@ func main() {
 				rows, _ := s.DB.TableRows(t)
 				fmt.Printf("  %s (%d rows, %s)\n", t, rows, def.Seg)
 			}
+		case line == "\\profile":
+			profileAll = !profileAll
+			fmt.Printf("profile mode %v\n", map[bool]string{true: "on", false: "off"}[profileAll])
+		case line == "\\metrics":
+			fmt.Print(telemetry.Default().Dump())
 		default:
-			res, err := s.Query(line)
+			q := line
+			if profileAll && hasPrefixFold(q, "SELECT") {
+				q = "PROFILE " + q
+			}
+			res, err := s.Query(q)
 			if err != nil {
 				fmt.Println("error:", err)
 				break
+			}
+			if res.Profile != nil {
+				fmt.Print(res.Profile.String())
 			}
 			if len(res.Schema()) > 0 {
 				names := make([]string, len(res.Schema()))
@@ -81,6 +98,10 @@ func main() {
 		}
 		fmt.Print("vdr> ")
 	}
+}
+
+func hasPrefixFold(s, prefix string) bool {
+	return len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix)
 }
 
 func seedDemo(s *verticadr.Session) {

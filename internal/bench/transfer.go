@@ -2,8 +2,10 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"verticadr/internal/simnet"
+	"verticadr/internal/telemetry"
 )
 
 // SimODBCTransfer simulates loading `gb` logical gigabytes from a dbNodes
@@ -79,6 +81,21 @@ type VFTBreakdown struct {
 // the R part is whatever conversion tail extends beyond it (the stacked
 // breakdown of Fig. 14).
 func SimVFTTransfer(c Calib, gb float64, dbNodes, rInstancesPerNode int) VFTBreakdown {
+	bd, _ := simVFT(c, gb, dbNodes, rInstancesPerNode, false)
+	return bd
+}
+
+// SimVFTTransferSpans is SimVFTTransfer with span recording: the returned
+// spans come from a SpanLog clocked by the simulation, so their durations
+// are virtual seconds of simulated transfer — not the microseconds the
+// simulation takes on the wall clock. The root vft.transfer span covers the
+// whole load; its db-side child ends when the last export instance finishes
+// and its conversion child runs until the conversion tail drains.
+func SimVFTTransferSpans(c Calib, gb float64, dbNodes, rInstancesPerNode int) (VFTBreakdown, []telemetry.SpanRecord) {
+	return simVFT(c, gb, dbNodes, rInstancesPerNode, true)
+}
+
+func simVFT(c Calib, gb float64, dbNodes, rInstancesPerNode int, record bool) (VFTBreakdown, []telemetry.SpanRecord) {
 	if dbNodes < 1 || rInstancesPerNode < 1 {
 		panic("bench: bad VFT transfer shape")
 	}
@@ -87,11 +104,28 @@ func SimVFTTransfer(c Calib, gb float64, dbNodes, rInstancesPerNode int) VFTBrea
 	chunk := c.VFTChunkMB * 1e6
 	nchunks := int(perNodeBytes/chunk + 0.999999)
 
+	// Span log on the simulation clock: Now() is virtual seconds as nanos.
+	var root, dbSpan, convSpan *telemetry.Span
+	var spans *telemetry.SpanLog
+	if record {
+		spans = telemetry.NewSpanLog(telemetry.ClockFunc(func() time.Duration {
+			return time.Duration(s.Now() * 1e9)
+		}))
+		root = spans.StartSpan("vft.transfer",
+			telemetry.L("policy", "locality"),
+			telemetry.L("gb", fmt.Sprintf("%g", gb)))
+		dbSpan = root.StartChild("vft.db-side")
+		convSpan = root.StartChild("vft.conversion")
+	}
+
 	dbDone := s.NewGate(dbNodes * c.VFTUDFInstances)
 	var dbFinish float64
 	s.Go("db-watch", func(p *simnet.Proc) {
 		dbDone.Wait(p)
 		dbFinish = p.Now()
+		if dbSpan != nil {
+			dbSpan.End()
+		}
 	})
 	for n := 0; n < dbNodes; n++ {
 		disk := s.NewResource(fmt.Sprintf("disk%d", n), 1, c.VFTDiskMBps*1e6)
@@ -137,7 +171,13 @@ func SimVFTTransfer(c Calib, gb float64, dbNodes, rInstancesPerNode int) VFTBrea
 	if rPart < 0 {
 		rPart = 0
 	}
-	return VFTBreakdown{Total: total, DBPart: dbFinish, RPart: rPart}
+	var recs []telemetry.SpanRecord
+	if record {
+		convSpan.End()
+		root.End()
+		recs = spans.Export()
+	}
+	return VFTBreakdown{Total: total, DBPart: dbFinish, RPart: rPart}, recs
 }
 
 // SimSingleRTransfer simulates the classic one-R-process extraction of

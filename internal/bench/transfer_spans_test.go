@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// Spans recorded under the simulated transfer must report virtual time: a
+// multi-gigabyte transfer lasts seconds of simulated time even though the
+// simulation itself finishes in well under a second of wall time.
+func TestSimVFTTransferSpansUseVirtualTime(t *testing.T) {
+	c := DefaultCalib()
+	wallStart := time.Now()
+	bd, spans := SimVFTTransferSpans(c, 8, 4, 4)
+	wall := time.Since(wallStart)
+
+	if bd.Total <= 0 || bd.DBPart <= 0 {
+		t.Fatalf("breakdown not populated: %+v", bd)
+	}
+	byName := map[string]struct {
+		dur   time.Duration
+		ended bool
+	}{}
+	for _, r := range spans {
+		byName[r.Name] = struct {
+			dur   time.Duration
+			ended bool
+		}{r.Duration, r.Ended}
+	}
+	for _, name := range []string{"vft.transfer", "vft.db-side", "vft.conversion"} {
+		sp, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing span %q in %v", name, spans)
+		}
+		if !sp.ended {
+			t.Fatalf("span %q not ended", name)
+		}
+	}
+	// The root span's duration equals the simulated total (seconds scale).
+	rootDur := byName["vft.transfer"].dur
+	wantDur := time.Duration(bd.Total * float64(time.Second))
+	if diff := rootDur - wantDur; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Fatalf("root span = %v, want simulated total %v", rootDur, wantDur)
+	}
+	dbDur := byName["vft.db-side"].dur
+	wantDB := time.Duration(bd.DBPart * float64(time.Second))
+	if diff := dbDur - wantDB; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Fatalf("db-side span = %v, want %v", dbDur, wantDB)
+	}
+	// Virtual, not wall: the simulated transfer dwarfs the wall time the
+	// simulation took (a wall-clocked span could never exceed it).
+	if rootDur < 10*wall {
+		t.Fatalf("root span %v looks like wall time (simulation ran %v of wall)", rootDur, wall)
+	}
+	// Parent links: children point at the root.
+	var rootID int64
+	for _, r := range spans {
+		if r.Name == "vft.transfer" {
+			rootID = r.ID
+		}
+	}
+	for _, r := range spans {
+		if r.Name != "vft.transfer" && r.Parent != rootID {
+			t.Fatalf("span %q parent = %d, want root %d", r.Name, r.Parent, rootID)
+		}
+	}
+}

@@ -3,6 +3,17 @@ package colstore
 import (
 	"fmt"
 	"math"
+
+	"verticadr/internal/telemetry"
+)
+
+// Scan-path telemetry: rows/bytes delivered and zone-map effectiveness,
+// recorded for every scan regardless of caller.
+var (
+	mScanRows      = telemetry.Default().Counter("colstore_scan_rows_total")
+	mScanBytes     = telemetry.Default().Counter("colstore_scan_bytes_total")
+	mBlocksScanned = telemetry.Default().Counter("colstore_scan_blocks_total", telemetry.L("result", "scanned"))
+	mBlocksSkipped = telemetry.Default().Counter("colstore_scan_blocks_total", telemetry.L("result", "skipped"))
 )
 
 // DefaultBlockRows is the number of rows per sealed block when not overridden.
@@ -287,10 +298,47 @@ func cmpOrdered[T int | int64 | float64 | string](a, b T) int {
 	}
 }
 
+// ScanStats reports what one scan touched: blocks decoded vs. skipped by
+// zone maps, encoded bytes decoded, and rows delivered past the predicate.
+type ScanStats struct {
+	BlocksScanned int // sealed blocks decoded
+	BlocksSkipped int // sealed blocks excluded by min/max stats
+	TailRows      int // unsealed tail rows examined
+	RowsOut       int // rows delivered to the callback
+	BytesRead     int // encoded bytes of the blocks decoded
+}
+
+// Add accumulates another scan's stats (per-segment parallel scans merge
+// into one per-query view).
+func (st *ScanStats) Add(o ScanStats) {
+	st.BlocksScanned += o.BlocksScanned
+	st.BlocksSkipped += o.BlocksSkipped
+	st.TailRows += o.TailRows
+	st.RowsOut += o.RowsOut
+	st.BytesRead += o.BytesRead
+}
+
 // Scan streams the named columns (nil = all) through fn in batches, applying
 // the optional predicate. The predicate column need not be in the projection.
 // fn receives batches it may retain; they do not alias segment storage.
 func (s *Segment) Scan(cols []string, pred *Pred, fn func(*Batch) error) error {
+	return s.ScanWithStats(cols, pred, nil, fn)
+}
+
+// ScanWithStats is Scan with per-scan observability: when st is non-nil it
+// is filled with what the scan touched. Global telemetry counters are
+// recorded either way.
+func (s *Segment) ScanWithStats(cols []string, pred *Pred, st *ScanStats, fn func(*Batch) error) error {
+	var local ScanStats
+	if st == nil {
+		st = &local
+	}
+	defer func() {
+		mScanRows.Add(int64(st.RowsOut))
+		mScanBytes.Add(int64(st.BytesRead))
+		mBlocksScanned.Add(int64(st.BlocksScanned))
+		mBlocksSkipped.Add(int64(st.BlocksSkipped))
+	}()
 	if cols == nil {
 		cols = make([]string, len(s.schema))
 		for i, c := range s.schema {
@@ -319,26 +367,31 @@ func (s *Segment) Scan(cols []string, pred *Pred, fn func(*Batch) error) error {
 	}
 	for bi := 0; bi < nblocks; bi++ {
 		if pred != nil && predIdx >= 0 && !pred.blockMayMatch(s.sealed[predIdx][bi]) {
-			continue // zone-map skip
+			st.BlocksSkipped++ // zone-map skip
+			continue
 		}
-		batch, err := s.decodeBlockRow(bi, colIdx, outSchema, predIdx, pred)
+		st.BlocksScanned++
+		batch, err := s.decodeBlockRow(bi, colIdx, outSchema, predIdx, pred, st)
 		if err != nil {
 			return err
 		}
 		if batch.Len() == 0 {
 			continue
 		}
+		st.RowsOut += batch.Len()
 		if err := fn(batch); err != nil {
 			return err
 		}
 	}
 	// Tail.
 	if s.tail.Len() > 0 {
+		st.TailRows += s.tail.Len()
 		batch, err := filterProject(s.tail, colIdx, outSchema, predIdx, pred)
 		if err != nil {
 			return err
 		}
 		if batch.Len() > 0 {
+			st.RowsOut += batch.Len()
 			if err := fn(batch); err != nil {
 				return err
 			}
@@ -347,9 +400,10 @@ func (s *Segment) Scan(cols []string, pred *Pred, fn func(*Batch) error) error {
 	return nil
 }
 
-func (s *Segment) decodeBlockRow(bi int, colIdx []int, outSchema Schema, predIdx int, pred *Pred) (*Batch, error) {
+func (s *Segment) decodeBlockRow(bi int, colIdx []int, outSchema Schema, predIdx int, pred *Pred, st *ScanStats) (*Batch, error) {
 	var matchIdx []int
 	if pred != nil {
+		st.BytesRead += len(s.sealed[predIdx][bi].data)
 		pv, err := DecodeBlock(s.sealed[predIdx][bi].data)
 		if err != nil {
 			return nil, err
@@ -364,6 +418,7 @@ func (s *Segment) decodeBlockRow(bi int, colIdx []int, outSchema Schema, predIdx
 	}
 	out := &Batch{Schema: outSchema, Cols: make([]*Vector, len(colIdx))}
 	for i, ci := range colIdx {
+		st.BytesRead += len(s.sealed[ci][bi].data)
 		v, err := DecodeBlock(s.sealed[ci][bi].data)
 		if err != nil {
 			return nil, err

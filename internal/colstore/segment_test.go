@@ -221,8 +221,8 @@ func TestOpenSegmentCorruption(t *testing.T) {
 
 func TestSegmentZoneMapSkipping(t *testing.T) {
 	// With a sorted id column and block size 100, a point predicate must
-	// decode only one block; we can't observe decode counts directly, but we
-	// verify correctness under conditions where skipping applies.
+	// decode exactly one of the ten sealed blocks; the scan stats make the
+	// skip count directly observable.
 	seg := NewSegment(Schema{{Name: "id", Type: TypeInt64}}, 100)
 	b := NewBatch(seg.Schema())
 	for i := 0; i < 1000; i++ {
@@ -231,7 +231,8 @@ func TestSegmentZoneMapSkipping(t *testing.T) {
 	_ = seg.Append(b)
 	_ = seg.Seal()
 	var got []int64
-	err := seg.Scan(nil, &Pred{Col: "id", Op: OpEQ, Val: int64(555)}, func(b *Batch) error {
+	var st ScanStats
+	err := seg.ScanWithStats(nil, &Pred{Col: "id", Op: OpEQ, Val: int64(555)}, &st, func(b *Batch) error {
 		got = append(got, b.Cols[0].Ints...)
 		return nil
 	})
@@ -240,6 +241,26 @@ func TestSegmentZoneMapSkipping(t *testing.T) {
 	}
 	if len(got) != 1 || got[0] != 555 {
 		t.Fatalf("zone-map scan got %v", got)
+	}
+	if st.BlocksScanned != 1 || st.BlocksSkipped != 9 {
+		t.Fatalf("zone map: scanned %d / skipped %d blocks, want 1/9", st.BlocksScanned, st.BlocksSkipped)
+	}
+	if st.RowsOut != 1 || st.TailRows != 0 || st.BytesRead == 0 {
+		t.Fatalf("scan stats = %+v", st)
+	}
+
+	// A range predicate over the top half must skip the bottom-half blocks.
+	st = ScanStats{}
+	rows := 0
+	err = seg.ScanWithStats(nil, &Pred{Col: "id", Op: OpGE, Val: int64(500)}, &st, func(b *Batch) error {
+		rows += b.Len()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 500 || st.BlocksScanned != 5 || st.BlocksSkipped != 5 {
+		t.Fatalf("range scan: rows=%d scanned=%d skipped=%d", rows, st.BlocksScanned, st.BlocksSkipped)
 	}
 }
 

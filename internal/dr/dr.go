@@ -16,6 +16,20 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"verticadr/internal/telemetry"
+)
+
+// Task-scheduling observability: how much work the runtime dispatched, how
+// long tasks waited for an executor slot vs. ran, and the current in-flight
+// count across all workers.
+var (
+	mTasks = func(state string) *telemetry.Counter {
+		return telemetry.Default().Counter("dr_tasks_total", telemetry.L("state", state))
+	}
+	mWaitNs = telemetry.Default().Counter("dr_task_wait_nanos_total")
+	mRunNs  = telemetry.Default().Counter("dr_task_run_nanos_total")
+	gActive = telemetry.Default().Gauge("dr_tasks_active")
 )
 
 // Config configures a Distributed R session.
@@ -165,12 +179,23 @@ func (w *Worker) close() { w.once.Do(func() { close(w.done) }) }
 func (w *Worker) submit(fn func()) error {
 	select {
 	case <-w.done:
+		mTasks("rejected").Inc()
 		return fmt.Errorf("dr: worker %d is shut down", w.id)
 	default:
 	}
+	mTasks("submitted").Inc()
+	queued := telemetry.Default().Now()
 	go func() {
 		w.sem <- struct{}{}
 		defer func() { <-w.sem }()
+		start := telemetry.Default().Now()
+		mWaitNs.AddDuration(start - queued)
+		gActive.Add(1)
+		defer func() {
+			gActive.Add(-1)
+			mRunNs.AddDuration(telemetry.Default().Now() - start)
+			mTasks("run").Inc()
+		}()
 		fn()
 	}()
 	return nil

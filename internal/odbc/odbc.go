@@ -23,6 +23,18 @@ import (
 	"verticadr/internal/colstore"
 	"verticadr/internal/darray"
 	"verticadr/internal/dr"
+	"verticadr/internal/telemetry"
+)
+
+// Per-row framing costs, the contrast telemetry draws against vft's binary
+// columnar counters: serialize covers server-side text rendering, parse the
+// client-side conversion back to typed columns.
+var (
+	mQueries     = telemetry.Default().Counter("odbc_queries_total")
+	mRowsSent    = telemetry.Default().Counter("odbc_rows_sent_total")
+	mBytesSent   = telemetry.Default().Counter("odbc_bytes_sent_total")
+	mSerializeNs = telemetry.Default().Counter("odbc_serialize_nanos_total")
+	mParseNs     = telemetry.Default().Counter("odbc_parse_nanos_total")
 )
 
 // DB is the database surface the connector uses. internal/vertica.DB
@@ -63,6 +75,7 @@ func (s *Server) RowsSent() int64 { return s.rowsSent.Load() }
 // pipe-separated text lines. The requested range generally spans several
 // nodes' segments — the locality destruction of §3.
 func (s *Server) queryRangeText(table string, cols []string, offset, count int) (string, error) {
+	mQueries.Inc()
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 	n := s.active.Add(1)
@@ -108,13 +121,17 @@ func (s *Server) queryRangeText(table string, cols []string, offset, count int) 
 			return "", err
 		}
 		sub := batch.Slice(skip, skip+take)
+		t0 := telemetry.Default().Now()
 		if err := writeText(&sb, sub); err != nil {
 			return "", err
 		}
+		mSerializeNs.AddDuration(telemetry.Default().Now() - t0)
 		s.rowsSent.Add(int64(take))
+		mRowsSent.Add(int64(take))
 		remaining -= take
 		skip = 0
 	}
+	mBytesSent.Add(int64(sb.Len()))
 	return sb.String(), nil
 }
 
@@ -204,7 +221,10 @@ func (c *Conn) QueryRange(table string, cols []string, offset, count int) (*cols
 	if err != nil {
 		return nil, err
 	}
-	return parseText(text, schema)
+	t0 := telemetry.Default().Now()
+	b, err := parseText(text, schema)
+	mParseNs.AddDuration(telemetry.Default().Now() - t0)
+	return b, err
 }
 
 func parseText(text string, schema colstore.Schema) (*colstore.Batch, error) {

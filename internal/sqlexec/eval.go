@@ -357,6 +357,51 @@ func extractPushdown(e sqlparse.Expr) *colstore.Pred {
 	return nil
 }
 
+// extractPushdownConj splits a WHERE clause into a storage predicate plus a
+// residual filter. Beyond the single-comparison case, it walks top-level AND
+// chains and pushes down the first pushable conjunct — so zone maps still
+// skip blocks for e.g. `x >= 500 AND y = 3` — keeping the remaining
+// conjuncts as the residual. With no WHERE, or nothing pushable, it returns
+// (nil, where).
+func extractPushdownConj(where sqlparse.Expr) (*colstore.Pred, sqlparse.Expr) {
+	if where == nil {
+		return nil, nil
+	}
+	if p := extractPushdown(where); p != nil {
+		return p, nil
+	}
+	bin, ok := where.(*sqlparse.Binary)
+	if !ok || bin.Op != "AND" {
+		return nil, where
+	}
+	// Flatten the AND chain, push the first pushable conjunct, and rebuild
+	// the rest left-associated.
+	var conjs []sqlparse.Expr
+	var flatten func(e sqlparse.Expr)
+	flatten = func(e sqlparse.Expr) {
+		if b, ok := e.(*sqlparse.Binary); ok && b.Op == "AND" {
+			flatten(b.L)
+			flatten(b.R)
+			return
+		}
+		conjs = append(conjs, e)
+	}
+	flatten(where)
+	for i, c := range conjs {
+		p := extractPushdown(c)
+		if p == nil {
+			continue
+		}
+		rest := append(append([]sqlparse.Expr{}, conjs[:i]...), conjs[i+1:]...)
+		residual := rest[0]
+		for _, r := range rest[1:] {
+			residual = &sqlparse.Binary{Op: "AND", L: residual, R: r}
+		}
+		return p, residual
+	}
+	return nil, where
+}
+
 // Literal evaluates a constant expression: plain literals plus unary minus
 // over numbers. Used by INSERT ... VALUES and parameter resolution.
 func Literal(e sqlparse.Expr) (any, bool) {

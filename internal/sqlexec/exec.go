@@ -9,6 +9,7 @@ import (
 	"verticadr/internal/catalog"
 	"verticadr/internal/colstore"
 	"verticadr/internal/sqlparse"
+	"verticadr/internal/telemetry"
 	"verticadr/internal/udf"
 )
 
@@ -33,6 +34,9 @@ type Database interface {
 // Result is a fully materialized query result.
 type Result struct {
 	Batch *colstore.Batch
+	// Profile holds per-operator measurements for PROFILE SELECT statements;
+	// nil otherwise.
+	Profile *Profile
 }
 
 // Schema returns the result schema.
@@ -50,14 +54,35 @@ func (r *Result) Rows() [][]any {
 	return out
 }
 
-// RunSelect executes a SELECT statement.
+// RunSelect executes a SELECT statement. When sel.Profile is set (PROFILE
+// SELECT ...) the result carries per-operator row counts and timings.
 func RunSelect(db Database, sel *sqlparse.Select) (*Result, error) {
+	var prof *Profile
+	if sel.Profile {
+		prof = NewProfile("")
+	}
+	res, err := runSelect(db, sel, prof)
+	if err != nil {
+		return nil, err
+	}
+	prof.finish()
+	res.Profile = prof
+	return res, nil
+}
+
+func runSelect(db Database, sel *sqlparse.Select, prof *Profile) (*Result, error) {
+	kind := "projection"
+	defer func() {
+		telemetry.Default().Counter("sqlexec_queries_total", telemetry.L("kind", kind)).Inc()
+	}()
 	// UDTF query: exactly one projection which is a function call with OVER.
 	if fc := udtfCall(sel); fc != nil {
-		return runUDTF(db, sel, fc)
+		kind = "udtf"
+		return runUDTF(db, sel, fc, prof)
 	}
 	if sel.From == "" {
-		return runConstSelect(sel)
+		kind = "const"
+		return runConstSelect(sel, prof)
 	}
 	agg := len(sel.GroupBy) > 0
 	for _, item := range sel.Items {
@@ -66,9 +91,10 @@ func RunSelect(db Database, sel *sqlparse.Select) (*Result, error) {
 		}
 	}
 	if agg {
-		return runAggregate(db, sel)
+		kind = "aggregate"
+		return runAggregate(db, sel, prof)
 	}
-	return runProjection(db, sel)
+	return runProjection(db, sel, prof)
 }
 
 func udtfCall(sel *sqlparse.Select) *sqlparse.FuncCall {
@@ -82,7 +108,9 @@ func udtfCall(sel *sqlparse.Select) *sqlparse.FuncCall {
 	return fc
 }
 
-func runConstSelect(sel *sqlparse.Select) (*Result, error) {
+func runConstSelect(sel *sqlparse.Select, prof *Profile) (*Result, error) {
+	done := prof.startOp("const")
+	defer func() { done(1, "table-less SELECT") }()
 	dummy := &colstore.Batch{
 		Schema: colstore.Schema{{Name: "$dummy", Type: colstore.TypeInt64}},
 		Cols:   []*colstore.Vector{colstore.IntVector([]int64{0})},
@@ -162,9 +190,10 @@ func collectCols(sel *sqlparse.Select, schema colstore.Schema) ([]string, error)
 }
 
 // scanTable scans all segments of a table in parallel, applying the WHERE
-// clause (with single-column pushdown when possible), and returns the
-// concatenated surviving rows projected to `cols`.
-func scanTable(db Database, table string, cols []string, where sqlparse.Expr) (*colstore.Batch, error) {
+// clause (pushing down one single-column comparison — including the first
+// pushable conjunct of an AND chain — for zone-map skipping), and returns
+// the concatenated surviving rows projected to `cols`.
+func scanTable(db Database, table string, cols []string, where sqlparse.Expr, prof *Profile) (*colstore.Batch, error) {
 	def, err := db.TableDef(table)
 	if err != nil {
 		return nil, err
@@ -173,20 +202,21 @@ func scanTable(db Database, table string, cols []string, where sqlparse.Expr) (*
 	if err != nil {
 		return nil, err
 	}
-	var pushed *colstore.Pred
-	residual := where
-	if where != nil {
-		if p := extractPushdown(where); p != nil {
-			pushed = p
-			residual = nil
-		}
+	if len(cols) == 0 {
+		// COUNT(*) with no column references still needs row counts; scan
+		// one column rather than (nil = all) against an empty projection.
+		cols = []string{def.Schema[0].Name}
 	}
+	pushed, residual := extractPushdownConj(where)
 	outSchema, err := def.Schema.Project(cols)
 	if err != nil {
 		return nil, err
 	}
+	scanDone := prof.startOp("scan")
 	results := make([]*colstore.Batch, len(segs))
 	errs := make([]error, len(segs))
+	stats := make([]colstore.ScanStats, len(segs))
+	var scanRows, filterRows int64
 	var wg sync.WaitGroup
 	for i, seg := range segs {
 		wg.Add(1)
@@ -204,7 +234,7 @@ func scanTable(db Database, table string, cols []string, where sqlparse.Expr) (*
 				scanCols = union(cols, extra)
 			}
 			local := colstore.NewBatch(mustProject(def.Schema, scanCols))
-			err := seg.Scan(scanCols, pushed, func(b *colstore.Batch) error {
+			err := seg.ScanWithStats(scanCols, pushed, &stats[i], func(b *colstore.Batch) error {
 				if residual != nil {
 					keep, err := evalExpr(residual, b)
 					if err != nil {
@@ -241,14 +271,33 @@ func scanTable(db Database, table string, cols []string, where sqlparse.Expr) (*
 			return nil, e
 		}
 	}
+	var merged colstore.ScanStats
+	for i := range stats {
+		merged.Add(stats[i])
+		scanRows += int64(stats[i].RowsOut)
+	}
+	detail := fmt.Sprintf("%d segments, %d blocks scanned, %d skipped by zone maps, %d KB",
+		len(segs), merged.BlocksScanned, merged.BlocksSkipped, merged.BytesRead/1024)
+	if merged.TailRows > 0 {
+		detail += fmt.Sprintf(", %d tail rows", merged.TailRows)
+	}
+	if pushed != nil {
+		detail += fmt.Sprintf(", pushdown %s %s %v", pushed.Col, pushed.Op, pushed.Val)
+	}
+	scanDone(scanRows, detail)
+	filterDone := prof.startOp("filter")
 	out := colstore.NewBatch(outSchema)
 	for _, b := range results {
 		if b == nil {
 			continue
 		}
+		filterRows += int64(b.Len())
 		if err := out.AppendBatch(b); err != nil {
 			return nil, err
 		}
+	}
+	if residual != nil {
+		filterDone(filterRows, fmt.Sprintf("residual WHERE %s", residual.String()))
 	}
 	return out, nil
 }
@@ -273,7 +322,7 @@ func mustProject(s colstore.Schema, cols []string) colstore.Schema {
 	return p
 }
 
-func runProjection(db Database, sel *sqlparse.Select) (*Result, error) {
+func runProjection(db Database, sel *sqlparse.Select, prof *Profile) (*Result, error) {
 	def, err := db.TableDef(sel.From)
 	if err != nil {
 		return nil, err
@@ -282,10 +331,11 @@ func runProjection(db Database, sel *sqlparse.Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	data, err := scanTable(db, sel.From, cols, sel.Where)
+	data, err := scanTable(db, sel.From, cols, sel.Where, prof)
 	if err != nil {
 		return nil, err
 	}
+	projDone := prof.startOp("project")
 	out := &colstore.Batch{}
 	for i, item := range sel.Items {
 		if item.Star {
@@ -307,12 +357,14 @@ func runProjection(db Database, sel *sqlparse.Select) (*Result, error) {
 		out.Schema = append(out.Schema, colstore.ColumnSchema{Name: name, Type: v.Type})
 		out.Cols = append(out.Cols, v)
 	}
-	return finishSelect(out, sel)
+	projDone(int64(out.Len()), fmt.Sprintf("%d output columns", len(out.Schema)))
+	return finishSelect(out, sel, prof)
 }
 
 // finishSelect applies ORDER BY and LIMIT to the projected output.
-func finishSelect(out *colstore.Batch, sel *sqlparse.Select) (*Result, error) {
+func finishSelect(out *colstore.Batch, sel *sqlparse.Select, prof *Profile) (*Result, error) {
 	if len(sel.OrderBy) > 0 {
+		sortDone := prof.startOp("sort")
 		keys := make([]int, len(sel.OrderBy))
 		for i, o := range sel.OrderBy {
 			ci := out.Schema.ColIndex(o.Col)
@@ -346,9 +398,12 @@ func finishSelect(out *colstore.Batch, sel *sqlparse.Select) (*Result, error) {
 			return nil, sortErr
 		}
 		out = out.Gather(idx)
+		sortDone(int64(out.Len()), fmt.Sprintf("%d sort keys", len(keys)))
 	}
 	if sel.Limit >= 0 && out.Len() > sel.Limit {
+		limitDone := prof.startOp("limit")
 		out = out.Slice(0, sel.Limit)
+		limitDone(int64(out.Len()), fmt.Sprintf("LIMIT %d", sel.Limit))
 	}
 	return &Result{Batch: out}, nil
 }
@@ -413,7 +468,7 @@ func (a *aggState) result() any {
 	return nil
 }
 
-func runAggregate(db Database, sel *sqlparse.Select) (*Result, error) {
+func runAggregate(db Database, sel *sqlparse.Select, prof *Profile) (*Result, error) {
 	def, err := db.TableDef(sel.From)
 	if err != nil {
 		return nil, err
@@ -464,10 +519,11 @@ func runAggregate(db Database, sel *sqlparse.Select) (*Result, error) {
 			return nil, fmt.Errorf("sqlexec: unsupported aggregate projection %s", item.Expr.String())
 		}
 	}
-	data, err := scanTable(db, sel.From, cols, sel.Where)
+	data, err := scanTable(db, sel.From, cols, sel.Where, prof)
 	if err != nil {
 		return nil, err
 	}
+	aggDone := prof.startOp("aggregate")
 
 	// Evaluate aggregate argument vectors once.
 	argVecs := make([]*colstore.Vector, len(plans))
@@ -580,5 +636,6 @@ func runAggregate(db Database, sel *sqlparse.Select) (*Result, error) {
 			}
 		}
 	}
-	return finishSelect(out, sel)
+	aggDone(int64(out.Len()), fmt.Sprintf("%d groups, %d aggregates", len(order), len(plans)))
+	return finishSelect(out, sel, prof)
 }

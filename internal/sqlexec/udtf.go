@@ -18,7 +18,7 @@ import (
 // node's local segment is split into UDFInstancesPerNode chunks processed
 // locally (the paper's locality-friendly mode, §3.1); with PARTITION BY, rows
 // are grouped by the key columns and each group is one partition.
-func runUDTF(db Database, sel *sqlparse.Select, fc *sqlparse.FuncCall) (*Result, error) {
+func runUDTF(db Database, sel *sqlparse.Select, fc *sqlparse.FuncCall, prof *Profile) (*Result, error) {
 	if sel.From == "" {
 		return nil, fmt.Errorf("sqlexec: UDTF query requires a FROM clause")
 	}
@@ -74,12 +74,16 @@ func runUDTF(db Database, sel *sqlparse.Select, fc *sqlparse.FuncCall) (*Result,
 		node int
 		data *colstore.Batch // already projected to inSchema
 	}
+	scanDone := prof.startOp("scan")
+	var scanStats colstore.ScanStats
+	var scanRows int64
 	var parts []partition
 	for node, seg := range segs {
-		raw, err := readSegment(seg, need, def.Schema)
+		raw, err := readSegment(seg, need, def.Schema, &scanStats)
 		if err != nil {
 			return nil, err
 		}
+		scanRows += int64(raw.Len())
 		argBatch, err := evalArgs(fc.Args, raw, inSchema)
 		if err != nil {
 			return nil, err
@@ -128,7 +132,11 @@ func runUDTF(db Database, sel *sqlparse.Select, fc *sqlparse.FuncCall) (*Result,
 		}
 	}
 
+	scanDone(scanRows, fmt.Sprintf("%d segments, %d blocks scanned, %d KB",
+		len(segs), scanStats.BlocksScanned, scanStats.BytesRead/1024))
+
 	// Run all partitions in parallel (bounded).
+	udtfDone := prof.startOp("udtf")
 	writer := &udf.CollectWriter{}
 	sem := make(chan struct{}, maxParallel(len(parts)))
 	errs := make([]error, len(parts))
@@ -163,7 +171,8 @@ func runUDTF(db Database, sel *sqlparse.Select, fc *sqlparse.FuncCall) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	return finishSelect(merged, sel)
+	udtfDone(int64(merged.Len()), fmt.Sprintf("%s over %d partitions", fc.Name, len(parts)))
+	return finishSelect(merged, sel, prof)
 }
 
 func maxParallel(n int) int {
@@ -191,12 +200,19 @@ func streamReader(b *colstore.Batch) udf.BatchReader {
 	return udf.NewSliceReader(batches...)
 }
 
-func readSegment(seg *colstore.Segment, cols []string, schema colstore.Schema) (*colstore.Batch, error) {
+func readSegment(seg *colstore.Segment, cols []string, schema colstore.Schema, st *colstore.ScanStats) (*colstore.Batch, error) {
 	if len(cols) == 0 {
 		// UDTF with no arguments still needs the row count; scan one column.
 		cols = []string{schema[0].Name}
 	}
-	return seg.ReadAll(cols)
+	out := colstore.NewBatch(mustProject(schema, cols))
+	err := seg.ScanWithStats(cols, nil, st, func(b *colstore.Batch) error {
+		return out.AppendBatch(b)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func evalArgs(args []sqlparse.Expr, raw *colstore.Batch, inSchema colstore.Schema) (*colstore.Batch, error) {

@@ -64,6 +64,9 @@ type Select struct {
 	GroupBy []string
 	OrderBy []OrderItem
 	Limit   int // -1 when absent
+	// Profile marks a PROFILE SELECT ...: the executor collects per-operator
+	// row counts and timings and attaches them to the result.
+	Profile bool
 }
 
 func (*Select) stmtNode() {}

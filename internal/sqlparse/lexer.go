@@ -42,6 +42,7 @@ var keywords = map[string]bool{
 	"VALUES": true, "SEGMENTED": true, "HASH": true, "ROUND": true,
 	"ROBIN": true, "USING": true, "PARAMETERS": true, "OVER": true,
 	"PARTITION": true, "BEST": true, "NULL": true, "DISTINCT": true,
+	"PROFILE": true,
 }
 
 var symbols = []string{"<=", ">=", "<>", "!=", "(", ")", ",", ";", "*", "+", "-", "/", "=", "<", ">", "."}

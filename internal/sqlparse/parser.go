@@ -75,6 +75,17 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseInsert()
 	case "SELECT":
 		return p.parseSelect()
+	case "PROFILE":
+		p.next()
+		if p.cur().Kind != TokKeyword || p.cur().Text != "SELECT" {
+			return nil, p.errf("PROFILE must be followed by SELECT, found %q", p.cur().Text)
+		}
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		sel.(*Select).Profile = true
+		return sel, nil
 	default:
 		return nil, p.errf("unsupported statement %q", t.Text)
 	}

@@ -285,3 +285,23 @@ func TestQuickParseTotal(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestParseProfile(t *testing.T) {
+	stmt, err := Parse(`PROFILE SELECT a FROM t WHERE a > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := stmt.(*Select)
+	if !ok || !sel.Profile {
+		t.Fatalf("got %#v, want Select with Profile", stmt)
+	}
+	if sel.From != "t" || sel.Where == nil {
+		t.Fatalf("PROFILE changed the parsed SELECT: %#v", sel)
+	}
+	if s, err := Parse(`SELECT a FROM t`); err != nil || s.(*Select).Profile {
+		t.Fatalf("plain SELECT must not be profiled (err=%v)", err)
+	}
+	if _, err := Parse(`PROFILE CREATE TABLE t (a FLOAT)`); err == nil {
+		t.Fatal("PROFILE over non-SELECT must fail")
+	}
+}

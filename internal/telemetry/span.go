@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SpanLog collects spans under one Clock. Spans form trees via parent links;
+// StartSpan opens a root, Span.StartChild opens a nested span. The log keeps
+// every started span (bounded workloads; callers Reset between runs).
+type SpanLog struct {
+	mu      sync.Mutex
+	clock   Clock
+	clockFn func() Clock // when set, consulted on every read (registry-owned logs)
+	nextID  int64
+	spans   []*Span
+}
+
+// NewSpanLog creates a span log on the given clock (nil = wall clock).
+func NewSpanLog(c Clock) *SpanLog {
+	if c == nil {
+		c = WallClock()
+	}
+	return &SpanLog{clock: c}
+}
+
+func (l *SpanLog) now() time.Duration {
+	if l.clockFn != nil {
+		return l.clockFn().Now()
+	}
+	return l.clock.Now()
+}
+
+// Span is one timed region with attributes. End it exactly once.
+type Span struct {
+	log    *SpanLog
+	id     int64
+	parent int64 // 0 = root
+	name   string
+	start  time.Duration
+	end    time.Duration
+	ended  bool
+	attrs  []Label
+}
+
+// StartSpan opens a root span.
+func (l *SpanLog) StartSpan(name string, attrs ...Label) *Span {
+	return l.start(name, 0, attrs)
+}
+
+func (l *SpanLog) start(name string, parent int64, attrs []Label) *Span {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextID++
+	s := &Span{
+		log:    l,
+		id:     l.nextID,
+		parent: parent,
+		name:   name,
+		start:  l.now(),
+		attrs:  append([]Label(nil), attrs...),
+	}
+	l.spans = append(l.spans, s)
+	return s
+}
+
+// StartChild opens a span nested under s.
+func (s *Span) StartChild(name string, attrs ...Label) *Span {
+	return s.log.start(name, s.id, attrs)
+}
+
+// SetAttr adds (or overwrites) one attribute.
+func (s *Span) SetAttr(key, value string) {
+	s.log.mu.Lock()
+	defer s.log.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Label{Key: key, Value: value})
+}
+
+// End closes the span and returns its duration. Ending twice keeps the first
+// end time.
+func (s *Span) End() time.Duration {
+	s.log.mu.Lock()
+	defer s.log.mu.Unlock()
+	if !s.ended {
+		s.end = s.log.now()
+		s.ended = true
+	}
+	return s.end - s.start
+}
+
+// Duration returns end-start for ended spans, elapsed-so-far otherwise.
+func (s *Span) Duration() time.Duration {
+	s.log.mu.Lock()
+	defer s.log.mu.Unlock()
+	if s.ended {
+		return s.end - s.start
+	}
+	return s.log.now() - s.start
+}
+
+// Name returns the span name.
+func (s *Span) Name() string { return s.name }
+
+// SpanRecord is an exported span.
+type SpanRecord struct {
+	ID       int64         `json:"id"`
+	Parent   int64         `json:"parent,omitempty"`
+	Name     string        `json:"name"`
+	Start    time.Duration `json:"start_ns"`
+	End      time.Duration `json:"end_ns"`
+	Duration time.Duration `json:"duration_ns"`
+	Ended    bool          `json:"ended"`
+	Attrs    []Label       `json:"attrs,omitempty"`
+}
+
+// Export returns all spans in start order.
+func (l *SpanLog) Export() []SpanRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SpanRecord, len(l.spans))
+	for i, s := range l.spans {
+		end := s.end
+		if !s.ended {
+			end = l.now()
+		}
+		out[i] = SpanRecord{
+			ID: s.id, Parent: s.parent, Name: s.name,
+			Start: s.start, End: end, Duration: end - s.start, Ended: s.ended,
+			Attrs: append([]Label(nil), s.attrs...),
+		}
+	}
+	return out
+}
+
+// ExportJSON marshals Export as indented JSON.
+func (l *SpanLog) ExportJSON() ([]byte, error) {
+	return json.MarshalIndent(l.Export(), "", "  ")
+}
+
+// Reset drops all recorded spans.
+func (l *SpanLog) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.spans = nil
+	l.nextID = 0
+}
+
+// String renders the span forest indented by depth, with durations and
+// attributes — the human-readable trace view.
+func (l *SpanLog) String() string {
+	recs := l.Export()
+	children := map[int64][]SpanRecord{}
+	for _, r := range recs {
+		children[r.Parent] = append(children[r.Parent], r)
+	}
+	for _, c := range children {
+		sort.Slice(c, func(i, j int) bool {
+			if c[i].Start != c[j].Start {
+				return c[i].Start < c[j].Start
+			}
+			return c[i].ID < c[j].ID
+		})
+	}
+	var sb strings.Builder
+	var walk func(parent int64, depth int)
+	walk = func(parent int64, depth int) {
+		for _, r := range children[parent] {
+			fmt.Fprintf(&sb, "%s%s %v", strings.Repeat("  ", depth), r.Name, r.Duration)
+			for _, a := range r.Attrs {
+				fmt.Fprintf(&sb, " %s=%s", a.Key, a.Value)
+			}
+			if !r.Ended {
+				sb.WriteString(" (open)")
+			}
+			sb.WriteByte('\n')
+			walk(r.ID, depth+1)
+		}
+	}
+	walk(0, 0)
+	return sb.String()
+}

@@ -1,0 +1,372 @@
+// Package telemetry is the repo's zero-dependency observability layer:
+// a Registry of atomic counters, gauges and fixed-bucket histograms with
+// labeled children, plus lightweight span tracing (span.go). Every layer of
+// the pipeline — colstore segment scans, sqlexec operators, the ODBC and VFT
+// transfer paths, the Distributed R scheduler and the YARN broker — records
+// into the process-wide Default registry, so any run (a PROFILE'd query, a
+// bench figure, a test) can snapshot before/after and report deltas.
+//
+// All time measurement goes through a pluggable Clock so the same
+// instrumentation reports virtual time when driven under internal/simnet and
+// wall time otherwise. Exposition is text (Dump), JSON (SnapshotJSON) or an
+// expvar hook (PublishExpvar).
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies timestamps as offsets from an arbitrary epoch. The wall
+// clock measures from process start; a simulation clock reports virtual time.
+type Clock interface {
+	Now() time.Duration
+}
+
+// ClockFunc adapts a function to the Clock interface.
+type ClockFunc func() time.Duration
+
+// Now implements Clock.
+func (f ClockFunc) Now() time.Duration { return f() }
+
+var wallEpoch = time.Now()
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Duration { return time.Since(wallEpoch) }
+
+// WallClock returns the real-time clock (monotonic, from process start).
+func WallClock() Clock { return wallClock{} }
+
+// Label is one key=value dimension of a metric series or span.
+type Label struct{ Key, Value string }
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// seriesID renders the canonical identity of name + sorted labels, e.g.
+// `ops_total{op="scan"}`.
+func seriesID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Counter is a monotonically increasing atomic counter. Durations are stored
+// as nanoseconds via AddDuration/Duration.
+type Counter struct{ v atomic.Int64 }
+
+// NewCounter allocates a standalone counter not attached to any registry
+// (per-session tallies use these; registry children come from
+// Registry.Counter).
+func NewCounter() *Counter { return &Counter{} }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// AddDuration accumulates a duration (stored as nanoseconds).
+func (c *Counter) AddDuration(d time.Duration) { c.v.Add(int64(d)) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Duration returns the accumulated nanoseconds as a time.Duration.
+func (c *Counter) Duration() time.Duration { return time.Duration(c.v.Load()) }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram: counts per upper bound plus an
+// implicit +Inf bucket, with a running sum. Observations are lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	count  atomic.Int64
+}
+
+// DefaultDurationBuckets covers 1µs .. ~100s in decades, in seconds.
+var DefaultDurationBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100,
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Buckets returns (upper bound, cumulative count) pairs including +Inf.
+func (h *Histogram) Buckets() ([]float64, []int64) {
+	bounds := append(append([]float64(nil), h.bounds...), math.Inf(1))
+	counts := make([]int64, len(h.counts))
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		counts[i] = cum
+	}
+	return bounds, counts
+}
+
+// Registry holds named metric series. Lookup methods are idempotent: the
+// same name+labels always returns the same child, so packages may resolve
+// their series once into vars or on every call.
+type Registry struct {
+	mu       sync.RWMutex
+	clock    Clock
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    *SpanLog
+}
+
+// NewRegistry creates an empty registry on the wall clock.
+func NewRegistry() *Registry {
+	r := &Registry{
+		clock:    WallClock(),
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+	r.spans = NewSpanLog(nil)
+	r.spans.clockFn = r.Clock // spans follow registry clock swaps
+	return r
+}
+
+var std = NewRegistry()
+
+// Default returns the process-wide registry all built-in instrumentation
+// records into.
+func Default() *Registry { return std }
+
+// SetClock swaps the time source (e.g. a simnet virtual clock). Spans
+// started from this registry's SpanLog pick up the new clock immediately.
+func (r *Registry) SetClock(c Clock) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c == nil {
+		c = WallClock()
+	}
+	r.clock = c
+}
+
+// Clock returns the registry's current time source.
+func (r *Registry) Clock() Clock {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.clock
+}
+
+// Now reads the registry clock.
+func (r *Registry) Now() time.Duration { return r.Clock().Now() }
+
+// Spans returns the registry's span log (same clock).
+func (r *Registry) Spans() *SpanLog { return r.spans }
+
+// Counter returns (creating if needed) the counter series name{labels}.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	id := seriesID(name, labels)
+	r.mu.RLock()
+	c, ok := r.counters[id]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[id]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[id] = c
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge series name{labels}.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	id := seriesID(name, labels)
+	r.mu.RLock()
+	g, ok := r.gauges[id]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[id]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[id] = g
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram series name{labels}.
+// buckets are ascending upper bounds; nil selects DefaultDurationBuckets.
+// The bucket layout is fixed by the first caller.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Histogram {
+	id := seriesID(name, labels)
+	r.mu.RLock()
+	h, ok := r.hists[id]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[id]; ok {
+		return h
+	}
+	if buckets == nil {
+		buckets = DefaultDurationBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("telemetry: histogram %q buckets not ascending", id))
+	}
+	h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	r.hists[id] = h
+	return h
+}
+
+// Reset zeroes every series in place. Existing Counter/Gauge/Histogram
+// pointers held by instrumented packages stay valid.
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.sum.Store(0)
+		h.count.Store(0)
+	}
+	r.spans.Reset()
+}
+
+// SeriesSnapshot is one series' point-in-time value.
+type SeriesSnapshot struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"` // counter | gauge | histogram
+	Value float64 `json:"value"`
+	// Histogram extras.
+	Count   int64     `json:"count,omitempty"`
+	Buckets []float64 `json:"buckets,omitempty"`
+	Counts  []int64   `json:"counts,omitempty"`
+}
+
+// Snapshot returns every series sorted by name.
+func (r *Registry) Snapshot() []SeriesSnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]SeriesSnapshot, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for id, c := range r.counters {
+		out = append(out, SeriesSnapshot{Name: id, Kind: "counter", Value: float64(c.Value())})
+	}
+	for id, g := range r.gauges {
+		out = append(out, SeriesSnapshot{Name: id, Kind: "gauge", Value: float64(g.Value())})
+	}
+	for id, h := range r.hists {
+		bounds, counts := h.Buckets()
+		out = append(out, SeriesSnapshot{
+			Name: id, Kind: "histogram", Value: h.Sum(), Count: h.Count(),
+			Buckets: bounds, Counts: counts,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SnapshotJSON marshals Snapshot as indented JSON.
+func (r *Registry) SnapshotJSON() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", "  ")
+}
+
+// Dump renders every series as one `name value` line, sorted — the text
+// exposition format.
+func (r *Registry) Dump() string {
+	var sb strings.Builder
+	for _, s := range r.Snapshot() {
+		switch s.Kind {
+		case "histogram":
+			fmt.Fprintf(&sb, "%s_count %d\n", s.Name, s.Count)
+			fmt.Fprintf(&sb, "%s_sum %g\n", s.Name, s.Value)
+			for i, b := range s.Buckets {
+				le := "+Inf"
+				if !math.IsInf(b, 1) {
+					le = fmt.Sprintf("%g", b)
+				}
+				fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", s.Name, le, s.Counts[i])
+			}
+		default:
+			fmt.Fprintf(&sb, "%s %g\n", s.Name, s.Value)
+		}
+	}
+	return sb.String()
+}
+
+var expvarPublished sync.Map // name -> struct{}
+
+// PublishExpvar exposes the registry under the given expvar name (idempotent
+// per name; expvar itself panics on duplicates).
+func (r *Registry) PublishExpvar(name string) {
+	if _, loaded := expvarPublished.LoadOrStore(name, struct{}{}); loaded {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"verticadr/internal/catalog"
@@ -267,7 +268,11 @@ func (db *DB) Query(sql string) (*sqlexec.Result, error) {
 	}
 	switch s := stmt.(type) {
 	case *sqlparse.Select:
-		return sqlexec.RunSelect(db, s)
+		res, err := sqlexec.RunSelect(db, s)
+		if err == nil && res.Profile != nil {
+			res.Profile.Query = strings.TrimRight(strings.TrimSpace(sql), ";")
+		}
+		return res, err
 	case *sqlparse.CreateTable:
 		return emptyResult(), db.execCreate(s)
 	case *sqlparse.DropTable:

@@ -7,6 +7,7 @@ import (
 	"verticadr/internal/catalog"
 	"verticadr/internal/darray"
 	"verticadr/internal/dr"
+	"verticadr/internal/telemetry"
 )
 
 // DB is the slice of the database that VFT needs: metadata plus the ability
@@ -90,15 +91,29 @@ func Load(db DB, c *dr.Cluster, hub *Hub, table string, cols []string, policy st
 		}
 	}
 	sessionID := hub.open(frame, schema, policy)
+	// Spans and the total use the telemetry clock, so a simulation-driven
+	// clock makes the whole load report virtual time.
+	clock := telemetry.Default().Clock()
+	t0 := clock.Now()
+	sp := telemetry.Default().Spans().StartSpan("vft.load",
+		telemetry.L("table", table), telemetry.L("policy", policy))
 	q := fmt.Sprintf(
 		"SELECT %s(%s USING PARAMETERS session='%s', policy='%s', psize=%d, workers=%d) OVER (PARTITION BEST) FROM %s",
 		FuncName, strings.Join(cols, ", "), sessionID, policy, psize, workers, table)
+	exp := sp.StartChild("vft.export")
 	if err := db.Exec(q); err != nil {
+		sp.End()
 		return nil, nil, fmt.Errorf("vft: export query failed: %w", err)
 	}
+	exp.End()
+	fin := sp.StartChild("vft.finalize")
 	stats, err := hub.finalize(sessionID, c)
+	fin.End()
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
+	stats.Total = clock.Now() - t0
+	mTransfers(policy).Inc()
 	return frame, stats, nil
 }

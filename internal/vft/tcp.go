@@ -103,18 +103,22 @@ func (s *TCPService) handle(conn net.Conn) {
 			writeReply(conn, fmt.Errorf("vft: frame too large (%d bytes)", n))
 			return
 		}
+		// Time the payload read only: the length-prefix read blocks waiting
+		// for the next frame, which is sender idle time, not transfer time.
 		payload := make([]byte, n)
+		start := time.Now()
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
-		err := s.dispatch(payload)
+		netTime := time.Since(start)
+		err := s.dispatch(payload, netTime)
 		if writeReply(conn, err) != nil {
 			return
 		}
 	}
 }
 
-func (s *TCPService) dispatch(payload []byte) error {
+func (s *TCPService) dispatch(payload []byte, netTime time.Duration) error {
 	session, rest, err := readString(payload)
 	if err != nil {
 		return err
@@ -140,6 +144,7 @@ func (s *TCPService) dispatch(payload []byte) error {
 	}
 	rest = rest[m:]
 	chunk := append([]byte(nil), rest...)
+	s.hub.addNet(session, netTime)
 	return s.hub.Send(session, int(part), seq, chunk, int(rows), time.Duration(nanos))
 }
 

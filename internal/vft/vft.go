@@ -14,12 +14,32 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"verticadr/internal/colstore"
 	"verticadr/internal/darray"
 	"verticadr/internal/dr"
+	"verticadr/internal/telemetry"
+)
+
+// Cross-transfer totals in the process-wide telemetry registry. Per-session
+// numbers live as standalone counters inside each session (sessions are
+// transient; one labeled series per session would leak) and are mirrored
+// here as they accumulate.
+var (
+	mTransfers = func(policy string) *telemetry.Counter {
+		return telemetry.Default().Counter("vft_transfers_total", telemetry.L("policy", policy))
+	}
+	mRows   = telemetry.Default().Counter("vft_rows_total")
+	mBytes  = telemetry.Default().Counter("vft_bytes_total")
+	mChunks = func(loc string) *telemetry.Counter {
+		return telemetry.Default().Counter("vft_chunks_total", telemetry.L("locality", loc))
+	}
+	mDBNanos   = telemetry.Default().Counter("vft_db_nanos_total")
+	mNetNanos  = telemetry.Default().Counter("vft_net_nanos_total")
+	mConvNanos = telemetry.Default().Counter("vft_conv_nanos_total")
 )
 
 // Transfer policies.
@@ -38,20 +58,46 @@ const ServiceName = "vft"
 // FuncName is the SQL name of the export transform (Fig. 4).
 const FuncName = "ExportToDistributedR"
 
-// Stats accumulates a transfer's measurements. DBSide covers reading,
-// encoding and sending inside database UDF instances; RSide covers staging
-// and conversion to R objects on the workers — the two bars of Fig. 14.
+// Stats reports a transfer's measurements, assembled as a view over the
+// session's telemetry counters when the transfer finalizes. DBSide covers
+// reading, encoding and sending inside database UDF instances; Network is
+// time spent pulling chunk bytes off sockets (zero on the in-process path);
+// RSide covers staging and conversion to R objects on the workers — the
+// phase bars of Fig. 6 / Fig. 14.
 type Stats struct {
-	Rows      int
-	Bytes     int
-	Chunks    int
-	DBSide    time.Duration
-	RSide     time.Duration
-	PartSizes []int
-	Policy    string
+	Rows        int
+	Bytes       int
+	Chunks      int
+	ChunksLocal int // chunks whose source node == receiving worker
+	DBSide      time.Duration
+	Network     time.Duration
+	RSide       time.Duration
+	Total       time.Duration // wall (or virtual) time of the whole Load
+	PartSizes   []int
+	Policy      string
+}
+
+// String renders the paper's Fig. 6-style phase breakdown.
+func (st *Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "vft transfer (%s policy): %d rows, %d chunks (%d local), %.2f MB\n",
+		st.Policy, st.Rows, st.Chunks, st.ChunksLocal, float64(st.Bytes)/(1<<20))
+	net := st.Network.String()
+	if st.Network == 0 {
+		net = "0s (in-process)"
+	}
+	fmt.Fprintf(&sb, "  phase breakdown (cf. Fig. 6):\n")
+	fmt.Fprintf(&sb, "    DB-side (read+encode+send): %v\n", st.DBSide)
+	fmt.Fprintf(&sb, "    network (socket receive)  : %s\n", net)
+	fmt.Fprintf(&sb, "    conversion (R-side)       : %v\n", st.RSide)
+	fmt.Fprintf(&sb, "  partition sizes: %v\n", st.PartSizes)
+	fmt.Fprintf(&sb, "  total: %v", st.Total)
+	return sb.String()
 }
 
 // session is one in-flight transfer: staged raw chunks per target partition.
+// Measurements are standalone telemetry counters so concurrent UDF instances
+// update them without holding the staging lock.
 type session struct {
 	frame  *darray.DFrame
 	schema colstore.Schema
@@ -59,10 +105,11 @@ type session struct {
 
 	mu     sync.Mutex
 	staged map[int][]chunkMsg
-	rows   int
-	bytes  int
-	chunks int
-	dbTime time.Duration
+
+	rows, bytes         *telemetry.Counter
+	chunks, localChunks *telemetry.Counter
+	dbTime, netTime     *telemetry.Counter
+	convTime            *telemetry.Counter
 }
 
 // Hub is the Distributed R side of VFT: it owns worker "listeners" (staging
@@ -85,10 +132,17 @@ func (h *Hub) open(frame *darray.DFrame, schema colstore.Schema, policy string) 
 	h.next++
 	id := fmt.Sprintf("vft-%d", h.next)
 	h.sessions[id] = &session{
-		frame:  frame,
-		schema: schema,
-		policy: policy,
-		staged: make(map[int][]chunkMsg),
+		frame:       frame,
+		schema:      schema,
+		policy:      policy,
+		staged:      make(map[int][]chunkMsg),
+		rows:        telemetry.NewCounter(),
+		bytes:       telemetry.NewCounter(),
+		chunks:      telemetry.NewCounter(),
+		localChunks: telemetry.NewCounter(),
+		dbTime:      telemetry.NewCounter(),
+		netTime:     telemetry.NewCounter(),
+		convTime:    telemetry.NewCounter(),
 	}
 	return id
 }
@@ -130,13 +184,35 @@ func (h *Hub) Send(sessionID string, part int, seq uint64, msg []byte, rows int,
 		return fmt.Errorf("vft: partition %d out of range", part)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.staged[part] = append(s.staged[part], chunkMsg{seq: seq, data: msg})
-	s.rows += rows
-	s.bytes += len(msg)
-	s.chunks++
-	s.dbTime += dbTime
+	s.mu.Unlock()
+	s.rows.Add(int64(rows))
+	s.bytes.Add(int64(len(msg)))
+	s.chunks.Inc()
+	s.dbTime.AddDuration(dbTime)
+	// A chunk is "local" when its source node (recoverable from the order
+	// key) matches the worker owning the target partition — always true
+	// under the locality policy, 1/workers of the time under uniform.
+	loc := "remote"
+	if int(seq>>44) == s.frame.WorkerOf(part) {
+		s.localChunks.Inc()
+		loc = "local"
+	}
+	mChunks(loc).Inc()
+	mRows.Add(int64(rows))
+	mBytes.Add(int64(len(msg)))
+	mDBNanos.AddDuration(dbTime)
 	return nil
+}
+
+// addNet records time spent pulling a chunk's bytes off a socket; called by
+// the TCP service per received frame. The in-process path has no network leg
+// and never calls it.
+func (h *Hub) addNet(sessionID string, d time.Duration) {
+	mNetNanos.AddDuration(d)
+	if s, err := h.get(sessionID); err == nil {
+		s.netTime.AddDuration(d)
+	}
 }
 
 // finalize converts each partition's staged byte files into a typed batch
@@ -202,14 +278,18 @@ func (h *Hub) finalize(id string, c *dr.Cluster) (*Stats, error) {
 		}
 		sizes[i] = r
 	}
+	s.convTime.AddDuration(rTime)
+	mConvNanos.AddDuration(rTime)
 	st := &Stats{
-		Rows:      s.rows,
-		Bytes:     s.bytes,
-		Chunks:    s.chunks,
-		DBSide:    s.dbTime,
-		RSide:     rTime,
-		PartSizes: sizes,
-		Policy:    s.policy,
+		Rows:        int(s.rows.Value()),
+		Bytes:       int(s.bytes.Value()),
+		Chunks:      int(s.chunks.Value()),
+		ChunksLocal: int(s.localChunks.Value()),
+		DBSide:      s.dbTime.Duration(),
+		Network:     s.netTime.Duration(),
+		RSide:       s.convTime.Duration(),
+		PartSizes:   sizes,
+		Policy:      s.policy,
 	}
 	h.mu.Lock()
 	delete(h.sessions, id)

@@ -2,12 +2,14 @@ package vft
 
 import (
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"verticadr/internal/colstore"
 	"verticadr/internal/darray"
 	"verticadr/internal/dr"
+	"verticadr/internal/telemetry"
 	"verticadr/internal/vertica"
 )
 
@@ -333,5 +335,45 @@ func TestLoadDeterministicOrder(t *testing.T) {
 					p, r, b1.Cols[0].Ints[r], b2.Cols[0].Ints[r])
 			}
 		}
+	}
+}
+
+func TestStatsStringAndCounters(t *testing.T) {
+	db, c, hub := setup(t, 2, 2)
+	loadTestTable(t, db, 500)
+	_, stats, err := Load(db, c, hub, "mytable", nil, PolicyLocality, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rows != 500 || stats.Chunks == 0 {
+		t.Fatalf("stats not populated: %+v", stats)
+	}
+	// Locality policy: every chunk lands on its source node's worker.
+	if stats.ChunksLocal != stats.Chunks {
+		t.Fatalf("locality policy: %d/%d chunks local", stats.ChunksLocal, stats.Chunks)
+	}
+	if stats.Total <= 0 {
+		t.Fatal("stats.Total not stamped")
+	}
+	s := stats.String()
+	for _, want := range []string{"locality policy", "500 rows", "phase breakdown", "DB-side", "network", "conversion", "partition sizes", "total:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Stats.String() missing %q:\n%s", want, s)
+		}
+	}
+	// In-process transfer has no network leg.
+	if !strings.Contains(s, "0s (in-process)") {
+		t.Fatalf("in-proc transfer should report zero network time:\n%s", s)
+	}
+	// The global registry accumulated the transfer.
+	reg := telemetry.Default()
+	if reg.Counter("vft_rows_total").Value() < 500 {
+		t.Fatalf("vft_rows_total = %d, want >= 500", reg.Counter("vft_rows_total").Value())
+	}
+	if reg.Counter("vft_transfers_total", telemetry.L("policy", PolicyLocality)).Value() < 1 {
+		t.Fatal("vft_transfers_total{policy=locality} not incremented")
+	}
+	if reg.Counter("vft_chunks_total", telemetry.L("locality", "local")).Value() < int64(stats.Chunks) {
+		t.Fatal("vft_chunks_total{locality=local} under-counted")
 	}
 }

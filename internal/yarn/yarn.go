@@ -13,6 +13,28 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"verticadr/internal/telemetry"
+)
+
+// Scheduler observability: grants/denials/releases per queue, how often a
+// request had to block for resources, locality outcomes, and the number of
+// containers currently outstanding.
+var (
+	mGrants = func(queue string) *telemetry.Counter {
+		return telemetry.Default().Counter("yarn_grants_total", telemetry.L("queue", queue))
+	}
+	mDenials = func(queue string) *telemetry.Counter {
+		return telemetry.Default().Counter("yarn_denials_total", telemetry.L("queue", queue))
+	}
+	mReleases = func(queue string) *telemetry.Counter {
+		return telemetry.Default().Counter("yarn_releases_total", telemetry.L("queue", queue))
+	}
+	mWaits    = telemetry.Default().Counter("yarn_request_waits_total")
+	mLocality = func(hit string) *telemetry.Counter {
+		return telemetry.Default().Counter("yarn_locality_total", telemetry.L("preference", hit))
+	}
+	gOutstanding = telemetry.Default().Gauge("yarn_containers_outstanding")
 )
 
 // NodeResources is a node's capacity.
@@ -156,11 +178,22 @@ func (a *App) Request(cores, memMB, preferNode int, wait bool) (*Container, erro
 			rm.nextID++
 			c := &Container{ID: rm.nextID, Node: node, Cores: cores, MemoryMB: memMB, app: a}
 			rm.granted[c.ID] = c
+			mGrants(a.Queue).Inc()
+			gOutstanding.Set(int64(len(rm.granted)))
+			if preferNode >= 0 {
+				if node == preferNode {
+					mLocality("hit").Inc()
+				} else {
+					mLocality("miss").Inc()
+				}
+			}
 			return c, nil
 		}
 		if !wait {
+			mDenials(a.Queue).Inc()
 			return nil, fmt.Errorf("yarn: insufficient resources for %d cores / %d MB in queue %q", cores, memMB, a.Queue)
 		}
+		mWaits.Inc()
 		rm.cond.Wait()
 	}
 }
@@ -191,6 +224,8 @@ func (a *App) Release(c *Container) error {
 	rm.freeC[c.Node] += c.Cores
 	rm.freeM[c.Node] += c.MemoryMB
 	rm.usedByQ[c.app.Queue] -= c.Cores
+	mReleases(c.app.Queue).Inc()
+	gOutstanding.Set(int64(len(rm.granted)))
 	rm.cond.Broadcast()
 	return nil
 }
