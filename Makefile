@@ -18,11 +18,21 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with real shared-state concurrency: the
-# telemetry registry, the vft staging hub, and the dr scheduler.
+# telemetry registry, the vft staging hub, the dr scheduler, the yarn
+# resource manager, the simulated network, and the fault injector.
 .PHONY: race
 race:
-	$(GO) test -race ./internal/telemetry/... ./internal/vft/... ./internal/dr/...
+	$(GO) test -race ./internal/telemetry/... ./internal/vft/... ./internal/dr/... \
+		./internal/yarn/... ./internal/simnet/... ./internal/faults/...
 
 .PHONY: bench
 bench:
 	$(GO) run ./cmd/vdr-bench -metrics bench-metrics.json
+
+# Chaos suite: the recovery-path tests (fault injection, retransmission,
+# dedup, worker failover, session reaping) under the race detector. Seeds
+# are fixed inside the tests, so failures reproduce exactly.
+.PHONY: chaos
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Recover|Injected|Fault|Retr|Abort|Reap|FailWorker|Idempotent|Timeout' \
+		./internal/faults/... ./internal/vft/... ./internal/dr/... ./internal/yarn/... ./internal/odbc/...

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"verticadr/internal/bench"
+	"verticadr/internal/faults"
 	"verticadr/internal/telemetry"
 )
 
@@ -26,7 +27,16 @@ func main() {
 	experiment := flag.String("experiment", "", "single experiment id (fig1, fig12..fig21, tab1, fig10)")
 	real := flag.Bool("real", false, "also run reduced-scale measured experiments on the live engines")
 	metrics := flag.String("metrics", "", "write the telemetry registry as JSON to this file after the run")
+	chaos := flag.Bool("chaos", false, "run the real-engine experiments under the standard fault-injection profile")
+	chaosSeed := flag.Int64("chaos-seed", 42, "seed for the chaos profile")
 	flag.Parse()
+
+	var injector *faults.Injector
+	if *chaos {
+		injector = faults.Chaos(*chaosSeed)
+		faults.Install(injector)
+		fmt.Printf("chaos profile armed (seed %d)\n", *chaosSeed)
+	}
 
 	c := bench.DefaultCalib()
 	figs := bench.AllFigures(c)
@@ -53,6 +63,10 @@ func main() {
 
 	if *real {
 		runReal()
+	}
+
+	if injector != nil {
+		fmt.Printf("\n%s\n", injector.String())
 	}
 
 	if *metrics != "" {
@@ -104,6 +118,13 @@ func runReal() {
 	}
 	fmt.Printf("transfer %d rows: ODBC %v, VFT %v (%.1fx)\n",
 		tr.Rows, tr.ODBC, tr.VFT, tr.ODBC.Seconds()/tr.VFT.Seconds())
+
+	ch, err := env.RunChaosTransfer("bench_t", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chaos transfer %d rows: clean %v, under faults %v (%d injected, %d retransmits, %d dups absorbed)\n",
+		ch.Rows, ch.CleanTime, ch.ChaosTime, ch.Injected, ch.Retransmits, ch.DupChunks)
 
 	km, err := env.RunRealKmeansCompare(20000, 8, 5, 10, 3)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"verticadr"
+	"verticadr/internal/faults"
 )
 
 func step(n int, what string) {
@@ -21,7 +22,16 @@ func step(n int, what string) {
 func main() {
 	nodes := flag.Int("nodes", 4, "cluster size")
 	rows := flag.Int("rows", 50000, "training rows")
+	chaos := flag.Bool("chaos", false, "run under the standard fault-injection profile (recovery paths must absorb it)")
+	chaosSeed := flag.Int64("chaos-seed", 42, "seed for the chaos profile")
 	flag.Parse()
+
+	if *chaos {
+		in := faults.Chaos(*chaosSeed)
+		faults.Install(in)
+		fmt.Printf("chaos profile armed (seed %d)\n", *chaosSeed)
+		defer func() { fmt.Printf("\n%s\n", in.String()) }()
+	}
 
 	step(1, "library(distributedR); library(HPdregression)")
 	step(3, fmt.Sprintf("distributedR_start() — %d DB nodes, %d DR workers, YARN-brokered", *nodes, *nodes))

@@ -23,13 +23,22 @@ import (
 	"strings"
 
 	"verticadr"
+	"verticadr/internal/faults"
 	"verticadr/internal/telemetry"
 )
 
 func main() {
 	nodes := flag.Int("nodes", 4, "database cluster size")
 	demo := flag.Bool("demo", false, "create and fill a demo table plus a deployed model")
+	chaos := flag.Bool("chaos", false, "run under the standard fault-injection profile (recovery paths must absorb it)")
+	chaosSeed := flag.Int64("chaos-seed", 42, "seed for the chaos profile")
 	flag.Parse()
+
+	if *chaos {
+		in := faults.Chaos(*chaosSeed)
+		faults.Install(in)
+		fmt.Printf("chaos profile armed (seed %d); \\metrics shows faults_injected_total\n", *chaosSeed)
+	}
 
 	s, err := verticadr.Start(verticadr.Config{DBNodes: *nodes})
 	if err != nil {

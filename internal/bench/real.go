@@ -7,9 +7,11 @@ import (
 	"verticadr/internal/algos"
 	"verticadr/internal/core"
 	"verticadr/internal/darray"
+	"verticadr/internal/faults"
 	"verticadr/internal/hdfs"
 	"verticadr/internal/rbaseline"
 	"verticadr/internal/spark"
+	"verticadr/internal/telemetry"
 	"verticadr/internal/vft"
 	"verticadr/internal/workload"
 )
@@ -84,6 +86,80 @@ func (e *Env) RealTransferComparison(table string, connections int) (*RealTransf
 		return nil, fmt.Errorf("bench: loaders disagree on rows: %d vs %d", vframe.Rows(), rows)
 	}
 	return &RealTransferResult{ODBC: odbcT, VFT: vftT, Rows: rows}, nil
+}
+
+// ChaosTransferResult reports a transfer run under fault injection against
+// a clean reference run of the same table.
+type ChaosTransferResult struct {
+	Rows        int
+	CleanTime   time.Duration
+	ChaosTime   time.Duration
+	Retransmits int64 // vft_retransmits_total delta during the chaotic run
+	DupChunks   int64 // vft_dup_chunks_total delta
+	Injected    int64 // total faults fired across all sites
+}
+
+// RunChaosTransfer loads the table once cleanly, then again under the
+// standard chaos profile with the given seed, and verifies the chaotic load
+// recovered every row. Chunks are kept small so the transfer visits the
+// injection site often enough for the profile's every-20th-send drop to
+// actually fire. The caller's process-wide injector is saved and restored
+// around the run.
+func (e *Env) RunChaosTransfer(table string, seed int64) (*ChaosTransferResult, error) {
+	rows, err := e.S.DB.TableRows(table)
+	if err != nil {
+		return nil, err
+	}
+	psize := rows / 128
+	if psize < 1 {
+		psize = 1
+	}
+	policy := vft.PolicyUniform
+	if e.S.DB.NumNodes() == e.S.DR.NumWorkers() {
+		policy = vft.PolicyLocality
+	}
+	load := func() (*darray.DFrame, error) {
+		f, _, err := vft.Load(e.S.DB, e.S.DR, e.S.Hub, table, nil, policy, psize)
+		return f, err
+	}
+
+	prev := faults.Active()
+	faults.Install(nil)
+	start := time.Now()
+	ref, err := load()
+	if err != nil {
+		faults.Install(prev)
+		return nil, fmt.Errorf("bench: clean reference load: %w", err)
+	}
+	cleanT := time.Since(start)
+
+	reg := telemetry.Default()
+	retrans0 := reg.Counter("vft_retransmits_total").Value()
+	dups0 := reg.Counter("vft_dup_chunks_total").Value()
+	in := faults.Chaos(seed)
+	faults.Install(in)
+	start = time.Now()
+	frame, err := load()
+	faults.Install(prev)
+	if err != nil {
+		return nil, fmt.Errorf("bench: chaotic load did not recover: %w", err)
+	}
+	chaosT := time.Since(start)
+	if frame.Rows() != ref.Rows() {
+		return nil, fmt.Errorf("bench: chaotic load lost rows: %d vs %d", frame.Rows(), ref.Rows())
+	}
+	var injected int64
+	for _, s := range in.Stats() {
+		injected += int64(s.Fires)
+	}
+	return &ChaosTransferResult{
+		Rows:        frame.Rows(),
+		CleanTime:   cleanT,
+		ChaosTime:   chaosT,
+		Retransmits: reg.Counter("vft_retransmits_total").Value() - retrans0,
+		DupChunks:   reg.Counter("vft_dup_chunks_total").Value() - dups0,
+		Injected:    injected,
+	}, nil
 }
 
 // Table1Check exercises every Table 1 language construct against the live

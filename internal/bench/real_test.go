@@ -95,3 +95,20 @@ func TestTransferPolicyAblation(t *testing.T) {
 		}
 	}
 }
+
+func TestRunChaosTransfer(t *testing.T) {
+	e := newEnv(t)
+	if err := e.LoadFeatureTable("ct", 8000, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunChaosTransfer("ct", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 8000 {
+		t.Fatalf("rows = %d", res.Rows)
+	}
+	if res.Injected == 0 || res.Retransmits == 0 || res.DupChunks == 0 {
+		t.Fatalf("chaos run did not engage recovery: %+v", res)
+	}
+}

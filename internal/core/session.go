@@ -52,6 +52,9 @@ type Config struct {
 	// 196000, the paper's testbed).
 	CoresPerNode    int
 	MemoryMBPerNode int
+	// TaskRetries caps in-place re-execution of failed Distributed R tasks
+	// (default 0: fail fast; the chaos profile raises it).
+	TaskRetries int
 }
 
 // Session is a running database + Distributed R pairing.
@@ -149,7 +152,7 @@ func Start(cfg Config) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	drc, err := dr.Start(dr.Config{Workers: cfg.DRWorkers, InstancesPerWorker: cfg.InstancesPerWorker})
+	drc, err := dr.Start(dr.Config{Workers: cfg.DRWorkers, InstancesPerWorker: cfg.InstancesPerWorker, TaskRetries: cfg.TaskRetries})
 	if err != nil {
 		return nil, err
 	}

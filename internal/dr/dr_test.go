@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"verticadr/internal/faults"
 )
 
 func TestStartValidation(t *testing.T) {
@@ -151,6 +153,160 @@ func TestShutdownRejectsNewWork(t *testing.T) {
 	c.Shutdown() // idempotent
 	if err := c.Run(0, func(*Worker) error { return nil }); err == nil {
 		t.Fatal("run after shutdown should fail")
+	}
+}
+
+// TestShutdownRejectsQueuedWork pins the shutdown race fix: a task that
+// passed submit's fast liveness check but is still waiting for an executor
+// slot must be rejected — never run — once Shutdown lands.
+func TestShutdownRejectsQueuedWork(t *testing.T) {
+	c, _ := Start(Config{Workers: 1, InstancesPerWorker: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	firstDone := make(chan error, 1)
+	go func() {
+		firstDone <- c.Run(0, func(*Worker) error {
+			close(started)
+			<-release
+			return nil
+		})
+	}()
+	<-started
+
+	// Second task occupies the queue behind the held slot.
+	var ran atomic.Bool
+	secondDone := make(chan error, 1)
+	go func() {
+		secondDone <- c.Run(0, func(*Worker) error {
+			ran.Store(true)
+			return nil
+		})
+	}()
+	// Let the second submission pass the fast check and block on the slot.
+	time.Sleep(10 * time.Millisecond)
+	c.Shutdown()
+	close(release)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("running task interrupted: %v", err)
+	}
+	if err := <-secondDone; err == nil {
+		t.Fatal("queued task should be rejected after shutdown")
+	}
+	if ran.Load() {
+		t.Fatal("queued task ran after shutdown")
+	}
+}
+
+func TestFailWorkerRejectsAndFailsOver(t *testing.T) {
+	c, _ := Start(Config{Workers: 3})
+	defer c.Shutdown()
+	if err := c.FailWorker(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailWorker(1); err != nil {
+		t.Fatal("FailWorker should be idempotent")
+	}
+	if alive := c.Alive(); len(alive) != 2 || alive[0] != 0 || alive[1] != 2 {
+		t.Fatalf("alive = %v", alive)
+	}
+	if err := c.Run(1, func(*Worker) error { return nil }); !errors.Is(err, ErrWorkerDead) {
+		t.Fatalf("run on dead worker = %v", err)
+	}
+
+	// RunAllSpecs moves the dead worker's task to a survivor, calling the
+	// rebuild hook with the replacement first.
+	var rebuiltOn, ranOn atomic.Int32
+	rebuiltOn.Store(-1)
+	ranOn.Store(-1)
+	specs := map[int][]TaskSpec{
+		1: {{
+			Run: func(w *Worker) error {
+				ranOn.Store(int32(w.ID()))
+				return nil
+			},
+			Rebuild: func(w *Worker) error {
+				rebuiltOn.Store(int32(w.ID()))
+				return nil
+			},
+		}},
+	}
+	if err := c.RunAllSpecs(specs, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if rebuiltOn.Load() != 2 || ranOn.Load() != 2 {
+		t.Fatalf("failover went to rebuild=%d run=%d, want worker 2", rebuiltOn.Load(), ranOn.Load())
+	}
+}
+
+func TestRunAllRetriesTransientErrors(t *testing.T) {
+	c, _ := Start(Config{Workers: 1, TaskRetries: 3})
+	defer c.Shutdown()
+	var tries atomic.Int32
+	tasks := map[int][]Task{0: {func(*Worker) error {
+		if tries.Add(1) < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}}}
+	if err := c.RunAll(tasks); err != nil {
+		t.Fatal(err)
+	}
+	if tries.Load() != 3 {
+		t.Fatalf("task tried %d times, want 3", tries.Load())
+	}
+
+	// The cap is real: a task that always fails exhausts its retries.
+	tries.Store(0)
+	err := c.RunAll(map[int][]Task{0: {func(*Worker) error {
+		tries.Add(1)
+		return errors.New("permanent")
+	}}})
+	if err == nil {
+		t.Fatal("permanently failing task should error")
+	}
+	if tries.Load() != 4 { // 1 initial + 3 retries
+		t.Fatalf("task tried %d times, want 4", tries.Load())
+	}
+}
+
+func TestInjectedCrashKillsWorker(t *testing.T) {
+	in := faults.New(1)
+	in.MustArm(faults.Rule{Site: faults.SiteDRTask, Kind: faults.Crash, EveryN: 1, Limit: 1})
+	faults.Install(in)
+	defer faults.Install(nil)
+
+	c, _ := Start(Config{Workers: 2})
+	defer c.Shutdown()
+	var ranOn atomic.Int32
+	ranOn.Store(-1)
+	err := c.RunAllSpecs(map[int][]TaskSpec{0: {{Run: func(w *Worker) error {
+		ranOn.Store(int32(w.ID()))
+		return nil
+	}}}}, RunOpts{})
+	if err != nil {
+		t.Fatalf("crash should be recovered: %v", err)
+	}
+	w0, _ := c.Worker(0)
+	if !w0.Dead() {
+		t.Fatal("crashed worker not marked dead")
+	}
+	if ranOn.Load() != 1 {
+		t.Fatalf("task ran on %d, want failover to worker 1", ranOn.Load())
+	}
+}
+
+func TestNoSurvivorsErrors(t *testing.T) {
+	c, _ := Start(Config{Workers: 1})
+	defer c.Shutdown()
+	if err := c.FailWorker(0); err != nil {
+		t.Fatal(err)
+	}
+	err := c.RunAll(map[int][]Task{0: {func(*Worker) error { return nil }}})
+	if !errors.Is(err, ErrWorkerDead) {
+		t.Fatalf("err = %v, want ErrWorkerDead", err)
+	}
+	if err := c.FailWorker(5); err == nil {
+		t.Fatal("failing an unknown worker should error")
 	}
 }
 

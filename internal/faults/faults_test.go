@@ -1,0 +1,205 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestEveryNDeterministic(t *testing.T) {
+	in := New(1)
+	if err := in.Arm(Rule{Site: "s", Kind: Error, EveryN: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var fires int
+	for i := 0; i < 9; i++ {
+		if err := in.Check("s"); err != nil {
+			fires++
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error does not wrap ErrInjected: %v", err)
+			}
+		}
+	}
+	if fires != 3 {
+		t.Fatalf("everyN=3 over 9 hits fired %d times, want 3", fires)
+	}
+}
+
+func TestProbSeededReproducible(t *testing.T) {
+	run := func() []bool {
+		in := New(42)
+		if err := in.Arm(Rule{Site: "s", Kind: Error, Prob: 0.3}); err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for i := 0; i < 50; i++ {
+			out = append(out, in.Check("s") != nil)
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob=0.3 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestLimitCapsFires(t *testing.T) {
+	in := New(1)
+	in.MustArm(Rule{Site: "s", Kind: Crash, EveryN: 1, Limit: 2})
+	fires := 0
+	for i := 0; i < 10; i++ {
+		if err := in.Check("s"); err != nil {
+			fires++
+			if !errors.Is(err, ErrCrash) || !errors.Is(err, ErrInjected) {
+				t.Fatalf("crash error chain broken: %v", err)
+			}
+		}
+	}
+	if fires != 2 {
+		t.Fatalf("limit=2 fired %d times", fires)
+	}
+}
+
+func TestDelayStalls(t *testing.T) {
+	in := New(1)
+	in.MustArm(Rule{Site: "s", Kind: Delay, EveryN: 1, Delay: 5 * time.Millisecond})
+	start := time.Now()
+	if err := in.Check("s"); err != nil {
+		t.Fatalf("delay should not error: %v", err)
+	}
+	if d := time.Since(start); d < 4*time.Millisecond {
+		t.Fatalf("delay did not stall: %v", d)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	boom := errors.New("boom")
+	in := New(1)
+	in.MustArm(Rule{Site: "s", Kind: Error, EveryN: 1, Err: boom})
+	if err := in.Check("s"); !errors.Is(err, boom) {
+		t.Fatalf("custom error lost: %v", err)
+	}
+}
+
+func TestArmValidation(t *testing.T) {
+	in := New(1)
+	if err := in.Arm(Rule{Kind: Error, EveryN: 1}); err == nil {
+		t.Fatal("empty site should fail")
+	}
+	if err := in.Arm(Rule{Site: "s", Kind: Error}); err == nil {
+		t.Fatal("no trigger should fail")
+	}
+	if err := in.Arm(Rule{Site: "s", Kind: Error, Prob: 1.5}); err == nil {
+		t.Fatal("prob > 1 should fail")
+	}
+}
+
+func TestUnarmedSiteIsFree(t *testing.T) {
+	in := New(1)
+	in.MustArm(Rule{Site: "other", Kind: Error, EveryN: 1})
+	if err := in.Check("s"); err != nil {
+		t.Fatalf("unarmed site injected: %v", err)
+	}
+	in.Disarm("other")
+	if err := in.Check("other"); err != nil {
+		t.Fatalf("disarmed site injected: %v", err)
+	}
+}
+
+func TestInstallAndGlobalCheck(t *testing.T) {
+	if Enabled() {
+		t.Fatal("no injector should be installed at test start")
+	}
+	if err := Check("s"); err != nil {
+		t.Fatalf("disabled Check injected: %v", err)
+	}
+	in := New(1)
+	in.MustArm(Rule{Site: "s", Kind: Error, EveryN: 1})
+	Install(in)
+	defer Install(nil)
+	if !Enabled() || Active() != in {
+		t.Fatal("injector not installed")
+	}
+	if err := Check("s"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("installed Check did not inject: %v", err)
+	}
+	Install(nil)
+	if Enabled() {
+		t.Fatal("Install(nil) should disable")
+	}
+	if err := Check("s"); err != nil {
+		t.Fatalf("uninstalled Check injected: %v", err)
+	}
+}
+
+func TestStatsAndString(t *testing.T) {
+	in := New(7)
+	in.MustArm(Rule{Site: "b", Kind: Error, EveryN: 2})
+	in.MustArm(Rule{Site: "a", Kind: Delay, EveryN: 1, Delay: time.Microsecond})
+	for i := 0; i < 4; i++ {
+		_ = in.Check("b")
+	}
+	_ = in.Check("a")
+	st := in.Stats()
+	if len(st) != 2 || st[0].Site != "a" || st[1].Site != "b" {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st[1].Hits != 4 || st[1].Fires != 2 {
+		t.Fatalf("site b tally = %+v", st[1])
+	}
+	if s := in.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+	if in.Seed() != 7 {
+		t.Fatalf("seed = %d", in.Seed())
+	}
+}
+
+func TestChaosProfile(t *testing.T) {
+	in := Chaos(3)
+	fires := 0
+	for i := 0; i < 40; i++ {
+		if err := in.Check(SiteVFTSend); err != nil {
+			fires++
+		}
+	}
+	// EveryN=20 over 40 hits fires exactly twice (delay fires don't error).
+	if fires != 2 {
+		t.Fatalf("chaos vft.send fired %d errors over 40 hits, want 2", fires)
+	}
+}
+
+// BenchmarkCheckDisabled measures the hot-path cost when no injector is
+// installed — one atomic load plus a nil test. The acceptance bar is that
+// instrumented sites are free when chaos is off.
+func BenchmarkCheckDisabled(b *testing.B) {
+	Install(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Check("vft.send"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckArmedMiss(b *testing.B) {
+	in := New(1)
+	in.MustArm(Rule{Site: "other", Kind: Error, EveryN: 1})
+	Install(in)
+	defer Install(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Check("vft.send"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"verticadr/internal/colstore"
 	"verticadr/internal/darray"
 	"verticadr/internal/dr"
+	"verticadr/internal/faults"
 	"verticadr/internal/telemetry"
 )
 
@@ -35,7 +36,13 @@ var (
 	mBytesSent   = telemetry.Default().Counter("odbc_bytes_sent_total")
 	mSerializeNs = telemetry.Default().Counter("odbc_serialize_nanos_total")
 	mParseNs     = telemetry.Default().Counter("odbc_parse_nanos_total")
+	mRetries     = telemetry.Default().Counter("odbc_query_retries_total")
 )
+
+// queryAttempts caps how many times Load retries one connection's range
+// query. Range queries are read-only and idempotent, so a failed attempt
+// (a dropped session, an injected fault) is simply reissued.
+const queryAttempts = 3
 
 // DB is the database surface the connector uses. internal/vertica.DB
 // satisfies it.
@@ -76,6 +83,11 @@ func (s *Server) RowsSent() int64 { return s.rowsSent.Load() }
 // nodes' segments — the locality destruction of §3.
 func (s *Server) queryRangeText(table string, cols []string, offset, count int) (string, error) {
 	mQueries.Inc()
+	// A fault here models the whole query failing to start (a dropped
+	// session); the client's retry loop reissues it.
+	if err := faults.Check(faults.SiteODBCQuery); err != nil {
+		return "", err
+	}
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 	n := s.active.Add(1)
@@ -115,6 +127,11 @@ func (s *Server) queryRangeText(table string, cols []string, offset, count int) 
 		take := rows - skip
 		if take > remaining {
 			take = remaining
+		}
+		// A fault here fails the stream mid-flight, after some rows were
+		// already rendered — the retry must restart the whole range.
+		if err := faults.Check(faults.SiteODBCRow); err != nil {
+			return "", err
 		}
 		batch, err := seg.ReadAll(cols)
 		if err != nil {
@@ -324,8 +341,20 @@ func Load(db DB, srv *Server, c *dr.Cluster, table string, cols []string, connec
 			defer wg.Done()
 			lo := i * total / connections
 			hi := (i + 1) * total / connections
-			conn := Connect(srv)
-			batch, err := conn.QueryRange(table, cols, lo, hi-lo)
+			// Reconnect-and-retry, as a real ODBC client does when its
+			// session drops: each attempt is a fresh connection reissuing
+			// the same idempotent range query.
+			var batch *colstore.Batch
+			var err error
+			for attempt := 0; attempt < queryAttempts; attempt++ {
+				if attempt > 0 {
+					mRetries.Inc()
+				}
+				conn := Connect(srv)
+				if batch, err = conn.QueryRange(table, cols, lo, hi-lo); err == nil {
+					break
+				}
+			}
 			if err != nil {
 				errs[i] = err
 				return

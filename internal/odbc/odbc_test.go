@@ -1,12 +1,14 @@
 package odbc
 
 import (
+	"errors"
 	"sort"
 	"sync"
 	"testing"
 
 	"verticadr/internal/colstore"
 	"verticadr/internal/dr"
+	"verticadr/internal/faults"
 	"verticadr/internal/vertica"
 )
 
@@ -198,5 +200,66 @@ func TestLoadErrors(t *testing.T) {
 	defer c.Shutdown()
 	if _, err := Load(db, srv, c, "missing", nil, 2); err == nil {
 		t.Fatal("missing table should fail")
+	}
+}
+
+// TestLoadRetriesInjectedQueryFaults arms odbc.query failures and checks the
+// per-connection reconnect loop absorbs them: the load succeeds, every row
+// arrives exactly once, and retries are counted.
+func TestLoadRetriesInjectedQueryFaults(t *testing.T) {
+	in := faults.New(9)
+	in.MustArm(faults.Rule{Site: faults.SiteODBCQuery, Kind: faults.Error, EveryN: 3})
+	faults.Install(in)
+	defer faults.Install(nil)
+
+	db, srv := setup(t, 2, 600)
+	c, err := dr.Start(dr.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	retries0 := mRetries.Value()
+	frame, err := Load(db, srv, c, "t", []string{"id"}, 6)
+	if err != nil {
+		t.Fatalf("load under query faults should recover: %v", err)
+	}
+	if frame.Rows() != 600 {
+		t.Fatalf("rows = %d", frame.Rows())
+	}
+	var ids []int64
+	for p := 0; p < frame.NPartitions(); p++ {
+		b, err := frame.Part(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, b.Cols[0].Ints...)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i, id := range ids {
+		if id != int64(i) {
+			t.Fatalf("row %d missing or duplicated (got %d)", i, id)
+		}
+	}
+	if mRetries.Value() == retries0 {
+		t.Fatal("no retries recorded despite armed query faults")
+	}
+}
+
+// TestLoadGivesUpAfterRetryBudget: a row-stream fault armed on every visit
+// outlasts the retry cap and surfaces to the caller.
+func TestLoadGivesUpAfterRetryBudget(t *testing.T) {
+	in := faults.New(1)
+	in.MustArm(faults.Rule{Site: faults.SiteODBCRow, Kind: faults.Error, EveryN: 1})
+	faults.Install(in)
+	defer faults.Install(nil)
+
+	db, srv := setup(t, 2, 100)
+	c, err := dr.Start(dr.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if _, err := Load(db, srv, c, "t", nil, 2); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want injected failure after retries exhausted", err)
 	}
 }

@@ -8,6 +8,10 @@ import (
 	"verticadr/internal/udf"
 )
 
+// sendRetries caps how many times flush offers one chunk to the sink; the
+// receiver's (part, seq) dedup makes every retransmission idempotent.
+const sendRetries = 3
+
 // exportUDF is the ExportToDistributedR transform function (Fig. 4). One
 // instance runs per node-local chunk under OVER (PARTITION BEST); each
 // instance reads its rows, buffers them (psize rows per chunk — the
@@ -89,8 +93,20 @@ func (exportUDF) ProcessPartition(ctx *udf.Ctx, in udf.BatchReader, out udf.Batc
 		elapsed := time.Since(start)
 		seq := OrderKey(ctx.NodeID, ctx.Instance, localSeq)
 		localSeq++
-		if err := sink.Send(sessionID, target, seq, msg, rows, elapsed); err != nil {
-			return err
+		// Retransmit on failure: the hub dedups by (part, seq), so resending
+		// after a lost acknowledgement is safe. The TCP sink retries
+		// internally as well; this loop also covers the in-process path.
+		var sendErr error
+		for attempt := 0; attempt < sendRetries; attempt++ {
+			if attempt > 0 {
+				mRetransmits.Inc()
+			}
+			if sendErr = sink.Send(sessionID, target, seq, msg, rows, elapsed); sendErr == nil {
+				break
+			}
+		}
+		if sendErr != nil {
+			return sendErr
 		}
 		totalRows += rows
 		totalBytes += len(msg)

@@ -103,6 +103,9 @@ func Load(db DB, c *dr.Cluster, hub *Hub, table string, cols []string, policy st
 	exp := sp.StartChild("vft.export")
 	if err := db.Exec(q); err != nil {
 		sp.End()
+		// Release the staged chunks: without the abort, a failed export
+		// leaked the session (and its staging memory) forever.
+		hub.Abort(sessionID)
 		return nil, nil, fmt.Errorf("vft: export query failed: %w", err)
 	}
 	exp.End()

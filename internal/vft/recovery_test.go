@@ -1,0 +1,361 @@
+package vft
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"verticadr/internal/colstore"
+	"verticadr/internal/faults"
+	"verticadr/internal/telemetry"
+)
+
+func idSchema() colstore.Schema {
+	return colstore.Schema{{Name: "id", Type: colstore.TypeInt64}}
+}
+
+func encodeIDs(t *testing.T, ids ...int64) []byte {
+	t.Helper()
+	b := colstore.NewBatch(idSchema())
+	for _, id := range ids {
+		if err := b.AppendRow(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msg, err := EncodeChunk(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return msg
+}
+
+func TestHubSendIdempotent(t *testing.T) {
+	_, c, hub := setup(t, 2, 2)
+	frame, err := newFrameForTest(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := hub.open(frame, idSchema(), PolicyLocality)
+	msg := encodeIDs(t, 1, 2, 3)
+	seq := OrderKey(0, 0, 0)
+
+	dups0 := mDupChunks.Value()
+	// Send the same (part, seq) three times — a retransmission after a lost
+	// ack. Only the first is staged; the rest are acknowledged silently.
+	for i := 0; i < 3; i++ {
+		if err := hub.Send(id, 0, seq, msg, 3, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := hub.Send(id, 0, OrderKey(0, 0, 1), encodeIDs(t, 4), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := mDupChunks.Value() - dups0; got != 2 {
+		t.Fatalf("dup chunks = %d, want 2", got)
+	}
+	stats, err := hub.finalize(id, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The duplicates were absorbed: 4 rows total, not 10.
+	if stats.Rows != 4 || stats.Chunks != 2 {
+		t.Fatalf("stats = %d rows / %d chunks, want 4 / 2", stats.Rows, stats.Chunks)
+	}
+	b, err := frame.Part(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("partition 0 has %d rows, want 4", b.Len())
+	}
+}
+
+func TestAbortReleasesSession(t *testing.T) {
+	_, c, hub := setup(t, 2, 2)
+	frame, _ := newFrameForTest(c, 2)
+	id := hub.open(frame, idSchema(), PolicyLocality)
+	if err := hub.Send(id, 0, 0, encodeIDs(t, 1), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	aborted0 := mAborted.Value()
+	if hub.Sessions() != 1 {
+		t.Fatalf("sessions = %d", hub.Sessions())
+	}
+	if !hub.Abort(id) {
+		t.Fatal("abort of live session reported false")
+	}
+	if hub.Sessions() != 0 {
+		t.Fatal("session survived abort")
+	}
+	if hub.Abort(id) {
+		t.Fatal("abort of dead session reported true")
+	}
+	if err := hub.Send(id, 0, 1, encodeIDs(t, 2), 1, 0); err == nil {
+		t.Fatal("send to aborted session should fail")
+	}
+	if got := mAborted.Value() - aborted0; got != 1 {
+		t.Fatalf("vft_sessions_aborted_total delta = %d, want 1", got)
+	}
+}
+
+func TestFinalizeErrorRemovesSession(t *testing.T) {
+	_, c, hub := setup(t, 2, 2)
+	frame, _ := newFrameForTest(c, 2)
+	id := hub.open(frame, idSchema(), PolicyLocality)
+	// Stage garbage: DecodeChunk fails during conversion, finalize errors,
+	// and the session must still be released.
+	if err := hub.Send(id, 0, 0, []byte{0xff, 0xee, 0xdd}, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.finalize(id, c); err == nil {
+		t.Fatal("finalize of corrupt chunk should fail")
+	}
+	if hub.Sessions() != 0 {
+		t.Fatal("errored finalize leaked the session")
+	}
+}
+
+func TestLoadAbortsSessionOnExportFailure(t *testing.T) {
+	db, c, hub := setup(t, 2, 2)
+	loadTestTable(t, db, 100)
+	// Replace the hub service with something that is not a ChunkSink, so the
+	// export query fails mid-transfer.
+	db.RegisterService(ServiceName, "not a sink")
+	defer db.RegisterService(ServiceName, hub)
+	if _, _, err := Load(db, c, hub, "mytable", nil, PolicyLocality, 0); err == nil {
+		t.Fatal("export through a bogus sink should fail")
+	}
+	if hub.Sessions() != 0 {
+		t.Fatalf("failed load leaked %d sessions", hub.Sessions())
+	}
+}
+
+func TestReapIdle(t *testing.T) {
+	_, c, hub := setup(t, 2, 2)
+	frame, _ := newFrameForTest(c, 2)
+	idOld := hub.open(frame, idSchema(), PolicyLocality)
+	idFresh := hub.open(frame, idSchema(), PolicyLocality)
+	// Backdate the first session past the idle horizon.
+	s, err := hub.get(idOld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.lastTouch.Store(time.Now().Add(-time.Hour).UnixNano())
+
+	reaped := hub.ReapIdle(time.Minute)
+	if len(reaped) != 1 || reaped[0] != idOld {
+		t.Fatalf("reaped = %v, want [%s]", reaped, idOld)
+	}
+	if hub.Sessions() != 1 {
+		t.Fatalf("sessions = %d, want the fresh one to survive", hub.Sessions())
+	}
+	if _, err := hub.get(idFresh); err != nil {
+		t.Fatalf("fresh session reaped: %v", err)
+	}
+	_ = c
+}
+
+func TestStartReaper(t *testing.T) {
+	_, c, hub := setup(t, 2, 2)
+	frame, _ := newFrameForTest(c, 2)
+	id := hub.open(frame, idSchema(), PolicyLocality)
+	s, _ := hub.get(id)
+	s.lastTouch.Store(time.Now().Add(-time.Hour).UnixNano())
+
+	stop := hub.StartReaper(2*time.Millisecond, time.Minute)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for hub.Sessions() > 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if hub.Sessions() != 0 {
+		t.Fatal("reaper never collected the idle session")
+	}
+	stop()
+	stop() // idempotent
+	_ = c
+}
+
+// TestInjectedSendFaultRecovered drives the in-process path with vft.send
+// errors armed: flush's retransmit loop resends, the hub's dedup absorbs the
+// duplicates, and the loaded frame is complete and correct.
+func TestInjectedSendFaultRecovered(t *testing.T) {
+	in := faults.New(11)
+	in.MustArm(faults.Rule{Site: faults.SiteVFTSend, Kind: faults.Error, EveryN: 3})
+	faults.Install(in)
+	defer faults.Install(nil)
+
+	db, c, hub := setup(t, 2, 2)
+	loadTestTable(t, db, 1000)
+	dups0 := mDupChunks.Value()
+	retrans0 := mRetransmits.Value()
+	frame, stats, err := Load(db, c, hub, "mytable", []string{"id"}, PolicyLocality, 64)
+	if err != nil {
+		t.Fatalf("load under send faults should recover: %v", err)
+	}
+	if stats.Rows != 1000 {
+		t.Fatalf("stats.Rows = %d", stats.Rows)
+	}
+	ids := collectIDs(t, frame)
+	if len(ids) != 1000 {
+		t.Fatalf("got %d rows after recovery", len(ids))
+	}
+	for i, id := range ids {
+		if id != int64(i) {
+			t.Fatalf("row %d missing or duplicated (got %d)", i, id)
+		}
+	}
+	if mRetransmits.Value() == retrans0 {
+		t.Fatal("no retransmits recorded despite armed send faults")
+	}
+	if mDupChunks.Value() == dups0 {
+		t.Fatal("no duplicate chunks absorbed despite retransmission")
+	}
+	if hub.Sessions() != 0 {
+		t.Fatal("recovered load leaked a session")
+	}
+}
+
+// TestLoadTCPRecoversFromSendFaults is the same chaos over real sockets: the
+// injected post-staging failure travels back as a remote error reply, the
+// TCP client retransmits on a fresh connection, and dedup keeps the frame
+// exact.
+func TestLoadTCPRecoversFromSendFaults(t *testing.T) {
+	in := faults.New(5)
+	in.MustArm(faults.Rule{Site: faults.SiteVFTSend, Kind: faults.Error, EveryN: 4})
+	faults.Install(in)
+	defer faults.Install(nil)
+
+	db, c, hub := setup(t, 2, 2)
+	loadTestTable(t, db, 800)
+	svc, err := ServeTCP(hub, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	retrans0 := mRetransmits.Value()
+	frame, _, err := LoadTCP(db, c, hub, svc, "mytable", []string{"id"}, PolicyLocality, 64)
+	if err != nil {
+		t.Fatalf("TCP load under send faults should recover: %v", err)
+	}
+	ids := collectIDs(t, frame)
+	if len(ids) != 800 {
+		t.Fatalf("got %d rows after recovery", len(ids))
+	}
+	for i, id := range ids {
+		if id != int64(i) {
+			t.Fatalf("row %d missing or duplicated (got %d)", i, id)
+		}
+	}
+	if mRetransmits.Value() == retrans0 {
+		t.Fatal("no retransmits recorded despite armed send faults")
+	}
+}
+
+func TestTCPClientDeadline(t *testing.T) {
+	// A listener that accepts and then goes silent: the ack never arrives,
+	// so the per-attempt deadline must bound the send.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			// Swallow bytes forever, never reply.
+			buf := make([]byte, 4096)
+			for {
+				if _, err := conn.Read(buf); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	client := NewTCPClient([]string{ln.Addr().String()})
+	client.Attempts = 1
+	client.Timeout = 30 * time.Millisecond
+	start := time.Now()
+	err = client.Send("s", 0, 0, []byte("x"), 1, 0)
+	if err == nil {
+		t.Fatal("send to a silent receiver should time out")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("expected a timeout error, got %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("deadline did not bound the send: %v", d)
+	}
+}
+
+func TestTCPClientNeverPoolsFailedConns(t *testing.T) {
+	// First exchange fails (no ack); the connection must be closed, not
+	// pooled, so the next attempt dials fresh.
+	accepts := make(chan net.Conn, 4)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepts <- conn
+			// Close immediately: the client's ack read fails.
+			conn.Close()
+		}
+	}()
+
+	client := NewTCPClient([]string{ln.Addr().String()})
+	client.Attempts = 2
+	client.Backoff = time.Millisecond
+	client.Timeout = 100 * time.Millisecond
+	if err := client.Send("s", 0, 0, []byte("x"), 1, 0); err == nil {
+		t.Fatal("send against a closing receiver should fail")
+	}
+	client.mu.Lock()
+	pooled := 0
+	for _, conns := range client.pool {
+		pooled += len(conns)
+	}
+	client.mu.Unlock()
+	if pooled != 0 {
+		t.Fatalf("%d failed connections were pooled", pooled)
+	}
+	// Both attempts dialed a fresh connection.
+	if got := len(accepts); got != 2 {
+		t.Fatalf("receiver saw %d connections, want 2 (one per attempt)", got)
+	}
+}
+
+func TestTCPSendRetriesCountTelemetry(t *testing.T) {
+	// End-to-end happy path over TCP still pools connections after clean
+	// exchanges.
+	db, c, hub := setup(t, 2, 2)
+	loadTestTable(t, db, 200)
+	svc, err := ServeTCP(hub, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	frame, stats, err := LoadTCP(db, c, hub, svc, "mytable", nil, PolicyLocality, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Rows() != 200 || stats.Rows != 200 {
+		t.Fatalf("rows = %d / %d", frame.Rows(), stats.Rows)
+	}
+	if telemetry.Default().Counter("vft_transfers_total", telemetry.L("policy", PolicyLocality)).Value() < 1 {
+		t.Fatal("transfer not counted")
+	}
+}

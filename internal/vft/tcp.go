@@ -175,17 +175,51 @@ func writeReply(conn net.Conn, err error) error {
 
 // TCPClient is the database-side sender: it dials worker listeners and
 // frames chunks onto sockets, with a small per-address connection pool so
-// concurrent UDF instances reuse connections.
+// concurrent UDF instances reuse connections. Send retries failed attempts
+// on a fresh connection with exponential backoff, and every attempt runs
+// under a deadline so a wedged receiver cannot hang the exporter.
 type TCPClient struct {
 	addrs []string
-	mu    sync.Mutex
-	pool  map[string][]net.Conn
+
+	// Attempts caps how many times Send tries a chunk (default 3). Each
+	// retry reconnects: a connection that saw any error is closed, never
+	// pooled.
+	Attempts int
+	// Backoff is the sleep before the first retry, doubling per attempt
+	// (default 2ms).
+	Backoff time.Duration
+	// Timeout bounds each attempt's socket I/O (default 10s).
+	Timeout time.Duration
+
+	mu   sync.Mutex
+	pool map[string][]net.Conn
 }
 
 // NewTCPClient builds a sender for the given worker addresses (index ==
 // target partition, which equals the worker index under both policies).
 func NewTCPClient(addrs []string) *TCPClient {
 	return &TCPClient{addrs: addrs, pool: map[string][]net.Conn{}}
+}
+
+func (c *TCPClient) attempts() int {
+	if c.Attempts > 0 {
+		return c.Attempts
+	}
+	return 3
+}
+
+func (c *TCPClient) backoff() time.Duration {
+	if c.Backoff > 0 {
+		return c.Backoff
+	}
+	return 2 * time.Millisecond
+}
+
+func (c *TCPClient) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 10 * time.Second
 }
 
 var _ ChunkSink = (*TCPClient)(nil)
@@ -209,12 +243,44 @@ func (c *TCPClient) putConn(addr string, conn net.Conn) {
 	c.pool[addr] = append(c.pool[addr], conn)
 }
 
-// Send implements ChunkSink over TCP with a synchronous ack.
+// Send implements ChunkSink over TCP with a synchronous ack. A failed
+// attempt (dial, write, ack read, or deadline) closes its connection and is
+// retried on a fresh one after exponential backoff; since the receiver's
+// (part, seq) dedup makes retransmission idempotent, a chunk whose ack was
+// lost in flight is simply sent again.
 func (c *TCPClient) Send(sessionID string, part int, seq uint64, msg []byte, rows int, dbTime time.Duration) error {
 	if part < 0 || part >= len(c.addrs) {
 		return fmt.Errorf("vft: no listener for partition %d", part)
 	}
 	addr := c.addrs[part]
+
+	payload := binary.AppendUvarint(nil, uint64(len(sessionID)))
+	payload = append(payload, sessionID...)
+	payload = binary.AppendUvarint(payload, uint64(part))
+	payload = binary.AppendUvarint(payload, seq)
+	payload = binary.AppendUvarint(payload, uint64(rows))
+	payload = binary.AppendUvarint(payload, uint64(dbTime.Nanoseconds()))
+	payload = append(payload, msg...)
+
+	var err error
+	backoff := c.backoff()
+	for attempt := 0; attempt < c.attempts(); attempt++ {
+		if attempt > 0 {
+			mRetransmits.Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if err = c.sendOnce(addr, payload); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("vft: send to %s failed after %d attempts: %w", addr, c.attempts(), err)
+}
+
+// sendOnce runs one framed request/ack exchange under the per-attempt
+// deadline. The connection is pooled only after a fully clean exchange;
+// any error closes it so a later Send cannot inherit a poisoned stream.
+func (c *TCPClient) sendOnce(addr string, payload []byte) error {
 	conn, err := c.getConn(addr)
 	if err != nil {
 		return fmt.Errorf("vft: dial %s: %w", addr, err)
@@ -227,14 +293,10 @@ func (c *TCPClient) Send(sessionID string, part int, seq uint64, msg []byte, row
 			conn.Close()
 		}
 	}()
+	if err := conn.SetDeadline(time.Now().Add(c.timeout())); err != nil {
+		return fmt.Errorf("vft: set deadline: %w", err)
+	}
 
-	payload := binary.AppendUvarint(nil, uint64(len(sessionID)))
-	payload = append(payload, sessionID...)
-	payload = binary.AppendUvarint(payload, uint64(part))
-	payload = binary.AppendUvarint(payload, seq)
-	payload = binary.AppendUvarint(payload, uint64(rows))
-	payload = binary.AppendUvarint(payload, uint64(dbTime.Nanoseconds()))
-	payload = append(payload, msg...)
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
 	if _, err := conn.Write(lenBuf[:]); err != nil {
@@ -257,6 +319,9 @@ func (c *TCPClient) Send(sessionID string, part int, seq uint64, msg []byte, row
 			return fmt.Errorf("vft: read error reply: %w", err)
 		}
 		return fmt.Errorf("vft: remote: %s", msg)
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return fmt.Errorf("vft: clear deadline: %w", err)
 	}
 	ok = true
 	return nil

@@ -16,11 +16,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"verticadr/internal/colstore"
 	"verticadr/internal/darray"
 	"verticadr/internal/dr"
+	"verticadr/internal/faults"
 	"verticadr/internal/telemetry"
 )
 
@@ -40,6 +42,12 @@ var (
 	mDBNanos   = telemetry.Default().Counter("vft_db_nanos_total")
 	mNetNanos  = telemetry.Default().Counter("vft_net_nanos_total")
 	mConvNanos = telemetry.Default().Counter("vft_conv_nanos_total")
+	// Recovery activity: chunks resent after a failed send, duplicates the
+	// hub absorbed thanks to (part, seq) dedup, and sessions torn down
+	// without finalizing (explicit aborts, failed exports, idle reaping).
+	mRetransmits = telemetry.Default().Counter("vft_retransmits_total")
+	mDupChunks   = telemetry.Default().Counter("vft_dup_chunks_total")
+	mAborted     = telemetry.Default().Counter("vft_sessions_aborted_total")
 )
 
 // Transfer policies.
@@ -105,12 +113,22 @@ type session struct {
 
 	mu     sync.Mutex
 	staged map[int][]chunkMsg
+	// seen dedups staged chunks by (part, seq) so retransmission after a
+	// lost ack is idempotent — a resent chunk is acknowledged but not
+	// staged twice.
+	seen map[chunkKey]struct{}
+
+	// lastTouch is the wall-clock nanos of the last send/open, read by the
+	// idle-session reaper.
+	lastTouch atomic.Int64
 
 	rows, bytes         *telemetry.Counter
 	chunks, localChunks *telemetry.Counter
 	dbTime, netTime     *telemetry.Counter
 	convTime            *telemetry.Counter
 }
+
+func (s *session) touch() { s.lastTouch.Store(time.Now().UnixNano()) }
 
 // Hub is the Distributed R side of VFT: it owns worker "listeners" (staging
 // areas) and finalizes received data into distributed data frames. It is
@@ -131,11 +149,12 @@ func (h *Hub) open(frame *darray.DFrame, schema colstore.Schema, policy string) 
 	defer h.mu.Unlock()
 	h.next++
 	id := fmt.Sprintf("vft-%d", h.next)
-	h.sessions[id] = &session{
+	s := &session{
 		frame:       frame,
 		schema:      schema,
 		policy:      policy,
 		staged:      make(map[int][]chunkMsg),
+		seen:        make(map[chunkKey]struct{}),
 		rows:        telemetry.NewCounter(),
 		bytes:       telemetry.NewCounter(),
 		chunks:      telemetry.NewCounter(),
@@ -144,7 +163,72 @@ func (h *Hub) open(frame *darray.DFrame, schema colstore.Schema, policy string) 
 		netTime:     telemetry.NewCounter(),
 		convTime:    telemetry.NewCounter(),
 	}
+	s.touch()
+	h.sessions[id] = s
 	return id
+}
+
+// Sessions reports the number of in-flight transfers (leak checks).
+func (h *Hub) Sessions() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.sessions)
+}
+
+// Abort drops an in-flight session and its staged chunks — the cleanup path
+// for errored or abandoned transfers, which previously kept their staging
+// memory forever. Unknown ids are a no-op; the return reports whether a
+// session was actually dropped.
+func (h *Hub) Abort(id string) bool {
+	h.mu.Lock()
+	_, ok := h.sessions[id]
+	delete(h.sessions, id)
+	h.mu.Unlock()
+	if ok {
+		mAborted.Inc()
+	}
+	return ok
+}
+
+// ReapIdle aborts sessions that have not seen a send for longer than
+// maxIdle, returning their ids sorted. Called periodically by StartReaper so
+// a sender that died mid-transfer cannot pin staged chunks indefinitely.
+func (h *Hub) ReapIdle(maxIdle time.Duration) []string {
+	now := time.Now().UnixNano()
+	var ids []string
+	h.mu.Lock()
+	for id, s := range h.sessions {
+		if now-s.lastTouch.Load() > int64(maxIdle) {
+			ids = append(ids, id)
+			delete(h.sessions, id)
+		}
+	}
+	h.mu.Unlock()
+	for range ids {
+		mAborted.Inc()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// StartReaper scans for idle sessions every interval until the returned stop
+// function is called (idempotent).
+func (h *Hub) StartReaper(interval, maxIdle time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				h.ReapIdle(maxIdle)
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 func (h *Hub) get(id string) (*session, error) {
@@ -167,6 +251,12 @@ type chunkMsg struct {
 	data []byte
 }
 
+// chunkKey identifies a staged chunk for retransmission dedup.
+type chunkKey struct {
+	part int
+	seq  uint64
+}
+
 // OrderKey composes a chunk's deterministic order key.
 func OrderKey(node, instance, localSeq int) uint64 {
 	return uint64(node)<<44 | uint64(instance)<<28 | uint64(localSeq)
@@ -175,15 +265,27 @@ func OrderKey(node, instance, localSeq int) uint64 {
 // Send delivers one encoded chunk to a target partition's staging area. It
 // is called by database-side UDF instances ("Vertica processes" connecting
 // to worker listeners). seq is the chunk's OrderKey.
+//
+// Send is idempotent: a chunk already staged under the same (part, seq) is
+// acknowledged without being staged again, so senders may retransmit after
+// a failed or lost acknowledgement without corrupting the partition.
 func (h *Hub) Send(sessionID string, part int, seq uint64, msg []byte, rows int, dbTime time.Duration) error {
 	s, err := h.get(sessionID)
 	if err != nil {
 		return err
 	}
+	s.touch()
 	if part < 0 || part >= s.frame.NPartitions() {
 		return fmt.Errorf("vft: partition %d out of range", part)
 	}
 	s.mu.Lock()
+	key := chunkKey{part: part, seq: seq}
+	if _, dup := s.seen[key]; dup {
+		s.mu.Unlock()
+		mDupChunks.Inc()
+		return nil
+	}
+	s.seen[key] = struct{}{}
 	s.staged[part] = append(s.staged[part], chunkMsg{seq: seq, data: msg})
 	s.mu.Unlock()
 	s.rows.Add(int64(rows))
@@ -202,6 +304,12 @@ func (h *Hub) Send(sessionID string, part int, seq uint64, msg []byte, rows int,
 	mRows.Add(int64(rows))
 	mBytes.Add(int64(len(msg)))
 	mDBNanos.AddDuration(dbTime)
+	// The injection point sits after staging: an injected failure models a
+	// lost acknowledgement, so the sender retransmits a chunk the hub
+	// already holds and the dedup above must absorb it.
+	if err := faults.Check(faults.SiteVFTSend); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -219,11 +327,18 @@ func (h *Hub) addNet(sessionID string, d time.Duration) {
 // and fills the distributed frame (§3.3 step two: "in-memory files are
 // converted into R objects and assembled into partitions"). Conversion runs
 // on the owning workers in parallel.
-func (h *Hub) finalize(id string, c *dr.Cluster) (*Stats, error) {
+func (h *Hub) finalize(id string, c *dr.Cluster) (st *Stats, err error) {
 	s, err := h.get(id)
 	if err != nil {
 		return nil, err
 	}
+	// The session is consumed whatever happens: the success path deletes it
+	// below, and every error path must release its staging memory too.
+	defer func() {
+		if err != nil {
+			h.Abort(id)
+		}
+	}()
 	s.mu.Lock()
 	staged := s.staged
 	s.staged = make(map[int][]chunkMsg)
@@ -232,43 +347,45 @@ func (h *Hub) finalize(id string, c *dr.Cluster) (*Stats, error) {
 	nparts := s.frame.NPartitions()
 	var rMu sync.Mutex
 	var rTime time.Duration
-	tasks := map[int][]dr.Task{}
-	errsMu := sync.Mutex{}
-	var firstErr error
+	tasks := map[int][]dr.TaskSpec{}
 	for part := 0; part < nparts; part++ {
 		part := part
 		chunks := staged[part]
 		w := s.frame.WorkerOf(part)
-		tasks[w] = append(tasks[w], func(_ *dr.Worker) error {
-			start := time.Now()
-			// Deterministic assembly: order by (node, instance, sequence).
-			sort.Slice(chunks, func(a, b int) bool { return chunks[a].seq < chunks[b].seq })
-			batch := colstore.NewBatch(s.schema)
-			for _, msg := range chunks {
-				b, err := DecodeChunk(msg.data, s.schema)
-				if err != nil {
+		tasks[w] = append(tasks[w], dr.TaskSpec{
+			Run: func(_ *dr.Worker) error {
+				start := time.Now()
+				// Deterministic assembly: order by (node, instance, sequence).
+				sort.Slice(chunks, func(a, b int) bool { return chunks[a].seq < chunks[b].seq })
+				batch := colstore.NewBatch(s.schema)
+				for _, msg := range chunks {
+					b, err := DecodeChunk(msg.data, s.schema)
+					if err != nil {
+						return err
+					}
+					if err := batch.AppendBatch(b); err != nil {
+						return err
+					}
+				}
+				if err := s.frame.Fill(part, batch); err != nil {
 					return err
 				}
-				if err := batch.AppendBatch(b); err != nil {
-					return err
-				}
-			}
-			if err := s.frame.Fill(part, batch); err != nil {
-				return err
-			}
-			rMu.Lock()
-			rTime += time.Since(start)
-			rMu.Unlock()
-			return nil
+				rMu.Lock()
+				rTime += time.Since(start)
+				rMu.Unlock()
+				return nil
+			},
+			// Failover: the staged chunks live on the master, so recovering
+			// a dead worker's partition only needs re-pointing it at the
+			// survivor before the conversion task re-runs there (the paper's
+			// partition re-fetch on task re-execution).
+			Rebuild: func(nw *dr.Worker) error {
+				return s.frame.SetWorker(part, nw.ID())
+			},
 		})
 	}
-	if err := c.RunAll(tasks); err != nil {
-		errsMu.Lock()
-		firstErr = err
-		errsMu.Unlock()
-	}
-	if firstErr != nil {
-		return nil, firstErr
+	if err := c.RunAllSpecs(tasks, dr.RunOpts{Retries: c.TaskRetries()}); err != nil {
+		return nil, err
 	}
 	sizes := make([]int, nparts)
 	for i := range sizes {
@@ -280,7 +397,7 @@ func (h *Hub) finalize(id string, c *dr.Cluster) (*Stats, error) {
 	}
 	s.convTime.AddDuration(rTime)
 	mConvNanos.AddDuration(rTime)
-	st := &Stats{
+	st = &Stats{
 		Rows:        int(s.rows.Value()),
 		Bytes:       int(s.bytes.Value()),
 		Chunks:      int(s.chunks.Value()),

@@ -10,10 +10,13 @@
 package yarn
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"verticadr/internal/faults"
 	"verticadr/internal/telemetry"
 )
 
@@ -31,11 +34,16 @@ var (
 		return telemetry.Default().Counter("yarn_releases_total", telemetry.L("queue", queue))
 	}
 	mWaits    = telemetry.Default().Counter("yarn_request_waits_total")
+	mTimeouts = telemetry.Default().Counter("yarn_request_timeouts_total")
 	mLocality = func(hit string) *telemetry.Counter {
 		return telemetry.Default().Counter("yarn_locality_total", telemetry.L("preference", hit))
 	}
 	gOutstanding = telemetry.Default().Gauge("yarn_containers_outstanding")
 )
+
+// ErrRequestTimeout marks a blocking request that gave up waiting for
+// resources; callers distinguish it from a plain denial with errors.Is.
+var ErrRequestTimeout = errors.New("yarn: request timed out")
 
 // NodeResources is a node's capacity.
 type NodeResources struct {
@@ -164,10 +172,40 @@ func (rm *ResourceManager) queueHeadroom(queue string) int {
 // With wait=true the call blocks until resources free up; with wait=false it
 // returns an error when the request cannot be satisfied immediately.
 func (a *App) Request(cores, memMB, preferNode int, wait bool) (*Container, error) {
+	return a.request(cores, memMB, preferNode, wait, 0)
+}
+
+// RequestTimeout blocks like Request with wait=true, but gives up after
+// timeout and returns an error wrapping ErrRequestTimeout. This bounds how
+// long a Distributed R session stall can hold up its caller when the cluster
+// is saturated — before it, a blocking request could wait forever on a peer
+// that never released.
+func (a *App) RequestTimeout(cores, memMB, preferNode int, timeout time.Duration) (*Container, error) {
+	if timeout <= 0 {
+		return nil, fmt.Errorf("yarn: timeout must be positive")
+	}
+	return a.request(cores, memMB, preferNode, true, timeout)
+}
+
+func (a *App) request(cores, memMB, preferNode int, wait bool, timeout time.Duration) (*Container, error) {
 	if cores <= 0 || memMB <= 0 {
 		return nil, fmt.Errorf("yarn: container demands must be positive")
 	}
+	// Injected resource-manager hiccups surface as denials.
+	if err := faults.Check(faults.SiteYarnRequest); err != nil {
+		mDenials(a.Queue).Inc()
+		return nil, err
+	}
 	rm := a.rm
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		// cond.Wait has no deadline form; a timer broadcast wakes every
+		// waiter, and the expired one notices its deadline below. Waking the
+		// others is harmless — they re-check their predicates and sleep again.
+		timer := time.AfterFunc(timeout, rm.cond.Broadcast)
+		defer timer.Stop()
+	}
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
 	for {
@@ -192,6 +230,12 @@ func (a *App) Request(cores, memMB, preferNode int, wait bool) (*Container, erro
 		if !wait {
 			mDenials(a.Queue).Inc()
 			return nil, fmt.Errorf("yarn: insufficient resources for %d cores / %d MB in queue %q", cores, memMB, a.Queue)
+		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			mTimeouts.Inc()
+			mDenials(a.Queue).Inc()
+			return nil, fmt.Errorf("yarn: %d cores / %d MB in queue %q after %v: %w",
+				cores, memMB, a.Queue, timeout, ErrRequestTimeout)
 		}
 		mWaits.Inc()
 		rm.cond.Wait()

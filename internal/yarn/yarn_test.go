@@ -1,9 +1,13 @@
 package yarn
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
+
+	"verticadr/internal/faults"
+	"verticadr/internal/telemetry"
 )
 
 func newRM(t *testing.T) *ResourceManager {
@@ -223,6 +227,125 @@ func TestConcurrentRequests(t *testing.T) {
 		if err := app.Release(c); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestRequestTimeoutExpires(t *testing.T) {
+	rm := newRM(t)
+	db, _ := rm.Submit("vertica", "db")
+	if _, err := db.RequestN(4, 2, 1000, false); err != nil {
+		t.Fatal(err)
+	}
+	// The queue is saturated and nothing releases: the bounded request must
+	// give up instead of blocking forever.
+	db2, _ := rm.Submit("etl", "db")
+	t0 := telemetry.Default().Counter("yarn_request_timeouts_total").Value()
+	start := time.Now()
+	_, err := db2.RequestTimeout(2, 1000, -1, 30*time.Millisecond)
+	if !errors.Is(err, ErrRequestTimeout) {
+		t.Fatalf("err = %v, want ErrRequestTimeout", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("timeout not honored: waited %v", d)
+	}
+	if telemetry.Default().Counter("yarn_request_timeouts_total").Value() != t0+1 {
+		t.Fatal("yarn_request_timeouts_total not incremented")
+	}
+	if _, err := db2.RequestTimeout(2, 1000, -1, 0); err == nil {
+		t.Fatal("non-positive timeout should fail")
+	}
+}
+
+func TestRequestTimeoutGrantsWhenFreed(t *testing.T) {
+	rm := newRM(t)
+	db, _ := rm.Submit("vertica", "db")
+	held, err := db.RequestN(4, 2, 1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, _ := rm.Submit("etl", "db")
+	done := make(chan error, 1)
+	go func() {
+		c, err := db2.RequestTimeout(2, 1000, -1, 5*time.Second)
+		if err == nil && c == nil {
+			err = errors.New("nil container without error")
+		}
+		done <- err
+	}()
+	// Give the request time to block, then release.
+	time.Sleep(10 * time.Millisecond)
+	if err := db.Release(held[0]); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("bounded request should have been granted: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("bounded request never returned after release")
+	}
+}
+
+func TestRequestNRollsBackOnNodeExhaustion(t *testing.T) {
+	// Failure caused by per-node memory, not queue shares: three containers
+	// fit core-wise but the second node cannot host the memory demand, so the
+	// partial grant must be fully rolled back.
+	rm, err := New(Config{
+		Nodes:  []NodeResources{{Cores: 8, MemoryMB: 4000}, {Cores: 8, MemoryMB: 500}},
+		Queues: map[string]float64{"q": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _ := rm.Submit("x", "q")
+	if _, err := app.RequestN(3, 2, 2000, false); err == nil {
+		t.Fatal("memory exhaustion should fail the batch")
+	}
+	u := rm.Usage()
+	if u.Outstanding != 0 || u.QueueCores["q"] != 0 || u.FreeMemory[0] != 4000 {
+		t.Fatalf("rollback incomplete: %+v", u)
+	}
+}
+
+func TestLocalityFallbackCountsMiss(t *testing.T) {
+	rm, _ := New(Config{
+		Nodes:  []NodeResources{{Cores: 4, MemoryMB: 4000}, {Cores: 4, MemoryMB: 4000}},
+		Queues: map[string]float64{"q": 1},
+	})
+	app, _ := rm.Submit("x", "q")
+	hits0 := telemetry.Default().Counter("yarn_locality_total", telemetry.L("preference", "hit")).Value()
+	miss0 := telemetry.Default().Counter("yarn_locality_total", telemetry.L("preference", "miss")).Value()
+	// Fill node 1 entirely, then prefer it: the grant lands on node 0 and is
+	// recorded as a locality miss.
+	if _, err := app.Request(4, 4000, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	c, err := app.Request(2, 1000, 1, false)
+	if err != nil || c.Node != 0 {
+		t.Fatalf("fallback grant = %+v, %v", c, err)
+	}
+	hits := telemetry.Default().Counter("yarn_locality_total", telemetry.L("preference", "hit")).Value() - hits0
+	miss := telemetry.Default().Counter("yarn_locality_total", telemetry.L("preference", "miss")).Value() - miss0
+	if hits != 1 || miss != 1 {
+		t.Fatalf("locality tally hit=%d miss=%d, want 1/1", hits, miss)
+	}
+}
+
+func TestInjectedRequestFaultDenies(t *testing.T) {
+	in := faults.New(1)
+	in.MustArm(faults.Rule{Site: faults.SiteYarnRequest, Kind: faults.Error, EveryN: 1, Limit: 1})
+	faults.Install(in)
+	defer faults.Install(nil)
+
+	rm := newRM(t)
+	app, _ := rm.Submit("x", "db")
+	if _, err := app.Request(1, 100, -1, false); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	// The rule's Limit is spent; the next request succeeds.
+	if _, err := app.Request(1, 100, -1, false); err != nil {
+		t.Fatalf("post-fault request failed: %v", err)
 	}
 }
 
