@@ -19,11 +19,15 @@ test:
 
 # Race-check the packages with real shared-state concurrency: the
 # telemetry registry, the vft staging hub, the dr scheduler, the yarn
-# resource manager, the simulated network, and the fault injector.
+# resource manager, the simulated network, the fault injector, and the
+# intra-node parallel execution engine (worker pool, parallel scans,
+# chunked aggregation, parallel IRLS, blocked matrix multiply).
 .PHONY: race
 race:
 	$(GO) test -race ./internal/telemetry/... ./internal/vft/... ./internal/dr/... \
-		./internal/yarn/... ./internal/simnet/... ./internal/faults/...
+		./internal/yarn/... ./internal/simnet/... ./internal/faults/... \
+		./internal/parallel/... ./internal/colstore/... ./internal/sqlexec/... \
+		./internal/algos/... ./internal/linalg/...
 
 .PHONY: bench
 bench:
@@ -35,4 +39,15 @@ bench:
 .PHONY: chaos
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Recover|Injected|Fault|Retr|Abort|Reap|FailWorker|Idempotent|Timeout' \
-		./internal/faults/... ./internal/vft/... ./internal/dr/... ./internal/yarn/... ./internal/odbc/...
+		./internal/faults/... ./internal/vft/... ./internal/dr/... ./internal/yarn/... ./internal/odbc/... \
+		./internal/parallel/... ./internal/colstore/...
+
+# Fuzz smoke: run each fuzz target briefly (Go keeps regression inputs in
+# testdata/fuzz, which plain `go test` replays on every run). Raise FUZZTIME
+# for a longer exploratory session.
+FUZZTIME ?= 10s
+.PHONY: fuzz
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParseSelect -fuzztime=$(FUZZTIME) ./internal/sqlparse/
+	$(GO) test -run='^$$' -fuzz=FuzzEncodingRoundTrip -fuzztime=$(FUZZTIME) ./internal/colstore/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeBlock -fuzztime=$(FUZZTIME) ./internal/colstore/

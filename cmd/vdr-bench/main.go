@@ -20,6 +20,7 @@ import (
 
 	"verticadr/internal/bench"
 	"verticadr/internal/faults"
+	"verticadr/internal/parallel"
 	"verticadr/internal/telemetry"
 )
 
@@ -29,7 +30,12 @@ func main() {
 	metrics := flag.String("metrics", "", "write the telemetry registry as JSON to this file after the run")
 	chaos := flag.Bool("chaos", false, "run the real-engine experiments under the standard fault-injection profile")
 	chaosSeed := flag.Int64("chaos-seed", 42, "seed for the chaos profile")
+	par := flag.Int("j", 0, "intra-node execution degree for scans/aggregation/IRLS (0 = GOMAXPROCS); results are identical at every degree")
 	flag.Parse()
+
+	if *par > 0 {
+		parallel.SetDefaultDegree(*par)
+	}
 
 	var injector *faults.Injector
 	if *chaos {

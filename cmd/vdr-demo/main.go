@@ -24,6 +24,7 @@ func main() {
 	rows := flag.Int("rows", 50000, "training rows")
 	chaos := flag.Bool("chaos", false, "run under the standard fault-injection profile (recovery paths must absorb it)")
 	chaosSeed := flag.Int64("chaos-seed", 42, "seed for the chaos profile")
+	par := flag.Int("j", 0, "intra-node execution degree for scans/aggregation/IRLS (0 = GOMAXPROCS); results are identical at every degree")
 	flag.Parse()
 
 	if *chaos {
@@ -35,7 +36,7 @@ func main() {
 
 	step(1, "library(distributedR); library(HPdregression)")
 	step(3, fmt.Sprintf("distributedR_start() — %d DB nodes, %d DR workers, YARN-brokered", *nodes, *nodes))
-	s, err := verticadr.Start(verticadr.Config{DBNodes: *nodes, UseYARN: true})
+	s, err := verticadr.Start(verticadr.Config{DBNodes: *nodes, UseYARN: true, Parallelism: *par})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -32,6 +32,7 @@ func main() {
 	demo := flag.Bool("demo", false, "create and fill a demo table plus a deployed model")
 	chaos := flag.Bool("chaos", false, "run under the standard fault-injection profile (recovery paths must absorb it)")
 	chaosSeed := flag.Int64("chaos-seed", 42, "seed for the chaos profile")
+	par := flag.Int("j", 0, "intra-node execution degree for scans/aggregation/IRLS (0 = GOMAXPROCS); results are identical at every degree")
 	flag.Parse()
 
 	if *chaos {
@@ -40,7 +41,7 @@ func main() {
 		fmt.Printf("chaos profile armed (seed %d); \\metrics shows faults_injected_total\n", *chaosSeed)
 	}
 
-	s, err := verticadr.Start(verticadr.Config{DBNodes: *nodes})
+	s, err := verticadr.Start(verticadr.Config{DBNodes: *nodes, Parallelism: *par})
 	if err != nil {
 		log.Fatal(err)
 	}

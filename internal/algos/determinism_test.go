@@ -1,0 +1,134 @@
+package algos
+
+import (
+	"math"
+	"testing"
+
+	"verticadr/internal/parallel"
+	"verticadr/internal/workload"
+)
+
+// fitAtDegree fits one GLM with the process-wide parallel degree pinned.
+func fitAtDegree(t *testing.T, deg int, fit func() (*GLMModel, error)) *GLMModel {
+	t.Helper()
+	parallel.SetDefaultDegree(deg)
+	defer parallel.SetDefaultDegree(0)
+	m, err := fit()
+	if err != nil {
+		t.Fatalf("degree %d: %v", deg, err)
+	}
+	return m
+}
+
+func modelsBitIdentical(t *testing.T, deg int, a, b *GLMModel) {
+	t.Helper()
+	if len(a.Coefficients) != len(b.Coefficients) {
+		t.Fatalf("degree %d: coefficient count %d vs %d", deg, len(a.Coefficients), len(b.Coefficients))
+	}
+	for i := range a.Coefficients {
+		if math.Float64bits(a.Coefficients[i]) != math.Float64bits(b.Coefficients[i]) {
+			t.Fatalf("degree %d: coefficient %d bits differ: %x vs %x",
+				deg, i, math.Float64bits(a.Coefficients[i]), math.Float64bits(b.Coefficients[i]))
+		}
+	}
+	if math.Float64bits(a.Deviance) != math.Float64bits(b.Deviance) {
+		t.Fatalf("degree %d: deviance bits differ: %v vs %v", deg, a.Deviance, b.Deviance)
+	}
+	if a.Iterations != b.Iterations || a.Converged != b.Converged {
+		t.Fatalf("degree %d: convergence differs: %+v vs %+v", deg, a, b)
+	}
+}
+
+// TestGLMBitIdenticalAcrossDegrees is the determinism property the parallel
+// IRLS path promises: the same training data produces the same coefficient
+// bits at every parallel degree, because chunk boundaries and the reduction
+// tree depend only on the data layout.
+func TestGLMBitIdenticalAcrossDegrees(t *testing.T) {
+	c := cluster(t, 3)
+	cases := []struct {
+		name   string
+		family Family
+		fit    func() (*GLMModel, error)
+	}{}
+	lin := workload.GenLinear(21, 4000, 5, 0.05)
+	lx := toDArray(t, c, lin.X, 6)
+	ly := vecToDArray(t, c, lin.Y, 6)
+	cases = append(cases, struct {
+		name   string
+		family Family
+		fit    func() (*GLMModel, error)
+	}{"gaussian", Gaussian, func() (*GLMModel, error) { return LM(lx, ly) }})
+	log := workload.GenLogistic(22, 6000, 3)
+	gx := toDArray(t, c, log.X, 6)
+	gy := vecToDArray(t, c, log.Y, 6)
+	cases = append(cases, struct {
+		name   string
+		family Family
+		fit    func() (*GLMModel, error)
+	}{"binomial", Binomial, func() (*GLMModel, error) {
+		return GLM(gx, gy, GLMOpts{Family: Binomial})
+	}})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := fitAtDegree(t, 1, tc.fit)
+			for _, deg := range []int{2, 3, 4, 8} {
+				for rep := 0; rep < 2; rep++ {
+					got := fitAtDegree(t, deg, tc.fit)
+					modelsBitIdentical(t, deg, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestGLMParallelMatchesGroundTruth re-checks accuracy on the parallel path:
+// determinism alone would also hold for a deterministic wrong answer.
+func TestGLMParallelMatchesGroundTruth(t *testing.T) {
+	parallel.SetDefaultDegree(4)
+	defer parallel.SetDefaultDegree(0)
+	c := cluster(t, 3)
+	data := workload.GenLinear(31, 4000, 5, 0.01)
+	x := toDArray(t, c, data.X, 6)
+	y := vecToDArray(t, c, data.Y, 6)
+	model, err := LM(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.Converged {
+		t.Fatal("parallel LM did not converge")
+	}
+	for i, b := range data.Beta {
+		if math.Abs(model.Coefficients[i]-b) > 0.01 {
+			t.Fatalf("coef %d = %v, want %v", i, model.Coefficients[i], b)
+		}
+	}
+}
+
+// TestCrossValidateDeterministicAcrossDegrees pins the fold deviances bitwise.
+func TestCrossValidateDeterministicAcrossDegrees(t *testing.T) {
+	c := cluster(t, 2)
+	data := workload.GenLinear(41, 1500, 3, 0.1)
+	x := toDArray(t, c, data.X, 4)
+	y := vecToDArray(t, c, data.Y, 4)
+	run := func(deg int) *CVResult {
+		parallel.SetDefaultDegree(deg)
+		defer parallel.SetDefaultDegree(0)
+		res, err := CrossValidate(x, y, GLMOpts{Family: Gaussian}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(1)
+	for _, deg := range []int{2, 4} {
+		got := run(deg)
+		for f := range want.FoldDeviance {
+			if math.Float64bits(want.FoldDeviance[f]) != math.Float64bits(got.FoldDeviance[f]) {
+				t.Fatalf("degree %d fold %d: %v vs %v", deg, f, want.FoldDeviance[f], got.FoldDeviance[f])
+			}
+		}
+		if math.Float64bits(want.MeanDeviance) != math.Float64bits(got.MeanDeviance) {
+			t.Fatalf("degree %d mean deviance: %v vs %v", deg, want.MeanDeviance, got.MeanDeviance)
+		}
+	}
+}

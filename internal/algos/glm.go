@@ -3,10 +3,10 @@ package algos
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"verticadr/internal/darray"
 	"verticadr/internal/linalg"
+	"verticadr/internal/parallel"
 )
 
 // Family selects the GLM response distribution and link, mirroring R's
@@ -67,50 +67,49 @@ func GLM(x, y *darray.DArray, opts GLMOpts) (*GLMModel, error) {
 		opts.Tol = 1e-8
 	}
 	p := x.Cols() + 1 // intercept
+	chunks, err := glmChunks(x, y)
+	if err != nil {
+		return nil, err
+	}
+	pool := parallel.Default()
 	beta := make([]float64, p)
 	model := &GLMModel{Family: opts.Family}
 	for iter := 0; iter < opts.MaxIter; iter++ {
-		xtwx := linalg.NewMatrix(p, p)
-		xtwz := make([]float64, p)
-		var dev float64
-		var mu sync.Mutex
-		err := darray.Zip(x, y, func(_ int, mx, my *darray.Mat) error {
-			lx := linalg.NewMatrix(p, p)
-			lz := make([]float64, p)
-			var ldev float64
-			xi := make([]float64, p)
-			xi[0] = 1
-			for r := 0; r < mx.Rows; r++ {
-				copy(xi[1:], mx.Row(r))
-				eta := linalg.Dot(xi, beta)
-				yv := my.At(r, 0)
-				mu_, w, z, d := irlsTerms(opts.Family, eta, yv)
-				_ = mu_
-				ldev += d
-				for a := 0; a < p; a++ {
-					wxa := w * xi[a]
-					lz[a] += wxa * z
-					rowA := lx.Row(a)
-					for b := a; b < p; b++ {
-						rowA[b] += wxa * xi[b]
+		// Every chunk computes its local XᵀWX (upper triangle), XᵀWz, and
+		// deviance against the broadcast beta; partials fold through the
+		// deterministic reduction tree, so the accumulation order — and hence
+		// every float bit of the solve — is fixed regardless of degree.
+		part, err := parallel.Reduce(pool, len(chunks),
+			func(ci int) (*irlsPartial, error) {
+				c := chunks[ci]
+				lp := newIRLSPartial(p)
+				xi := make([]float64, p)
+				xi[0] = 1
+				for r := c.lo; r < c.hi; r++ {
+					copy(xi[1:], c.mx.Row(r))
+					eta := linalg.Dot(xi, beta)
+					yv := c.my.At(r, 0)
+					_, w, z, d := irlsTerms(opts.Family, eta, yv)
+					lp.dev += d
+					for a := 0; a < p; a++ {
+						wxa := w * xi[a]
+						lp.xtwz[a] += wxa * z
+						rowA := lp.xtwx.Row(a)
+						for b := a; b < p; b++ {
+							rowA[b] += wxa * xi[b]
+						}
 					}
 				}
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			dev += ldev
-			for a := 0; a < p; a++ {
-				xtwz[a] += lz[a]
-				ra, ga := lx.Row(a), xtwx.Row(a)
-				for b := a; b < p; b++ {
-					ga[b] += ra[b]
-				}
-			}
-			return nil
-		})
+				return lp, nil
+			},
+			mergeIRLSPartials)
 		if err != nil {
 			return nil, err
 		}
+		if part == nil { // zero training rows
+			part = newIRLSPartial(p)
+		}
+		xtwx, xtwz, dev := part.xtwx, part.xtwz, part.dev
 		// Mirror the upper triangle and solve.
 		for a := 0; a < p; a++ {
 			for b := a + 1; b < p; b++ {
@@ -144,6 +143,70 @@ func GLM(x, y *darray.DArray, opts GLMOpts) (*GLMModel, error) {
 	}
 	model.Coefficients = beta
 	return model, nil
+}
+
+// glmChunkRows is the fixed IRLS accumulation chunk size. Chunk boundaries
+// are a function of the partition layout alone — never the parallel degree —
+// so coefficient bits are reproducible at every degree.
+const glmChunkRows = 2048
+
+// glmChunk is one contiguous row range of one co-partitioned (X, Y) part.
+type glmChunk struct {
+	mx, my *darray.Mat
+	lo, hi int
+}
+
+// glmChunks materializes the co-partitioned parts once (in partition order)
+// and slices each into fixed-size row chunks.
+func glmChunks(x, y *darray.DArray) ([]glmChunk, error) {
+	type pair struct{ mx, my *darray.Mat }
+	parts := make([]pair, x.NPartitions())
+	err := darray.Zip(x, y, func(i int, mx, my *darray.Mat) error {
+		parts[i] = pair{mx, my}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var chunks []glmChunk
+	for _, pt := range parts {
+		if pt.mx == nil {
+			continue
+		}
+		for lo := 0; lo < pt.mx.Rows; lo += glmChunkRows {
+			hi := lo + glmChunkRows
+			if hi > pt.mx.Rows {
+				hi = pt.mx.Rows
+			}
+			chunks = append(chunks, glmChunk{mx: pt.mx, my: pt.my, lo: lo, hi: hi})
+		}
+	}
+	return chunks, nil
+}
+
+// irlsPartial is one chunk's contribution to the normal equations: the upper
+// triangle of XᵀWX, the XᵀWz vector, and the deviance.
+type irlsPartial struct {
+	xtwx *linalg.Matrix
+	xtwz []float64
+	dev  float64
+}
+
+func newIRLSPartial(p int) *irlsPartial {
+	return &irlsPartial{xtwx: linalg.NewMatrix(p, p), xtwz: make([]float64, p)}
+}
+
+func mergeIRLSPartials(a, b *irlsPartial) (*irlsPartial, error) {
+	a.dev += b.dev
+	p := len(a.xtwz)
+	for i := 0; i < p; i++ {
+		a.xtwz[i] += b.xtwz[i]
+		ra, rb := a.xtwx.Row(i), b.xtwx.Row(i)
+		for j := i; j < p; j++ {
+			ra[j] += rb[j]
+		}
+	}
+	return a, nil
 }
 
 // irlsTerms returns (mean, weight, working response contribution, deviance
@@ -260,9 +323,10 @@ func CrossValidate(x, y *darray.DArray, opts GLMOpts, folds int) (*CVResult, err
 		if err != nil {
 			return nil, fmt.Errorf("algos: cv fold %d: %w", f, err)
 		}
-		var dev float64
-		var mu sync.Mutex
-		err = darray.Zip(testX, testY, func(_ int, mx, my *darray.Mat) error {
+		// Per-partition deviances land in an index-addressed slice and sum in
+		// partition order, keeping the score deterministic under concurrency.
+		partDev := make([]float64, testX.NPartitions())
+		err = darray.Zip(testX, testY, func(i int, mx, my *darray.Mat) error {
 			var local float64
 			for r := 0; r < mx.Rows; r++ {
 				eta := model.Coefficients[0]
@@ -273,13 +337,15 @@ func CrossValidate(x, y *darray.DArray, opts GLMOpts, folds int) (*CVResult, err
 				_, _, _, d := irlsTerms(model.Family, eta, my.At(r, 0))
 				local += d
 			}
-			mu.Lock()
-			dev += local
-			mu.Unlock()
+			partDev[i] = local
 			return nil
 		})
 		if err != nil {
 			return nil, err
+		}
+		var dev float64
+		for _, d := range partDev {
+			dev += d
 		}
 		res.FoldDeviance = append(res.FoldDeviance, dev)
 		res.MeanDeviance += dev / float64(folds)

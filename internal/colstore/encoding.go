@@ -236,21 +236,44 @@ func encodeDict(buf []byte, v *Vector) ([]byte, error) {
 	return buf, nil
 }
 
-// DecodeBlock deserializes a block produced by EncodeBlock.
+// MaxBlockRows bounds the row count a block header may claim. Real blocks
+// hold at most the segment's blockRows (default 4096); the bound exists so a
+// corrupt or hostile header cannot make the decoder reserve unbounded memory
+// (blocks arrive over the transfer wire, not only from our own encoder).
+const MaxBlockRows = 1 << 24
+
+// DecodeBlock deserializes a block produced by EncodeBlock. Corrupt input —
+// truncated payloads, unknown type or encoding bytes, row counts beyond
+// MaxBlockRows, run lengths or dictionary codes that disagree with the
+// header — returns an error, never a panic.
 func DecodeBlock(data []byte) (*Vector, error) {
 	if len(data) < 3 {
 		return nil, fmt.Errorf("colstore: block too short (%d bytes)", len(data))
 	}
 	typ := Type(data[0])
+	switch typ {
+	case TypeInt64, TypeFloat64, TypeString, TypeBool:
+	default:
+		return nil, fmt.Errorf("colstore: unknown type byte %d", data[0])
+	}
 	enc := Encoding(data[1])
 	rest := data[2:]
 	count, m := binary.Uvarint(rest)
 	if m <= 0 {
 		return nil, fmt.Errorf("colstore: corrupt block header")
 	}
+	if count > MaxBlockRows {
+		return nil, fmt.Errorf("colstore: block claims %d rows (max %d)", count, MaxBlockRows)
+	}
 	rest = rest[m:]
 	n := int(count)
-	v := NewVector(typ, n)
+	// Clamp the capacity hint: appends grow as needed, and a header may not
+	// commit the decoder to a huge allocation before payload validation.
+	hint := n
+	if hint > DefaultBlockRows {
+		hint = DefaultBlockRows
+	}
+	v := NewVector(typ, hint)
 	switch enc {
 	case EncPlain:
 		return decodePlain(v, rest, n)
@@ -308,6 +331,9 @@ func decodeRLE(v *Vector, rest []byte, n int) (*Vector, error) {
 		run, m := binary.Uvarint(rest)
 		if m <= 0 {
 			return nil, fmt.Errorf("colstore: truncated RLE block")
+		}
+		if run == 0 || run > uint64(n-total) {
+			return nil, fmt.Errorf("colstore: RLE run %d exceeds remaining %d rows", run, n-total)
 		}
 		rest = rest[m:]
 		var err error
@@ -390,6 +416,11 @@ func decodeDict(v *Vector, rest []byte, n int) (*Vector, error) {
 		return nil, fmt.Errorf("colstore: truncated dict header")
 	}
 	rest = rest[m:]
+	// Every dictionary entry needs at least one header byte, so the entry
+	// count cannot exceed the remaining payload.
+	if dn > uint64(len(rest)) {
+		return nil, fmt.Errorf("colstore: dict claims %d entries in %d bytes", dn, len(rest))
+	}
 	dict := make([]string, 0, dn)
 	for i := uint64(0); i < dn; i++ {
 		l, m := binary.Uvarint(rest)

@@ -3,7 +3,9 @@ package colstore
 import (
 	"fmt"
 	"math"
+	"sync"
 
+	"verticadr/internal/parallel"
 	"verticadr/internal/telemetry"
 )
 
@@ -219,31 +221,107 @@ func (p *Pred) blockMayMatch(ref blockRef) bool {
 
 // matchRows evaluates the predicate over a vector, returning matching indexes.
 func (p *Pred) matchRows(v *Vector) ([]int, error) {
-	n := v.Len()
-	idx := make([]int, 0, n)
-	cmp := func(c int) bool {
-		switch p.Op {
-		case OpEQ:
-			return c == 0
-		case OpNE:
-			return c != 0
-		case OpLT:
-			return c < 0
-		case OpLE:
-			return c <= 0
-		case OpGT:
-			return c > 0
-		case OpGE:
-			return c >= 0
-		}
-		return false
+	return p.matchRowsInto(v, nil)
+}
+
+// opMatch folds a three-way comparison through the operator.
+func opMatch(op CompareOp, c int) bool {
+	switch op {
+	case OpEQ:
+		return c == 0
+	case OpNE:
+		return c != 0
+	case OpLT:
+		return c < 0
+	case OpLE:
+		return c <= 0
+	case OpGT:
+		return c > 0
+	case OpGE:
+		return c >= 0
 	}
-	for i := 0; i < n; i++ {
+	return false
+}
+
+// matchRowsInto evaluates the predicate over a vector, appending matching
+// indexes into scratch[:0] (callers reuse one scratch slice across blocks so
+// a scan performs no per-block index allocation once warm). The returned
+// slice aliases scratch; it is valid until the next call with the same
+// scratch. Typed inner loops avoid boxing every row through CompareValues.
+func (p *Pred) matchRowsInto(v *Vector, scratch []int) ([]int, error) {
+	idx := scratch[:0]
+	op := p.Op
+	switch v.Type {
+	case TypeInt64:
+		switch val := p.Val.(type) {
+		case int64:
+			for i, x := range v.Ints {
+				if opMatch(op, cmpOrdered(x, val)) {
+					idx = append(idx, i)
+				}
+			}
+			return idx, nil
+		case float64:
+			for i, x := range v.Ints {
+				if opMatch(op, cmpOrdered(float64(x), val)) {
+					idx = append(idx, i)
+				}
+			}
+			return idx, nil
+		}
+	case TypeFloat64:
+		switch val := p.Val.(type) {
+		case float64:
+			for i, x := range v.Floats {
+				if opMatch(op, cmpOrdered(x, val)) {
+					idx = append(idx, i)
+				}
+			}
+			return idx, nil
+		case int64:
+			fv := float64(val)
+			for i, x := range v.Floats {
+				if opMatch(op, cmpOrdered(x, fv)) {
+					idx = append(idx, i)
+				}
+			}
+			return idx, nil
+		}
+	case TypeString:
+		if val, ok := p.Val.(string); ok {
+			for i, x := range v.Strs {
+				if opMatch(op, cmpOrdered(x, val)) {
+					idx = append(idx, i)
+				}
+			}
+			return idx, nil
+		}
+	case TypeBool:
+		if val, ok := p.Val.(bool); ok {
+			vi := 0
+			if val {
+				vi = 1
+			}
+			for i, x := range v.Bools {
+				xi := 0
+				if x {
+					xi = 1
+				}
+				if opMatch(op, cmpOrdered(xi, vi)) {
+					idx = append(idx, i)
+				}
+			}
+			return idx, nil
+		}
+	}
+	// Mixed-type fallback (e.g. comparing a bool column with an int literal):
+	// box row values through the general comparison for its error reporting.
+	for i := 0; i < v.Len(); i++ {
 		c, err := CompareValues(v.Value(i), p.Val)
 		if err != nil {
 			return nil, err
 		}
-		if cmp(c) {
+		if opMatch(op, c) {
 			idx = append(idx, i)
 		}
 	}
@@ -318,27 +396,24 @@ func (st *ScanStats) Add(o ScanStats) {
 	st.BytesRead += o.BytesRead
 }
 
-// Scan streams the named columns (nil = all) through fn in batches, applying
-// the optional predicate. The predicate column need not be in the projection.
-// fn receives batches it may retain; they do not alias segment storage.
-func (s *Segment) Scan(cols []string, pred *Pred, fn func(*Batch) error) error {
-	return s.ScanWithStats(cols, pred, nil, fn)
+// idxScratch recycles predicate index slices across blocks and scans: one
+// scratch per concurrently-decoding goroutine instead of one allocation per
+// block, so parallel scans do not multiply allocations per core.
+var idxScratch = sync.Pool{New: func() any {
+	s := make([]int, 0, DefaultBlockRows)
+	return &s
+}}
+
+// scanPlan is the resolved form of a scan request, shared by the serial and
+// parallel paths.
+type scanPlan struct {
+	colIdx    []int
+	outSchema Schema
+	predIdx   int
+	nblocks   int
 }
 
-// ScanWithStats is Scan with per-scan observability: when st is non-nil it
-// is filled with what the scan touched. Global telemetry counters are
-// recorded either way.
-func (s *Segment) ScanWithStats(cols []string, pred *Pred, st *ScanStats, fn func(*Batch) error) error {
-	var local ScanStats
-	if st == nil {
-		st = &local
-	}
-	defer func() {
-		mScanRows.Add(int64(st.RowsOut))
-		mScanBytes.Add(int64(st.BytesRead))
-		mBlocksScanned.Add(int64(st.BlocksScanned))
-		mBlocksSkipped.Add(int64(st.BlocksSkipped))
-	}()
+func (s *Segment) planScan(cols []string, pred *Pred) (*scanPlan, error) {
 	if cols == nil {
 		cols = make([]string, len(s.schema))
 		for i, c := range s.schema {
@@ -347,13 +422,13 @@ func (s *Segment) ScanWithStats(cols []string, pred *Pred, st *ScanStats, fn fun
 	}
 	outSchema, err := s.schema.Project(cols)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	var predIdx = -1
+	predIdx := -1
 	if pred != nil {
 		predIdx = s.schema.ColIndex(pred.Col)
 		if predIdx < 0 {
-			return fmt.Errorf("colstore: predicate on unknown column %q", pred.Col)
+			return nil, fmt.Errorf("colstore: predicate on unknown column %q", pred.Col)
 		}
 	}
 	colIdx := make([]int, len(cols))
@@ -365,13 +440,47 @@ func (s *Segment) ScanWithStats(cols []string, pred *Pred, st *ScanStats, fn fun
 	if len(s.sealed) > 0 {
 		nblocks = len(s.sealed[0])
 	}
-	for bi := 0; bi < nblocks; bi++ {
-		if pred != nil && predIdx >= 0 && !pred.blockMayMatch(s.sealed[predIdx][bi]) {
+	return &scanPlan{colIdx: colIdx, outSchema: outSchema, predIdx: predIdx, nblocks: nblocks}, nil
+}
+
+// recordScanTelemetry flushes one scan's stats into the global counters.
+func recordScanTelemetry(st *ScanStats) {
+	mScanRows.Add(int64(st.RowsOut))
+	mScanBytes.Add(int64(st.BytesRead))
+	mBlocksScanned.Add(int64(st.BlocksScanned))
+	mBlocksSkipped.Add(int64(st.BlocksSkipped))
+}
+
+// Scan streams the named columns (nil = all) through fn in batches, applying
+// the optional predicate. The predicate column need not be in the projection.
+// fn receives batches it may retain; they do not alias segment storage.
+func (s *Segment) Scan(cols []string, pred *Pred, fn func(*Batch) error) error {
+	return s.ScanWithStats(cols, pred, nil, fn)
+}
+
+// ScanWithStats is Scan with per-scan observability: when st is non-nil it
+// is filled with what the scan touched. Global telemetry counters are
+// recorded either way. This is the serial reference path; ParScanWithStats
+// is the block-parallel equivalent and produces identical output.
+func (s *Segment) ScanWithStats(cols []string, pred *Pred, st *ScanStats, fn func(*Batch) error) error {
+	var local ScanStats
+	if st == nil {
+		st = &local
+	}
+	defer recordScanTelemetry(st)
+	plan, err := s.planScan(cols, pred)
+	if err != nil {
+		return err
+	}
+	scratch := idxScratch.Get().(*[]int)
+	defer idxScratch.Put(scratch)
+	for bi := 0; bi < plan.nblocks; bi++ {
+		if pred != nil && plan.predIdx >= 0 && !pred.blockMayMatch(s.sealed[plan.predIdx][bi]) {
 			st.BlocksSkipped++ // zone-map skip
 			continue
 		}
 		st.BlocksScanned++
-		batch, err := s.decodeBlockRow(bi, colIdx, outSchema, predIdx, pred, st)
+		batch, err := s.decodeBlockRow(bi, plan, pred, st, scratch)
 		if err != nil {
 			return err
 		}
@@ -383,41 +492,109 @@ func (s *Segment) ScanWithStats(cols []string, pred *Pred, st *ScanStats, fn fun
 			return err
 		}
 	}
-	// Tail.
-	if s.tail.Len() > 0 {
-		st.TailRows += s.tail.Len()
-		batch, err := filterProject(s.tail, colIdx, outSchema, predIdx, pred)
-		if err != nil {
+	return s.scanTail(plan, pred, st, scratch, fn)
+}
+
+// scanTail delivers the unsealed tail rows (shared by both scan paths; the
+// tail is a single in-memory batch, so it is always processed serially).
+func (s *Segment) scanTail(plan *scanPlan, pred *Pred, st *ScanStats, scratch *[]int, fn func(*Batch) error) error {
+	if s.tail.Len() == 0 {
+		return nil
+	}
+	st.TailRows += s.tail.Len()
+	batch, err := filterProject(s.tail, plan.colIdx, plan.outSchema, plan.predIdx, pred, scratch)
+	if err != nil {
+		return err
+	}
+	if batch.Len() > 0 {
+		st.RowsOut += batch.Len()
+		if err := fn(batch); err != nil {
 			return err
-		}
-		if batch.Len() > 0 {
-			st.RowsOut += batch.Len()
-			if err := fn(batch); err != nil {
-				return err
-			}
 		}
 	}
 	return nil
 }
 
-func (s *Segment) decodeBlockRow(bi int, colIdx []int, outSchema Schema, predIdx int, pred *Pred, st *ScanStats) (*Batch, error) {
+// ParScanWithStats is ScanWithStats with block-level parallelism: sealed
+// blocks are decoded and filtered concurrently on the pool, while batches are
+// delivered to fn strictly in block order — byte-for-byte the serial scan's
+// output, including the merged ScanStats. A run-ahead window bounds decoded-
+// but-undelivered blocks, so memory stays O(degree), not O(segment). With a
+// nil pool or degree 1 it is exactly the serial path.
+func (s *Segment) ParScanWithStats(cols []string, pred *Pred, pool *parallel.Pool, st *ScanStats, fn func(*Batch) error) error {
+	if pool.Degree() <= 1 {
+		return s.ScanWithStats(cols, pred, st, fn)
+	}
+	var local ScanStats
+	if st == nil {
+		st = &local
+	}
+	defer recordScanTelemetry(st)
+	plan, err := s.planScan(cols, pred)
+	if err != nil {
+		return err
+	}
+	// Zone-map pass first: skipping consults only block headers, so it stays
+	// serial and the scheduled block list is deterministic.
+	scan := make([]int, 0, plan.nblocks)
+	for bi := 0; bi < plan.nblocks; bi++ {
+		if pred != nil && plan.predIdx >= 0 && !pred.blockMayMatch(s.sealed[plan.predIdx][bi]) {
+			st.BlocksSkipped++
+			continue
+		}
+		scan = append(scan, bi)
+	}
+	type blockOut struct {
+		batch *Batch
+		stats ScanStats
+	}
+	err = parallel.Ordered(pool, len(scan),
+		func(i int) (blockOut, error) {
+			var bs ScanStats
+			bs.BlocksScanned = 1
+			scratch := idxScratch.Get().(*[]int)
+			batch, err := s.decodeBlockRow(scan[i], plan, pred, &bs, scratch)
+			idxScratch.Put(scratch)
+			if err != nil {
+				return blockOut{}, err
+			}
+			bs.RowsOut = batch.Len()
+			return blockOut{batch: batch, stats: bs}, nil
+		},
+		func(i int, out blockOut) error {
+			st.Add(out.stats)
+			if out.batch.Len() == 0 {
+				return nil
+			}
+			return fn(out.batch)
+		})
+	if err != nil {
+		return err
+	}
+	scratch := idxScratch.Get().(*[]int)
+	defer idxScratch.Put(scratch)
+	return s.scanTail(plan, pred, st, scratch, fn)
+}
+
+func (s *Segment) decodeBlockRow(bi int, plan *scanPlan, pred *Pred, st *ScanStats, scratch *[]int) (*Batch, error) {
 	var matchIdx []int
 	if pred != nil {
-		st.BytesRead += len(s.sealed[predIdx][bi].data)
-		pv, err := DecodeBlock(s.sealed[predIdx][bi].data)
+		st.BytesRead += len(s.sealed[plan.predIdx][bi].data)
+		pv, err := DecodeBlock(s.sealed[plan.predIdx][bi].data)
 		if err != nil {
 			return nil, err
 		}
-		matchIdx, err = pred.matchRows(pv)
+		matchIdx, err = pred.matchRowsInto(pv, *scratch)
 		if err != nil {
 			return nil, err
 		}
+		*scratch = matchIdx // keep any growth for the next block
 		if len(matchIdx) == 0 {
-			return &Batch{Schema: outSchema, Cols: emptyCols(outSchema)}, nil
+			return &Batch{Schema: plan.outSchema, Cols: emptyCols(plan.outSchema)}, nil
 		}
 	}
-	out := &Batch{Schema: outSchema, Cols: make([]*Vector, len(colIdx))}
-	for i, ci := range colIdx {
+	out := &Batch{Schema: plan.outSchema, Cols: make([]*Vector, len(plan.colIdx))}
+	for i, ci := range plan.colIdx {
 		st.BytesRead += len(s.sealed[ci][bi].data)
 		v, err := DecodeBlock(s.sealed[ci][bi].data)
 		if err != nil {
@@ -431,14 +608,15 @@ func (s *Segment) decodeBlockRow(bi int, colIdx []int, outSchema Schema, predIdx
 	return out, nil
 }
 
-func filterProject(b *Batch, colIdx []int, outSchema Schema, predIdx int, pred *Pred) (*Batch, error) {
+func filterProject(b *Batch, colIdx []int, outSchema Schema, predIdx int, pred *Pred, scratch *[]int) (*Batch, error) {
 	var matchIdx []int
 	if pred != nil {
 		var err error
-		matchIdx, err = pred.matchRows(b.Cols[predIdx])
+		matchIdx, err = pred.matchRowsInto(b.Cols[predIdx], *scratch)
 		if err != nil {
 			return nil, err
 		}
+		*scratch = matchIdx
 	}
 	out := &Batch{Schema: outSchema, Cols: make([]*Vector, len(colIdx))}
 	for i, ci := range colIdx {

@@ -15,6 +15,7 @@ import (
 	"verticadr/internal/dr"
 	"verticadr/internal/models"
 	"verticadr/internal/odbc"
+	"verticadr/internal/parallel"
 	"verticadr/internal/spark"
 	"verticadr/internal/sqlexec"
 	"verticadr/internal/vertica"
@@ -55,6 +56,10 @@ type Config struct {
 	// TaskRetries caps in-place re-execution of failed Distributed R tasks
 	// (default 0: fail fast; the chaos profile raises it).
 	TaskRetries int
+	// Parallelism pins the process-wide intra-node execution degree for
+	// scans, aggregation and IRLS (default 0: use GOMAXPROCS). Results are
+	// bit-identical at every degree; this only trades latency for cores.
+	Parallelism int
 }
 
 // Session is a running database + Distributed R pairing.
@@ -92,6 +97,9 @@ func Start(cfg Config) (*Session, error) {
 	}
 	if cfg.MemoryMBPerNode <= 0 {
 		cfg.MemoryMBPerNode = 196_000
+	}
+	if cfg.Parallelism > 0 {
+		parallel.SetDefaultDegree(cfg.Parallelism)
 	}
 	s := &Session{}
 

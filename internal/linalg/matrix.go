@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"verticadr/internal/parallel"
 )
 
 // Matrix is a dense, row-major matrix.
@@ -86,25 +88,57 @@ func (m *Matrix) Scale(s float64) {
 	}
 }
 
-// Mul returns m × other.
+// mulParThreshold is the flop count (rows × cols × ocols) above which Mul
+// row-blocks across the worker pool. Output rows are disjoint and each row's
+// inner arithmetic is untouched, so the parallel product is bit-identical to
+// the serial one; below the threshold the goroutine overhead isn't worth it.
+const mulParThreshold = 1 << 16
+
+// Mul returns m × other. Large products compute row blocks on the process
+// worker pool; the result is bitwise identical at every degree.
 func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
 	if m.Cols != other.Rows {
 		return nil, fmt.Errorf("linalg: mul dimension mismatch %dx%d × %dx%d", m.Rows, m.Cols, other.Rows, other.Cols)
 	}
 	out := NewMatrix(m.Rows, other.Cols)
-	for i := 0; i < m.Rows; i++ {
-		mrow := m.Row(i)
-		orow := out.Row(i)
-		for k := 0; k < m.Cols; k++ {
-			a := mrow[k]
-			if a == 0 {
-				continue
-			}
-			brow := other.Row(k)
-			for j := range orow {
-				orow[j] += a * brow[j]
+	mulRows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mrow := m.Row(i)
+			orow := out.Row(i)
+			for k := 0; k < m.Cols; k++ {
+				a := mrow[k]
+				if a == 0 {
+					continue
+				}
+				brow := other.Row(k)
+				for j := range orow {
+					orow[j] += a * brow[j]
+				}
 			}
 		}
+	}
+	pool := parallel.Default()
+	deg := pool.Degree()
+	if deg <= 1 || m.Rows < 2 || m.Rows*m.Cols*other.Cols < mulParThreshold {
+		mulRows(0, m.Rows)
+		return out, nil
+	}
+	if deg > m.Rows {
+		deg = m.Rows
+	}
+	blk := (m.Rows + deg - 1) / deg
+	nblocks := (m.Rows + blk - 1) / blk
+	err := pool.ForEach(nblocks, func(bi int) error {
+		lo := bi * blk
+		hi := lo + blk
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		mulRows(lo, hi)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

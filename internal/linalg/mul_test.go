@@ -1,0 +1,97 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"verticadr/internal/parallel"
+)
+
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		switch rng.Intn(10) {
+		case 0:
+			m.Data[i] = 0 // exercise the zero-skip fast path
+		default:
+			m.Data[i] = rng.NormFloat64() * math.Pow(2, float64(rng.Intn(40)-20))
+		}
+	}
+	return m
+}
+
+// naiveMul is the reference triple loop in canonical i/j/k order.
+func naiveMul(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// TestMulMatchesNaive checks Mul against the reference triple loop. The two
+// walk the k dimension in the same order per output cell, so even float
+// results must agree exactly; sizes straddle the parallel threshold.
+func TestMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := [][3]int{{1, 1, 1}, {3, 5, 2}, {17, 9, 13}, {64, 64, 64}, {50, 128, 70}}
+	for _, deg := range []int{1, 2, 4, 8} {
+		parallel.SetDefaultDegree(deg)
+		for _, s := range shapes {
+			a := randMatrix(rng, s[0], s[1])
+			b := randMatrix(rng, s[1], s[2])
+			got, err := a.Mul(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := naiveMul(a, b)
+			for i := range want.Data {
+				if math.Float64bits(want.Data[i]) != math.Float64bits(got.Data[i]) {
+					t.Fatalf("degree %d shape %v: element %d is %v, want %v", deg, s, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+	parallel.SetDefaultDegree(0)
+}
+
+// TestMulBitIdenticalAcrossDegrees pins the parallel product to the serial
+// one bitwise on a matrix large enough to cross mulParThreshold.
+func TestMulBitIdenticalAcrossDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randMatrix(rng, 120, 80)
+	b := randMatrix(rng, 80, 90)
+	parallel.SetDefaultDegree(1)
+	want, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, deg := range []int{2, 4, 8} {
+		parallel.SetDefaultDegree(deg)
+		got, err := a.Mul(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if math.Float64bits(want.Data[i]) != math.Float64bits(got.Data[i]) {
+				t.Fatalf("degree %d: element %d differs", deg, i)
+			}
+		}
+	}
+	parallel.SetDefaultDegree(0)
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(4, 2)
+	if _, err := a.Mul(b); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}

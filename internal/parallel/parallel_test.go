@@ -1,0 +1,248 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"verticadr/internal/faults"
+)
+
+func TestDegreeResolution(t *testing.T) {
+	defer SetDefaultDegree(0)
+	SetDefaultDegree(0)
+	if d := DefaultDegree(); d < 1 {
+		t.Fatalf("default degree %d", d)
+	}
+	SetDefaultDegree(3)
+	if d := DefaultDegree(); d != 3 {
+		t.Fatalf("override degree %d, want 3", d)
+	}
+	if d := NewPool(0).Degree(); d != 3 {
+		t.Fatalf("pool default degree %d, want 3", d)
+	}
+	if d := NewPool(7).Degree(); d != 7 {
+		t.Fatalf("pool explicit degree %d, want 7", d)
+	}
+	var nilPool *Pool
+	if d := nilPool.Degree(); d != 1 {
+		t.Fatalf("nil pool degree %d, want 1", d)
+	}
+}
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, deg := range []int{1, 2, 4, 9} {
+		var hits atomic.Int64
+		seen := make([]atomic.Bool, 100)
+		err := NewPool(deg).ForEach(100, func(i int) error {
+			hits.Add(1)
+			if seen[i].Swap(true) {
+				return fmt.Errorf("index %d ran twice", i)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("degree %d: %v", deg, err)
+		}
+		if hits.Load() != 100 {
+			t.Fatalf("degree %d: %d tasks ran, want 100", deg, hits.Load())
+		}
+	}
+}
+
+func TestForEachLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	// Index 3 fails fast, index 60 fails slow: the lowest-index failure that
+	// ran must win regardless of completion order.
+	err := NewPool(4).ForEach(100, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 2:
+			time.Sleep(5 * time.Millisecond)
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errB) && !errors.Is(err, errA) {
+		t.Fatalf("unexpected error %v", err)
+	}
+	// Index 2 was claimed before 3 (claims are sequential), so if it errored
+	// it must shadow index 3's error.
+	if !errors.Is(err, errB) {
+		t.Fatalf("got %v, want lowest-index error %v", err, errB)
+	}
+}
+
+func TestOrderedDeliversInOrder(t *testing.T) {
+	for _, deg := range []int{1, 2, 4, 16} {
+		for _, n := range []int{0, 1, 5, 257} {
+			var got []int
+			err := Ordered(NewPool(deg), n,
+				func(i int) (int, error) {
+					time.Sleep(time.Duration(rand.Intn(200)) * time.Microsecond)
+					return i * i, nil
+				},
+				func(i, v int) error {
+					if v != i*i {
+						return fmt.Errorf("index %d delivered %d", i, v)
+					}
+					got = append(got, i)
+					return nil
+				})
+			if err != nil {
+				t.Fatalf("degree %d n %d: %v", deg, n, err)
+			}
+			if len(got) != n {
+				t.Fatalf("degree %d n %d: consumed %d", deg, n, len(got))
+			}
+			for i, v := range got {
+				if v != i {
+					t.Fatalf("degree %d: out-of-order delivery %v", deg, got)
+				}
+			}
+		}
+	}
+}
+
+func TestOrderedFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	for _, deg := range []int{1, 4} {
+		var consumed []int
+		err := Ordered(NewPool(deg), 50,
+			func(i int) (int, error) {
+				if i == 7 {
+					return 0, boom
+				}
+				return i, nil
+			},
+			func(i, v int) error {
+				consumed = append(consumed, i)
+				return nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("degree %d: err %v, want boom", deg, err)
+		}
+		// Everything before the failing index must have been delivered, in
+		// order, and nothing at or after it.
+		if len(consumed) != 7 {
+			t.Fatalf("degree %d: consumed %v, want 0..6", deg, consumed)
+		}
+		for i, v := range consumed {
+			if v != i {
+				t.Fatalf("degree %d: consumed %v", deg, consumed)
+			}
+		}
+	}
+}
+
+func TestOrderedConsumeError(t *testing.T) {
+	halt := errors.New("halt")
+	err := Ordered(NewPool(4), 100,
+		func(i int) (int, error) { return i, nil },
+		func(i, v int) error {
+			if i == 10 {
+				return halt
+			}
+			return nil
+		})
+	if !errors.Is(err, halt) {
+		t.Fatalf("err %v, want halt", err)
+	}
+}
+
+func TestReduceDeterministicAcrossDegrees(t *testing.T) {
+	// Sum adversarially-scaled floats: any reordering of the fold changes the
+	// bits, so equal bits across degrees prove the merge tree is fixed.
+	vals := make([]float64, 1000)
+	rng := rand.New(rand.NewSource(7))
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * float64(int(1)<<(i%60))
+	}
+	run := func(deg int) float64 {
+		s, err := Reduce(NewPool(deg), 100,
+			func(i int) (float64, error) {
+				var part float64
+				for _, v := range vals[i*10 : (i+1)*10] {
+					part += v
+				}
+				return part, nil
+			},
+			func(a, b float64) (float64, error) { return a + b, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	want := run(1)
+	for _, deg := range []int{2, 3, 4, 8} {
+		for rep := 0; rep < 3; rep++ {
+			if got := run(deg); got != want {
+				t.Fatalf("degree %d rep %d: %x != %x", deg, rep, got, want)
+			}
+		}
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	v, err := Reduce(NewPool(4), 0,
+		func(i int) (int, error) { return 1, nil },
+		func(a, b int) (int, error) { return a + b, nil })
+	if err != nil || v != 0 {
+		t.Fatalf("got %d, %v", v, err)
+	}
+}
+
+func TestTaskFaultInjection(t *testing.T) {
+	in := faults.New(1)
+	in.MustArm(faults.Rule{Site: SiteTask, Kind: faults.Error, EveryN: 5})
+	faults.Install(in)
+	defer faults.Install(nil)
+	err := NewPool(4).ForEach(20, func(i int) error { return nil })
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err %v, want injected fault", err)
+	}
+}
+
+// TestChaosDelayInjectionKeepsResults arms delay-only rules at parallel.task
+// and checks every combinator still produces exactly the serial result —
+// stragglers must never reorder or corrupt output.
+func TestChaosDelayInjectionKeepsResults(t *testing.T) {
+	in := faults.New(42)
+	in.MustArm(faults.Rule{Site: SiteTask, Kind: faults.Delay, Prob: 0.3, Delay: 500 * time.Microsecond})
+	faults.Install(in)
+	defer faults.Install(nil)
+
+	var order []int
+	err := Ordered(NewPool(8), 64,
+		func(i int) (int, error) { return i * 3, nil },
+		func(i, v int) error {
+			if v != i*3 {
+				return fmt.Errorf("index %d got %d", i, v)
+			}
+			order = append(order, i)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("delayed tasks reordered delivery: %v", order)
+		}
+	}
+
+	sum, err := Reduce(NewPool(8), 64,
+		func(i int) (int, error) { return i, nil },
+		func(a, b int) (int, error) { return a + b, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 64*63/2 {
+		t.Fatalf("sum %d", sum)
+	}
+}

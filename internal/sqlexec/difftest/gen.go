@@ -1,0 +1,232 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"verticadr/internal/colstore"
+	"verticadr/internal/sqlparse"
+)
+
+// Gen produces random tables and queries. All generated numeric data is
+// drawn from small integers and exact half-integers, so every sum a query
+// can compute is exact in float64 — the engine's chunked parallel
+// accumulation and the reference's row-order loop then agree bitwise, and
+// any difference is a real bug rather than float reassociation noise.
+//
+// The generator deliberately avoids two constructs: "/" (inexact, and the
+// engine's int/int division promotes to float in eval order) is only exact
+// by accident, and cross-type comparisons beyond the int/float widening the
+// engine supports (they error data-dependently). Everything else the engine
+// implements is fair game.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// NewGen seeds a generator.
+func NewGen(seed int64) *Gen { return &Gen{rng: rand.New(rand.NewSource(seed))} }
+
+// TableSchema is the fixed schema used by generated tables.
+func TableSchema() colstore.Schema {
+	return colstore.Schema{
+		{Name: "id", Type: colstore.TypeInt64},
+		{Name: "a", Type: colstore.TypeInt64},
+		{Name: "b", Type: colstore.TypeInt64},
+		{Name: "x", Type: colstore.TypeFloat64},
+		{Name: "y", Type: colstore.TypeFloat64},
+		{Name: "s", Type: colstore.TypeString},
+		{Name: "flag", Type: colstore.TypeBool},
+	}
+}
+
+var genStrings = []string{"red", "green", "blue", "azul", "rot"}
+
+// Table generates a fresh FakeDB with nrows rows spread over 1-3 segments.
+func (g *Gen) Table(nrows int) (*FakeDB, error) {
+	rows := make([][]any, nrows)
+	for i := range rows {
+		rows[i] = []any{
+			int64(i),
+			int64(g.rng.Intn(41) - 20),
+			int64(g.rng.Intn(41) - 20),
+			float64(g.rng.Intn(201)-100) / 2,
+			float64(g.rng.Intn(201)-100) / 2,
+			genStrings[g.rng.Intn(len(genStrings))],
+			g.rng.Intn(2) == 0,
+		}
+	}
+	nsegs := 1 + g.rng.Intn(3)
+	blockRows := []int{16, 32, 48}[g.rng.Intn(3)]
+	return NewFakeDB("t", TableSchema(), rows, nsegs, blockRows)
+}
+
+var numericCols = []string{"id", "a", "b", "x", "y"}
+var intCols = []string{"id", "a", "b"}
+
+func (g *Gen) numericCol() string { return numericCols[g.rng.Intn(len(numericCols))] }
+
+// numExpr builds a numeric expression of bounded depth without division.
+func (g *Gen) numExpr(depth int) sqlparse.Expr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return &sqlparse.NumberLit{IsInt: true, Int: int64(g.rng.Intn(21) - 10)}
+		default:
+			return &sqlparse.ColRef{Name: g.numericCol()}
+		}
+	}
+	if g.rng.Intn(5) == 0 {
+		return &sqlparse.Unary{Op: "-", X: g.numExpr(depth - 1)}
+	}
+	ops := []string{"+", "-", "*"}
+	return &sqlparse.Binary{
+		Op: ops[g.rng.Intn(len(ops))],
+		L:  g.numExpr(depth - 1),
+		R:  g.numExpr(depth - 1),
+	}
+}
+
+// boolExpr builds a WHERE-style predicate of bounded depth. Comparisons only
+// mix types the engine can compare (numeric with numeric, string with
+// string, bool with bool).
+func (g *Gen) boolExpr(depth int) sqlparse.Expr {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		switch g.rng.Intn(6) {
+		case 0:
+			return &sqlparse.ColRef{Name: "flag"}
+		case 1:
+			return &sqlparse.Binary{
+				Op: "=",
+				L:  &sqlparse.ColRef{Name: "flag"},
+				R:  &sqlparse.BoolLit{Val: g.rng.Intn(2) == 0},
+			}
+		case 2:
+			return &sqlparse.Binary{
+				Op: g.cmpOp(),
+				L:  &sqlparse.ColRef{Name: "s"},
+				R:  &sqlparse.StringLit{Val: genStrings[g.rng.Intn(len(genStrings))]},
+			}
+		default:
+			return &sqlparse.Binary{
+				Op: g.cmpOp(),
+				L:  g.numExpr(1),
+				R:  g.numExpr(1),
+			}
+		}
+	}
+	switch g.rng.Intn(5) {
+	case 0:
+		return &sqlparse.Unary{Op: "NOT", X: g.boolExpr(depth - 1)}
+	case 1:
+		return &sqlparse.Binary{Op: "OR", L: g.boolExpr(depth - 1), R: g.boolExpr(depth - 1)}
+	default:
+		return &sqlparse.Binary{Op: "AND", L: g.boolExpr(depth - 1), R: g.boolExpr(depth - 1)}
+	}
+}
+
+func (g *Gen) cmpOp() string {
+	ops := []string{"=", "<>", "<", "<=", ">", ">="}
+	return ops[g.rng.Intn(len(ops))]
+}
+
+// aggCall builds one aggregate function call.
+func (g *Gen) aggCall() *sqlparse.FuncCall {
+	switch g.rng.Intn(6) {
+	case 0:
+		return &sqlparse.FuncCall{Name: "COUNT", Star: true}
+	case 1:
+		cols := []string{"id", "a", "x", "s", "flag"}
+		return &sqlparse.FuncCall{Name: "COUNT", Args: []sqlparse.Expr{
+			&sqlparse.ColRef{Name: cols[g.rng.Intn(len(cols))]},
+		}}
+	case 2, 3:
+		fn := []string{"SUM", "AVG"}[g.rng.Intn(2)]
+		return &sqlparse.FuncCall{Name: fn, Args: []sqlparse.Expr{g.numExpr(1)}}
+	default:
+		fn := []string{"MIN", "MAX"}[g.rng.Intn(2)]
+		var arg sqlparse.Expr
+		if g.rng.Intn(4) == 0 {
+			arg = &sqlparse.ColRef{Name: "s"}
+		} else {
+			arg = &sqlparse.ColRef{Name: g.numericCol()}
+		}
+		return &sqlparse.FuncCall{Name: fn, Args: []sqlparse.Expr{arg}}
+	}
+}
+
+// Query builds a random SELECT over table "t". Roughly half the queries
+// aggregate; the rest project. Items always carry cN aliases so ORDER BY
+// can reference any of them.
+func (g *Gen) Query(nrows int) *sqlparse.Select {
+	sel := &sqlparse.Select{From: "t", Limit: -1}
+	if g.rng.Intn(10) == 0 {
+		sel.Profile = true
+	}
+	var orderable []string
+	if g.rng.Intn(2) == 0 {
+		// Aggregate query.
+		groupPool := []string{"a", "b", "s", "flag"}
+		ngroup := g.rng.Intn(3)
+		g.rng.Shuffle(len(groupPool), func(i, j int) { groupPool[i], groupPool[j] = groupPool[j], groupPool[i] })
+		for _, gc := range groupPool[:ngroup] {
+			sel.GroupBy = append(sel.GroupBy, gc)
+			alias := fmt.Sprintf("c%d", len(sel.Items))
+			sel.Items = append(sel.Items, sqlparse.SelectItem{
+				Expr:  &sqlparse.ColRef{Name: gc},
+				Alias: alias,
+			})
+			orderable = append(orderable, alias)
+		}
+		naggs := 1 + g.rng.Intn(3)
+		for i := 0; i < naggs; i++ {
+			alias := fmt.Sprintf("c%d", len(sel.Items))
+			sel.Items = append(sel.Items, sqlparse.SelectItem{Expr: g.aggCall(), Alias: alias})
+			orderable = append(orderable, alias)
+		}
+	} else if g.rng.Intn(10) == 0 {
+		// Star projection, sometimes with extra columns.
+		sel.Items = append(sel.Items, sqlparse.SelectItem{Star: true})
+		orderable = append(orderable, "id", "a", "s")
+		if g.rng.Intn(2) == 0 {
+			sel.Items = append(sel.Items, sqlparse.SelectItem{
+				Expr:  &sqlparse.ColRef{Name: g.numericCol()},
+				Alias: "extra",
+			})
+			orderable = append(orderable, "extra")
+		}
+	} else {
+		// Expression projection.
+		nitems := 1 + g.rng.Intn(4)
+		for i := 0; i < nitems; i++ {
+			alias := fmt.Sprintf("c%d", len(sel.Items))
+			var e sqlparse.Expr
+			switch g.rng.Intn(4) {
+			case 0:
+				e = &sqlparse.ColRef{Name: "s"}
+			case 1:
+				e = &sqlparse.ColRef{Name: "flag"}
+			default:
+				e = g.numExpr(2)
+			}
+			sel.Items = append(sel.Items, sqlparse.SelectItem{Expr: e, Alias: alias})
+			orderable = append(orderable, alias)
+		}
+	}
+	if g.rng.Intn(10) < 7 {
+		sel.Where = g.boolExpr(1 + g.rng.Intn(3))
+	}
+	if len(orderable) > 0 && g.rng.Intn(10) < 6 {
+		nkeys := 1 + g.rng.Intn(2)
+		g.rng.Shuffle(len(orderable), func(i, j int) { orderable[i], orderable[j] = orderable[j], orderable[i] })
+		if nkeys > len(orderable) {
+			nkeys = len(orderable)
+		}
+		for _, col := range orderable[:nkeys] {
+			sel.OrderBy = append(sel.OrderBy, sqlparse.OrderItem{Col: col, Desc: g.rng.Intn(2) == 0})
+		}
+	}
+	if g.rng.Intn(10) < 3 {
+		sel.Limit = g.rng.Intn(nrows + 5)
+	}
+	return sel
+}

@@ -8,6 +8,7 @@ import (
 
 	"verticadr/internal/catalog"
 	"verticadr/internal/colstore"
+	"verticadr/internal/parallel"
 	"verticadr/internal/sqlparse"
 	"verticadr/internal/telemetry"
 	"verticadr/internal/udf"
@@ -213,6 +214,13 @@ func scanTable(db Database, table string, cols []string, where sqlparse.Expr, pr
 		return nil, err
 	}
 	scanDone := prof.startOp("scan")
+	// Each segment scans on its own goroutine (the per-node parallelism the
+	// executor always had); within a segment, blocks decode on a worker pool
+	// whose degree divides the process-wide degree across segments, so total
+	// concurrency tracks -j regardless of segment count.
+	deg := parallel.Default().Degree()
+	segDeg := (deg + len(segs) - 1) / max(len(segs), 1)
+	pool := parallel.NewPool(segDeg)
 	results := make([]*colstore.Batch, len(segs))
 	errs := make([]error, len(segs))
 	stats := make([]colstore.ScanStats, len(segs))
@@ -234,7 +242,8 @@ func scanTable(db Database, table string, cols []string, where sqlparse.Expr, pr
 				scanCols = union(cols, extra)
 			}
 			local := colstore.NewBatch(mustProject(def.Schema, scanCols))
-			err := seg.ScanWithStats(scanCols, pushed, &stats[i], func(b *colstore.Batch) error {
+			var idx []int // residual-filter scratch, reused across batches
+			err := seg.ParScanWithStats(scanCols, pushed, pool, &stats[i], func(b *colstore.Batch) error {
 				if residual != nil {
 					keep, err := evalExpr(residual, b)
 					if err != nil {
@@ -243,7 +252,7 @@ func scanTable(db Database, table string, cols []string, where sqlparse.Expr, pr
 					if keep.Type != colstore.TypeBool {
 						return fmt.Errorf("sqlexec: WHERE clause is not boolean")
 					}
-					idx := make([]int, 0, b.Len())
+					idx = idx[:0]
 					for r, k := range keep.Bools {
 						if k {
 							idx = append(idx, r)
@@ -276,8 +285,8 @@ func scanTable(db Database, table string, cols []string, where sqlparse.Expr, pr
 		merged.Add(stats[i])
 		scanRows += int64(stats[i].RowsOut)
 	}
-	detail := fmt.Sprintf("%d segments, %d blocks scanned, %d skipped by zone maps, %d KB",
-		len(segs), merged.BlocksScanned, merged.BlocksSkipped, merged.BytesRead/1024)
+	detail := fmt.Sprintf("%d segments, degree %d, %d blocks scanned, %d skipped by zone maps, %d KB",
+		len(segs), segDeg, merged.BlocksScanned, merged.BlocksSkipped, merged.BytesRead/1024)
 	if merged.TailRows > 0 {
 		detail += fmt.Sprintf(", %d tail rows", merged.TailRows)
 	}
@@ -408,6 +417,11 @@ func finishSelect(out *colstore.Batch, sel *sqlparse.Select, prof *Profile) (*Re
 	return &Result{Batch: out}, nil
 }
 
+// aggChunkRows is the fixed partial-aggregation chunk size. Chunk boundaries
+// depend only on the input row count — never on the parallel degree — which
+// is what makes aggregate results bitwise identical at every degree.
+const aggChunkRows = 4096
+
 // aggState accumulates one aggregate function over a group.
 type aggState struct {
 	fn    string
@@ -444,6 +458,33 @@ func (a *aggState) add(v any) error {
 			return err
 		} else if c > 0 {
 			a.max = v
+		}
+	}
+	return nil
+}
+
+// merge folds another partial state for the same (group, aggregate) into a.
+// Addition order is fixed by the reduction tree, so float sums are
+// reproducible at any degree.
+func (a *aggState) merge(b *aggState) error {
+	a.count += b.count
+	a.sum += b.sum
+	if b.min != nil {
+		if a.min == nil {
+			a.min = b.min
+		} else if c, err := colstore.CompareValues(b.min, a.min); err != nil {
+			return err
+		} else if c < 0 {
+			a.min = b.min
+		}
+	}
+	if b.max != nil {
+		if a.max == nil {
+			a.max = b.max
+		} else if c, err := colstore.CompareValues(b.max, a.max); err != nil {
+			return err
+		} else if c > 0 {
+			a.max = b.max
 		}
 	}
 	return nil
@@ -544,44 +585,89 @@ func runAggregate(db Database, sel *sqlparse.Select, prof *Profile) (*Result, er
 		keyVals []any
 		states  []*aggState
 	}
-	groups := map[string]*group{}
-	var order []string
+	// Partial aggregation: the scanned rows split into fixed-size contiguous
+	// chunks (a function of data size only, never of degree), each chunk
+	// builds its own hash table, and partials fold via parallel.Reduce's
+	// deterministic tree. Merging adjacent chunks' first-appearance orders
+	// yields exactly the serial first-appearance order, and float sums are
+	// bitwise reproducible at every degree.
+	type aggPartial struct {
+		groups map[string]*group
+		order  []string
+	}
 	n := data.Len()
-	for r := 0; r < n; r++ {
-		var kb strings.Builder
-		keyVals := make([]any, len(groupIdx))
-		for i, gi := range groupIdx {
-			v := data.Cols[gi].Value(r)
-			keyVals[i] = v
-			fmt.Fprintf(&kb, "%v\x00", v)
-		}
-		key := kb.String()
-		g, ok := groups[key]
-		if !ok {
-			g = &group{keyVals: keyVals}
-			for _, p := range plans {
-				if p.fn != nil {
-					g.states = append(g.states, &aggState{fn: p.fn.Name})
-				} else {
-					g.states = append(g.states, nil)
+	nchunks := (n + aggChunkRows - 1) / aggChunkRows
+	part, err := parallel.Reduce(parallel.Default(), nchunks,
+		func(ci int) (*aggPartial, error) {
+			lo, hi := ci*aggChunkRows, (ci+1)*aggChunkRows
+			if hi > n {
+				hi = n
+			}
+			p := &aggPartial{groups: map[string]*group{}}
+			for r := lo; r < hi; r++ {
+				var kb strings.Builder
+				keyVals := make([]any, len(groupIdx))
+				for i, gi := range groupIdx {
+					v := data.Cols[gi].Value(r)
+					keyVals[i] = v
+					fmt.Fprintf(&kb, "%v\x00", v)
+				}
+				key := kb.String()
+				g, ok := p.groups[key]
+				if !ok {
+					g = &group{keyVals: keyVals}
+					for _, pl := range plans {
+						if pl.fn != nil {
+							g.states = append(g.states, &aggState{fn: pl.fn.Name})
+						} else {
+							g.states = append(g.states, nil)
+						}
+					}
+					p.groups[key] = g
+					p.order = append(p.order, key)
+				}
+				for pi, pl := range plans {
+					if pl.fn == nil {
+						continue
+					}
+					var v any = int64(1) // COUNT(*)
+					if !pl.fn.Star {
+						v = argVecs[pi].Value(r)
+					}
+					if err := g.states[pi].add(v); err != nil {
+						return nil, err
+					}
 				}
 			}
-			groups[key] = g
-			order = append(order, key)
-		}
-		for pi, p := range plans {
-			if p.fn == nil {
-				continue
+			return p, nil
+		},
+		func(a, b *aggPartial) (*aggPartial, error) {
+			for _, key := range b.order {
+				bg := b.groups[key]
+				ag, ok := a.groups[key]
+				if !ok {
+					a.groups[key] = bg
+					a.order = append(a.order, key)
+					continue
+				}
+				for si, s := range ag.states {
+					if s == nil {
+						continue
+					}
+					if err := s.merge(bg.states[si]); err != nil {
+						return nil, err
+					}
+				}
 			}
-			var v any = int64(1) // COUNT(*)
-			if !p.fn.Star {
-				v = argVecs[pi].Value(r)
-			}
-			if err := g.states[pi].add(v); err != nil {
-				return nil, err
-			}
-		}
+			return a, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	if part == nil { // zero rows scanned: no chunks ran
+		part = &aggPartial{groups: map[string]*group{}}
+	}
+	groups, order := part.groups, part.order
 	// A global aggregate over zero rows still yields one row.
 	if len(sel.GroupBy) == 0 && len(order) == 0 {
 		g := &group{}
@@ -636,6 +722,6 @@ func runAggregate(db Database, sel *sqlparse.Select, prof *Profile) (*Result, er
 			}
 		}
 	}
-	aggDone(int64(out.Len()), fmt.Sprintf("%d groups, %d aggregates", len(order), len(plans)))
+	aggDone(int64(out.Len()), fmt.Sprintf("%d groups, %d aggregates, %d chunks", len(order), len(plans), nchunks))
 	return finishSelect(out, sel, prof)
 }

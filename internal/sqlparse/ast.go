@@ -2,6 +2,7 @@ package sqlparse
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -77,13 +78,40 @@ type Expr interface {
 	String() string
 }
 
+// quoteIdent renders an identifier so the lexer reads back exactly the same
+// name: plain ASCII identifiers (letter/underscore start, letter/digit/_/$
+// rest) that don't collide with a keyword pass through bare; anything else —
+// including non-ASCII names, which the byte-oriented lexer cannot re-lex
+// bare — is double-quoted. Names containing '"' cannot be represented (the
+// lexer has no escape inside quoted identifiers) and only arise from
+// hand-built ASTs.
+func quoteIdent(name string) string {
+	plain := name != ""
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		alpha := c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+		digit := c >= '0' && c <= '9'
+		if i == 0 && !alpha || i > 0 && !(alpha || digit || c == '$') {
+			plain = false
+			break
+		}
+	}
+	if plain && keywords[strings.ToUpper(name)] {
+		plain = false
+	}
+	if plain {
+		return name
+	}
+	return `"` + name + `"`
+}
+
 // ColRef references a column by name.
 type ColRef struct{ Name string }
 
 func (*ColRef) exprNode() {}
 
-// String returns the column name.
-func (c *ColRef) String() string { return c.Name }
+// String returns the column name, quoted when necessary.
+func (c *ColRef) String() string { return quoteIdent(c.Name) }
 
 // NumberLit is a numeric literal; IsInt distinguishes INTEGER from FLOAT.
 type NumberLit struct {
@@ -164,10 +192,11 @@ type FuncCall struct {
 
 func (*FuncCall) exprNode() {}
 
-// String formats the call.
+// String formats the call so it re-parses to the same statement: parameters
+// render as the full USING PARAMETERS list in sorted key order.
 func (f *FuncCall) String() string {
 	var sb strings.Builder
-	sb.WriteString(f.Name)
+	sb.WriteString(quoteIdent(f.Name))
 	sb.WriteByte('(')
 	if f.Star {
 		sb.WriteByte('*')
@@ -179,17 +208,97 @@ func (f *FuncCall) String() string {
 		sb.WriteString(a.String())
 	}
 	if len(f.Params) > 0 {
-		sb.WriteString(" USING PARAMETERS ...")
+		if f.Star || len(f.Args) > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString("USING PARAMETERS ")
+		keys := make([]string, 0, len(f.Params))
+		for k := range f.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(quoteIdent(k))
+			sb.WriteByte('=')
+			sb.WriteString(f.Params[k].String())
+		}
 	}
 	sb.WriteByte(')')
 	if f.Over != nil {
 		if f.Over.PartitionBest {
 			sb.WriteString(" OVER (PARTITION BEST)")
 		} else if len(f.Over.PartitionBy) > 0 {
-			sb.WriteString(" OVER (PARTITION BY " + strings.Join(f.Over.PartitionBy, ", ") + ")")
+			cols := make([]string, len(f.Over.PartitionBy))
+			for i, c := range f.Over.PartitionBy {
+				cols[i] = quoteIdent(c)
+			}
+			sb.WriteString(" OVER (PARTITION BY " + strings.Join(cols, ", ") + ")")
 		} else {
 			sb.WriteString(" OVER ()")
 		}
+	}
+	return sb.String()
+}
+
+// String renders the statement as SQL that parses back to an equivalent
+// Select: expressions are fully parenthesized, aliases always use AS, and
+// identifiers are quoted when they would otherwise lex as keywords or fail to
+// lex at all. Parse(sel.String()) succeeds for any parsed sel, and the
+// rendering is a fixpoint: Parse(s).String() == s for s = sel.String().
+func (sel *Select) String() string {
+	var sb strings.Builder
+	if sel.Profile {
+		sb.WriteString("PROFILE ")
+	}
+	sb.WriteString("SELECT ")
+	for i, item := range sel.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if item.Star {
+			sb.WriteByte('*')
+			continue
+		}
+		sb.WriteString(item.Expr.String())
+		if item.Alias != "" {
+			sb.WriteString(" AS ")
+			sb.WriteString(quoteIdent(item.Alias))
+		}
+	}
+	if sel.From != "" {
+		sb.WriteString(" FROM ")
+		sb.WriteString(quoteIdent(sel.From))
+	}
+	if sel.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(sel.Where.String())
+	}
+	if len(sel.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range sel.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(quoteIdent(g))
+		}
+	}
+	if len(sel.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range sel.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(quoteIdent(o.Col))
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if sel.Limit >= 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", sel.Limit)
 	}
 	return sb.String()
 }

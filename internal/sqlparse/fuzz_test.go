@@ -1,0 +1,75 @@
+package sqlparse
+
+import (
+	"testing"
+)
+
+// TestSelectStringRoundTrip pins the renderer on representative statements:
+// every String() output must re-parse, and re-rendering must be a fixpoint.
+func TestSelectStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT 1",
+		"SELECT *, a FROM t",
+		"SELECT a, b + 2 AS c FROM t WHERE x < 3 AND NOT (y = 'z''q') ORDER BY c DESC, a LIMIT 7",
+		"SELECT COUNT(*), SUM(a) FROM t GROUP BY g, h",
+		"PROFILE SELECT a c0 FROM t ORDER BY c0",
+		"SELECT AVG(a / 2) FROM t WHERE flag OR s <> 'x' GROUP BY a",
+		`SELECT "select" FROM "group" WHERE "from" = 1`,
+		"SELECT glmPredict(a, b USING PARAMETERS model='m', beta=2) OVER (PARTITION BEST) FROM t",
+		"SELECT f() OVER (), g(x) OVER (PARTITION BY a, b) FROM t",
+		"SELECT -a + 1.5e3 FROM t WHERE NOT NOT flag",
+	}
+	for _, q := range queries {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		sel, ok := stmt.(*Select)
+		if !ok {
+			t.Fatalf("%q did not parse to a Select", q)
+		}
+		r1 := sel.String()
+		stmt2, err := Parse(r1)
+		if err != nil {
+			t.Fatalf("re-parse of %q (rendered from %q): %v", r1, q, err)
+		}
+		r2 := stmt2.(*Select).String()
+		if r2 != r1 {
+			t.Fatalf("render not a fixpoint:\n  first:  %q\n  second: %q", r1, r2)
+		}
+	}
+}
+
+// FuzzParseSelect feeds arbitrary input to the parser. The parser must never
+// panic; when it accepts the input as a SELECT, the rendered SQL must
+// re-parse and re-render to the identical string (round-trip fixpoint).
+func FuzzParseSelect(f *testing.F) {
+	f.Add("SELECT 1")
+	f.Add("SELECT a, b*2 AS d FROM t WHERE x < 3 OR y = 'z' GROUP BY a ORDER BY d DESC LIMIT 10")
+	f.Add("PROFILE SELECT COUNT(*) FROM t")
+	f.Add("SELECT fn(a USING PARAMETERS k='v') OVER (PARTITION BEST) FROM t")
+	f.Add(`SELECT "wei rd", - - 1e-4 FROM "from"`)
+	f.Add("SELECT * FROM t;")
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return
+		}
+		sel, ok := stmt.(*Select)
+		if !ok {
+			return
+		}
+		r1 := sel.String()
+		stmt2, err := Parse(r1)
+		if err != nil {
+			t.Fatalf("rendered SQL failed to parse: %q (from input %q): %v", r1, input, err)
+		}
+		sel2, ok := stmt2.(*Select)
+		if !ok {
+			t.Fatalf("rendered SQL parsed to non-SELECT: %q", r1)
+		}
+		if r2 := sel2.String(); r2 != r1 {
+			t.Fatalf("render not a fixpoint:\n input:  %q\n first:  %q\n second: %q", input, r1, r2)
+		}
+	})
+}
