@@ -18,19 +18,29 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with real shared-state concurrency: the
-# telemetry registry, the vft staging hub, the dr scheduler, the yarn
-# resource manager, the simulated network, the fault injector, and the
-# intra-node parallel execution engine (worker pool, parallel scans,
-# chunked aggregation, parallel IRLS, blocked matrix multiply).
+# telemetry registry, the vft staging hub + pooled export pipeline, the dr
+# scheduler, the yarn resource manager, the simulated network, the fault
+# injector, the intra-node parallel execution engine (worker pool, parallel
+# scans, chunked aggregation, parallel IRLS, blocked matrix multiply), and
+# the pooled scoring/splitting paths (models, udf writers, darray fill,
+# catalog splitter).
 .PHONY: race
 race:
 	$(GO) test -race ./internal/telemetry/... ./internal/vft/... ./internal/dr/... \
 		./internal/yarn/... ./internal/simnet/... ./internal/faults/... \
 		./internal/parallel/... ./internal/colstore/... ./internal/sqlexec/... \
-		./internal/algos/... ./internal/linalg/...
+		./internal/algos/... ./internal/linalg/... ./internal/models/... \
+		./internal/udf/... ./internal/darray/... ./internal/catalog/...
 
+# Microbenchmarks for the pooled transfer + vectorized prediction paths;
+# writes BENCH_PR4.json (committed alongside EXPERIMENTS.md).
 .PHONY: bench
 bench:
+	$(GO) run ./cmd/vdr-microbench -out BENCH_PR4.json
+
+# Paper-figure benchmark series (Figs. 12-20 shapes).
+.PHONY: bench-figures
+bench-figures:
 	$(GO) run ./cmd/vdr-bench -metrics bench-metrics.json
 
 # Chaos suite: the recovery-path tests (fault injection, retransmission,
@@ -40,7 +50,7 @@ bench:
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Recover|Injected|Fault|Retr|Abort|Reap|FailWorker|Idempotent|Timeout' \
 		./internal/faults/... ./internal/vft/... ./internal/dr/... ./internal/yarn/... ./internal/odbc/... \
-		./internal/parallel/... ./internal/colstore/...
+		./internal/parallel/... ./internal/colstore/... ./internal/models/... ./internal/udf/...
 
 # Fuzz smoke: run each fuzz target briefly (Go keeps regression inputs in
 # testdata/fuzz, which plain `go test` replays on every run). Raise FUZZTIME
@@ -51,3 +61,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseSelect -fuzztime=$(FUZZTIME) ./internal/sqlparse/
 	$(GO) test -run='^$$' -fuzz=FuzzEncodingRoundTrip -fuzztime=$(FUZZTIME) ./internal/colstore/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeBlock -fuzztime=$(FUZZTIME) ./internal/colstore/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeChunk -fuzztime=$(FUZZTIME) ./internal/vft/

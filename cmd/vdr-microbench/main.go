@@ -1,0 +1,226 @@
+// Command vdr-microbench runs the PR 4 transfer/prediction microbenchmarks
+// through testing.Benchmark and writes the figures to a JSON file
+// (BENCH_PR4.json by default, `make bench`). It covers the pooled pipelined
+// transfer path (vft.Load, chunk encode/decode) and the vectorized
+// in-database prediction path (GlmPredict / KmeansPredict over SQL).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"verticadr/internal/algos"
+	"verticadr/internal/colstore"
+	"verticadr/internal/dr"
+	"verticadr/internal/models"
+	"verticadr/internal/vertica"
+	"verticadr/internal/vft"
+)
+
+type figure struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	RowsPerSec  float64 `json:"rows_per_s,omitempty"`
+}
+
+func toFigure(name string, r testing.BenchmarkResult) figure {
+	return figure{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		RowsPerSec:  r.Extra["rows/s"],
+	}
+}
+
+func fillTable(db *vertica.DB, name string, rows int) error {
+	if err := db.Exec(fmt.Sprintf(
+		`CREATE TABLE %s (id INTEGER, a FLOAT, b FLOAT) SEGMENTED BY HASH(id)`, name)); err != nil {
+		return err
+	}
+	schema := colstore.Schema{
+		{Name: "id", Type: colstore.TypeInt64},
+		{Name: "a", Type: colstore.TypeFloat64},
+		{Name: "b", Type: colstore.TypeFloat64},
+	}
+	b := colstore.NewBatch(schema)
+	for i := 0; i < rows; i++ {
+		if err := b.AppendRow(int64(i), float64(i)*0.5, float64(i)*2); err != nil {
+			return err
+		}
+	}
+	return db.Load(name, b)
+}
+
+func benchLoad(rows int) (testing.BenchmarkResult, error) {
+	db, err := vertica.Open(vertica.Config{Nodes: 4, BlockRows: 2048, UDFInstancesPerNode: 2})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	c, err := dr.Start(dr.Config{Workers: 4, InstancesPerWorker: 4})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer c.Shutdown()
+	hub := vft.NewHub()
+	if err := vft.Register(db, hub); err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	if err := fillTable(db, "bt", rows); err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	var failed error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			frame, _, err := vft.Load(db, c, hub, "bt", []string{"id", "a", "b"}, vft.PolicyLocality, 2048)
+			if err != nil {
+				failed = err
+				b.FailNow()
+			}
+			if frame.Rows() != rows {
+				failed = fmt.Errorf("row loss: %d of %d", frame.Rows(), rows)
+				b.FailNow()
+			}
+		}
+		b.ReportMetric(float64(rows*b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+	return r, failed
+}
+
+func benchChunkCodec() (enc, dec testing.BenchmarkResult, err error) {
+	schema := colstore.Schema{
+		{Name: "id", Type: colstore.TypeInt64},
+		{Name: "a", Type: colstore.TypeFloat64},
+		{Name: "b", Type: colstore.TypeFloat64},
+	}
+	batch := colstore.NewBatch(schema)
+	for i := 0; i < 2048; i++ {
+		if e := batch.AppendRow(int64(i), float64(i)*0.5, float64(i)*2); e != nil {
+			return enc, dec, e
+		}
+	}
+	msg, err := vft.EncodeChunk(batch)
+	if err != nil {
+		return enc, dec, err
+	}
+	enc = testing.Benchmark(func(b *testing.B) {
+		var buf []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, e := vft.EncodeChunkInto(buf[:0], batch)
+			if e != nil {
+				b.FailNow()
+			}
+			buf = out
+		}
+	})
+	dec = testing.Benchmark(func(b *testing.B) {
+		dst := colstore.NewBatch(schema)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst.Reset()
+			if e := vft.DecodeChunkInto(dst, msg); e != nil {
+				b.FailNow()
+			}
+		}
+	})
+	return enc, dec, nil
+}
+
+func benchPredict(rows int) (glm, km testing.BenchmarkResult, err error) {
+	db, err := vertica.Open(vertica.Config{Nodes: 4, BlockRows: 2048, UDFInstancesPerNode: 2})
+	if err != nil {
+		return glm, km, err
+	}
+	mgr, err := models.NewManager(db)
+	if err != nil {
+		return glm, km, err
+	}
+	if err = fillTable(db, "bp", rows); err != nil {
+		return glm, km, err
+	}
+	if err = mgr.Deploy("m", "bench", "", &algos.GLMModel{
+		Family: algos.Gaussian, Coefficients: []float64{1, 2, -0.5, 0.25},
+	}); err != nil {
+		return glm, km, err
+	}
+	if err = mgr.Deploy("km", "bench", "", &algos.KmeansModel{
+		K: 2, Centers: [][]float64{{0, 0, 0}, {500, -1000, 250}},
+	}); err != nil {
+		return glm, km, err
+	}
+	run := func(q string) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, e := db.Query(q)
+				if e != nil {
+					err = e
+					b.FailNow()
+				}
+				if res.Len() != rows {
+					err = fmt.Errorf("row loss: %d of %d", res.Len(), rows)
+					b.FailNow()
+				}
+			}
+			b.ReportMetric(float64(rows*b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+	glm = run(`SELECT GlmPredict(id, a, b USING PARAMETERS model='m') OVER (PARTITION BEST) FROM bp`)
+	if err != nil {
+		return glm, km, err
+	}
+	km = run(`SELECT KmeansPredict(id, a, b USING PARAMETERS model='km') OVER (PARTITION BEST) FROM bp`)
+	return glm, km, err
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
+	rows := flag.Int("rows", 50_000, "table size for the transfer benchmark")
+	predRows := flag.Int("pred-rows", 100_000, "table size for the prediction benchmarks")
+	flag.Parse()
+
+	var figures []figure
+	add := func(name string, r testing.BenchmarkResult, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vdr-microbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		figures = append(figures, toFigure(name, r))
+		fmt.Printf("%-28s %12.0f ns/op %10d B/op %8d allocs/op",
+			name, float64(r.NsPerOp()), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		if rs := r.Extra["rows/s"]; rs > 0 {
+			fmt.Printf(" %14.0f rows/s", rs)
+		}
+		fmt.Println()
+	}
+
+	r, err := benchLoad(*rows)
+	add("vft.Load/50k-rows", r, err)
+	enc, dec, err := benchChunkCodec()
+	add("vft.EncodeChunk/2048-rows", enc, err)
+	add("vft.DecodeChunk/2048-rows", dec, nil)
+	glm, km, err := benchPredict(*predRows)
+	add("sql.GlmPredict/100k-rows", glm, err)
+	add("sql.KmeansPredict/100k-rows", km, nil)
+
+	data, err := json.MarshalIndent(map[string]any{"benchmarks": figures}, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdr-microbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "vdr-microbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

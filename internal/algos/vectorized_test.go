@@ -1,0 +1,144 @@
+package algos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// blockOf lays rows out column-major: cols[j][i] = rows[i][j].
+func blockOf(rows [][]float64, dims int) [][]float64 {
+	cols := make([][]float64, dims)
+	for j := range cols {
+		cols[j] = make([]float64, len(rows))
+		for i, r := range rows {
+			cols[j][i] = r[j]
+		}
+	}
+	return cols
+}
+
+// randRows draws n rows of d features from a seeded generator, mixing
+// magnitudes and signs so float addition order actually matters.
+func randRows(rng *rand.Rand, n, d int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(7)-3))
+		}
+	}
+	return rows
+}
+
+func TestGLMPredictBlockBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, fam := range []Family{Gaussian, Binomial, Poisson} {
+		m := &GLMModel{
+			Family:       fam,
+			Coefficients: []float64{0.37, 1.25, -2.5, 0.001, 17},
+		}
+		d := len(m.Coefficients) - 1
+		rows := randRows(rng, 513, d) // odd size: exercises a ragged tail
+		cols := blockOf(rows, d)
+		out := make([]float64, len(rows))
+		m.PredictBlock(cols, out)
+		for i, r := range rows {
+			want := m.Predict(r)
+			if math.Float64bits(out[i]) != math.Float64bits(want) {
+				t.Fatalf("family %v row %d: block %x vs row %x", fam, i,
+					math.Float64bits(out[i]), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+func TestKmeansAssignBlockBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := &KmeansModel{Centers: [][]float64{
+		{0, 0, 0},
+		{1.5, -2, 1e3},
+		{1.5, -2, 1e3}, // duplicate center: ties must go to the lower index
+		{-7, 0.25, 3},
+	}}
+	rows := randRows(rng, 700, 3)
+	// Plant exact-center rows so ties actually occur.
+	rows[13] = []float64{1.5, -2, 1e3}
+	rows[500] = []float64{0, 0, 0}
+	cols := blockOf(rows, 3)
+	out := make([]int64, len(rows))
+	var sc AssignScratch
+	m.AssignBlock(cols, out, &sc)
+	for i, r := range rows {
+		if want := m.Assign(r); out[i] != int64(want) {
+			t.Fatalf("row %d: AssignBlock %d vs Assign %d", i, out[i], want)
+		}
+	}
+	if out[13] != 1 {
+		t.Fatalf("duplicate-center tie resolved to %d, want 1", out[13])
+	}
+	// A second block through the same scratch must not carry state over.
+	m.AssignBlock(cols, out, &sc)
+	for i, r := range rows {
+		if want := m.Assign(r); out[i] != int64(want) {
+			t.Fatalf("scratch reuse: row %d: %d vs %d", i, out[i], want)
+		}
+	}
+}
+
+// randTree grows a random but valid flat tree over d features.
+func randTree(rng *rand.Rand, d, depth int) Tree {
+	var t Tree
+	var grow func(level int) int
+	grow = func(level int) int {
+		idx := len(t.Nodes)
+		if level >= depth || rng.Float64() < 0.3 {
+			t.Nodes = append(t.Nodes, TreeNode{Feature: -1, Value: float64(rng.Intn(5))})
+			return idx
+		}
+		t.Nodes = append(t.Nodes, TreeNode{
+			Feature: rng.Intn(d),
+			Split:   (rng.Float64() - 0.5) * 4,
+		})
+		t.Nodes[idx].Left = grow(level + 1)
+		t.Nodes[idx].Right = grow(level + 1)
+		return idx
+	}
+	grow(0)
+	return t
+}
+
+func TestForestPredictBlockBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const d = 4
+	trees := make([]Tree, 9)
+	for i := range trees {
+		trees[i] = randTree(rng, d, 5)
+	}
+	rows := randRows(rng, 400, d)
+	cols := blockOf(rows, d)
+	out := make([]float64, len(rows))
+
+	for _, classify := range []bool{false, true} {
+		m := &ForestModel{Trees: trees, Classify: classify, Features: d}
+		m.PredictBlock(cols, out)
+		for i, r := range rows {
+			want := m.Predict(r)
+			if math.Float64bits(out[i]) != math.Float64bits(want) {
+				t.Fatalf("classify=%v row %d: block %v vs row %v", classify, i, out[i], want)
+			}
+		}
+	}
+
+	empty := &ForestModel{Features: d}
+	m2out := make([]float64, 3)
+	for i := range m2out {
+		m2out[i] = 99
+	}
+	empty.PredictBlock(cols, m2out)
+	for i, v := range m2out {
+		if v != empty.Predict(rows[i]) {
+			t.Fatalf("empty forest row %d: %v", i, v)
+		}
+	}
+}

@@ -124,11 +124,21 @@ func (c *Catalog) List() []string {
 // Splitter assigns each row of a batch to one of n nodes according to a
 // segmentation scheme. It carries round-robin state across batches so that a
 // multi-batch load stays balanced.
+//
+// The per-destination index lists and output batches are owned by the
+// splitter and reused across Split calls, so a multi-batch load allocates
+// per-destination builders once instead of once per batch. A mutex guards
+// the shared state, making concurrent loads into the same table safe (they
+// serialize through Split).
 type Splitter struct {
 	seg    Segmentation
 	nodes  int
 	colIdx int
-	next   int // round-robin cursor
+
+	mu   sync.Mutex
+	next int        // round-robin cursor
+	idxs [][]int    // per-destination row indices, reused across calls
+	outs []*colstore.Batch
 }
 
 // NewSplitter builds a splitter for the segmentation over the given schema.
@@ -147,33 +157,54 @@ func NewSplitter(seg Segmentation, schema colstore.Schema, nodes int) (*Splitter
 }
 
 // Split partitions the batch into one (possibly empty) batch per node.
+//
+// The returned batches are reused by the next Split call: callers must copy
+// what they keep (Segment.Append does) before splitting the next batch.
 func (s *Splitter) Split(b *colstore.Batch) ([]*colstore.Batch, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
-	idxs := make([][]int, s.nodes)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.idxs == nil {
+		s.idxs = make([][]int, s.nodes)
+		s.outs = make([]*colstore.Batch, s.nodes)
+	}
+	for node := range s.idxs {
+		s.idxs[node] = s.idxs[node][:0]
+	}
 	n := b.Len()
 	switch s.seg.Kind {
 	case SegRoundRobin:
 		for i := 0; i < n; i++ {
 			node := s.next % s.nodes
 			s.next++
-			idxs[node] = append(idxs[node], i)
+			s.idxs[node] = append(s.idxs[node], i)
 		}
 	case SegHash:
 		col := b.Cols[s.colIdx]
 		for i := 0; i < n; i++ {
 			node := int(hashValue(col, i) % uint64(s.nodes))
-			idxs[node] = append(idxs[node], i)
+			s.idxs[node] = append(s.idxs[node], i)
 		}
 	default:
 		return nil, fmt.Errorf("catalog: unknown segmentation kind %d", s.seg.Kind)
 	}
-	out := make([]*colstore.Batch, s.nodes)
-	for node, idx := range idxs {
-		out[node] = b.Gather(idx)
+	for node, idx := range s.idxs {
+		// The builders persist across calls unless the batch shape changes
+		// (different column subsets of the same table may load in turn).
+		if s.outs[node] == nil || !s.outs[node].Schema.Equal(b.Schema) {
+			s.outs[node] = colstore.NewBatch(b.Schema)
+		} else {
+			s.outs[node].Reset()
+		}
+		for c, col := range b.Cols {
+			if err := s.outs[node].Cols[c].AppendGather(col, idx); err != nil {
+				return nil, err
+			}
+		}
 	}
-	return out, nil
+	return s.outs, nil
 }
 
 func hashValue(v *colstore.Vector, i int) uint64 {

@@ -233,3 +233,84 @@ func TestQuickSplitPreservesRows(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSplitterReusesBuilders pins the builder-reuse contract: consecutive
+// Split calls return the same output batches (rebuilt in place), each call's
+// content is correct, and the steady state allocates far less than a
+// fresh-batches-per-call implementation would.
+func TestSplitterReusesBuilders(t *testing.T) {
+	sp, err := NewSplitter(Segmentation{Kind: SegHash, Column: "id"}, schema(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := makeBatch(t, 300)
+	first, err := sp.Split(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record the first result by value before the splitter recycles it.
+	snapshot := make([]*colstore.Batch, len(first))
+	for i, p := range first {
+		snapshot[i] = colstore.NewBatch(p.Schema)
+		if err := snapshot[i].AppendBatch(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	second, err := sp.Split(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range second {
+		if p != first[i] {
+			t.Fatalf("node %d: Split returned a fresh batch, want the reused builder", i)
+		}
+		if p.Len() != snapshot[i].Len() {
+			t.Fatalf("node %d: reused split has %d rows, want %d", i, p.Len(), snapshot[i].Len())
+		}
+		for r := 0; r < p.Len(); r++ {
+			if p.Cols[0].Ints[r] != snapshot[i].Cols[0].Ints[r] || p.Cols[1].Floats[r] != snapshot[i].Cols[1].Floats[r] {
+				t.Fatalf("node %d row %d differs between identical splits", i, r)
+			}
+		}
+	}
+	// Steady-state allocation stays tiny: only incidental bookkeeping, no
+	// per-call column builders.
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := sp.Split(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4 {
+		t.Fatalf("steady-state Split allocates %.1f objects per call", allocs)
+	}
+}
+
+// TestSplitterSchemaChangeRebuilds covers loads of different column subsets
+// through one splitter: a schema change must rebuild the builders, not
+// misinterpret the old ones.
+func TestSplitterSchemaChangeRebuilds(t *testing.T) {
+	sp, err := NewSplitter(Segmentation{Kind: SegRoundRobin}, schema(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Split(makeBatch(t, 10)); err != nil {
+		t.Fatal(err)
+	}
+	narrow := colstore.Schema{{Name: "id", Type: colstore.TypeInt64}}
+	nb := colstore.NewBatch(narrow)
+	for i := 0; i < 6; i++ {
+		_ = nb.AppendRow(int64(i))
+	}
+	parts, err := sp.Split(nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parts {
+		if !p.Schema.Equal(narrow) {
+			t.Fatalf("node %d kept the old schema", i)
+		}
+		if p.Len() != 3 {
+			t.Fatalf("node %d rows = %d", i, p.Len())
+		}
+	}
+}

@@ -42,7 +42,13 @@ func (e Encoding) String() string {
 
 // EncodeBlock serializes a vector with the chosen encoding.
 func EncodeBlock(v *Vector, enc Encoding) ([]byte, error) {
-	buf := make([]byte, 0, 16+v.Len()*8)
+	return AppendBlock(make([]byte, 0, 16+v.Len()*8), v, enc)
+}
+
+// AppendBlock appends the block encoding of v to buf and returns the extended
+// slice. With a buf of sufficient capacity the encode allocates nothing; this
+// is the form the pooled transfer path uses.
+func AppendBlock(buf []byte, v *Vector, enc Encoding) ([]byte, error) {
 	buf = append(buf, byte(v.Type), byte(enc))
 	buf = binary.AppendUvarint(buf, uint64(v.Len()))
 	var err error
@@ -256,36 +262,65 @@ func DecodeBlock(data []byte) (*Vector, error) {
 	default:
 		return nil, fmt.Errorf("colstore: unknown type byte %d", data[0])
 	}
+	// Clamp the capacity hint: appends grow as needed, and a header may not
+	// commit the decoder to a huge allocation before payload validation.
+	hint := 0
+	if count, m := binary.Uvarint(data[2:]); m > 0 && count <= MaxBlockRows {
+		hint = int(count)
+		if hint > DefaultBlockRows {
+			hint = DefaultBlockRows
+		}
+	}
+	v := NewVector(typ, hint)
+	if err := DecodeBlockInto(v, data); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// DecodeBlockInto decodes a block produced by EncodeBlock, appending the rows
+// to v (which the caller typically Resets first). The block's type byte must
+// match v.Type. This is the reuse form of DecodeBlock: with a vector of
+// sufficient capacity the decode allocates nothing beyond string payloads.
+// The same corruption guarantees apply — errors, never panics.
+func DecodeBlockInto(v *Vector, data []byte) error {
+	if len(data) < 3 {
+		return fmt.Errorf("colstore: block too short (%d bytes)", len(data))
+	}
+	typ := Type(data[0])
+	switch typ {
+	case TypeInt64, TypeFloat64, TypeString, TypeBool:
+	default:
+		return fmt.Errorf("colstore: unknown type byte %d", data[0])
+	}
+	if typ != v.Type {
+		return fmt.Errorf("colstore: decode %v block into %v vector", typ, v.Type)
+	}
 	enc := Encoding(data[1])
 	rest := data[2:]
 	count, m := binary.Uvarint(rest)
 	if m <= 0 {
-		return nil, fmt.Errorf("colstore: corrupt block header")
+		return fmt.Errorf("colstore: corrupt block header")
 	}
 	if count > MaxBlockRows {
-		return nil, fmt.Errorf("colstore: block claims %d rows (max %d)", count, MaxBlockRows)
+		return fmt.Errorf("colstore: block claims %d rows (max %d)", count, MaxBlockRows)
 	}
 	rest = rest[m:]
 	n := int(count)
-	// Clamp the capacity hint: appends grow as needed, and a header may not
-	// commit the decoder to a huge allocation before payload validation.
-	hint := n
-	if hint > DefaultBlockRows {
-		hint = DefaultBlockRows
-	}
-	v := NewVector(typ, hint)
+	var err error
 	switch enc {
 	case EncPlain:
-		return decodePlain(v, rest, n)
+		_, err = decodePlain(v, rest, n)
 	case EncRLE:
-		return decodeRLE(v, rest, n)
+		_, err = decodeRLE(v, rest, n)
 	case EncDelta:
-		return decodeDelta(v, rest, n)
+		_, err = decodeDelta(v, rest, n)
 	case EncDict:
-		return decodeDict(v, rest, n)
+		_, err = decodeDict(v, rest, n)
 	default:
-		return nil, fmt.Errorf("colstore: unknown encoding byte %d", data[1])
+		err = fmt.Errorf("colstore: unknown encoding byte %d", data[1])
 	}
+	return err
 }
 
 func decodePlain(v *Vector, rest []byte, n int) (*Vector, error) {

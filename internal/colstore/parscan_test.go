@@ -50,8 +50,7 @@ func collectScan(t testing.TB, seg *Segment, cols []string, pred *Pred, pool *pa
 	var out *Batch
 	consume := func(b *Batch) error {
 		if out == nil {
-			out = b
-			return nil
+			out = NewBatch(b.Schema)
 		}
 		return out.AppendBatch(b)
 	}

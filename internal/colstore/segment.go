@@ -453,7 +453,9 @@ func recordScanTelemetry(st *ScanStats) {
 
 // Scan streams the named columns (nil = all) through fn in batches, applying
 // the optional predicate. The predicate column need not be in the projection.
-// fn receives batches it may retain; they do not alias segment storage.
+// Delivered batches are only valid during the fn call: the scanner reuses
+// decode buffers across blocks, and tail batches are views of live segment
+// storage. fn must copy (not mutate) whatever it keeps.
 func (s *Segment) Scan(cols []string, pred *Pred, fn func(*Batch) error) error {
 	return s.ScanWithStats(cols, pred, nil, fn)
 }
@@ -474,13 +476,19 @@ func (s *Segment) ScanWithStats(cols []string, pred *Pred, st *ScanStats, fn fun
 	}
 	scratch := idxScratch.Get().(*[]int)
 	defer idxScratch.Put(scratch)
+	// Without a predicate every block decodes whole, so one scratch batch
+	// serves all blocks: fn must not retain delivered batches (see Scan).
+	var reuse *Batch
+	if pred == nil {
+		reuse = NewBatch(plan.outSchema)
+	}
 	for bi := 0; bi < plan.nblocks; bi++ {
 		if pred != nil && plan.predIdx >= 0 && !pred.blockMayMatch(s.sealed[plan.predIdx][bi]) {
 			st.BlocksSkipped++ // zone-map skip
 			continue
 		}
 		st.BlocksScanned++
-		batch, err := s.decodeBlockRow(bi, plan, pred, st, scratch)
+		batch, err := s.decodeBlockRow(bi, plan, pred, st, scratch, reuse)
 		if err != nil {
 			return err
 		}
@@ -553,7 +561,9 @@ func (s *Segment) ParScanWithStats(cols []string, pred *Pred, pool *parallel.Poo
 			var bs ScanStats
 			bs.BlocksScanned = 1
 			scratch := idxScratch.Get().(*[]int)
-			batch, err := s.decodeBlockRow(scan[i], plan, pred, &bs, scratch)
+			// Parallel decode: blocks are delivered out of goroutine, so no
+			// scratch-batch reuse here — each block owns its vectors.
+			batch, err := s.decodeBlockRow(scan[i], plan, pred, &bs, scratch, nil)
 			idxScratch.Put(scratch)
 			if err != nil {
 				return blockOut{}, err
@@ -576,7 +586,19 @@ func (s *Segment) ParScanWithStats(cols []string, pred *Pred, pool *parallel.Poo
 	return s.scanTail(plan, pred, st, scratch, fn)
 }
 
-func (s *Segment) decodeBlockRow(bi int, plan *scanPlan, pred *Pred, st *ScanStats, scratch *[]int) (*Batch, error) {
+func (s *Segment) decodeBlockRow(bi int, plan *scanPlan, pred *Pred, st *ScanStats, scratch *[]int, reuse *Batch) (*Batch, error) {
+	if pred == nil && reuse != nil {
+		// Hot path: decode every projected column into the caller's scratch
+		// batch, reused block over block.
+		reuse.Reset()
+		for i, ci := range plan.colIdx {
+			st.BytesRead += len(s.sealed[ci][bi].data)
+			if err := DecodeBlockInto(reuse.Cols[i], s.sealed[ci][bi].data); err != nil {
+				return nil, err
+			}
+		}
+		return reuse, nil
+	}
 	var matchIdx []int
 	if pred != nil {
 		st.BytesRead += len(s.sealed[plan.predIdx][bi].data)
@@ -624,11 +646,11 @@ func filterProject(b *Batch, colIdx []int, outSchema Schema, predIdx int, pred *
 		if matchIdx != nil {
 			v = v.Gather(matchIdx)
 		} else {
-			nv := NewVector(v.Type, v.Len())
-			if err := nv.AppendVector(v); err != nil {
-				return nil, err
-			}
-			v = nv
+			// No predicate: deliver a [0, len) view of the tail column.
+			// Tail storage is append-only (new rows land past the view),
+			// and scan consumers never mutate delivered batches, so the
+			// view stays stable without copying the whole tail per scan.
+			v = v.Slice(0, v.Len())
 		}
 		out.Cols[i] = v
 	}
@@ -643,13 +665,13 @@ func emptyCols(schema Schema) []*Vector {
 	return out
 }
 
-// ReadAll materializes the whole segment (projection cols, nil = all).
+// ReadAll materializes the whole segment (projection cols, nil = all) into
+// an owned batch (scan batches themselves are transient views).
 func (s *Segment) ReadAll(cols []string) (*Batch, error) {
 	var out *Batch
 	err := s.Scan(cols, nil, func(b *Batch) error {
 		if out == nil {
-			out = b
-			return nil
+			out = NewBatch(b.Schema)
 		}
 		return out.AppendBatch(b)
 	})

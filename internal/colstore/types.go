@@ -132,6 +132,15 @@ func NewVector(t Type, n int) *Vector {
 	return v
 }
 
+// Reset truncates the vector to zero length, keeping the backing capacity so
+// pooled vectors can be refilled without reallocating.
+func (v *Vector) Reset() {
+	v.Ints = v.Ints[:0]
+	v.Floats = v.Floats[:0]
+	v.Strs = v.Strs[:0]
+	v.Bools = v.Bools[:0]
+}
+
 // FloatVector wraps a float64 slice as a vector without copying.
 func FloatVector(vals []float64) *Vector { return &Vector{Type: TypeFloat64, Floats: vals} }
 
@@ -225,20 +234,47 @@ func (v *Vector) AppendVector(other *Vector) error {
 	return nil
 }
 
-// Slice returns a view of rows [i, j) sharing the backing arrays.
-func (v *Vector) Slice(i, j int) *Vector {
-	out := &Vector{Type: v.Type}
+// AppendRange appends rows [lo, hi) of src, like AppendVector over a slice
+// view but without materializing the view.
+func (v *Vector) AppendRange(src *Vector, lo, hi int) error {
+	if v.Type != src.Type {
+		return fmt.Errorf("colstore: append %v range onto %v", src.Type, v.Type)
+	}
 	switch v.Type {
 	case TypeInt64:
-		out.Ints = v.Ints[i:j]
+		v.Ints = append(v.Ints, src.Ints[lo:hi]...)
 	case TypeFloat64:
-		out.Floats = v.Floats[i:j]
+		v.Floats = append(v.Floats, src.Floats[lo:hi]...)
 	case TypeString:
-		out.Strs = v.Strs[i:j]
+		v.Strs = append(v.Strs, src.Strs[lo:hi]...)
 	case TypeBool:
-		out.Bools = v.Bools[i:j]
+		v.Bools = append(v.Bools, src.Bools[lo:hi]...)
 	}
+	return nil
+}
+
+// Slice returns a view of rows [i, j) sharing the backing arrays.
+func (v *Vector) Slice(i, j int) *Vector {
+	out := &Vector{}
+	v.SliceInto(out, i, j)
 	return out
+}
+
+// SliceInto overwrites dst with a [i, j) view of v sharing the backing
+// arrays — Slice without the allocation, for callers that reuse one view
+// header across iterations.
+func (v *Vector) SliceInto(dst *Vector, i, j int) {
+	*dst = Vector{Type: v.Type}
+	switch v.Type {
+	case TypeInt64:
+		dst.Ints = v.Ints[i:j]
+	case TypeFloat64:
+		dst.Floats = v.Floats[i:j]
+	case TypeString:
+		dst.Strs = v.Strs[i:j]
+	case TypeBool:
+		dst.Bools = v.Bools[i:j]
+	}
 }
 
 // Gather returns a new vector of the rows selected by idx, in idx order.
@@ -265,6 +301,34 @@ func (v *Vector) Gather(idx []int) *Vector {
 	return out
 }
 
+// AppendGather appends src's rows selected by idx, in idx order. It is the
+// appending form of Gather, used where the destination vector is reused
+// across calls.
+func (v *Vector) AppendGather(src *Vector, idx []int) error {
+	if v.Type != src.Type {
+		return fmt.Errorf("colstore: gather %v vector into %v vector", src.Type, v.Type)
+	}
+	switch v.Type {
+	case TypeInt64:
+		for _, i := range idx {
+			v.Ints = append(v.Ints, src.Ints[i])
+		}
+	case TypeFloat64:
+		for _, i := range idx {
+			v.Floats = append(v.Floats, src.Floats[i])
+		}
+	case TypeString:
+		for _, i := range idx {
+			v.Strs = append(v.Strs, src.Strs[i])
+		}
+	case TypeBool:
+		for _, i := range idx {
+			v.Bools = append(v.Bools, src.Bools[i])
+		}
+	}
+	return nil
+}
+
 // Batch is a set of equal-length column vectors with their schema: the unit
 // of data flow through the executor, transfer paths and UDFs.
 type Batch struct {
@@ -279,6 +343,25 @@ func NewBatch(schema Schema) *Batch {
 		b.Cols[i] = NewVector(c.Type, 0)
 	}
 	return b
+}
+
+// NewBatchCap allocates an empty batch for the schema with row-capacity hint
+// n on every column, so callers that know the final size append without
+// regrowing.
+func NewBatchCap(schema Schema, n int) *Batch {
+	b := &Batch{Schema: schema, Cols: make([]*Vector, len(schema))}
+	for i, c := range schema {
+		b.Cols[i] = NewVector(c.Type, n)
+	}
+	return b
+}
+
+// Reset truncates every column to zero rows, keeping schema and capacity —
+// the recycle point for pooled batches.
+func (b *Batch) Reset() {
+	for _, c := range b.Cols {
+		c.Reset()
+	}
 }
 
 // Len returns the row count (the length of the first column; 0 if empty).
@@ -342,6 +425,20 @@ func (b *Batch) Row(i int) []any {
 		out[j] = c.Value(i)
 	}
 	return out
+}
+
+// AppendRange appends rows [lo, hi) of src column by column — the
+// allocation-free equivalent of AppendBatch(src.Slice(lo, hi)).
+func (b *Batch) AppendRange(src *Batch, lo, hi int) error {
+	if len(b.Cols) != len(src.Cols) {
+		return fmt.Errorf("colstore: append range of %d columns onto %d", len(src.Cols), len(b.Cols))
+	}
+	for i, c := range b.Cols {
+		if err := c.AppendRange(src.Cols[i], lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Slice returns a row range [i, j) view of the batch.

@@ -61,6 +61,12 @@ func (f *DFrame) SetWorker(i, worker int) error {
 
 // Fill stores a batch as partition i; all partitions must share a schema
 // (the data-frame conformity check).
+//
+// Fill takes ownership of b: the batch becomes the partition's backing
+// storage without a copy, so the caller must not modify, reuse or recycle it
+// (or its column slices) afterwards. Pooled batches flowing through the vft
+// transfer are therefore copied into a fresh exact-capacity batch before
+// Fill, and only the pooled staging copies return to their pool.
 func (f *DFrame) Fill(i int, b *colstore.Batch) error {
 	if err := b.Validate(); err != nil {
 		return err
@@ -195,15 +201,19 @@ func (f *DFrame) AsDArray(cols []string) (*DArray, error) {
 			return nil, err
 		}
 		m := NewMat(p.Len(), len(cols))
+		// Column-major source into row-major matrix: write through the raw
+		// data slice with an explicit stride, which keeps the inner loop
+		// free of per-element bounds recomputation.
+		stride := m.Cols
 		for j, col := range p.Cols {
 			switch col.Type {
 			case colstore.TypeFloat64:
 				for r, v := range col.Floats {
-					m.Set(r, j, v)
+					m.Data[r*stride+j] = v
 				}
 			case colstore.TypeInt64:
 				for r, v := range col.Ints {
-					m.Set(r, j, float64(v))
+					m.Data[r*stride+j] = float64(v)
 				}
 			default:
 				return nil, fmt.Errorf("darray: column %q is %v, not numeric", cols[j], col.Type)

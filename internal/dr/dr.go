@@ -34,9 +34,11 @@ import (
 // long tasks waited for an executor slot vs. ran, the current in-flight
 // count, and the recovery activity (retries, failovers, dead workers).
 var (
-	mTasks = func(state string) *telemetry.Counter {
-		return telemetry.Default().Counter("dr_tasks_total", telemetry.L("state", state))
-	}
+	// Each state label resolved once: task submission/dispatch is a hot
+	// path and registry lookups format the series key per call.
+	mTasksSubmitted = telemetry.Default().Counter("dr_tasks_total", telemetry.L("state", "submitted"))
+	mTasksRun       = telemetry.Default().Counter("dr_tasks_total", telemetry.L("state", "run"))
+	mTasksRejected  = telemetry.Default().Counter("dr_tasks_total", telemetry.L("state", "rejected"))
 	mWaitNs         = telemetry.Default().Counter("dr_task_wait_nanos_total")
 	mRunNs          = telemetry.Default().Counter("dr_task_run_nanos_total")
 	gActive         = telemetry.Default().Gauge("dr_tasks_active")
@@ -372,25 +374,25 @@ func (w *Worker) rejectErr() error {
 func (w *Worker) submit(fn func(rejected error)) {
 	select {
 	case <-w.done:
-		mTasks("rejected").Inc()
+		mTasksRejected.Inc()
 		fn(w.rejectErr())
 		return
 	case <-w.dead:
-		mTasks("rejected").Inc()
+		mTasksRejected.Inc()
 		fn(w.rejectErr())
 		return
 	default:
 	}
-	mTasks("submitted").Inc()
+	mTasksSubmitted.Inc()
 	queued := telemetry.Default().Now()
 	go func() {
 		select {
 		case <-w.done:
-			mTasks("rejected").Inc()
+			mTasksRejected.Inc()
 			fn(w.rejectErr())
 			return
 		case <-w.dead:
-			mTasks("rejected").Inc()
+			mTasksRejected.Inc()
 			fn(w.rejectErr())
 			return
 		case w.sem <- struct{}{}:
@@ -400,11 +402,11 @@ func (w *Worker) submit(fn func(rejected error)) {
 		// re-check so no task launches on a stopped worker.
 		select {
 		case <-w.done:
-			mTasks("rejected").Inc()
+			mTasksRejected.Inc()
 			fn(w.rejectErr())
 			return
 		case <-w.dead:
-			mTasks("rejected").Inc()
+			mTasksRejected.Inc()
 			fn(w.rejectErr())
 			return
 		default:
@@ -415,7 +417,7 @@ func (w *Worker) submit(fn func(rejected error)) {
 		defer func() {
 			gActive.Add(-1)
 			mRunNs.AddDuration(telemetry.Default().Now() - start)
-			mTasks("run").Inc()
+			mTasksRun.Inc()
 		}()
 		fn(nil)
 	}()

@@ -375,3 +375,183 @@ func TestSQLEscapeInDescriptions(t *testing.T) {
 		t.Fatalf("owner mangled: %q", rows[0][1])
 	}
 }
+
+// --- Bit-pinning: the vectorized scorers against the old row-at-a-time path ---
+
+// referenceRows scores the raw table through gatherRow + the row-at-a-time
+// model scorers — the exact pre-vectorization code path — and returns the
+// multiset of result bit patterns.
+func referenceRows(t *testing.T, db *vertica.DB, query string, score func(row []float64) float64) map[uint64]int {
+	t.Helper()
+	raw, err := db.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]int{}
+	var row []float64
+	for r := 0; r < raw.Len(); r++ {
+		row = gatherRow(row[:0], raw.Batch, r)
+		want[math.Float64bits(score(row))]++
+	}
+	return want
+}
+
+func floatBitsMultiset(vals []float64) map[uint64]int {
+	got := map[uint64]int{}
+	for _, v := range vals {
+		got[math.Float64bits(v)]++
+	}
+	return got
+}
+
+func diffMultisets(t *testing.T, got, want map[uint64]int, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d distinct outputs, reference has %d", label, len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("%s: bit pattern %x seen %d times, reference %d", label, k, got[k], n)
+		}
+	}
+}
+
+// loadMixedTable creates a table with an INTEGER and a FLOAT feature so the
+// block scorer's int→float conversion path is pinned too. Values mix
+// magnitudes and signs, spanning several 2048-row scoring blocks.
+func loadMixedTable(t *testing.T, db *vertica.DB, n int) {
+	t.Helper()
+	if err := db.Exec(`CREATE TABLE mixed (xi INTEGER, yf FLOAT)`); err != nil {
+		t.Fatal(err)
+	}
+	schema := colstore.Schema{
+		{Name: "xi", Type: colstore.TypeInt64},
+		{Name: "yf", Type: colstore.TypeFloat64},
+	}
+	b := colstore.NewBatch(schema)
+	for i := 0; i < n; i++ {
+		_ = b.AppendRow(int64(i%97-48), float64(i)*0.3-0.123*float64(i%13))
+	}
+	if err := db.Load("mixed", b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlmPredictBitsMatchRowPath(t *testing.T) {
+	db, mgr := setup(t, 3)
+	loadMixedTable(t, db, 5000)
+	lm := glmModel() // Gaussian: the LM case
+	logit := &algos.GLMModel{Family: algos.Binomial, Coefficients: []float64{0.1, 0.02, -0.3}}
+	_ = mgr.Deploy("lm", "x", "", lm)
+	_ = mgr.Deploy("logit", "x", "", logit)
+	for name, m := range map[string]*algos.GLMModel{"lm": lm, "logit": logit} {
+		res, err := db.Query(`SELECT GlmPredict(xi, yf USING PARAMETERS model='` + name + `') OVER (PARTITION BEST) FROM mixed`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != 5000 {
+			t.Fatalf("%s: %d rows", name, res.Len())
+		}
+		want := referenceRows(t, db, `SELECT xi, yf FROM mixed`, m.Predict)
+		diffMultisets(t, floatBitsMultiset(res.Batch.Cols[0].Floats), want, name)
+	}
+}
+
+func TestKmeansPredictBitsMatchRowPath(t *testing.T) {
+	db, mgr := setup(t, 3)
+	loadMixedTable(t, db, 4100)
+	m := &algos.KmeansModel{K: 3, Centers: [][]float64{{0, 0}, {-20, 300}, {40, 900}}}
+	_ = mgr.Deploy("km", "x", "", m)
+	res, err := db.Query(`SELECT KmeansPredict(xi, yf USING PARAMETERS model='km') OVER (PARTITION BEST) FROM mixed`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceRows(t, db, `SELECT xi, yf FROM mixed`, func(row []float64) float64 {
+		return float64(m.Assign(row))
+	})
+	got := map[uint64]int{}
+	for _, v := range res.Batch.Cols[0].Ints {
+		got[math.Float64bits(float64(v))]++
+	}
+	diffMultisets(t, got, want, "kmeans")
+}
+
+func TestRfPredictBitsMatchRowPath(t *testing.T) {
+	db, mgr := setup(t, 3)
+	loadMixedTable(t, db, 4100)
+	tree := func(feat int, split, lo, hi float64) algos.Tree {
+		return algos.Tree{Nodes: []algos.TreeNode{
+			{Feature: feat, Split: split, Left: 1, Right: 2},
+			{Feature: -1, Value: lo},
+			{Feature: -1, Value: hi},
+		}}
+	}
+	reg := &algos.ForestModel{
+		Trees:    []algos.Tree{tree(0, 3, 0.125, 7.5), tree(1, 100, -2, 0.33), tree(0, -10, 1, 2)},
+		Features: 2,
+	}
+	clf := &algos.ForestModel{
+		Trees:    append([]algos.Tree{}, reg.Trees...),
+		Classify: true,
+		Features: 2,
+	}
+	_ = mgr.Deploy("rfreg", "x", "", reg)
+	_ = mgr.Deploy("rfclf", "x", "", clf)
+	for name, m := range map[string]*algos.ForestModel{"rfreg": reg, "rfclf": clf} {
+		res, err := db.Query(`SELECT RfPredict(xi, yf USING PARAMETERS model='` + name + `') OVER (PARTITION BEST) FROM mixed`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceRows(t, db, `SELECT xi, yf FROM mixed`, m.Predict)
+		diffMultisets(t, floatBitsMultiset(res.Batch.Cols[0].Floats), want, name)
+	}
+}
+
+// TestPredictPartitionByBitsMatchRowPath pins the PARTITION BY path: rows
+// route through per-group partitions (and the AppendWriter merge), yet every
+// prediction bit must still match the row-at-a-time reference.
+func TestPredictPartitionByBitsMatchRowPath(t *testing.T) {
+	db, mgr := setup(t, 2)
+	if err := db.Exec(`CREATE TABLE gm (k INTEGER, xi INTEGER, yf FLOAT)`); err != nil {
+		t.Fatal(err)
+	}
+	schema := colstore.Schema{
+		{Name: "k", Type: colstore.TypeInt64},
+		{Name: "xi", Type: colstore.TypeInt64},
+		{Name: "yf", Type: colstore.TypeFloat64},
+	}
+	b := colstore.NewBatch(schema)
+	for i := 0; i < 900; i++ {
+		_ = b.AppendRow(int64(i%7), int64(i-450), float64(i)*1.75-3)
+	}
+	if err := db.Load("gm", b); err != nil {
+		t.Fatal(err)
+	}
+	m := glmModel()
+	km := &algos.KmeansModel{K: 2, Centers: [][]float64{{0, 0}, {100, 700}}}
+	_ = mgr.Deploy("reg", "x", "", m)
+	_ = mgr.Deploy("km", "x", "", km)
+
+	res, err := db.Query(`SELECT GlmPredict(xi, yf USING PARAMETERS model='reg') OVER (PARTITION BY k) FROM gm`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 900 {
+		t.Fatalf("rows = %d", res.Len())
+	}
+	want := referenceRows(t, db, `SELECT xi, yf FROM gm`, m.Predict)
+	diffMultisets(t, floatBitsMultiset(res.Batch.Cols[0].Floats), want, "glm partition-by")
+
+	kres, err := db.Query(`SELECT KmeansPredict(xi, yf USING PARAMETERS model='km') OVER (PARTITION BY k) FROM gm`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kwant := referenceRows(t, db, `SELECT xi, yf FROM gm`, func(row []float64) float64 {
+		return float64(km.Assign(row))
+	})
+	kgot := map[uint64]int{}
+	for _, v := range kres.Batch.Cols[0].Ints {
+		kgot[math.Float64bits(float64(v))]++
+	}
+	diffMultisets(t, kgot, kwant, "kmeans partition-by")
+}

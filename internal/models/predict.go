@@ -8,11 +8,22 @@ import (
 	"verticadr/internal/udf"
 )
 
+// predictBlockRows is the scoring block size: column-major blocks of 2048
+// rows, matching the IRLS chunk size, so feature slices stay cache-resident
+// while each model coefficient/center/tree streams over them.
+const predictBlockRows = 2048
+
 // predictUDF is the shared implementation behind KmeansPredict, GlmPredict
 // and RfPredict (§5, Fig. 11). Each parallel instance fetches the named
 // model from DFS (local replica preferred), deserializes it once, and scores
 // its partition of rows. `want` documents the expected family; a model of a
 // different family is rejected with a clear error.
+//
+// Scoring is vectorized: rows are processed in column-major blocks through
+// the algos block scorers (bit-identical to the row-at-a-time scorers), and
+// when the writer supports the ReusableWriter contract the output batch and
+// its prediction slice are reused across blocks, making the steady-state
+// scoring loop allocation-free.
 type predictUDF struct {
 	want string
 }
@@ -59,11 +70,36 @@ func (p predictUDF) ProcessPartition(ctx *udf.Ctx, in udf.BatchReader, out udf.B
 	if err != nil {
 		return err
 	}
-	scorer, dims, err := p.scorer(model, kind)
+	score, assign, dims, err := p.blockScorer(model, kind)
 	if err != nil {
 		return err
 	}
-	row := make([]float64, 0, 16)
+
+	kmeans := p.want == TypeKmeans
+	var outSchema colstore.Schema
+	if kmeans {
+		outSchema = colstore.Schema{{Name: "cluster", Type: colstore.TypeInt64}}
+	} else {
+		outSchema = colstore.Schema{{Name: "prediction", Type: colstore.TypeFloat64}}
+	}
+	// Pooled output: when the writer consumes rows synchronously (the
+	// ReusableWriter contract), one output batch and one prediction slice
+	// serve every block. A retaining writer gets fresh slices instead.
+	_, reusable := out.(udf.ReusableWriter)
+	var reuseBatch *colstore.Batch
+	var fscratch []float64
+	var iscratch []int64
+	if reusable {
+		reuseBatch = &colstore.Batch{Schema: outSchema, Cols: []*colstore.Vector{{Type: outSchema[0].Type}}}
+		if kmeans {
+			iscratch = make([]int64, predictBlockRows)
+		} else {
+			fscratch = make([]float64, predictBlockRows)
+		}
+	}
+
+	feat := make([][]float64, 0, 8) // column views for the current block
+	var conv [][]float64            // per-column int→float conversion scratch
 	for {
 		b, err := in.Next()
 		if err != nil {
@@ -75,62 +111,96 @@ func (p predictUDF) ProcessPartition(ctx *udf.Ctx, in udf.BatchReader, out udf.B
 		if dims > 0 && len(b.Cols) != dims {
 			return fmt.Errorf("models: model %q expects %d features, query passed %d", name, dims, len(b.Cols))
 		}
+		if conv == nil {
+			conv = make([][]float64, len(b.Cols))
+		}
 		n := b.Len()
-		if p.want == TypeKmeans {
-			preds := make([]int64, n)
-			for r := 0; r < n; r++ {
-				row = gatherRow(row[:0], b, r)
-				preds[r] = int64(scorer(row))
+		for lo := 0; lo < n; lo += predictBlockRows {
+			hi := lo + predictBlockRows
+			if hi > n {
+				hi = n
 			}
-			ob := &colstore.Batch{
-				Schema: colstore.Schema{{Name: "cluster", Type: colstore.TypeInt64}},
-				Cols:   []*colstore.Vector{colstore.IntVector(preds)},
+			rows := hi - lo
+			// Column-major feature views: float columns are zero-copy
+			// subslices; integer columns convert once per block into reused
+			// scratch (the same float64(int) widening gatherRow applied).
+			feat = feat[:0]
+			for j, col := range b.Cols {
+				switch col.Type {
+				case colstore.TypeFloat64:
+					feat = append(feat, col.Floats[lo:hi])
+				case colstore.TypeInt64:
+					if cap(conv[j]) < rows {
+						conv[j] = make([]float64, predictBlockRows)
+					}
+					dst := conv[j][:rows]
+					for i, v := range col.Ints[lo:hi] {
+						dst[i] = float64(v)
+					}
+					feat = append(feat, dst)
+				}
 			}
-			if err := out.Write(ob); err != nil {
+			var ob *colstore.Batch
+			if kmeans {
+				preds := iscratch
+				if !reusable {
+					preds = make([]int64, rows)
+				}
+				preds = preds[:rows]
+				assign(feat, preds)
+				if reusable {
+					reuseBatch.Cols[0].Ints = preds
+					ob = reuseBatch
+				} else {
+					ob = &colstore.Batch{Schema: outSchema, Cols: []*colstore.Vector{colstore.IntVector(preds)}}
+				}
+			} else {
+				preds := fscratch
+				if !reusable {
+					preds = make([]float64, rows)
+				}
+				preds = preds[:rows]
+				score(feat, preds)
+				if reusable {
+					reuseBatch.Cols[0].Floats = preds
+					ob = reuseBatch
+				} else {
+					ob = &colstore.Batch{Schema: outSchema, Cols: []*colstore.Vector{colstore.FloatVector(preds)}}
+				}
+			}
+			if _, err := udf.WriteMaybeReuse(out, ob); err != nil {
 				return err
 			}
-			continue
-		}
-		preds := make([]float64, n)
-		for r := 0; r < n; r++ {
-			row = gatherRow(row[:0], b, r)
-			preds[r] = scorer(row)
-		}
-		ob := &colstore.Batch{
-			Schema: colstore.Schema{{Name: "prediction", Type: colstore.TypeFloat64}},
-			Cols:   []*colstore.Vector{colstore.FloatVector(preds)},
-		}
-		if err := out.Write(ob); err != nil {
-			return err
 		}
 	}
 }
 
-// scorer adapts the concrete model to a row-scoring closure and reports the
-// expected feature count (0 = unchecked).
-func (p predictUDF) scorer(model any, kind string) (func([]float64) float64, int, error) {
+// blockScorer adapts the concrete model to column-major block scorers and
+// reports the expected feature count (0 = unchecked). Exactly one of score /
+// assign is non-nil, matching the UDF's output type.
+func (p predictUDF) blockScorer(model any, kind string) (score func([][]float64, []float64), assign func([][]float64, []int64), dims int, err error) {
 	switch m := model.(type) {
 	case *algos.KmeansModel:
 		if p.want != TypeKmeans {
-			return nil, 0, fmt.Errorf("models: %s applied to a kmeans model", p.funcName())
+			return nil, nil, 0, fmt.Errorf("models: %s applied to a kmeans model", p.funcName())
 		}
-		dims := 0
 		if len(m.Centers) > 0 {
 			dims = len(m.Centers[0])
 		}
-		return func(row []float64) float64 { return float64(m.Assign(row)) }, dims, nil
+		var sc algos.AssignScratch
+		return nil, func(cols [][]float64, out []int64) { m.AssignBlock(cols, out, &sc) }, dims, nil
 	case *algos.GLMModel:
 		if p.want != TypeGLM {
-			return nil, 0, fmt.Errorf("models: %s applied to a %s model", p.funcName(), kind)
+			return nil, nil, 0, fmt.Errorf("models: %s applied to a %s model", p.funcName(), kind)
 		}
-		return m.Predict, len(m.Coefficients) - 1, nil
+		return m.PredictBlock, nil, len(m.Coefficients) - 1, nil
 	case *algos.ForestModel:
 		if p.want != TypeRandomForest {
-			return nil, 0, fmt.Errorf("models: %s applied to a randomforest model", p.funcName())
+			return nil, nil, 0, fmt.Errorf("models: %s applied to a randomforest model", p.funcName())
 		}
-		return m.Predict, m.Features, nil
+		return m.PredictBlock, nil, m.Features, nil
 	default:
-		return nil, 0, fmt.Errorf("models: cannot score model of type %T", model)
+		return nil, nil, 0, fmt.Errorf("models: cannot score model of type %T", model)
 	}
 }
 
@@ -145,6 +215,9 @@ func (p predictUDF) funcName() string {
 	}
 }
 
+// gatherRow is the row-at-a-time feature marshaller of the pre-vectorized
+// scorer, kept as the reference implementation the bit-pinning tests score
+// against.
 func gatherRow(dst []float64, b *colstore.Batch, r int) []float64 {
 	for _, col := range b.Cols {
 		switch col.Type {

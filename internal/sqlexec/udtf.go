@@ -101,12 +101,24 @@ func runUDTF(db Database, sel *sqlparse.Select, fc *sqlparse.FuncCall, prof *Pro
 			if k > n {
 				k = n
 			}
+			// Slab-allocate the k partition views (instead of k Batch.Slice
+			// calls): three allocations per node regardless of instance count.
+			nc := len(argBatch.Cols)
+			vecs := make([]colstore.Vector, k*nc)
+			ptrs := make([]*colstore.Vector, k*nc)
+			views := make([]colstore.Batch, k)
 			for i := 0; i < k; i++ {
 				lo, hi := i*n/k, (i+1)*n/k
 				if lo == hi {
 					continue
 				}
-				parts = append(parts, partition{node: node, data: argBatch.Slice(lo, hi)})
+				cols := ptrs[i*nc : (i+1)*nc : (i+1)*nc]
+				for c, src := range argBatch.Cols {
+					src.SliceInto(&vecs[i*nc+c], lo, hi)
+					cols[c] = &vecs[i*nc+c]
+				}
+				views[i] = colstore.Batch{Schema: argBatch.Schema, Cols: cols}
+				parts = append(parts, partition{node: node, data: &views[i]})
 			}
 		default: // PARTITION BY
 			groups := map[string][]int{}
@@ -135,16 +147,22 @@ func runUDTF(db Database, sel *sqlparse.Select, fc *sqlparse.FuncCall, prof *Pro
 	scanDone(scanRows, fmt.Sprintf("%d segments, %d blocks scanned, %d KB",
 		len(segs), scanStats.BlocksScanned, scanStats.BytesRead/1024))
 
-	// Run all partitions in parallel (bounded).
+	// Run all partitions in parallel (bounded). Each partition writes into
+	// its own AppendWriter — UDFs that score into pooled batches get the
+	// copy-on-write ReusableWriter path without cross-partition locking —
+	// and the results merge in partition order below, so UDTF output order
+	// is deterministic regardless of goroutine interleaving.
 	udtfDone := prof.startOp("udtf")
-	writer := &udf.CollectWriter{}
+	writers := make([]*udf.AppendWriter, len(parts))
 	sem := make(chan struct{}, maxParallel(len(parts)))
 	errs := make([]error, len(parts))
 	var wg sync.WaitGroup
 	instanceOnNode := map[int]int{}
+	services := db.Services() // snapshot once; instances only read it
 	for i, p := range parts {
 		inst := instanceOnNode[p.node]
 		instanceOnNode[p.node]++
+		writers[i] = udf.NewAppendWriter(outSchema)
 		wg.Add(1)
 		go func(i int, p partition, inst int) {
 			defer wg.Done()
@@ -155,10 +173,10 @@ func runUDTF(db Database, sel *sqlparse.Select, fc *sqlparse.FuncCall, prof *Pro
 				NodeID:   p.node,
 				NumNodes: len(segs),
 				Instance: inst,
-				Services: db.Services(),
+				Services: services,
 			}
 			tf := factory()
-			errs[i] = tf.ProcessPartition(ctx, streamReader(p.data), writer)
+			errs[i] = tf.ProcessPartition(ctx, streamReader(p.data), writers[i])
 		}(i, p, inst)
 	}
 	wg.Wait()
@@ -167,9 +185,15 @@ func runUDTF(db Database, sel *sqlparse.Select, fc *sqlparse.FuncCall, prof *Pro
 			return nil, e
 		}
 	}
-	merged, err := writer.Result(outSchema)
-	if err != nil {
-		return nil, err
+	rows := 0
+	for _, w := range writers {
+		rows += w.Out.Len()
+	}
+	merged := colstore.NewBatchCap(outSchema, rows)
+	for _, w := range writers {
+		if err := merged.AppendBatch(w.Out); err != nil {
+			return nil, err
+		}
 	}
 	udtfDone(int64(merged.Len()), fmt.Sprintf("%s over %d partitions", fc.Name, len(parts)))
 	return finishSelect(merged, sel, prof)
@@ -186,18 +210,41 @@ func maxParallel(n int) int {
 }
 
 // streamReader feeds a batch to the UDF in storage-sized chunks so transforms
-// see a stream rather than one giant batch.
+// see a stream rather than one giant batch. One view batch (and its column
+// headers) is reused across Next calls — allowed by the BatchReader contract,
+// which only guarantees a batch until the next call.
 func streamReader(b *colstore.Batch) udf.BatchReader {
-	const chunk = colstore.DefaultBlockRows
-	var batches []*colstore.Batch
-	for lo := 0; lo < b.Len(); lo += chunk {
-		hi := lo + chunk
-		if hi > b.Len() {
-			hi = b.Len()
-		}
-		batches = append(batches, b.Slice(lo, hi))
+	return &viewReader{src: b}
+}
+
+type viewReader struct {
+	src  *colstore.Batch
+	off  int
+	hdrs []colstore.Vector
+	view colstore.Batch
+}
+
+func (r *viewReader) Next() (*colstore.Batch, error) {
+	if r.off >= r.src.Len() {
+		return nil, nil
 	}
-	return udf.NewSliceReader(batches...)
+	hi := r.off + colstore.DefaultBlockRows
+	if hi > r.src.Len() {
+		hi = r.src.Len()
+	}
+	if r.hdrs == nil {
+		r.hdrs = make([]colstore.Vector, len(r.src.Cols))
+		cols := make([]*colstore.Vector, len(r.src.Cols))
+		for i := range r.hdrs {
+			cols[i] = &r.hdrs[i]
+		}
+		r.view = colstore.Batch{Schema: r.src.Schema, Cols: cols}
+	}
+	for i, c := range r.src.Cols {
+		c.SliceInto(&r.hdrs[i], r.off, hi)
+	}
+	r.off = hi
+	return &r.view, nil
 }
 
 func readSegment(seg *colstore.Segment, cols []string, schema colstore.Schema, st *colstore.ScanStats) (*colstore.Batch, error) {

@@ -91,14 +91,36 @@ func (c *Ctx) Service(name string) (any, error) {
 }
 
 // BatchReader streams a partition's rows to the UDF. Next returns nil at the
-// end of the partition.
+// end of the partition. The returned batch is only valid until the next Next
+// call — readers may reuse the batch and its column headers; a UDF that
+// needs rows later must copy them.
 type BatchReader interface {
 	Next() (*colstore.Batch, error)
 }
 
-// BatchWriter receives the UDF's output rows.
+// BatchWriter receives the UDF's output rows. Write retains the batch: the
+// caller must hand over ownership and not modify it afterwards.
 type BatchWriter interface {
 	Write(*colstore.Batch) error
+}
+
+// ReusableWriter is an optional BatchWriter extension for pooled output
+// batches: WriteReusable consumes the rows synchronously (copying what it
+// keeps), so when it returns the caller may reset and reuse the batch and
+// its backing arrays. Writers that retain batches (CollectWriter) must not
+// implement it.
+type ReusableWriter interface {
+	WriteReusable(*colstore.Batch) error
+}
+
+// WriteMaybeReuse writes b through w, preferring the reusable path. The
+// returned bool reports whether the caller still owns b (true: reuse away;
+// false: w retained it and the caller must allocate a fresh batch).
+func WriteMaybeReuse(w BatchWriter, b *colstore.Batch) (bool, error) {
+	if rw, ok := w.(ReusableWriter); ok {
+		return true, rw.WriteReusable(b)
+	}
+	return false, w.Write(b)
 }
 
 // Transform is a user-defined transform function (Vertica UDTF).
@@ -217,6 +239,33 @@ func (c *CollectWriter) Result(schema colstore.Schema) (*colstore.Batch, error) 
 	}
 	return out, nil
 }
+
+// AppendWriter accumulates written rows by value into one owned batch. It
+// implements ReusableWriter (every write copies), making it the natural
+// sink for UDFs that score into pooled batches. Not safe for concurrent
+// use: give each partition its own AppendWriter and merge the results in
+// partition order for deterministic output.
+type AppendWriter struct {
+	Out *colstore.Batch
+}
+
+// NewAppendWriter returns a writer accumulating into an empty batch of the
+// given schema.
+func NewAppendWriter(schema colstore.Schema) *AppendWriter {
+	return &AppendWriter{Out: colstore.NewBatch(schema)}
+}
+
+// Write implements BatchWriter; the batch is copied, never retained.
+func (a *AppendWriter) Write(b *colstore.Batch) error {
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("udf: output batch invalid: %w", err)
+	}
+	return a.Out.AppendBatch(b)
+}
+
+// WriteReusable implements ReusableWriter: identical to Write, because Write
+// already copies.
+func (a *AppendWriter) WriteReusable(b *colstore.Batch) error { return a.Write(b) }
 
 // FuncWriter adapts a function to a BatchWriter.
 type FuncWriter func(*colstore.Batch) error

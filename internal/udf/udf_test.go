@@ -173,3 +173,54 @@ func TestSliceReaderExhaustion(t *testing.T) {
 		t.Fatal("empty reader should return nil, nil")
 	}
 }
+
+func TestAppendWriterCopiesAndReuses(t *testing.T) {
+	schema := colstore.Schema{{Name: "p", Type: colstore.TypeFloat64}}
+	w := NewAppendWriter(schema)
+	preds := []float64{1.5, 2.5}
+	b := &colstore.Batch{Schema: schema, Cols: []*colstore.Vector{colstore.FloatVector(preds)}}
+
+	reused, err := WriteMaybeReuse(w, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused {
+		t.Fatal("AppendWriter implements ReusableWriter; caller should keep ownership")
+	}
+	// Caller reuses the same backing array for the next block — the writer
+	// must have copied, not retained.
+	preds[0], preds[1] = -7, -8
+	if _, err := WriteMaybeReuse(w, b); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 2.5, -7, -8}
+	if w.Out.Len() != len(want) {
+		t.Fatalf("accumulated %d rows, want %d", w.Out.Len(), len(want))
+	}
+	for i, v := range want {
+		if w.Out.Cols[0].Floats[i] != v {
+			t.Fatalf("row %d = %v, want %v", i, w.Out.Cols[0].Floats[i], v)
+		}
+	}
+	// Invalid batches are rejected on both paths.
+	bad := &colstore.Batch{Schema: schema, Cols: []*colstore.Vector{colstore.IntVector([]int64{1})}}
+	if err := w.Write(bad); err == nil {
+		t.Fatal("mistyped batch should fail validation")
+	}
+}
+
+func TestWriteMaybeReuseRetainingWriter(t *testing.T) {
+	schema := colstore.Schema{{Name: "p", Type: colstore.TypeFloat64}}
+	c := &CollectWriter{}
+	b := &colstore.Batch{Schema: schema, Cols: []*colstore.Vector{colstore.FloatVector([]float64{1})}}
+	reused, err := WriteMaybeReuse(c, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatal("CollectWriter retains batches; caller must not reuse")
+	}
+	if len(c.Batches) != 1 || c.Batches[0] != b {
+		t.Fatal("batch was not retained as written")
+	}
+}

@@ -1,0 +1,100 @@
+package vft
+
+import (
+	"testing"
+
+	"verticadr/internal/colstore"
+)
+
+// fuzzSchemas are the schemas FuzzDecodeChunk decodes against, indexed by
+// the selector byte. They cover single- and multi-column shapes and every
+// column type.
+func fuzzSchemas() []colstore.Schema {
+	return []colstore.Schema{
+		{{Name: "id", Type: colstore.TypeInt64}},
+		{{Name: "x", Type: colstore.TypeFloat64}},
+		{
+			{Name: "id", Type: colstore.TypeInt64},
+			{Name: "a", Type: colstore.TypeFloat64},
+			{Name: "b", Type: colstore.TypeFloat64},
+		},
+		{
+			{Name: "s", Type: colstore.TypeString},
+			{Name: "ok", Type: colstore.TypeBool},
+		},
+	}
+}
+
+// FuzzDecodeChunk hardens the chunk decoder against hostile frames:
+// truncated column blocks, oversized length prefixes, wrong column counts,
+// and garbage payloads must return an error (never panic, never allocate
+// unboundedly), and anything that does decode must validate and agree with
+// the one-shot DecodeChunk.
+func FuzzDecodeChunk(f *testing.F) {
+	// Valid chunks for each schema shape as seeds.
+	mk := func(schema colstore.Schema, rows ...[]any) []byte {
+		b := colstore.NewBatch(schema)
+		for _, r := range rows {
+			if err := b.AppendRow(r...); err != nil {
+				panic(err)
+			}
+		}
+		msg, err := EncodeChunk(b)
+		if err != nil {
+			panic(err)
+		}
+		return msg
+	}
+	schemas := fuzzSchemas()
+	f.Add(uint8(0), mk(schemas[0], []any{int64(1)}, []any{int64(2)}))
+	f.Add(uint8(1), mk(schemas[1], []any{3.5}))
+	f.Add(uint8(2), mk(schemas[2], []any{int64(7), 0.5, -1.0}))
+	f.Add(uint8(3), mk(schemas[3], []any{"hello", true}, []any{"", false}))
+	valid := mk(schemas[0], []any{int64(9)})
+	f.Add(uint8(0), valid[:len(valid)/2])                                // truncated mid-block
+	f.Add(uint8(0), []byte{})                                            // empty frame
+	f.Add(uint8(0), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x0f})          // huge ncols varint
+	f.Add(uint8(2), append([]byte{3, 0xff, 0xff, 0xff, 0x7f}, valid...)) // oversized column length
+	f.Add(uint8(1), mk(schemas[0], []any{int64(1)}))                     // type mismatch vs schema
+
+	f.Fuzz(func(t *testing.T, schemaSel uint8, msg []byte) {
+		schema := fuzzSchemas()[int(schemaSel)%len(fuzzSchemas())]
+		got, err := DecodeChunk(msg, schema)
+		if err != nil {
+			return
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("decoded chunk fails validation: %v", verr)
+		}
+		// The into-form over a recycled batch must agree with the one-shot
+		// decode: same row count, same schema.
+		dst := colstore.NewBatch(schema)
+		_ = dst.AppendRow(rowOf(schema)...) // dirty the destination
+		dst.Reset()
+		if err := DecodeChunkInto(dst, msg); err != nil {
+			t.Fatalf("DecodeChunkInto rejects what DecodeChunk accepted: %v", err)
+		}
+		if dst.Len() != got.Len() {
+			t.Fatalf("DecodeChunkInto decoded %d rows, DecodeChunk %d", dst.Len(), got.Len())
+		}
+	})
+}
+
+// rowOf builds one arbitrary row matching the schema, used to dirty reused
+// batches before decoding into them.
+func rowOf(schema colstore.Schema) []any {
+	row := make([]any, len(schema))
+	for i, c := range schema {
+		switch c.Type {
+		case colstore.TypeInt64:
+			row[i] = int64(-1)
+		case colstore.TypeFloat64:
+			row[i] = -1.0
+		case colstore.TypeString:
+			row[i] = "dirty"
+		case colstore.TypeBool:
+			row[i] = true
+		}
+	}
+	return row
+}

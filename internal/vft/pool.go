@@ -1,0 +1,77 @@
+package vft
+
+import (
+	"sync"
+
+	"verticadr/internal/colstore"
+	"verticadr/internal/telemetry"
+)
+
+// Buffer and batch pools for the zero-steady-state-allocation transfer path.
+// Encode buffers, TCP frame buffers and decoded staging batches all cycle
+// through here; the hit/miss counters make reuse observable (a healthy
+// steady-state transfer shows hits dominating misses after warm-up).
+//
+// Ownership contract: whoever takes a buffer or batch from the pool owns it
+// until the explicit return point. ChunkSink.Send implementations must not
+// retain msg past the call (the hub decodes eagerly, the TCP client copies
+// into its own frame), which is what lets senders recycle encode buffers the
+// moment Send returns — retransmissions inside Send reuse the still-owned
+// buffer and can never observe a recycled one.
+var (
+	mPoolHit  = telemetry.Default().Counter("vft_pool_hit_total")
+	mPoolMiss = telemetry.Default().Counter("vft_pool_miss_total")
+)
+
+// maxPooledBuf caps the byte buffers kept for reuse so one oversized chunk
+// cannot pin arbitrary memory in the pool.
+const maxPooledBuf = 8 << 20
+
+// initialBufCap sizes fresh buffers for a default-psize chunk of a few
+// numeric columns, so typical transfers never regrow.
+const initialBufCap = 64 << 10
+
+var bufPool sync.Pool // stores *[]byte
+
+// getBuf returns an empty byte buffer from the pool (or a fresh one).
+func getBuf() []byte {
+	if p, ok := bufPool.Get().(*[]byte); ok {
+		mPoolHit.Inc()
+		return (*p)[:0]
+	}
+	mPoolMiss.Inc()
+	return make([]byte, 0, initialBufCap)
+}
+
+// putBuf returns a buffer to the pool. The caller must not use b afterwards.
+func putBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
+
+var batchPool sync.Pool // stores *colstore.Batch
+
+// getBatch returns an empty batch with the given schema, reusing pooled
+// column storage when the pooled batch's schema matches (the common case:
+// one table shape per transfer). A schema mismatch falls back to a fresh
+// allocation rather than rebuilding columns in place.
+func getBatch(schema colstore.Schema) *colstore.Batch {
+	if b, ok := batchPool.Get().(*colstore.Batch); ok && b.Schema.Equal(schema) {
+		mPoolHit.Inc()
+		b.Reset()
+		return b
+	}
+	mPoolMiss.Inc()
+	return colstore.NewBatch(schema)
+}
+
+// putBatch returns a batch to the pool. The caller must not use b afterwards.
+func putBatch(b *colstore.Batch) {
+	if b == nil {
+		return
+	}
+	batchPool.Put(b)
+}

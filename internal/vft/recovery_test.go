@@ -99,17 +99,51 @@ func TestAbortReleasesSession(t *testing.T) {
 	}
 }
 
-func TestFinalizeErrorRemovesSession(t *testing.T) {
+func TestCorruptChunkRejectedAtSend(t *testing.T) {
 	_, c, hub := setup(t, 2, 2)
 	frame, _ := newFrameForTest(c, 2)
 	id := hub.open(frame, idSchema(), PolicyLocality)
-	// Stage garbage: DecodeChunk fails during conversion, finalize errors,
-	// and the session must still be released.
-	if err := hub.Send(id, 0, 0, []byte{0xff, 0xee, 0xdd}, 1, 0); err != nil {
+	// Chunks decode at arrival now, so garbage is rejected by Send itself
+	// (the sender sees the error and can retransmit or fail the export)
+	// instead of poisoning the session until finalize.
+	if err := hub.Send(id, 0, 0, []byte{0xff, 0xee, 0xdd}, 1, 0); err == nil {
+		t.Fatal("send of a corrupt chunk should fail")
+	}
+	// The rejected chunk is not staged: the same (part, seq) can be resent
+	// with valid bytes and the session finalizes normally.
+	if err := hub.Send(id, 0, 0, encodeIDs(t, 7), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Send(id, 1, OrderKey(1, 0, 0), encodeIDs(t, 8), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.finalize(id, c); err != nil {
+		t.Fatal(err)
+	}
+	if hub.Sessions() != 0 {
+		t.Fatal("finalize leaked the session")
+	}
+}
+
+func TestFinalizeErrorRemovesSession(t *testing.T) {
+	_, c, hub := setup(t, 2, 2)
+	frame, _ := newFrameForTest(c, 2)
+	// Pre-fill partition 1 with a different schema: the frame pins its
+	// schema to the first fill, so finalize's Fill of the session's chunks
+	// fails — and the errored finalize must still release the session.
+	pre := colstore.NewBatch(colstore.Schema{{Name: "x", Type: colstore.TypeFloat64}})
+	if err := pre.AppendRow(3.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := frame.Fill(1, pre); err != nil {
+		t.Fatal(err)
+	}
+	id := hub.open(frame, idSchema(), PolicyLocality)
+	if err := hub.Send(id, 0, 0, encodeIDs(t, 1), 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := hub.finalize(id, c); err == nil {
-		t.Fatal("finalize of corrupt chunk should fail")
+		t.Fatal("finalize into a pre-filled partition should fail")
 	}
 	if hub.Sessions() != 0 {
 		t.Fatal("errored finalize leaked the session")

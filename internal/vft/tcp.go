@@ -15,6 +15,10 @@ import (
 // the database and Distributed R can run as separate processes/machines
 // (the paper: "The new transfer mechanism works irrespective of whether R
 // instances are on the same or different nodes as the database").
+//
+// Implementations must not retain msg past the call: the sender owns the
+// buffer and recycles it once Send returns (the pooled-buffer contract; the
+// Hub decodes eagerly, TCPClient copies msg into its own pooled frame).
 type ChunkSink interface {
 	Send(sessionID string, part int, seq uint64, msg []byte, rows int, dbTime time.Duration) error
 }
@@ -93,6 +97,11 @@ func (s *TCPService) acceptLoop(ln net.Listener) {
 }
 
 func (s *TCPService) handle(conn net.Conn) {
+	// One pooled frame buffer per connection, reused across frames: the hub
+	// decodes each chunk before dispatch returns, so no frame outlives its
+	// iteration and the reader is allocation-free in steady state.
+	payload := getBuf()
+	defer func() { putBuf(payload) }()
 	for {
 		var lenBuf [4]byte
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
@@ -103,9 +112,12 @@ func (s *TCPService) handle(conn net.Conn) {
 			writeReply(conn, fmt.Errorf("vft: frame too large (%d bytes)", n))
 			return
 		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
 		// Time the payload read only: the length-prefix read blocks waiting
 		// for the next frame, which is sender idle time, not transfer time.
-		payload := make([]byte, n)
 		start := time.Now()
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
@@ -143,9 +155,10 @@ func (s *TCPService) dispatch(payload []byte, netTime time.Duration) error {
 		return fmt.Errorf("vft: corrupt frame (time)")
 	}
 	rest = rest[m:]
-	chunk := append([]byte(nil), rest...)
+	// No defensive copy: Hub.Send decodes the chunk before returning, so the
+	// connection's reused frame buffer is safe to overwrite afterwards.
 	s.hub.addNet(session, netTime)
-	return s.hub.Send(session, int(part), seq, chunk, int(rows), time.Duration(nanos))
+	return s.hub.Send(session, int(part), seq, rest, int(rows), time.Duration(nanos))
 }
 
 func readString(b []byte) (string, []byte, error) {
@@ -248,19 +261,29 @@ func (c *TCPClient) putConn(addr string, conn net.Conn) {
 // retried on a fresh one after exponential backoff; since the receiver's
 // (part, seq) dedup makes retransmission idempotent, a chunk whose ack was
 // lost in flight is simply sent again.
+//
+// The whole frame — length prefix included — is assembled once into a
+// pooled buffer and written with a single syscall; every retransmission
+// reuses that same frame (Send still owns it), and it returns to the pool
+// only when Send is done with all attempts. msg itself is only read while
+// building the frame, honoring the ChunkSink contract.
 func (c *TCPClient) Send(sessionID string, part int, seq uint64, msg []byte, rows int, dbTime time.Duration) error {
 	if part < 0 || part >= len(c.addrs) {
 		return fmt.Errorf("vft: no listener for partition %d", part)
 	}
 	addr := c.addrs[part]
 
-	payload := binary.AppendUvarint(nil, uint64(len(sessionID)))
-	payload = append(payload, sessionID...)
-	payload = binary.AppendUvarint(payload, uint64(part))
-	payload = binary.AppendUvarint(payload, seq)
-	payload = binary.AppendUvarint(payload, uint64(rows))
-	payload = binary.AppendUvarint(payload, uint64(dbTime.Nanoseconds()))
-	payload = append(payload, msg...)
+	frame := getBuf()
+	defer func() { putBuf(frame) }()
+	frame = append(frame, 0, 0, 0, 0) // u32 payload length, patched below
+	frame = binary.AppendUvarint(frame, uint64(len(sessionID)))
+	frame = append(frame, sessionID...)
+	frame = binary.AppendUvarint(frame, uint64(part))
+	frame = binary.AppendUvarint(frame, seq)
+	frame = binary.AppendUvarint(frame, uint64(rows))
+	frame = binary.AppendUvarint(frame, uint64(dbTime.Nanoseconds()))
+	frame = append(frame, msg...)
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
 
 	var err error
 	backoff := c.backoff()
@@ -270,7 +293,7 @@ func (c *TCPClient) Send(sessionID string, part int, seq uint64, msg []byte, row
 			time.Sleep(backoff)
 			backoff *= 2
 		}
-		if err = c.sendOnce(addr, payload); err == nil {
+		if err = c.sendOnce(addr, frame); err == nil {
 			return nil
 		}
 	}
@@ -280,7 +303,7 @@ func (c *TCPClient) Send(sessionID string, part int, seq uint64, msg []byte, row
 // sendOnce runs one framed request/ack exchange under the per-attempt
 // deadline. The connection is pooled only after a fully clean exchange;
 // any error closes it so a later Send cannot inherit a poisoned stream.
-func (c *TCPClient) sendOnce(addr string, payload []byte) error {
+func (c *TCPClient) sendOnce(addr string, frame []byte) error {
 	conn, err := c.getConn(addr)
 	if err != nil {
 		return fmt.Errorf("vft: dial %s: %w", addr, err)
@@ -297,12 +320,7 @@ func (c *TCPClient) sendOnce(addr string, payload []byte) error {
 		return fmt.Errorf("vft: set deadline: %w", err)
 	}
 
-	var lenBuf [4]byte
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
-	if _, err := conn.Write(lenBuf[:]); err != nil {
-		return fmt.Errorf("vft: send frame: %w", err)
-	}
-	if _, err := conn.Write(payload); err != nil {
+	if _, err := conn.Write(frame); err != nil {
 		return fmt.Errorf("vft: send frame: %w", err)
 	}
 	var status [1]byte

@@ -23,6 +23,7 @@ import (
 	"verticadr/internal/darray"
 	"verticadr/internal/dr"
 	"verticadr/internal/faults"
+	"verticadr/internal/parallel"
 	"verticadr/internal/telemetry"
 )
 
@@ -34,14 +35,15 @@ var (
 	mTransfers = func(policy string) *telemetry.Counter {
 		return telemetry.Default().Counter("vft_transfers_total", telemetry.L("policy", policy))
 	}
-	mRows   = telemetry.Default().Counter("vft_rows_total")
-	mBytes  = telemetry.Default().Counter("vft_bytes_total")
-	mChunks = func(loc string) *telemetry.Counter {
-		return telemetry.Default().Counter("vft_chunks_total", telemetry.L("locality", loc))
-	}
-	mDBNanos   = telemetry.Default().Counter("vft_db_nanos_total")
-	mNetNanos  = telemetry.Default().Counter("vft_net_nanos_total")
-	mConvNanos = telemetry.Default().Counter("vft_conv_nanos_total")
+	mRows  = telemetry.Default().Counter("vft_rows_total")
+	mBytes = telemetry.Default().Counter("vft_bytes_total")
+	// Both locality label variants resolved once: Send is per-chunk hot
+	// path and registry lookups format the series key.
+	mChunksLocal  = telemetry.Default().Counter("vft_chunks_total", telemetry.L("locality", "local"))
+	mChunksRemote = telemetry.Default().Counter("vft_chunks_total", telemetry.L("locality", "remote"))
+	mDBNanos      = telemetry.Default().Counter("vft_db_nanos_total")
+	mNetNanos     = telemetry.Default().Counter("vft_net_nanos_total")
+	mConvNanos    = telemetry.Default().Counter("vft_conv_nanos_total")
 	// Recovery activity: chunks resent after a failed send, duplicates the
 	// hub absorbed thanks to (part, seq) dedup, and sessions torn down
 	// without finalizing (explicit aborts, failed exports, idle reaping).
@@ -103,7 +105,10 @@ func (st *Stats) String() string {
 	return sb.String()
 }
 
-// session is one in-flight transfer: staged raw chunks per target partition.
+// session is one in-flight transfer: staged decoded chunks per target
+// partition. Chunks are decoded eagerly at arrival (outside the staging
+// lock), so worker-side conversion overlaps the database-side scan+encode of
+// later chunks instead of serializing behind the whole transfer.
 // Measurements are standalone telemetry counters so concurrent UDF instances
 // update them without holding the staging lock.
 type session struct {
@@ -241,14 +246,16 @@ func (h *Hub) get(id string) (*session, error) {
 	return s, nil
 }
 
-// chunkMsg is one staged chunk plus its deterministic order key (composed
-// from source node, UDF instance and per-instance sequence number) so that
-// partition assembly does not depend on goroutine or network interleaving:
-// under the locality policy a partition reassembles in exact segment order,
-// making repeated loads of the same table row-aligned.
+// chunkMsg is one staged (already decoded) chunk plus its deterministic
+// order key (composed from source node, UDF instance and per-instance
+// sequence number) so that partition assembly does not depend on goroutine
+// or network interleaving: under the locality policy a partition reassembles
+// in exact segment order, making repeated loads of the same table
+// row-aligned. The batch comes from the vft batch pool and is recycled once
+// finalize has copied it into the partition.
 type chunkMsg struct {
-	seq  uint64
-	data []byte
+	seq   uint64
+	batch *colstore.Batch
 }
 
 // chunkKey identifies a staged chunk for retransmission dedup.
@@ -269,6 +276,11 @@ func OrderKey(node, instance, localSeq int) uint64 {
 // Send is idempotent: a chunk already staged under the same (part, seq) is
 // acknowledged without being staged again, so senders may retransmit after
 // a failed or lost acknowledgement without corrupting the partition.
+//
+// msg is only read for the duration of the call: the chunk is decoded into a
+// pooled batch before Send returns, so the sender may recycle or overwrite
+// the buffer immediately afterwards. A corrupt chunk is rejected here, at
+// arrival, rather than poisoning the session at finalize time.
 func (h *Hub) Send(sessionID string, part int, seq uint64, msg []byte, rows int, dbTime time.Duration) error {
 	s, err := h.get(sessionID)
 	if err != nil {
@@ -278,16 +290,38 @@ func (h *Hub) Send(sessionID string, part int, seq uint64, msg []byte, rows int,
 	if part < 0 || part >= s.frame.NPartitions() {
 		return fmt.Errorf("vft: partition %d out of range", part)
 	}
-	s.mu.Lock()
 	key := chunkKey{part: part, seq: seq}
+	s.mu.Lock()
 	if _, dup := s.seen[key]; dup {
 		s.mu.Unlock()
 		mDupChunks.Inc()
 		return nil
 	}
-	s.seen[key] = struct{}{}
-	s.staged[part] = append(s.staged[part], chunkMsg{seq: seq, data: msg})
 	s.mu.Unlock()
+	// Decode outside the staging lock: conversion of this chunk overlaps
+	// both concurrent sends and the database-side scan+encode of later
+	// chunks — the R-side leg of the transfer pipeline runs during the
+	// transfer, not after it.
+	start := time.Now()
+	batch := getBatch(s.schema)
+	if err := DecodeChunkInto(batch, msg); err != nil {
+		putBatch(batch)
+		return err
+	}
+	conv := time.Since(start)
+	s.mu.Lock()
+	if _, dup := s.seen[key]; dup {
+		// A retransmission raced our decode; keep the first copy.
+		s.mu.Unlock()
+		putBatch(batch)
+		mDupChunks.Inc()
+		return nil
+	}
+	s.seen[key] = struct{}{}
+	s.staged[part] = append(s.staged[part], chunkMsg{seq: seq, batch: batch})
+	s.mu.Unlock()
+	s.convTime.AddDuration(conv)
+	mConvNanos.AddDuration(conv)
 	s.rows.Add(int64(rows))
 	s.bytes.Add(int64(len(msg)))
 	s.chunks.Inc()
@@ -295,12 +329,12 @@ func (h *Hub) Send(sessionID string, part int, seq uint64, msg []byte, rows int,
 	// A chunk is "local" when its source node (recoverable from the order
 	// key) matches the worker owning the target partition — always true
 	// under the locality policy, 1/workers of the time under uniform.
-	loc := "remote"
 	if int(seq>>44) == s.frame.WorkerOf(part) {
 		s.localChunks.Inc()
-		loc = "local"
+		mChunksLocal.Inc()
+	} else {
+		mChunksRemote.Inc()
 	}
-	mChunks(loc).Inc()
 	mRows.Add(int64(rows))
 	mBytes.Add(int64(len(msg)))
 	mDBNanos.AddDuration(dbTime)
@@ -323,10 +357,15 @@ func (h *Hub) addNet(sessionID string, d time.Duration) {
 	}
 }
 
-// finalize converts each partition's staged byte files into a typed batch
-// and fills the distributed frame (§3.3 step two: "in-memory files are
-// converted into R objects and assembled into partitions"). Conversion runs
-// on the owning workers in parallel.
+// finalize assembles each partition's staged (already decoded) chunks into a
+// typed batch and fills the distributed frame (§3.3 step two: "in-memory
+// files are converted into R objects and assembled into partitions").
+// Decoding itself happened at arrival, overlapped with the export; what
+// remains here is the ordered copy into exact-capacity partition batches,
+// which runs on the owning workers in parallel with a column-parallel inner
+// loop. Staged pooled batches are recycled only after every task has
+// succeeded, so a task re-run on a recovered worker never reads a recycled
+// batch.
 func (h *Hub) finalize(id string, c *dr.Cluster) (st *Stats, err error) {
 	s, err := h.get(id)
 	if err != nil {
@@ -347,6 +386,7 @@ func (h *Hub) finalize(id string, c *dr.Cluster) (st *Stats, err error) {
 	nparts := s.frame.NPartitions()
 	var rMu sync.Mutex
 	var rTime time.Duration
+	pool := parallel.Default()
 	tasks := map[int][]dr.TaskSpec{}
 	for part := 0; part < nparts; part++ {
 		part := part
@@ -357,15 +397,23 @@ func (h *Hub) finalize(id string, c *dr.Cluster) (st *Stats, err error) {
 				start := time.Now()
 				// Deterministic assembly: order by (node, instance, sequence).
 				sort.Slice(chunks, func(a, b int) bool { return chunks[a].seq < chunks[b].seq })
-				batch := colstore.NewBatch(s.schema)
-				for _, msg := range chunks {
-					b, err := DecodeChunk(msg.data, s.schema)
-					if err != nil {
-						return err
+				rows := 0
+				for _, c := range chunks {
+					rows += c.batch.Len()
+				}
+				// Exact-capacity partition batch: the copy below never regrows.
+				batch := colstore.NewBatchCap(s.schema, rows)
+				// Columns are independent, so the ordered copy fans out over
+				// the worker pool without changing the row order.
+				if err := pool.ForEach(len(batch.Cols), func(j int) error {
+					for _, c := range chunks {
+						if err := batch.Cols[j].AppendVector(c.batch.Cols[j]); err != nil {
+							return err
+						}
 					}
-					if err := batch.AppendBatch(b); err != nil {
-						return err
-					}
+					return nil
+				}); err != nil {
+					return err
 				}
 				if err := s.frame.Fill(part, batch); err != nil {
 					return err
@@ -386,6 +434,14 @@ func (h *Hub) finalize(id string, c *dr.Cluster) (st *Stats, err error) {
 	}
 	if err := c.RunAllSpecs(tasks, dr.RunOpts{Retries: c.TaskRetries()}); err != nil {
 		return nil, err
+	}
+	// All partitions assembled; the staged pooled batches are dead now (no
+	// task can re-run) and go back to the pool. Error paths skip this and
+	// let the GC take them — an aborted session must never race a recycle.
+	for _, chunks := range staged {
+		for _, c := range chunks {
+			putBatch(c.batch)
+		}
 	}
 	sizes := make([]int, nparts)
 	for i := range sizes {
@@ -418,47 +474,69 @@ func (h *Hub) finalize(id string, c *dr.Cluster) (st *Stats, err error) {
 // count, then per column a length-prefixed encoded block. This is the
 // binary columnar fast path (contrast with ODBC's per-row text framing).
 func EncodeChunk(b *colstore.Batch) ([]byte, error) {
-	out := binary.AppendUvarint(nil, uint64(len(b.Cols)))
+	return EncodeChunkInto(nil, b)
+}
+
+// EncodeChunkInto appends the chunk encoding of b to dst and returns the
+// extended slice. With a dst of sufficient capacity (e.g. from the vft
+// buffer pool) the steady-state encode allocates nothing.
+func EncodeChunkInto(dst []byte, b *colstore.Batch) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(b.Cols)))
+	// Blocks are length-prefixed with a uvarint, so each block is encoded
+	// into a pooled scratch buffer first and then appended behind its
+	// length.
+	scratch := getBuf()
+	defer func() { putBuf(scratch) }()
 	for _, col := range b.Cols {
-		blk, err := colstore.EncodeBlock(col, colstore.BestEncoding(col))
+		blk, err := colstore.AppendBlock(scratch[:0], col, colstore.BestEncoding(col))
 		if err != nil {
 			return nil, err
 		}
-		out = binary.AppendUvarint(out, uint64(len(blk)))
-		out = append(out, blk...)
+		scratch = blk
+		dst = binary.AppendUvarint(dst, uint64(len(blk)))
+		dst = append(dst, blk...)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // DecodeChunk reverses EncodeChunk against the expected schema.
 func DecodeChunk(msg []byte, schema colstore.Schema) (*colstore.Batch, error) {
-	ncols, n := binary.Uvarint(msg)
-	if n <= 0 {
-		return nil, fmt.Errorf("vft: corrupt chunk header")
-	}
-	if int(ncols) != len(schema) {
-		return nil, fmt.Errorf("vft: chunk has %d columns, schema has %d", ncols, len(schema))
-	}
-	msg = msg[n:]
-	out := &colstore.Batch{Schema: schema, Cols: make([]*colstore.Vector, len(schema))}
-	for i := range schema {
-		l, n := binary.Uvarint(msg)
-		if n <= 0 || uint64(len(msg)-n) < l {
-			return nil, fmt.Errorf("vft: truncated chunk column %d", i)
-		}
-		msg = msg[n:]
-		v, err := colstore.DecodeBlock(msg[:l])
-		if err != nil {
-			return nil, err
-		}
-		if v.Type != schema[i].Type {
-			return nil, fmt.Errorf("vft: chunk column %d is %v, want %v", i, v.Type, schema[i].Type)
-		}
-		out.Cols[i] = v
-		msg = msg[l:]
-	}
-	if err := out.Validate(); err != nil {
+	out := colstore.NewBatch(schema)
+	if err := DecodeChunkInto(out, msg); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// DecodeChunkInto decodes a chunk into dst, appending to dst's columns
+// (callers reusing a pooled batch Reset it first). dst's schema is the
+// expected schema; a chunk that disagrees — column count, block types, row
+// counts, or any corruption the block decoder detects — returns an error,
+// never a panic, and never reads past msg.
+func DecodeChunkInto(dst *colstore.Batch, msg []byte) error {
+	schema := dst.Schema
+	ncols, n := binary.Uvarint(msg)
+	if n <= 0 {
+		return fmt.Errorf("vft: corrupt chunk header")
+	}
+	if int(ncols) != len(schema) {
+		return fmt.Errorf("vft: chunk has %d columns, schema has %d", ncols, len(schema))
+	}
+	msg = msg[n:]
+	for i := range schema {
+		l, n := binary.Uvarint(msg)
+		if n <= 0 || uint64(len(msg)-n) < l {
+			return fmt.Errorf("vft: truncated chunk column %d", i)
+		}
+		msg = msg[n:]
+		blk := msg[:l]
+		if len(blk) > 0 && colstore.Type(blk[0]) != schema[i].Type {
+			return fmt.Errorf("vft: chunk column %d is %v, want %v", i, colstore.Type(blk[0]), schema[i].Type)
+		}
+		if err := colstore.DecodeBlockInto(dst.Cols[i], blk); err != nil {
+			return err
+		}
+		msg = msg[l:]
+	}
+	return dst.Validate()
 }
