@@ -30,7 +30,8 @@ race:
 		./internal/yarn/... ./internal/simnet/... ./internal/faults/... \
 		./internal/parallel/... ./internal/colstore/... ./internal/sqlexec/... \
 		./internal/algos/... ./internal/linalg/... ./internal/models/... \
-		./internal/udf/... ./internal/darray/... ./internal/catalog/...
+		./internal/udf/... ./internal/darray/... ./internal/catalog/... \
+		./internal/server/... ./internal/core/...
 
 # Microbenchmarks for the pooled transfer + vectorized prediction paths;
 # writes BENCH_PR4.json (committed alongside EXPERIMENTS.md).
@@ -50,7 +51,16 @@ bench-figures:
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Recover|Injected|Fault|Retr|Abort|Reap|FailWorker|Idempotent|Timeout' \
 		./internal/faults/... ./internal/vft/... ./internal/dr/... ./internal/yarn/... ./internal/odbc/... \
-		./internal/parallel/... ./internal/colstore/... ./internal/models/... ./internal/udf/...
+		./internal/parallel/... ./internal/colstore/... ./internal/models/... ./internal/udf/... \
+		./internal/server/...
+
+# Serving-layer benchmark: closed-loop load generator against the concurrent
+# query server (unprepared vs. prepared+cached PREDICT, then an overload
+# phase); writes BENCH_PR5.json (committed alongside EXPERIMENTS.md). Fails
+# if the cached path is below 2x or admission control never sheds.
+.PHONY: serve-bench
+serve-bench:
+	$(GO) run ./cmd/vdr-serve -bench -out BENCH_PR5.json
 
 # Fuzz smoke: run each fuzz target briefly (Go keeps regression inputs in
 # testdata/fuzz, which plain `go test` replays on every run). Raise FUZZTIME

@@ -1,0 +1,133 @@
+// Command vdr-serve runs the concurrent query-serving layer (internal/server)
+// over a fresh in-process session: the deployment the paper's in-database
+// prediction (§5) implies — many clients scoring against deployed models at
+// once — exposed on a TCP line protocol that shares the transfer plane's
+// frame layout.
+//
+// Serve mode (default) listens on -addr; with -demo it first creates the
+// serving fixture (table serve_pts, model serve_glm) so clients can issue
+// prediction queries immediately.
+//
+// Bench mode (-bench) runs the closed-loop load generator instead: the
+// unprepared single-shot path vs. the prepared+cached path at -concurrency,
+// then an overload phase against a deliberately tiny server, and writes the
+// figures to -out (BENCH_PR5.json, `make serve-bench`).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"verticadr/internal/bench"
+	"verticadr/internal/core"
+	"verticadr/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:5433", "serve mode: listen address")
+		demo        = flag.Bool("demo", true, "serve mode: preload the serve_pts table and serve_glm model")
+		nodes       = flag.Int("nodes", 4, "database nodes")
+		workers     = flag.Int("workers", 4, "Distributed R workers")
+		maxConc     = flag.Int("max-concurrent", 8, "admission control: queries executing at once")
+		maxQueue    = flag.Int("max-queue", 64, "admission control: bounded wait queue length")
+		queueWait   = flag.Duration("queue-wait", 2*time.Second, "admission control: max slot wait before shedding")
+		queryLimit  = flag.Duration("query-timeout", 0, "per-query execution deadline (0 = none)")
+		runBench    = flag.Bool("bench", false, "run the serving load generator and exit")
+		benchOut    = flag.String("out", "BENCH_PR5.json", "bench mode: output file")
+		benchRows   = flag.Int("rows", 2048, "bench mode: prediction table rows")
+		benchConc   = flag.Int("concurrency", 8, "bench mode: closed-loop client streams")
+		benchWindow = flag.Duration("duration", 2*time.Second, "bench mode: per-phase window")
+	)
+	flag.Parse()
+
+	if *runBench {
+		if err := runServeBench(*benchOut, *benchRows, *benchConc, *benchWindow); err != nil {
+			fmt.Fprintln(os.Stderr, "vdr-serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := serve(*addr, *demo, *nodes, *workers, server.Config{
+		MaxConcurrent: *maxConc,
+		MaxQueue:      *maxQueue,
+		QueueWait:     *queueWait,
+		QueryTimeout:  *queryLimit,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "vdr-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func serve(addr string, demo bool, nodes, workers int, cfg server.Config) error {
+	var (
+		sess *core.Session
+		err  error
+	)
+	if demo {
+		sess, err = bench.ServeFixture(20000)
+	} else {
+		sess, err = core.Start(core.Config{DBNodes: nodes, DRWorkers: workers})
+	}
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	srv := server.New(sess, cfg)
+	tcp, err := server.Listen(srv, addr)
+	if err != nil {
+		return err
+	}
+	defer tcp.Close()
+	fmt.Printf("vdr-serve: listening on %s (max-concurrent=%d queue=%d)\n",
+		tcp.Addr(), cfg.MaxConcurrent, cfg.MaxQueue)
+	if demo {
+		fmt.Printf("vdr-serve: try: %s\n", bench.ServePredictSQL)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("vdr-serve: shutting down")
+	srv.Close()
+	return nil
+}
+
+func runServeBench(out string, rows, concurrency int, window time.Duration) error {
+	res, err := bench.RunServeBench(bench.ServeBenchConfig{
+		Rows:        rows,
+		Concurrency: concurrency,
+		Duration:    window,
+	})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("serve-bench: unprepared %.0f q/s, prepared+cached %.0f q/s (%.2fx) at concurrency %d\n",
+		res.UnpreparedQPS, res.PreparedCachedQPS, res.Speedup, res.Concurrency)
+	fmt.Printf("serve-bench: overload %d streams vs max-concurrent %d: ok=%d overloaded=%d other=%d\n",
+		res.Overload.Streams, res.Overload.MaxConcurrent, res.Overload.OK, res.Overload.Overloaded, res.Overload.OtherErrors)
+	fmt.Printf("serve-bench: wrote %s\n", out)
+	if res.Speedup < 2 {
+		return fmt.Errorf("prepared+cached speedup %.2fx below the 2x acceptance bar", res.Speedup)
+	}
+	if res.Overload.Overloaded == 0 {
+		return fmt.Errorf("overload phase shed nothing — admission control did not engage")
+	}
+	if res.Overload.OtherErrors > 0 {
+		return fmt.Errorf("overload phase saw %d non-overload errors", res.Overload.OtherErrors)
+	}
+	return nil
+}

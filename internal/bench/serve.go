@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"verticadr/internal/algos"
+	"verticadr/internal/core"
+	"verticadr/internal/server"
+	"verticadr/internal/verr"
+)
+
+// The PR 5 serving benchmark: a closed-loop load generator against the
+// concurrent query-serving layer, comparing the unprepared single-shot
+// prediction path (parse per statement, one model deserialization per UDF
+// instance per query — the pre-serving API) with the prepared + cached path
+// (plan cache + shared deserialized model) over the real TCP line protocol.
+// A second phase offers more load than a deliberately tiny server accepts
+// and verifies admission control sheds it with verr.ErrOverloaded instead
+// of queueing without bound or collapsing.
+
+// ServeBenchConfig sizes the serving benchmark.
+type ServeBenchConfig struct {
+	Rows        int           // prediction table rows (default 2048)
+	Concurrency int           // closed-loop client streams (default 8)
+	Duration    time.Duration // per-phase measurement window (default 2s)
+}
+
+func (c *ServeBenchConfig) fill() {
+	if c.Rows <= 0 {
+		c.Rows = 2048
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+}
+
+// ServeBenchResult is what `make serve-bench` writes to BENCH_PR5.json.
+type ServeBenchResult struct {
+	Rows        int     `json:"rows"`
+	Concurrency int     `json:"concurrency"`
+	DurationS   float64 `json:"duration_s"`
+
+	// Throughput phases, queries/s at Concurrency closed-loop streams.
+	UnpreparedQPS     float64 `json:"unprepared_qps"`
+	PreparedCachedQPS float64 `json:"prepared_cached_qps"`
+	Speedup           float64 `json:"speedup"`
+
+	// Overload phase: offered streams vs. a server sized far below them.
+	Overload struct {
+		Streams       int   `json:"streams"`
+		MaxConcurrent int   `json:"max_concurrent"`
+		MaxQueue      int   `json:"max_queue"`
+		OK            int64 `json:"ok"`
+		Overloaded    int64 `json:"overloaded"`
+		OtherErrors   int64 `json:"other_errors"`
+	} `json:"overload"`
+}
+
+// ServePredictSQL is the benchmark's prediction statement; vdr-serve -demo
+// sets up the matching fixture so a client can issue it immediately. It
+// scores with the forest — the model class where per-query deserialization
+// actually hurts (tens of thousands of tree nodes per gob decode, once per
+// UDF instance per query without the cache).
+const ServePredictSQL = `SELECT RfPredict(a, b USING PARAMETERS model='serve_rf') OVER (PARTITION BEST) FROM serve_pts`
+
+// ServeGlmPredictSQL scores with the small GLM deployed by the same fixture.
+const ServeGlmPredictSQL = `SELECT GlmPredict(a, b USING PARAMETERS model='serve_glm') OVER (PARTITION BEST) FROM serve_pts`
+
+// syntheticForest builds a deterministic bagged forest of full binary trees
+// (BFS layout: children of i at 2i+1/2i+2). Training is beside the point
+// here — the benchmark needs a deployed model of serving-realistic size, and
+// trees*(2^(depth+1)-1) nodes makes deserialization a real cost.
+func syntheticForest(trees, depth int) *algos.ForestModel {
+	f := &algos.ForestModel{Features: 2}
+	internal := 1<<depth - 1
+	total := 1<<(depth+1) - 1
+	for t := 0; t < trees; t++ {
+		nodes := make([]algos.TreeNode, total)
+		for i := 0; i < total; i++ {
+			if i < internal {
+				nodes[i] = algos.TreeNode{
+					Feature: i % 2,
+					Split:   float64(i%7)*0.25 - 0.75,
+					Left:    2*i + 1,
+					Right:   2*i + 2,
+				}
+			} else {
+				nodes[i] = algos.TreeNode{Feature: -1, Value: float64((i+t)%5) * 0.5}
+			}
+		}
+		f.Trees = append(f.Trees, algos.Tree{Nodes: nodes})
+	}
+	return f
+}
+
+// ServeFixture builds the serving fixture: a session with a feature table
+// (serve_pts), a deployed GLM (serve_glm) and a deployed forest (serve_rf).
+func ServeFixture(rows int) (*core.Session, error) {
+	s, err := core.Start(core.Config{DBNodes: 4, DRWorkers: 4, InstancesPerWorker: 2, BlockRows: 1024})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Exec(`CREATE TABLE serve_pts (a FLOAT, b FLOAT) SEGMENTED BY ROUND ROBIN`); err != nil {
+		s.Close()
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(5))
+	cols := [][]float64{make([]float64, rows), make([]float64, rows)}
+	for i := 0; i < rows; i++ {
+		cols[0][i], cols[1][i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	if err := s.DB.LoadColumns("serve_pts", cols); err != nil {
+		s.Close()
+		return nil, err
+	}
+	glm := &algos.GLMModel{Family: algos.Gaussian, Coefficients: []float64{3, 2, -1}, Converged: true}
+	if err := s.DeployModel("serve_glm", "bench", "serving benchmark GLM", glm); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if err := s.DeployModel("serve_rf", "bench", "serving benchmark forest", syntheticForest(32, 10)); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// closedLoop runs n streams of fn for d and returns completed iterations.
+func closedLoop(n int, d time.Duration, fn func(stream int) error) (int64, error) {
+	var (
+		done     atomic.Int64
+		stop     atomic.Bool
+		firstErr error
+		errMu    sync.Mutex
+		wg       sync.WaitGroup
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			for !stop.Load() {
+				if err := fn(stream); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				done.Add(1)
+			}
+		}(i)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	return done.Load(), firstErr
+}
+
+// RunServeBench runs all three phases and returns the figures.
+func RunServeBench(cfg ServeBenchConfig) (*ServeBenchResult, error) {
+	cfg.fill()
+	s, err := ServeFixture(cfg.Rows)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	res := &ServeBenchResult{Rows: cfg.Rows, Concurrency: cfg.Concurrency, DurationS: cfg.Duration.Seconds()}
+	ctx := context.Background()
+
+	// Phase 1 — unprepared single-shot: the pre-serving API. Every query
+	// parses its SQL and every UDF instance deserializes the model (cache
+	// off). This is what a caller got before internal/server existed.
+	s.Models.SetCacheEnabled(false)
+	n, err := closedLoop(cfg.Concurrency, cfg.Duration, func(int) error {
+		_, err := s.QueryContext(ctx, ServePredictSQL)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("unprepared phase: %w", err)
+	}
+	res.UnpreparedQPS = float64(n) / cfg.Duration.Seconds()
+
+	// Phase 2 — prepared + cached over the wire: plan cache + model cache,
+	// through the real TCP protocol (framing and JSON included in the cost).
+	s.Models.SetCacheEnabled(true)
+	srv := server.New(s, server.Config{MaxConcurrent: cfg.Concurrency})
+	tcp, err := server.Listen(srv, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer tcp.Close()
+	clients := make([]*server.Client, cfg.Concurrency)
+	for i := range clients {
+		c, err := server.Dial(tcp.Addr())
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		if err := c.Prepare(ctx, "p", ServePredictSQL); err != nil {
+			return nil, err
+		}
+		clients[i] = c
+	}
+	n, err = closedLoop(cfg.Concurrency, cfg.Duration, func(stream int) error {
+		_, err := clients[stream].Execute(ctx, "p")
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("prepared phase: %w", err)
+	}
+	res.PreparedCachedQPS = float64(n) / cfg.Duration.Seconds()
+	if res.UnpreparedQPS > 0 {
+		res.Speedup = res.PreparedCachedQPS / res.UnpreparedQPS
+	}
+
+	// Phase 3 — overload: many streams against a server admitting almost
+	// nothing. The point is the failure mode: typed ErrOverloaded refusals,
+	// zero hangs, and the fixture still healthy afterwards.
+	small := server.New(s, server.Config{MaxConcurrent: 2, MaxQueue: 2, QueueWait: 5 * time.Millisecond})
+	smallTCP, err := server.Listen(small, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer smallTCP.Close()
+	streams := cfg.Concurrency * 4
+	res.Overload.Streams = streams
+	res.Overload.MaxConcurrent = 2
+	res.Overload.MaxQueue = 2
+	var ok, shed, other atomic.Int64
+	_, err = closedLoop(streams, cfg.Duration, func(stream int) error {
+		c, err := server.Dial(smallTCP.Addr())
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		_, qerr := c.Query(ctx, ServePredictSQL)
+		switch {
+		case qerr == nil:
+			ok.Add(1)
+		case errors.Is(qerr, verr.ErrOverloaded):
+			shed.Add(1)
+		default:
+			other.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("overload phase: %w", err)
+	}
+	res.Overload.OK = ok.Load()
+	res.Overload.Overloaded = shed.Load()
+	res.Overload.OtherErrors = other.Load()
+
+	// Health check: the serving path still answers after shedding.
+	if _, err := s.QueryContext(ctx, ServePredictSQL); err != nil {
+		return nil, fmt.Errorf("post-overload health check: %w", err)
+	}
+	return res, nil
+}

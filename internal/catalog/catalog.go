@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"verticadr/internal/colstore"
+	"verticadr/internal/verr"
 )
 
 // SegKind enumerates segmentation schemes.
@@ -93,7 +94,7 @@ func (c *Catalog) Get(name string) (*TableDef, error) {
 	defer c.mu.RUnlock()
 	def, ok := c.tables[name]
 	if !ok {
-		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+		return nil, fmt.Errorf("catalog: %w: %q", verr.ErrTableNotFound, name)
 	}
 	return def, nil
 }
@@ -103,7 +104,7 @@ func (c *Catalog) Drop(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.tables[name]; !ok {
-		return fmt.Errorf("catalog: table %q does not exist", name)
+		return fmt.Errorf("catalog: %w: %q", verr.ErrTableNotFound, name)
 	}
 	delete(c.tables, name)
 	return nil

@@ -1,0 +1,88 @@
+package colstore
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"verticadr/internal/parallel"
+	"verticadr/internal/verr"
+)
+
+// A canceled scan must stop within one storage block: cancellation is
+// checked before every block decode, so after cancel() fires inside a
+// delivery callback, no further batch may be delivered.
+func TestScanCancelStopsWithinOneBlock(t *testing.T) {
+	const blockRows, blocks = 64, 40
+	seg := NewSegment(Schema{{Name: "x", Type: TypeFloat64}}, blockRows)
+	b := NewBatch(seg.Schema())
+	for i := 0; i < blockRows*blocks; i++ {
+		if err := b.AppendRow(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seg.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	delivered := 0
+	err := seg.ScanWithStatsCtx(ctx, []string{"x"}, nil, nil, func(batch *Batch) error {
+		delivered++
+		cancel() // cancel during the first delivery
+		return nil
+	})
+	if !errors.Is(err, verr.ErrCanceled) {
+		t.Fatalf("err = %v, want verr.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want to also match context.Canceled", err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered %d batches after cancel, want exactly 1 (the one that canceled)", delivered)
+	}
+}
+
+// The parallel scan also observes cancellation: already-scheduled blocks may
+// finish decoding, but in-order delivery stops and the scan returns the
+// typed error.
+func TestParScanCancelReturnsTypedError(t *testing.T) {
+	const blockRows, blocks = 64, 40
+	seg := NewSegment(Schema{{Name: "x", Type: TypeFloat64}}, blockRows)
+	b := NewBatch(seg.Schema())
+	for i := 0; i < blockRows*blocks; i++ {
+		if err := b.AppendRow(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seg.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	pool := parallel.NewPool(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var deliveredAfterCancel int
+	canceled := false
+	err := seg.ParScanWithStatsCtx(ctx, []string{"x"}, nil, pool, nil, func(batch *Batch) error {
+		if canceled {
+			deliveredAfterCancel++
+		}
+		canceled = true
+		cancel()
+		return nil
+	})
+	if !errors.Is(err, verr.ErrCanceled) {
+		t.Fatalf("err = %v, want verr.ErrCanceled", err)
+	}
+	if deliveredAfterCancel != 0 {
+		t.Fatalf("%d batches delivered after cancel, want 0", deliveredAfterCancel)
+	}
+}

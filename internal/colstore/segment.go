@@ -1,12 +1,14 @@
 package colstore
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 
 	"verticadr/internal/parallel"
 	"verticadr/internal/telemetry"
+	"verticadr/internal/verr"
 )
 
 // Scan-path telemetry: rows/bytes delivered and zone-map effectiveness,
@@ -465,6 +467,13 @@ func (s *Segment) Scan(cols []string, pred *Pred, fn func(*Batch) error) error {
 // recorded either way. This is the serial reference path; ParScanWithStats
 // is the block-parallel equivalent and produces identical output.
 func (s *Segment) ScanWithStats(cols []string, pred *Pred, st *ScanStats, fn func(*Batch) error) error {
+	return s.ScanWithStatsCtx(context.Background(), cols, pred, st, fn)
+}
+
+// ScanWithStatsCtx is ScanWithStats under a context: cancellation is checked
+// before every block decode (and before the tail), so a canceled query stops
+// within one storage block. The error wraps verr.ErrCanceled.
+func (s *Segment) ScanWithStatsCtx(ctx context.Context, cols []string, pred *Pred, st *ScanStats, fn func(*Batch) error) error {
 	var local ScanStats
 	if st == nil {
 		st = &local
@@ -483,6 +492,9 @@ func (s *Segment) ScanWithStats(cols []string, pred *Pred, st *ScanStats, fn fun
 		reuse = NewBatch(plan.outSchema)
 	}
 	for bi := 0; bi < plan.nblocks; bi++ {
+		if err := verr.Canceled(ctx.Err()); err != nil {
+			return err
+		}
 		if pred != nil && plan.predIdx >= 0 && !pred.blockMayMatch(s.sealed[plan.predIdx][bi]) {
 			st.BlocksSkipped++ // zone-map skip
 			continue
@@ -499,6 +511,9 @@ func (s *Segment) ScanWithStats(cols []string, pred *Pred, st *ScanStats, fn fun
 		if err := fn(batch); err != nil {
 			return err
 		}
+	}
+	if err := verr.Canceled(ctx.Err()); err != nil {
+		return err
 	}
 	return s.scanTail(plan, pred, st, scratch, fn)
 }
@@ -530,8 +545,17 @@ func (s *Segment) scanTail(plan *scanPlan, pred *Pred, st *ScanStats, scratch *[
 // but-undelivered blocks, so memory stays O(degree), not O(segment). With a
 // nil pool or degree 1 it is exactly the serial path.
 func (s *Segment) ParScanWithStats(cols []string, pred *Pred, pool *parallel.Pool, st *ScanStats, fn func(*Batch) error) error {
+	return s.ParScanWithStatsCtx(context.Background(), cols, pred, pool, st, fn)
+}
+
+// ParScanWithStatsCtx is ParScanWithStats under a context. Cancellation is
+// checked before each block is scheduled for decode and again at each
+// in-order delivery, so a canceled scan stops issuing work within one block
+// (the run-ahead window may still decode a few already-scheduled blocks,
+// but none of them are delivered). The error wraps verr.ErrCanceled.
+func (s *Segment) ParScanWithStatsCtx(ctx context.Context, cols []string, pred *Pred, pool *parallel.Pool, st *ScanStats, fn func(*Batch) error) error {
 	if pool.Degree() <= 1 {
-		return s.ScanWithStats(cols, pred, st, fn)
+		return s.ScanWithStatsCtx(ctx, cols, pred, st, fn)
 	}
 	var local ScanStats
 	if st == nil {
@@ -558,6 +582,9 @@ func (s *Segment) ParScanWithStats(cols []string, pred *Pred, pool *parallel.Poo
 	}
 	err = parallel.Ordered(pool, len(scan),
 		func(i int) (blockOut, error) {
+			if err := verr.Canceled(ctx.Err()); err != nil {
+				return blockOut{}, err
+			}
 			var bs ScanStats
 			bs.BlocksScanned = 1
 			scratch := idxScratch.Get().(*[]int)
@@ -572,6 +599,9 @@ func (s *Segment) ParScanWithStats(cols []string, pred *Pred, pool *parallel.Poo
 			return blockOut{batch: batch, stats: bs}, nil
 		},
 		func(i int, out blockOut) error {
+			if err := verr.Canceled(ctx.Err()); err != nil {
+				return err
+			}
 			st.Add(out.stats)
 			if out.batch.Len() == 0 {
 				return nil
@@ -579,6 +609,9 @@ func (s *Segment) ParScanWithStats(cols []string, pred *Pred, pool *parallel.Poo
 			return fn(out.batch)
 		})
 	if err != nil {
+		return err
+	}
+	if err := verr.Canceled(ctx.Err()); err != nil {
 		return err
 	}
 	scratch := idxScratch.Get().(*[]int)

@@ -9,7 +9,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"verticadr/internal/darray"
 	"verticadr/internal/dr"
@@ -18,6 +20,8 @@ import (
 	"verticadr/internal/parallel"
 	"verticadr/internal/spark"
 	"verticadr/internal/sqlexec"
+	"verticadr/internal/sqlparse"
+	"verticadr/internal/verr"
 	"verticadr/internal/vertica"
 	"verticadr/internal/vft"
 	"verticadr/internal/yarn"
@@ -76,6 +80,15 @@ type Session struct {
 	drApp        *yarn.App
 	dbContainers []*yarn.Container
 	drContainers []*yarn.Container
+
+	// Lifecycle state: Close first fails fast for new work, then cancels
+	// every in-flight operation's context and waits for them to drain, so
+	// shutdown cannot race a running query (the unsafe-Close bug).
+	mu       sync.Mutex
+	closed   bool
+	nextOp   uint64
+	cancels  map[uint64]context.CancelFunc
+	inflight sync.WaitGroup
 }
 
 // Start launches a session (Fig. 3 lines 1–3).
@@ -101,7 +114,7 @@ func Start(cfg Config) (*Session, error) {
 	if cfg.Parallelism > 0 {
 		parallel.SetDefaultDegree(cfg.Parallelism)
 	}
-	s := &Session{}
+	s := &Session{cancels: make(map[uint64]context.CancelFunc)}
 
 	if cfg.UseYARN {
 		// One YARN node per physical node; the database and Distributed R
@@ -199,10 +212,51 @@ func (s *Session) releaseYARN() {
 	s.dbContainers = nil
 }
 
-// Close shuts down the Distributed R session and returns its YARN
-// containers; the database keeps its long-lived reservation model but this
-// in-process instance releases everything.
+// begin registers one in-flight operation. It returns a derived context that
+// Close cancels, and a done func the operation must call when finished. After
+// Close, begin fails fast with an error wrapping verr.ErrClosed.
+func (s *Session) begin(ctx context.Context) (context.Context, func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, fmt.Errorf("core: session: %w", verr.ErrClosed)
+	}
+	opCtx, cancel := context.WithCancel(ctx)
+	id := s.nextOp
+	s.nextOp++
+	s.cancels[id] = cancel
+	s.inflight.Add(1)
+	done := func() {
+		s.mu.Lock()
+		delete(s.cancels, id)
+		s.mu.Unlock()
+		cancel()
+		s.inflight.Done()
+	}
+	return opCtx, done, nil
+}
+
+// Close shuts down the session deterministically: new operations fail fast
+// with verr.ErrClosed, in-flight queries are canceled (they stop at their
+// next scan-block or chunk boundary) and drained, and only then are the
+// Distributed R cluster, TCP listeners and YARN containers released. Safe to
+// call concurrently with queries and idempotent.
 func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	cancels := make([]context.CancelFunc, 0, len(s.cancels))
+	for _, c := range s.cancels {
+		cancels = append(cancels, c)
+	}
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	s.inflight.Wait()
 	if s.tcp != nil {
 		_ = s.tcp.Close()
 	}
@@ -214,15 +268,60 @@ func (s *Session) Close() {
 
 // Query runs SQL against the database (Fig. 3 lines 10–11 use this for
 // in-database prediction).
-func (s *Session) Query(sql string) (*sqlexec.Result, error) { return s.DB.Query(sql) }
+func (s *Session) Query(sql string) (*sqlexec.Result, error) {
+	return s.QueryContext(context.Background(), sql)
+}
+
+// QueryContext runs SQL under a context. Cancellation (from ctx or from
+// Close) is honored at scan-block and aggregation-chunk boundaries; the
+// returned error then wraps verr.ErrCanceled.
+func (s *Session) QueryContext(ctx context.Context, sql string) (*sqlexec.Result, error) {
+	opCtx, done, err := s.begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	return s.DB.QueryContext(opCtx, sql)
+}
+
+// RunStatementContext executes an already-parsed statement under the
+// session's lifecycle tracking (fail-fast after Close, cancel-on-Close). The
+// serving layer uses it to execute cached plans without reparsing.
+func (s *Session) RunStatementContext(ctx context.Context, stmt sqlparse.Statement, sql string) (*sqlexec.Result, error) {
+	opCtx, done, err := s.begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	return s.DB.RunStatement(opCtx, stmt, sql)
+}
 
 // Exec runs SQL discarding results.
-func (s *Session) Exec(sql string) error { return s.DB.Exec(sql) }
+func (s *Session) Exec(sql string) error {
+	return s.ExecContext(context.Background(), sql)
+}
+
+// ExecContext runs SQL under a context, discarding results.
+func (s *Session) ExecContext(ctx context.Context, sql string) error {
+	_, err := s.QueryContext(ctx, sql)
+	return err
+}
 
 // DB2DFrame loads table columns into a distributed data frame via Vertica
 // Fast Transfer (§3). Policy is vft.PolicyLocality or vft.PolicyUniform;
 // empty selects locality when node counts match, else uniform.
 func (s *Session) DB2DFrame(table string, cols []string, policy string) (*darray.DFrame, *vft.Stats, error) {
+	return s.DB2DFrameContext(context.Background(), table, cols, policy)
+}
+
+// DB2DFrameContext is DB2DFrame under a context: cancellation propagates
+// into the export query's scan.
+func (s *Session) DB2DFrameContext(ctx context.Context, table string, cols []string, policy string) (*darray.DFrame, *vft.Stats, error) {
+	opCtx, done, err := s.begin(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer done()
 	if policy == "" {
 		if s.DB.NumNodes() == s.DR.NumWorkers() {
 			policy = vft.PolicyLocality
@@ -237,15 +336,20 @@ func (s *Session) DB2DFrame(table string, cols []string, policy string) (*darray
 	// The paper: partition-size hints = rows / receiving R instances.
 	psize := rows / (s.DR.NumWorkers() * s.DR.InstancesPerWorker())
 	if s.tcp != nil {
-		return vft.LoadTCP(s.DB, s.DR, s.Hub, s.tcp, table, cols, policy, psize)
+		return vft.LoadTCPContext(opCtx, s.DB, s.DR, s.Hub, s.tcp, table, cols, policy, psize)
 	}
-	return vft.Load(s.DB, s.DR, s.Hub, table, cols, policy, psize)
+	return vft.LoadContext(opCtx, s.DB, s.DR, s.Hub, table, cols, policy, psize)
 }
 
 // DB2DArray is Fig. 3 line 5: load numeric feature columns from a table
 // into a distributed array.
 func (s *Session) DB2DArray(table string, cols []string, policy string) (*darray.DArray, *vft.Stats, error) {
-	frame, stats, err := s.DB2DFrame(table, cols, policy)
+	return s.DB2DArrayContext(context.Background(), table, cols, policy)
+}
+
+// DB2DArrayContext is DB2DArray under a context.
+func (s *Session) DB2DArrayContext(ctx context.Context, table string, cols []string, policy string) (*darray.DArray, *vft.Stats, error) {
+	frame, stats, err := s.DB2DFrameContext(ctx, table, cols, policy)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -259,7 +363,18 @@ func (s *Session) DB2DArray(table string, cols []string, policy string) (*darray
 // LoadODBC is the baseline loader: `connections` parallel ODBC sessions
 // each fetching an ordered slice of the table.
 func (s *Session) LoadODBC(table string, cols []string, connections int) (*darray.DFrame, error) {
-	return odbc.Load(s.DB, s.ODBC, s.DR, table, cols, connections)
+	return s.LoadODBCContext(context.Background(), table, cols, connections)
+}
+
+// LoadODBCContext is LoadODBC under a context; cancellation is observed per
+// connection between reconnect attempts.
+func (s *Session) LoadODBCContext(ctx context.Context, table string, cols []string, connections int) (*darray.DFrame, error) {
+	opCtx, done, err := s.begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	return odbc.LoadContext(opCtx, s.DB, s.ODBC, s.DR, table, cols, connections)
 }
 
 // DeployModel is Fig. 3 line 9: serialize a model created in Distributed R
@@ -268,16 +383,30 @@ func (s *Session) DeployModel(name, owner, description string, model any) error 
 	return s.Models.Deploy(name, owner, description, model)
 }
 
+// RedeployModel overwrites a deployed model's blob in place (the model
+// refresh a serving deployment performs). The owner must match; cached
+// deserialized copies are invalidated so no later prediction sees the old
+// parameters.
+func (s *Session) RedeployModel(name, owner string, model any) error {
+	return s.Models.Redeploy(name, owner, model)
+}
+
 // DB2RDD loads table columns through Vertica Fast Transfer and exposes them
 // to the Spark comparator as an RDD — the §8 extension showing the transfer
 // mechanism is engine-agnostic. The returned RDD shares the session's
 // worker data (one RDD partition per frame partition).
 func (s *Session) DB2RDD(ctx *spark.Context, table string, cols []string, policy string) (*spark.RDD, *vft.Stats, error) {
-	frame, stats, err := s.DB2DFrame(table, cols, policy)
+	return s.DB2RDDContext(context.Background(), ctx, table, cols, policy)
+}
+
+// DB2RDDContext is DB2RDD under a (cancellation) context; the *spark.Context
+// remains the RDD's owner.
+func (s *Session) DB2RDDContext(ctx context.Context, sc *spark.Context, table string, cols []string, policy string) (*spark.RDD, *vft.Stats, error) {
+	frame, stats, err := s.DB2DFrameContext(ctx, table, cols, policy)
 	if err != nil {
 		return nil, nil, err
 	}
-	rdd, err := spark.FromFrame(ctx, frame, cols)
+	rdd, err := spark.FromFrame(sc, frame, cols)
 	if err != nil {
 		return nil, nil, err
 	}

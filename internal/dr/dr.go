@@ -20,6 +20,7 @@
 package dr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -28,6 +29,7 @@ import (
 
 	"verticadr/internal/faults"
 	"verticadr/internal/telemetry"
+	"verticadr/internal/verr"
 )
 
 // Task-scheduling observability: how much work the runtime dispatched, how
@@ -190,6 +192,15 @@ type RunOpts struct {
 
 // Run submits one task to worker i and waits for it.
 func (c *Cluster) Run(i int, t Task) error {
+	return c.RunCtx(context.Background(), i, t)
+}
+
+// RunCtx is Run under a context: submission is refused once ctx is done (a
+// running task is not interrupted — tasks are the unit of cancellation).
+func (c *Cluster) RunCtx(ctx context.Context, i int, t Task) error {
+	if err := verr.Canceled(ctx.Err()); err != nil {
+		return err
+	}
 	w, err := c.Worker(i)
 	if err != nil {
 		return err
@@ -221,18 +232,30 @@ func runOnce(w *Worker, t Task) error {
 // parallel. Failed tasks are retried up to the cluster's TaskRetries cap and
 // failed over on worker death; the first unrecovered error is returned.
 func (c *Cluster) RunAll(tasks map[int][]Task) error {
+	return c.RunAllCtx(context.Background(), tasks)
+}
+
+// RunAllCtx is RunAll under a context; see RunAllSpecsCtx.
+func (c *Cluster) RunAllCtx(ctx context.Context, tasks map[int][]Task) error {
 	specs := make(map[int][]TaskSpec, len(tasks))
 	for wid, list := range tasks {
 		for _, t := range list {
 			specs[wid] = append(specs[wid], TaskSpec{Run: t})
 		}
 	}
-	return c.RunAllSpecs(specs, RunOpts{Retries: c.cfg.TaskRetries})
+	return c.RunAllSpecsCtx(ctx, specs, RunOpts{Retries: c.cfg.TaskRetries})
 }
 
 // RunAllSpecs is RunAll with explicit per-task failover hooks and recovery
 // options.
 func (c *Cluster) RunAllSpecs(tasks map[int][]TaskSpec, opts RunOpts) error {
+	return c.RunAllSpecsCtx(context.Background(), tasks, opts)
+}
+
+// RunAllSpecsCtx is RunAllSpecs under a context. Cancellation is observed at
+// task boundaries: tasks not yet submitted are refused, and retries/failovers
+// of already-failed tasks stop. In-flight task bodies run to completion.
+func (c *Cluster) RunAllSpecsCtx(ctx context.Context, tasks map[int][]TaskSpec, opts RunOpts) error {
 	for wid := range tasks {
 		if _, err := c.Worker(wid); err != nil {
 			return err
@@ -257,7 +280,7 @@ func (c *Cluster) RunAllSpecs(tasks map[int][]TaskSpec, opts RunOpts) error {
 			wid, spec := wid, spec
 			go func() {
 				defer wg.Done()
-				record(c.runSpec(wid, spec, opts.Retries))
+				record(c.runSpec(ctx, wid, spec, opts.Retries))
 			}()
 		}
 	}
@@ -267,10 +290,13 @@ func (c *Cluster) RunAllSpecs(tasks map[int][]TaskSpec, opts RunOpts) error {
 
 // runSpec drives one task to completion: in-place retries for ordinary
 // errors, failover to survivors (with rebuild) on worker death.
-func (c *Cluster) runSpec(wid int, spec TaskSpec, retries int) error {
+func (c *Cluster) runSpec(ctx context.Context, wid int, spec TaskSpec, retries int) error {
 	attempts := 0
 	moves := 0
 	for {
+		if err := verr.Canceled(ctx.Err()); err != nil {
+			return err
+		}
 		w, err := c.Worker(wid)
 		if err != nil {
 			return err

@@ -64,6 +64,10 @@ const (
 	// SiteYarnRequest fires on container requests (a resource-manager
 	// hiccup).
 	SiteYarnRequest = "yarn.request"
+	// SiteModelLoad fires in the model manager's DFS fetch path, on cache
+	// misses only — a flaky blob read the serving layer must surface as a
+	// typed error rather than a hang or a poisoned cache entry.
+	SiteModelLoad = "models.load"
 )
 
 // ErrInjected is the root of every injected error; recovery code that wants

@@ -13,6 +13,7 @@
 package odbc
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -25,6 +26,7 @@ import (
 	"verticadr/internal/dr"
 	"verticadr/internal/faults"
 	"verticadr/internal/telemetry"
+	"verticadr/internal/verr"
 )
 
 // Per-row framing costs, the contrast telemetry draws against vft's binary
@@ -308,6 +310,13 @@ func splitFields(line string) []string {
 // i-th ordered 1/connections slice of the table. Each connection's result
 // becomes one partition of a distributed frame, round-robin across workers.
 func Load(db DB, srv *Server, c *dr.Cluster, table string, cols []string, connections int) (*darray.DFrame, error) {
+	return LoadContext(context.Background(), db, srv, c, table, cols, connections)
+}
+
+// LoadContext is Load under a context: cancellation is observed per
+// connection, between reconnect attempts — each range query is the unit of
+// work, matching how a real ODBC client would abandon a load.
+func LoadContext(ctx context.Context, db DB, srv *Server, c *dr.Cluster, table string, cols []string, connections int) (*darray.DFrame, error) {
 	if connections <= 0 {
 		connections = c.NumWorkers() * c.InstancesPerWorker()
 	}
@@ -347,6 +356,10 @@ func Load(db DB, srv *Server, c *dr.Cluster, table string, cols []string, connec
 			var batch *colstore.Batch
 			var err error
 			for attempt := 0; attempt < queryAttempts; attempt++ {
+				if err = verr.Canceled(ctx.Err()); err != nil {
+					errs[i] = err
+					return
+				}
 				if attempt > 0 {
 					mRetries.Inc()
 				}

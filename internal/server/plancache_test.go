@@ -1,0 +1,68 @@
+package server
+
+import (
+	"testing"
+
+	"verticadr/internal/sqlparse"
+)
+
+func mustSelect(t *testing.T, sql string) *sqlparse.Select {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := stmt.(*sqlparse.Select)
+	if !ok {
+		t.Fatalf("parsed %T, want *Select", stmt)
+	}
+	return sel
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	c := newPlanCache(2)
+	a := mustSelect(t, `SELECT a FROM t`)
+	b := mustSelect(t, `SELECT b FROM t`)
+	d := mustSelect(t, `SELECT d FROM t`)
+	c.put("a", a)
+	c.put("b", b)
+	// Touch a so b becomes the LRU entry, then push it out with d.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.put("d", d)
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction; LRU order wrong")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite being recently used")
+	}
+	if got, ok := c.get("d"); !ok || got != d {
+		t.Fatal("d missing or wrong plan after insert")
+	}
+}
+
+func TestPlanCachePutRefreshesExisting(t *testing.T) {
+	c := newPlanCache(2)
+	a1 := mustSelect(t, `SELECT a FROM t`)
+	a2 := mustSelect(t, `SELECT a FROM t WHERE a > 1`)
+	c.put("a", a1)
+	c.put("a", a2) // replaces in place, no growth
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	got, ok := c.get("a")
+	if !ok || got != a2 {
+		t.Fatal("put did not replace the cached plan")
+	}
+}
+
+func TestPlanCacheDefaultCapacity(t *testing.T) {
+	c := newPlanCache(0)
+	if c.cap != 128 {
+		t.Fatalf("default cap = %d, want 128", c.cap)
+	}
+}

@@ -1,0 +1,339 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"verticadr/internal/sqlexec"
+	"verticadr/internal/telemetry"
+	"verticadr/internal/verr"
+	"verticadr/internal/vft"
+)
+
+// The wire protocol: one request frame, one response frame, repeated until
+// the client hangs up. Frames are the same u32-length-prefixed layout the
+// transfer data plane uses (vft.WriteFrame/ReadFrame); payloads are JSON. A
+// connection processes its requests sequentially — concurrency comes from
+// connections, exactly like a database session — while admission control in
+// the Server bounds how many of them execute at once.
+//
+// Errors cross the wire as (code, message) pairs from the verr vocabulary,
+// so a client-side errors.Is(err, verr.ErrOverloaded) works end to end.
+
+var (
+	gConns    = telemetry.Default().Gauge("server_conns")
+	mRequests = telemetry.Default().Counter("server_proto_requests_total")
+)
+
+type protoRequest struct {
+	Op        string            `json:"op"` // "query" | "prepare" | "execute" | "ping"
+	SQL       string            `json:"sql,omitempty"`
+	Name      string            `json:"name,omitempty"`
+	Args      []json.RawMessage `json:"args,omitempty"`
+	TimeoutMS int64             `json:"timeout_ms,omitempty"`
+}
+
+type protoResponse struct {
+	Code string   `json:"code"`
+	Msg  string   `json:"msg,omitempty"`
+	Cols []string `json:"cols,omitempty"`
+	Rows [][]any  `json:"rows,omitempty"`
+}
+
+// TCPServer exposes a Server over a TCP listener.
+type TCPServer struct {
+	srv *Server
+	lis net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Listen starts serving srv on addr (host:port; port 0 picks a free port).
+func Listen(srv *Server, addr string) (*TCPServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &TCPServer{srv: srv, lis: lis, conns: map[net.Conn]struct{}{}}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr reports the bound listen address.
+func (t *TCPServer) Addr() string { return t.lis.Addr().String() }
+
+// Close stops accepting, closes every live connection and waits for their
+// handlers to exit. Idempotent.
+func (t *TCPServer) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	err := t.lis.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	t.wg.Wait()
+	return err
+}
+
+func (t *TCPServer) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.handle(conn)
+	}
+}
+
+func (t *TCPServer) handle(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+		_ = conn.Close()
+		gConns.Add(-1)
+	}()
+	gConns.Add(1)
+	var buf []byte
+	for {
+		frame, err := vft.ReadFrame(conn, buf)
+		if err != nil {
+			return // EOF (client done) or connection torn down
+		}
+		buf = frame
+		mRequests.Inc()
+		resp := t.serve(frame)
+		payload, err := json.Marshal(resp)
+		if err != nil {
+			payload, _ = json.Marshal(protoResponse{Code: verr.CodeInternal, Msg: err.Error()})
+		}
+		if err := vft.WriteFrame(conn, payload); err != nil {
+			return
+		}
+	}
+}
+
+// serve dispatches one request frame and builds its response.
+func (t *TCPServer) serve(frame []byte) protoResponse {
+	var req protoRequest
+	if err := json.Unmarshal(frame, &req); err != nil {
+		return protoResponse{Code: verr.CodeInternal, Msg: fmt.Sprintf("bad request: %v", err)}
+	}
+	ctx := context.Background()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	switch req.Op {
+	case "ping":
+		return protoResponse{Code: verr.CodeOK}
+	case "prepare":
+		if err := t.srv.Prepare(req.Name, req.SQL); err != nil {
+			return errResponse(err)
+		}
+		return protoResponse{Code: verr.CodeOK}
+	case "execute":
+		args, err := decodeArgs(req.Args)
+		if err != nil {
+			return protoResponse{Code: verr.CodeInternal, Msg: err.Error()}
+		}
+		res, err := t.srv.Execute(ctx, req.Name, args...)
+		if err != nil {
+			return errResponse(err)
+		}
+		return okResponse(res)
+	case "query":
+		res, err := t.srv.Query(ctx, req.SQL)
+		if err != nil {
+			return errResponse(err)
+		}
+		return okResponse(res)
+	default:
+		return protoResponse{Code: verr.CodeInternal, Msg: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func errResponse(err error) protoResponse {
+	return protoResponse{Code: verr.Code(err), Msg: err.Error()}
+}
+
+func okResponse(res *sqlexec.Result) protoResponse {
+	out := protoResponse{Code: verr.CodeOK}
+	if res == nil || res.Batch == nil {
+		return out
+	}
+	for _, c := range res.Schema() {
+		out.Cols = append(out.Cols, c.Name)
+	}
+	out.Rows = res.Rows()
+	return out
+}
+
+// decodeArgs converts JSON argument values into the Go types BindSelect
+// accepts: integral numbers become int64, other numbers float64, plus
+// string and bool.
+func decodeArgs(raw []json.RawMessage) ([]any, error) {
+	args := make([]any, len(raw))
+	for i, r := range raw {
+		var s string
+		if err := json.Unmarshal(r, &s); err == nil {
+			args[i] = s
+			continue
+		}
+		var b bool
+		if err := json.Unmarshal(r, &b); err == nil {
+			args[i] = b
+			continue
+		}
+		var n json.Number
+		if err := json.Unmarshal(r, &n); err == nil {
+			if iv, err := n.Int64(); err == nil {
+				args[i] = iv
+				continue
+			}
+			if fv, err := n.Float64(); err == nil {
+				args[i] = fv
+				continue
+			}
+		}
+		return nil, fmt.Errorf("server: argument %d: unsupported JSON value %s", i, r)
+	}
+	return args, nil
+}
+
+// Client is the line-protocol client. A Client owns one connection and is
+// safe for sequential use; open one Client per concurrent request stream
+// (the load generator does exactly that).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	buf  []byte
+}
+
+// Dial connects to a TCPServer.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and decodes one response, mapping protocol
+// error codes back to the verr vocabulary.
+func (c *Client) roundTrip(ctx context.Context, req protoRequest) (*protoResponse, error) {
+	if err := verr.Canceled(ctx.Err()); err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.TimeoutMS = ms
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := vft.WriteFrame(c.conn, payload); err != nil {
+		return nil, fmt.Errorf("server: send: %w", err)
+	}
+	frame, err := vft.ReadFrame(c.conn, c.buf)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("server: connection closed: %w", verr.ErrClosed)
+		}
+		return nil, fmt.Errorf("server: recv: %w", err)
+	}
+	c.buf = frame
+	var resp protoResponse
+	if err := json.Unmarshal(frame, &resp); err != nil {
+		return nil, fmt.Errorf("server: bad response: %w", err)
+	}
+	if resp.Code != verr.CodeOK {
+		return nil, verr.FromCode(resp.Code, resp.Msg)
+	}
+	return &resp, nil
+}
+
+// Rows is a protocol-level result set.
+type Rows struct {
+	Cols []string
+	Rows [][]any
+}
+
+// Query runs one-shot SQL on the server. A ctx deadline is forwarded so the
+// server's engine observes it at block boundaries.
+func (c *Client) Query(ctx context.Context, sql string) (*Rows, error) {
+	resp, err := c.roundTrip(ctx, protoRequest{Op: "query", SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{Cols: resp.Cols, Rows: resp.Rows}, nil
+}
+
+// Prepare registers a named prepared statement on the server.
+func (c *Client) Prepare(ctx context.Context, name, sql string) error {
+	_, err := c.roundTrip(ctx, protoRequest{Op: "prepare", Name: name, SQL: sql})
+	return err
+}
+
+// Execute binds args to a previously prepared statement and runs it.
+func (c *Client) Execute(ctx context.Context, name string, args ...any) (*Rows, error) {
+	raw := make([]json.RawMessage, len(args))
+	for i, a := range args {
+		b, err := json.Marshal(a)
+		if err != nil {
+			return nil, fmt.Errorf("server: argument %d: %w", i, err)
+		}
+		raw[i] = b
+	}
+	resp, err := c.roundTrip(ctx, protoRequest{Op: "execute", Name: name, Args: raw})
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{Cols: resp.Cols, Rows: resp.Rows}, nil
+}
+
+// Ping round-trips an empty request.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, protoRequest{Op: "ping"})
+	return err
+}

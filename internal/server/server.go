@@ -1,0 +1,261 @@
+// Package server is the concurrent query-serving layer over a core.Session —
+// the deployment the paper's §5 prediction pipeline implies but never builds:
+// many clients issuing PREDICT queries against deployed models at once. It
+// adds what a single-user session lacks:
+//
+//   - prepared statements with a bounded LRU plan cache (parse/validate once,
+//     bind ? placeholders per execution),
+//   - a shared deserialized-model cache (internal/models) so concurrent
+//     predictions stop paying one gob decode per UDF instance per query,
+//   - admission control: a concurrency limiter plus a bounded wait queue
+//     with a queue-wait deadline, shedding load with verr.ErrOverloaded
+//     instead of collapsing under it,
+//   - per-query cancellation and deadlines, honored at scan-block and
+//     aggregation-chunk boundaries inside the engine.
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"verticadr/internal/core"
+	"verticadr/internal/sqlexec"
+	"verticadr/internal/sqlparse"
+	"verticadr/internal/telemetry"
+	"verticadr/internal/verr"
+)
+
+var (
+	gInflight   = telemetry.Default().Gauge("server_inflight")
+	gQueueDepth = telemetry.Default().Gauge("server_queue_depth")
+	hWait       = telemetry.Default().Histogram("server_wait_seconds", nil)
+	hQuery      = telemetry.Default().Histogram("server_query_seconds", nil)
+)
+
+func mOutcome(outcome string) *telemetry.Counter {
+	return telemetry.Default().Counter("server_queries_total", telemetry.L("outcome", outcome))
+}
+
+// Config tunes the serving layer.
+type Config struct {
+	// MaxConcurrent bounds queries executing at once (default 8).
+	MaxConcurrent int
+	// MaxQueue bounds queries waiting for an execution slot; arrivals beyond
+	// it are refused immediately with verr.ErrOverloaded (default 64).
+	MaxQueue int
+	// QueueWait bounds how long an admitted query may wait for a slot before
+	// being shed with verr.ErrOverloaded (default 2s).
+	QueueWait time.Duration
+	// QueryTimeout, when positive, caps each query's execution time; the
+	// engine observes the deadline at block boundaries (default: none).
+	QueryTimeout time.Duration
+	// PlanCacheSize bounds the one-shot plan LRU (default 128).
+	PlanCacheSize int
+}
+
+func (c *Config) fill() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+}
+
+// Server serves concurrent queries over one session.
+type Server struct {
+	sess *core.Session
+	cfg  Config
+
+	sem    chan struct{}
+	queued atomic.Int64
+
+	plans *planCache
+
+	mu       sync.Mutex
+	prepared map[string]*sqlparse.Select
+
+	closed atomic.Bool
+}
+
+// New builds a serving layer over sess.
+func New(sess *core.Session, cfg Config) *Server {
+	cfg.fill()
+	return &Server{
+		sess:     sess,
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		plans:    newPlanCache(cfg.PlanCacheSize),
+		prepared: map[string]*sqlparse.Select{},
+	}
+}
+
+// Session exposes the underlying session (benchmarks toggle its caches).
+func (s *Server) Session() *core.Session { return s.sess }
+
+// PlanCacheLen reports the one-shot plan cache's current size.
+func (s *Server) PlanCacheLen() int { return s.plans.len() }
+
+// Close marks the server closed; new requests fail fast with verr.ErrClosed.
+// It does not close the underlying session — the session owner does that
+// (core.Session.Close itself drains in-flight queries).
+func (s *Server) Close() { s.closed.Store(true) }
+
+// normalize is the plan-cache key function: whitespace-insensitive at the
+// statement edges, semicolon-insensitive at the end.
+func normalize(sql string) string {
+	return strings.TrimRight(strings.TrimSpace(sql), "; \t\n")
+}
+
+// acquire implements admission control. It returns a release func once the
+// caller holds an execution slot, or a typed error: verr.ErrOverloaded when
+// the queue is full or the queue-wait deadline passes, verr.ErrCanceled when
+// ctx ends first, verr.ErrClosed after Close.
+func (s *Server) acquire(ctx context.Context) (func(), error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("server: %w", verr.ErrClosed)
+	}
+	grant := func() func() {
+		gInflight.Add(1)
+		return func() {
+			gInflight.Add(-1)
+			<-s.sem
+		}
+	}
+	// Fast path: free slot, no queueing.
+	select {
+	case s.sem <- struct{}{}:
+		return grant(), nil
+	default:
+	}
+	// Bounded wait queue: refuse immediately when full.
+	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		mOutcome("overloaded").Inc()
+		return nil, fmt.Errorf("server: wait queue full (%d): %w", s.cfg.MaxQueue, verr.ErrOverloaded)
+	}
+	gQueueDepth.Add(1)
+	start := time.Now()
+	defer func() {
+		gQueueDepth.Add(-1)
+		s.queued.Add(-1)
+		hWait.Observe(time.Since(start).Seconds())
+	}()
+	timer := time.NewTimer(s.cfg.QueueWait)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return grant(), nil
+	case <-timer.C:
+		mOutcome("overloaded").Inc()
+		return nil, fmt.Errorf("server: queue wait exceeded %v: %w", s.cfg.QueueWait, verr.ErrOverloaded)
+	case <-ctx.Done():
+		mOutcome("canceled").Inc()
+		return nil, verr.Canceled(ctx.Err())
+	}
+}
+
+// run executes fn under admission control, the configured query timeout and
+// outcome accounting.
+func (s *Server) run(ctx context.Context, fn func(ctx context.Context) (*sqlexec.Result, error)) (*sqlexec.Result, error) {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := fn(ctx)
+	hQuery.Observe(time.Since(start).Seconds())
+	switch {
+	case err == nil:
+		mOutcome("ok").Inc()
+	case verr.Code(err) == verr.CodeCanceled:
+		mOutcome("canceled").Inc()
+	default:
+		mOutcome("error").Inc()
+	}
+	return res, err
+}
+
+// Prepare parses and validates sql (a SELECT, possibly with ? placeholders)
+// and registers it under name. Re-preparing a name replaces its statement.
+func (s *Server) Prepare(name, sql string) error {
+	if s.closed.Load() {
+		return fmt.Errorf("server: %w", verr.ErrClosed)
+	}
+	if name == "" {
+		return fmt.Errorf("server: empty statement name")
+	}
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return err
+	}
+	sel, ok := stmt.(*sqlparse.Select)
+	if !ok {
+		return fmt.Errorf("server: PREPARE requires a SELECT, got %T", stmt)
+	}
+	s.mu.Lock()
+	s.prepared[name] = sel
+	s.mu.Unlock()
+	return nil
+}
+
+// Execute binds args to the named prepared statement and runs it. The cached
+// template is never mutated: binding deep-copies, so any number of
+// executions (with different arguments) can run concurrently.
+func (s *Server) Execute(ctx context.Context, name string, args ...any) (*sqlexec.Result, error) {
+	s.mu.Lock()
+	sel, ok := s.prepared[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("server: no prepared statement %q", name)
+	}
+	bound, err := sqlparse.BindSelect(sel, args)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(ctx, func(ctx context.Context) (*sqlexec.Result, error) {
+		return s.sess.RunStatementContext(ctx, bound, "")
+	})
+}
+
+// Query runs one-shot SQL under admission control. SELECT parses are served
+// from (and inserted into) the LRU plan cache, so a repeated query skips
+// parsing and validation; statements with placeholders must go through
+// Prepare/Execute.
+func (s *Server) Query(ctx context.Context, sql string) (*sqlexec.Result, error) {
+	key := normalize(sql)
+	if sel, ok := s.plans.get(key); ok {
+		return s.run(ctx, func(ctx context.Context) (*sqlexec.Result, error) {
+			return s.sess.RunStatementContext(ctx, sel, sql)
+		})
+	}
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if sel, ok := stmt.(*sqlparse.Select); ok && sel.NumParams == 0 {
+		s.plans.put(key, sel)
+	}
+	return s.run(ctx, func(ctx context.Context) (*sqlexec.Result, error) {
+		return s.sess.RunStatementContext(ctx, stmt, sql)
+	})
+}
+
+// Exec runs one-shot SQL, discarding rows.
+func (s *Server) Exec(ctx context.Context, sql string) error {
+	_, err := s.Query(ctx, sql)
+	return err
+}

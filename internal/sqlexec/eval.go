@@ -11,6 +11,7 @@ import (
 
 	"verticadr/internal/colstore"
 	"verticadr/internal/sqlparse"
+	"verticadr/internal/verr"
 )
 
 // evalExpr evaluates an expression over a batch, returning one vector with
@@ -21,7 +22,7 @@ func evalExpr(e sqlparse.Expr, b *colstore.Batch) (*colstore.Vector, error) {
 	case *sqlparse.ColRef:
 		i := b.Schema.ColIndex(x.Name)
 		if i < 0 {
-			return nil, fmt.Errorf("sqlexec: unknown column %q", x.Name)
+			return nil, fmt.Errorf("sqlexec: %w %q", verr.ErrUnknownColumn, x.Name)
 		}
 		return b.Cols[i], nil
 	case *sqlparse.NumberLit:
@@ -55,6 +56,8 @@ func evalExpr(e sqlparse.Expr, b *colstore.Batch) (*colstore.Vector, error) {
 		return evalBinary(x, b)
 	case *sqlparse.FuncCall:
 		return evalScalarFunc(x, b)
+	case *sqlparse.Placeholder:
+		return nil, fmt.Errorf("sqlexec: unbound placeholder ?%d (prepare and execute with arguments)", x.Idx)
 	default:
 		return nil, fmt.Errorf("sqlexec: unsupported expression %T", e)
 	}

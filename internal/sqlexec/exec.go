@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"verticadr/internal/sqlparse"
 	"verticadr/internal/telemetry"
 	"verticadr/internal/udf"
+	"verticadr/internal/verr"
 )
 
 // Database is the executor's view of the MPP database. internal/vertica
@@ -58,11 +60,19 @@ func (r *Result) Rows() [][]any {
 // RunSelect executes a SELECT statement. When sel.Profile is set (PROFILE
 // SELECT ...) the result carries per-operator row counts and timings.
 func RunSelect(db Database, sel *sqlparse.Select) (*Result, error) {
+	return RunSelectCtx(context.Background(), db, sel)
+}
+
+// RunSelectCtx is RunSelect under a context: cancellation is honored at
+// scan-block and aggregation-chunk boundaries (and between UDTF input
+// batches), so a canceled query stops doing work within one block. The
+// returned error wraps verr.ErrCanceled.
+func RunSelectCtx(ctx context.Context, db Database, sel *sqlparse.Select) (*Result, error) {
 	var prof *Profile
 	if sel.Profile {
 		prof = NewProfile("")
 	}
-	res, err := runSelect(db, sel, prof)
+	res, err := runSelect(ctx, db, sel, prof)
 	if err != nil {
 		return nil, err
 	}
@@ -71,15 +81,18 @@ func RunSelect(db Database, sel *sqlparse.Select) (*Result, error) {
 	return res, nil
 }
 
-func runSelect(db Database, sel *sqlparse.Select, prof *Profile) (*Result, error) {
+func runSelect(ctx context.Context, db Database, sel *sqlparse.Select, prof *Profile) (*Result, error) {
 	kind := "projection"
 	defer func() {
 		telemetry.Default().Counter("sqlexec_queries_total", telemetry.L("kind", kind)).Inc()
 	}()
+	if err := verr.Canceled(ctx.Err()); err != nil {
+		return nil, err
+	}
 	// UDTF query: exactly one projection which is a function call with OVER.
 	if fc := udtfCall(sel); fc != nil {
 		kind = "udtf"
-		return runUDTF(db, sel, fc, prof)
+		return runUDTF(ctx, db, sel, fc, prof)
 	}
 	if sel.From == "" {
 		kind = "const"
@@ -93,9 +106,9 @@ func runSelect(db Database, sel *sqlparse.Select, prof *Profile) (*Result, error
 	}
 	if agg {
 		kind = "aggregate"
-		return runAggregate(db, sel, prof)
+		return runAggregate(ctx, db, sel, prof)
 	}
-	return runProjection(db, sel, prof)
+	return runProjection(ctx, db, sel, prof)
 }
 
 func udtfCall(sel *sqlparse.Select) *sqlparse.FuncCall {
@@ -184,7 +197,7 @@ func collectCols(sel *sqlparse.Select, schema colstore.Schema) ([]string, error)
 	}
 	for _, n := range names {
 		if schema.ColIndex(n) < 0 {
-			return nil, fmt.Errorf("sqlexec: unknown column %q", n)
+			return nil, fmt.Errorf("sqlexec: %w %q", verr.ErrUnknownColumn, n)
 		}
 	}
 	return names, nil
@@ -194,7 +207,7 @@ func collectCols(sel *sqlparse.Select, schema colstore.Schema) ([]string, error)
 // clause (pushing down one single-column comparison — including the first
 // pushable conjunct of an AND chain — for zone-map skipping), and returns
 // the concatenated surviving rows projected to `cols`.
-func scanTable(db Database, table string, cols []string, where sqlparse.Expr, prof *Profile) (*colstore.Batch, error) {
+func scanTable(ctx context.Context, db Database, table string, cols []string, where sqlparse.Expr, prof *Profile) (*colstore.Batch, error) {
 	def, err := db.TableDef(table)
 	if err != nil {
 		return nil, err
@@ -243,7 +256,7 @@ func scanTable(db Database, table string, cols []string, where sqlparse.Expr, pr
 			}
 			local := colstore.NewBatch(mustProject(def.Schema, scanCols))
 			var idx []int // residual-filter scratch, reused across batches
-			err := seg.ParScanWithStats(scanCols, pushed, pool, &stats[i], func(b *colstore.Batch) error {
+			err := seg.ParScanWithStatsCtx(ctx, scanCols, pushed, pool, &stats[i], func(b *colstore.Batch) error {
 				if residual != nil {
 					keep, err := evalExpr(residual, b)
 					if err != nil {
@@ -331,7 +344,7 @@ func mustProject(s colstore.Schema, cols []string) colstore.Schema {
 	return p
 }
 
-func runProjection(db Database, sel *sqlparse.Select, prof *Profile) (*Result, error) {
+func runProjection(ctx context.Context, db Database, sel *sqlparse.Select, prof *Profile) (*Result, error) {
 	def, err := db.TableDef(sel.From)
 	if err != nil {
 		return nil, err
@@ -340,7 +353,7 @@ func runProjection(db Database, sel *sqlparse.Select, prof *Profile) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	data, err := scanTable(db, sel.From, cols, sel.Where, prof)
+	data, err := scanTable(ctx, db, sel.From, cols, sel.Where, prof)
 	if err != nil {
 		return nil, err
 	}
@@ -509,7 +522,7 @@ func (a *aggState) result() any {
 	return nil
 }
 
-func runAggregate(db Database, sel *sqlparse.Select, prof *Profile) (*Result, error) {
+func runAggregate(ctx context.Context, db Database, sel *sqlparse.Select, prof *Profile) (*Result, error) {
 	def, err := db.TableDef(sel.From)
 	if err != nil {
 		return nil, err
@@ -560,7 +573,7 @@ func runAggregate(db Database, sel *sqlparse.Select, prof *Profile) (*Result, er
 			return nil, fmt.Errorf("sqlexec: unsupported aggregate projection %s", item.Expr.String())
 		}
 	}
-	data, err := scanTable(db, sel.From, cols, sel.Where, prof)
+	data, err := scanTable(ctx, db, sel.From, cols, sel.Where, prof)
 	if err != nil {
 		return nil, err
 	}
@@ -599,6 +612,10 @@ func runAggregate(db Database, sel *sqlparse.Select, prof *Profile) (*Result, er
 	nchunks := (n + aggChunkRows - 1) / aggChunkRows
 	part, err := parallel.Reduce(parallel.Default(), nchunks,
 		func(ci int) (*aggPartial, error) {
+			// Cancellation is honored per 4096-row chunk.
+			if err := verr.Canceled(ctx.Err()); err != nil {
+				return nil, err
+			}
 			lo, hi := ci*aggChunkRows, (ci+1)*aggChunkRows
 			if hi > n {
 				hi = n

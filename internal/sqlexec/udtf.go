@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"verticadr/internal/colstore"
 	"verticadr/internal/sqlparse"
 	"verticadr/internal/udf"
+	"verticadr/internal/verr"
 )
 
 // runUDTF executes a transform-function query of the form
@@ -18,7 +20,7 @@ import (
 // node's local segment is split into UDFInstancesPerNode chunks processed
 // locally (the paper's locality-friendly mode, §3.1); with PARTITION BY, rows
 // are grouped by the key columns and each group is one partition.
-func runUDTF(db Database, sel *sqlparse.Select, fc *sqlparse.FuncCall, prof *Profile) (*Result, error) {
+func runUDTF(ctx context.Context, db Database, sel *sqlparse.Select, fc *sqlparse.FuncCall, prof *Profile) (*Result, error) {
 	if sel.From == "" {
 		return nil, fmt.Errorf("sqlexec: UDTF query requires a FROM clause")
 	}
@@ -79,7 +81,7 @@ func runUDTF(db Database, sel *sqlparse.Select, fc *sqlparse.FuncCall, prof *Pro
 	var scanRows int64
 	var parts []partition
 	for node, seg := range segs {
-		raw, err := readSegment(seg, need, def.Schema, &scanStats)
+		raw, err := readSegment(ctx, seg, need, def.Schema, &scanStats)
 		if err != nil {
 			return nil, err
 		}
@@ -168,7 +170,7 @@ func runUDTF(db Database, sel *sqlparse.Select, fc *sqlparse.FuncCall, prof *Pro
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			ctx := &udf.Ctx{
+			uctx := &udf.Ctx{
 				Params:   params,
 				NodeID:   p.node,
 				NumNodes: len(segs),
@@ -176,7 +178,10 @@ func runUDTF(db Database, sel *sqlparse.Select, fc *sqlparse.FuncCall, prof *Pro
 				Services: services,
 			}
 			tf := factory()
-			errs[i] = tf.ProcessPartition(ctx, streamReader(p.data), writers[i])
+			// The input reader re-checks the query context between batches,
+			// so a canceled query stops feeding the UDF within one block.
+			in := &ctxReader{ctx: ctx, inner: streamReader(p.data)}
+			errs[i] = tf.ProcessPartition(uctx, in, writers[i])
 		}(i, p, inst)
 	}
 	wg.Wait()
@@ -247,19 +252,33 @@ func (r *viewReader) Next() (*colstore.Batch, error) {
 	return &r.view, nil
 }
 
-func readSegment(seg *colstore.Segment, cols []string, schema colstore.Schema, st *colstore.ScanStats) (*colstore.Batch, error) {
+func readSegment(ctx context.Context, seg *colstore.Segment, cols []string, schema colstore.Schema, st *colstore.ScanStats) (*colstore.Batch, error) {
 	if len(cols) == 0 {
 		// UDTF with no arguments still needs the row count; scan one column.
 		cols = []string{schema[0].Name}
 	}
 	out := colstore.NewBatch(mustProject(schema, cols))
-	err := seg.ScanWithStats(cols, nil, st, func(b *colstore.Batch) error {
+	err := seg.ScanWithStatsCtx(ctx, cols, nil, st, func(b *colstore.Batch) error {
 		return out.AppendBatch(b)
 	})
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// ctxReader wraps a BatchReader with a per-batch context check, so UDTF
+// instances observe cancellation between input blocks.
+type ctxReader struct {
+	ctx   context.Context
+	inner udf.BatchReader
+}
+
+func (r *ctxReader) Next() (*colstore.Batch, error) {
+	if err := verr.Canceled(r.ctx.Err()); err != nil {
+		return nil, err
+	}
+	return r.inner.Next()
 }
 
 func evalArgs(args []sqlparse.Expr, raw *colstore.Batch, inSchema colstore.Schema) (*colstore.Batch, error) {

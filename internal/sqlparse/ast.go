@@ -68,6 +68,10 @@ type Select struct {
 	// Profile marks a PROFILE SELECT ...: the executor collects per-operator
 	// row counts and timings and attaches them to the result.
 	Profile bool
+	// NumParams is the number of `?` placeholders the statement contains, in
+	// textual order. Zero for ordinary statements; BindSelect requires
+	// exactly this many arguments.
+	NumParams int
 }
 
 func (*Select) stmtNode() {}
@@ -150,6 +154,19 @@ func (b *BoolLit) String() string {
 	}
 	return "FALSE"
 }
+
+// Placeholder is a `?` parameter marker in a prepared statement. Idx is the
+// 0-based ordinal position among the statement's placeholders; BindSelect
+// substitutes the Idx-th argument for it at execution time. A Select still
+// containing placeholders cannot be executed — the evaluator rejects them.
+type Placeholder struct{ Idx int }
+
+func (*Placeholder) exprNode() {}
+
+// String renders the marker. All placeholders render identically, which is
+// what makes a statement's canonical String() a position-independent plan
+// cache key.
+func (*Placeholder) String() string { return "?" }
 
 // Binary is a binary operation; Op is one of + - * / = <> < <= > >= AND OR.
 type Binary struct {

@@ -45,7 +45,7 @@ var keywords = map[string]bool{
 	"PROFILE": true,
 }
 
-var symbols = []string{"<=", ">=", "<>", "!=", "(", ")", ",", ";", "*", "+", "-", "/", "=", "<", ">", "."}
+var symbols = []string{"<=", ">=", "<>", "!=", "(", ")", ",", ";", "*", "+", "-", "/", "=", "<", ">", ".", "?"}
 
 // Lex tokenizes the input, returning a token stream ending in TokEOF.
 func Lex(input string) ([]Token, error) {

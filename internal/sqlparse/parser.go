@@ -22,12 +22,18 @@ func Parse(input string) (Statement, error) {
 	if p.cur().Kind != TokEOF {
 		return nil, p.errf("trailing input starting at %q", p.cur().Text)
 	}
+	if sel, ok := stmt.(*Select); ok {
+		sel.NumParams = p.params
+	} else if p.params > 0 {
+		return nil, fmt.Errorf("sqlparse: ? placeholders are only supported in SELECT")
+	}
 	return stmt, nil
 }
 
 type parser struct {
-	toks []Token
-	pos  int
+	toks   []Token
+	pos    int
+	params int // `?` placeholders seen so far, in textual order
 }
 
 func (p *parser) cur() Token  { return p.toks[p.pos] }
@@ -476,6 +482,11 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case t.Kind == TokKeyword && t.Text == "FALSE":
 		p.pos++
 		return &BoolLit{Val: false}, nil
+	case t.Kind == TokSymbol && t.Text == "?":
+		p.pos++
+		ph := &Placeholder{Idx: p.params}
+		p.params++
+		return ph, nil
 	case t.Kind == TokSymbol && t.Text == "(":
 		p.pos++
 		e, err := p.parseExpr()

@@ -8,6 +8,7 @@
 package vertica
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -20,6 +21,7 @@ import (
 	"verticadr/internal/sqlexec"
 	"verticadr/internal/sqlparse"
 	"verticadr/internal/udf"
+	"verticadr/internal/verr"
 )
 
 // Config configures a database cluster.
@@ -125,7 +127,7 @@ func (db *DB) Segments(name string) ([]*colstore.Segment, error) {
 	defer db.mu.RUnlock()
 	segs, ok := db.segs[name]
 	if !ok {
-		return nil, fmt.Errorf("vertica: table %q has no storage", name)
+		return nil, fmt.Errorf("vertica: %w: table %q has no storage", verr.ErrTableNotFound, name)
 	}
 	return segs, nil
 }
@@ -255,20 +257,39 @@ func (db *DB) SegmentSizes(table string) ([]int, error) {
 
 // Exec runs a statement, discarding any result rows.
 func (db *DB) Exec(sql string) error {
-	_, err := db.Query(sql)
+	return db.ExecContext(context.Background(), sql)
+}
+
+// ExecContext runs a statement under a context, discarding any result rows.
+func (db *DB) ExecContext(ctx context.Context, sql string) error {
+	_, err := db.QueryContext(ctx, sql)
 	return err
 }
 
 // Query parses and executes a single SQL statement. DDL and INSERT return an
 // empty result.
 func (db *DB) Query(sql string) (*sqlexec.Result, error) {
+	return db.QueryContext(context.Background(), sql)
+}
+
+// QueryContext parses and executes a single SQL statement under a context.
+// SELECT execution honors cancellation at scan-block and aggregation-chunk
+// boundaries; the returned error then wraps verr.ErrCanceled.
+func (db *DB) QueryContext(ctx context.Context, sql string) (*sqlexec.Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
+	return db.RunStatement(ctx, stmt, sql)
+}
+
+// RunStatement executes an already-parsed statement. The serving layer uses
+// it to execute cached (prepared) plans without reparsing; sql is only used
+// to label PROFILE output.
+func (db *DB) RunStatement(ctx context.Context, stmt sqlparse.Statement, sql string) (*sqlexec.Result, error) {
 	switch s := stmt.(type) {
 	case *sqlparse.Select:
-		res, err := sqlexec.RunSelect(db, s)
+		res, err := sqlexec.RunSelectCtx(ctx, db, s)
 		if err == nil && res.Profile != nil {
 			res.Profile.Query = strings.TrimRight(strings.TrimSpace(sql), ";")
 		}

@@ -1,0 +1,47 @@
+package vft
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrameBytes caps a single frame payload; larger frames are rejected so a
+// corrupt or hostile length prefix cannot force a giant allocation.
+const MaxFrameBytes = 1 << 30
+
+// WriteFrame writes one length-prefixed frame (u32 little-endian payload
+// length, then the payload) in a single Write call. The transfer data plane
+// and the query-serving protocol (internal/server) share this layout.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("vft: frame too large (%d bytes)", len(payload))
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, reusing buf when it has the
+// capacity. It returns io.EOF unchanged when the stream ends cleanly between
+// frames, so callers can distinguish shutdown from corruption.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("vft: frame too large (%d bytes)", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

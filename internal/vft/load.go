@@ -1,6 +1,7 @@
 package vft
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -18,6 +19,13 @@ type DB interface {
 	Exec(sql string) error
 }
 
+// ctxExecer is implemented by databases whose Exec accepts a context
+// (internal/vertica.DB does); LoadContext uses it so cancellation reaches
+// the export query's scan, rather than only the boundaries around it.
+type ctxExecer interface {
+	ExecContext(ctx context.Context, sql string) error
+}
+
 // ServiceDB additionally lets callers swap the chunk sink the export UDF
 // uses (in-proc hub vs TCP client). internal/vertica.DB satisfies it.
 type ServiceDB interface {
@@ -30,11 +38,16 @@ type ServiceDB interface {
 // instances, exactly as when the database and Distributed R run on
 // different machines. Control flow is otherwise identical to Load.
 func LoadTCP(db ServiceDB, c *dr.Cluster, hub *Hub, svc *TCPService, table string, cols []string, policy string, psize int) (*darray.DFrame, *Stats, error) {
+	return LoadTCPContext(context.Background(), db, c, hub, svc, table, cols, policy, psize)
+}
+
+// LoadTCPContext is LoadTCP under a context; see LoadContext.
+func LoadTCPContext(ctx context.Context, db ServiceDB, c *dr.Cluster, hub *Hub, svc *TCPService, table string, cols []string, policy string, psize int) (*darray.DFrame, *Stats, error) {
 	client := NewTCPClient(svc.Addrs())
 	defer client.Close()
 	db.RegisterService(ServiceName, client)
 	defer db.RegisterService(ServiceName, hub)
-	return Load(db, c, hub, table, cols, policy, psize)
+	return LoadContext(ctx, db, c, hub, table, cols, policy, psize)
 }
 
 // Load performs one complete fast transfer (the db2darray internals of §3):
@@ -50,6 +63,13 @@ func LoadTCP(db ServiceDB, c *dr.Cluster, hub *Hub, svc *TCPService, table strin
 // co-numbered with workers (requires equal counts); with PolicyUniform one
 // partition per worker with near-even sizes.
 func Load(db DB, c *dr.Cluster, hub *Hub, table string, cols []string, policy string, psize int) (*darray.DFrame, *Stats, error) {
+	return LoadContext(context.Background(), db, c, hub, table, cols, policy, psize)
+}
+
+// LoadContext is Load under a context. When the database implements
+// ExecContext (internal/vertica.DB does), cancellation propagates into the
+// export query's scan; otherwise it is checked at the transfer boundaries.
+func LoadContext(ctx context.Context, db DB, c *dr.Cluster, hub *Hub, table string, cols []string, policy string, psize int) (*darray.DFrame, *Stats, error) {
 	def, err := db.TableDef(table)
 	if err != nil {
 		return nil, nil, err
@@ -101,7 +121,16 @@ func Load(db DB, c *dr.Cluster, hub *Hub, table string, cols []string, policy st
 		"SELECT %s(%s USING PARAMETERS session='%s', policy='%s', psize=%d, workers=%d) OVER (PARTITION BEST) FROM %s",
 		FuncName, strings.Join(cols, ", "), sessionID, policy, psize, workers, table)
 	exp := sp.StartChild("vft.export")
-	if err := db.Exec(q); err != nil {
+	execErr := func() error {
+		if ce, ok := db.(ctxExecer); ok {
+			return ce.ExecContext(ctx, q)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return db.Exec(q)
+	}()
+	if err := execErr; err != nil {
 		sp.End()
 		// Release the staged chunks: without the abort, a failed export
 		// leaked the session (and its staging memory) forever.

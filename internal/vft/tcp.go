@@ -108,7 +108,7 @@ func (s *TCPService) handle(conn net.Conn) {
 			return // EOF or closed
 		}
 		n := binary.LittleEndian.Uint32(lenBuf[:])
-		if n > 1<<30 {
+		if n > MaxFrameBytes {
 			writeReply(conn, fmt.Errorf("vft: frame too large (%d bytes)", n))
 			return
 		}

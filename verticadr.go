@@ -17,26 +17,113 @@
 //     the R_Models table, and applied with SQL — e.g.
 //     SELECT GlmPredict(a, b USING PARAMETERS model='m') OVER (PARTITION BEST) FROM t.
 //
+// # Context-first API
+//
+// Every operation that does real work takes a context.Context in its
+// *Context form — QueryContext, ExecContext, DB2DArrayContext,
+// DB2DFrameContext, LoadODBCContext, DB2RDDContext. Cancellation and
+// deadlines are honored inside the engine at scan-block and
+// aggregation-chunk boundaries, so a canceled query stops within one
+// storage block rather than running to completion. The short names (Query,
+// Exec, DB2DArray, ...) remain as thin wrappers that delegate with
+// context.Background().
+//
+// Failures at the public boundaries are typed: errors.Is(err,
+// verticadr.ErrTableNotFound / ErrUnknownColumn / ErrModelNotFound /
+// ErrOverloaded / ErrCanceled / ErrClosed) dispatches on the condition
+// without string matching, including across the serving protocol below.
+//
 // Quickstart (the paper's Figure 3 workflow):
 //
 //	s, _ := verticadr.Start(verticadr.Config{DBNodes: 4})
 //	defer s.Close()
-//	s.Exec(`CREATE TABLE mytable (a FLOAT, b FLOAT, y FLOAT)`)
+//	ctx := context.Background()
+//	s.ExecContext(ctx, `CREATE TABLE mytable (a FLOAT, b FLOAT, y FLOAT)`)
 //	// ... load data ...
-//	x, _, _ := s.DB2DArray("mytable", []string{"a", "b"}, "")
-//	y, _, _ := s.DB2DArray("mytable", []string{"y"}, "")
+//	x, _, _ := s.DB2DArrayContext(ctx, "mytable", []string{"a", "b"}, "")
+//	y, _, _ := s.DB2DArrayContext(ctx, "mytable", []string{"y"}, "")
 //	model, _ := verticadr.GLM(x, y, verticadr.GLMOpts{Family: verticadr.Gaussian})
 //	s.DeployModel("rModel", "me", "forecast", model)
-//	res, _ := s.Query(`SELECT GlmPredict(a, b USING PARAMETERS model='rModel') OVER (PARTITION BEST) FROM mytable`)
+//	res, _ := s.QueryContext(ctx, `SELECT GlmPredict(a, b USING PARAMETERS model='rModel') OVER (PARTITION BEST) FROM mytable`)
 //	_ = res
+//
+// # Serving
+//
+// For many concurrent callers, wrap the session in the serving layer: a
+// bounded-concurrency front door with a prepared-statement plan cache, a
+// shared deserialized-model cache, and admission control that sheds excess
+// load with ErrOverloaded instead of collapsing. It is also exposed over a
+// TCP line protocol by cmd/vdr-serve.
+//
+//	srv := verticadr.NewServer(s, verticadr.ServerConfig{MaxConcurrent: 8})
+//	srv.Prepare("score", `SELECT GlmPredict(a, b USING PARAMETERS model='rModel') OVER (PARTITION BEST) FROM mytable`)
+//	res, err := srv.Execute(ctx, "score")
+//	if errors.Is(err, verticadr.ErrOverloaded) { /* back off and retry */ }
+//
+// # Migration from the pre-context API
+//
+// Old signature                         → new signature
+//
+//	s.Query(sql)                       → s.QueryContext(ctx, sql)
+//	s.Exec(sql)                        → s.ExecContext(ctx, sql)
+//	s.DB2DArray(table, cols, policy)   → s.DB2DArrayContext(ctx, ...)
+//	s.DB2DFrame(table, cols, policy)   → s.DB2DFrameContext(ctx, ...)
+//	s.LoadODBC(table, cols, conns)     → s.LoadODBCContext(ctx, ...)
+//	s.DB2RDD(sc, table, cols, policy)  → s.DB2RDDContext(ctx, sc, ...)
+//
+// The old names still compile and behave identically (they pass
+// context.Background()); new code should pass a real context.
 package verticadr
 
 import (
 	"verticadr/internal/algos"
 	"verticadr/internal/core"
 	"verticadr/internal/darray"
+	"verticadr/internal/server"
+	"verticadr/internal/verr"
 	"verticadr/internal/vft"
 )
+
+// Typed error vocabulary, matchable with errors.Is end to end — including
+// errors that crossed the vdr-serve TCP protocol.
+var (
+	// ErrTableNotFound: a statement referenced a table absent from the catalog.
+	ErrTableNotFound = verr.ErrTableNotFound
+	// ErrUnknownColumn: an expression referenced a column the table lacks.
+	ErrUnknownColumn = verr.ErrUnknownColumn
+	// ErrModelNotFound: a prediction referenced a model that is not deployed.
+	ErrModelNotFound = verr.ErrModelNotFound
+	// ErrOverloaded: admission control shed the query; retry after backoff.
+	ErrOverloaded = verr.ErrOverloaded
+	// ErrCanceled: the query's context ended and execution stopped at the
+	// next block boundary.
+	ErrCanceled = verr.ErrCanceled
+	// ErrClosed: the session or server is shut down.
+	ErrClosed = verr.ErrClosed
+)
+
+// Serving layer (one front door over a Session for many concurrent callers).
+type (
+	// Server is the concurrent query-serving layer: plan cache, model
+	// cache, admission control, per-query deadlines.
+	Server = server.Server
+	// ServerConfig tunes concurrency limits, queue bounds and cache sizes.
+	ServerConfig = server.Config
+	// ServerClient is the TCP line-protocol client for cmd/vdr-serve.
+	ServerClient = server.Client
+)
+
+// NewServer wraps a session in the serving layer.
+func NewServer(s *Session, cfg ServerConfig) *Server { return server.New(s, cfg) }
+
+// ListenAndServe exposes a Server on a TCP address (the cmd/vdr-serve
+// protocol); returns the bound endpoint.
+func ListenAndServe(srv *Server, addr string) (*server.TCPServer, error) {
+	return server.Listen(srv, addr)
+}
+
+// DialServer connects a ServerClient to a vdr-serve endpoint.
+func DialServer(addr string) (*ServerClient, error) { return server.Dial(addr) }
 
 // Config sizes a session: database nodes, Distributed R workers, R
 // instances per worker, optional YARN brokering and persistence.
