@@ -1,9 +1,17 @@
 GO ?= go
 
-# Tier-1 verify (referenced from ROADMAP.md): everything must build and
-# every test must pass before a PR lands.
+# Tier-1 verify (referenced from ROADMAP.md): everything must build, every
+# test must pass, and the tree must be lint-clean before a PR lands.
 .PHONY: check
-check: vet build test race
+check: lint build test race
+
+# Lint: go vet plus gofmt enforcement (gofmt -l output fails the build).
+.PHONY: lint
+lint: vet
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 .PHONY: vet
 vet:

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,11 +27,14 @@ import (
 	"verticadr/internal/bench"
 	"verticadr/internal/core"
 	"verticadr/internal/server"
+	"verticadr/internal/telemetry"
 )
 
 func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:5433", "serve mode: listen address")
+		adminAddr   = flag.String("admin", "", "serve mode: admin HTTP listen address for /metrics, /statements, /traces/recent, /healthz and pprof (empty = disabled)")
+		drainWait   = flag.Duration("drain", 10*time.Second, "serve mode: graceful-shutdown drain deadline for in-flight queries")
 		demo        = flag.Bool("demo", true, "serve mode: preload the serve_pts table and serve_glm model")
 		nodes       = flag.Int("nodes", 4, "database nodes")
 		workers     = flag.Int("workers", 4, "Distributed R workers")
@@ -53,7 +57,7 @@ func main() {
 		}
 		return
 	}
-	if err := serve(*addr, *demo, *nodes, *workers, server.Config{
+	if err := serve(*addr, *adminAddr, *drainWait, *demo, *nodes, *workers, server.Config{
 		MaxConcurrent: *maxConc,
 		MaxQueue:      *maxQueue,
 		QueueWait:     *queueWait,
@@ -64,7 +68,7 @@ func main() {
 	}
 }
 
-func serve(addr string, demo bool, nodes, workers int, cfg server.Config) error {
+func serve(addr, adminAddr string, drainWait time.Duration, demo bool, nodes, workers int, cfg server.Config) error {
 	var (
 		sess *core.Session
 		err  error
@@ -91,11 +95,40 @@ func serve(addr string, demo bool, nodes, workers int, cfg server.Config) error 
 		fmt.Printf("vdr-serve: try: %s\n", bench.ServePredictSQL)
 	}
 
+	var admin *http.Server
+	if adminAddr != "" {
+		admin = &http.Server{Addr: adminAddr, Handler: server.AdminHandler(srv)}
+		go func() {
+			fmt.Printf("vdr-serve: admin endpoint on http://%s (/metrics /statements /traces/recent /healthz /debug/pprof/)\n", adminAddr)
+			if err := admin.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "vdr-serve: admin:", err)
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("vdr-serve: shutting down")
+
+	// Graceful shutdown: stop accepting and drain in-flight queries to the
+	// deadline, mark the server closed so anything still queued fails fast,
+	// then emit a final observability snapshot before the process exits.
+	fmt.Printf("vdr-serve: shutting down (draining up to %v)\n", drainWait)
+	if err := tcp.Shutdown(drainWait); err != nil {
+		fmt.Fprintln(os.Stderr, "vdr-serve: drain:", err)
+	}
 	srv.Close()
+	if admin != nil {
+		_ = admin.Close()
+	}
+	fmt.Fprintln(os.Stderr, "vdr-serve: final metrics")
+	fmt.Fprint(os.Stderr, telemetry.Default().Dump())
+	if snaps := srv.Statements().Snapshot(); len(snaps) > 0 {
+		if js, err := json.MarshalIndent(snaps, "", "  "); err == nil {
+			fmt.Fprintln(os.Stderr, "vdr-serve: statement statistics")
+			fmt.Fprintln(os.Stderr, string(js))
+		}
+	}
 	return nil
 }
 

@@ -10,11 +10,17 @@
 //	> PROFILE SELECT count(*) FROM demo;           -- per-operator rows + timings
 //	> \profile                                     -- profile every SELECT
 //	> \metrics                                     -- dump the telemetry registry
+//	> \statements                                  -- per-statement statistics (calls, errors, p50/p95/p99)
 //	> SELECT GlmPredict(a, b USING PARAMETERS model='m') OVER (PARTITION BEST) FROM demo;
+//
+// Statements run through the serving layer (plan cache + statement
+// statistics), so repeated queries skip parsing and \statements accumulates
+// the pg_stat_statements-style view.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -52,6 +58,12 @@ func main() {
 		seedDemo(s)
 	}
 
+	// Statements route through the serving layer: the shell gets the plan
+	// cache and per-statement statistics for free.
+	srv := verticadr.NewServer(s, verticadr.ServerConfig{})
+	defer srv.Close()
+	ctx := context.Background()
+
 	profileAll := false
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -73,12 +85,23 @@ func main() {
 			fmt.Printf("profile mode %v\n", map[bool]string{true: "on", false: "off"}[profileAll])
 		case line == "\\metrics":
 			fmt.Print(telemetry.Default().Dump())
+		case line == "\\statements":
+			snaps := srv.Statements().Snapshot()
+			if len(snaps) == 0 {
+				fmt.Println("no statements recorded yet")
+				break
+			}
+			fmt.Printf("%7s %6s %10s %10s %10s %10s  %s\n", "calls", "errs", "total_s", "p50_s", "p95_s", "p99_s", "statement")
+			for _, sn := range snaps {
+				fmt.Printf("%7d %6d %10.4f %10.6f %10.6f %10.6f  %s\n",
+					sn.Calls, sn.Errors, sn.TotalSecs, sn.P50Secs, sn.P95Secs, sn.P99Secs, sn.SQL)
+			}
 		default:
 			q := line
 			if profileAll && hasPrefixFold(q, "SELECT") {
 				q = "PROFILE " + q
 			}
-			res, err := s.Query(q)
+			res, err := srv.Query(ctx, q)
 			if err != nil {
 				fmt.Println("error:", err)
 				break

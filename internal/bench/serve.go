@@ -12,6 +12,7 @@ import (
 	"verticadr/internal/algos"
 	"verticadr/internal/core"
 	"verticadr/internal/server"
+	"verticadr/internal/telemetry"
 	"verticadr/internal/verr"
 )
 
@@ -54,6 +55,11 @@ type ServeBenchResult struct {
 	PreparedCachedQPS float64 `json:"prepared_cached_qps"`
 	Speedup           float64 `json:"speedup"`
 
+	// Per-query latency quantiles for the two throughput phases,
+	// milliseconds, estimated from telemetry histograms.
+	UnpreparedLatency     LatencyQuantiles `json:"unprepared_latency_ms"`
+	PreparedCachedLatency LatencyQuantiles `json:"prepared_cached_latency_ms"`
+
 	// Overload phase: offered streams vs. a server sized far below them.
 	Overload struct {
 		Streams       int   `json:"streams"`
@@ -63,6 +69,38 @@ type ServeBenchResult struct {
 		Overloaded    int64 `json:"overloaded"`
 		OtherErrors   int64 `json:"other_errors"`
 	} `json:"overload"`
+}
+
+// LatencyQuantiles are interpolated latency estimates in milliseconds.
+type LatencyQuantiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// timed wraps a closed-loop body so each successful iteration's wall time
+// lands in h (seconds).
+func timed(h *telemetry.Histogram, fn func(stream int) error) func(int) error {
+	return func(stream int) error {
+		t0 := time.Now()
+		err := fn(stream)
+		if err == nil {
+			h.Observe(time.Since(t0).Seconds())
+		}
+		return err
+	}
+}
+
+// latencyMS reads p50/p95/p99 off a seconds histogram as milliseconds.
+func latencyMS(h *telemetry.Histogram) LatencyQuantiles {
+	if h.Count() == 0 {
+		return LatencyQuantiles{}
+	}
+	return LatencyQuantiles{
+		P50: h.Quantile(0.50) * 1e3,
+		P95: h.Quantile(0.95) * 1e3,
+		P99: h.Quantile(0.99) * 1e3,
+	}
 }
 
 // ServePredictSQL is the benchmark's prediction statement; vdr-serve -demo
@@ -182,14 +220,16 @@ func RunServeBench(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 	// parses its SQL and every UDF instance deserializes the model (cache
 	// off). This is what a caller got before internal/server existed.
 	s.Models.SetCacheEnabled(false)
-	n, err := closedLoop(cfg.Concurrency, cfg.Duration, func(int) error {
+	unpreparedLat := telemetry.NewHistogram(nil)
+	n, err := closedLoop(cfg.Concurrency, cfg.Duration, timed(unpreparedLat, func(int) error {
 		_, err := s.QueryContext(ctx, ServePredictSQL)
 		return err
-	})
+	}))
 	if err != nil {
 		return nil, fmt.Errorf("unprepared phase: %w", err)
 	}
 	res.UnpreparedQPS = float64(n) / cfg.Duration.Seconds()
+	res.UnpreparedLatency = latencyMS(unpreparedLat)
 
 	// Phase 2 — prepared + cached over the wire: plan cache + model cache,
 	// through the real TCP protocol (framing and JSON included in the cost).
@@ -212,14 +252,16 @@ func RunServeBench(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 		}
 		clients[i] = c
 	}
-	n, err = closedLoop(cfg.Concurrency, cfg.Duration, func(stream int) error {
+	preparedLat := telemetry.NewHistogram(nil)
+	n, err = closedLoop(cfg.Concurrency, cfg.Duration, timed(preparedLat, func(stream int) error {
 		_, err := clients[stream].Execute(ctx, "p")
 		return err
-	})
+	}))
 	if err != nil {
 		return nil, fmt.Errorf("prepared phase: %w", err)
 	}
 	res.PreparedCachedQPS = float64(n) / cfg.Duration.Seconds()
+	res.PreparedCachedLatency = latencyMS(preparedLat)
 	if res.UnpreparedQPS > 0 {
 		res.Speedup = res.PreparedCachedQPS / res.UnpreparedQPS
 	}

@@ -137,8 +137,8 @@ type Splitter struct {
 	colIdx int
 
 	mu   sync.Mutex
-	next int        // round-robin cursor
-	idxs [][]int    // per-destination row indices, reused across calls
+	next int     // round-robin cursor
+	idxs [][]int // per-destination row indices, reused across calls
 	outs []*colstore.Batch
 }
 

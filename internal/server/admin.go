@@ -1,0 +1,61 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"verticadr/internal/telemetry"
+)
+
+// AdminHandler builds the observability endpoint for a running server: an
+// http.Handler meant for a loopback/ops-network listener, deliberately
+// separate from the query port so scraping and profiling never compete with
+// query traffic for the protocol path.
+//
+//	GET /metrics        Prometheus text exposition of every telemetry series
+//	GET /statements     per-statement statistics (pg_stat_statements analogue)
+//	GET /traces/recent  most recent traces as span trees (?n=  bounds count)
+//	GET /healthz        200 while admitting, 503 when saturated or closed
+//	/debug/pprof/*      the standard Go profiling surface
+func AdminHandler(srv *Server) http.Handler {
+	mux := http.NewServeMux()
+	reg := telemetry.Default()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(reg.PromText()))
+	})
+	mux.HandleFunc("/statements", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, srv.Statements().Snapshot())
+	})
+	mux.HandleFunc("/traces/recent", func(w http.ResponseWriter, r *http.Request) {
+		n := 16
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		writeJSON(w, reg.Spans().Traces(n))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := srv.Health()
+		if h.Saturated {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		writeJSON(w, h)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

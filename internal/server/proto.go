@@ -37,13 +37,20 @@ type protoRequest struct {
 	Name      string            `json:"name,omitempty"`
 	Args      []json.RawMessage `json:"args,omitempty"`
 	TimeoutMS int64             `json:"timeout_ms,omitempty"`
+	// Trace/Span carry the client's trace context (hex span IDs). When set,
+	// the server continues the trace: its admission, execution and operator
+	// spans attach under the client's request span, so one query yields one
+	// trace across both processes.
+	Trace string `json:"trace,omitempty"`
+	Span  string `json:"span,omitempty"`
 }
 
 type protoResponse struct {
-	Code string   `json:"code"`
-	Msg  string   `json:"msg,omitempty"`
-	Cols []string `json:"cols,omitempty"`
-	Rows [][]any  `json:"rows,omitempty"`
+	Code    string                 `json:"code"`
+	Msg     string                 `json:"msg,omitempty"`
+	Cols    []string               `json:"cols,omitempty"`
+	Rows    [][]any                `json:"rows,omitempty"`
+	Profile *sqlexec.ProfileExport `json:"profile,omitempty"`
 }
 
 // TCPServer exposes a Server over a TCP listener.
@@ -51,10 +58,11 @@ type TCPServer struct {
 	srv *Server
 	lis net.Listener
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	conns    map[net.Conn]bool // conn -> currently serving a request
+	closed   bool
+	draining bool
+	wg       sync.WaitGroup
 }
 
 // Listen starts serving srv on addr (host:port; port 0 picks a free port).
@@ -63,7 +71,7 @@ func Listen(srv *Server, addr string) (*TCPServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &TCPServer{srv: srv, lis: lis, conns: map[net.Conn]struct{}{}}
+	t := &TCPServer{srv: srv, lis: lis, conns: map[net.Conn]bool{}}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -73,7 +81,8 @@ func Listen(srv *Server, addr string) (*TCPServer, error) {
 func (t *TCPServer) Addr() string { return t.lis.Addr().String() }
 
 // Close stops accepting, closes every live connection and waits for their
-// handlers to exit. Idempotent.
+// handlers to exit. In-flight requests are abandoned mid-write; use Shutdown
+// for a graceful drain. Idempotent.
 func (t *TCPServer) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -94,6 +103,53 @@ func (t *TCPServer) Close() error {
 	return err
 }
 
+// Shutdown drains the server gracefully: it stops accepting, closes idle
+// connections immediately, and lets connections with a request in flight
+// finish and write their response before closing. Connections still busy
+// when the deadline passes are force-closed (deadline <= 0 waits forever).
+// Idempotent with Close; returns once every handler has exited.
+func (t *TCPServer) Shutdown(deadline time.Duration) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.draining = true
+	idle := make([]net.Conn, 0, len(t.conns))
+	for c, busy := range t.conns {
+		if !busy {
+			idle = append(idle, c)
+		}
+	}
+	t.mu.Unlock()
+	err := t.lis.Close()
+	for _, c := range idle {
+		_ = c.Close()
+	}
+	done := make(chan struct{})
+	go func() { t.wg.Wait(); close(done) }()
+	var expired <-chan time.Time
+	if deadline > 0 {
+		timer := time.NewTimer(deadline)
+		defer timer.Stop()
+		expired = timer.C
+	}
+	select {
+	case <-done:
+	case <-expired:
+		t.mu.Lock()
+		for c := range t.conns {
+			_ = c.Close()
+		}
+		t.mu.Unlock()
+		<-done
+	}
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	return err
+}
+
 func (t *TCPServer) acceptLoop() {
 	defer t.wg.Done()
 	for {
@@ -102,12 +158,12 @@ func (t *TCPServer) acceptLoop() {
 			return // listener closed
 		}
 		t.mu.Lock()
-		if t.closed {
+		if t.closed || t.draining {
 			t.mu.Unlock()
 			_ = conn.Close()
 			return
 		}
-		t.conns[conn] = struct{}{}
+		t.conns[conn] = false
 		t.mu.Unlock()
 		t.wg.Add(1)
 		go t.handle(conn)
@@ -131,13 +187,25 @@ func (t *TCPServer) handle(conn net.Conn) {
 			return // EOF (client done) or connection torn down
 		}
 		buf = frame
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return
+		}
+		t.conns[conn] = true // busy: a drain lets this request finish
+		t.mu.Unlock()
 		mRequests.Inc()
 		resp := t.serve(frame)
 		payload, err := json.Marshal(resp)
 		if err != nil {
 			payload, _ = json.Marshal(protoResponse{Code: verr.CodeInternal, Msg: err.Error()})
 		}
-		if err := vft.WriteFrame(conn, payload); err != nil {
+		werr := vft.WriteFrame(conn, payload)
+		t.mu.Lock()
+		t.conns[conn] = false
+		draining := t.draining
+		t.mu.Unlock()
+		if werr != nil || draining {
 			return
 		}
 	}
@@ -150,6 +218,14 @@ func (t *TCPServer) serve(frame []byte) protoResponse {
 		return protoResponse{Code: verr.CodeInternal, Msg: fmt.Sprintf("bad request: %v", err)}
 	}
 	ctx := context.Background()
+	if trace := telemetry.ParseID(req.Trace); trace != 0 {
+		// Continue the client's trace: the server-side span adopts the
+		// request span as its (remote) parent.
+		span := telemetry.Default().Spans().StartSpanRemote(
+			"server."+req.Op, trace, telemetry.ParseID(req.Span))
+		defer span.End()
+		ctx = telemetry.ContextWithSpan(ctx, span)
+	}
 	if req.TimeoutMS > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
@@ -197,6 +273,7 @@ func okResponse(res *sqlexec.Result) protoResponse {
 		out.Cols = append(out.Cols, c.Name)
 	}
 	out.Rows = res.Rows()
+	out.Profile = res.Profile.Export()
 	return out
 }
 
@@ -259,6 +336,14 @@ func (c *Client) roundTrip(ctx context.Context, req protoRequest) (*protoRespons
 	if err := verr.Canceled(ctx.Err()); err != nil {
 		return nil, err
 	}
+	// A traced context gets a client-side request span whose IDs ride the
+	// wire, letting the server attach its spans to the same trace.
+	span := telemetry.SpanFromContext(ctx).StartChild("client." + req.Op)
+	defer span.End()
+	if span != nil {
+		req.Trace = telemetry.FormatID(span.TraceID())
+		req.Span = telemetry.FormatID(span.ID())
+	}
 	if dl, ok := ctx.Deadline(); ok {
 		ms := time.Until(dl).Milliseconds()
 		if ms < 1 {
@@ -293,10 +378,13 @@ func (c *Client) roundTrip(ctx context.Context, req protoRequest) (*protoRespons
 	return &resp, nil
 }
 
-// Rows is a protocol-level result set.
+// Rows is a protocol-level result set. Profile is non-nil for PROFILE
+// statements: the server ships its per-operator measurements back with the
+// rows.
 type Rows struct {
-	Cols []string
-	Rows [][]any
+	Cols    []string
+	Rows    [][]any
+	Profile *sqlexec.ProfileExport
 }
 
 // Query runs one-shot SQL on the server. A ctx deadline is forwarded so the
@@ -306,7 +394,7 @@ func (c *Client) Query(ctx context.Context, sql string) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Rows{Cols: resp.Cols, Rows: resp.Rows}, nil
+	return &Rows{Cols: resp.Cols, Rows: resp.Rows, Profile: resp.Profile}, nil
 }
 
 // Prepare registers a named prepared statement on the server.
@@ -329,7 +417,7 @@ func (c *Client) Execute(ctx context.Context, name string, args ...any) (*Rows, 
 	if err != nil {
 		return nil, err
 	}
-	return &Rows{Cols: resp.Cols, Rows: resp.Rows}, nil
+	return &Rows{Cols: resp.Cols, Rows: resp.Rows, Profile: resp.Profile}, nil
 }
 
 // Ping round-trips an empty request.

@@ -55,6 +55,10 @@ type Config struct {
 	QueryTimeout time.Duration
 	// PlanCacheSize bounds the one-shot plan LRU (default 128).
 	PlanCacheSize int
+	// StmtStatsSize bounds how many distinct statement fingerprints the
+	// per-statement statistics track before evicting the least recently
+	// executed (default 256).
+	StmtStatsSize int
 }
 
 func (c *Config) fill() {
@@ -74,15 +78,24 @@ type Server struct {
 	sess *core.Session
 	cfg  Config
 
-	sem    chan struct{}
-	queued atomic.Int64
+	sem     chan struct{}
+	queued  atomic.Int64
+	running atomic.Int64
 
 	plans *planCache
+	stmts *StmtStats
 
 	mu       sync.Mutex
-	prepared map[string]*sqlparse.Select
+	prepared map[string]preparedStmt
 
 	closed atomic.Bool
+}
+
+// preparedStmt pairs the immutable plan template with the SQL it was
+// prepared from (the statement-statistics fingerprint for its executions).
+type preparedStmt struct {
+	sel *sqlparse.Select
+	sql string
 }
 
 // New builds a serving layer over sess.
@@ -93,7 +106,8 @@ func New(sess *core.Session, cfg Config) *Server {
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
 		plans:    newPlanCache(cfg.PlanCacheSize),
-		prepared: map[string]*sqlparse.Select{},
+		stmts:    newStmtStats(cfg.StmtStatsSize),
+		prepared: map[string]preparedStmt{},
 	}
 }
 
@@ -102,6 +116,35 @@ func (s *Server) Session() *core.Session { return s.sess }
 
 // PlanCacheLen reports the one-shot plan cache's current size.
 func (s *Server) PlanCacheLen() int { return s.plans.len() }
+
+// Statements exposes the per-statement statistics (calls, error codes,
+// latency quantiles per normalized SQL fingerprint).
+func (s *Server) Statements() *StmtStats { return s.stmts }
+
+// Health is an instantaneous admission-control reading.
+type Health struct {
+	Closed        bool  `json:"closed"`
+	Inflight      int64 `json:"inflight"`
+	Queued        int64 `json:"queued"`
+	MaxConcurrent int   `json:"max_concurrent"`
+	MaxQueue      int   `json:"max_queue"`
+	// Saturated means a query arriving now would be refused immediately:
+	// every execution slot and every queue slot is taken.
+	Saturated bool `json:"saturated"`
+}
+
+// Health reports whether the server can currently admit work.
+func (s *Server) Health() Health {
+	h := Health{
+		Closed:        s.closed.Load(),
+		Inflight:      s.running.Load(),
+		Queued:        s.queued.Load(),
+		MaxConcurrent: s.cfg.MaxConcurrent,
+		MaxQueue:      s.cfg.MaxQueue,
+	}
+	h.Saturated = h.Closed || (h.Inflight >= int64(h.MaxConcurrent) && h.Queued >= int64(h.MaxQueue))
+	return h
+}
 
 // Close marks the server closed; new requests fail fast with verr.ErrClosed.
 // It does not close the underlying session — the session owner does that
@@ -119,13 +162,20 @@ func normalize(sql string) string {
 // the queue is full or the queue-wait deadline passes, verr.ErrCanceled when
 // ctx ends first, verr.ErrClosed after Close.
 func (s *Server) acquire(ctx context.Context) (func(), error) {
+	admit := telemetry.SpanFromContext(ctx).StartChild("server.admit")
 	if s.closed.Load() {
+		admit.SetAttr("outcome", "closed")
+		admit.End()
 		return nil, fmt.Errorf("server: %w", verr.ErrClosed)
 	}
 	grant := func() func() {
+		admit.SetAttr("outcome", "ok")
+		admit.End()
 		gInflight.Add(1)
+		s.running.Add(1)
 		return func() {
 			gInflight.Add(-1)
+			s.running.Add(-1)
 			<-s.sem
 		}
 	}
@@ -139,8 +189,11 @@ func (s *Server) acquire(ctx context.Context) (func(), error) {
 	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
 		s.queued.Add(-1)
 		mOutcome("overloaded").Inc()
+		admit.SetAttr("outcome", "queue_full")
+		admit.End()
 		return nil, fmt.Errorf("server: wait queue full (%d): %w", s.cfg.MaxQueue, verr.ErrOverloaded)
 	}
+	admit.SetAttr("queued", "true")
 	gQueueDepth.Add(1)
 	start := time.Now()
 	defer func() {
@@ -155,18 +208,27 @@ func (s *Server) acquire(ctx context.Context) (func(), error) {
 		return grant(), nil
 	case <-timer.C:
 		mOutcome("overloaded").Inc()
+		admit.SetAttr("outcome", "queue_wait_exceeded")
+		admit.End()
 		return nil, fmt.Errorf("server: queue wait exceeded %v: %w", s.cfg.QueueWait, verr.ErrOverloaded)
 	case <-ctx.Done():
 		mOutcome("canceled").Inc()
+		admit.SetAttr("outcome", "canceled")
+		admit.End()
 		return nil, verr.Canceled(ctx.Err())
 	}
 }
 
-// run executes fn under admission control, the configured query timeout and
-// outcome accounting.
-func (s *Server) run(ctx context.Context, fn func(ctx context.Context) (*sqlexec.Result, error)) (*sqlexec.Result, error) {
+// run executes fn under admission control, the configured query timeout,
+// outcome accounting and per-statement statistics (keyed on fingerprint, the
+// normalized SQL). A traced context gets server.admit and server.exec child
+// spans; the engine hangs per-operator spans under the latter.
+func (s *Server) run(ctx context.Context, fingerprint string, fn func(ctx context.Context) (*sqlexec.Result, error)) (*sqlexec.Result, error) {
 	release, err := s.acquire(ctx)
 	if err != nil {
+		if fingerprint != "" {
+			s.stmts.Record(fingerprint, 0, err)
+		}
 		return nil, err
 	}
 	defer release()
@@ -175,9 +237,15 @@ func (s *Server) run(ctx context.Context, fn func(ctx context.Context) (*sqlexec
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
 		defer cancel()
 	}
+	execCtx, execSpan := telemetry.StartChildCtx(ctx, "server.exec")
 	start := time.Now()
-	res, err := fn(ctx)
-	hQuery.Observe(time.Since(start).Seconds())
+	res, err := fn(execCtx)
+	elapsed := time.Since(start)
+	execSpan.End()
+	hQuery.Observe(elapsed.Seconds())
+	if fingerprint != "" {
+		s.stmts.Record(fingerprint, elapsed, err)
+	}
 	switch {
 	case err == nil:
 		mOutcome("ok").Inc()
@@ -207,7 +275,7 @@ func (s *Server) Prepare(name, sql string) error {
 		return fmt.Errorf("server: PREPARE requires a SELECT, got %T", stmt)
 	}
 	s.mu.Lock()
-	s.prepared[name] = sel
+	s.prepared[name] = preparedStmt{sel: sel, sql: normalize(sql)}
 	s.mu.Unlock()
 	return nil
 }
@@ -217,16 +285,16 @@ func (s *Server) Prepare(name, sql string) error {
 // executions (with different arguments) can run concurrently.
 func (s *Server) Execute(ctx context.Context, name string, args ...any) (*sqlexec.Result, error) {
 	s.mu.Lock()
-	sel, ok := s.prepared[name]
+	ps, ok := s.prepared[name]
 	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("server: no prepared statement %q", name)
 	}
-	bound, err := sqlparse.BindSelect(sel, args)
+	bound, err := sqlparse.BindSelect(ps.sel, args)
 	if err != nil {
 		return nil, err
 	}
-	return s.run(ctx, func(ctx context.Context) (*sqlexec.Result, error) {
+	return s.run(ctx, ps.sql, func(ctx context.Context) (*sqlexec.Result, error) {
 		return s.sess.RunStatementContext(ctx, bound, "")
 	})
 }
@@ -238,10 +306,12 @@ func (s *Server) Execute(ctx context.Context, name string, args ...any) (*sqlexe
 func (s *Server) Query(ctx context.Context, sql string) (*sqlexec.Result, error) {
 	key := normalize(sql)
 	if sel, ok := s.plans.get(key); ok {
-		return s.run(ctx, func(ctx context.Context) (*sqlexec.Result, error) {
+		telemetry.SpanFromContext(ctx).SetAttr("plan_cache", "hit")
+		return s.run(ctx, key, func(ctx context.Context) (*sqlexec.Result, error) {
 			return s.sess.RunStatementContext(ctx, sel, sql)
 		})
 	}
+	telemetry.SpanFromContext(ctx).SetAttr("plan_cache", "miss")
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -249,7 +319,7 @@ func (s *Server) Query(ctx context.Context, sql string) (*sqlexec.Result, error)
 	if sel, ok := stmt.(*sqlparse.Select); ok && sel.NumParams == 0 {
 		s.plans.put(key, sel)
 	}
-	return s.run(ctx, func(ctx context.Context) (*sqlexec.Result, error) {
+	return s.run(ctx, key, func(ctx context.Context) (*sqlexec.Result, error) {
 		return s.sess.RunStatementContext(ctx, stmt, sql)
 	})
 }

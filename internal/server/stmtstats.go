@@ -1,0 +1,170 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"verticadr/internal/telemetry"
+	"verticadr/internal/verr"
+)
+
+// StmtStats is the pg_stat_statements analogue: cumulative per-statement
+// execution statistics keyed on the normalized SQL text (the same
+// fingerprint the plan cache uses, so a statement's plan-cache entry and its
+// stats row line up). Retention is bounded: at most `cap` fingerprints are
+// tracked, evicting the least-recently-executed when a new statement would
+// exceed the bound — a long-running server with pathological query diversity
+// stays at O(cap) memory, and the evictions are counted.
+type StmtStats struct {
+	mu      sync.Mutex
+	entries map[string]*stmtEntry
+	cap     int
+	seq     uint64
+	evicted int64
+}
+
+type stmtEntry struct {
+	sql        string
+	calls      int64
+	errors     int64
+	errCodes   map[string]int64
+	totalNanos int64
+	hist       *telemetry.Histogram
+	lastSeq    uint64
+}
+
+// defaultStmtStatsCap bounds distinct fingerprints tracked per server.
+const defaultStmtStatsCap = 256
+
+func newStmtStats(capacity int) *StmtStats {
+	if capacity <= 0 {
+		capacity = defaultStmtStatsCap
+	}
+	return &StmtStats{entries: map[string]*stmtEntry{}, cap: capacity}
+}
+
+// Record folds one execution into the statement's row. err == nil counts a
+// success; otherwise the verr wire code buckets the failure.
+func (s *StmtStats) Record(sql string, d time.Duration, err error) {
+	s.mu.Lock()
+	e, ok := s.entries[sql]
+	if !ok {
+		if len(s.entries) >= s.cap {
+			s.evictLocked()
+		}
+		e = &stmtEntry{sql: sql, errCodes: map[string]int64{}, hist: telemetry.NewHistogram(nil)}
+		s.entries[sql] = e
+	}
+	s.seq++
+	e.lastSeq = s.seq
+	e.calls++
+	e.totalNanos += int64(d)
+	if err != nil {
+		e.errors++
+		e.errCodes[verr.Code(err)]++
+	}
+	hist := e.hist
+	s.mu.Unlock()
+	// Observe outside the map lock; the histogram itself is lock-free.
+	hist.ObserveDuration(d)
+}
+
+// evictLocked removes the least-recently-executed entry.
+func (s *StmtStats) evictLocked() {
+	var victim string
+	var oldest uint64
+	first := true
+	for k, e := range s.entries {
+		if first || e.lastSeq < oldest {
+			victim, oldest, first = k, e.lastSeq, false
+		}
+	}
+	if !first {
+		delete(s.entries, victim)
+		s.evicted++
+	}
+}
+
+// Evicted reports how many fingerprints retention has dropped.
+func (s *StmtStats) Evicted() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// Len reports how many fingerprints are currently tracked.
+func (s *StmtStats) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Reset drops every tracked statement.
+func (s *StmtStats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = map[string]*stmtEntry{}
+	s.evicted = 0
+}
+
+// StmtSnapshot is one statement's cumulative statistics.
+type StmtSnapshot struct {
+	SQL       string           `json:"sql"`
+	Calls     int64            `json:"calls"`
+	Errors    int64            `json:"errors,omitempty"`
+	ErrCodes  map[string]int64 `json:"error_codes,omitempty"`
+	TotalSecs float64          `json:"total_seconds"`
+	MeanSecs  float64          `json:"mean_seconds"`
+	P50Secs   float64          `json:"p50_seconds"`
+	P95Secs   float64          `json:"p95_seconds"`
+	P99Secs   float64          `json:"p99_seconds"`
+}
+
+// Snapshot returns every tracked statement ordered by total time descending
+// (the "what is this server spending its life on" view).
+func (s *StmtStats) Snapshot() []StmtSnapshot {
+	s.mu.Lock()
+	entries := make([]*stmtEntry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	snaps := make([]StmtSnapshot, len(entries))
+	for i, e := range entries {
+		snaps[i] = StmtSnapshot{
+			SQL:       e.sql,
+			Calls:     e.calls,
+			Errors:    e.errors,
+			TotalSecs: time.Duration(e.totalNanos).Seconds(),
+		}
+		if e.calls > 0 {
+			snaps[i].MeanSecs = snaps[i].TotalSecs / float64(e.calls)
+		}
+		if len(e.errCodes) > 0 {
+			codes := make(map[string]int64, len(e.errCodes))
+			for c, n := range e.errCodes {
+				codes[c] = n
+			}
+			snaps[i].ErrCodes = codes
+		}
+	}
+	hists := make([]*telemetry.Histogram, len(entries))
+	for i, e := range entries {
+		hists[i] = e.hist
+	}
+	s.mu.Unlock()
+	for i, h := range hists {
+		if h.Count() > 0 {
+			snaps[i].P50Secs = h.Quantile(0.50)
+			snaps[i].P95Secs = h.Quantile(0.95)
+			snaps[i].P99Secs = h.Quantile(0.99)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool {
+		if snaps[i].TotalSecs != snaps[j].TotalSecs {
+			return snaps[i].TotalSecs > snaps[j].TotalSecs
+		}
+		return snaps[i].SQL < snaps[j].SQL
+	})
+	return snaps
+}

@@ -96,7 +96,7 @@ func runSelect(ctx context.Context, db Database, sel *sqlparse.Select, prof *Pro
 	}
 	if sel.From == "" {
 		kind = "const"
-		return runConstSelect(sel, prof)
+		return runConstSelect(ctx, sel, prof)
 	}
 	agg := len(sel.GroupBy) > 0
 	for _, item := range sel.Items {
@@ -122,9 +122,9 @@ func udtfCall(sel *sqlparse.Select) *sqlparse.FuncCall {
 	return fc
 }
 
-func runConstSelect(sel *sqlparse.Select, prof *Profile) (*Result, error) {
-	done := prof.startOp("const")
-	defer func() { done(1, "table-less SELECT") }()
+func runConstSelect(ctx context.Context, sel *sqlparse.Select, prof *Profile) (*Result, error) {
+	done := startOp(ctx, prof, "const")
+	defer func() { done.Done(1, "table-less SELECT") }()
 	dummy := &colstore.Batch{
 		Schema: colstore.Schema{{Name: "$dummy", Type: colstore.TypeInt64}},
 		Cols:   []*colstore.Vector{colstore.IntVector([]int64{0})},
@@ -226,7 +226,7 @@ func scanTable(ctx context.Context, db Database, table string, cols []string, wh
 	if err != nil {
 		return nil, err
 	}
-	scanDone := prof.startOp("scan")
+	scanDone := startOp(ctx, prof, "scan")
 	// Each segment scans on its own goroutine (the per-node parallelism the
 	// executor always had); within a segment, blocks decode on a worker pool
 	// whose degree divides the process-wide degree across segments, so total
@@ -306,8 +306,12 @@ func scanTable(ctx context.Context, db Database, table string, cols []string, wh
 	if pushed != nil {
 		detail += fmt.Sprintf(", pushdown %s %s %v", pushed.Col, pushed.Op, pushed.Val)
 	}
-	scanDone(scanRows, detail)
-	filterDone := prof.startOp("filter")
+	scanDone.Blocks = int64(merged.BlocksScanned)
+	scanDone.BlocksSkipped = int64(merged.BlocksSkipped)
+	scanDone.Bytes = int64(merged.BytesRead)
+	scanDone.Parallel = segDeg * max(len(segs), 1)
+	scanDone.Done(scanRows, detail)
+	filterDone := startOp(ctx, prof, "filter")
 	out := colstore.NewBatch(outSchema)
 	for _, b := range results {
 		if b == nil {
@@ -319,7 +323,7 @@ func scanTable(ctx context.Context, db Database, table string, cols []string, wh
 		}
 	}
 	if residual != nil {
-		filterDone(filterRows, fmt.Sprintf("residual WHERE %s", residual.String()))
+		filterDone.Done(filterRows, fmt.Sprintf("residual WHERE %s", residual.String()))
 	}
 	return out, nil
 }
@@ -357,7 +361,7 @@ func runProjection(ctx context.Context, db Database, sel *sqlparse.Select, prof 
 	if err != nil {
 		return nil, err
 	}
-	projDone := prof.startOp("project")
+	projDone := startOp(ctx, prof, "project")
 	out := &colstore.Batch{}
 	for i, item := range sel.Items {
 		if item.Star {
@@ -379,14 +383,14 @@ func runProjection(ctx context.Context, db Database, sel *sqlparse.Select, prof 
 		out.Schema = append(out.Schema, colstore.ColumnSchema{Name: name, Type: v.Type})
 		out.Cols = append(out.Cols, v)
 	}
-	projDone(int64(out.Len()), fmt.Sprintf("%d output columns", len(out.Schema)))
-	return finishSelect(out, sel, prof)
+	projDone.Done(int64(out.Len()), fmt.Sprintf("%d output columns", len(out.Schema)))
+	return finishSelect(ctx, out, sel, prof)
 }
 
 // finishSelect applies ORDER BY and LIMIT to the projected output.
-func finishSelect(out *colstore.Batch, sel *sqlparse.Select, prof *Profile) (*Result, error) {
+func finishSelect(ctx context.Context, out *colstore.Batch, sel *sqlparse.Select, prof *Profile) (*Result, error) {
 	if len(sel.OrderBy) > 0 {
-		sortDone := prof.startOp("sort")
+		sortDone := startOp(ctx, prof, "sort")
 		keys := make([]int, len(sel.OrderBy))
 		for i, o := range sel.OrderBy {
 			ci := out.Schema.ColIndex(o.Col)
@@ -420,12 +424,12 @@ func finishSelect(out *colstore.Batch, sel *sqlparse.Select, prof *Profile) (*Re
 			return nil, sortErr
 		}
 		out = out.Gather(idx)
-		sortDone(int64(out.Len()), fmt.Sprintf("%d sort keys", len(keys)))
+		sortDone.Done(int64(out.Len()), fmt.Sprintf("%d sort keys", len(keys)))
 	}
 	if sel.Limit >= 0 && out.Len() > sel.Limit {
-		limitDone := prof.startOp("limit")
+		limitDone := startOp(ctx, prof, "limit")
 		out = out.Slice(0, sel.Limit)
-		limitDone(int64(out.Len()), fmt.Sprintf("LIMIT %d", sel.Limit))
+		limitDone.Done(int64(out.Len()), fmt.Sprintf("LIMIT %d", sel.Limit))
 	}
 	return &Result{Batch: out}, nil
 }
@@ -577,7 +581,7 @@ func runAggregate(ctx context.Context, db Database, sel *sqlparse.Select, prof *
 	if err != nil {
 		return nil, err
 	}
-	aggDone := prof.startOp("aggregate")
+	aggDone := startOp(ctx, prof, "aggregate")
 
 	// Evaluate aggregate argument vectors once.
 	argVecs := make([]*colstore.Vector, len(plans))
@@ -739,6 +743,7 @@ func runAggregate(ctx context.Context, db Database, sel *sqlparse.Select, prof *
 			}
 		}
 	}
-	aggDone(int64(out.Len()), fmt.Sprintf("%d groups, %d aggregates, %d chunks", len(order), len(plans), nchunks))
-	return finishSelect(out, sel, prof)
+	aggDone.Parallel = parallel.Default().Degree()
+	aggDone.Done(int64(out.Len()), fmt.Sprintf("%d groups, %d aggregates, %d chunks", len(order), len(plans), nchunks))
+	return finishSelect(ctx, out, sel, prof)
 }

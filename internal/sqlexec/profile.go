@@ -1,7 +1,10 @@
 package sqlexec
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -9,12 +12,18 @@ import (
 	"verticadr/internal/telemetry"
 )
 
-// OpProfile is one executed operator's measurements.
+// OpProfile is one executed operator's measurements: rows and bytes through
+// the stage, block-level scan accounting, the parallel degree the stage ran
+// at, and its inclusive wall time.
 type OpProfile struct {
-	Op      string        // scan, filter, project, aggregate, sort, limit, udtf, const
-	Rows    int64         // rows produced by the operator
-	Elapsed time.Duration // inclusive operator time
-	Detail  string        // operator-specific context (segments, blocks, keys...)
+	Op            string        `json:"op"` // scan, filter, project, aggregate, sort, limit, udtf, const
+	Rows          int64         `json:"rows"`
+	Elapsed       time.Duration `json:"elapsed_ns"`
+	Blocks        int64         `json:"blocks,omitempty"`
+	BlocksSkipped int64         `json:"blocks_skipped,omitempty"`
+	Bytes         int64         `json:"bytes,omitempty"`
+	Parallel      int           `json:"parallel,omitempty"`
+	Detail        string        `json:"detail,omitempty"`
 }
 
 // Profile is a per-query execution profile: per-operator row counts and
@@ -45,25 +54,59 @@ func (p *Profile) Ops() []OpProfile {
 	return append([]OpProfile(nil), p.ops...)
 }
 
-// startOp begins timing one operator; the returned func records it with the
-// rows produced and a detail string. Nil-safe: with a nil *Profile only the
-// global per-operator row counters are recorded.
-func (p *Profile) startOp(op string) func(rows int64, detail string) {
-	var t0 time.Duration
+// opTimer times one operator. Exec stages set the structured fields (Blocks,
+// Bytes, Parallel...) before calling Done. It serves two consumers at once:
+// the Profile (when the statement is PROFILE'd) and the query's trace (when
+// the context carries a span) — either can be absent at zero cost.
+type opTimer struct {
+	p    *Profile
+	op   string
+	t0   time.Duration
+	span *telemetry.Span
+
+	Blocks        int64
+	BlocksSkipped int64
+	Bytes         int64
+	Parallel      int
+}
+
+// startOp begins timing one operator. Nil-safe on prof: with a nil *Profile
+// only the global per-operator row counters and the trace span (if the
+// context is traced) are recorded.
+func startOp(ctx context.Context, p *Profile, op string) *opTimer {
+	t := &opTimer{p: p, op: op}
 	if p != nil {
-		t0 = p.clock.Now()
+		t.t0 = p.clock.Now()
 	}
-	return func(rows int64, detail string) {
-		telemetry.Default().Counter("sqlexec_op_rows_total", telemetry.L("op", op)).Add(rows)
-		if p == nil {
-			return
+	t.span = telemetry.SpanFromContext(ctx).StartChild("op:" + op)
+	return t
+}
+
+// Done records the operator with the rows produced and a detail string.
+func (t *opTimer) Done(rows int64, detail string) {
+	telemetry.Default().Counter("sqlexec_op_rows_total", telemetry.L("op", t.op)).Add(rows)
+	if t.span != nil {
+		t.span.SetAttr("rows", strconv.FormatInt(rows, 10))
+		if t.Blocks > 0 {
+			t.span.SetAttr("blocks", strconv.FormatInt(t.Blocks, 10))
 		}
-		elapsed := p.clock.Now() - t0
-		telemetry.Default().Counter("sqlexec_op_nanos_total", telemetry.L("op", op)).AddDuration(elapsed)
-		p.mu.Lock()
-		p.ops = append(p.ops, OpProfile{Op: op, Rows: rows, Elapsed: elapsed, Detail: detail})
-		p.mu.Unlock()
+		if t.Parallel > 0 {
+			t.span.SetAttr("parallel", strconv.Itoa(t.Parallel))
+		}
+		t.span.End()
 	}
+	if t.p == nil {
+		return
+	}
+	elapsed := t.p.clock.Now() - t.t0
+	telemetry.Default().Counter("sqlexec_op_nanos_total", telemetry.L("op", t.op)).AddDuration(elapsed)
+	t.p.mu.Lock()
+	t.p.ops = append(t.p.ops, OpProfile{
+		Op: t.op, Rows: rows, Elapsed: elapsed,
+		Blocks: t.Blocks, BlocksSkipped: t.BlocksSkipped, Bytes: t.Bytes,
+		Parallel: t.Parallel, Detail: detail,
+	})
+	t.p.mu.Unlock()
 }
 
 // finish stamps the total. Nil-safe.
@@ -72,6 +115,29 @@ func (p *Profile) finish() {
 		return
 	}
 	p.Total = p.clock.Now() - p.start
+}
+
+// ProfileExport is the wire/JSON form of a Profile: what PROFILE SELECT
+// returns as structured output and what the serving protocol attaches to an
+// execute response.
+type ProfileExport struct {
+	Query   string      `json:"query,omitempty"`
+	TotalNS int64       `json:"total_ns"`
+	Ops     []OpProfile `json:"ops"`
+}
+
+// Export snapshots the profile into its structured form. Nil-safe: a nil
+// profile exports nil.
+func (p *Profile) Export() *ProfileExport {
+	if p == nil {
+		return nil
+	}
+	return &ProfileExport{Query: p.Query, TotalNS: int64(p.Total), Ops: p.Ops()}
+}
+
+// JSON renders the profile as indented JSON (the PROFILE structured output).
+func (p *Profile) JSON() ([]byte, error) {
+	return json.MarshalIndent(p.Export(), "", "  ")
 }
 
 // String renders the PROFILE output table:

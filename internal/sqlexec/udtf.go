@@ -76,7 +76,7 @@ func runUDTF(ctx context.Context, db Database, sel *sqlparse.Select, fc *sqlpars
 		node int
 		data *colstore.Batch // already projected to inSchema
 	}
-	scanDone := prof.startOp("scan")
+	scanDone := startOp(ctx, prof, "scan")
 	var scanStats colstore.ScanStats
 	var scanRows int64
 	var parts []partition
@@ -146,7 +146,9 @@ func runUDTF(ctx context.Context, db Database, sel *sqlparse.Select, fc *sqlpars
 		}
 	}
 
-	scanDone(scanRows, fmt.Sprintf("%d segments, %d blocks scanned, %d KB",
+	scanDone.Blocks = int64(scanStats.BlocksScanned)
+	scanDone.Bytes = int64(scanStats.BytesRead)
+	scanDone.Done(scanRows, fmt.Sprintf("%d segments, %d blocks scanned, %d KB",
 		len(segs), scanStats.BlocksScanned, scanStats.BytesRead/1024))
 
 	// Run all partitions in parallel (bounded). Each partition writes into
@@ -154,7 +156,7 @@ func runUDTF(ctx context.Context, db Database, sel *sqlparse.Select, fc *sqlpars
 	// copy-on-write ReusableWriter path without cross-partition locking —
 	// and the results merge in partition order below, so UDTF output order
 	// is deterministic regardless of goroutine interleaving.
-	udtfDone := prof.startOp("udtf")
+	udtfDone := startOp(ctx, prof, "udtf")
 	writers := make([]*udf.AppendWriter, len(parts))
 	sem := make(chan struct{}, maxParallel(len(parts)))
 	errs := make([]error, len(parts))
@@ -200,8 +202,9 @@ func runUDTF(ctx context.Context, db Database, sel *sqlparse.Select, fc *sqlpars
 			return nil, err
 		}
 	}
-	udtfDone(int64(merged.Len()), fmt.Sprintf("%s over %d partitions", fc.Name, len(parts)))
-	return finishSelect(merged, sel, prof)
+	udtfDone.Parallel = maxParallel(len(parts))
+	udtfDone.Done(int64(merged.Len()), fmt.Sprintf("%s over %d partitions", fc.Name, len(parts)))
+	return finishSelect(ctx, merged, sel, prof)
 }
 
 func maxParallel(n int) int {

@@ -1,0 +1,49 @@
+package telemetry
+
+import "context"
+
+// Trace propagation through context.Context. The contract, used end-to-end
+// by the serving stack:
+//
+//   - A caller that wants a trace opens a root with StartTrace and passes the
+//     returned context down; every instrumented layer (client protocol,
+//     server admission, plan cache, sqlexec operators, UDTF prediction)
+//     attaches children via SpanFromContext(ctx).StartChild — all of which
+//     are nil-safe, so untraced calls cost one context lookup.
+//   - The serving protocol carries (trace ID, span ID) with each request;
+//     the server reconstructs the remote parent with StartSpanRemote and
+//     puts it back into the request context, so one query yields a single
+//     trace spanning both processes.
+
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the current span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the current span, or nil when the call chain is
+// untraced. The nil result is safe to use: all Span methods accept a nil
+// receiver.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartTrace opens a root span in the registry's span log and returns a
+// context carrying it. End the returned span to close the trace.
+func (r *Registry) StartTrace(ctx context.Context, name string, attrs ...Label) (context.Context, *Span) {
+	s := r.Spans().StartSpan(name, attrs...)
+	return ContextWithSpan(ctx, s), s
+}
+
+// StartChildCtx opens a child of the context's current span (nil when
+// untraced) and returns a context carrying the child. The caller must End
+// the returned span (nil-safe).
+func StartChildCtx(ctx context.Context, name string, attrs ...Label) (context.Context, *Span) {
+	child := SpanFromContext(ctx).StartChild(name, attrs...)
+	if child == nil {
+		return ctx, nil
+	}
+	return ContextWithSpan(ctx, child), child
+}

@@ -1,0 +1,354 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// --- Histogram.Quantile: estimates pinned on known distributions ---
+
+func TestQuantileUniformAcrossBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	// 100 samples in the middle of each unit bucket: a uniform distribution
+	// on (0,10) as far as the buckets can tell.
+	for k := 0; k < 10; k++ {
+		for i := 0; i < 100; i++ {
+			h.Observe(float64(k) + 0.5)
+		}
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{0.50, 5.0},
+		{0.95, 9.5},
+		{0.99, 9.9},
+		{0.10, 1.0},
+		{1.00, 10.0},
+	} {
+		if got := h.Quantile(tc.p); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileFirstBucketInterpolatesFromZero(t *testing.T) {
+	h := NewHistogram([]float64{10, 20})
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-5.0) > 1e-9 {
+		t.Fatalf("p50 = %g, want 5 (midpoint of [0,10))", got)
+	}
+	if got := h.Quantile(0.25); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("p25 = %g, want 2.5", got)
+	}
+}
+
+func TestQuantileSaturatesAtLastFiniteBound(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(100) // lands in +Inf bucket
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("p50 = %g, want 1 (saturated)", got)
+	}
+}
+
+func TestQuantileEmptyIsNaN(t *testing.T) {
+	h := NewHistogram(nil)
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty histogram p50 = %g, want NaN", got)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	h := NewHistogram(DefaultDurationBuckets)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) * 1e-5)
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Fatalf("quantile not monotone: q(%g)=%g < %g", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+// --- Registry: concurrent series creation (run under -race) ---
+
+func TestRegistryConcurrentCreation(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const series = 64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < series; i++ {
+				// Every worker races to create the same series set; identity
+				// must converge so the totals below are exact.
+				r.Counter("create_total", L("i", fmt.Sprint(i))).Inc()
+				r.Gauge("create_gauge", L("i", fmt.Sprint(i))).Add(1)
+				r.Histogram("create_hist", nil, L("i", fmt.Sprint(i))).Observe(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < series; i++ {
+		if got := r.Counter("create_total", L("i", fmt.Sprint(i))).Value(); got != workers {
+			t.Fatalf("counter %d = %d, want %d", i, got, workers)
+		}
+		if got := r.Histogram("create_hist", nil, L("i", fmt.Sprint(i))).Count(); got != workers {
+			t.Fatalf("hist %d count = %d, want %d", i, got, workers)
+		}
+	}
+	if _, err := ParsePromText(r.PromText()); err != nil {
+		t.Fatalf("PromText after concurrent creation unparseable: %v", err)
+	}
+}
+
+// --- SpanLog: bounded ring buffer ---
+
+func TestSpanLogBoundedRing(t *testing.T) {
+	l := NewSpanLog(nil)
+	l.SetCapacity(4)
+	var last *Span
+	for i := 0; i < 10; i++ {
+		last = l.StartSpan(fmt.Sprintf("s%d", i))
+		last.End()
+	}
+	if got := l.Len(); got != 4 {
+		t.Fatalf("retained = %d, want 4", got)
+	}
+	if got := l.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	recs := l.Export()
+	if recs[0].Name != "s6" || recs[3].Name != "s9" {
+		t.Fatalf("ring kept wrong spans: %v ... %v", recs[0].Name, recs[3].Name)
+	}
+	// Ending a span that was already evicted must not panic or corrupt.
+	last.End()
+	// Reset restores empty state and zeroes the drop tally.
+	l.Reset()
+	if l.Len() != 0 || l.Dropped() != 0 {
+		t.Fatalf("reset left len=%d dropped=%d", l.Len(), l.Dropped())
+	}
+}
+
+func TestRegistrySpanDropCounter(t *testing.T) {
+	r := NewRegistry()
+	r.Spans().SetCapacity(2)
+	for i := 0; i < 5; i++ {
+		r.Spans().StartSpan("s").End()
+	}
+	if got := r.Counter("telemetry_spans_dropped").Value(); got != 3 {
+		t.Fatalf("telemetry_spans_dropped = %d, want 3", got)
+	}
+}
+
+func TestSpanLogShrinkCapacityKeepsNewest(t *testing.T) {
+	l := NewSpanLog(nil)
+	for i := 0; i < 6; i++ {
+		l.StartSpan(fmt.Sprintf("s%d", i)).End()
+	}
+	l.SetCapacity(2)
+	recs := l.Export()
+	if len(recs) != 2 || recs[0].Name != "s4" || recs[1].Name != "s5" {
+		t.Fatalf("shrink kept %v", recs)
+	}
+	if l.Dropped() != 4 {
+		t.Fatalf("dropped = %d, want 4", l.Dropped())
+	}
+}
+
+// --- Trace IDs, remote parents, context propagation ---
+
+func TestTracePropagationAndRemoteParent(t *testing.T) {
+	l := NewSpanLog(nil)
+	root := l.StartSpan("client.query")
+	child := root.StartChild("client.send")
+	if child.TraceID() != root.TraceID() {
+		t.Fatal("child left the trace")
+	}
+	// Simulate the wire: IDs cross as hex strings.
+	traceWire, spanWire := FormatID(child.TraceID()), FormatID(child.ID())
+	remote := l.StartSpanRemote("server.query", ParseID(traceWire), ParseID(spanWire))
+	op := remote.StartChild("op:scan")
+	op.End()
+	remote.End()
+	child.End()
+	root.End()
+
+	traces := l.Traces(0)
+	if len(traces) != 1 {
+		t.Fatalf("want 1 trace, got %d", len(traces))
+	}
+	if len(traces[0].Spans) != 4 {
+		t.Fatalf("want 4 spans in trace, got %d", len(traces[0].Spans))
+	}
+	// The tree must be connected: server.query's parent is client.send.
+	byName := map[string]SpanRecord{}
+	for _, s := range traces[0].Spans {
+		byName[s.Name] = s
+	}
+	if byName["server.query"].Parent != byName["client.send"].ID {
+		t.Fatal("remote span not parented under the client span")
+	}
+	if byName["op:scan"].Parent != byName["server.query"].ID {
+		t.Fatal("operator span not under the server span")
+	}
+	out := l.String()
+	if !strings.Contains(out, "      op:scan") {
+		t.Fatalf("trace render lost nesting:\n%s", out)
+	}
+}
+
+func TestSecondTraceIsSeparate(t *testing.T) {
+	l := NewSpanLog(nil)
+	a := l.StartSpan("a")
+	b := l.StartSpan("b")
+	if a.TraceID() == b.TraceID() {
+		t.Fatal("two roots shared a trace ID")
+	}
+	a.End()
+	b.End()
+	if got := len(l.Traces(0)); got != 2 {
+		t.Fatalf("traces = %d, want 2", got)
+	}
+	if got := len(l.Traces(1)); got != 1 {
+		t.Fatalf("Traces(1) = %d traces, want 1", got)
+	}
+}
+
+func TestNilSpanSafety(t *testing.T) {
+	var s *Span
+	if c := s.StartChild("x"); c != nil {
+		t.Fatal("nil StartChild returned non-nil")
+	}
+	s.SetAttr("k", "v")
+	s.End()
+	if s.Duration() != 0 || s.Name() != "" || s.ID() != 0 || s.TraceID() != 0 {
+		t.Fatal("nil span accessors not zero")
+	}
+}
+
+func TestContextSpanHelpers(t *testing.T) {
+	r := NewRegistry()
+	ctx := context.Background()
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("empty context has a span")
+	}
+	ctx2, root := r.StartTrace(ctx, "t")
+	if SpanFromContext(ctx2) != root {
+		t.Fatal("StartTrace did not store the span")
+	}
+	ctx3, child := StartChildCtx(ctx2, "c")
+	if child == nil || SpanFromContext(ctx3) != child {
+		t.Fatal("StartChildCtx did not chain")
+	}
+	child.End()
+	root.End()
+	// Untraced context: StartChildCtx is a no-op.
+	ctx4, none := StartChildCtx(context.Background(), "n")
+	if none != nil || SpanFromContext(ctx4) != nil {
+		t.Fatal("StartChildCtx invented a span")
+	}
+}
+
+func TestParseIDRejectsGarbage(t *testing.T) {
+	if ParseID("") != 0 || ParseID("zz") != 0 {
+		t.Fatal("malformed IDs must parse to 0")
+	}
+	if got := ParseID(FormatID(12345)); got != 12345 {
+		t.Fatalf("round trip = %d", got)
+	}
+}
+
+// --- Prometheus text format: encode → parse round trip ---
+
+func TestPromTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", L("outcome", "ok")).Add(7)
+	r.Counter("req_total", L("outcome", "err")).Add(2)
+	r.Gauge("inflight").Set(3)
+	h := r.Histogram("lat_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	text := r.PromText()
+	for _, want := range []string{
+		"# TYPE req_total counter",
+		"# TYPE inflight gauge",
+		"# TYPE lat_seconds histogram",
+		`req_total{outcome="ok"} 7`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	samples, err := ParsePromText(text)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	got := map[string]float64{}
+	for _, s := range samples {
+		got[s.ID()] = s.Value
+	}
+	for id, want := range map[string]float64{
+		`req_total{outcome="ok"}`:       7,
+		`req_total{outcome="err"}`:      2,
+		"inflight":                      3,
+		`lat_seconds_bucket{le="0.1"}`:  1,
+		`lat_seconds_bucket{le="1"}`:    2,
+		`lat_seconds_bucket{le="+Inf"}`: 3,
+		"lat_seconds_count":             3,
+		"telemetry_spans_dropped":       0,
+	} {
+		if got[id] != want {
+			t.Fatalf("%s = %g, want %g\n%s", id, got[id], want, text)
+		}
+	}
+	if math.Abs(got["lat_seconds_sum"]-5.55) > 1e-9 {
+		t.Fatalf("sum = %g", got["lat_seconds_sum"])
+	}
+}
+
+func TestPromTextEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird_total", L("q", "SELECT \"a\\b\"\nFROM t")).Inc()
+	samples, err := ParsePromText(r.PromText())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if s.Name == "weird_total" {
+			if len(s.Labels) != 1 || s.Labels[0].Value != "SELECT \"a\\b\"\nFROM t" {
+				t.Fatalf("escaping lost the label: %q", s.Labels)
+			}
+			return
+		}
+	}
+	t.Fatal("weird_total not found")
+}
+
+func TestParsePromTextRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"3name 4",                  // bad metric name
+		"x{a=1} 2",                 // unquoted label value
+		`x{a="1"} nope`,            // bad value
+		`x{a="1} 2`,                // unterminated quote
+		"# TYPE x nosuchkind\nx 1", // unknown family type
+	} {
+		if _, err := ParsePromText(bad); err == nil {
+			t.Errorf("ParsePromText(%q) accepted malformed input", bad)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4): the format a /metrics endpoint
+// serves so a live vdr-serve can be scraped by standard tooling. PromText is
+// the encoder; ParsePromText is a deliberately small parser used by the
+// round-trip tests (and by anything that wants to diff two scrapes without
+// a Prometheus dependency).
+
+// promSample is one encoded sample line.
+type promSample struct {
+	name   string
+	labels []Label
+	value  float64
+}
+
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabelValue(v string) string {
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+func writePromSample(sb *strings.Builder, s promSample) {
+	sb.WriteString(s.name)
+	if len(s.labels) > 0 {
+		sb.WriteByte('{')
+		for i, l := range s.labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(sb, `%s="%s"`, l.Key, escapeLabelValue(l.Value))
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(formatPromValue(s.value))
+	sb.WriteByte('\n')
+}
+
+// PromText renders every series in Prometheus text exposition format,
+// grouped into metric families with # TYPE headers, names sorted. Histograms
+// expand to the standard _bucket{le=...}/_sum/_count triplet with cumulative
+// bucket counts.
+func (r *Registry) PromText() string {
+	type family struct {
+		kind    string
+		samples []promSample
+	}
+	r.mu.RLock()
+	fams := map[string]*family{}
+	get := func(name, kind string) *family {
+		f, ok := fams[name]
+		if !ok {
+			f = &family{kind: kind}
+			fams[name] = f
+		}
+		return f
+	}
+	for id, c := range r.counters {
+		m := r.meta[id]
+		f := get(m.name, "counter")
+		f.samples = append(f.samples, promSample{name: m.name, labels: m.labels, value: float64(c.Value())})
+	}
+	for id, g := range r.gauges {
+		m := r.meta[id]
+		f := get(m.name, "gauge")
+		f.samples = append(f.samples, promSample{name: m.name, labels: m.labels, value: float64(g.Value())})
+	}
+	type histSeries struct {
+		meta seriesMeta
+		h    *Histogram
+	}
+	var hists []histSeries
+	for id, h := range r.hists {
+		hists = append(hists, histSeries{meta: r.meta[id], h: h})
+	}
+	r.mu.RUnlock()
+
+	for _, hs := range hists {
+		f := get(hs.meta.name, "histogram")
+		bounds, counts := hs.h.Buckets()
+		for i, b := range bounds {
+			le := "+Inf"
+			if !math.IsInf(b, 1) {
+				le = strconv.FormatFloat(b, 'g', -1, 64)
+			}
+			labels := append(append([]Label(nil), hs.meta.labels...), L("le", le))
+			f.samples = append(f.samples, promSample{
+				name: hs.meta.name + "_bucket", labels: labels, value: float64(counts[i]),
+			})
+		}
+		f.samples = append(f.samples,
+			promSample{name: hs.meta.name + "_sum", labels: hs.meta.labels, value: hs.h.Sum()},
+			promSample{name: hs.meta.name + "_count", labels: hs.meta.labels, value: float64(hs.h.Count())})
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		f := fams[n]
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", n, f.kind)
+		sort.Slice(f.samples, func(i, j int) bool {
+			if f.samples[i].name != f.samples[j].name {
+				return f.samples[i].name < f.samples[j].name
+			}
+			return labelsID(f.samples[i].labels) < labelsID(f.samples[j].labels)
+		})
+		for _, s := range f.samples {
+			writePromSample(&sb, s)
+		}
+	}
+	return sb.String()
+}
+
+func labelsID(labels []Label) string {
+	var sb strings.Builder
+	for _, l := range labels {
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// ID renders the sample's canonical series identity (name + sorted labels).
+func (s PromSample) ID() string { return seriesID(s.Name, s.Labels) }
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// ParsePromText parses Prometheus text exposition format: # TYPE / # HELP
+// comment lines plus `name{labels} value` samples. It validates metric
+// names, label syntax (with \\ \" \n escapes), numeric values (including
+// +Inf/-Inf/NaN) and that every TYPE kind is one Prometheus defines —
+// enough to prove a scrape is well-formed and to round-trip PromText.
+func ParsePromText(text string) ([]PromSample, error) {
+	var out []PromSample
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("promtext: line %d: malformed TYPE comment", ln+1)
+				}
+				if !validMetricName(fields[2]) {
+					return nil, fmt.Errorf("promtext: line %d: bad metric name %q", ln+1, fields[2])
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("promtext: line %d: unknown type %q", ln+1, fields[3])
+				}
+			}
+			continue // HELP and free comments pass through
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("promtext: line %d: %w", ln+1, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parsePromSample(line string) (PromSample, error) {
+	var s PromSample
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("missing value in %q", line)
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++ // skip escaped char
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parsePromLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A trailing timestamp is legal; take the first field as the value.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := parsePromValue(rest)
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromValue(tok string) (float64, error) {
+	switch tok {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", tok)
+	}
+	return v, nil
+}
+
+func parsePromLabels(body string) ([]Label, error) {
+	var out []Label
+	rest := body
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in %q", body)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		if !validMetricName(key) {
+			return nil, fmt.Errorf("bad label name %q", key)
+		}
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", key)
+		}
+		var val strings.Builder
+		j := 1
+		closed := false
+		for j < len(rest) {
+			c := rest[j]
+			if c == '\\' && j+1 < len(rest) {
+				switch rest[j+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %q", rest[j+1], key)
+				}
+				j += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				j++
+				break
+			}
+			val.WriteByte(c)
+			j++
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for label %q", key)
+		}
+		out = append(out, L(key, val.String()))
+		rest = rest[j:]
+		rest = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+		rest = strings.TrimSpace(rest)
+	}
+	return out, nil
+}

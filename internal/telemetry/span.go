@@ -4,28 +4,80 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// SpanLog collects spans under one Clock. Spans form trees via parent links;
-// StartSpan opens a root, Span.StartChild opens a nested span. The log keeps
-// every started span (bounded workloads; callers Reset between runs).
+// DefaultSpanCapacity bounds how many spans a SpanLog retains. A long-running
+// server records spans for every traced query; the log keeps the most recent
+// DefaultSpanCapacity of them in a ring buffer and counts the rest in
+// Dropped() (surfaced as the telemetry_spans_dropped counter on registry
+// logs). Benches and tests that need exact retention call Reset between runs,
+// exactly as before.
+const DefaultSpanCapacity = 8192
+
+// SpanLog collects spans under one Clock. Spans form trees via parent links
+// and share a trace ID: StartSpan opens a root (new trace), Span.StartChild
+// opens a nested span, and StartSpanRemote continues a trace started in
+// another process (the serving protocol carries trace/parent IDs in each
+// request). Retention is a bounded ring buffer: the oldest spans are dropped
+// once capacity is exceeded, so an always-on server never grows without
+// bound.
 type SpanLog struct {
-	mu      sync.Mutex
-	clock   Clock
-	clockFn func() Clock // when set, consulted on every read (registry-owned logs)
-	nextID  int64
-	spans   []*Span
+	mu        sync.Mutex
+	clock     Clock
+	clockFn   func() Clock // when set, consulted on every read (registry-owned logs)
+	nextID    int64
+	nextTrace int64
+	capacity  int
+	ring      []*Span // ring buffer: oldest at head
+	head      int
+	size      int
+	dropped   atomic.Int64
+	droppedC  *Counter // optional mirror into a registry counter
 }
 
-// NewSpanLog creates a span log on the given clock (nil = wall clock).
+// NewSpanLog creates a span log on the given clock (nil = wall clock) with
+// the default retention capacity.
 func NewSpanLog(c Clock) *SpanLog {
 	if c == nil {
 		c = WallClock()
 	}
-	return &SpanLog{clock: c}
+	return &SpanLog{clock: c, capacity: DefaultSpanCapacity}
+}
+
+// SetCapacity resizes the retention bound (minimum 1). Retained spans are
+// kept up to the new capacity, newest first.
+func (l *SpanLog) SetCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	spans := l.snapshotLocked()
+	if len(spans) > n {
+		l.dropLocked(int64(len(spans) - n))
+		spans = spans[len(spans)-n:]
+	}
+	l.capacity = n
+	l.ring = make([]*Span, 0, n)
+	l.ring = append(l.ring, spans...)
+	l.head = 0
+	l.size = len(spans)
+}
+
+// Dropped reports how many spans the ring buffer has evicted since the last
+// Reset.
+func (l *SpanLog) Dropped() int64 { return l.dropped.Load() }
+
+// Len reports how many spans are currently retained.
+func (l *SpanLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
 }
 
 func (l *SpanLog) now() time.Duration {
@@ -35,10 +87,50 @@ func (l *SpanLog) now() time.Duration {
 	return l.clock.Now()
 }
 
-// Span is one timed region with attributes. End it exactly once.
+func (l *SpanLog) dropLocked(n int64) {
+	l.dropped.Add(n)
+	if l.droppedC != nil {
+		l.droppedC.Add(n)
+	}
+}
+
+// snapshotLocked returns retained spans oldest-first. Callers hold l.mu.
+func (l *SpanLog) snapshotLocked() []*Span {
+	out := make([]*Span, 0, l.size)
+	for i := 0; i < l.size; i++ {
+		out = append(out, l.ring[(l.head+i)%len(l.ring)])
+	}
+	return out
+}
+
+func (l *SpanLog) appendLocked(s *Span) {
+	if l.capacity < 1 {
+		l.capacity = DefaultSpanCapacity
+	}
+	if len(l.ring) < l.capacity {
+		// Still growing toward capacity.
+		l.ring = append(l.ring, s)
+		l.size++
+		return
+	}
+	if l.size < len(l.ring) {
+		l.ring[(l.head+l.size)%len(l.ring)] = s
+		l.size++
+		return
+	}
+	// Full: overwrite the oldest.
+	l.ring[l.head] = s
+	l.head = (l.head + 1) % len(l.ring)
+	l.dropLocked(1)
+}
+
+// Span is one timed region with attributes. End it exactly once. All methods
+// are nil-receiver-safe, so instrumentation can call StartChild/SetAttr/End
+// unconditionally and pay nothing when tracing is off.
 type Span struct {
 	log    *SpanLog
 	id     int64
+	trace  int64
 	parent int64 // 0 = root
 	name   string
 	start  time.Duration
@@ -47,34 +139,54 @@ type Span struct {
 	attrs  []Label
 }
 
-// StartSpan opens a root span.
+// StartSpan opens a root span, beginning a new trace.
 func (l *SpanLog) StartSpan(name string, attrs ...Label) *Span {
-	return l.start(name, 0, attrs)
+	return l.start(name, 0, 0, attrs)
 }
 
-func (l *SpanLog) start(name string, parent int64, attrs []Label) *Span {
+// StartSpanRemote opens a span continuing a trace begun elsewhere: the span
+// joins the given trace with the given remote parent span ID. This is the
+// server half of wire-level trace propagation — the client sends its trace
+// and span IDs with the request, and the server's spans attach under them.
+func (l *SpanLog) StartSpanRemote(name string, trace, parent int64, attrs ...Label) *Span {
+	return l.start(name, trace, parent, attrs)
+}
+
+func (l *SpanLog) start(name string, trace, parent int64, attrs []Label) *Span {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.nextID++
+	if trace == 0 {
+		l.nextTrace++
+		trace = l.nextTrace
+	}
 	s := &Span{
 		log:    l,
 		id:     l.nextID,
+		trace:  trace,
 		parent: parent,
 		name:   name,
 		start:  l.now(),
 		attrs:  append([]Label(nil), attrs...),
 	}
-	l.spans = append(l.spans, s)
+	l.appendLocked(s)
 	return s
 }
 
-// StartChild opens a span nested under s.
+// StartChild opens a span nested under s (same trace). Nil-safe: a nil
+// receiver returns nil, so an untraced call chain costs nothing.
 func (s *Span) StartChild(name string, attrs ...Label) *Span {
-	return s.log.start(name, s.id, attrs)
+	if s == nil {
+		return nil
+	}
+	return s.log.start(name, s.trace, s.id, attrs)
 }
 
-// SetAttr adds (or overwrites) one attribute.
+// SetAttr adds (or overwrites) one attribute. Nil-safe.
 func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
 	s.log.mu.Lock()
 	defer s.log.mu.Unlock()
 	for i := range s.attrs {
@@ -87,8 +199,11 @@ func (s *Span) SetAttr(key, value string) {
 }
 
 // End closes the span and returns its duration. Ending twice keeps the first
-// end time.
+// end time. Nil-safe.
 func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
 	s.log.mu.Lock()
 	defer s.log.mu.Unlock()
 	if !s.ended {
@@ -99,7 +214,11 @@ func (s *Span) End() time.Duration {
 }
 
 // Duration returns end-start for ended spans, elapsed-so-far otherwise.
+// Nil-safe.
 func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
 	s.log.mu.Lock()
 	defer s.log.mu.Unlock()
 	if s.ended {
@@ -108,12 +227,47 @@ func (s *Span) Duration() time.Duration {
 	return s.log.now() - s.start
 }
 
-// Name returns the span name.
-func (s *Span) Name() string { return s.name }
+// Name returns the span name (empty for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// ID returns the span's ID within its log (0 for nil).
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// TraceID returns the trace the span belongs to (0 for nil).
+func (s *Span) TraceID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.trace
+}
+
+// FormatID renders a trace or span ID for the wire (lowercase hex).
+func FormatID(id int64) string { return strconv.FormatUint(uint64(id), 16) }
+
+// ParseID parses a wire-format trace or span ID; empty or malformed input
+// yields 0 (tracing disabled for the request).
+func ParseID(s string) int64 {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return int64(v)
+}
 
 // SpanRecord is an exported span.
 type SpanRecord struct {
 	ID       int64         `json:"id"`
+	Trace    string        `json:"trace"`
 	Parent   int64         `json:"parent,omitempty"`
 	Name     string        `json:"name"`
 	Start    time.Duration `json:"start_ns"`
@@ -123,18 +277,19 @@ type SpanRecord struct {
 	Attrs    []Label       `json:"attrs,omitempty"`
 }
 
-// Export returns all spans in start order.
+// Export returns all retained spans in start order.
 func (l *SpanLog) Export() []SpanRecord {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]SpanRecord, len(l.spans))
-	for i, s := range l.spans {
+	spans := l.snapshotLocked()
+	out := make([]SpanRecord, len(spans))
+	for i, s := range spans {
 		end := s.end
 		if !s.ended {
 			end = l.now()
 		}
 		out[i] = SpanRecord{
-			ID: s.id, Parent: s.parent, Name: s.name,
+			ID: s.id, Trace: FormatID(s.trace), Parent: s.parent, Name: s.name,
 			Start: s.start, End: end, Duration: end - s.start, Ended: s.ended,
 			Attrs: append([]Label(nil), s.attrs...),
 		}
@@ -147,12 +302,47 @@ func (l *SpanLog) ExportJSON() ([]byte, error) {
 	return json.MarshalIndent(l.Export(), "", "  ")
 }
 
-// Reset drops all recorded spans.
+// TraceRecord is one trace's retained spans, in start order.
+type TraceRecord struct {
+	Trace string       `json:"trace"`
+	Spans []SpanRecord `json:"spans"`
+}
+
+// Traces groups the retained spans by trace ID and returns the most recent n
+// traces (by first retained span start), oldest first. n <= 0 means all.
+func (l *SpanLog) Traces(n int) []TraceRecord {
+	recs := l.Export()
+	byTrace := map[string]*TraceRecord{}
+	var order []string
+	for _, r := range recs {
+		tr, ok := byTrace[r.Trace]
+		if !ok {
+			tr = &TraceRecord{Trace: r.Trace}
+			byTrace[r.Trace] = tr
+			order = append(order, r.Trace)
+		}
+		tr.Spans = append(tr.Spans, r)
+	}
+	if n > 0 && len(order) > n {
+		order = order[len(order)-n:]
+	}
+	out := make([]TraceRecord, len(order))
+	for i, id := range order {
+		out[i] = *byTrace[id]
+	}
+	return out
+}
+
+// Reset drops all recorded spans and zeroes the dropped tally.
 func (l *SpanLog) Reset() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.spans = nil
+	l.ring = nil
+	l.head = 0
+	l.size = 0
 	l.nextID = 0
+	l.nextTrace = 0
+	l.dropped.Store(0)
 }
 
 // String renders the span forest indented by depth, with durations and
@@ -160,8 +350,18 @@ func (l *SpanLog) Reset() {
 func (l *SpanLog) String() string {
 	recs := l.Export()
 	children := map[int64][]SpanRecord{}
+	ids := map[int64]bool{}
 	for _, r := range recs {
-		children[r.Parent] = append(children[r.Parent], r)
+		ids[r.ID] = true
+	}
+	for _, r := range recs {
+		parent := r.Parent
+		if parent != 0 && !ids[parent] {
+			// The parent span was dropped from the ring (or lives in another
+			// process's log); render the orphan at the root.
+			parent = 0
+		}
+		children[parent] = append(children[parent], r)
 	}
 	for _, c := range children {
 		sort.Slice(c, func(i, j int) bool {

@@ -51,11 +51,12 @@ type Label struct{ Key, Value string }
 // L is shorthand for constructing a Label.
 func L(key, value string) Label { return Label{Key: key, Value: value} }
 
-// seriesID renders the canonical identity of name + sorted labels, e.g.
-// `ops_total{op="scan"}`.
-func seriesID(name string, labels []Label) string {
+// seriesKey renders the canonical identity of name + sorted labels, e.g.
+// `ops_total{op="scan"}`, and returns the sorted label set (retained as
+// series metadata for structured exposition formats).
+func seriesKey(name string, labels []Label) (string, []Label) {
 	if len(labels) == 0 {
-		return name
+		return name, nil
 	}
 	ls := append([]Label(nil), labels...)
 	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
@@ -69,7 +70,13 @@ func seriesID(name string, labels []Label) string {
 		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
 	}
 	sb.WriteByte('}')
-	return sb.String()
+	return sb.String(), ls
+}
+
+// seriesID renders the canonical identity of name + sorted labels.
+func seriesID(name string, labels []Label) string {
+	id, _ := seriesKey(name, labels)
+	return id
 }
 
 // Counter is a monotonically increasing atomic counter. Durations are stored
@@ -117,6 +124,20 @@ type Histogram struct {
 	count  atomic.Int64
 }
 
+// NewHistogram allocates a standalone histogram not attached to any registry
+// (per-statement latency tracking uses these). buckets are ascending upper
+// bounds; nil selects DefaultDurationBuckets.
+func NewHistogram(buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefaultDurationBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	if !sort.Float64sAreSorted(bounds) {
+		panic("telemetry: histogram buckets not ascending")
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
 // DefaultDurationBuckets covers 1µs .. ~100s in decades, in seconds.
 var DefaultDurationBuckets = []float64{
 	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100,
@@ -145,6 +166,56 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// Quantile estimates the p-quantile (p in [0,1]) by linear interpolation
+// within the bucket containing the target rank — the standard
+// histogram_quantile estimate. The first finite bucket interpolates from 0;
+// ranks landing in the +Inf bucket report the highest finite bound (the
+// estimate saturates there). NaN when the histogram is empty.
+func (h *Histogram) Quantile(p float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i == len(h.bounds) { // +Inf bucket: saturate at last finite bound
+				if len(h.bounds) == 0 {
+					return math.NaN()
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Buckets returns (upper bound, cumulative count) pairs including +Inf.
 func (h *Histogram) Buckets() ([]float64, []int64) {
 	bounds := append(append([]float64(nil), h.bounds...), math.Inf(1))
@@ -166,7 +237,16 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	meta     map[string]seriesMeta
 	spans    *SpanLog
+}
+
+// seriesMeta is the structured identity behind a series ID: the base metric
+// name and its sorted label set. Exposition formats that need labels as
+// first-class data (Prometheus text) read these instead of reparsing IDs.
+type seriesMeta struct {
+	name   string
+	labels []Label
 }
 
 // NewRegistry creates an empty registry on the wall clock.
@@ -176,9 +256,13 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		meta:     map[string]seriesMeta{},
 	}
 	r.spans = NewSpanLog(nil)
 	r.spans.clockFn = r.Clock // spans follow registry clock swaps
+	// Resolved eagerly so SpanLog never touches registry locks while holding
+	// its own (the ring buffer bumps this on every eviction).
+	r.spans.droppedC = r.Counter("telemetry_spans_dropped")
 	return r
 }
 
@@ -214,7 +298,7 @@ func (r *Registry) Spans() *SpanLog { return r.spans }
 
 // Counter returns (creating if needed) the counter series name{labels}.
 func (r *Registry) Counter(name string, labels ...Label) *Counter {
-	id := seriesID(name, labels)
+	id, sorted := seriesKey(name, labels)
 	r.mu.RLock()
 	c, ok := r.counters[id]
 	r.mu.RUnlock()
@@ -228,12 +312,13 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	}
 	c = &Counter{}
 	r.counters[id] = c
+	r.meta[id] = seriesMeta{name: name, labels: sorted}
 	return c
 }
 
 // Gauge returns (creating if needed) the gauge series name{labels}.
 func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
-	id := seriesID(name, labels)
+	id, sorted := seriesKey(name, labels)
 	r.mu.RLock()
 	g, ok := r.gauges[id]
 	r.mu.RUnlock()
@@ -247,6 +332,7 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	}
 	g = &Gauge{}
 	r.gauges[id] = g
+	r.meta[id] = seriesMeta{name: name, labels: sorted}
 	return g
 }
 
@@ -254,7 +340,7 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 // buckets are ascending upper bounds; nil selects DefaultDurationBuckets.
 // The bucket layout is fixed by the first caller.
 func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Histogram {
-	id := seriesID(name, labels)
+	id, sorted := seriesKey(name, labels)
 	r.mu.RLock()
 	h, ok := r.hists[id]
 	r.mu.RUnlock()
@@ -275,6 +361,7 @@ func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *H
 	}
 	h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
 	r.hists[id] = h
+	r.meta[id] = seriesMeta{name: name, labels: sorted}
 	return h
 }
 

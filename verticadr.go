@@ -76,10 +76,14 @@
 package verticadr
 
 import (
+	"context"
+	"net/http"
+
 	"verticadr/internal/algos"
 	"verticadr/internal/core"
 	"verticadr/internal/darray"
 	"verticadr/internal/server"
+	"verticadr/internal/telemetry"
 	"verticadr/internal/verr"
 	"verticadr/internal/vft"
 )
@@ -124,6 +128,39 @@ func ListenAndServe(srv *Server, addr string) (*server.TCPServer, error) {
 
 // DialServer connects a ServerClient to a vdr-serve endpoint.
 func DialServer(addr string) (*ServerClient, error) { return server.Dial(addr) }
+
+// Observability: traces, statement statistics and the admin HTTP surface.
+type (
+	// Span is one node in a query trace; End it to close the span.
+	Span = telemetry.Span
+	// TraceRecord is one trace's spans, as served by /traces/recent.
+	TraceRecord = telemetry.TraceRecord
+	// StatementStats is the server's pg_stat_statements analogue.
+	StatementStats = server.StmtStats
+)
+
+// StartTrace opens a root span on the default telemetry registry and returns
+// a context carrying it. Pass that context through QueryContext, Server or
+// ServerClient calls and every layer — client protocol, server admission,
+// execution, per-operator engine stages — attaches its spans under it,
+// including across the vdr-serve wire. End the returned span to close the
+// trace.
+func StartTrace(ctx context.Context, name string) (context.Context, *Span) {
+	return telemetry.Default().StartTrace(ctx, name)
+}
+
+// RecentTraces returns the most recent n completed or in-flight traces from
+// the default registry's bounded span buffer.
+func RecentTraces(n int) []TraceRecord { return telemetry.Default().Spans().Traces(n) }
+
+// MetricsText renders every telemetry series in Prometheus text exposition
+// format (what the vdr-serve admin endpoint serves at /metrics).
+func MetricsText() string { return telemetry.Default().PromText() }
+
+// AdminHandler is the observability HTTP surface for a Server — /metrics,
+// /statements, /traces/recent, /healthz and /debug/pprof/ — for embedding
+// vdr-serve's -admin endpoint in another process.
+func AdminHandler(srv *Server) http.Handler { return server.AdminHandler(srv) }
 
 // Config sizes a session: database nodes, Distributed R workers, R
 // instances per worker, optional YARN brokering and persistence.
