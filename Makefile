@@ -29,9 +29,10 @@ test:
 # telemetry registry, the vft staging hub + pooled export pipeline, the dr
 # scheduler, the yarn resource manager, the simulated network, the fault
 # injector, the intra-node parallel execution engine (worker pool, parallel
-# scans, chunked aggregation, parallel IRLS, blocked matrix multiply), and
-# the pooled scoring/splitting paths (models, udf writers, darray fill,
-# catalog splitter).
+# scans, chunked aggregation, parallel IRLS, blocked matrix multiply), the
+# pooled scoring/splitting paths (models, udf writers, darray fill,
+# catalog splitter), and the durability plane (wal group commit, txn MVCC
+# snapshots, the vertica commit/checkpoint protocol).
 .PHONY: race
 race:
 	$(GO) test -race ./internal/telemetry/... ./internal/vft/... ./internal/dr/... \
@@ -39,7 +40,8 @@ race:
 		./internal/parallel/... ./internal/colstore/... ./internal/sqlexec/... \
 		./internal/algos/... ./internal/linalg/... ./internal/models/... \
 		./internal/udf/... ./internal/darray/... ./internal/catalog/... \
-		./internal/server/... ./internal/core/...
+		./internal/server/... ./internal/core/... \
+		./internal/wal/... ./internal/txn/... ./internal/vertica/...
 
 # Microbenchmarks for the pooled transfer + vectorized prediction paths;
 # writes BENCH_PR4.json (committed alongside EXPERIMENTS.md).
@@ -60,7 +62,16 @@ chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Recover|Injected|Fault|Retr|Abort|Reap|FailWorker|Idempotent|Timeout' \
 		./internal/faults/... ./internal/vft/... ./internal/dr/... ./internal/yarn/... ./internal/odbc/... \
 		./internal/parallel/... ./internal/colstore/... ./internal/models/... ./internal/udf/... \
-		./internal/server/...
+		./internal/server/... ./internal/wal/... ./internal/vertica/...
+
+# Crash-recovery suite: injected crashes at the WAL append/fsync/checkpoint
+# boundaries, torn-tail handling, checkpoint replay, MVCC snapshot isolation
+# under concurrent ingest — the kill/replay acceptance tests, under -race.
+.PHONY: recover
+recover:
+	$(GO) test -race -count=1 -run 'Recover|Durab|Crash|WAL|Torn|Checkpoint|Snapshot|Redeploy|GroupCommit' \
+		./internal/wal/... ./internal/txn/... ./internal/vertica/... ./internal/models/... \
+		./internal/colstore/... ./internal/core/...
 
 # Serving-layer benchmark: closed-loop load generator against the concurrent
 # query server (unprepared vs. prepared+cached PREDICT, then an overload
@@ -69,6 +80,14 @@ chaos:
 .PHONY: serve-bench
 serve-bench:
 	$(GO) run ./cmd/vdr-serve -bench -out BENCH_PR5.json
+
+# Durability benchmark: COPY commit throughput at client concurrency 1/8/64
+# against a durable database (the group-commit effect) plus the recovery
+# replay rate; writes BENCH_PR7.json (committed alongside EXPERIMENTS.md).
+# Fails if concurrent committers are slower than the serial stream.
+.PHONY: wal-bench
+wal-bench:
+	$(GO) run ./cmd/vdr-walbench -out BENCH_PR7.json
 
 # Fuzz smoke: run each fuzz target briefly (Go keeps regression inputs in
 # testdata/fuzz, which plain `go test` replays on every run). Raise FUZZTIME
@@ -80,3 +99,5 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzEncodingRoundTrip -fuzztime=$(FUZZTIME) ./internal/colstore/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeBlock -fuzztime=$(FUZZTIME) ./internal/colstore/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeChunk -fuzztime=$(FUZZTIME) ./internal/vft/
+	$(GO) test -run='^$$' -fuzz=FuzzWALRecord -fuzztime=$(FUZZTIME) ./internal/wal/
+	$(GO) test -run='^$$' -fuzz=FuzzWALRecordStream -fuzztime=$(FUZZTIME) ./internal/wal/

@@ -8,6 +8,11 @@
 // serving fixture (table serve_pts, model serve_glm) so clients can issue
 // prediction queries immediately.
 //
+// With -data DIR the server is durable: ingest is write-ahead-logged and
+// fsync-acknowledged, startup recovers the previous run's state (checkpoint
+// image + log replay), and a graceful shutdown writes a fresh checkpoint.
+// The -demo fixture is seeded only into a fresh directory.
+//
 // Bench mode (-bench) runs the closed-loop load generator instead: the
 // unprepared single-shot path vs. the prepared+cached path at -concurrency,
 // then an overload phase against a deliberately tiny server, and writes the
@@ -33,6 +38,7 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:5433", "serve mode: listen address")
+		dataDir     = flag.String("data", "", "serve mode: durable persistence under this directory (WAL + checkpoints); restarting with the same -data recovers state. Disables -demo seeding after the first run.")
 		adminAddr   = flag.String("admin", "", "serve mode: admin HTTP listen address for /metrics, /statements, /traces/recent, /healthz and pprof (empty = disabled)")
 		drainWait   = flag.Duration("drain", 10*time.Second, "serve mode: graceful-shutdown drain deadline for in-flight queries")
 		demo        = flag.Bool("demo", true, "serve mode: preload the serve_pts table and serve_glm model")
@@ -57,7 +63,7 @@ func main() {
 		}
 		return
 	}
-	if err := serve(*addr, *adminAddr, *drainWait, *demo, *nodes, *workers, server.Config{
+	if err := serve(*addr, *adminAddr, *dataDir, *drainWait, *demo, *nodes, *workers, server.Config{
 		MaxConcurrent: *maxConc,
 		MaxQueue:      *maxQueue,
 		QueueWait:     *queueWait,
@@ -68,14 +74,39 @@ func main() {
 	}
 }
 
-func serve(addr, adminAddr string, drainWait time.Duration, demo bool, nodes, workers int, cfg server.Config) error {
+func serve(addr, adminAddr, dataDir string, drainWait time.Duration, demo bool, nodes, workers int, cfg server.Config) error {
 	var (
 		sess *core.Session
 		err  error
 	)
-	if demo {
+	switch {
+	case dataDir != "":
+		// Durable mode: recover whatever a previous run committed, then serve.
+		// The demo fixture is only seeded into a fresh directory.
+		sess, err = core.Start(core.Config{DBNodes: nodes, DRWorkers: workers, DataDir: dataDir, Durable: true})
+		if err != nil {
+			return err
+		}
+		if info := sess.DB.RecoveryInfo(); info != nil {
+			fmt.Printf("vdr-serve: recovery: checkpoint lsn %d, replayed %d records / %d bytes in %v\n",
+				info.CheckpointLSN, info.Replay.Records, info.Replay.Bytes, info.Replay.Elapsed)
+			if info.Replay.Torn {
+				fmt.Println("vdr-serve: recovery: torn final record discarded (crash mid-append)")
+			}
+		}
+		if demo {
+			if _, derr := sess.DB.TableDef(bench.ServeTable); derr != nil {
+				if err := bench.SeedServeFixture(sess, 20000); err != nil {
+					sess.Close()
+					return err
+				}
+			} else {
+				fmt.Println("vdr-serve: serving fixture recovered from previous run")
+			}
+		}
+	case demo:
 		sess, err = bench.ServeFixture(20000)
-	} else {
+	default:
 		sess, err = core.Start(core.Config{DBNodes: nodes, DRWorkers: workers})
 	}
 	if err != nil {
@@ -118,6 +149,15 @@ func serve(addr, adminAddr string, drainWait time.Duration, demo bool, nodes, wo
 		fmt.Fprintln(os.Stderr, "vdr-serve: drain:", err)
 	}
 	srv.Close()
+	if dataDir != "" {
+		// A graceful exit leaves a fresh checkpoint behind, so the next start
+		// replays (almost) nothing.
+		if lsn, err := sess.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "vdr-serve: shutdown checkpoint:", err)
+		} else {
+			fmt.Printf("vdr-serve: shutdown checkpoint at lsn %d\n", lsn)
+		}
+	}
 	if admin != nil {
 		_ = admin.Close()
 	}

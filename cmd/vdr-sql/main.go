@@ -5,12 +5,19 @@
 //
 // Usage:
 //
-//	vdr-sql [-nodes 4] [-demo]
+//	vdr-sql [-nodes 4] [-demo] [-data DIR]
 //	> SELECT count(*) FROM demo;
 //	> PROFILE SELECT count(*) FROM demo;           -- per-operator rows + timings
 //	> \profile                                     -- profile every SELECT
 //	> \metrics                                     -- dump the telemetry registry
 //	> \statements                                  -- per-statement statistics (calls, errors, p50/p95/p99)
+//	> \recover                                     -- what startup recovery did (checkpoint + log replay)
+//	> \checkpoint                                  -- materialize a checkpoint and truncate the log
+//
+// With -data DIR the session is durable: every commit is write-ahead-logged
+// and fsynced before it is acknowledged, and restarting vdr-sql with the same
+// -data recovers the previous state (ARIES-style: checkpoint image + redo).
+//
 //	> SELECT GlmPredict(a, b USING PARAMETERS model='m') OVER (PARTITION BEST) FROM demo;
 //
 // Statements run through the serving layer (plan cache + statement
@@ -35,6 +42,7 @@ import (
 
 func main() {
 	nodes := flag.Int("nodes", 4, "database cluster size")
+	data := flag.String("data", "", "durable mode: persist under this directory (write-ahead log + checkpoints); reopening recovers the previous state")
 	demo := flag.Bool("demo", false, "create and fill a demo table plus a deployed model")
 	chaos := flag.Bool("chaos", false, "run under the standard fault-injection profile (recovery paths must absorb it)")
 	chaosSeed := flag.Int64("chaos-seed", 42, "seed for the chaos profile")
@@ -47,15 +55,22 @@ func main() {
 		fmt.Printf("chaos profile armed (seed %d); \\metrics shows faults_injected_total\n", *chaosSeed)
 	}
 
-	s, err := verticadr.Start(verticadr.Config{DBNodes: *nodes, Parallelism: *par})
+	s, err := verticadr.Start(verticadr.Config{DBNodes: *nodes, Parallelism: *par, DataDir: *data, Durable: *data != ""})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer s.Close()
 	fmt.Printf("connected: %d-node database, %d Distributed R workers\n", *nodes, *nodes)
+	if *data != "" {
+		printRecovery(s)
+	}
 
 	if *demo {
-		seedDemo(s)
+		if _, err := s.DB.TableDef("demo"); err != nil {
+			seedDemo(s)
+		} else {
+			fmt.Println(`demo table "demo" recovered from previous run`)
+		}
 	}
 
 	// Statements route through the serving layer: the shell gets the plan
@@ -85,6 +100,15 @@ func main() {
 			fmt.Printf("profile mode %v\n", map[bool]string{true: "on", false: "off"}[profileAll])
 		case line == "\\metrics":
 			fmt.Print(telemetry.Default().Dump())
+		case line == "\\recover":
+			printRecovery(s)
+		case line == "\\checkpoint":
+			lsn, err := s.Checkpoint()
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Printf("checkpoint written at lsn %d; log truncated\n", lsn)
 		case line == "\\statements":
 			snaps := srv.Statements().Snapshot()
 			if len(snaps) == 0 {
@@ -135,6 +159,28 @@ func main() {
 
 func hasPrefixFold(s, prefix string) bool {
 	return len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix)
+}
+
+// printRecovery reports what startup recovery did (\recover).
+func printRecovery(s *verticadr.Session) {
+	info := s.DB.RecoveryInfo()
+	if info == nil {
+		fmt.Println("not a durable session (start with -data DIR)")
+		return
+	}
+	if info.CheckpointDir != "" {
+		fmt.Printf("recovery: checkpoint %s (lsn %d) loaded\n", info.CheckpointDir, info.CheckpointLSN)
+	} else {
+		fmt.Println("recovery: no checkpoint, full log replay")
+	}
+	fmt.Printf("recovery: replayed %d records / %d bytes in %v (lsn %d..%d)\n",
+		info.Replay.Records, info.Replay.Bytes, info.Replay.Elapsed, info.Replay.Start, info.Replay.End)
+	if info.Replay.Torn {
+		fmt.Println("recovery: torn final record discarded (crash mid-append)")
+	}
+	if durable, ok := s.DB.WALStats(); ok {
+		fmt.Printf("wal: durable lsn %d\n", durable)
+	}
 }
 
 func seedDemo(s *verticadr.Session) {

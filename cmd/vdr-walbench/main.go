@@ -1,0 +1,188 @@
+// Command vdr-walbench measures the durability path (`make wal-bench`,
+// BENCH_PR7.json): COPY commit throughput against a durable database at
+// increasing client concurrency — the group-commit effect, where N concurrent
+// committers share one fsync — and the recovery replay rate over the log
+// those commits produced.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"verticadr/internal/catalog"
+	"verticadr/internal/colstore"
+	"verticadr/internal/vertica"
+)
+
+type commitFigure struct {
+	Concurrency   int     `json:"concurrency"`
+	Commits       int64   `json:"commits"`
+	Seconds       float64 `json:"seconds"`
+	CommitsPerSec float64 `json:"commits_per_s"`
+	// Speedup over the single-stream rate: > 1 means fsyncs were shared.
+	VsSerial float64 `json:"vs_serial"`
+}
+
+type result struct {
+	RowsPerCommit  int            `json:"rows_per_commit"`
+	Window         string         `json:"window"`
+	Commits        []commitFigure `json:"group_commit"`
+	ReplayRecords  int            `json:"replay_records"`
+	ReplayBytes    int            `json:"replay_bytes"`
+	ReplaySeconds  float64        `json:"replay_seconds"`
+	ReplayMBPerSec float64        `json:"replay_mb_per_s"`
+}
+
+var schema = colstore.Schema{
+	{Name: "id", Type: colstore.TypeInt64},
+	{Name: "x", Type: colstore.TypeFloat64},
+}
+
+func makeBatch(rows int) *colstore.Batch {
+	b := colstore.NewBatch(schema)
+	for i := 0; i < rows; i++ {
+		if err := b.AppendRow(int64(i), float64(i)*0.25); err != nil {
+			panic(err)
+		}
+	}
+	return b
+}
+
+// commitRate runs `conc` closed-loop committers against one durable table for
+// the window and returns acknowledged commits.
+func commitRate(dir string, conc, rowsPer int, window time.Duration) (commitFigure, error) {
+	db, err := vertica.Open(vertica.Config{Nodes: 4, Durable: true, DataDir: dir})
+	if err != nil {
+		return commitFigure{}, err
+	}
+	defer db.Close()
+	if err := db.CreateTable(&catalog.TableDef{
+		Name:   "pts",
+		Schema: schema,
+		Seg:    catalog.Segmentation{Kind: catalog.SegHash, Column: "id"},
+	}); err != nil {
+		return commitFigure{}, err
+	}
+	var (
+		commits atomic.Int64
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		first   error
+		errMu   sync.Mutex
+	)
+	start := time.Now()
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batch := makeBatch(rowsPer)
+			for !stop.Load() {
+				if err := db.Load("pts", batch); err != nil {
+					errMu.Lock()
+					if first == nil {
+						first = err
+					}
+					errMu.Unlock()
+					return
+				}
+				commits.Add(1)
+			}
+		}()
+	}
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if first != nil {
+		return commitFigure{}, first
+	}
+	n := commits.Load()
+	return commitFigure{
+		Concurrency:   conc,
+		Commits:       n,
+		Seconds:       elapsed.Seconds(),
+		CommitsPerSec: float64(n) / elapsed.Seconds(),
+	}, nil
+}
+
+// replayRate reopens the largest log directory produced above and reports the
+// redo pass throughput.
+func replayRate(dir string) (records, bytes int, seconds float64, err error) {
+	db, err := vertica.Open(vertica.Config{Nodes: 4, Durable: true, DataDir: dir})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer db.Close()
+	info := db.RecoveryInfo()
+	return int(info.Replay.Records), int(info.Replay.Bytes), info.Replay.Elapsed.Seconds(), nil
+}
+
+func run(out string, rowsPer int, window time.Duration) error {
+	root, err := os.MkdirTemp("", "vdr-walbench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	res := result{RowsPerCommit: rowsPer, Window: window.String()}
+	var replayDir string
+	for _, conc := range []int{1, 8, 64} {
+		dir := filepath.Join(root, fmt.Sprintf("c%d", conc))
+		fig, err := commitRate(dir, conc, rowsPer, window)
+		if err != nil {
+			return err
+		}
+		if len(res.Commits) > 0 {
+			fig.VsSerial = fig.CommitsPerSec / res.Commits[0].CommitsPerSec
+		} else {
+			fig.VsSerial = 1
+		}
+		res.Commits = append(res.Commits, fig)
+		replayDir = dir
+		fmt.Printf("wal-bench: concurrency %2d: %6.0f commits/s (%.2fx vs serial)\n",
+			fig.Concurrency, fig.CommitsPerSec, fig.VsSerial)
+	}
+
+	res.ReplayRecords, res.ReplayBytes, res.ReplaySeconds, err = replayRate(replayDir)
+	if err != nil {
+		return err
+	}
+	if res.ReplaySeconds > 0 {
+		res.ReplayMBPerSec = float64(res.ReplayBytes) / (1 << 20) / res.ReplaySeconds
+	}
+	fmt.Printf("wal-bench: recovery replayed %d records / %.1f MB at %.0f MB/s\n",
+		res.ReplayRecords, float64(res.ReplayBytes)/(1<<20), res.ReplayMBPerSec)
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wal-bench: wrote %s\n", out)
+	// Acceptance: group commit must actually batch — concurrent committers
+	// may not be slower than the serial stream.
+	last := res.Commits[len(res.Commits)-1]
+	if last.VsSerial < 1 {
+		return fmt.Errorf("group commit regressed: %d streams at %.2fx of serial", last.Concurrency, last.VsSerial)
+	}
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR7.json", "output file")
+	rows := flag.Int("rows", 64, "rows per COPY commit")
+	window := flag.Duration("duration", 2*time.Second, "measurement window per concurrency level")
+	flag.Parse()
+	if err := run(*out, *rows, *window); err != nil {
+		fmt.Fprintln(os.Stderr, "vdr-walbench:", err)
+		os.Exit(1)
+	}
+}

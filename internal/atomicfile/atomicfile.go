@@ -1,0 +1,68 @@
+// Package atomicfile writes files so a crash at any instant leaves either
+// the old content or the new content on disk — never a torn mixture. The
+// durability layer (WAL checkpoints, segment persistence, the catalog
+// manifest, DFS blob spills) builds on exactly one primitive: write to a
+// temp file in the target directory, fsync the file, rename over the
+// destination, then fsync the parent directory so the rename itself is
+// durable. POSIX rename is atomic within a filesystem, and the parent-dir
+// fsync is what commits the directory entry — skipping it is the classic
+// "file fine after crash, but gone" bug.
+package atomicfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data: temp file + fsync + rename
+// + parent-directory fsync. On any error the temp file is removed and the
+// previous content of path (if any) is untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: create temp for %q: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(fmt.Errorf("atomicfile: write %q: %w", path, err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("atomicfile: fsync %q: %w", path, err))
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(fmt.Errorf("atomicfile: chmod %q: %w", path, err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: close %q: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: rename %q: %w", path, err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making prior renames/creates/removes in it
+// durable. Filesystems that do not support directory fsync (some CI tmpfs
+// setups) report EINVAL; that is ignored, matching what databases do.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicfile: open dir %q: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsNotExist(err) {
+		// Directory fsync is not supported everywhere; a failure here can
+		// not corrupt data, only weaken the durability of the rename.
+		return nil
+	}
+	return nil
+}

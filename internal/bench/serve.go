@@ -140,6 +140,9 @@ func syntheticForest(trees, depth int) *algos.ForestModel {
 	return f
 }
 
+// ServeTable is the serving fixture's feature table.
+const ServeTable = "serve_pts"
+
 // ServeFixture builds the serving fixture: a session with a feature table
 // (serve_pts), a deployed GLM (serve_glm) and a deployed forest (serve_rf).
 func ServeFixture(rows int) (*core.Session, error) {
@@ -147,29 +150,32 @@ func ServeFixture(rows int) (*core.Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := s.Exec(`CREATE TABLE serve_pts (a FLOAT, b FLOAT) SEGMENTED BY ROUND ROBIN`); err != nil {
+	if err := SeedServeFixture(s, rows); err != nil {
 		s.Close()
 		return nil, err
+	}
+	return s, nil
+}
+
+// SeedServeFixture creates the serving fixture inside an existing session —
+// vdr-serve uses it to seed a durable data directory on first run.
+func SeedServeFixture(s *core.Session, rows int) error {
+	if err := s.Exec(`CREATE TABLE ` + ServeTable + ` (a FLOAT, b FLOAT) SEGMENTED BY ROUND ROBIN`); err != nil {
+		return err
 	}
 	rng := rand.New(rand.NewSource(5))
 	cols := [][]float64{make([]float64, rows), make([]float64, rows)}
 	for i := 0; i < rows; i++ {
 		cols[0][i], cols[1][i] = rng.NormFloat64(), rng.NormFloat64()
 	}
-	if err := s.DB.LoadColumns("serve_pts", cols); err != nil {
-		s.Close()
-		return nil, err
+	if err := s.DB.LoadColumns(ServeTable, cols); err != nil {
+		return err
 	}
 	glm := &algos.GLMModel{Family: algos.Gaussian, Coefficients: []float64{3, 2, -1}, Converged: true}
 	if err := s.DeployModel("serve_glm", "bench", "serving benchmark GLM", glm); err != nil {
-		s.Close()
-		return nil, err
+		return err
 	}
-	if err := s.DeployModel("serve_rf", "bench", "serving benchmark forest", syntheticForest(32, 10)); err != nil {
-		s.Close()
-		return nil, err
-	}
-	return s, nil
+	return s.DeployModel("serve_rf", "bench", "serving benchmark forest", syntheticForest(32, 10))
 }
 
 // closedLoop runs n streams of fn for d and returns completed iterations.

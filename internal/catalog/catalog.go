@@ -61,8 +61,22 @@ func New() *Catalog {
 	return &Catalog{tables: make(map[string]*TableDef)}
 }
 
-// Create registers a table definition; the name must be unused.
-func (c *Catalog) Create(def *TableDef) error {
+// Validate checks a definition without registering it: shape rules plus a
+// name-collision check. Write-ahead logging uses it to reject a bad CREATE
+// before the redo record is written, so every logged record replays cleanly.
+func (c *Catalog) Validate(def *TableDef) error {
+	if err := validateShape(def); err != nil {
+		return err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if _, ok := c.tables[def.Name]; ok {
+		return fmt.Errorf("catalog: table %q already exists", def.Name)
+	}
+	return nil
+}
+
+func validateShape(def *TableDef) error {
 	if def.Name == "" {
 		return fmt.Errorf("catalog: empty table name")
 	}
@@ -78,6 +92,14 @@ func (c *Catalog) Create(def *TableDef) error {
 	}
 	if def.Seg.Kind == SegHash && def.Schema.ColIndex(def.Seg.Column) < 0 {
 		return fmt.Errorf("catalog: segmentation column %q not in table %q", def.Seg.Column, def.Name)
+	}
+	return nil
+}
+
+// Create registers a table definition; the name must be unused.
+func (c *Catalog) Create(def *TableDef) error {
+	if err := validateShape(def); err != nil {
+		return err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

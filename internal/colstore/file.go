@@ -7,6 +7,8 @@ import (
 	"hash/crc32"
 	"math"
 	"os"
+
+	"verticadr/internal/atomicfile"
 )
 
 // Segment file format (all integers little-endian unless varint):
@@ -26,8 +28,11 @@ var (
 	segEndMagic = []byte("VSEGEND1")
 )
 
-// Persist seals the segment and writes it to path atomically (write to a
-// temp file in the same directory, then rename).
+// Persist seals the segment and writes it to path crash-atomically: the
+// bytes go to a temp file in the same directory, which is fsynced before an
+// atomic rename over path, and the parent directory is fsynced after — so a
+// crash at any instant leaves either the complete old file or the complete
+// new one, never a torn or unlinked segment.
 func (s *Segment) Persist(path string) error {
 	if err := s.Seal(); err != nil {
 		return err
@@ -96,13 +101,8 @@ func (s *Segment) Persist(path string) error {
 	body.Write(tail[:])
 	body.Write(segEndMagic)
 
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, body.Bytes(), 0o644); err != nil {
+	if err := atomicfile.WriteFile(path, body.Bytes(), 0o644); err != nil {
 		return fmt.Errorf("colstore: persist: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("colstore: persist rename: %w", err)
 	}
 	return nil
 }

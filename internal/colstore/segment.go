@@ -724,6 +724,29 @@ func (s *Segment) ReadAll(cols []string) (*Batch, error) {
 	return out, nil
 }
 
+// Clone returns a copy-on-write snapshot of the segment for MVCC version
+// publication: sealed block data is immutable after Seal, so clones share it
+// (the per-column blockRef slices are copied with capacity capped at their
+// length, forcing any later append — on either side — to reallocate rather
+// than clobber the shared backing array), while the open tail is deep-copied
+// because Append mutates it in place. After a clone, appending to one
+// segment is invisible to the other.
+func (s *Segment) Clone() *Segment {
+	out := &Segment{
+		schema:    s.schema,
+		blockRows: s.blockRows,
+		sealed:    make([][]blockRef, len(s.sealed)),
+		rows:      s.rows,
+	}
+	for i, col := range s.sealed {
+		out.sealed[i] = col[:len(col):len(col)]
+	}
+	out.tail = NewBatch(s.schema)
+	// Same schema by construction, so this append cannot fail.
+	_ = out.tail.AppendBatch(s.tail)
+	return out
+}
+
 // CompressedBytes reports the total size of sealed block data (the on-wire /
 // on-disk footprint before file framing).
 func (s *Segment) CompressedBytes() int {

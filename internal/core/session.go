@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"verticadr/internal/colstore"
 	"verticadr/internal/darray"
 	"verticadr/internal/dr"
 	"verticadr/internal/models"
@@ -45,6 +46,10 @@ type Config struct {
 	BlockRows int
 	// DataDir enables on-disk persistence when set.
 	DataDir string
+	// Durable enables the ingest write-ahead log under DataDir: commits are
+	// fsync-durable before they are acknowledged, and Start recovers the
+	// pre-crash state (checkpoint image + log replay) before serving.
+	Durable bool
 	// UseYARN brokers CPU/memory through the resource manager (§6): the
 	// database takes long-lived containers, the session per-use containers.
 	UseYARN bool
@@ -169,6 +174,7 @@ func Start(cfg Config) (*Session, error) {
 		Replication:         cfg.Replication,
 		BlockRows:           cfg.BlockRows,
 		DataDir:             cfg.DataDir,
+		Durable:             cfg.Durable,
 	})
 	if err != nil {
 		return nil, err
@@ -264,6 +270,32 @@ func (s *Session) Close() {
 	if s.RM != nil {
 		s.releaseYARN()
 	}
+	// Flush and close the write-ahead log last, after every in-flight commit
+	// has drained (no-op for in-memory databases).
+	_ = s.DB.Close()
+}
+
+// Load is the session-level COPY path: it appends a batch to a table under
+// the session's lifecycle tracking, and on a durable database the rows are
+// WAL-durable before Load returns.
+func (s *Session) Load(table string, b *colstore.Batch) error {
+	_, done, err := s.begin(context.Background())
+	if err != nil {
+		return err
+	}
+	defer done()
+	return s.DB.Load(table, b)
+}
+
+// Checkpoint materializes the durable database's full state and truncates
+// the write-ahead log (an error on non-durable sessions).
+func (s *Session) Checkpoint() (uint64, error) {
+	_, done, err := s.begin(context.Background())
+	if err != nil {
+		return 0, err
+	}
+	defer done()
+	return s.DB.Checkpoint()
 }
 
 // Query runs SQL against the database (Fig. 3 lines 10–11 use this for

@@ -68,6 +68,19 @@ const (
 	// misses only — a flaky blob read the serving layer must surface as a
 	// typed error rather than a hang or a poisoned cache entry.
 	SiteModelLoad = "models.load"
+	// SiteWALAppend fires in wal.Writer.Append before a record is framed
+	// into the log buffer — a Crash here models the process dying before
+	// the write reached the log at all (the commit must not be acked).
+	SiteWALAppend = "wal.append"
+	// SiteWALFsync fires in the group-commit syncer just before the batched
+	// write+fsync — a Crash here models the process dying with records
+	// buffered but not durable; every waiter in the batch must see the
+	// failure and no commit may be acknowledged.
+	SiteWALFsync = "wal.fsync"
+	// SiteWALCheckpoint fires at the start of a checkpoint — a Crash here
+	// must leave the previous checkpoint and the whole log intact, so
+	// recovery still replays from the old marker.
+	SiteWALCheckpoint = "wal.checkpoint"
 )
 
 // ErrInjected is the root of every injected error; recovery code that wants

@@ -109,12 +109,21 @@ type Manager struct {
 }
 
 // NewManager creates the R_Models metadata table, registers the manager as
-// a UDF service, and installs the prediction functions.
+// a UDF service, and installs the prediction functions. On a recovered
+// durable database the metadata table (and the model blobs it describes)
+// already exist: the manager adopts the surviving rows instead of failing,
+// rebuilding its in-memory ACL from the persisted owner column.
 func NewManager(db Database) (*Manager, error) {
 	m := &Manager{db: db, acl: newACL(), cache: newModelCache()}
-	err := db.Exec(`CREATE TABLE ` + MetaTable + ` (model VARCHAR, owner VARCHAR, type VARCHAR, size INTEGER, description VARCHAR)`)
-	if err != nil {
-		return nil, fmt.Errorf("models: create metadata table: %w", err)
+	if res, err := db.Query(`SELECT model, owner FROM ` + MetaTable); err == nil {
+		for _, r := range res.Rows() {
+			m.acl.register(r[0].(string), r[1].(string))
+		}
+	} else {
+		err := db.Exec(`CREATE TABLE ` + MetaTable + ` (model VARCHAR, owner VARCHAR, type VARCHAR, size INTEGER, description VARCHAR)`)
+		if err != nil {
+			return nil, fmt.Errorf("models: create metadata table: %w", err)
+		}
 	}
 	db.RegisterService(ServiceName, m)
 	if err := db.UDFs().Register("KmeansPredict", func() udf.Transform { return predictUDF{want: TypeKmeans} }); err != nil {
@@ -131,6 +140,33 @@ func NewManager(db Database) (*Manager, error) {
 
 func blobPath(name string) string { return "models/" + name }
 
+// blobJournal is the durable write-ahead surface a database may expose:
+// blob mutations routed through it are redo-logged and fsynced before the
+// DFS namespace changes, making deploy/redeploy/drop crash-atomic.
+// internal/vertica.DB implements it in durable mode.
+type blobJournal interface {
+	JournalBlobPut(path string, data []byte) error
+	JournalBlobDelete(path string) error
+}
+
+// blobPut writes a model blob through the database's write-ahead journal
+// when it has one, falling back to a direct DFS write.
+func (m *Manager) blobPut(path string, data []byte) error {
+	if j, ok := m.db.(blobJournal); ok {
+		return j.JournalBlobPut(path, data)
+	}
+	return m.db.DFS().Write(path, data)
+}
+
+// blobDelete removes a model blob through the write-ahead journal when the
+// database has one.
+func (m *Manager) blobDelete(path string) error {
+	if j, ok := m.db.(blobJournal); ok {
+		return j.JournalBlobDelete(path)
+	}
+	return m.db.DFS().Delete(path)
+}
+
 // Deploy serializes a model, stores the blob in DFS (replicated) and records
 // metadata in R_Models — the server half of deploy.model (Fig. 3 line 9).
 func (m *Manager) Deploy(name, owner, description string, model any) error {
@@ -146,14 +182,14 @@ func (m *Manager) Deploy(name, owner, description string, model any) error {
 	if err != nil {
 		return err
 	}
-	if err := m.db.DFS().Write(blobPath(name), data); err != nil {
+	if err := m.blobPut(blobPath(name), data); err != nil {
 		return err
 	}
 	ins := fmt.Sprintf(`INSERT INTO %s VALUES ('%s', '%s', '%s', %d, '%s')`,
 		MetaTable, name, sqlEscape(owner), kind, len(data), sqlEscape(description))
 	if err := m.db.Exec(ins); err != nil {
 		// Roll back the blob so namespace and metadata stay consistent.
-		_ = m.db.DFS().Delete(blobPath(name))
+		_ = m.blobDelete(blobPath(name))
 		return err
 	}
 	m.acl.register(name, owner)
@@ -182,10 +218,13 @@ func (m *Manager) Redeploy(name, owner string, model any) error {
 	if err != nil {
 		return err
 	}
-	// DFS Write overwrites atomically per blob; invalidate after the write so
-	// a load racing the redeploy either reads the new bytes or is orphaned by
-	// the version bump and cannot install its stale copy.
-	if err := m.db.DFS().Write(blobPath(name), data); err != nil {
+	// The journaled write is redo-logged and durable before the DFS namespace
+	// flips to the new bytes, so a crash mid-redeploy can never acknowledge a
+	// version bump and then lose it (the old torn window between blob write
+	// and restart). Invalidate after the write so a load racing the redeploy
+	// either reads the new bytes or is orphaned by the version bump and
+	// cannot install its stale copy.
+	if err := m.blobPut(blobPath(name), data); err != nil {
 		return err
 	}
 	m.cache.invalidate(name)
@@ -257,7 +296,7 @@ func (m *Manager) Drop(name string) error {
 	if !exists {
 		return fmt.Errorf("models: %w: %q", verr.ErrModelNotFound, name)
 	}
-	if err := m.db.DFS().Delete(blobPath(name)); err != nil {
+	if err := m.blobDelete(blobPath(name)); err != nil {
 		return err
 	}
 	m.acl.forget(name)

@@ -5,6 +5,13 @@
 // user-defined transform functions (internal/udf) and backed by a replicated
 // blob file system for models (internal/dfs). It corresponds to the
 // database half of Figure 2 in the paper.
+//
+// Durable mode adds an ingest write-ahead log and MVCC snapshot isolation:
+// every mutation (DDL, COPY/INSERT, model-blob write) appends a redo record,
+// waits for a group-commit fsync, and only then publishes a new immutable
+// table version; SELECT pins a version snapshot for its whole run, so long
+// reads observe one consistent instant regardless of concurrent ingest. On
+// restart, recovery loads the last checkpoint image and replays the log.
 package vertica
 
 import (
@@ -20,8 +27,10 @@ import (
 	"verticadr/internal/dfs"
 	"verticadr/internal/sqlexec"
 	"verticadr/internal/sqlparse"
+	"verticadr/internal/txn"
 	"verticadr/internal/udf"
 	"verticadr/internal/verr"
+	"verticadr/internal/wal"
 )
 
 // Config configures a database cluster.
@@ -39,6 +48,12 @@ type Config struct {
 	// DataDir, when set, persists segments and DFS blobs under this
 	// directory.
 	DataDir string
+	// Durable enables write-ahead logging under DataDir: every commit is
+	// fsync-durable before it is acknowledged or visible, and Open recovers
+	// the pre-crash state from checkpoint + log replay.
+	Durable bool
+	// WALSegmentBytes overrides the log segment rotation size (default 64 MB).
+	WALSegmentBytes int64
 }
 
 // DB is a running database cluster.
@@ -47,13 +62,21 @@ type DB struct {
 	cat      *catalog.Catalog
 	udfs     *udf.Registry
 	fs       *dfs.DFS
-	mu       sync.RWMutex
-	segs     map[string][]*colstore.Segment // table -> one segment per node
+	mu       sync.RWMutex // guards split, services, committers
+	store    *txn.Store
 	split    map[string]*catalog.Splitter
 	services map[string]any
+
+	// Durability (nil/zero for in-memory databases).
+	wal        *wal.Writer
+	ckptMu     sync.RWMutex // commits hold R; checkpoint capture holds W
+	committers map[string]*committer
+	recovery   *RecoveryInfo
 }
 
-// Open creates a cluster.
+// Open creates a cluster. With cfg.Durable it recovers any state persisted
+// under cfg.DataDir (checkpoint image + write-ahead log replay) and opens
+// the log for appending.
 func Open(cfg Config) (*DB, error) {
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("vertica: need at least 1 node")
@@ -64,6 +87,9 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.Replication <= 0 {
 		cfg.Replication = 2
 	}
+	if cfg.Durable && cfg.DataDir == "" {
+		return nil, fmt.Errorf("vertica: Durable requires DataDir")
+	}
 	var spill string
 	if cfg.DataDir != "" {
 		spill = filepath.Join(cfg.DataDir, "dfs")
@@ -73,15 +99,21 @@ func Open(cfg Config) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{
-		cfg:      cfg,
-		cat:      catalog.New(),
-		udfs:     udf.NewRegistry(),
-		fs:       fs,
-		segs:     make(map[string][]*colstore.Segment),
-		split:    make(map[string]*catalog.Splitter),
-		services: make(map[string]any),
+		cfg:        cfg,
+		cat:        catalog.New(),
+		udfs:       udf.NewRegistry(),
+		fs:         fs,
+		store:      txn.NewStore(),
+		split:      make(map[string]*catalog.Splitter),
+		services:   make(map[string]any),
+		committers: make(map[string]*committer),
 	}
 	db.services["dfs"] = fs
+	if cfg.Durable {
+		if err := db.recoverState(); err != nil {
+			return nil, err
+		}
+	}
 	return db, nil
 }
 
@@ -121,11 +153,12 @@ func (db *DB) RegisterService(name string, svc any) {
 // TableDef implements sqlexec.Database.
 func (db *DB) TableDef(name string) (*catalog.TableDef, error) { return db.cat.Get(name) }
 
-// Segments implements sqlexec.Database.
+// Segments implements sqlexec.Database: the head (latest committed) version
+// of the table. The returned segments are immutable — ingest publishes new
+// versions instead of mutating published ones — so callers may scan them
+// without tearing regardless of concurrent COPYs.
 func (db *DB) Segments(name string) ([]*colstore.Segment, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	segs, ok := db.segs[name]
+	segs, ok := db.store.Latest(name)
 	if !ok {
 		return nil, fmt.Errorf("vertica: %w: table %q has no storage", verr.ErrTableNotFound, name)
 	}
@@ -134,6 +167,24 @@ func (db *DB) Segments(name string) ([]*colstore.Segment, error) {
 
 // CreateTable registers a table and allocates its per-node segments.
 func (db *DB) CreateTable(def *catalog.TableDef) error {
+	return db.commit(def.Name,
+		func(durable bool) (byte, []byte, error) {
+			if err := db.cat.Validate(def); err != nil {
+				return 0, nil, err
+			}
+			if _, err := catalog.NewSplitter(def.Seg, def.Schema, db.cfg.Nodes); err != nil {
+				return 0, nil, err
+			}
+			if !durable {
+				return 0, nil, nil
+			}
+			body, err := encodeCreateTable(def)
+			return recCreateTable, body, err
+		},
+		func() error { return db.applyCreate(def) })
+}
+
+func (db *DB) applyCreate(def *catalog.TableDef) error {
 	if err := db.cat.Create(def); err != nil {
 		return err
 	}
@@ -147,63 +198,119 @@ func (db *DB) CreateTable(def *catalog.TableDef) error {
 		segs[i] = colstore.NewSegment(def.Schema, db.cfg.BlockRows)
 	}
 	db.mu.Lock()
-	db.segs[def.Name] = segs
 	db.split[def.Name] = sp
 	db.mu.Unlock()
+	db.store.Put(def.Name, segs)
 	return nil
 }
 
-// DropTable removes a table and its storage.
+// DropTable removes a table and its storage. Snapshots pinned before the
+// drop keep reading the table until released.
 func (db *DB) DropTable(name string) error {
+	return db.commit(name,
+		func(durable bool) (byte, []byte, error) {
+			if _, err := db.cat.Get(name); err != nil {
+				return 0, nil, err
+			}
+			return recDropTable, []byte(name), nil
+		},
+		func() error { return db.applyDrop(name) })
+}
+
+func (db *DB) applyDrop(name string) error {
 	if err := db.cat.Drop(name); err != nil {
 		return err
 	}
 	db.mu.Lock()
-	delete(db.segs, name)
 	delete(db.split, name)
 	db.mu.Unlock()
+	db.store.Drop(name)
 	return nil
 }
 
 // Load appends a batch of rows to a table, routing rows to nodes by the
-// table's segmentation scheme (the bulk-load / COPY path).
+// table's segmentation scheme (the bulk-load / COPY path). The load is one
+// atomic commit: it is WAL-durable before any row becomes visible, and a
+// concurrent snapshot sees either all of the batch or none of it.
 func (db *DB) Load(table string, b *colstore.Batch) error {
 	db.mu.RLock()
-	segs, ok := db.segs[table]
 	sp := db.split[table]
 	db.mu.RUnlock()
-	if !ok {
+	if sp == nil {
 		return fmt.Errorf("vertica: table %q does not exist", table)
 	}
 	parts, err := sp.Split(b)
 	if err != nil {
 		return err
 	}
-	for node, part := range parts {
-		if part.Len() == 0 {
-			continue
-		}
-		if err := segs[node].Append(part); err != nil {
-			return err
-		}
-	}
-	return nil
+	return db.loadParts(table, parts)
 }
 
 // LoadAt appends rows directly to one node's segment, bypassing the
 // segmentation scheme. Tests and benchmarks use it to construct skewed
 // segmentations (§3.2).
 func (db *DB) LoadAt(table string, node int, b *colstore.Batch) error {
-	db.mu.RLock()
-	segs, ok := db.segs[table]
-	db.mu.RUnlock()
+	def, err := db.cat.Get(table)
+	if err != nil {
+		return fmt.Errorf("vertica: table %q does not exist", table)
+	}
+	if node < 0 || node >= db.cfg.Nodes {
+		return fmt.Errorf("vertica: no node %d", node)
+	}
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if !b.Schema.Equal(def.Schema) {
+		return fmt.Errorf("vertica: load batch schema mismatch for %q", table)
+	}
+	parts := make([]*colstore.Batch, db.cfg.Nodes)
+	parts[node] = b
+	return db.loadParts(table, parts)
+}
+
+// loadParts commits post-split per-node batches through the write-ahead
+// protocol.
+func (db *DB) loadParts(table string, parts []*colstore.Batch) error {
+	return db.commit(table,
+		func(durable bool) (byte, []byte, error) {
+			if _, ok := db.store.Latest(table); !ok {
+				return 0, nil, fmt.Errorf("vertica: table %q does not exist", table)
+			}
+			if !durable {
+				return 0, nil, nil
+			}
+			body, err := encodeLoad(table, parts)
+			return recLoad, body, err
+		},
+		func() error { return db.applyLoad(table, parts) })
+}
+
+// applyLoad publishes a new table version holding the loaded rows: segments
+// receiving rows are cloned (copy-on-write), appended, and swapped into a
+// fresh per-node list. Published versions are never mutated, which is what
+// lets snapshots and in-flight scans proceed without locks.
+func (db *DB) applyLoad(table string, parts []*colstore.Batch) error {
+	cur, ok := db.store.Latest(table)
 	if !ok {
 		return fmt.Errorf("vertica: table %q does not exist", table)
 	}
-	if node < 0 || node >= len(segs) {
-		return fmt.Errorf("vertica: no node %d", node)
+	if len(parts) != len(cur) {
+		return fmt.Errorf("vertica: load parts for %d nodes, table %q has %d", len(parts), table, len(cur))
 	}
-	return segs[node].Append(b)
+	next := make([]*colstore.Segment, len(cur))
+	copy(next, cur)
+	for node, part := range parts {
+		if part == nil || part.Len() == 0 {
+			continue
+		}
+		seg := cur[node].Clone()
+		if err := seg.Append(part); err != nil {
+			return err
+		}
+		next[node] = seg
+	}
+	db.store.Put(table, next)
+	return nil
 }
 
 // LoadColumns is a convenience bulk loader from float64 column slices.
@@ -285,11 +392,16 @@ func (db *DB) QueryContext(ctx context.Context, sql string) (*sqlexec.Result, er
 
 // RunStatement executes an already-parsed statement. The serving layer uses
 // it to execute cached (prepared) plans without reparsing; sql is only used
-// to label PROFILE output.
+// to label PROFILE output. SELECT runs against a pinned MVCC snapshot: the
+// whole query — scans, aggregations, prediction UDFs — observes the database
+// as of one commit timestamp, however long it runs and whatever commits
+// meanwhile.
 func (db *DB) RunStatement(ctx context.Context, stmt sqlparse.Statement, sql string) (*sqlexec.Result, error) {
 	switch s := stmt.(type) {
 	case *sqlparse.Select:
-		res, err := sqlexec.RunSelectCtx(ctx, db, s)
+		sv := db.snapshotView()
+		defer sv.close()
+		res, err := sqlexec.RunSelectCtx(ctx, sv, s)
 		if err == nil && res.Profile != nil {
 			res.Profile.Query = strings.TrimRight(strings.TrimSpace(sql), ";")
 		}
@@ -304,6 +416,55 @@ func (db *DB) RunStatement(ctx context.Context, stmt sqlparse.Statement, sql str
 		return nil, fmt.Errorf("vertica: unsupported statement %T", stmt)
 	}
 }
+
+// snapshotView adapts a pinned MVCC snapshot to sqlexec.Database. Everything
+// except table storage delegates to the live database; Segments serves the
+// snapshot's frozen versions.
+type snapshotView struct {
+	db   *DB
+	snap *txn.Snap
+}
+
+func (db *DB) snapshotView() *snapshotView {
+	return &snapshotView{db: db, snap: db.store.Snapshot()}
+}
+
+func (v *snapshotView) close() { v.snap.Release() }
+
+// TableDef resolves against the snapshot: when the live catalog definition
+// no longer matches the pinned version (the table was dropped or replaced
+// mid-query), the definition is reconstructed from the frozen segments so
+// the running query keeps a self-consistent schema.
+func (v *snapshotView) TableDef(name string) (*catalog.TableDef, error) {
+	segs, ok := v.snap.Segments(name)
+	if !ok {
+		if _, err := v.db.cat.Get(name); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("vertica: %w: table %q created after query snapshot", verr.ErrTableNotFound, name)
+	}
+	if def, err := v.db.cat.Get(name); err == nil && len(segs) > 0 && def.Schema.Equal(segs[0].Schema()) {
+		return def, nil
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("vertica: %w: table %q has no storage", verr.ErrTableNotFound, name)
+	}
+	return &catalog.TableDef{Name: name, Schema: segs[0].Schema()}, nil
+}
+
+func (v *snapshotView) Segments(name string) ([]*colstore.Segment, error) {
+	segs, ok := v.snap.Segments(name)
+	if !ok {
+		return nil, fmt.Errorf("vertica: %w: table %q has no storage", verr.ErrTableNotFound, name)
+	}
+	return segs, nil
+}
+
+func (v *snapshotView) UDFs() *udf.Registry      { return v.db.udfs }
+func (v *snapshotView) UDFInstancesPerNode() int { return v.db.cfg.UDFInstancesPerNode }
+func (v *snapshotView) Services() map[string]any { return v.db.Services() }
+
+var _ sqlexec.Database = (*snapshotView)(nil)
 
 func emptyResult() *sqlexec.Result {
 	return &sqlexec.Result{Batch: colstore.NewBatch(colstore.Schema{})}
@@ -383,6 +544,7 @@ func (db *DB) execInsert(s *sqlparse.Insert) error {
 
 // Persist seals and writes every segment of every table under DataDir,
 // along with the catalog manifest, so Restore can reopen the database.
+// (Legacy full-dump path; durable databases use Checkpoint instead.)
 func (db *DB) Persist() error {
 	if db.cfg.DataDir == "" {
 		return fmt.Errorf("vertica: no DataDir configured")
@@ -390,16 +552,21 @@ func (db *DB) Persist() error {
 	if err := db.persistCatalog(); err != nil {
 		return err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	for table, segs := range db.segs {
+	snap := db.store.Snapshot()
+	defer snap.Release()
+	for _, table := range snap.Tables() {
+		segs, ok := snap.Segments(table)
+		if !ok {
+			continue
+		}
 		dir := filepath.Join(db.cfg.DataDir, "tables", table)
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
 		}
 		for node, seg := range segs {
 			path := filepath.Join(dir, fmt.Sprintf("node%d.vseg", node))
-			if err := seg.Persist(path); err != nil {
+			// Persist seals, which mutates; published versions stay untouched.
+			if err := seg.Clone().Persist(path); err != nil {
 				return err
 			}
 		}

@@ -6,12 +6,13 @@ import (
 	"os"
 	"path/filepath"
 
+	"verticadr/internal/atomicfile"
 	"verticadr/internal/catalog"
 	"verticadr/internal/colstore"
 )
 
 // catalogFile is the on-disk catalog manifest written next to the segment
-// files by Persist and read back by Restore.
+// files by Persist (and inside checkpoint images) and read back by Restore.
 const catalogFile = "catalog.json"
 
 type persistedColumn struct {
@@ -31,36 +32,73 @@ type persistedCatalog struct {
 	Tables []persistedTable `json:"tables"`
 }
 
-// persistCatalog writes the catalog manifest under DataDir.
+// tableManifest renders one table definition into its manifest form (shared
+// by the catalog manifest, checkpoint images, and WAL create-table records).
+func tableManifest(def *catalog.TableDef) persistedTable {
+	pt := persistedTable{Name: def.Name}
+	for _, c := range def.Schema {
+		pt.Columns = append(pt.Columns, persistedColumn{Name: c.Name, Type: c.Type.String()})
+	}
+	switch def.Seg.Kind {
+	case catalog.SegHash:
+		pt.SegKind = "hash"
+		pt.SegColumn = def.Seg.Column
+	default:
+		pt.SegKind = "roundrobin"
+	}
+	return pt
+}
+
+// manifestTableDef is the inverse of tableManifest.
+func manifestTableDef(pt persistedTable) (*catalog.TableDef, error) {
+	schema := make(colstore.Schema, 0, len(pt.Columns))
+	for _, c := range pt.Columns {
+		typ, err := colstore.ParseType(c.Type)
+		if err != nil {
+			return nil, fmt.Errorf("vertica: table %q: %w", pt.Name, err)
+		}
+		schema = append(schema, colstore.ColumnSchema{Name: c.Name, Type: typ})
+	}
+	def := &catalog.TableDef{Name: pt.Name, Schema: schema}
+	if pt.SegKind == "hash" {
+		def.Seg = catalog.Segmentation{Kind: catalog.SegHash, Column: pt.SegColumn}
+	}
+	return def, nil
+}
+
+// encodeCatalogManifest renders the full catalog manifest document.
+func encodeCatalogManifest(nodes int, defs []*catalog.TableDef) ([]byte, error) {
+	pc := persistedCatalog{Nodes: nodes}
+	for _, def := range defs {
+		pc.Tables = append(pc.Tables, tableManifest(def))
+	}
+	return json.MarshalIndent(pc, "", "  ")
+}
+
+// parseCatalogManifest is the inverse of encodeCatalogManifest.
+func parseCatalogManifest(data []byte) (*persistedCatalog, error) {
+	var pc persistedCatalog
+	if err := json.Unmarshal(data, &pc); err != nil {
+		return nil, fmt.Errorf("vertica: parse catalog manifest: %w", err)
+	}
+	return &pc, nil
+}
+
+// persistCatalog writes the catalog manifest under DataDir crash-atomically.
 func (db *DB) persistCatalog() error {
-	pc := persistedCatalog{Nodes: db.cfg.Nodes}
+	defs := make([]*catalog.TableDef, 0)
 	for _, name := range db.cat.List() {
 		def, err := db.cat.Get(name)
 		if err != nil {
 			return err
 		}
-		pt := persistedTable{Name: name}
-		for _, c := range def.Schema {
-			pt.Columns = append(pt.Columns, persistedColumn{Name: c.Name, Type: c.Type.String()})
-		}
-		switch def.Seg.Kind {
-		case catalog.SegHash:
-			pt.SegKind = "hash"
-			pt.SegColumn = def.Seg.Column
-		default:
-			pt.SegKind = "roundrobin"
-		}
-		pc.Tables = append(pc.Tables, pt)
+		defs = append(defs, def)
 	}
-	data, err := json.MarshalIndent(pc, "", "  ")
+	data, err := encodeCatalogManifest(db.cfg.Nodes, defs)
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(db.cfg.DataDir, catalogFile+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, filepath.Join(db.cfg.DataDir, catalogFile))
+	return atomicfile.WriteFile(filepath.Join(db.cfg.DataDir, catalogFile), data, 0o644)
 }
 
 // Restore reopens every table persisted under cfg.DataDir into a fresh
@@ -74,9 +112,9 @@ func Restore(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vertica: read catalog manifest: %w", err)
 	}
-	var pc persistedCatalog
-	if err := json.Unmarshal(data, &pc); err != nil {
-		return nil, fmt.Errorf("vertica: parse catalog manifest: %w", err)
+	pc, err := parseCatalogManifest(data)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.Nodes == 0 {
 		cfg.Nodes = pc.Nodes
@@ -89,17 +127,9 @@ func Restore(cfg Config) (*DB, error) {
 		return nil, err
 	}
 	for _, pt := range pc.Tables {
-		schema := make(colstore.Schema, 0, len(pt.Columns))
-		for _, c := range pt.Columns {
-			typ, err := colstore.ParseType(c.Type)
-			if err != nil {
-				return nil, fmt.Errorf("vertica: table %q: %w", pt.Name, err)
-			}
-			schema = append(schema, colstore.ColumnSchema{Name: c.Name, Type: typ})
-		}
-		def := &catalog.TableDef{Name: pt.Name, Schema: schema}
-		if pt.SegKind == "hash" {
-			def.Seg = catalog.Segmentation{Kind: catalog.SegHash, Column: pt.SegColumn}
+		def, err := manifestTableDef(pt)
+		if err != nil {
+			return nil, err
 		}
 		if err := db.CreateTable(def); err != nil {
 			return nil, err
@@ -111,14 +141,12 @@ func Restore(cfg Config) (*DB, error) {
 			if err != nil {
 				return nil, fmt.Errorf("vertica: reopen %q node %d: %w", pt.Name, node, err)
 			}
-			if !seg.Schema().Equal(schema) {
+			if !seg.Schema().Equal(def.Schema) {
 				return nil, fmt.Errorf("vertica: segment schema drift in %q node %d", pt.Name, node)
 			}
 			segs[node] = seg
 		}
-		db.mu.Lock()
-		db.segs[pt.Name] = segs
-		db.mu.Unlock()
+		db.store.Put(pt.Name, segs)
 	}
 	return db, nil
 }

@@ -1,0 +1,165 @@
+package vertica
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"verticadr/internal/catalog"
+	"verticadr/internal/colstore"
+)
+
+// WAL record types for the database redo log. Each record is one atomic,
+// self-describing mutation; recovery replays them in LSN order onto a
+// checkpoint image and arrives at exactly the pre-crash state.
+const (
+	// recCreateTable carries a persistedTable JSON document (the same schema
+	// manifest the checkpoint catalog uses).
+	recCreateTable byte = 1
+	// recDropTable carries the table name.
+	recDropTable byte = 2
+	// recLoad carries a table name plus the POST-split per-node row batches
+	// of one COPY/INSERT. Logging after the splitter ran keeps replay
+	// independent of splitter state (round-robin cursors do not survive a
+	// restart), so recovered segments hold byte-identical rows per node.
+	recLoad byte = 3
+	// recBlobPut carries a DFS path and blob bytes (model deploy/redeploy).
+	recBlobPut byte = 4
+	// recBlobDelete carries a DFS path (model drop).
+	recBlobDelete byte = 5
+)
+
+// --- create / drop ---------------------------------------------------------
+
+func encodeCreateTable(def *catalog.TableDef) ([]byte, error) {
+	return json.Marshal(tableManifest(def))
+}
+
+func decodeCreateTable(body []byte) (*catalog.TableDef, error) {
+	var pt persistedTable
+	if err := json.Unmarshal(body, &pt); err != nil {
+		return nil, fmt.Errorf("vertica: wal create-table record: %w", err)
+	}
+	return manifestTableDef(pt)
+}
+
+// --- load ------------------------------------------------------------------
+
+// encodeLoad frames per-node batches: uvarint len(table), table, uvarint
+// nodes, then per node uvarint ncols (0 = no rows for that node) followed by
+// length-prefixed encoded column blocks in schema order.
+func encodeLoad(table string, parts []*colstore.Batch) ([]byte, error) {
+	var buf []byte
+	buf = appendUvarint(buf, uint64(len(table)))
+	buf = append(buf, table...)
+	buf = appendUvarint(buf, uint64(len(parts)))
+	for _, part := range parts {
+		if part == nil || part.Len() == 0 {
+			buf = appendUvarint(buf, 0)
+			continue
+		}
+		buf = appendUvarint(buf, uint64(len(part.Cols)))
+		for _, col := range part.Cols {
+			data, err := colstore.EncodeBlock(col, colstore.BestEncoding(col))
+			if err != nil {
+				return nil, err
+			}
+			buf = appendUvarint(buf, uint64(len(data)))
+			buf = append(buf, data...)
+		}
+	}
+	return buf, nil
+}
+
+func decodeLoad(body []byte, schemaOf func(table string) (colstore.Schema, error)) (string, []*colstore.Batch, error) {
+	table, rest, err := cutString(body)
+	if err != nil {
+		return "", nil, fmt.Errorf("vertica: wal load record: %w", err)
+	}
+	schema, err := schemaOf(table)
+	if err != nil {
+		return "", nil, fmt.Errorf("vertica: wal load record for %q: %w", table, err)
+	}
+	nodes, rest, err := cutUvarint(rest)
+	if err != nil {
+		return "", nil, fmt.Errorf("vertica: wal load record: %w", err)
+	}
+	parts := make([]*colstore.Batch, nodes)
+	for n := range parts {
+		var ncols uint64
+		ncols, rest, err = cutUvarint(rest)
+		if err != nil {
+			return "", nil, fmt.Errorf("vertica: wal load record: %w", err)
+		}
+		if ncols == 0 {
+			continue
+		}
+		if int(ncols) != len(schema) {
+			return "", nil, fmt.Errorf("vertica: wal load record: %d columns for table %q with %d", ncols, table, len(schema))
+		}
+		b := &colstore.Batch{Schema: schema, Cols: make([]*colstore.Vector, ncols)}
+		for c := range b.Cols {
+			var blen uint64
+			blen, rest, err = cutUvarint(rest)
+			if err != nil {
+				return "", nil, fmt.Errorf("vertica: wal load record: %w", err)
+			}
+			if blen > uint64(len(rest)) {
+				return "", nil, fmt.Errorf("vertica: wal load record truncated column block")
+			}
+			v, err := colstore.DecodeBlock(rest[:blen])
+			if err != nil {
+				return "", nil, fmt.Errorf("vertica: wal load record: %w", err)
+			}
+			b.Cols[c] = v
+			rest = rest[blen:]
+		}
+		parts[n] = b
+	}
+	return table, parts, nil
+}
+
+// --- blobs -----------------------------------------------------------------
+
+func encodeBlobPut(path string, data []byte) []byte {
+	var buf []byte
+	buf = appendUvarint(buf, uint64(len(path)))
+	buf = append(buf, path...)
+	buf = append(buf, data...)
+	return buf
+}
+
+func decodeBlobPut(body []byte) (string, []byte, error) {
+	path, rest, err := cutString(body)
+	if err != nil {
+		return "", nil, fmt.Errorf("vertica: wal blob record: %w", err)
+	}
+	return path, rest, nil
+}
+
+// --- varint helpers --------------------------------------------------------
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(buf, tmp[:n]...)
+}
+
+func cutUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("bad varint")
+	}
+	return v, buf[n:], nil
+}
+
+func cutString(buf []byte) (string, []byte, error) {
+	n, rest, err := cutUvarint(buf)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(rest)) {
+		return "", nil, fmt.Errorf("truncated string")
+	}
+	return string(rest[:n]), rest[n:], nil
+}

@@ -1,0 +1,52 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"verticadr/internal/atomicfile"
+)
+
+// MarkerFile is the checkpoint pointer written next to the log segments.
+// It is replaced atomically, so recovery always finds either the previous
+// checkpoint or the new one — never half of each.
+const MarkerFile = "CHECKPOINT"
+
+// Checkpoint records a durable materialization of the database state: Dir
+// names a snapshot directory (relative to the data root) containing the
+// full state as of LSN, so recovery loads that snapshot and replays only
+// records at or after LSN.
+type Checkpoint struct {
+	LSN      uint64 `json:"lsn"`
+	Dir      string `json:"dir"`
+	UnixNano int64  `json:"unix_nano"`
+}
+
+// SaveCheckpoint atomically installs the checkpoint marker in dir.
+func SaveCheckpoint(dir string, c Checkpoint) error {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("wal: marshal checkpoint: %w", err)
+	}
+	return atomicfile.WriteFile(filepath.Join(dir, MarkerFile), append(data, '\n'), 0o644)
+}
+
+// LoadCheckpoint reads the checkpoint marker; ok is false when none exists
+// (a log that has never been checkpointed replays from LSN 0).
+func LoadCheckpoint(dir string) (Checkpoint, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, MarkerFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return Checkpoint{}, false, nil
+	}
+	if err != nil {
+		return Checkpoint{}, false, fmt.Errorf("wal: read checkpoint marker: %w", err)
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Checkpoint{}, false, fmt.Errorf("wal: parse checkpoint marker: %w", err)
+	}
+	return c, true, nil
+}

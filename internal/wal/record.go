@@ -1,0 +1,111 @@
+// Package wal is a segmented, CRC-framed write-ahead log with group commit.
+// The ingest path appends a redo record describing each mutation, waits for
+// the record to be durable (a single fsync goroutine batches every commit
+// waiting at that moment — one disk flush acknowledges many commits), and
+// only then applies the mutation to in-memory state. Recovery is redo-only
+// ARIES: an analysis pass locates the last checkpoint and the valid end of
+// the log (tolerating a torn final record from a crash mid-write), and a
+// redo pass replays every complete record after the checkpoint. Transactions
+// here are single-record (one COPY/INSERT/DDL/blob write each), so there is
+// no undo phase: a record is either fully durable and replayed, or absent.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Frame layout (little-endian):
+//
+//	u32 length   — 1 (type byte) + len(body)
+//	u32 crc32    — IEEE over the payload (type byte + body)
+//	u8  type
+//	... body
+//
+// The LSN of a record is the log-global byte offset of its length field;
+// Append returns the *end* LSN (offset just past the body), which is what
+// Commit waits on and what the next record starts at.
+const headerSize = 8
+
+// MaxRecordBody bounds a single record's body. A length field above this is
+// interior corruption, not a huge record — the reader rejects it instead of
+// attempting a multi-gigabyte allocation from a flipped bit.
+const MaxRecordBody = 1 << 28 // 256 MB
+
+// Record decode errors. ErrTornTail marks an incomplete final record — the
+// expected shape of a crash mid-append, tolerated by recovery, which stops
+// replay there. ErrCorrupt marks a record whose bytes are fully present but
+// wrong (CRC mismatch, insane length): recovery refuses to proceed, because
+// skipping interior records would silently drop committed transactions.
+var (
+	ErrTornTail = errors.New("wal: torn record at log tail")
+	ErrCorrupt  = errors.New("wal: corrupt record")
+)
+
+// appendFrame frames one record into buf and returns the extended buffer.
+func appendFrame(buf []byte, typ byte, body []byte) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(1+len(body)))
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{typ})
+	crc.Write(body)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc.Sum32())
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, typ)
+	buf = append(buf, body...)
+	return buf
+}
+
+// frameSize returns the framed size of a record with the given body length.
+func frameSize(bodyLen int) uint64 { return uint64(headerSize + 1 + bodyLen) }
+
+// decodeFrame decodes the first record in buf, returning its type, body (a
+// view into buf) and total framed size. An incomplete frame returns
+// ErrTornTail when the remaining bytes could plausibly be a half-written
+// tail (truncated, or all zeros from preallocation); a complete frame with
+// a CRC mismatch, or an impossible length field, returns ErrCorrupt.
+func decodeFrame(buf []byte) (typ byte, body []byte, n uint64, err error) {
+	if len(buf) < headerSize {
+		return 0, nil, 0, tornOrCorrupt(buf)
+	}
+	length := binary.LittleEndian.Uint32(buf[0:4])
+	crc := binary.LittleEndian.Uint32(buf[4:8])
+	if length == 0 {
+		// A zero length field is never written; it is either preallocated
+		// zero fill past the true tail or corruption.
+		return 0, nil, 0, tornOrCorrupt(buf)
+	}
+	if length > MaxRecordBody {
+		return 0, nil, 0, fmt.Errorf("%w: length %d exceeds limit", ErrCorrupt, length)
+	}
+	total := headerSize + int(length)
+	if len(buf) < total {
+		// The header promises more bytes than exist: a record cut short by
+		// a crash mid-write. Tolerated only at the very end of the log.
+		return 0, nil, 0, ErrTornTail
+	}
+	payload := buf[headerSize:total]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return 0, nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload[0], payload[1:], uint64(total), nil
+}
+
+// tornOrCorrupt classifies a short/zero prefix: all-zero remainders look
+// like preallocated space past the tail (torn, tolerated); any non-zero
+// byte in what should be a header is corruption only if a full header is
+// present — a partial header from a crash legitimately contains the first
+// bytes of a real record, so short prefixes are always treated as torn.
+func tornOrCorrupt(buf []byte) error {
+	if len(buf) < headerSize {
+		return ErrTornTail
+	}
+	for _, b := range buf {
+		if b != 0 {
+			return fmt.Errorf("%w: zero length with trailing data", ErrCorrupt)
+		}
+	}
+	return ErrTornTail
+}
