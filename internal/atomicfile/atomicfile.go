@@ -10,9 +10,12 @@
 package atomicfile
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
 // WriteFile atomically replaces path with data: temp file + fsync + rename
@@ -52,17 +55,34 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 
 // SyncDir fsyncs a directory, making prior renames/creates/removes in it
 // durable. Filesystems that do not support directory fsync (some CI tmpfs
-// setups) report EINVAL; that is ignored, matching what databases do.
+// setups) report EINVAL or ENOTSUP; only those are ignored, matching what
+// databases do — any other error (EIO, ENOSPC) is a real durability failure
+// and is returned.
 func SyncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return fmt.Errorf("atomicfile: open dir %q: %w", dir, err)
 	}
 	defer d.Close()
-	if err := d.Sync(); err != nil && !os.IsNotExist(err) {
-		// Directory fsync is not supported everywhere; a failure here can
-		// not corrupt data, only weaken the durability of the rename.
-		return nil
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("atomicfile: fsync dir %q: %w", dir, err)
 	}
 	return nil
+}
+
+// SyncTree fsyncs root and every directory beneath it. A freshly written
+// directory tree (a checkpoint image) is only durable once each directory's
+// entries — subdirectories and renamed-in files alike — have been committed;
+// syncing the root alone leaves everything deeper unprotected.
+func SyncTree(root string) error {
+	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return fmt.Errorf("atomicfile: sync tree %q: %w", root, err)
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		return SyncDir(path)
+	})
 }

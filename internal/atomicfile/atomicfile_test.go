@@ -1,0 +1,59 @@
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	for _, want := range []string{"first", "second, longer content"} {
+		if err := WriteFile(path, []byte(want), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Fatalf("read %q, want %q", got, want)
+		}
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries after WriteFile, want 1", len(entries))
+	}
+}
+
+func TestSyncDirReportsRealErrors(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir on a real directory: %v", err)
+	}
+	// A missing directory is a genuine failure and must not be swallowed.
+	if err := SyncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("SyncDir on a missing directory returned nil")
+	}
+}
+
+func TestSyncTreeWalksEveryDirectory(t *testing.T) {
+	root := t.TempDir()
+	deep := filepath.Join(root, "tables", "t", "blobs")
+	if err := os.MkdirAll(deep, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(filepath.Join(deep, "node0.vseg"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncTree(root); err != nil {
+		t.Fatalf("SyncTree: %v", err)
+	}
+	if err := SyncTree(filepath.Join(root, "missing")); err == nil {
+		t.Fatal("SyncTree on a missing root returned nil")
+	}
+}

@@ -62,8 +62,7 @@ func New() *Catalog {
 }
 
 // Validate checks a definition without registering it: shape rules plus a
-// name-collision check. Write-ahead logging uses it to reject a bad CREATE
-// before the redo record is written, so every logged record replays cleanly.
+// name-collision check against the current catalog contents.
 func (c *Catalog) Validate(def *TableDef) error {
 	if err := validateShape(def); err != nil {
 		return err
@@ -75,6 +74,13 @@ func (c *Catalog) Validate(def *TableDef) error {
 	}
 	return nil
 }
+
+// ValidateShape checks a definition's state-independent rules (name, column
+// set, segmentation column) without a collision check. Write-ahead logging
+// uses it to reject a bad CREATE before the redo record is written — the
+// collision check there runs against the commit stream's log-end view, not
+// the live catalog, so every logged record replays cleanly.
+func ValidateShape(def *TableDef) error { return validateShape(def) }
 
 func validateShape(def *TableDef) error {
 	if def.Name == "" {
@@ -182,13 +188,46 @@ func NewSplitter(seg Segmentation, schema colstore.Schema, nodes int) (*Splitter
 // Split partitions the batch into one (possibly empty) batch per node.
 //
 // The returned batches are reused by the next Split call: callers must copy
-// what they keep (Segment.Append does) before splitting the next batch.
+// what they keep (Segment.Append does) before splitting the next batch —
+// including a next call from a concurrent loader. Callers that hold on to
+// the batches past their own Split call must use SplitOwned instead.
 func (s *Splitter) Split(b *colstore.Batch) ([]*colstore.Batch, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.split(b)
+}
+
+// SplitOwned partitions like Split but returns batches the caller owns: deep
+// copies taken before the splitter lock is released, so no concurrent or
+// later Split can recycle them out from under the caller. The write-ahead
+// commit path needs this — a load's batches are read twice (WAL encode, then
+// apply) well after Split returns. Empty destinations are nil.
+func (s *Splitter) SplitOwned(b *colstore.Batch) ([]*colstore.Batch, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	outs, err := s.split(b)
+	if err != nil {
+		return nil, err
+	}
+	owned := make([]*colstore.Batch, len(outs))
+	for i, p := range outs {
+		if p == nil || p.Len() == 0 {
+			continue
+		}
+		cp := colstore.NewBatch(p.Schema)
+		if err := cp.AppendBatch(p); err != nil {
+			return nil, err
+		}
+		owned[i] = cp
+	}
+	return owned, nil
+}
+
+// split is the partitioning core; the caller holds s.mu.
+func (s *Splitter) split(b *colstore.Batch) ([]*colstore.Batch, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.idxs == nil {
 		s.idxs = make([][]int, s.nodes)
 		s.outs = make([]*colstore.Batch, s.nodes)

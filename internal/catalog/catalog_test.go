@@ -314,3 +314,51 @@ func TestSplitterSchemaChangeRebuilds(t *testing.T) {
 		}
 	}
 }
+
+// TestSplitOwnedSurvivesBuilderRecycle pins the ownership contract the
+// write-ahead load path depends on: batches returned by SplitOwned must stay
+// intact however many later Split calls recycle the internal builders.
+func TestSplitOwnedSurvivesBuilderRecycle(t *testing.T) {
+	seg := Segmentation{Kind: SegHash, Column: "id"}
+	sp, err := NewSplitter(seg, schema(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := makeBatch(t, 240)
+	owned, err := sp.SplitOwned(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recycle the builders with different content, twice.
+	for i := 0; i < 2; i++ {
+		if _, err := sp.Split(makeBatch(t, 61)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Ground truth: the same hash split from a fresh splitter.
+	ref, err := NewSplitter(seg, schema(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Split(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node, w := range want {
+		o := owned[node]
+		if w.Len() == 0 {
+			if o != nil {
+				t.Fatalf("node %d: owned batch for an empty destination", node)
+			}
+			continue
+		}
+		if o == nil || o.Len() != w.Len() {
+			t.Fatalf("node %d: owned rows = %v, want %d", node, o, w.Len())
+		}
+		for r := 0; r < w.Len(); r++ {
+			if o.Cols[0].Ints[r] != w.Cols[0].Ints[r] || o.Cols[1].Floats[r] != w.Cols[1].Floats[r] {
+				t.Fatalf("node %d row %d was recycled out from under the owner", node, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package vertica
+
+import (
+	"sync"
+	"testing"
+
+	"verticadr/internal/catalog"
+	"verticadr/internal/colstore"
+)
+
+// These tests pin the prepare-at-log-end fix: a commit's validation must see
+// sibling commits that are logged but not yet applied (invisible in live
+// state while they wait on the group-commit fsync). Before the fix, the
+// loser of a CREATE/CREATE, DROP/DROP, LOAD/DROP or blob DELETE/DELETE race
+// could append a record whose apply fails — harmless at runtime, fatal at
+// recovery, where replay aborts on the record and the database refuses to
+// open until a checkpoint happened to truncate it.
+
+func raceDef(name string) *catalog.TableDef {
+	return &catalog.TableDef{
+		Name:   name,
+		Schema: dSchema,
+		Seg:    catalog.Segmentation{Kind: catalog.SegHash, Column: "id"},
+	}
+}
+
+func TestConcurrentCreateDropRaceNeverPoisonsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db := durableDB(t, dir)
+	const iters = 50
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Losing either race is expected; what matters is that no
+				// doomed record reaches the log.
+				db.CreateTable(raceDef("race")) //nolint:errcheck
+				db.DropTable("race")            //nolint:errcheck
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The database stays fully usable after the races...
+	db.DropTable("race") //nolint:errcheck
+	if err := db.CreateTable(raceDef("race")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load("race", dBatch(t, 0, 29)); err != nil {
+		t.Fatal(err)
+	}
+	want := tableImage(t, db, "race")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ...and, the actual regression: reopening must replay the whole log
+	// without aborting, and recover the final state byte-exactly.
+	re := durableDB(t, dir)
+	defer re.Close()
+	if got := tableImage(t, re, "race"); !imagesEqual(want, got) {
+		t.Fatal("recovered table differs from pre-close image")
+	}
+}
+
+func TestConcurrentLoadDropRaceNeverPoisonsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db := durableDB(t, dir)
+	if err := db.CreateTable(raceDef("r")); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-build batches on the test goroutine: dBatch may t.Fatal.
+	batches := make([]*colstore.Batch, 60)
+	for i := range batches {
+		batches[i] = dBatch(t, i*10, 7)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for _, b := range batches {
+			// A load that loses to a DROP must fail cleanly, not log a
+			// record that replays onto a missing table.
+			db.Load("r", b) //nolint:errcheck
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			db.DropTable("r")            //nolint:errcheck
+			db.CreateTable(raceDef("r")) //nolint:errcheck
+		}
+	}()
+	wg.Wait()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := durableDB(t, dir) // replay must not abort
+	re.Close()
+}
+
+func TestConcurrentBlobDeleteRaceNeverPoisonsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db := durableDB(t, dir)
+	for i := 0; i < 25; i++ {
+		if err := db.JournalBlobPut("models/x", []byte{byte(i), 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Exactly one delete may win; the loser must be rejected at
+				// validation, never logged as a doomed record.
+				db.JournalBlobDelete("models/x") //nolint:errcheck
+			}()
+		}
+		wg.Wait()
+		if _, err := db.DFS().Stat("models/x"); err == nil {
+			t.Fatal("blob survived both deletes")
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := durableDB(t, dir)
+	defer re.Close()
+	if _, err := re.DFS().Stat("models/x"); err == nil {
+		t.Fatal("deleted blob resurrected by recovery")
+	}
+}
+
+// TestConcurrentLoadsRecoverAllRows pins the SplitOwned fix: concurrent
+// COPYs into one table must each own their post-split batches. Before the
+// fix the splitter's reused builders could be recycled by a sibling Load
+// while the WAL encode or the deferred apply was still reading them, writing
+// corrupt rows into the durable log (caught here by -race and by the
+// byte-identity check after replay).
+func TestConcurrentLoadsRecoverAllRows(t *testing.T) {
+	dir := t.TempDir()
+	db := durableDB(t, dir)
+	if err := db.CreateTable(raceDef("pts")); err != nil {
+		t.Fatal(err)
+	}
+	const workers, loads, rows = 4, 20, 16
+	all := make([][]*colstore.Batch, workers)
+	for w := range all {
+		all[w] = make([]*colstore.Batch, loads)
+		for i := range all[w] {
+			all[w][i] = dBatch(t, (w*loads+i)*1000, rows)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, b := range all[w] {
+				if err := db.Load("pts", b); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	n, err := db.TableRows("pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != workers*loads*rows {
+		t.Fatalf("loaded %d rows, want %d", n, workers*loads*rows)
+	}
+	want := tableImage(t, db, "pts")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := durableDB(t, dir)
+	defer re.Close()
+	if got := tableImage(t, re, "pts"); !imagesEqual(want, got) {
+		t.Fatal("recovered table differs from pre-close image")
+	}
+}

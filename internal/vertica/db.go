@@ -168,13 +168,18 @@ func (db *DB) Segments(name string) ([]*colstore.Segment, error) {
 // CreateTable registers a table and allocates its per-node segments.
 func (db *DB) CreateTable(def *catalog.TableDef) error {
 	return db.commit(def.Name,
-		func(durable bool) (byte, []byte, error) {
-			if err := db.cat.Validate(def); err != nil {
+		func(st *streamState, durable bool) (byte, []byte, error) {
+			db.seedTable(st, def.Name)
+			if st.exists {
+				return 0, nil, fmt.Errorf("catalog: table %q already exists", def.Name)
+			}
+			if err := catalog.ValidateShape(def); err != nil {
 				return 0, nil, err
 			}
 			if _, err := catalog.NewSplitter(def.Seg, def.Schema, db.cfg.Nodes); err != nil {
 				return 0, nil, err
 			}
+			st.exists, st.schema = true, def.Schema
 			if !durable {
 				return 0, nil, nil
 			}
@@ -208,10 +213,12 @@ func (db *DB) applyCreate(def *catalog.TableDef) error {
 // drop keep reading the table until released.
 func (db *DB) DropTable(name string) error {
 	return db.commit(name,
-		func(durable bool) (byte, []byte, error) {
-			if _, err := db.cat.Get(name); err != nil {
-				return 0, nil, err
+		func(st *streamState, durable bool) (byte, []byte, error) {
+			db.seedTable(st, name)
+			if !st.exists {
+				return 0, nil, fmt.Errorf("catalog: %w: %q", verr.ErrTableNotFound, name)
 			}
+			st.exists, st.schema = false, nil
 			return recDropTable, []byte(name), nil
 		},
 		func() error { return db.applyDrop(name) })
@@ -239,7 +246,12 @@ func (db *DB) Load(table string, b *colstore.Batch) error {
 	if sp == nil {
 		return fmt.Errorf("vertica: table %q does not exist", table)
 	}
-	parts, err := sp.Split(b)
+	// SplitOwned (not Split): the commit path reads the per-node batches
+	// twice — WAL encode, then the deferred apply — after Split would have
+	// released the splitter lock, and a concurrent Load into the same table
+	// recycles Split's reused builders mid-read. Owned deep copies are taken
+	// while the splitter lock is still held.
+	parts, err := sp.SplitOwned(b)
 	if err != nil {
 		return err
 	}
@@ -272,9 +284,17 @@ func (db *DB) LoadAt(table string, node int, b *colstore.Batch) error {
 // protocol.
 func (db *DB) loadParts(table string, parts []*colstore.Batch) error {
 	return db.commit(table,
-		func(durable bool) (byte, []byte, error) {
-			if _, ok := db.store.Latest(table); !ok {
+		func(st *streamState, durable bool) (byte, []byte, error) {
+			db.seedTable(st, table)
+			if !st.exists {
 				return 0, nil, fmt.Errorf("vertica: table %q does not exist", table)
+			}
+			// Check against the log-end schema: a pipelined DROP+CREATE may
+			// have replaced the table since this load's batches were split.
+			for _, p := range parts {
+				if p != nil && p.Len() > 0 && !p.Schema.Equal(st.schema) {
+					return 0, nil, fmt.Errorf("vertica: load batch schema mismatch for %q", table)
+				}
 			}
 			if !durable {
 				return 0, nil, nil

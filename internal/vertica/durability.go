@@ -34,6 +34,70 @@ type committer struct {
 	cond    *sync.Cond
 	next    uint64
 	applied uint64
+	state   streamState
+}
+
+// streamState is the log-end view of one commit stream's logical state: what
+// the stream will look like once every already-appended record has applied.
+// prepare validates against it rather than against live state — live state
+// lags by the commits still in their group-commit durability wait, so a
+// sibling's logged-but-unapplied CREATE/DROP would otherwise be invisible to
+// validation. Two concurrent CREATE TABLE t could then both log records, and
+// the loser's record (whose apply fails at runtime) would poison recovery:
+// replay aborts on it and the database refuses to open. Validating at the
+// log end keeps the invariant that every logged record replays cleanly.
+//
+// The view is reset whenever the stream is idle (applied == next), at which
+// point live state is authoritative and re-seeds it lazily.
+type streamState struct {
+	seeded bool            // table streams: exists/schema populated from live state
+	exists bool            // table streams: table exists at the log end
+	schema colstore.Schema // table streams: schema at the log end (nil when !exists)
+	blobs  map[string]bool // blob stream: path -> exists-at-log-end overlay
+}
+
+// seedTable populates the table stream's log-end view from live state the
+// first time a pipelined burst validates (caller holds the stream lock).
+func (db *DB) seedTable(st *streamState, table string) {
+	if st.seeded {
+		return
+	}
+	st.seeded = true
+	if def, err := db.cat.Get(table); err == nil {
+		st.exists = true
+		st.schema = def.Schema
+	}
+}
+
+// blobExists resolves a DFS path against the blob stream's log-end overlay,
+// falling through to live state for paths no pending record touches.
+func (db *DB) blobExists(st *streamState, path string) bool {
+	if v, ok := st.blobs[path]; ok {
+		return v
+	}
+	_, err := db.fs.Stat(path)
+	return err == nil
+}
+
+func (st *streamState) setBlob(path string, exists bool) {
+	if st.blobs == nil {
+		st.blobs = make(map[string]bool)
+	}
+	st.blobs[path] = exists
+}
+
+// clone copies the view so commit can restore it when prepare's intent never
+// makes it into the log (prepare or Append failed). The schema slice is
+// shared — prepares replace it, never mutate it in place.
+func (st *streamState) clone() streamState {
+	out := *st
+	if st.blobs != nil {
+		out.blobs = make(map[string]bool, len(st.blobs))
+		for k, v := range st.blobs {
+			out.blobs[k] = v
+		}
+	}
+	return out
 }
 
 func (db *DB) committer(stream string) *committer {
@@ -50,8 +114,10 @@ func (db *DB) committer(stream string) *committer {
 
 // commit runs one durable mutation through the write-ahead protocol:
 //
-//  1. prepare validates and encodes the redo record (under the stream lock,
-//     so validation and log order cannot be raced by a sibling commit);
+//  1. prepare validates against the stream's log-end view and encodes the
+//     redo record (under the stream lock, so validation and log order cannot
+//     be raced by a sibling commit — including one whose record is logged
+//     but not yet applied);
 //  2. the record is appended to the WAL and the stream ticket taken;
 //  3. the committer waits for the record to be durable (group-commit fsync);
 //  4. apply publishes the mutation to in-memory state, in ticket order.
@@ -60,26 +126,38 @@ func (db *DB) committer(stream string) *committer {
 // before it is durable — a reader can never observe state that a crash
 // could take back. Without a WAL (in-memory database) prepare is told not
 // to encode and apply runs immediately under the stream lock.
-func (db *DB) commit(stream string, prepare func(durable bool) (byte, []byte, error), apply func() error) error {
+func (db *DB) commit(stream string, prepare func(st *streamState, durable bool) (byte, []byte, error), apply func() error) error {
 	db.ckptMu.RLock()
 	defer db.ckptMu.RUnlock()
 	c := db.committer(stream)
 	if db.wal == nil {
 		c.mu.Lock()
 		defer c.mu.Unlock()
-		if _, _, err := prepare(false); err != nil {
+		c.state = streamState{} // apply runs under the lock: live state is current
+		if _, _, err := prepare(&c.state, false); err != nil {
 			return err
 		}
 		return apply()
 	}
 	c.mu.Lock()
-	typ, body, err := prepare(true)
+	if c.applied == c.next {
+		// Stream idle: every logged record has applied, so live state is
+		// authoritative again and the log-end view re-seeds from it.
+		c.state = streamState{}
+	}
+	// Snapshot the log-end view: if prepare or Append fails, the intent it
+	// recorded never reached the log and must not be visible to the next
+	// prepare on this stream.
+	prev := c.state.clone()
+	typ, body, err := prepare(&c.state, true)
 	if err != nil {
+		c.state = prev
 		c.mu.Unlock()
 		return err
 	}
 	lsn, err := db.wal.Append(typ, body)
 	if err != nil {
+		c.state = prev
 		c.mu.Unlock()
 		return err
 	}
@@ -115,7 +193,8 @@ func (db *DB) commit(stream string, prepare func(durable bool) (byte, []byte, er
 // assertion and falls back to direct DFS writes on non-durable databases.
 func (db *DB) JournalBlobPut(path string, data []byte) error {
 	return db.commit(blobStream,
-		func(durable bool) (byte, []byte, error) {
+		func(st *streamState, durable bool) (byte, []byte, error) {
+			st.setBlob(path, true)
 			if !durable {
 				return 0, nil, nil
 			}
@@ -127,7 +206,14 @@ func (db *DB) JournalBlobPut(path string, data []byte) error {
 // JournalBlobDelete removes a DFS blob through the write-ahead log.
 func (db *DB) JournalBlobDelete(path string) error {
 	return db.commit(blobStream,
-		func(durable bool) (byte, []byte, error) {
+		func(st *streamState, durable bool) (byte, []byte, error) {
+			// Validate against the log end: a sibling delete may be logged
+			// but unapplied, and logging a doomed second delete would abort
+			// replay on restart.
+			if !db.blobExists(st, path) {
+				return 0, nil, fmt.Errorf("dfs: file %q does not exist", path)
+			}
+			st.setBlob(path, false)
 			if !durable {
 				return 0, nil, nil
 			}
@@ -383,7 +469,16 @@ func (db *DB) Checkpoint() (uint64, error) {
 			return 0, err
 		}
 	}
-	if err := atomicfile.SyncDir(full); err != nil {
+	// Make the image durable as a tree before the marker can point at it:
+	// every directory created above (tables/, per-table dirs, blob subdirs)
+	// needs its entries committed — syncing only the root would let a crash
+	// after the marker install surface a checkpoint missing segment files,
+	// with the pre-checkpoint log already truncated. The data root is synced
+	// too, so the checkpoint directory's own entry survives the crash.
+	if err := atomicfile.SyncTree(full); err != nil {
+		return 0, err
+	}
+	if err := atomicfile.SyncDir(db.cfg.DataDir); err != nil {
 		return 0, err
 	}
 

@@ -225,6 +225,13 @@ func (w *Writer) Commit(lsn uint64) error {
 		w.mu.Unlock()
 		return nil
 	}
+	if w.closed {
+		// Registering a waiter now could outlive the syncer's final drain
+		// and never be woken; fail fast instead (Close documents that racing
+		// commits may receive an error).
+		w.mu.Unlock()
+		return fmt.Errorf("wal: writer closed")
+	}
 	wt := waiter{lsn: lsn, ch: make(chan error, 1), start: time.Now()}
 	w.waiters = append(w.waiters, wt)
 	w.mu.Unlock()
@@ -387,7 +394,8 @@ func (w *Writer) TruncateBefore(lsn uint64) (int, error) {
 }
 
 // Close flushes outstanding records and releases the file. Commit calls
-// racing Close may receive an error; acknowledged commits stay durable.
+// racing Close may receive an error (never a hang); acknowledged commits
+// stay durable.
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -396,12 +404,28 @@ func (w *Writer) Close() error {
 	}
 	w.closed = true
 	w.mu.Unlock()
-	// Flush what's buffered, then stop the syncer.
-	err := w.Sync()
+	// Stop the syncer: its shutdown path runs one final flushBatch, which
+	// writes+fsyncs everything appended so far and wakes every registered
+	// waiter. closed is already set, so no new waiter can register after
+	// that final snapshot.
 	close(w.stop)
 	<-w.loopDone
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	err := w.err
+	// Defensively settle anything still on the waiter list — honestly, by
+	// the durable horizon — so no Commit can block forever past Close.
+	for _, wt := range w.waiters {
+		switch {
+		case w.err != nil:
+			wt.ch <- w.err
+		case wt.lsn <= w.durable.Load():
+			wt.ch <- nil
+		default:
+			wt.ch <- fmt.Errorf("wal: writer closed")
+		}
+	}
+	w.waiters = nil
 	if w.f != nil {
 		if cerr := w.f.Close(); err == nil {
 			err = cerr

@@ -7,7 +7,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"verticadr/internal/faults"
 )
@@ -417,4 +419,50 @@ func FuzzWALRecordStream(f *testing.F) {
 			off += n
 		}
 	})
+}
+
+// TestCommitRacingCloseNeverHangs pins the Close liveness contract: a Commit
+// that races Close must return — an error is fine, a permanent block is not.
+// Before the fix, a waiter registered after Close's final flush snapshot was
+// never woken (the syncer had exited and nothing drained the kick channel).
+func TestCommitRacingCloseNeverHangs(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				if _, err := w.AppendCommit(1, []byte("payload")); err != nil {
+					return // closed underneath us: allowed, hanging is not
+				}
+				acked.Add(1)
+			}
+		}()
+	}
+	close(start)
+	w.Close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Commit blocked forever across Close")
+	}
+	// Post-close commits fail fast instead of registering unwakeable waiters.
+	if err := w.Commit(w.DurableLSN() + 1); err == nil {
+		t.Fatal("Commit after Close reported an undurable LSN as durable")
+	}
+	// Every acknowledged commit survived the shutdown.
+	types, _, _ := collect(t, dir, 0)
+	if int64(len(types)) < acked.Load() {
+		t.Fatalf("log holds %d records but %d commits were acknowledged", len(types), acked.Load())
+	}
 }
