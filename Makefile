@@ -1,9 +1,26 @@
 GO ?= go
 
 # Tier-1 verify (referenced from ROADMAP.md): everything must build, every
-# test must pass, and the tree must be lint-clean before a PR lands.
+# test must pass, the tree must be lint-clean, the bounded compressed-
+# execution difftest must agree bitwise, and the two compressed-equivalence
+# fuzz targets get a short smoke so the harness runs on every pass.
 .PHONY: check
-check: lint build test race
+check: lint build test race difftest-short fuzz-smoke
+
+# Bounded run of the encoding-aware differential suite (the full 600-query
+# sweep runs under plain `go test`; this re-runs the 120-query bound with a
+# fresh binary so `make check` exercises the flag path too).
+.PHONY: difftest-short
+difftest-short:
+	$(GO) test -count=1 -run=TestCompressedDifferentialAdversarial \
+		./internal/sqlexec/difftest/ -difftest.short
+
+# Short fuzz smoke of the compressed-execution equivalence targets: enough
+# to replay the corpus and explore a little on every tier-1 pass.
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzCompressedScanEquivalence -fuzztime=10s ./internal/colstore/
+	$(GO) test -run='^$$' -fuzz=FuzzCompressedAggregateEquivalence -fuzztime=10s ./internal/sqlexec/
 
 # Lint: go vet plus gofmt enforcement (gofmt -l output fails the build).
 .PHONY: lint
@@ -89,6 +106,15 @@ serve-bench:
 wal-bench:
 	$(GO) run ./cmd/vdr-walbench -out BENCH_PR7.json
 
+# Compressed-execution benchmark: serial scans, run-aware aggregation, and
+# PREDICT over RLE/dictionary/incompressible fixtures, each run with
+# compressed execution on and off; writes BENCH_PR8.json (committed alongside
+# EXPERIMENTS.md). Fails if compressed execution loses on compressible data
+# or regresses more than 10% on incompressible data.
+.PHONY: scan-bench
+scan-bench:
+	$(GO) run ./cmd/vdr-scanbench -out BENCH_PR8.json
+
 # Fuzz smoke: run each fuzz target briefly (Go keeps regression inputs in
 # testdata/fuzz, which plain `go test` replays on every run). Raise FUZZTIME
 # for a longer exploratory session.
@@ -98,6 +124,8 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseSelect -fuzztime=$(FUZZTIME) ./internal/sqlparse/
 	$(GO) test -run='^$$' -fuzz=FuzzEncodingRoundTrip -fuzztime=$(FUZZTIME) ./internal/colstore/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeBlock -fuzztime=$(FUZZTIME) ./internal/colstore/
+	$(GO) test -run='^$$' -fuzz=FuzzCompressedScanEquivalence -fuzztime=$(FUZZTIME) ./internal/colstore/
+	$(GO) test -run='^$$' -fuzz=FuzzCompressedAggregateEquivalence -fuzztime=$(FUZZTIME) ./internal/sqlexec/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeChunk -fuzztime=$(FUZZTIME) ./internal/vft/
 	$(GO) test -run='^$$' -fuzz=FuzzWALRecord -fuzztime=$(FUZZTIME) ./internal/wal/
 	$(GO) test -run='^$$' -fuzz=FuzzWALRecordStream -fuzztime=$(FUZZTIME) ./internal/wal/

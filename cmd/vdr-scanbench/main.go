@@ -1,0 +1,212 @@
+// Command vdr-scanbench measures the PR 8 compressed-execution path and
+// writes the figures to a JSON file (BENCH_PR8.json by default, `make
+// scan-bench`). Every query runs twice — once with compressed execution
+// (predicates evaluated on RLE runs and dictionary codes, late
+// materialization, run-aware aggregation) and once decoding every block
+// first — over three fixtures: run-heavy (RLE), low-cardinality strings
+// (dictionary), and incompressible data (plain blocks).
+//
+// The command fails if compressed execution is slower than decode-first on
+// the compressible fixtures, or more than 10% slower on the incompressible
+// one — the same acceptance gates EXPERIMENTS.md records.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"verticadr/internal/algos"
+	"verticadr/internal/colstore"
+	"verticadr/internal/models"
+	"verticadr/internal/vertica"
+)
+
+type figure struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	RowsPerSec  float64 `json:"rows_per_s,omitempty"`
+}
+
+func toFigure(name string, r testing.BenchmarkResult) figure {
+	return figure{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		RowsPerSec:  r.Extra["rows/s"],
+	}
+}
+
+// fillFixtures loads the three fixture tables. Runs survive hash
+// segmentation because they are long relative to the node count: a run of
+// 2000 consecutive ids leaves ~500 consecutive rows per node.
+func fillFixtures(db *vertica.DB, rows int) error {
+	ddl := []string{
+		`CREATE TABLE rle (id INTEGER, grp INTEGER, val FLOAT, a FLOAT, b FLOAT) SEGMENTED BY HASH(id)`,
+		`CREATE TABLE dict (id INTEGER, cat VARCHAR, val FLOAT) SEGMENTED BY HASH(id)`,
+		`CREATE TABLE rnd (id INTEGER, a FLOAT) SEGMENTED BY HASH(id)`,
+	}
+	for _, q := range ddl {
+		if err := db.Exec(q); err != nil {
+			return err
+		}
+	}
+	valPalette := []float64{1.5, -2.5, 7, 0.5}
+	cats := []string{"c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7"}
+	rng := rand.New(rand.NewSource(8808))
+
+	rleBatch := colstore.NewBatch(colstore.Schema{
+		{Name: "id", Type: colstore.TypeInt64},
+		{Name: "grp", Type: colstore.TypeInt64},
+		{Name: "val", Type: colstore.TypeFloat64},
+		{Name: "a", Type: colstore.TypeFloat64},
+		{Name: "b", Type: colstore.TypeFloat64},
+	})
+	dictBatch := colstore.NewBatch(colstore.Schema{
+		{Name: "id", Type: colstore.TypeInt64},
+		{Name: "cat", Type: colstore.TypeString},
+		{Name: "val", Type: colstore.TypeFloat64},
+	})
+	rndBatch := colstore.NewBatch(colstore.Schema{
+		{Name: "id", Type: colstore.TypeInt64},
+		{Name: "a", Type: colstore.TypeFloat64},
+	})
+	for i := 0; i < rows; i++ {
+		if err := rleBatch.AppendRow(int64(i), int64(i/2000),
+			valPalette[(i/500)%len(valPalette)], float64(i%100)*0.5, float64(i%50)); err != nil {
+			return err
+		}
+		if err := dictBatch.AppendRow(int64(i), cats[i%len(cats)],
+			valPalette[i%len(valPalette)]); err != nil {
+			return err
+		}
+		if err := rndBatch.AppendRow(int64(i), rng.Float64()); err != nil {
+			return err
+		}
+	}
+	for name, b := range map[string]*colstore.Batch{"rle": rleBatch, "dict": dictBatch, "rnd": rndBatch} {
+		if err := db.Load(name, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchQuery runs one query under testing.Benchmark with compressed
+// execution set as given, reporting table-scan throughput (table rows per
+// second, the serial-scan figure EXPERIMENTS.md tracks).
+func benchQuery(db *vertica.DB, q string, tableRows, wantRows int, compressed bool) (testing.BenchmarkResult, error) {
+	defer colstore.SetCompressedEval(true)
+	colstore.SetCompressedEval(compressed)
+	var failed error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := db.Query(q)
+			if err != nil {
+				failed = err
+				b.FailNow()
+			}
+			if wantRows >= 0 && res.Len() != wantRows {
+				failed = fmt.Errorf("rows = %d, want %d", res.Len(), wantRows)
+				b.FailNow()
+			}
+		}
+		b.ReportMetric(float64(tableRows*b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+	return r, failed
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR8.json", "output JSON path")
+	rows := flag.Int("rows", 200_000, "fixture table size")
+	flag.Parse()
+
+	db, err := vertica.Open(vertica.Config{Nodes: 4, BlockRows: 2048, UDFInstancesPerNode: 2})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdr-scanbench:", err)
+		os.Exit(1)
+	}
+	if err := fillFixtures(db, *rows); err != nil {
+		fmt.Fprintln(os.Stderr, "vdr-scanbench:", err)
+		os.Exit(1)
+	}
+	mgr, err := models.NewManager(db)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdr-scanbench:", err)
+		os.Exit(1)
+	}
+	if err := mgr.Deploy("m", "bench", "", &algos.GLMModel{
+		Family: algos.Gaussian, Coefficients: []float64{1, 2, -0.5, 0.25},
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "vdr-scanbench:", err)
+		os.Exit(1)
+	}
+
+	midGrp := (*rows / 2000) / 2
+	cases := []struct {
+		name     string
+		query    string
+		wantRows int
+		// improved: compressed must beat decoded outright; otherwise a 10%
+		// regression tolerance applies (incompressible / full-table shapes
+		// where compressed execution has nothing to chew on).
+		improved bool
+	}{
+		{"scan.rle.filter", fmt.Sprintf("SELECT val FROM rle WHERE grp = %d", midGrp), 2000, true},
+		{"scan.dict.filter", "SELECT val FROM dict WHERE cat = 'c3'", *rows / 8, true},
+		{"agg.rle.runaware", "SELECT grp, count(*), sum(val), min(val), max(val) FROM rle GROUP BY grp", (*rows + 1999) / 2000, true},
+		{"scan.rnd.filter", "SELECT a FROM rnd WHERE a >= 0.5", -1, false},
+		{"predict.rle.filtered", fmt.Sprintf("SELECT GlmPredict(id, a, b USING PARAMETERS model='m') OVER (PARTITION BEST) FROM rle WHERE grp = %d", midGrp), 2000, true},
+		{"predict.rle.full", "SELECT GlmPredict(id, a, b USING PARAMETERS model='m') OVER (PARTITION BEST) FROM rle", *rows, false},
+	}
+
+	var figures []figure
+	ok := true
+	for _, c := range cases {
+		on, err := benchQuery(db, c.query, *rows, c.wantRows, true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vdr-scanbench: %s (compressed): %v\n", c.name, err)
+			os.Exit(1)
+		}
+		off, err := benchQuery(db, c.query, *rows, c.wantRows, false)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vdr-scanbench: %s (decoded): %v\n", c.name, err)
+			os.Exit(1)
+		}
+		figures = append(figures, toFigure(c.name+"/compressed", on), toFigure(c.name+"/decoded", off))
+		speedup := on.Extra["rows/s"] / off.Extra["rows/s"]
+		verdict := "ok"
+		if c.improved && speedup <= 1.0 {
+			verdict, ok = "FAIL (expected improvement)", false
+		} else if !c.improved && speedup < 0.9 {
+			verdict, ok = "FAIL (regression beyond 10%)", false
+		}
+		fmt.Printf("%-24s %14.0f rows/s compressed %14.0f rows/s decoded  %5.2fx  %s\n",
+			c.name, on.Extra["rows/s"], off.Extra["rows/s"], speedup, verdict)
+	}
+
+	data, err := json.MarshalIndent(map[string]any{"benchmarks": figures}, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdr-scanbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "vdr-scanbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "vdr-scanbench: acceptance gates failed")
+		os.Exit(1)
+	}
+}

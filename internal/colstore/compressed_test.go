@@ -1,0 +1,402 @@
+package colstore
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// preds covering every operator against present, absent, and boundary values.
+func predsFor(col string, vals ...any) []*Pred {
+	var out []*Pred
+	for _, v := range vals {
+		for _, op := range []CompareOp{OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE} {
+			out = append(out, &Pred{Col: col, Op: op, Val: v})
+		}
+	}
+	return out
+}
+
+// compressedTestVectors is the shared palette of encoding-adversarial
+// vectors: long runs (RLE), NaN and signed-zero runs, low-cardinality
+// alternating strings (DICT), and empty blocks.
+func compressedTestVectors() map[string]struct {
+	vec  *Vector
+	encs []Encoding
+} {
+	nan := math.NaN()
+	return map[string]struct {
+		vec  *Vector
+		encs []Encoding
+	}{
+		"int-runs": {
+			IntVector([]int64{7, 7, 7, 7, -2, -2, math.MaxInt64, math.MaxInt64, math.MaxInt64, 0}),
+			[]Encoding{EncPlain, EncRLE},
+		},
+		"float-nan-zero-runs": {
+			FloatVector([]float64{nan, nan, nan, math.Copysign(0, -1), math.Copysign(0, -1), 0.0, 0.0, 1.5, 1.5, math.Inf(1)}),
+			[]Encoding{EncPlain, EncRLE},
+		},
+		"string-runs": {
+			StringVector([]string{"blue", "blue", "blue", "", "", "red", "red", "red", "red", "zz"}),
+			[]Encoding{EncPlain, EncRLE, EncDict},
+		},
+		"string-alternating": {
+			StringVector([]string{"a", "b", "a", "b", "a", "b", "a", "b"}),
+			[]Encoding{EncPlain, EncRLE, EncDict},
+		},
+		"bool-runs": {
+			BoolVector([]bool{true, true, true, false, false, true}),
+			[]Encoding{EncPlain, EncRLE},
+		},
+		"empty-int":    {NewVector(TypeInt64, 0), []Encoding{EncPlain, EncRLE}},
+		"empty-string": {NewVector(TypeString, 0), []Encoding{EncPlain, EncRLE, EncDict}},
+	}
+}
+
+func predsForVec(v *Vector) []*Pred {
+	switch v.Type {
+	case TypeInt64:
+		// Present, absent, boundary, float-widening, and mixed-type values.
+		return predsFor("c", int64(7), int64(-2), int64(5), int64(math.MaxInt64), float64(6.5), "oops")
+	case TypeFloat64:
+		return predsFor("c", 1.5, math.NaN(), 0.0, math.Copysign(0, -1), math.Inf(1), int64(1), true)
+	case TypeString:
+		return predsFor("c", "red", "", "green", "m", "zzz", int64(3))
+	case TypeBool:
+		return predsFor("c", true, false, int64(1))
+	}
+	return nil
+}
+
+// TestMatchBlockCompressedMatchesEager pins the tentpole equivalence at the
+// block level: for every encoding and predicate — including values absent
+// from the dictionary, NaN, signed zero, and mixed-type comparisons that must
+// error — the compressed matcher returns exactly what decode-then-filter
+// returns, or both fail with the same error.
+func TestMatchBlockCompressedMatchesEager(t *testing.T) {
+	for name, tc := range compressedTestVectors() {
+		for _, enc := range tc.encs {
+			data, err := EncodeBlock(tc.vec, enc)
+			if err != nil {
+				t.Fatalf("%s/%v encode: %v", name, enc, err)
+			}
+			for _, pred := range predsForVec(tc.vec) {
+				wantIdx, wantErr := func() ([]int, error) {
+					v, err := DecodeBlock(data)
+					if err != nil {
+						return nil, err
+					}
+					return pred.matchRowsInto(v, nil)
+				}()
+				gotIdx, handled, gotErr := MatchBlockCompressed(data, pred, nil)
+				if enc == EncRLE && !handled {
+					t.Fatalf("%s/%v: RLE block not handled compressed", name, enc)
+				}
+				if enc == EncDict && tc.vec.Type == TypeString && !handled {
+					t.Fatalf("%s/%v: DICT block not handled compressed", name, enc)
+				}
+				if !handled {
+					continue // PLAIN/DELTA: no compressed evaluation, eager path covers it
+				}
+				if (gotErr != nil) != (wantErr != nil) {
+					t.Fatalf("%s/%v pred %v %v: compressed err %v, eager err %v", name, enc, pred.Op, pred.Val, gotErr, wantErr)
+				}
+				if wantErr != nil {
+					if gotErr.Error() != wantErr.Error() {
+						t.Fatalf("%s/%v pred %v %v: error %q, want %q", name, enc, pred.Op, pred.Val, gotErr, wantErr)
+					}
+					continue
+				}
+				if len(gotIdx) != len(wantIdx) {
+					t.Fatalf("%s/%v pred %v %v: %d matches, want %d", name, enc, pred.Op, pred.Val, len(gotIdx), len(wantIdx))
+				}
+				for i := range gotIdx {
+					if gotIdx[i] != wantIdx[i] {
+						t.Fatalf("%s/%v pred %v %v: idx[%d] = %d, want %d", name, enc, pred.Op, pred.Val, i, gotIdx[i], wantIdx[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDictAbsentPushdown pins the dictionary-absent behaviors called out in
+// the issue: an equality probe for a value not in the dictionary selects
+// nothing (after only |dict| comparisons — no row decodes), and range
+// operators land on the correct boundary rows.
+func TestDictAbsentPushdown(t *testing.T) {
+	v := StringVector([]string{"azul", "rot", "azul", "rot", "azul", "rot", "azul", "rot"})
+	data, err := EncodeBlock(v, EncDict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, handled, err := MatchBlockCompressed(data, &Pred{Col: "s", Op: OpEQ, Val: "green"}, nil)
+	if err != nil || !handled {
+		t.Fatalf("absent equality: handled=%v err=%v", handled, err)
+	}
+	if len(idx) != 0 {
+		t.Fatalf("equality on absent value matched %d rows, want 0", len(idx))
+	}
+	// "green" sorts between "azul" and "rot": < selects the azul rows (even
+	// indexes), > selects the rot rows (odd indexes).
+	lt, _, err := MatchBlockCompressed(data, &Pred{Col: "s", Op: OpLT, Val: "green"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, _, err := MatchBlockCompressed(data, &Pred{Col: "s", Op: OpGT, Val: "green"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lt) != 4 || len(gt) != 4 {
+		t.Fatalf("range boundary: lt=%v gt=%v, want 4 even / 4 odd rows", lt, gt)
+	}
+	for i, r := range lt {
+		if r != 2*i {
+			t.Fatalf("lt rows = %v, want even indexes", lt)
+		}
+	}
+	for i, r := range gt {
+		if r != 2*i+1 {
+			t.Fatalf("gt rows = %v, want odd indexes", gt)
+		}
+	}
+}
+
+// TestDecodeBlockSelMatchesGather: selective decode must equal full decode +
+// gather, bit-for-bit, for every encoding and selection shape (empty, all,
+// sparse, duplicated indexes).
+func TestDecodeBlockSelMatchesGather(t *testing.T) {
+	for name, tc := range compressedTestVectors() {
+		n := tc.vec.Len()
+		sels := [][]int{nil, {}}
+		if n > 0 {
+			all := make([]int, n)
+			var evens []int
+			for i := 0; i < n; i++ {
+				all[i] = i
+				if i%2 == 0 {
+					evens = append(evens, i)
+				}
+			}
+			sels = append(sels, all, evens, []int{0, 0, n - 1, n - 1}, []int{n / 2})
+		}
+		for _, enc := range tc.encs {
+			data, err := EncodeBlock(tc.vec, enc)
+			if err != nil {
+				t.Fatalf("%s/%v encode: %v", name, enc, err)
+			}
+			for _, sel := range sels {
+				full, err := DecodeBlock(data)
+				if err != nil {
+					t.Fatalf("%s/%v decode: %v", name, enc, err)
+				}
+				want := full.Gather(sel)
+				got := NewVector(tc.vec.Type, len(sel))
+				if err := DecodeBlockSel(got, data, sel); err != nil {
+					t.Fatalf("%s/%v sel %v: %v", name, enc, sel, err)
+				}
+				if !vectorsEqual(want, got) {
+					t.Fatalf("%s/%v sel %v: selective decode != decode+gather", name, enc, sel)
+				}
+			}
+		}
+	}
+}
+
+// TestCompressedErrorParity: corrupt blocks are rejected with the eager
+// decoder's exact error, even when the corruption lies outside the selection.
+func TestCompressedErrorParity(t *testing.T) {
+	v := IntVector([]int64{5, 5, 5, 5, 9, 9, 9, 9})
+	data, err := EncodeBlock(v, EncRLE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := StringVector([]string{"x", "y", "x", "y"})
+	sdata, err := EncodeBlock(sv, EncDict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := [][]byte{
+		data[:len(data)-3],   // truncated RLE value
+		data[:4],             // truncated mid-header/run
+		sdata[:len(sdata)-1], // truncated dict codes
+		sdata[:5],            // truncated dict entries
+	}
+	for i, blk := range corrupt {
+		_, wantErr := DecodeBlock(blk)
+		if wantErr == nil {
+			t.Fatalf("corrupt[%d]: eager decode accepted it", i)
+		}
+		pred := &Pred{Col: "c", Op: OpEQ, Val: int64(5)}
+		if blk[0] == byte(TypeString) {
+			pred = &Pred{Col: "c", Op: OpEQ, Val: "x"}
+		}
+		_, handled, gotErr := MatchBlockCompressed(blk, pred, nil)
+		if handled {
+			if gotErr == nil || gotErr.Error() != wantErr.Error() {
+				t.Fatalf("corrupt[%d]: match err %v, want %v", i, gotErr, wantErr)
+			}
+		}
+		selErr := DecodeBlockSel(NewVector(Type(blk[0]), 0), blk, nil)
+		if selErr == nil || selErr.Error() != wantErr.Error() {
+			t.Fatalf("corrupt[%d]: DecodeBlockSel err %v, want %v", i, selErr, wantErr)
+		}
+	}
+}
+
+// TestScanRunsMatchesScan: streaming a segment as runs reconstructs exactly
+// the rows a full decode scan delivers, across mixed encodings, block
+// boundaries straddled by runs, and the unsealed tail — and BlocksCompressed
+// counts only blocks where every projected column streamed off its encoding.
+func TestScanRunsMatchesScan(t *testing.T) {
+	schema := Schema{
+		{Name: "i", Type: TypeInt64},
+		{Name: "f", Type: TypeFloat64},
+		{Name: "s", Type: TypeString},
+		{Name: "b", Type: TypeBool},
+		{Name: "d", Type: TypeInt64},
+	}
+	seg := NewSegment(schema, 8)
+	const n = 30 // 3 sealed 8-row blocks + 6-row tail
+	b := NewBatch(schema)
+	for r := 0; r < n; r++ {
+		// Runs of 6 straddle the 8-row block boundary while keeping every
+		// block at ≤2 runs so RLE wins BestEncoding; f runs include NaN and
+		// -0.0; s alternates two values so DICT wins over RLE; d is
+		// sequential (DELTA) to force a non-compressed cursor.
+		fPalette := []float64{1.5, math.NaN(), math.Copysign(0, -1), 2.5}
+		vals := []any{
+			int64(r / 6),
+			fPalette[(r/6)%len(fPalette)],
+			[]string{"a", "b"}[r%2],
+			r/6%2 == 0,
+			int64(r),
+		}
+		for c := range vals {
+			if err := b.Cols[c].AppendValue(vals[c]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := seg.Append(b); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		cols           []string
+		wantCompressed int
+	}{
+		{[]string{"i", "f", "s", "b"}, 3}, // all projected columns RLE/DICT
+		{[]string{"i", "d"}, 0},           // d decodes eagerly (DELTA)
+		{[]string{"s"}, 3},
+	} {
+		var st ScanStats
+		got := NewBatch(mustProjectSchema(t, schema, tc.cols))
+		err := seg.ScanRuns(context.Background(), tc.cols, &st, func(vals []any, n int) error {
+			for k := 0; k < n; k++ {
+				for c := range vals {
+					if err := got.Cols[c].AppendValue(vals[c]); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cols %v: %v", tc.cols, err)
+		}
+		want, err := seg.ReadAll(tc.cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("cols %v: %d rows, want %d", tc.cols, got.Len(), want.Len())
+		}
+		for c := range want.Cols {
+			if !vectorsEqual(want.Cols[c], got.Cols[c]) {
+				t.Fatalf("cols %v: column %s differs from decode scan", tc.cols, want.Schema[c].Name)
+			}
+		}
+		if st.BlocksScanned != 3 || st.BlocksCompressed != tc.wantCompressed || st.TailRows != 6 {
+			t.Fatalf("cols %v: stats %+v, want 3 scanned / %d compressed / 6 tail", tc.cols, st, tc.wantCompressed)
+		}
+	}
+}
+
+func mustProjectSchema(t *testing.T, s Schema, cols []string) Schema {
+	t.Helper()
+	p, err := s.Project(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestScanStatsDistinguishSkippedAndCompressed pins the accounting over a
+// known segment: 10 constant-valued (RLE) blocks, an equality predicate that
+// zone-maps rules out in 9 of them — the stats must report 9 skipped, 1
+// scanned, 1 evaluated compressed, as three distinct numbers.
+func TestScanStatsDistinguishSkippedAndCompressed(t *testing.T) {
+	schema := Schema{{Name: "x", Type: TypeInt64}}
+	seg := NewSegment(schema, 100)
+	xs := make([]int64, 1000)
+	for i := range xs {
+		xs[i] = int64(i / 100) // block bi holds 100 copies of bi: RLE, tight zone maps
+	}
+	if err := seg.Append(&Batch{Schema: schema, Cols: []*Vector{IntVector(xs)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	var st ScanStats
+	rows := 0
+	err := seg.ScanWithStats([]string{"x"}, &Pred{Col: "x", Op: OpEQ, Val: int64(5)}, &st, func(b *Batch) error {
+		rows += b.Len()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 100 {
+		t.Fatalf("rows = %d, want 100", rows)
+	}
+	if st.BlocksScanned != 1 || st.BlocksSkipped != 9 || st.BlocksCompressed != 1 {
+		t.Fatalf("stats = %+v, want 1 scanned / 9 skipped / 1 compressed", st)
+	}
+	// Toggled off: same rows, same skips, but nothing evaluates compressed.
+	prev := SetCompressedEval(false)
+	defer SetCompressedEval(prev)
+	var off ScanStats
+	rows = 0
+	err = seg.ScanWithStats([]string{"x"}, &Pred{Col: "x", Op: OpEQ, Val: int64(5)}, &off, func(b *Batch) error {
+		rows += b.Len()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 100 || off.BlocksScanned != 1 || off.BlocksSkipped != 9 || off.BlocksCompressed != 0 {
+		t.Fatalf("toggled off: rows=%d stats=%+v, want 100 rows, 1/9/0", rows, off)
+	}
+}
+
+// TestSetCompressedEval pins the toggle's swap semantics.
+func TestSetCompressedEval(t *testing.T) {
+	if !CompressedEvalEnabled() {
+		t.Fatal("compressed eval should default on")
+	}
+	if prev := SetCompressedEval(false); !prev {
+		t.Fatal("first toggle should report previous=true")
+	}
+	if CompressedEvalEnabled() {
+		t.Fatal("toggle off did not stick")
+	}
+	if prev := SetCompressedEval(true); prev {
+		t.Fatal("second toggle should report previous=false")
+	}
+	if !CompressedEvalEnabled() {
+		t.Fatal("toggle back on did not stick")
+	}
+}

@@ -18,6 +18,9 @@ var (
 	mScanBytes     = telemetry.Default().Counter("colstore_scan_bytes_total")
 	mBlocksScanned = telemetry.Default().Counter("colstore_scan_blocks_total", telemetry.L("result", "scanned"))
 	mBlocksSkipped = telemetry.Default().Counter("colstore_scan_blocks_total", telemetry.L("result", "skipped"))
+	// Blocks whose predicate was evaluated on the encoded form (a subset of
+	// the scanned count, never of the skipped count).
+	mBlocksCompressed = telemetry.Default().Counter("colstore_scan_blocks_total", telemetry.L("result", "compressed"))
 )
 
 // DefaultBlockRows is the number of rows per sealed block when not overridden.
@@ -383,9 +386,14 @@ func cmpOrdered[T int | int64 | float64 | string](a, b T) int {
 type ScanStats struct {
 	BlocksScanned int // sealed blocks decoded
 	BlocksSkipped int // sealed blocks excluded by min/max stats
-	TailRows      int // unsealed tail rows examined
-	RowsOut       int // rows delivered to the callback
-	BytesRead     int // encoded bytes of the blocks decoded
+	// BlocksCompressed counts scanned blocks whose predicate was evaluated
+	// directly on the encoded form (RLE runs / dictionary codes) without a
+	// full decode. Always a subset of BlocksScanned, disjoint from
+	// BlocksSkipped: a zone-map skip touches no payload at all.
+	BlocksCompressed int
+	TailRows         int // unsealed tail rows examined
+	RowsOut          int // rows delivered to the callback
+	BytesRead        int // encoded bytes of the blocks decoded
 }
 
 // Add accumulates another scan's stats (per-segment parallel scans merge
@@ -393,6 +401,7 @@ type ScanStats struct {
 func (st *ScanStats) Add(o ScanStats) {
 	st.BlocksScanned += o.BlocksScanned
 	st.BlocksSkipped += o.BlocksSkipped
+	st.BlocksCompressed += o.BlocksCompressed
 	st.TailRows += o.TailRows
 	st.RowsOut += o.RowsOut
 	st.BytesRead += o.BytesRead
@@ -451,6 +460,7 @@ func recordScanTelemetry(st *ScanStats) {
 	mScanBytes.Add(int64(st.BytesRead))
 	mBlocksScanned.Add(int64(st.BlocksScanned))
 	mBlocksSkipped.Add(int64(st.BlocksSkipped))
+	mBlocksCompressed.Add(int64(st.BlocksCompressed))
 }
 
 // Scan streams the named columns (nil = all) through fn in batches, applying
@@ -633,24 +643,57 @@ func (s *Segment) decodeBlockRow(bi int, plan *scanPlan, pred *Pred, st *ScanSta
 		return reuse, nil
 	}
 	var matchIdx []int
+	compressed := false
 	if pred != nil {
-		st.BytesRead += len(s.sealed[plan.predIdx][bi].data)
-		pv, err := DecodeBlock(s.sealed[plan.predIdx][bi].data)
-		if err != nil {
-			return nil, err
+		data := s.sealed[plan.predIdx][bi].data
+		st.BytesRead += len(data)
+		compressed = CompressedEvalEnabled()
+		handled := false
+		if compressed {
+			var err error
+			matchIdx, handled, err = MatchBlockCompressed(data, pred, *scratch)
+			if err != nil {
+				return nil, err
+			}
+			if handled {
+				st.BlocksCompressed++
+			}
 		}
-		matchIdx, err = pred.matchRowsInto(pv, *scratch)
-		if err != nil {
-			return nil, err
+		if !handled {
+			pv, err := DecodeBlock(data)
+			if err != nil {
+				return nil, err
+			}
+			matchIdx, err = pred.matchRowsInto(pv, *scratch)
+			if err != nil {
+				return nil, err
+			}
 		}
 		*scratch = matchIdx // keep any growth for the next block
 		if len(matchIdx) == 0 {
 			return &Batch{Schema: plan.outSchema, Cols: emptyCols(plan.outSchema)}, nil
 		}
 	}
+	// Late materialization pays off when few rows survive: DecodeBlockSel
+	// touches only the selected rows, where the bulk decoder streams the
+	// whole payload sequentially. The per-row selective decode loses its
+	// edge well before half the block survives, so the strategy flips at a
+	// quarter. Both produce identical bytes.
+	lateMat := compressed && pred != nil && len(matchIdx)*4 < s.sealed[plan.predIdx][bi].rows
 	out := &Batch{Schema: plan.outSchema, Cols: make([]*Vector, len(plan.colIdx))}
 	for i, ci := range plan.colIdx {
 		st.BytesRead += len(s.sealed[ci][bi].data)
+		if lateMat {
+			// Only the surviving rows decode (the predicate column included —
+			// it was matched on its encoded form, or discarded right after
+			// the eager match above).
+			v := NewVector(plan.outSchema[i].Type, len(matchIdx))
+			if err := DecodeBlockSel(v, s.sealed[ci][bi].data, matchIdx); err != nil {
+				return nil, err
+			}
+			out.Cols[i] = v
+			continue
+		}
 		v, err := DecodeBlock(s.sealed[ci][bi].data)
 		if err != nil {
 			return nil, err

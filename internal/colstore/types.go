@@ -463,6 +463,22 @@ func (b *Batch) Project(names []string) (*Batch, error) {
 	return out, nil
 }
 
+// AppendGather appends src's rows selected by idx, in idx order — the
+// selection-vector consumption point for filtered scans: instead of
+// materializing an intermediate gathered batch, surviving rows append
+// straight into the accumulating (often pooled) destination.
+func (b *Batch) AppendGather(src *Batch, idx []int) error {
+	if len(b.Cols) != len(src.Cols) {
+		return fmt.Errorf("colstore: gather of %d columns onto %d", len(src.Cols), len(b.Cols))
+	}
+	for i, c := range b.Cols {
+		if err := c.AppendGather(src.Cols[i], idx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Gather returns a new batch with the rows selected by idx.
 func (b *Batch) Gather(idx []int) *Batch {
 	out := &Batch{Schema: b.Schema, Cols: make([]*Vector, len(b.Cols))}

@@ -1,0 +1,161 @@
+package sqlexec
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"verticadr/internal/catalog"
+	"verticadr/internal/colstore"
+	"verticadr/internal/sqlparse"
+)
+
+// runAggregateRuns is the run-aware aggregation fast path: when the query has
+// no WHERE clause and every aggregate argument is a bare column, the engine
+// aggregates directly over the encoded runs colstore.ScanRuns streams — one
+// aggState.addRun per (run, aggregate) instead of one add per row, so RLE and
+// dictionary segments aggregate in O(runs). Group keys (including group-by on
+// dict columns) are probed once per run.
+//
+// handled=false declines to the decode-first path (which also runs when
+// compressed execution is toggled off); the two paths are bit-identical for
+// the values the engine stores: runs arrive in row order, groups keep
+// first-appearance order, key formatting is shared, and addRun documents why
+// folding a run equals iterating it.
+func runAggregateRuns(ctx context.Context, db Database, sel *sqlparse.Select, def *catalog.TableDef, plans []aggItemPlan, prof *Profile) (res *Result, handled bool, err error) {
+	if !colstore.CompressedEvalEnabled() || sel.Where != nil {
+		return nil, false, nil
+	}
+	for _, p := range plans {
+		if p.isGroupCol {
+			continue
+		}
+		if p.fn.Star {
+			if p.fn.Name != "COUNT" {
+				return nil, false, nil // MIN(*)/... : row path reports the error
+			}
+			continue
+		}
+		if _, ok := p.fn.Args[0].(*sqlparse.ColRef); !ok {
+			return nil, false, nil // expression argument: row-at-a-time eval
+		}
+	}
+	segs, err := db.Segments(sel.From)
+	if err != nil {
+		return nil, true, err
+	}
+	// Scan columns: group-by columns then aggregate arguments, deduped.
+	// collectCols has already validated every referenced column exists.
+	var cols []string
+	colPos := map[string]int{}
+	addCol := func(n string) int {
+		if i, ok := colPos[n]; ok {
+			return i
+		}
+		colPos[n] = len(cols)
+		cols = append(cols, n)
+		return len(cols) - 1
+	}
+	groupPos := make([]int, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		groupPos[i] = addCol(g)
+	}
+	argPos := make([]int, len(plans))
+	outTypes := make([]colstore.Type, len(plans))
+	for pi, p := range plans {
+		argPos[pi] = -1
+		if p.isGroupCol {
+			outTypes[pi] = def.Schema[def.Schema.ColIndex(p.colName)].Type
+			continue
+		}
+		switch p.fn.Name {
+		case "COUNT":
+			outTypes[pi] = colstore.TypeInt64
+		case "SUM", "AVG":
+			outTypes[pi] = colstore.TypeFloat64
+		}
+		if !p.fn.Star {
+			cr := p.fn.Args[0].(*sqlparse.ColRef)
+			argPos[pi] = addCol(cr.Name)
+			if p.fn.Name == "MIN" || p.fn.Name == "MAX" {
+				outTypes[pi] = def.Schema[def.Schema.ColIndex(cr.Name)].Type
+			}
+		}
+	}
+	if len(cols) == 0 {
+		// COUNT(*) with no referenced columns still needs row counts.
+		cols = []string{def.Schema[0].Name}
+	}
+
+	scanDone := startOp(ctx, prof, "scan")
+	var st colstore.ScanStats
+	groups := map[string]*aggGroup{}
+	var order []string
+	var kb strings.Builder
+	nruns := 0
+	// Segments scan serially in segment order — the same concatenation order
+	// the decode-first path produces — so first-appearance group order and
+	// float accumulation order match it exactly.
+	for _, seg := range segs {
+		err := seg.ScanRuns(ctx, cols, &st, func(vals []any, n int) error {
+			nruns++
+			kb.Reset()
+			for _, gp := range groupPos {
+				fmt.Fprintf(&kb, "%v\x00", vals[gp])
+			}
+			key := kb.String()
+			g, ok := groups[key]
+			if !ok {
+				keyVals := make([]any, len(groupPos))
+				for i, gp := range groupPos {
+					keyVals[i] = vals[gp]
+				}
+				g = &aggGroup{keyVals: keyVals}
+				for _, p := range plans {
+					if p.fn != nil {
+						g.states = append(g.states, &aggState{fn: p.fn.Name})
+					} else {
+						g.states = append(g.states, nil)
+					}
+				}
+				groups[key] = g
+				order = append(order, key)
+			}
+			for pi, p := range plans {
+				if p.fn == nil {
+					continue
+				}
+				var v any = int64(1) // COUNT(*)
+				if argPos[pi] >= 0 {
+					v = vals[argPos[pi]]
+				}
+				if err := g.states[pi].addRun(v, n); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, true, err
+		}
+	}
+	detail := fmt.Sprintf("%d segments, %d blocks scanned, %d evaluated compressed, %d KB, run-aware",
+		len(segs), st.BlocksScanned, st.BlocksCompressed, st.BytesRead/1024)
+	if st.TailRows > 0 {
+		detail += fmt.Sprintf(", %d tail rows", st.TailRows)
+	}
+	scanDone.Blocks = int64(st.BlocksScanned)
+	scanDone.BlocksCompressed = int64(st.BlocksCompressed)
+	scanDone.Bytes = int64(st.BytesRead)
+	scanDone.Parallel = 1 // run streaming is serial by construction
+	scanDone.Done(int64(st.RowsOut), detail)
+
+	aggDone := startOp(ctx, prof, "aggregate")
+	out, err := buildAggOutput(sel, plans, outTypes, groups, order)
+	if err != nil {
+		return nil, true, err
+	}
+	aggDone.Done(int64(out.Len()), fmt.Sprintf("%d groups, %d aggregates, %d runs (run-aware)", out.Len(), len(plans), nruns))
+	res, err = finishSelect(ctx, out, sel, prof)
+	return res, true, err
+}

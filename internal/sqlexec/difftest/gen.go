@@ -2,6 +2,7 @@ package difftest
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"verticadr/internal/colstore"
@@ -57,6 +58,56 @@ func (g *Gen) Table(nrows int) (*FakeDB, error) {
 	}
 	nsegs := 1 + g.rng.Intn(3)
 	blockRows := []int{16, 32, 48}[g.rng.Intn(3)]
+	return NewFakeDB("t", TableSchema(), rows, nsegs, blockRows)
+}
+
+// AdversarialTable generates a FakeDB whose storage is encoding-adversarial
+// for the compressed execution path:
+//
+//   - a holds long integer runs (RLE) whose length is chosen to straddle the
+//     sealed-block boundary, so runs split across blocks;
+//   - x holds float runs drawn from a palette with NaN, -0.0, +0.0 and exact
+//     half-integers — RLE blocks whose zone maps vanish (NaN) and whose
+//     values stress bitwise comparison;
+//   - y is a large constant per ~block (thousands), so every small query
+//     literal either zone-map-skips all blocks or selects everything;
+//   - s is either a low-cardinality alternating subset of the query literals
+//     plus "" (dictionary encoding; literals outside the subset probe values
+//     absent from the dictionary) or long string runs (RLE strings);
+//   - b stays incompressible and id sequential (DELTA), so mixed encodings
+//     appear in every projection;
+//   - flag holds long bool runs.
+//
+// Tables are split over 1-3 segments without sealing, so unsealed tails are
+// always in play. Callers should keep nrows at or below one aggregation
+// chunk (4096) so chunked and run-folded MIN/MAX see identical NaN merge
+// order.
+func (g *Gen) AdversarialTable(nrows int) (*FakeDB, error) {
+	blockRows := []int{16, 32, 48}[g.rng.Intn(3)]
+	rl := []int{7, 19, 37}[g.rng.Intn(3)] // run length, straddles every blockRows choice
+	xPalette := []float64{math.NaN(), math.Copysign(0, -1), 0.0, 2.5, -7.5, 3}
+	sub := append([]string{}, genStrings[:2+g.rng.Intn(2)]...)
+	sub = append(sub, "") // empty string sorts before every literal
+	dictMode := g.rng.Intn(2) == 0
+	rows := make([][]any, nrows)
+	for i := range rows {
+		var sv string
+		if dictMode {
+			sv = sub[i%len(sub)] // alternating: dictionary beats RLE
+		} else {
+			sv = sub[(i/rl)%len(sub)] // long runs: RLE strings
+		}
+		rows[i] = []any{
+			int64(i),
+			int64((i/rl)%5 - 2),
+			int64(g.rng.Intn(41) - 20),
+			xPalette[(i/rl)%len(xPalette)],
+			1000 * float64(i/blockRows+1),
+			sv,
+			(i/rl)%2 == 0,
+		}
+	}
+	nsegs := 1 + g.rng.Intn(3)
 	return NewFakeDB("t", TableSchema(), rows, nsegs, blockRows)
 }
 

@@ -3,6 +3,7 @@ package sqlexec
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -271,7 +272,9 @@ func scanTable(ctx context.Context, db Database, table string, cols []string, wh
 							idx = append(idx, r)
 						}
 					}
-					b = b.Gather(idx)
+					// Gather straight into the accumulator: no intermediate
+					// batch materializes the rejected rows.
+					return local.AppendGather(b, idx)
 				}
 				return local.AppendBatch(b)
 			})
@@ -300,6 +303,9 @@ func scanTable(ctx context.Context, db Database, table string, cols []string, wh
 	}
 	detail := fmt.Sprintf("%d segments, degree %d, %d blocks scanned, %d skipped by zone maps, %d KB",
 		len(segs), segDeg, merged.BlocksScanned, merged.BlocksSkipped, merged.BytesRead/1024)
+	if merged.BlocksCompressed > 0 {
+		detail += fmt.Sprintf(", %d evaluated compressed", merged.BlocksCompressed)
+	}
 	if merged.TailRows > 0 {
 		detail += fmt.Sprintf(", %d tail rows", merged.TailRows)
 	}
@@ -308,6 +314,7 @@ func scanTable(ctx context.Context, db Database, table string, cols []string, wh
 	}
 	scanDone.Blocks = int64(merged.BlocksScanned)
 	scanDone.BlocksSkipped = int64(merged.BlocksSkipped)
+	scanDone.BlocksCompressed = int64(merged.BlocksCompressed)
 	scanDone.Bytes = int64(merged.BytesRead)
 	scanDone.Parallel = segDeg * max(len(segs), 1)
 	scanDone.Done(scanRows, detail)
@@ -480,6 +487,64 @@ func (a *aggState) add(v any) error {
 	return nil
 }
 
+// addRun folds a run of n identical values in O(1). For the values the
+// engine stores this is exactly what n add(v) calls produce: COUNT is pure
+// arithmetic; MIN/MAX compare once (n-1 of the n comparisons are v vs v,
+// which never replace); SUM/AVG multiply by the run length, which matches
+// iterated addition bitwise for values exact in float64 (the contract in
+// DESIGN.md §12 — NaN and signed-zero runs propagate identically either
+// way: x*n is NaN iff x is, and ±0.0 accumulation keeps the IEEE sign
+// rules of repeated addition since the accumulator starts at +0.0).
+//
+// The one place the fold is NOT equivalent is when x is finite but x*n
+// overflows to ±Inf: iterated addition may never overflow (a negative
+// accumulator can absorb the run, or an already-infinite accumulator stays
+// put where acc+Inf would go NaN), so that case falls back to n real adds.
+// An infinite x folds safely — acc+Inf repeated n times equals one add.
+func (a *aggState) addRun(v any, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	a.count += int64(n)
+	switch a.fn {
+	case "SUM", "AVG":
+		var x float64
+		switch t := v.(type) {
+		case int64:
+			x = float64(t)
+		case float64:
+			x = t
+		default:
+			return fmt.Errorf("sqlexec: %s over non-numeric value %T", a.fn, v)
+		}
+		prod := x * float64(n)
+		if math.IsInf(prod, 0) && !math.IsInf(x, 0) {
+			for j := 0; j < n; j++ {
+				a.sum += x
+			}
+		} else {
+			a.sum += prod
+		}
+	case "MIN":
+		if a.min == nil {
+			a.min = v
+		} else if c, err := colstore.CompareValues(v, a.min); err != nil {
+			return err
+		} else if c < 0 {
+			a.min = v
+		}
+	case "MAX":
+		if a.max == nil {
+			a.max = v
+		} else if c, err := colstore.CompareValues(v, a.max); err != nil {
+			return err
+		} else if c > 0 {
+			a.max = v
+		}
+	}
+	return nil
+}
+
 // merge folds another partial state for the same (group, aggregate) into a.
 // Addition order is fixed by the reduction tree, so float sums are
 // reproducible at any degree.
@@ -526,6 +591,22 @@ func (a *aggState) result() any {
 	return nil
 }
 
+// aggItemPlan is one validated aggregate projection item: either a group-by
+// column passthrough or an aggregate function call.
+type aggItemPlan struct {
+	isGroupCol bool
+	colName    string
+	fn         *sqlparse.FuncCall
+	outName    string
+}
+
+// aggGroup is one group's accumulated state: the group-key values as first
+// seen, plus one aggState per projection item (nil for group columns).
+type aggGroup struct {
+	keyVals []any
+	states  []*aggState
+}
+
 func runAggregate(ctx context.Context, db Database, sel *sqlparse.Select, prof *Profile) (*Result, error) {
 	def, err := db.TableDef(sel.From)
 	if err != nil {
@@ -536,13 +617,7 @@ func runAggregate(ctx context.Context, db Database, sel *sqlparse.Select, prof *
 		return nil, err
 	}
 	// Validate projection shape: items are group-by columns or aggregates.
-	type itemPlan struct {
-		isGroupCol bool
-		colName    string
-		fn         *sqlparse.FuncCall
-		outName    string
-	}
-	plans := make([]itemPlan, 0, len(sel.Items))
+	plans := make([]aggItemPlan, 0, len(sel.Items))
 	inGroup := func(name string) bool {
 		for _, g := range sel.GroupBy {
 			if g == name {
@@ -564,7 +639,7 @@ func runAggregate(ctx context.Context, db Database, sel *sqlparse.Select, prof *
 			if !inGroup(x.Name) {
 				return nil, fmt.Errorf("sqlexec: column %q must appear in GROUP BY", x.Name)
 			}
-			plans = append(plans, itemPlan{isGroupCol: true, colName: x.Name, outName: name})
+			plans = append(plans, aggItemPlan{isGroupCol: true, colName: x.Name, outName: name})
 		case *sqlparse.FuncCall:
 			if !isAggregate(x.Name) {
 				return nil, fmt.Errorf("sqlexec: %s is not an aggregate", x.Name)
@@ -572,10 +647,15 @@ func runAggregate(ctx context.Context, db Database, sel *sqlparse.Select, prof *
 			if !x.Star && len(x.Args) != 1 {
 				return nil, fmt.Errorf("sqlexec: %s takes one argument", x.Name)
 			}
-			plans = append(plans, itemPlan{fn: x, outName: name})
+			plans = append(plans, aggItemPlan{fn: x, outName: name})
 		default:
 			return nil, fmt.Errorf("sqlexec: unsupported aggregate projection %s", item.Expr.String())
 		}
+	}
+	// Run-aware fast path: with no WHERE and bare-column arguments, aggregate
+	// directly over encoded runs instead of materializing every row.
+	if res, handled, err := runAggregateRuns(ctx, db, sel, def, plans, prof); handled {
+		return res, err
 	}
 	data, err := scanTable(ctx, db, sel.From, cols, sel.Where, prof)
 	if err != nil {
@@ -598,10 +678,6 @@ func runAggregate(ctx context.Context, db Database, sel *sqlparse.Select, prof *
 	for i, g := range sel.GroupBy {
 		groupIdx[i] = data.Schema.ColIndex(g)
 	}
-	type group struct {
-		keyVals []any
-		states  []*aggState
-	}
 	// Partial aggregation: the scanned rows split into fixed-size contiguous
 	// chunks (a function of data size only, never of degree), each chunk
 	// builds its own hash table, and partials fold via parallel.Reduce's
@@ -609,7 +685,7 @@ func runAggregate(ctx context.Context, db Database, sel *sqlparse.Select, prof *
 	// yields exactly the serial first-appearance order, and float sums are
 	// bitwise reproducible at every degree.
 	type aggPartial struct {
-		groups map[string]*group
+		groups map[string]*aggGroup
 		order  []string
 	}
 	n := data.Len()
@@ -624,7 +700,7 @@ func runAggregate(ctx context.Context, db Database, sel *sqlparse.Select, prof *
 			if hi > n {
 				hi = n
 			}
-			p := &aggPartial{groups: map[string]*group{}}
+			p := &aggPartial{groups: map[string]*aggGroup{}}
 			for r := lo; r < hi; r++ {
 				var kb strings.Builder
 				keyVals := make([]any, len(groupIdx))
@@ -636,7 +712,7 @@ func runAggregate(ctx context.Context, db Database, sel *sqlparse.Select, prof *
 				key := kb.String()
 				g, ok := p.groups[key]
 				if !ok {
-					g = &group{keyVals: keyVals}
+					g = &aggGroup{keyVals: keyVals}
 					for _, pl := range plans {
 						if pl.fn != nil {
 							g.states = append(g.states, &aggState{fn: pl.fn.Name})
@@ -686,39 +762,52 @@ func runAggregate(ctx context.Context, db Database, sel *sqlparse.Select, prof *
 		return nil, err
 	}
 	if part == nil { // zero rows scanned: no chunks ran
-		part = &aggPartial{groups: map[string]*group{}}
+		part = &aggPartial{groups: map[string]*aggGroup{}}
 	}
-	groups, order := part.groups, part.order
-	// A global aggregate over zero rows still yields one row.
+	// Resolve output column types (MIN/MAX keep their input type).
+	outTypes := make([]colstore.Type, len(plans))
+	for pi, p := range plans {
+		if p.isGroupCol {
+			outTypes[pi] = def.Schema[def.Schema.ColIndex(p.colName)].Type
+			continue
+		}
+		switch p.fn.Name {
+		case "COUNT":
+			outTypes[pi] = colstore.TypeInt64
+		case "SUM", "AVG":
+			outTypes[pi] = colstore.TypeFloat64
+		default:
+			if p.fn.Star {
+				return nil, fmt.Errorf("sqlexec: %s(*) not supported", p.fn.Name)
+			}
+			outTypes[pi] = argVecs[pi].Type
+		}
+	}
+	out, err := buildAggOutput(sel, plans, outTypes, part.groups, part.order)
+	if err != nil {
+		return nil, err
+	}
+	aggDone.Parallel = parallel.Default().Degree()
+	aggDone.Done(int64(out.Len()), fmt.Sprintf("%d groups, %d aggregates, %d chunks", out.Len(), len(plans), nchunks))
+	return finishSelect(ctx, out, sel, prof)
+}
+
+// buildAggOutput materializes the grouped aggregate states into the output
+// batch in group first-appearance order. A global aggregate over zero rows
+// still yields one row (COUNT 0, SUM +0.0; MIN/MAX error).
+func buildAggOutput(sel *sqlparse.Select, plans []aggItemPlan, outTypes []colstore.Type, groups map[string]*aggGroup, order []string) (*colstore.Batch, error) {
 	if len(sel.GroupBy) == 0 && len(order) == 0 {
-		g := &group{}
+		g := &aggGroup{}
 		for _, p := range plans {
 			g.states = append(g.states, &aggState{fn: p.fn.Name})
 		}
 		groups[""] = g
 		order = append(order, "")
 	}
-	// Build output.
 	out := &colstore.Batch{}
 	for pi, p := range plans {
-		var t colstore.Type
-		if p.isGroupCol {
-			t = def.Schema[def.Schema.ColIndex(p.colName)].Type
-		} else {
-			switch p.fn.Name {
-			case "COUNT":
-				t = colstore.TypeInt64
-			case "SUM", "AVG":
-				t = colstore.TypeFloat64
-			default: // MIN/MAX keep their input type
-				if p.fn.Star {
-					return nil, fmt.Errorf("sqlexec: %s(*) not supported", p.fn.Name)
-				}
-				t = argVecs[pi].Type
-			}
-		}
-		out.Schema = append(out.Schema, colstore.ColumnSchema{Name: p.outName, Type: t})
-		out.Cols = append(out.Cols, colstore.NewVector(t, len(order)))
+		out.Schema = append(out.Schema, colstore.ColumnSchema{Name: p.outName, Type: outTypes[pi]})
+		out.Cols = append(out.Cols, colstore.NewVector(outTypes[pi], len(order)))
 	}
 	for _, key := range order {
 		g := groups[key]
@@ -743,7 +832,5 @@ func runAggregate(ctx context.Context, db Database, sel *sqlparse.Select, prof *
 			}
 		}
 	}
-	aggDone.Parallel = parallel.Default().Degree()
-	aggDone.Done(int64(out.Len()), fmt.Sprintf("%d groups, %d aggregates, %d chunks", len(order), len(plans), nchunks))
-	return finishSelect(ctx, out, sel, prof)
+	return out, nil
 }

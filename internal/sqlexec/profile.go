@@ -21,9 +21,14 @@ type OpProfile struct {
 	Elapsed       time.Duration `json:"elapsed_ns"`
 	Blocks        int64         `json:"blocks,omitempty"`
 	BlocksSkipped int64         `json:"blocks_skipped,omitempty"`
-	Bytes         int64         `json:"bytes,omitempty"`
-	Parallel      int           `json:"parallel,omitempty"`
-	Detail        string        `json:"detail,omitempty"`
+	// BlocksCompressed counts blocks whose predicate was evaluated directly
+	// on the encoded form (RLE runs / dictionary codes) — reported
+	// distinctly from zone-map skips: a skipped block was never touched,
+	// a compressed block was evaluated without being decoded.
+	BlocksCompressed int64  `json:"blocks_compressed,omitempty"`
+	Bytes            int64  `json:"bytes,omitempty"`
+	Parallel         int    `json:"parallel,omitempty"`
+	Detail           string `json:"detail,omitempty"`
 }
 
 // Profile is a per-query execution profile: per-operator row counts and
@@ -64,10 +69,11 @@ type opTimer struct {
 	t0   time.Duration
 	span *telemetry.Span
 
-	Blocks        int64
-	BlocksSkipped int64
-	Bytes         int64
-	Parallel      int
+	Blocks           int64
+	BlocksSkipped    int64
+	BlocksCompressed int64
+	Bytes            int64
+	Parallel         int
 }
 
 // startOp begins timing one operator. Nil-safe on prof: with a nil *Profile
@@ -90,6 +96,12 @@ func (t *opTimer) Done(rows int64, detail string) {
 		if t.Blocks > 0 {
 			t.span.SetAttr("blocks", strconv.FormatInt(t.Blocks, 10))
 		}
+		if t.BlocksSkipped > 0 {
+			t.span.SetAttr("blocks_skipped", strconv.FormatInt(t.BlocksSkipped, 10))
+		}
+		if t.BlocksCompressed > 0 {
+			t.span.SetAttr("blocks_compressed", strconv.FormatInt(t.BlocksCompressed, 10))
+		}
 		if t.Parallel > 0 {
 			t.span.SetAttr("parallel", strconv.Itoa(t.Parallel))
 		}
@@ -103,7 +115,8 @@ func (t *opTimer) Done(rows int64, detail string) {
 	t.p.mu.Lock()
 	t.p.ops = append(t.p.ops, OpProfile{
 		Op: t.op, Rows: rows, Elapsed: elapsed,
-		Blocks: t.Blocks, BlocksSkipped: t.BlocksSkipped, Bytes: t.Bytes,
+		Blocks: t.Blocks, BlocksSkipped: t.BlocksSkipped,
+		BlocksCompressed: t.BlocksCompressed, Bytes: t.Bytes,
 		Parallel: t.Parallel, Detail: detail,
 	})
 	t.p.mu.Unlock()

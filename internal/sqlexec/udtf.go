@@ -24,8 +24,8 @@ func runUDTF(ctx context.Context, db Database, sel *sqlparse.Select, fc *sqlpars
 	if sel.From == "" {
 		return nil, fmt.Errorf("sqlexec: UDTF query requires a FROM clause")
 	}
-	if sel.Where != nil || len(sel.GroupBy) > 0 {
-		return nil, fmt.Errorf("sqlexec: UDTF queries do not support WHERE/GROUP BY")
+	if len(sel.GroupBy) > 0 {
+		return nil, fmt.Errorf("sqlexec: UDTF queries do not support GROUP BY")
 	}
 	factory, err := db.UDFs().Lookup(fc.Name)
 	if err != nil {
@@ -62,6 +62,22 @@ func runUDTF(ctx context.Context, db Database, sel *sqlparse.Select, fc *sqlpars
 	if err != nil {
 		return nil, err
 	}
+	// WHERE filters the UDTF's input rows before partitioning: one conjunct
+	// pushes down to the storage scan (zone-map skipping + compressed
+	// evaluation), the rest evaluates as a residual over the scanned batch.
+	pushed, residual := extractPushdownConj(sel.Where)
+	if sel.Where != nil {
+		if _, err := collectCols(&sqlparse.Select{Where: sel.Where}, def.Schema); err != nil {
+			return nil, err
+		}
+	}
+	if residual != nil {
+		extra, err := collectCols(&sqlparse.Select{Where: residual}, def.Schema)
+		if err != nil {
+			return nil, err
+		}
+		need = union(need, extra)
+	}
 	over := fc.Over
 	if !over.PartitionBest && len(over.PartitionBy) > 0 {
 		for _, c := range over.PartitionBy {
@@ -81,7 +97,7 @@ func runUDTF(ctx context.Context, db Database, sel *sqlparse.Select, fc *sqlpars
 	var scanRows int64
 	var parts []partition
 	for node, seg := range segs {
-		raw, err := readSegment(ctx, seg, need, def.Schema, &scanStats)
+		raw, err := readSegment(ctx, seg, need, def.Schema, pushed, residual, &scanStats)
 		if err != nil {
 			return nil, err
 		}
@@ -147,9 +163,18 @@ func runUDTF(ctx context.Context, db Database, sel *sqlparse.Select, fc *sqlpars
 	}
 
 	scanDone.Blocks = int64(scanStats.BlocksScanned)
+	scanDone.BlocksSkipped = int64(scanStats.BlocksSkipped)
+	scanDone.BlocksCompressed = int64(scanStats.BlocksCompressed)
 	scanDone.Bytes = int64(scanStats.BytesRead)
-	scanDone.Done(scanRows, fmt.Sprintf("%d segments, %d blocks scanned, %d KB",
-		len(segs), scanStats.BlocksScanned, scanStats.BytesRead/1024))
+	scanDetail := fmt.Sprintf("%d segments, %d blocks scanned, %d skipped by zone maps, %d KB",
+		len(segs), scanStats.BlocksScanned, scanStats.BlocksSkipped, scanStats.BytesRead/1024)
+	if scanStats.BlocksCompressed > 0 {
+		scanDetail += fmt.Sprintf(", %d evaluated compressed", scanStats.BlocksCompressed)
+	}
+	if pushed != nil {
+		scanDetail += fmt.Sprintf(", pushdown %s %s %v", pushed.Col, pushed.Op, pushed.Val)
+	}
+	scanDone.Done(scanRows, scanDetail)
 
 	// Run all partitions in parallel (bounded). Each partition writes into
 	// its own AppendWriter — UDFs that score into pooled batches get the
@@ -255,13 +280,30 @@ func (r *viewReader) Next() (*colstore.Batch, error) {
 	return &r.view, nil
 }
 
-func readSegment(ctx context.Context, seg *colstore.Segment, cols []string, schema colstore.Schema, st *colstore.ScanStats) (*colstore.Batch, error) {
+func readSegment(ctx context.Context, seg *colstore.Segment, cols []string, schema colstore.Schema, pushed *colstore.Pred, residual sqlparse.Expr, st *colstore.ScanStats) (*colstore.Batch, error) {
 	if len(cols) == 0 {
 		// UDTF with no arguments still needs the row count; scan one column.
 		cols = []string{schema[0].Name}
 	}
 	out := colstore.NewBatch(mustProject(schema, cols))
-	err := seg.ScanWithStatsCtx(ctx, cols, nil, st, func(b *colstore.Batch) error {
+	var idx []int // residual-filter scratch, reused across batches
+	err := seg.ScanWithStatsCtx(ctx, cols, pushed, st, func(b *colstore.Batch) error {
+		if residual != nil {
+			keep, err := evalExpr(residual, b)
+			if err != nil {
+				return err
+			}
+			if keep.Type != colstore.TypeBool {
+				return fmt.Errorf("sqlexec: WHERE clause is not boolean")
+			}
+			idx = idx[:0]
+			for r, k := range keep.Bools {
+				if k {
+					idx = append(idx, r)
+				}
+			}
+			return out.AppendGather(b, idx)
+		}
 		return out.AppendBatch(b)
 	})
 	if err != nil {
