@@ -7,18 +7,23 @@ GO ?= go
 .PHONY: check
 check: lint build test race difftest-short fuzz-smoke
 
-# Bounded run of the encoding-aware differential suite (the full 600-query
-# sweep runs under plain `go test`; this re-runs the 120-query bound with a
-# fresh binary so `make check` exercises the flag path too).
+# Bounded runs of the differential suites (the full sweeps run under plain
+# `go test`; this re-runs the bounded variants with a fresh binary so `make
+# check` exercises the flag path too): the encoding-aware compressed suite,
+# the planner-on/off single-table suite over indexed tables, and the
+# hash-join suite against the nested-loop reference.
 .PHONY: difftest-short
 difftest-short:
-	$(GO) test -count=1 -run=TestCompressedDifferentialAdversarial \
+	$(GO) test -count=1 \
+		-run='TestCompressedDifferentialAdversarial|TestDifferentialEngineVsReference|TestDifferentialJoinVsReference' \
 		./internal/sqlexec/difftest/ -difftest.short
 
-# Short fuzz smoke of the compressed-execution equivalence targets: enough
-# to replay the corpus and explore a little on every tier-1 pass.
+# Short fuzz smoke: the compressed-execution equivalence targets plus the
+# SQL parser (the planner consumes whatever the parser yields, so parse
+# robustness is tier-1); enough to replay each corpus and explore a little.
 .PHONY: fuzz-smoke
 fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParseSelect -fuzztime=10s ./internal/sqlparse/
 	$(GO) test -run='^$$' -fuzz=FuzzCompressedScanEquivalence -fuzztime=10s ./internal/colstore/
 	$(GO) test -run='^$$' -fuzz=FuzzCompressedAggregateEquivalence -fuzztime=10s ./internal/sqlexec/
 
@@ -114,6 +119,14 @@ wal-bench:
 .PHONY: scan-bench
 scan-bench:
 	$(GO) run ./cmd/vdr-scanbench -out BENCH_PR8.json
+
+# Planner benchmark: B-tree index point/range scans vs. the legacy full
+# scan (gate: >= 10x), planner-vs-legacy parity on full-scan/aggregate/
+# PREDICT shapes (gate: within 10%), hash-join and sharded-PREDICT
+# throughput; writes BENCH_PR9.json (committed alongside EXPERIMENTS.md).
+.PHONY: plan-bench
+plan-bench:
+	$(GO) run ./cmd/vdr-planbench -out BENCH_PR9.json
 
 # Fuzz smoke: run each fuzz target briefly (Go keeps regression inputs in
 # testdata/fuzz, which plain `go test` replays on every run). Raise FUZZTIME

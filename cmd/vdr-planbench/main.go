@@ -1,0 +1,252 @@
+// Command vdr-planbench measures the PR 9 cost-based planner and writes the
+// figures to a JSON file (BENCH_PR9.json by default, `make plan-bench`).
+// Four access-path families are timed:
+//
+//   - selective point and range predicates over a B-tree-indexed column,
+//     planner on (IndexScan) vs. the legacy full-scan pipeline — the index
+//     must win by >= 10x on both shapes;
+//   - full scans, grouped aggregation, and dense PREDICT, planner on vs.
+//     off — the planner's lowering overhead must stay within 10% of the
+//     legacy pipeline on queries where it has no better access path;
+//   - the hash join, which only executes through the planner (fact rows/s);
+//   - sharded-model PREDICT through the dot-product join, against the dense
+//     deployment of the same model (rows/s for both).
+//
+// The command exits non-zero if any gate fails — the same acceptance gates
+// EXPERIMENTS.md records.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"verticadr/internal/algos"
+	"verticadr/internal/colstore"
+	"verticadr/internal/models"
+	"verticadr/internal/sqlexec"
+	"verticadr/internal/vertica"
+)
+
+type figure struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	RowsPerSec  float64 `json:"rows_per_s,omitempty"`
+}
+
+func toFigure(name string, r testing.BenchmarkResult) figure {
+	return figure{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		RowsPerSec:  r.Extra["rows/s"],
+	}
+}
+
+// aOf is a fixed permutation of [0, n): multiplying by an odd constant
+// coprime to n scatters sequential ids so zone maps cannot skip blocks and
+// a point predicate on `a` is only selective through the index. The range
+// case probes the clustered `id` column instead — a bounded range over a
+// scattered permutation touches nearly every block during row gather, which
+// measures gather bandwidth rather than the access path.
+func aOf(i, n int) int64 { return int64(i) * 2654435761 % int64(n) }
+
+func fillFixtures(db *vertica.DB, rows, dimRows int) error {
+	ddl := []string{
+		`CREATE TABLE pts (id INTEGER, a INTEGER, val FLOAT) SEGMENTED BY HASH(id)`,
+		`CREATE TABLE dim (id INTEGER, grp INTEGER) SEGMENTED BY HASH(id)`,
+		`CREATE TABLE fact (id INTEGER, dim_id INTEGER, val FLOAT) SEGMENTED BY HASH(id)`,
+		`CREATE TABLE feat (c0 FLOAT, c1 FLOAT, c2 FLOAT, c3 FLOAT, c4 FLOAT) SEGMENTED BY HASH(c0)`,
+	}
+	for _, q := range ddl {
+		if err := db.Exec(q); err != nil {
+			return err
+		}
+	}
+	rng := rand.New(rand.NewSource(9909))
+	pts := colstore.NewBatch(colstore.Schema{
+		{Name: "id", Type: colstore.TypeInt64},
+		{Name: "a", Type: colstore.TypeInt64},
+		{Name: "val", Type: colstore.TypeFloat64},
+	})
+	fact := colstore.NewBatch(colstore.Schema{
+		{Name: "id", Type: colstore.TypeInt64},
+		{Name: "dim_id", Type: colstore.TypeInt64},
+		{Name: "val", Type: colstore.TypeFloat64},
+	})
+	feat := colstore.NewBatch(colstore.Schema{
+		{Name: "c0", Type: colstore.TypeFloat64},
+		{Name: "c1", Type: colstore.TypeFloat64},
+		{Name: "c2", Type: colstore.TypeFloat64},
+		{Name: "c3", Type: colstore.TypeFloat64},
+		{Name: "c4", Type: colstore.TypeFloat64},
+	})
+	for i := 0; i < rows; i++ {
+		if err := pts.AppendRow(int64(i), aOf(i, rows), rng.Float64()); err != nil {
+			return err
+		}
+		if err := fact.AppendRow(int64(i), int64(rng.Intn(dimRows)), rng.Float64()); err != nil {
+			return err
+		}
+		if err := feat.AppendRow(rng.Float64(), rng.Float64(), rng.Float64(),
+			rng.Float64(), rng.Float64()); err != nil {
+			return err
+		}
+	}
+	dim := colstore.NewBatch(colstore.Schema{
+		{Name: "id", Type: colstore.TypeInt64},
+		{Name: "grp", Type: colstore.TypeInt64},
+	})
+	for i := 0; i < dimRows; i++ {
+		if err := dim.AppendRow(int64(i), int64(i%50)); err != nil {
+			return err
+		}
+	}
+	for name, b := range map[string]*colstore.Batch{"pts": pts, "dim": dim, "fact": fact, "feat": feat} {
+		if err := db.Load(name, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchQuery times one query with the planner toggled as given, reporting
+// throughput as source-table rows per second.
+func benchQuery(db *vertica.DB, q string, tableRows, wantRows int, planner bool) (testing.BenchmarkResult, error) {
+	defer sqlexec.SetPlanner(true)
+	sqlexec.SetPlanner(planner)
+	var failed error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := db.Query(q)
+			if err != nil {
+				failed = err
+				b.FailNow()
+			}
+			if wantRows >= 0 && res.Len() != wantRows {
+				failed = fmt.Errorf("rows = %d, want %d", res.Len(), wantRows)
+				b.FailNow()
+			}
+		}
+		b.ReportMetric(float64(tableRows*b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+	return r, failed
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR9.json", "output JSON path")
+	rows := flag.Int("rows", 200_000, "fixture table size")
+	flag.Parse()
+	const dimRows = 10_000
+
+	db, err := vertica.Open(vertica.Config{Nodes: 4, BlockRows: 2048, UDFInstancesPerNode: 2})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdr-planbench:", err)
+		os.Exit(1)
+	}
+	if err := fillFixtures(db, *rows, dimRows); err != nil {
+		fmt.Fprintln(os.Stderr, "vdr-planbench:", err)
+		os.Exit(1)
+	}
+	for _, ddl := range []string{`CREATE INDEX pts_a ON pts (a)`, `CREATE INDEX pts_id ON pts (id)`} {
+		if err := db.Exec(ddl); err != nil {
+			fmt.Fprintln(os.Stderr, "vdr-planbench:", err)
+			os.Exit(1)
+		}
+	}
+	mgr, err := models.NewManager(db)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdr-planbench:", err)
+		os.Exit(1)
+	}
+	model := &algos.GLMModel{
+		Family:       algos.Gaussian,
+		Coefficients: []float64{0.5, 1, -2, 0.25, 3, -0.75},
+	}
+	if err := mgr.Deploy("md", "bench", "", model); err != nil {
+		fmt.Fprintln(os.Stderr, "vdr-planbench:", err)
+		os.Exit(1)
+	}
+	// 2 coefficients per shard -> 3 shards; exercises the dot-product join.
+	if err := mgr.DeployGLMSharded("ms", "bench", "", model, 2*10); err != nil {
+		fmt.Fprintln(os.Stderr, "vdr-planbench:", err)
+		os.Exit(1)
+	}
+
+	pointKey := aOf(12345, *rows)
+	predict := `SELECT GlmPredict(c0, c1, c2, c3, c4 USING PARAMETERS model='%s') OVER (PARTITION BEST) FROM feat`
+
+	// mode "index": planner (IndexScan) vs. legacy full scan, gate >= 10x.
+	// mode "parity": planner vs. legacy on the same access path, gate within
+	// 10%. mode "record": planner-only shapes, figures recorded, no ratio.
+	cases := []struct {
+		name     string
+		query    string
+		rows     int
+		wantRows int
+		mode     string
+	}{
+		{"scan.point.index", fmt.Sprintf("SELECT val FROM pts WHERE a = %d", pointKey), *rows, 1, "index"},
+		{"scan.range.index", fmt.Sprintf("SELECT val FROM pts WHERE id >= %d AND id < %d", *rows/2, *rows/2+200), *rows, 200, "index"},
+		{"scan.full", "SELECT val FROM pts WHERE val >= 0.999", *rows, -1, "parity"},
+		{"agg.full", "SELECT count(*), sum(val), min(val), max(val) FROM pts", *rows, 1, "parity"},
+		{"predict.dense", fmt.Sprintf(predict, "md"), *rows, *rows, "parity"},
+		{"join.hash", "SELECT d.grp, count(*), sum(fact.val) FROM fact JOIN dim d ON fact.dim_id = d.id GROUP BY d.grp", *rows, 50, "record"},
+		{"predict.sharded", fmt.Sprintf(predict, "ms"), *rows, *rows, "record"},
+	}
+
+	var figures []figure
+	ok := true
+	for _, c := range cases {
+		on, err := benchQuery(db, c.query, c.rows, c.wantRows, true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vdr-planbench: %s (planner): %v\n", c.name, err)
+			os.Exit(1)
+		}
+		if c.mode == "record" {
+			figures = append(figures, toFigure(c.name+"/planner", on))
+			fmt.Printf("%-20s %14.0f rows/s planner\n", c.name, on.Extra["rows/s"])
+			continue
+		}
+		off, err := benchQuery(db, c.query, c.rows, c.wantRows, false)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vdr-planbench: %s (legacy): %v\n", c.name, err)
+			os.Exit(1)
+		}
+		figures = append(figures, toFigure(c.name+"/planner", on), toFigure(c.name+"/legacy", off))
+		speedup := float64(off.NsPerOp()) / float64(on.NsPerOp())
+		verdict := "ok"
+		if c.mode == "index" && speedup < 10 {
+			verdict, ok = "FAIL (index below 10x)", false
+		} else if c.mode == "parity" && speedup < 0.9 {
+			verdict, ok = "FAIL (planner regression beyond 10%)", false
+		}
+		fmt.Printf("%-20s %14.0f rows/s planner %14.0f rows/s legacy  %6.2fx  %s\n",
+			c.name, on.Extra["rows/s"], off.Extra["rows/s"], speedup, verdict)
+	}
+
+	data, err := json.MarshalIndent(map[string]any{"benchmarks": figures}, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdr-planbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "vdr-planbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "vdr-planbench: acceptance gates failed")
+		os.Exit(1)
+	}
+}

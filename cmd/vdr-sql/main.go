@@ -8,6 +8,9 @@
 //	vdr-sql [-nodes 4] [-demo] [-data DIR]
 //	> SELECT count(*) FROM demo;
 //	> PROFILE SELECT count(*) FROM demo;           -- per-operator rows + timings
+//	> EXPLAIN SELECT count(*) FROM demo;           -- physical plan, est vs actual rows
+//	> EXPLAIN (FORMAT JSON) SELECT ...;            -- same plan as a JSON document
+//	> \explain                                     -- explain every SELECT
 //	> \profile                                     -- profile every SELECT
 //	> \metrics                                     -- dump the telemetry registry
 //	> \statements                                  -- per-statement statistics (calls, errors, p50/p95/p99)
@@ -80,6 +83,7 @@ func main() {
 	ctx := context.Background()
 
 	profileAll := false
+	explainAll := false
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Print("vdr> ")
@@ -98,6 +102,9 @@ func main() {
 		case line == "\\profile":
 			profileAll = !profileAll
 			fmt.Printf("profile mode %v\n", map[bool]string{true: "on", false: "off"}[profileAll])
+		case line == "\\explain":
+			explainAll = !explainAll
+			fmt.Printf("explain mode %v\n", map[bool]string{true: "on", false: "off"}[explainAll])
 		case line == "\\metrics":
 			fmt.Print(telemetry.Default().Dump())
 		case line == "\\recover":
@@ -124,6 +131,8 @@ func main() {
 			q := line
 			if profileAll && hasPrefixFold(q, "SELECT") {
 				q = "PROFILE " + q
+			} else if explainAll && hasPrefixFold(q, "SELECT") {
+				q = "EXPLAIN " + q
 			}
 			res, err := srv.Query(ctx, q)
 			if err != nil {

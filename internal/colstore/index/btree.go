@@ -1,0 +1,641 @@
+// Package index implements the secondary-index structure behind CREATE
+// INDEX: a copy-on-write B+-tree mapping the distinct keys of one column to
+// the ascending row positions holding them. Row positions are append order,
+// which is also scan order, so an index lookup followed by a positional
+// gather reproduces a filtered full scan byte for byte — the property the
+// planner's differential tests pin.
+//
+// The tree is immutable once published: Insert path-copies from the root, so
+// a cloned segment can keep reading the old tree while the owner of a new
+// version extends it. Float NaN keys are held in a side list rather than the
+// ordered tree, because the engine's comparison (cmpOrdered) reports NaN as
+// neither less than nor greater than anything — NaN rows therefore "equal"
+// every probe and must surface for =, <= and >= lookups but never for < or >.
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+)
+
+// Op mirrors colstore.CompareOp value for value, so callers convert with a
+// plain cast. OpNE is never index-served (a B-tree cannot beat a scan for
+// inequality); Lookup reports it unhandled.
+type Op uint8
+
+// Comparison operators, in colstore.CompareOp order.
+const (
+	OpEQ Op = iota
+	OpNE
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+)
+
+// fanout bounds leaf and internal node width: nodes split past 2*fanout
+// entries and the bulk builder packs them at fanout, leaving slack for
+// appends before the first split.
+const fanout = 64
+
+// entry is one distinct key and the ascending row positions holding it.
+type entry struct {
+	key  any
+	rows []uint32
+}
+
+type node struct {
+	leaf    bool
+	entries []entry // leaf payload
+	keys    []any   // internal separators: keys[i] = min key of children[i+1]
+	childs  []*node
+}
+
+// Tree is one column's secondary index. The zero value is not usable; build
+// with a Builder or DecodeTree.
+type Tree struct {
+	root *node
+	nan  []uint32 // rows whose float key is NaN, ascending
+	rows int      // total rows indexed, NaN rows included
+	keys int      // distinct non-NaN keys
+}
+
+// Rows returns the number of rows the index covers.
+func (t *Tree) Rows() int { return t.rows }
+
+// DistinctKeys returns the number of distinct non-NaN keys — the NDV the
+// planner uses for equality selectivity.
+func (t *Tree) DistinctKeys() int { return t.keys }
+
+// cmpKey totally orders key values with the engine's numeric widening
+// (INTEGER and FLOAT compare numerically, bools order false < true). The
+// second result is false for incomparable types. NaN never reaches here as a
+// stored key; a NaN probe is handled by Lookup before descending.
+func cmpKey(a, b any) (int, bool) {
+	switch x := a.(type) {
+	case int64:
+		switch y := b.(type) {
+		case int64:
+			return cmp3(x, y), true
+		case float64:
+			return cmp3(float64(x), y), true
+		}
+	case float64:
+		switch y := b.(type) {
+		case int64:
+			return cmp3(x, float64(y)), true
+		case float64:
+			return cmp3(x, y), true
+		}
+	case string:
+		if y, ok := b.(string); ok {
+			return cmp3(x, y), true
+		}
+	case bool:
+		if y, ok := b.(bool); ok {
+			xi, yi := 0, 0
+			if x {
+				xi = 1
+			}
+			if y {
+				yi = 1
+			}
+			return cmp3(xi, yi), true
+		}
+	}
+	return 0, false
+}
+
+func cmp3[T int | int64 | float64 | string](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func isNaN(key any) bool {
+	f, ok := key.(float64)
+	return ok && math.IsNaN(f)
+}
+
+// Builder accumulates (key, row) pairs and bulk-builds a packed tree.
+// Rows must be added in ascending row order (the natural order when
+// indexing a segment front to back).
+type Builder struct {
+	pairs []entry // one row per entry pre-sort; grouped during Build
+	nan   []uint32
+}
+
+// Add records one row's key.
+func (b *Builder) Add(key any, row uint32) {
+	if isNaN(key) {
+		b.nan = append(b.nan, row)
+		return
+	}
+	b.pairs = append(b.pairs, entry{key: key, rows: []uint32{row}})
+}
+
+// Build sorts, groups and packs the accumulated pairs into a tree. Keys must
+// be mutually comparable (one column's values always are); incomparable keys
+// make the build fail.
+func (b *Builder) Build() (*Tree, error) {
+	var badCmp error
+	sort.SliceStable(b.pairs, func(i, j int) bool {
+		c, ok := cmpKey(b.pairs[i].key, b.pairs[j].key)
+		if !ok && badCmp == nil {
+			badCmp = fmt.Errorf("index: cannot compare %T with %T", b.pairs[i].key, b.pairs[j].key)
+		}
+		return c < 0
+	})
+	if badCmp != nil {
+		return nil, badCmp
+	}
+	// Group equal adjacent keys. The sort is stable and each input pair holds
+	// one row added in ascending row order, so grouped rows stay ascending.
+	var entries []entry
+	for _, p := range b.pairs {
+		if n := len(entries); n > 0 {
+			if c, _ := cmpKey(entries[n-1].key, p.key); c == 0 {
+				entries[n-1].rows = append(entries[n-1].rows, p.rows[0])
+				continue
+			}
+		}
+		entries = append(entries, p)
+	}
+	t := &Tree{nan: b.nan, keys: len(entries)}
+	for _, e := range entries {
+		t.rows += len(e.rows)
+	}
+	t.rows += len(b.nan)
+	// Pack leaves at the build fanout, then stack internal levels.
+	var leaves []*node
+	for len(entries) > 0 {
+		n := min(fanout, len(entries))
+		leaves = append(leaves, &node{leaf: true, entries: entries[:n:n]})
+		entries = entries[n:]
+	}
+	if len(leaves) == 0 {
+		t.root = &node{leaf: true}
+		return t, nil
+	}
+	level := leaves
+	for len(level) > 1 {
+		var up []*node
+		for len(level) > 0 {
+			n := min(fanout, len(level))
+			in := &node{childs: level[:n:n]}
+			for _, c := range in.childs[1:] {
+				in.keys = append(in.keys, minKey(c))
+			}
+			up = append(up, in)
+			level = level[n:]
+		}
+		level = up
+	}
+	t.root = level[0]
+	return t, nil
+}
+
+func minKey(n *node) any {
+	for !n.leaf {
+		n = n.childs[0]
+	}
+	return n.entries[0].key
+}
+
+// Insert returns a new tree containing (key, row); the receiver is
+// unchanged. row must exceed every row already indexed for the stored
+// per-key row lists to stay ascending (segment appends guarantee this).
+func (t *Tree) Insert(key any, row uint32) (*Tree, error) {
+	out := &Tree{nan: t.nan, rows: t.rows + 1, keys: t.keys}
+	if isNaN(key) {
+		out.nan = append(t.nan[:len(t.nan):len(t.nan)], row)
+		out.root = t.root
+		return out, nil
+	}
+	root, sib, sepKey, added, err := insertNode(t.root, key, row)
+	if err != nil {
+		return nil, err
+	}
+	if added {
+		out.keys++
+	}
+	if sib != nil {
+		root = &node{keys: []any{sepKey}, childs: []*node{root, sib}}
+	}
+	out.root = root
+	return out, nil
+}
+
+// insertNode path-copies n with (key, row) inserted. When the copy splits it
+// returns the right sibling and its separator key. added reports whether the
+// key is new to the tree.
+func insertNode(n *node, key any, row uint32) (cp, sib *node, sepKey any, added bool, err error) {
+	if n.leaf {
+		i := 0
+		for ; i < len(n.entries); i++ {
+			c, ok := cmpKey(key, n.entries[i].key)
+			if !ok {
+				return nil, nil, nil, false, fmt.Errorf("index: cannot compare %T with %T", key, n.entries[i].key)
+			}
+			if c == 0 {
+				cp = &node{leaf: true, entries: slices.Clone(n.entries)}
+				e := &cp.entries[i]
+				e.rows = append(e.rows[:len(e.rows):len(e.rows)], row)
+				return cp, nil, nil, false, nil
+			}
+			if c < 0 {
+				break
+			}
+		}
+		cp = &node{leaf: true, entries: make([]entry, 0, len(n.entries)+1)}
+		cp.entries = append(cp.entries, n.entries[:i]...)
+		cp.entries = append(cp.entries, entry{key: key, rows: []uint32{row}})
+		cp.entries = append(cp.entries, n.entries[i:]...)
+		if len(cp.entries) > 2*fanout {
+			h := len(cp.entries) / 2
+			sib = &node{leaf: true, entries: cp.entries[h:len(cp.entries):len(cp.entries)]}
+			cp.entries = cp.entries[:h:h]
+			return cp, sib, sib.entries[0].key, true, nil
+		}
+		return cp, nil, nil, true, nil
+	}
+	ci := 0
+	for ci < len(n.keys) {
+		c, ok := cmpKey(key, n.keys[ci])
+		if !ok {
+			return nil, nil, nil, false, fmt.Errorf("index: cannot compare %T with %T", key, n.keys[ci])
+		}
+		if c < 0 {
+			break
+		}
+		ci++
+	}
+	child, csib, csep, added, err := insertNode(n.childs[ci], key, row)
+	if err != nil {
+		return nil, nil, nil, false, err
+	}
+	cp = &node{keys: slices.Clone(n.keys), childs: slices.Clone(n.childs)}
+	cp.childs[ci] = child
+	if csib != nil {
+		cp.keys = slices.Insert(cp.keys, ci, csep)
+		cp.childs = slices.Insert(cp.childs, ci+1, csib)
+		if len(cp.childs) > 2*fanout {
+			h := len(cp.childs) / 2
+			sepKey = cp.keys[h-1]
+			sib = &node{
+				keys:   cp.keys[h:len(cp.keys):len(cp.keys)],
+				childs: cp.childs[h:len(cp.childs):len(cp.childs)],
+			}
+			cp.keys = cp.keys[: h-1 : h-1]
+			cp.childs = cp.childs[:h:h]
+			return cp, sib, sepKey, added, nil
+		}
+	}
+	return cp, nil, nil, added, nil
+}
+
+// Lookup returns the rows matching `column op val`, sorted ascending —
+// identical membership and order to a filtered full scan under the engine's
+// comparison semantics (NaN rows surface for =, <= and >=). handled is false
+// when the operator or value type cannot be index-served; the caller must
+// fall back to a scan.
+func (t *Tree) Lookup(op Op, val any) (rows []uint32, handled bool) {
+	if op == OpNE {
+		return nil, false
+	}
+	switch val.(type) {
+	case int64, float64, string, bool:
+	default:
+		return nil, false
+	}
+	if isNaN(val) {
+		// Every stored key compares "equal" to a NaN probe.
+		switch op {
+		case OpEQ, OpLE, OpGE:
+			rows = t.allRows()
+		}
+		return rows, true
+	}
+	// Comparability probe: any stored key stands in for all of them.
+	if t.keys > 0 {
+		if _, ok := cmpKey(minKey(t.root), val); !ok {
+			return nil, false
+		}
+	}
+	out := make([]uint32, 0, 16)
+	visit(t.root, op, val, func(e *entry) {
+		out = append(out, e.rows...)
+	})
+	if op == OpEQ || op == OpLE || op == OpGE {
+		out = append(out, t.nan...)
+	}
+	slices.Sort(out)
+	return out, true
+}
+
+// LookupRange returns the rows satisfying `lo AND hi` — a lower bound (> or
+// >=) and an upper bound (< or <=) over the same column — in one bounded
+// tree walk, sorted ascending. Membership and order match a filtered full
+// scan applying both predicates under the engine's comparison semantics.
+// handled is false for unsupported operators or incomparable bound values;
+// the caller must then fall back to a scan.
+func (t *Tree) LookupRange(loOp Op, lo any, hiOp Op, hi any) (rows []uint32, handled bool) {
+	if loOp != OpGT && loOp != OpGE {
+		return nil, false
+	}
+	if hiOp != OpLT && hiOp != OpLE {
+		return nil, false
+	}
+	for _, v := range [2]any{lo, hi} {
+		switch v.(type) {
+		case int64, float64, string, bool:
+		default:
+			return nil, false
+		}
+		if isNaN(v) {
+			// A NaN bound degenerates ("equal to everything"): not worth a
+			// range walk, and unreachable from parsed SQL anyway.
+			return nil, false
+		}
+	}
+	if t.keys > 0 {
+		mk := minKey(t.root)
+		if _, ok := cmpKey(mk, lo); !ok {
+			return nil, false
+		}
+		if _, ok := cmpKey(mk, hi); !ok {
+			return nil, false
+		}
+	}
+	out := make([]uint32, 0, 16)
+	visitRange(t.root, loOp, lo, hiOp, hi, func(e *entry) {
+		out = append(out, e.rows...)
+	})
+	// A NaN key compares equal to both bounds, so it passes exactly when
+	// both operators accept equality.
+	if loOp == OpGE && hiOp == OpLE {
+		out = append(out, t.nan...)
+	}
+	slices.Sort(out)
+	return out, true
+}
+
+// visitRange walks the entries inside [lo, hi] in key order, pruning
+// subtrees below the lower bound and stopping past the upper one. The
+// separator invariants match visit's: child ci holds keys in
+// [keys[ci-1], keys[ci]).
+func visitRange(n *node, loOp Op, lo any, hiOp Op, hi any, fn func(*entry)) {
+	if n.leaf {
+		for i := range n.entries {
+			cl, _ := cmpKey(n.entries[i].key, lo)
+			ch, _ := cmpKey(n.entries[i].key, hi)
+			if opMatch(loOp, cl) && opMatch(hiOp, ch) {
+				fn(&n.entries[i])
+			}
+		}
+		return
+	}
+	for ci, child := range n.childs {
+		if ci > 0 {
+			// Keys in this child are >= keys[ci-1]: once that floor passes
+			// the upper bound, this child and all later ones are out.
+			if c, _ := cmpKey(n.keys[ci-1], hi); c > 0 || (c == 0 && hiOp == OpLT) {
+				return
+			}
+		}
+		if ci < len(n.keys) {
+			// Keys in this child are strictly below keys[ci]: a separator at
+			// or under the lower bound rules the whole child out.
+			if c, _ := cmpKey(n.keys[ci], lo); c <= 0 {
+				continue
+			}
+		}
+		visitRange(child, loOp, lo, hiOp, hi, fn)
+	}
+}
+
+func (t *Tree) allRows() []uint32 {
+	out := make([]uint32, 0, t.rows)
+	visitAll(t.root, func(e *entry) { out = append(out, e.rows...) })
+	out = append(out, t.nan...)
+	slices.Sort(out)
+	return out
+}
+
+func visitAll(n *node, fn func(*entry)) {
+	if n.leaf {
+		for i := range n.entries {
+			fn(&n.entries[i])
+		}
+		return
+	}
+	for _, c := range n.childs {
+		visitAll(c, fn)
+	}
+}
+
+// visit walks the entries satisfying `key op val` in key order, pruning
+// subtrees through the separator keys. Comparability was established by the
+// caller, so cmpKey results are trusted here.
+func visit(n *node, op Op, val any, fn func(*entry)) {
+	if n.leaf {
+		for i := range n.entries {
+			c, _ := cmpKey(n.entries[i].key, val)
+			if opMatch(op, c) {
+				fn(&n.entries[i])
+			}
+		}
+		return
+	}
+	for ci, child := range n.childs {
+		// Child ci holds keys in [keys[ci-1], keys[ci]): separators are the
+		// next child's minimum and keys are distinct, so every key in child
+		// ci is strictly below keys[ci] and at least keys[ci-1].
+		if ci > 0 && (op == OpEQ || op == OpLT || op == OpLE) {
+			c, _ := cmpKey(n.keys[ci-1], val)
+			if c > 0 || (c == 0 && op == OpLT) {
+				return // this child and all later ones start past the range
+			}
+		}
+		if ci < len(n.keys) && (op == OpEQ || op == OpGT || op == OpGE) {
+			// keys[ci] <= val means everything in child ci is < val (strictly
+			// below the separator), so no =, > or >= match lives there.
+			if c, _ := cmpKey(n.keys[ci], val); c <= 0 {
+				continue
+			}
+		}
+		visit(child, op, val, fn)
+	}
+}
+
+func opMatch(op Op, c int) bool {
+	switch op {
+	case OpEQ:
+		return c == 0
+	case OpNE:
+		return c != 0
+	case OpLT:
+		return c < 0
+	case OpLE:
+		return c <= 0
+	case OpGT:
+		return c > 0
+	case OpGE:
+		return c >= 0
+	}
+	return false
+}
+
+// Encode serializes the tree as a flat (key, rows) dump with delta-encoded
+// row lists — the crash-atomic checkpoint format (.vidx). Decoding bulk-
+// rebuilds the tree, so the node layout never reaches disk.
+func (t *Tree) Encode() []byte {
+	out := []byte{1} // version
+	out = binary.AppendUvarint(out, uint64(t.keys))
+	visitAll(t.root, func(e *entry) {
+		out = appendKey(out, e.key)
+		out = appendRows(out, e.rows)
+	})
+	out = appendRows(out, t.nan)
+	return out
+}
+
+const (
+	kindInt byte = iota + 1
+	kindFloat
+	kindString
+	kindBool
+)
+
+func appendKey(out []byte, key any) []byte {
+	switch k := key.(type) {
+	case int64:
+		out = append(out, kindInt)
+		out = binary.LittleEndian.AppendUint64(out, uint64(k))
+	case float64:
+		out = append(out, kindFloat)
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(k))
+	case string:
+		out = append(out, kindString)
+		out = binary.AppendUvarint(out, uint64(len(k)))
+		out = append(out, k...)
+	case bool:
+		out = append(out, kindBool)
+		if k {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+func appendRows(out []byte, rows []uint32) []byte {
+	out = binary.AppendUvarint(out, uint64(len(rows)))
+	prev := uint32(0)
+	for _, r := range rows {
+		out = binary.AppendUvarint(out, uint64(r-prev))
+		prev = r
+	}
+	return out
+}
+
+// DecodeTree rebuilds a tree from Encode's output.
+func DecodeTree(data []byte) (*Tree, error) {
+	if len(data) < 1 || data[0] != 1 {
+		return nil, fmt.Errorf("index: bad tree version")
+	}
+	data = data[1:]
+	nkeys, m := binary.Uvarint(data)
+	if m <= 0 {
+		return nil, fmt.Errorf("index: corrupt tree header")
+	}
+	data = data[m:]
+	var b Builder
+	for k := uint64(0); k < nkeys; k++ {
+		key, rest, err := cutKey(data)
+		if err != nil {
+			return nil, err
+		}
+		rows, rest, err := cutRows(rest)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			b.Add(key, r)
+		}
+		data = rest
+	}
+	nan, data, err := cutRows(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("index: %d trailing bytes", len(data))
+	}
+	b.nan = nan
+	return b.Build()
+}
+
+func cutKey(data []byte) (any, []byte, error) {
+	if len(data) < 1 {
+		return nil, nil, fmt.Errorf("index: truncated key")
+	}
+	kind := data[0]
+	data = data[1:]
+	switch kind {
+	case kindInt, kindFloat:
+		if len(data) < 8 {
+			return nil, nil, fmt.Errorf("index: truncated key")
+		}
+		u := binary.LittleEndian.Uint64(data)
+		if kind == kindInt {
+			return int64(u), data[8:], nil
+		}
+		return math.Float64frombits(u), data[8:], nil
+	case kindString:
+		n, m := binary.Uvarint(data)
+		if m <= 0 || uint64(len(data)-m) < n {
+			return nil, nil, fmt.Errorf("index: truncated string key")
+		}
+		return string(data[m : m+int(n)]), data[m+int(n):], nil
+	case kindBool:
+		if len(data) < 1 {
+			return nil, nil, fmt.Errorf("index: truncated key")
+		}
+		return data[0] != 0, data[1:], nil
+	default:
+		return nil, nil, fmt.Errorf("index: unknown key kind %d", kind)
+	}
+}
+
+func cutRows(data []byte) ([]uint32, []byte, error) {
+	n, m := binary.Uvarint(data)
+	if m <= 0 {
+		return nil, nil, fmt.Errorf("index: corrupt row list")
+	}
+	data = data[m:]
+	rows := make([]uint32, 0, n)
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		d, m := binary.Uvarint(data)
+		if m <= 0 {
+			return nil, nil, fmt.Errorf("index: corrupt row delta")
+		}
+		data = data[m:]
+		prev += d
+		if prev > math.MaxUint32 {
+			return nil, nil, fmt.Errorf("index: row %d out of range", prev)
+		}
+		rows = append(rows, uint32(prev))
+	}
+	return rows, data, nil
+}

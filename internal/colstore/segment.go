@@ -44,6 +44,23 @@ type Segment struct {
 	sealed    [][]blockRef // per column
 	tail      *Batch
 	rows      int
+	// indexes holds the attached secondary B-tree indexes by column name.
+	// Trees are copy-on-write (see internal/colstore/index): Clone shares
+	// them, and Append republishes extended trees into this map only.
+	indexes map[string]*indexTree
+	// statsCache memoizes ColumnStats per column. The planner reads stats on
+	// every Build, and recomputing NDV walks block headers and the whole
+	// tail; concurrent planners may race on the fill, hence the mutex. Any
+	// mutation (Append, Seal, index DDL) drops the cache; clones start cold.
+	statsMu    sync.Mutex
+	statsCache map[string]ColumnStats
+}
+
+// invalidateStats drops the memoized column statistics after a mutation.
+func (s *Segment) invalidateStats() {
+	s.statsMu.Lock()
+	s.statsCache = nil
+	s.statsMu.Unlock()
 }
 
 // NewSegment creates an empty segment. blockRows <= 0 selects the default.
@@ -76,13 +93,15 @@ func (s *Segment) Append(b *Batch) error {
 	if err := s.tail.AppendBatch(b); err != nil {
 		return err
 	}
+	s.invalidateStats()
+	base := s.rows
 	s.rows += b.Len()
 	for s.tail.Len() >= s.blockRows {
 		if err := s.sealPrefix(s.blockRows); err != nil {
 			return err
 		}
 	}
-	return nil
+	return s.maintainIndexes(b, base)
 }
 
 // Seal flushes the open tail into sealed blocks.
@@ -90,6 +109,7 @@ func (s *Segment) Seal() error {
 	if s.tail.Len() == 0 {
 		return nil
 	}
+	s.invalidateStats()
 	return s.sealPrefix(s.tail.Len())
 }
 
@@ -422,6 +442,29 @@ type scanPlan struct {
 	outSchema Schema
 	predIdx   int
 	nblocks   int
+	// zone carries auxiliary zone-map-only predicates: each can skip sealed
+	// blocks via min/max stats but never filters rows (the executor keeps
+	// them as residual filters, so skipping is a pure optimization).
+	zone []zonePred
+}
+
+type zonePred struct {
+	pred   Pred
+	colIdx int
+}
+
+// blockSkipped reports whether sealed block bi is excluded by the primary
+// predicate's zone map or by any auxiliary zone predicate.
+func (p *scanPlan) blockSkipped(s *Segment, pred *Pred, bi int) bool {
+	if pred != nil && p.predIdx >= 0 && !pred.blockMayMatch(s.sealed[p.predIdx][bi]) {
+		return true
+	}
+	for i := range p.zone {
+		if !p.zone[i].pred.blockMayMatch(s.sealed[p.zone[i].colIdx][bi]) {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Segment) planScan(cols []string, pred *Pred) (*scanPlan, error) {
@@ -484,6 +527,28 @@ func (s *Segment) ScanWithStats(cols []string, pred *Pred, st *ScanStats, fn fun
 // before every block decode (and before the tail), so a canceled query stops
 // within one storage block. The error wraps verr.ErrCanceled.
 func (s *Segment) ScanWithStatsCtx(ctx context.Context, cols []string, pred *Pred, st *ScanStats, fn func(*Batch) error) error {
+	return s.ScanZoneWithStatsCtx(ctx, cols, pred, nil, st, fn)
+}
+
+// resolveZone binds auxiliary zone predicates to column indexes.
+func (s *Segment) resolveZone(plan *scanPlan, zone []Pred) error {
+	for _, zp := range zone {
+		ci := s.schema.ColIndex(zp.Col)
+		if ci < 0 {
+			return fmt.Errorf("colstore: zone predicate on unknown column %q", zp.Col)
+		}
+		plan.zone = append(plan.zone, zonePred{pred: zp, colIdx: ci})
+	}
+	return nil
+}
+
+// ScanZoneWithStatsCtx is ScanWithStatsCtx with auxiliary zone-map-only
+// predicates: each zone pred may exclude sealed blocks via min/max stats but
+// never filters surviving rows — callers keep those conjuncts as residual
+// filters, so passing them here only prunes I/O (the multi-conjunct WHERE
+// pushdown). Output is row-identical to the same scan without zone preds,
+// minus the rows of excluded blocks, all of which fail the zone predicates.
+func (s *Segment) ScanZoneWithStatsCtx(ctx context.Context, cols []string, pred *Pred, zone []Pred, st *ScanStats, fn func(*Batch) error) error {
 	var local ScanStats
 	if st == nil {
 		st = &local
@@ -491,6 +556,9 @@ func (s *Segment) ScanWithStatsCtx(ctx context.Context, cols []string, pred *Pre
 	defer recordScanTelemetry(st)
 	plan, err := s.planScan(cols, pred)
 	if err != nil {
+		return err
+	}
+	if err := s.resolveZone(plan, zone); err != nil {
 		return err
 	}
 	scratch := idxScratch.Get().(*[]int)
@@ -505,7 +573,7 @@ func (s *Segment) ScanWithStatsCtx(ctx context.Context, cols []string, pred *Pre
 		if err := verr.Canceled(ctx.Err()); err != nil {
 			return err
 		}
-		if pred != nil && plan.predIdx >= 0 && !pred.blockMayMatch(s.sealed[plan.predIdx][bi]) {
+		if plan.blockSkipped(s, pred, bi) {
 			st.BlocksSkipped++ // zone-map skip
 			continue
 		}
@@ -564,8 +632,14 @@ func (s *Segment) ParScanWithStats(cols []string, pred *Pred, pool *parallel.Poo
 // (the run-ahead window may still decode a few already-scheduled blocks,
 // but none of them are delivered). The error wraps verr.ErrCanceled.
 func (s *Segment) ParScanWithStatsCtx(ctx context.Context, cols []string, pred *Pred, pool *parallel.Pool, st *ScanStats, fn func(*Batch) error) error {
+	return s.ParScanZoneWithStatsCtx(ctx, cols, pred, nil, pool, st, fn)
+}
+
+// ParScanZoneWithStatsCtx is ParScanWithStatsCtx with auxiliary zone-map
+// predicates (see ScanZoneWithStatsCtx).
+func (s *Segment) ParScanZoneWithStatsCtx(ctx context.Context, cols []string, pred *Pred, zone []Pred, pool *parallel.Pool, st *ScanStats, fn func(*Batch) error) error {
 	if pool.Degree() <= 1 {
-		return s.ScanWithStatsCtx(ctx, cols, pred, st, fn)
+		return s.ScanZoneWithStatsCtx(ctx, cols, pred, zone, st, fn)
 	}
 	var local ScanStats
 	if st == nil {
@@ -576,11 +650,14 @@ func (s *Segment) ParScanWithStatsCtx(ctx context.Context, cols []string, pred *
 	if err != nil {
 		return err
 	}
+	if err := s.resolveZone(plan, zone); err != nil {
+		return err
+	}
 	// Zone-map pass first: skipping consults only block headers, so it stays
 	// serial and the scheduled block list is deterministic.
 	scan := make([]int, 0, plan.nblocks)
 	for bi := 0; bi < plan.nblocks; bi++ {
-		if pred != nil && plan.predIdx >= 0 && !pred.blockMayMatch(s.sealed[plan.predIdx][bi]) {
+		if plan.blockSkipped(s, pred, bi) {
 			st.BlocksSkipped++
 			continue
 		}
@@ -787,6 +864,14 @@ func (s *Segment) Clone() *Segment {
 	out.tail = NewBatch(s.schema)
 	// Same schema by construction, so this append cannot fail.
 	_ = out.tail.AppendBatch(s.tail)
+	if len(s.indexes) > 0 {
+		// Trees are copy-on-write: share them, copy only the map, so an
+		// Append on either side republishes into its own map.
+		out.indexes = make(map[string]*indexTree, len(s.indexes))
+		for c, t := range s.indexes {
+			out.indexes[c] = t
+		}
+	}
 	return out
 }
 

@@ -39,11 +39,14 @@ const ServiceName = "models"
 const MetaTable = "R_Models"
 
 // envelope is the gob wire format: exactly one payload field is set.
+// Sharded deployments store only the small metadata document here; the
+// coefficient array lives in separate shard blobs (sharded.go).
 type envelope struct {
-	Kind   string
-	Kmeans *algos.KmeansModel
-	GLM    *algos.GLMModel
-	Forest *algos.ForestModel
+	Kind    string
+	Kmeans  *algos.KmeansModel
+	GLM     *algos.GLMModel
+	Forest  *algos.ForestModel
+	Sharded *ShardedGLMMeta
 }
 
 // Serialize encodes a supported model, returning its bytes and type tag.
@@ -84,6 +87,8 @@ func Deserialize(data []byte) (any, string, error) {
 		return env.GLM, env.Kind, nil
 	case env.Forest != nil:
 		return env.Forest, env.Kind, nil
+	case env.Sharded != nil:
+		return env.Sharded, env.Kind, nil
 	default:
 		return nil, "", fmt.Errorf("models: empty model envelope (kind %q)", env.Kind)
 	}
@@ -181,6 +186,12 @@ func (m *Manager) Deploy(name, owner, description string, model any) error {
 	data, kind, err := Serialize(model)
 	if err != nil {
 		return err
+	}
+	// A GLM too large for one transfer message switches to the sharded
+	// layout transparently: same name, same prediction results, multiple
+	// blobs under the message budget.
+	if glm, ok := model.(*algos.GLMModel); ok && len(data) > MaxBlobBytes {
+		return m.DeployGLMSharded(name, owner, description, glm, MaxBlobBytes)
 	}
 	if err := m.blobPut(blobPath(name), data); err != nil {
 		return err
@@ -283,6 +294,15 @@ func (m *Manager) Load(name string, node int) (any, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
+	// Sharded deployments: the blob held only the metadata document; fetch
+	// the coefficient shards and assemble the streaming scorer.
+	if meta, ok := model.(*ShardedGLMMeta); ok {
+		sh, err := m.loadShards(name, node, meta)
+		if err != nil {
+			return nil, "", err
+		}
+		model = sh
+	}
 	m.cache.putIfCurrent(name, ver, cacheEntry{model: model, kind: kind})
 	return model, kind, nil
 }
@@ -296,8 +316,21 @@ func (m *Manager) Drop(name string) error {
 	if !exists {
 		return fmt.Errorf("models: %w: %q", verr.ErrModelNotFound, name)
 	}
+	// A sharded deployment owns shard blobs beyond the main one; resolve the
+	// layout before the metadata blob disappears.
+	shards := 0
+	if data, err := m.db.DFS().Read(blobPath(name)); err == nil {
+		if meta, _, err := Deserialize(data); err == nil {
+			if sm, ok := meta.(*ShardedGLMMeta); ok {
+				shards = sm.Shards
+			}
+		}
+	}
 	if err := m.blobDelete(blobPath(name)); err != nil {
 		return err
+	}
+	for k := 0; k < shards; k++ {
+		_ = m.blobDelete(shardPath(name, k))
 	}
 	m.acl.forget(name)
 	m.cache.invalidate(name)

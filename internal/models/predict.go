@@ -194,6 +194,11 @@ func (p predictUDF) blockScorer(model any, kind string) (score func([][]float64,
 			return nil, nil, 0, fmt.Errorf("models: %s applied to a %s model", p.funcName(), kind)
 		}
 		return m.PredictBlock, nil, len(m.Coefficients) - 1, nil
+	case *ShardedGLM:
+		if p.want != TypeGLM {
+			return nil, nil, 0, fmt.Errorf("models: %s applied to a %s model", p.funcName(), kind)
+		}
+		return m.PredictBlock, nil, m.Meta.Dims, nil
 	case *algos.ForestModel:
 		if p.want != TypeRandomForest {
 			return nil, nil, 0, fmt.Errorf("models: %s applied to a randomforest model", p.funcName())

@@ -1,0 +1,208 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"verticadr/internal/sqlparse"
+)
+
+// buildJoin plans a multi-table statement as a left-deep chain of hash
+// joins: the base table is the probe side, each joined table builds a hash
+// table on its equi-join key. Single-table WHERE conjuncts push down into
+// the owning table's scan (index or sequential, chosen by cost); conjuncts
+// spanning tables stay as a residual filter on the topmost join.
+func (b *builder) buildJoin(sel *sqlparse.Select) (*Plan, error) {
+	if udtfCall(sel) != nil {
+		return nil, fmt.Errorf("plan: UDTF over a join is not supported")
+	}
+	refs := make([]tableRef, 0, len(sel.Joins)+1)
+	addRef := func(table, alias string) error {
+		if alias == "" {
+			alias = table
+		}
+		for _, r := range refs {
+			if r.alias == alias {
+				return fmt.Errorf("plan: duplicate table alias %q", alias)
+			}
+		}
+		def, err := b.src.TableDef(table)
+		if err != nil {
+			return err
+		}
+		ts, err := gatherStats(b.src, table, def)
+		if err != nil {
+			return err
+		}
+		refs = append(refs, tableRef{alias: alias, table: table, def: def, ts: ts})
+		return nil
+	}
+	if err := addRef(sel.From, sel.FromAlias); err != nil {
+		return nil, err
+	}
+	for _, j := range sel.Joins {
+		if err := addRef(j.Table, j.Alias); err != nil {
+			return nil, err
+		}
+	}
+	if err := normalizeJoin(sel, refs); err != nil {
+		return nil, err
+	}
+
+	// Classify WHERE conjuncts: single-table ones push into that table's
+	// scan (rewritten to bare column names), the rest filter the join output.
+	perTable := map[string][]sqlparse.Expr{}
+	var topResidual []sqlparse.Expr
+	for _, c := range flattenAnd(sel.Where) {
+		als := exprAliases(c)
+		if len(als) == 1 {
+			var a string
+			for k := range als {
+				a = k
+			}
+			perTable[a] = append(perTable[a], stripAliasExpr(c, a))
+		} else {
+			topResidual = append(topResidual, c)
+		}
+	}
+
+	needed := neededCols(sel, refs)
+	scans := make([]*Node, len(refs))
+	for i, r := range refs {
+		scans[i] = b.scanNode(r.table, r.alias, r.def, r.ts, rebuildAnd(perTable[r.alias]), false)
+		scans[i].Cols = needed[r.alias]
+	}
+	cur := scans[0]
+	for i := range sel.Joins {
+		lk, rk, err := joinKeys(sel.Joins[i].On, refs[:i+1], refs[i+1])
+		if err != nil {
+			return nil, err
+		}
+		n := b.node(OpHashJoin)
+		n.Children = []*Node{cur, scans[i+1]}
+		n.LeftKey, n.RightKey = lk, rk
+		n.EstRows = estimateJoin(cur.EstRows, scans[i+1].EstRows, b.keyNDV(refs, lk), b.keyNDV(refs, rk))
+		n.Detail = lk + " = " + rk
+		cur = n
+	}
+	if len(topResidual) > 0 {
+		cur.Residual = rebuildAnd(topResidual)
+		cur.EstRows = estimateRows(int(cur.EstRows), math.Pow(defaultSel, float64(len(topResidual))))
+		cur.Detail += ", filter " + cur.Residual.String()
+	}
+	ndv := func(col string) int { return b.keyNDV(refs, col) }
+	root, err := b.shapeAbove(cur, sel, ndv, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Root: root, Sel: sel}, nil
+}
+
+// keyNDV resolves a canonical "alias.column" name to its column NDV.
+func (b *builder) keyNDV(refs []tableRef, name string) int {
+	a := aliasPrefix(name)
+	for _, r := range refs {
+		if r.alias == a {
+			return r.ts.colStats(name[len(a)+1:]).NDV
+		}
+	}
+	return 0
+}
+
+// joinKeys validates an ON clause as `alias.col = alias.col` with one side
+// in the left scope and the other naming the newly joined table, returning
+// (probe key, build key) in canonical form.
+func joinKeys(on sqlparse.Expr, left []tableRef, right tableRef) (string, string, error) {
+	bin, ok := on.(*sqlparse.Binary)
+	if !ok || bin.Op != "=" {
+		return "", "", fmt.Errorf("plan: unsupported join condition %s (need col = col)", on.String())
+	}
+	lc, ok1 := bin.L.(*sqlparse.ColRef)
+	rc, ok2 := bin.R.(*sqlparse.ColRef)
+	if !ok1 || !ok2 {
+		return "", "", fmt.Errorf("plan: unsupported join condition %s (need col = col)", on.String())
+	}
+	inLeft := func(name string) bool {
+		a := aliasPrefix(name)
+		for _, r := range left {
+			if r.alias == a {
+				return true
+			}
+		}
+		return false
+	}
+	la, ra := aliasPrefix(lc.Name), aliasPrefix(rc.Name)
+	switch {
+	case inLeft(lc.Name) && ra == right.alias:
+		return lc.Name, rc.Name, nil
+	case inLeft(rc.Name) && la == right.alias:
+		return rc.Name, lc.Name, nil
+	}
+	return "", "", fmt.Errorf("plan: join condition %s must reference both sides", on.String())
+}
+
+// exprAliases collects the table aliases an expression references.
+func exprAliases(e sqlparse.Expr) map[string]bool {
+	out := map[string]bool{}
+	_ = walkColRefs(e, func(c *sqlparse.ColRef) error {
+		if a := aliasPrefix(c.Name); a != "" {
+			out[a] = true
+		}
+		return nil
+	})
+	return out
+}
+
+// neededCols computes, per table, the columns any part of the statement
+// references, in table-schema order (deterministic regardless of expression
+// order). SELECT * needs every column of every table.
+func neededCols(sel *sqlparse.Select, refs []tableRef) map[string][]string {
+	want := map[string]map[string]bool{}
+	for _, r := range refs {
+		want[r.alias] = map[string]bool{}
+	}
+	star := false
+	add := func(c *sqlparse.ColRef) error {
+		a := aliasPrefix(c.Name)
+		if m, ok := want[a]; ok {
+			m[c.Name[len(a)+1:]] = true
+		}
+		return nil
+	}
+	for _, it := range sel.Items {
+		if it.Star {
+			star = true
+			continue
+		}
+		_ = walkColRefs(it.Expr, add)
+	}
+	if sel.Where != nil {
+		_ = walkColRefs(sel.Where, add)
+	}
+	for i := range sel.Joins {
+		_ = walkColRefs(sel.Joins[i].On, add)
+	}
+	addName := func(s string) {
+		a := aliasPrefix(s)
+		if m, ok := want[a]; ok {
+			m[s[len(a)+1:]] = true
+		}
+	}
+	for _, g := range sel.GroupBy {
+		addName(g)
+	}
+	for _, o := range sel.OrderBy {
+		addName(o.Col)
+	}
+	out := map[string][]string{}
+	for _, r := range refs {
+		var cols []string
+		for _, cs := range r.def.Schema {
+			if star || want[r.alias][cs.Name] {
+				cols = append(cols, cs.Name)
+			}
+		}
+		out[r.alias] = cols
+	}
+	return out
+}

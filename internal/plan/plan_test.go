@@ -1,0 +1,317 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"verticadr/internal/catalog"
+	"verticadr/internal/colstore"
+	"verticadr/internal/sqlparse"
+)
+
+type fakeSource struct {
+	defs map[string]*catalog.TableDef
+	segs map[string][]*colstore.Segment
+}
+
+func (f *fakeSource) TableDef(name string) (*catalog.TableDef, error) {
+	d, ok := f.defs[name]
+	if !ok {
+		return nil, &unknownTable{name}
+	}
+	return d, nil
+}
+
+func (f *fakeSource) Segments(name string) ([]*colstore.Segment, error) {
+	return f.segs[name], nil
+}
+
+type unknownTable struct{ name string }
+
+func (e *unknownTable) Error() string { return "unknown table " + e.name }
+
+func newFake(t *testing.T) *fakeSource {
+	t.Helper()
+	schemaT := colstore.Schema{
+		{Name: "id", Type: colstore.TypeInt64},
+		{Name: "a", Type: colstore.TypeInt64},
+		{Name: "x", Type: colstore.TypeFloat64},
+	}
+	schemaU := colstore.Schema{
+		{Name: "id", Type: colstore.TypeInt64},
+		{Name: "b", Type: colstore.TypeInt64},
+	}
+	mk := func(schema colstore.Schema, rows int, fill func(b *colstore.Batch, i int)) []*colstore.Segment {
+		var segs []*colstore.Segment
+		for s := 0; s < 2; s++ {
+			seg := colstore.NewSegment(schema, 128)
+			b := colstore.NewBatch(schema)
+			for i := 0; i < rows; i++ {
+				fill(b, s*rows+i)
+			}
+			if err := seg.Append(b); err != nil {
+				t.Fatal(err)
+			}
+			segs = append(segs, seg)
+		}
+		return segs
+	}
+	f := &fakeSource{
+		defs: map[string]*catalog.TableDef{
+			"t": {Name: "t", Schema: schemaT},
+			"u": {Name: "u", Schema: schemaU},
+		},
+		segs: map[string][]*colstore.Segment{},
+	}
+	f.segs["t"] = mk(schemaT, 2000, func(b *colstore.Batch, i int) {
+		_ = b.AppendRow(int64(i), int64(i%50), float64(i)/8)
+	})
+	f.segs["u"] = mk(schemaU, 300, func(b *colstore.Batch, i int) {
+		_ = b.AppendRow(int64(i%100), int64(i%7))
+	})
+	return f
+}
+
+func parseSel(t *testing.T, sql string) *sqlparse.Select {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmt.(*sqlparse.Select)
+}
+
+func TestIndexScanChosenWhenSelective(t *testing.T) {
+	f := newFake(t)
+	for _, seg := range f.segs["t"] {
+		if err := seg.BuildIndex("id"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := Build(parseSel(t, "SELECT a FROM t WHERE id = 7"), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := p.Root
+	for len(scan.Children) > 0 {
+		scan = scan.Children[0]
+	}
+	if scan.Op != OpIndexScan || scan.Access.IndexCol != "id" {
+		t.Fatalf("expected IndexScan on id, got %s %+v", scan.Op, scan.Access)
+	}
+	if scan.EstRows <= 0 || scan.EstRows > 10 {
+		t.Fatalf("point-lookup estimate = %d", scan.EstRows)
+	}
+	// Without the index, the same query seq-scans with a pushdown.
+	for _, seg := range f.segs["t"] {
+		seg.DropIndex("id")
+	}
+	p, err = Build(parseSel(t, "SELECT a FROM t WHERE id = 7"), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan = p.Root
+	for len(scan.Children) > 0 {
+		scan = scan.Children[0]
+	}
+	if scan.Op != OpSeqScan || scan.Access.Primary == nil {
+		t.Fatalf("expected SeqScan with pushdown, got %s %+v", scan.Op, scan.Access)
+	}
+}
+
+func TestMultiConjunctZonePreds(t *testing.T) {
+	f := newFake(t)
+	p, err := Build(parseSel(t, "SELECT a FROM t WHERE a = 3 AND id >= 3900 AND x > 1"), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := p.Root.Children[0]
+	acc := scan.Access
+	if acc.Primary == nil {
+		t.Fatal("no primary predicate")
+	}
+	// id >= 3900 keeps ~2.5% of rows, far under a = 3's 1/50 * ... pick:
+	// selectivities: a = 3 -> 1/NDV(a)=1/50=0.02; id >= 3900 -> (4000-3900)/3999 ~ 0.025.
+	if acc.Primary.Col != "a" {
+		t.Fatalf("primary should be the most selective conjunct, got %s", acc.Primary.Col)
+	}
+	if len(acc.Zone) != 2 {
+		t.Fatalf("want 2 zone predicates, got %v", acc.Zone)
+	}
+	if acc.Residual == nil || !strings.Contains(acc.Residual.String(), ">=") {
+		t.Fatalf("zone conjuncts must stay in residual: %v", acc.Residual)
+	}
+	// The exactly-served primary must NOT be in the residual.
+	if strings.Contains(acc.Residual.String(), "= 3)") {
+		t.Fatalf("primary conjunct should not be re-filtered: %v", acc.Residual)
+	}
+}
+
+func TestJoinPlanShape(t *testing.T) {
+	f := newFake(t)
+	p, err := Build(parseSel(t, "SELECT t.a, u.b FROM t JOIN u ON t.id = u.id WHERE t.a = 1 AND u.b = 2 AND t.x > u.b"), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root should be Project over HashJoin.
+	if p.Root.Op != OpProject {
+		t.Fatalf("root = %s", p.Root.Op)
+	}
+	j := p.Root.Children[0]
+	if j.Op != OpHashJoin || j.LeftKey != "t.id" || j.RightKey != "u.id" {
+		t.Fatalf("join = %s %s=%s", j.Op, j.LeftKey, j.RightKey)
+	}
+	if j.Residual == nil {
+		t.Fatal("cross-table conjunct must stay at the join")
+	}
+	lt, rt := j.Children[0], j.Children[1]
+	if lt.Table != "t" || rt.Table != "u" {
+		t.Fatalf("scan tables: %s, %s", lt.Table, rt.Table)
+	}
+	// Single-table conjuncts pushed into the scans with bare names.
+	if lt.Access.Primary == nil || lt.Access.Primary.Col != "a" {
+		t.Fatalf("t-side pushdown missing: %+v", lt.Access)
+	}
+	if rt.Access.Primary == nil || rt.Access.Primary.Col != "b" {
+		t.Fatalf("u-side pushdown missing: %+v", rt.Access)
+	}
+	// Normalized projection references are canonical dotted names.
+	if cr, ok := p.Sel.Items[0].Expr.(*sqlparse.ColRef); !ok || cr.Name != "t.a" || cr.Table != "" {
+		t.Fatalf("normalized item = %+v", p.Sel.Items[0].Expr)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	f := newFake(t)
+	for _, bad := range []string{
+		"SELECT * FROM t JOIN u ON t.id < u.id",
+		"SELECT * FROM t JOIN u ON t.id = t.a",
+		"SELECT id FROM t JOIN u ON t.id = u.id",               // ambiguous bare column
+		"SELECT t.a FROM t JOIN u ON t.id = u.id WHERE zz = 1", // unknown column
+		"SELECT t.a FROM t JOIN t ON t.id = t.id",              // duplicate alias
+	} {
+		if _, err := Build(parseSel(t, bad), f); err == nil {
+			t.Fatalf("expected error for %q", bad)
+		}
+	}
+	// Unambiguous bare columns resolve across tables.
+	p, err := Build(parseSel(t, "SELECT a, b FROM t JOIN u ON t.id = u.id"), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr := p.Sel.Items[0].Expr.(*sqlparse.ColRef); cr.Name != "t.a" {
+		t.Fatalf("bare a resolved to %q", cr.Name)
+	}
+	if cr := p.Sel.Items[1].Expr.(*sqlparse.ColRef); cr.Name != "u.b" {
+		t.Fatalf("bare b resolved to %q", cr.Name)
+	}
+}
+
+func TestExplainRendering(t *testing.T) {
+	f := newFake(t)
+	p, err := Build(parseSel(t, "SELECT a, COUNT(*) FROM t WHERE id < 100 GROUP BY a ORDER BY a LIMIT 5"), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actuals := p.MatchActuals([]OpStat{
+		{Op: "scan", Rows: 200},
+		{Op: "aggregate", Rows: 50},
+		{Op: "sort", Rows: 50},
+		{Op: "limit", Rows: 5},
+	})
+	lines := p.Text(actuals)
+	if len(lines) != 4 {
+		t.Fatalf("text lines: %v", lines)
+	}
+	if !strings.Contains(lines[0], "Limit") || !strings.Contains(lines[0], "actual=5") {
+		t.Fatalf("limit line: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "SeqScan on t") || !strings.Contains(lines[3], "actual=200") {
+		t.Fatalf("scan line: %q", lines[3])
+	}
+	js, err := p.JSON(actuals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"op": "Limit"`, `"op": "SeqScan"`, `"est_rows"`, `"actual_rows": 200`} {
+		if !strings.Contains(string(js), want) {
+			t.Fatalf("json missing %s:\n%s", want, js)
+		}
+	}
+	// Elided limit stage inherits its child's actual.
+	actuals = p.MatchActuals([]OpStat{
+		{Op: "scan", Rows: 200},
+		{Op: "aggregate", Rows: 3},
+		{Op: "sort", Rows: 3},
+	})
+	if actuals[p.Root.ID] != 3 {
+		t.Fatalf("elided limit actual = %d", actuals[p.Root.ID])
+	}
+}
+
+func TestPlannerDoesNotMutateInput(t *testing.T) {
+	f := newFake(t)
+	sel := parseSel(t, "SELECT t.a FROM t AS t JOIN u ON t.id = u.id WHERE t.a = 1")
+	before := sel.String()
+	if _, err := Build(sel, f); err != nil {
+		t.Fatal(err)
+	}
+	if sel.String() != before {
+		t.Fatalf("planner mutated caller's AST:\n before %s\n after  %s", before, sel.String())
+	}
+}
+
+func TestIndexRangeScanChosenForBoundedPair(t *testing.T) {
+	f := newFake(t)
+	for _, seg := range f.segs["t"] {
+		if err := seg.BuildIndex("id"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each half-range alone keeps ~half the table — far over the index
+	// threshold — but together they pin a 40-row window the planner must
+	// serve as one bounded index range probe.
+	p, err := Build(parseSel(t, "SELECT a FROM t WHERE id >= 1980 AND id < 2020"), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := p.Root
+	for len(scan.Children) > 0 {
+		scan = scan.Children[0]
+	}
+	if scan.Op != OpIndexScan || scan.Access.IndexCol != "id" {
+		t.Fatalf("expected bounded IndexScan on id, got %s %+v", scan.Op, scan.Access)
+	}
+	acc := scan.Access
+	if acc.Primary == nil || acc.Primary.Op != colstore.OpGE {
+		t.Fatalf("lower bound should be the primary probe: %+v", acc.Primary)
+	}
+	if acc.Primary2 == nil || acc.Primary2.Op != colstore.OpLT {
+		t.Fatalf("upper bound should be the secondary probe: %+v", acc.Primary2)
+	}
+	// The upper bound stays in the residual so the no-index fallback scan
+	// remains exact.
+	if acc.Residual == nil || !strings.Contains(acc.Residual.String(), "<") {
+		t.Fatalf("upper bound must stay in residual: %v", acc.Residual)
+	}
+	if scan.EstRows <= 0 || scan.EstRows > 100 {
+		t.Fatalf("bounded-range estimate = %d (want ~40)", scan.EstRows)
+	}
+	// A more selective equality on an indexed column still wins over the pair.
+	for _, seg := range f.segs["t"] {
+		if err := seg.BuildIndex("a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err = Build(parseSel(t, "SELECT a FROM t WHERE id >= 0 AND id < 4000 AND a = 3"), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan = p.Root
+	for len(scan.Children) > 0 {
+		scan = scan.Children[0]
+	}
+	if scan.Op != OpIndexScan || scan.Access.IndexCol != "a" || scan.Access.Primary2 != nil {
+		t.Fatalf("equality should beat a near-full range, got %s %+v", scan.Op, scan.Access)
+	}
+}

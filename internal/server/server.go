@@ -151,10 +151,23 @@ func (s *Server) Health() Health {
 // (core.Session.Close itself drains in-flight queries).
 func (s *Server) Close() { s.closed.Store(true) }
 
-// normalize is the plan-cache key function: whitespace-insensitive at the
-// statement edges, semicolon-insensitive at the end.
+// normalize is the statement-fingerprint function: whitespace-insensitive at
+// the statement edges, semicolon-insensitive at the end.
 func normalize(sql string) string {
 	return strings.TrimRight(strings.TrimSpace(sql), "; \t\n")
+}
+
+// cacheKey is the plan-cache key: the normalized SQL prefixed with the
+// database's catalog epoch. Every DDL apply (CREATE/DROP TABLE, CREATE/DROP
+// INDEX) bumps the epoch, so cached plans from before the DDL miss instead
+// of executing against access paths or schemas that no longer exist; the
+// stale entries age out of the LRU on their own.
+func (s *Server) cacheKey(normalized string) string {
+	var epoch uint64
+	if s.sess.DB != nil {
+		epoch = s.sess.DB.CatalogEpoch()
+	}
+	return fmt.Sprintf("%d|%s", epoch, normalized)
 }
 
 // acquire implements admission control. It returns a release func once the
@@ -305,7 +318,8 @@ func (s *Server) Execute(ctx context.Context, name string, args ...any) (*sqlexe
 // Prepare/Execute.
 func (s *Server) Query(ctx context.Context, sql string) (*sqlexec.Result, error) {
 	key := normalize(sql)
-	if sel, ok := s.plans.get(key); ok {
+	ck := s.cacheKey(key)
+	if sel, ok := s.plans.get(ck); ok {
 		telemetry.SpanFromContext(ctx).SetAttr("plan_cache", "hit")
 		return s.run(ctx, key, func(ctx context.Context) (*sqlexec.Result, error) {
 			return s.sess.RunStatementContext(ctx, sel, sql)
@@ -317,7 +331,7 @@ func (s *Server) Query(ctx context.Context, sql string) (*sqlexec.Result, error)
 		return nil, err
 	}
 	if sel, ok := stmt.(*sqlparse.Select); ok && sel.NumParams == 0 {
-		s.plans.put(key, sel)
+		s.plans.put(ck, sel)
 	}
 	return s.run(ctx, key, func(ctx context.Context) (*sqlexec.Result, error) {
 		return s.sess.RunStatementContext(ctx, stmt, sql)

@@ -59,6 +59,44 @@ func TestServerQueryUsesPlanCache(t *testing.T) {
 	}
 }
 
+// DDL bumps the catalog epoch, which is part of the plan-cache key: a query
+// repeated across a CREATE INDEX (or any DDL) re-plans instead of reusing
+// the pre-DDL cache entry, so cached plans can never execute against access
+// paths that no longer exist.
+func TestServerPlanCacheInvalidatedByDDL(t *testing.T) {
+	s := testSession(t, 64, 1)
+	srv := New(s, Config{})
+	ctx := context.Background()
+	const q = `SELECT count(*) FROM px WHERE x >= 0.0`
+	if _, err := srv.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if srv.PlanCacheLen() != 1 {
+		t.Fatalf("plan cache len = %d, want 1", srv.PlanCacheLen())
+	}
+	if err := srv.Exec(ctx, `CREATE INDEX px_x ON px (x)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows()[0][0].(int64); got != 64 {
+		t.Fatalf("count = %d, want 64", got)
+	}
+	// A second entry under the new epoch proves the old one was not reused.
+	if srv.PlanCacheLen() != 2 {
+		t.Fatalf("plan cache len = %d, want 2 (pre- and post-DDL epochs)", srv.PlanCacheLen())
+	}
+	// Stable epoch: the post-DDL entry is shared by further repeats.
+	if _, err := srv.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if srv.PlanCacheLen() != 2 {
+		t.Fatalf("plan cache len = %d after repeat, want 2", srv.PlanCacheLen())
+	}
+}
+
 func TestServerPlanCacheBounded(t *testing.T) {
 	s := testSession(t, 16, 1)
 	srv := New(s, Config{PlanCacheSize: 2})

@@ -16,14 +16,21 @@ var diffDegrees = []int{1, 2, 4}
 
 // TestDifferentialEngineVsReference is the harness acceptance test: 600
 // generated queries, each rendered to SQL, re-parsed, executed by the naive
-// reference and by the engine at several parallel degrees, and compared
-// exactly — schema, row order, and float bits.
+// reference and by the engine — cost-based planner on AND off, at several
+// parallel degrees — and compared exactly: schema, row order, and float
+// bits. Every other table carries B-tree indexes, so the planner's
+// index-scan path runs against the same queries the legacy pipeline serves
+// with full scans.
 func TestDifferentialEngineVsReference(t *testing.T) {
 	defer parallel.SetDefaultDegree(0)
+	defer sqlexec.SetPlanner(true)
 	gen := NewGen(2026)
 	sizes := []int{0, 1, 7, 60, 200, 400}
 	const perTable = 50
-	const nQueries = 600
+	nQueries := 600
+	if *shortRun {
+		nQueries = 150
+	}
 	var errBoth, nonEmpty int
 	var db *FakeDB
 	for q := 0; q < nQueries; q++ {
@@ -33,6 +40,11 @@ func TestDifferentialEngineVsReference(t *testing.T) {
 			db, err = gen.Table(nrows)
 			if err != nil {
 				t.Fatalf("table gen: %v", err)
+			}
+			if (q/perTable)%2 == 0 {
+				if err := db.BuildIndexes("id", "a", "x", "s"); err != nil {
+					t.Fatalf("index build: %v", err)
+				}
 			}
 		}
 		built := gen.Query(len(db.SrcRows))
@@ -46,7 +58,88 @@ func TestDifferentialEngineVsReference(t *testing.T) {
 		ref, refErr := db.RunReference(sel)
 		for _, deg := range diffDegrees {
 			parallel.SetDefaultDegree(deg)
-			res, engErr := sqlexec.RunSelect(db, sel)
+			for _, planner := range []bool{true, false} {
+				sqlexec.SetPlanner(planner)
+				res, engErr := sqlexec.RunSelect(db, sel)
+				if (refErr != nil) != (engErr != nil) {
+					t.Fatalf("query %d %q degree %d planner=%v: error mismatch\n  reference: %v\n  engine:    %v",
+						q, sql, deg, planner, refErr, engErr)
+				}
+				if refErr != nil {
+					errBoth++
+					continue
+				}
+				compareResults(t, q, sql, deg, ref, res)
+				if ref != nil && len(ref.Rows) > 0 {
+					nonEmpty++
+				}
+			}
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("no generated query produced rows; generator is broken")
+	}
+	t.Logf("ran %d queries x %d degrees x planner on/off: %d error-agreement cases, %d non-empty results",
+		nQueries, len(diffDegrees), errBoth, nonEmpty)
+}
+
+// TestDifferentialJoinVsReference pins the hash-join path against a nested
+// -loop reference: 300 generated equi-join queries over t/u table pairs
+// (half of them indexed, some with NaN/-0.0 join keys), compared bitwise at
+// several parallel degrees. Joins only execute through the planner, so this
+// is the planner's acceptance harness for multi-table statements.
+func TestDifferentialJoinVsReference(t *testing.T) {
+	defer parallel.SetDefaultDegree(0)
+	gen := NewGen(77)
+	sizes := [][2]int{{0, 7}, {7, 0}, {1, 1}, {25, 60}, {60, 25}, {120, 90}}
+	const perPair = 25
+	nQueries := 300
+	if *shortRun {
+		nQueries = 75
+	}
+	var errBoth, nonEmpty int
+	var db *MultiDB
+	var lrows, rrows int
+	for q := 0; q < nQueries; q++ {
+		if q%perPair == 0 {
+			sz := sizes[(q/perPair)%len(sizes)]
+			lrows, rrows = sz[0], sz[1]
+			tdb, err := gen.JoinTable("t", lrows)
+			if err != nil {
+				t.Fatalf("table gen: %v", err)
+			}
+			udb, err := gen.JoinTable("u", rrows)
+			if err != nil {
+				t.Fatalf("table gen: %v", err)
+			}
+			// Index int and string columns on alternating pairs; float
+			// columns stay unindexed (join tables may hold NaN keys).
+			if (q/perPair)%2 == 0 {
+				if err := tdb.BuildIndexes("id", "a", "s"); err != nil {
+					t.Fatalf("index build: %v", err)
+				}
+				if err := udb.BuildIndexes("a", "b", "s"); err != nil {
+					t.Fatalf("index build: %v", err)
+				}
+			}
+			db = NewMultiDB(tdb, udb)
+		}
+		built := gen.JoinQuery(lrows, rrows)
+		sql := built.String()
+		// Two private ASTs: the reference canonicalizes its copy in place.
+		refStmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatalf("query %d: generated SQL %q failed to parse: %v", q, sql, err)
+		}
+		engStmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatalf("query %d: reparse %q: %v", q, sql, err)
+		}
+
+		ref, refErr := db.RunReference(refStmt.(*sqlparse.Select))
+		for _, deg := range diffDegrees {
+			parallel.SetDefaultDegree(deg)
+			res, engErr := sqlexec.RunSelect(db, engStmt.(*sqlparse.Select))
 			if (refErr != nil) != (engErr != nil) {
 				t.Fatalf("query %d %q degree %d: error mismatch\n  reference: %v\n  engine:    %v",
 					q, sql, deg, refErr, engErr)
@@ -56,15 +149,15 @@ func TestDifferentialEngineVsReference(t *testing.T) {
 				continue
 			}
 			compareResults(t, q, sql, deg, ref, res)
-			if ref != nil && len(ref.Rows) > 0 {
+			if len(ref.Rows) > 0 {
 				nonEmpty++
 			}
 		}
 	}
 	if nonEmpty == 0 {
-		t.Fatal("no generated query produced rows; generator is broken")
+		t.Fatal("no generated join produced rows; generator is broken")
 	}
-	t.Logf("ran %d queries x %d degrees: %d error-agreement cases, %d non-empty results",
+	t.Logf("ran %d join queries x %d degrees: %d error-agreement cases, %d non-empty results",
 		nQueries, len(diffDegrees), errBoth, nonEmpty)
 }
 

@@ -27,6 +27,9 @@ type FakeDB struct {
 	Segs    []*colstore.Segment
 	SrcRows [][]any
 	reg     *udf.Registry
+	// Svcs, when set, is exposed to the planner via Services — tests use it
+	// to hand a ShardInfoProvider stub to the dot-product-join path.
+	Svcs map[string]any
 }
 
 // NewFakeDB splits rows into nsegs contiguous segments with small blocks
@@ -90,7 +93,7 @@ func (db *FakeDB) UDFs() *udf.Registry { return db.reg }
 func (db *FakeDB) UDFInstancesPerNode() int { return 2 }
 
 // Services implements sqlexec.Database.
-func (db *FakeDB) Services() map[string]any { return nil }
+func (db *FakeDB) Services() map[string]any { return db.Svcs }
 
 // RefResult is the reference executor's output.
 type RefResult struct {

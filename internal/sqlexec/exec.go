@@ -11,6 +11,7 @@ import (
 	"verticadr/internal/catalog"
 	"verticadr/internal/colstore"
 	"verticadr/internal/parallel"
+	"verticadr/internal/plan"
 	"verticadr/internal/sqlparse"
 	"verticadr/internal/telemetry"
 	"verticadr/internal/udf"
@@ -90,6 +91,16 @@ func runSelect(ctx context.Context, db Database, sel *sqlparse.Select, prof *Pro
 	if err := verr.Canceled(ctx.Err()); err != nil {
 		return nil, err
 	}
+	// Joins only execute through the planner (hash-join path); planning
+	// errors for them surface to the user.
+	if len(sel.Joins) > 0 {
+		kind = "join"
+		p, err := plan.Build(sel, db)
+		if err != nil {
+			return nil, err
+		}
+		return execPlan(ctx, db, p, prof)
+	}
 	// UDTF query: exactly one projection which is a function call with OVER.
 	if fc := udtfCall(sel); fc != nil {
 		kind = "udtf"
@@ -107,6 +118,15 @@ func runSelect(ctx context.Context, db Database, sel *sqlparse.Select, prof *Pro
 	}
 	if agg {
 		kind = "aggregate"
+	}
+	if PlannerEnabled() {
+		if p, err := plan.Build(sel, db); err == nil {
+			return execPlan(ctx, db, p, prof)
+		}
+		// Planning failed: fall back to the fixed pipeline, which re-derives
+		// the statement and reports its richer validation errors.
+	}
+	if agg {
 		return runAggregate(ctx, db, sel, prof)
 	}
 	return runProjection(ctx, db, sel, prof)
@@ -209,6 +229,16 @@ func collectCols(sel *sqlparse.Select, schema colstore.Schema) ([]string, error)
 // pushable conjunct of an AND chain — for zone-map skipping), and returns
 // the concatenated surviving rows projected to `cols`.
 func scanTable(ctx context.Context, db Database, table string, cols []string, where sqlparse.Expr, prof *Profile) (*colstore.Batch, error) {
+	pushed, residual := extractPushdownConj(where)
+	return scanTableAccess(ctx, db, table, cols, pushed, nil, residual, prof)
+}
+
+// scanTableAccess is the scan engine under both pipelines: the fixed
+// pipeline passes one pushed predicate and no zone predicates; the planner
+// additionally passes every other pushable conjunct as a zone-map pruning
+// predicate (their conjuncts stay in residual — zone predicates only skip
+// whole blocks, never filter rows).
+func scanTableAccess(ctx context.Context, db Database, table string, cols []string, pushed *colstore.Pred, zone []colstore.Pred, residual sqlparse.Expr, prof *Profile) (*colstore.Batch, error) {
 	def, err := db.TableDef(table)
 	if err != nil {
 		return nil, err
@@ -222,7 +252,6 @@ func scanTable(ctx context.Context, db Database, table string, cols []string, wh
 		// one column rather than (nil = all) against an empty projection.
 		cols = []string{def.Schema[0].Name}
 	}
-	pushed, residual := extractPushdownConj(where)
 	outSchema, err := def.Schema.Project(cols)
 	if err != nil {
 		return nil, err
@@ -257,7 +286,7 @@ func scanTable(ctx context.Context, db Database, table string, cols []string, wh
 			}
 			local := colstore.NewBatch(mustProject(def.Schema, scanCols))
 			var idx []int // residual-filter scratch, reused across batches
-			err := seg.ParScanWithStatsCtx(ctx, scanCols, pushed, pool, &stats[i], func(b *colstore.Batch) error {
+			err := seg.ParScanZoneWithStatsCtx(ctx, scanCols, pushed, zone, pool, &stats[i], func(b *colstore.Batch) error {
 				if residual != nil {
 					keep, err := evalExpr(residual, b)
 					if err != nil {
@@ -311,6 +340,9 @@ func scanTable(ctx context.Context, db Database, table string, cols []string, wh
 	}
 	if pushed != nil {
 		detail += fmt.Sprintf(", pushdown %s %s %v", pushed.Col, pushed.Op, pushed.Val)
+	}
+	if len(zone) > 0 {
+		detail += fmt.Sprintf(", %d zone predicates", len(zone))
 	}
 	scanDone.Blocks = int64(merged.BlocksScanned)
 	scanDone.BlocksSkipped = int64(merged.BlocksSkipped)
@@ -368,11 +400,18 @@ func runProjection(ctx context.Context, db Database, sel *sqlparse.Select, prof 
 	if err != nil {
 		return nil, err
 	}
+	return projectBatch(ctx, sel, def.Schema, data, prof)
+}
+
+// projectBatch evaluates the projection items over scanned (or joined) rows.
+// starSchema is the schema `SELECT *` expands against — the table definition
+// under the fixed pipeline, the join output under the planner.
+func projectBatch(ctx context.Context, sel *sqlparse.Select, starSchema colstore.Schema, data *colstore.Batch, prof *Profile) (*Result, error) {
 	projDone := startOp(ctx, prof, "project")
 	out := &colstore.Batch{}
 	for i, item := range sel.Items {
 		if item.Star {
-			for _, c := range def.Schema {
+			for _, c := range starSchema {
 				ci := data.Schema.ColIndex(c.Name)
 				out.Schema = append(out.Schema, c)
 				out.Cols = append(out.Cols, data.Cols[ci])
@@ -607,16 +646,9 @@ type aggGroup struct {
 	states  []*aggState
 }
 
-func runAggregate(ctx context.Context, db Database, sel *sqlparse.Select, prof *Profile) (*Result, error) {
-	def, err := db.TableDef(sel.From)
-	if err != nil {
-		return nil, err
-	}
-	cols, err := collectCols(sel, def.Schema)
-	if err != nil {
-		return nil, err
-	}
-	// Validate projection shape: items are group-by columns or aggregates.
+// aggItemPlans validates the projection shape of an aggregate statement:
+// every item is either a group-by column or an aggregate function call.
+func aggItemPlans(sel *sqlparse.Select) ([]aggItemPlan, error) {
 	plans := make([]aggItemPlan, 0, len(sel.Items))
 	inGroup := func(name string) bool {
 		for _, g := range sel.GroupBy {
@@ -652,6 +684,22 @@ func runAggregate(ctx context.Context, db Database, sel *sqlparse.Select, prof *
 			return nil, fmt.Errorf("sqlexec: unsupported aggregate projection %s", item.Expr.String())
 		}
 	}
+	return plans, nil
+}
+
+func runAggregate(ctx context.Context, db Database, sel *sqlparse.Select, prof *Profile) (*Result, error) {
+	def, err := db.TableDef(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := collectCols(sel, def.Schema)
+	if err != nil {
+		return nil, err
+	}
+	plans, err := aggItemPlans(sel)
+	if err != nil {
+		return nil, err
+	}
 	// Run-aware fast path: with no WHERE and bare-column arguments, aggregate
 	// directly over encoded runs instead of materializing every row.
 	if res, handled, err := runAggregateRuns(ctx, db, sel, def, plans, prof); handled {
@@ -661,6 +709,13 @@ func runAggregate(ctx context.Context, db Database, sel *sqlparse.Select, prof *
 	if err != nil {
 		return nil, err
 	}
+	return aggregateBatch(ctx, sel, plans, data, prof)
+}
+
+// aggregateBatch runs the deterministic chunked partial aggregation over
+// already-scanned (or joined) rows. Chunk boundaries depend only on the row
+// count, so results are bitwise identical at every parallel degree.
+func aggregateBatch(ctx context.Context, sel *sqlparse.Select, plans []aggItemPlan, data *colstore.Batch, prof *Profile) (*Result, error) {
 	aggDone := startOp(ctx, prof, "aggregate")
 
 	// Evaluate aggregate argument vectors once.
@@ -768,7 +823,7 @@ func runAggregate(ctx context.Context, db Database, sel *sqlparse.Select, prof *
 	outTypes := make([]colstore.Type, len(plans))
 	for pi, p := range plans {
 		if p.isGroupCol {
-			outTypes[pi] = def.Schema[def.Schema.ColIndex(p.colName)].Type
+			outTypes[pi] = data.Schema[data.Schema.ColIndex(p.colName)].Type
 			continue
 		}
 		switch p.fn.Name {

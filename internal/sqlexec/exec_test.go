@@ -139,15 +139,16 @@ func TestConjunctionPushdownSkipsBlocks(t *testing.T) {
 	if !strings.Contains(got["scan"].Detail, "9 skipped") {
 		t.Fatalf("AND pushdown should still skip 9 blocks; scan detail %q", got["scan"].Detail)
 	}
-	if !strings.Contains(got["scan"].Detail, "pushdown x GE 900") &&
-		!strings.Contains(got["scan"].Detail, "pushdown x") {
+	if !strings.Contains(got["scan"].Detail, "pushdown ") {
 		t.Fatalf("scan detail %q should name the pushed predicate", got["scan"].Detail)
 	}
 	if _, ok := got["filter"]; !ok {
 		t.Fatal("residual conjunct should record a filter operator")
 	}
-	if !strings.Contains(got["filter"].Detail, "y") {
-		t.Fatalf("filter detail %q should reference residual column y", got["filter"].Detail)
+	// The planner pushes the most selective conjunct and re-filters the
+	// other; whichever it picked, the residual names the remaining column.
+	if !strings.Contains(got["filter"].Detail, "y") && !strings.Contains(got["filter"].Detail, "x") {
+		t.Fatalf("filter detail %q should reference the residual conjunct", got["filter"].Detail)
 	}
 }
 

@@ -1,0 +1,437 @@
+package sqlexec
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"verticadr/internal/colstore"
+	"verticadr/internal/plan"
+	"verticadr/internal/sqlparse"
+	"verticadr/internal/verr"
+)
+
+// The planner path: runSelect lowers a statement through internal/plan and
+// this file walks the resulting physical tree, reusing the fixed pipeline's
+// scan, aggregation, projection, sort, and limit kernels so planner-on and
+// planner-off results are bitwise identical. Joins and EXPLAIN always go
+// through the planner; plain single-table statements fall back to the fixed
+// pipeline when planning fails (or the planner is disabled).
+
+var plannerOn atomic.Bool
+
+func init() { plannerOn.Store(true) }
+
+// SetPlanner toggles the cost-based planner for single-table statements
+// (joins always plan). Off means the fixed first-pushable-conjunct pipeline
+// — the difftest uses the toggle to pin planner-on against planner-off.
+func SetPlanner(on bool) { plannerOn.Store(on) }
+
+// PlannerEnabled reports whether the cost-based planner is active.
+func PlannerEnabled() bool { return plannerOn.Load() }
+
+// RunPlanCtx executes an already-built plan (the server's plan cache keeps
+// physical plans, keyed by catalog epoch). Equivalent to RunSelectCtx over
+// p.Sel minus the planning step.
+func RunPlanCtx(ctx context.Context, db Database, p *plan.Plan) (*Result, error) {
+	var prof *Profile
+	if p.Sel.Profile {
+		prof = NewProfile("")
+	}
+	res, err := execPlan(ctx, db, p, prof)
+	if err != nil {
+		return nil, err
+	}
+	prof.finish()
+	res.Profile = prof
+	return res, nil
+}
+
+// RunExplainCtx plans the statement, executes it under a profile, and
+// renders the plan tree with estimated next to actual row counts — one text
+// row per operator, or a single JSON document row for EXPLAIN (FORMAT JSON).
+func RunExplainCtx(ctx context.Context, db Database, ex *sqlparse.Explain) (*Result, error) {
+	p, err := plan.Build(ex.Stmt, db)
+	if err != nil {
+		return nil, err
+	}
+	prof := NewProfile("")
+	if _, err := execPlan(ctx, db, p, prof); err != nil {
+		return nil, err
+	}
+	prof.finish()
+	var ops []plan.OpStat
+	for _, op := range prof.Ops() {
+		ops = append(ops, plan.OpStat{Op: op.Op, Rows: op.Rows})
+	}
+	actuals := p.MatchActuals(ops)
+	out := &colstore.Batch{
+		Schema: colstore.Schema{{Name: "QUERY PLAN", Type: colstore.TypeString}},
+		Cols:   []*colstore.Vector{colstore.NewVector(colstore.TypeString, 0)},
+	}
+	if ex.FormatJSON {
+		js, err := p.JSON(actuals)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Cols[0].AppendValue(string(js)); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, line := range p.Text(actuals) {
+			if err := out.Cols[0].AppendValue(line); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Result{Batch: out}, nil
+}
+
+// execPlan walks a physical plan. Sort and Limit nodes are not walked —
+// finishSelect applies them from the statement, exactly as the fixed
+// pipeline does — so the walker dispatches on the core operator under them.
+func execPlan(ctx context.Context, db Database, p *plan.Plan, prof *Profile) (*Result, error) {
+	sel := p.Sel
+	core := p.Root
+	for core.Op == plan.OpSort || core.Op == plan.OpLimit {
+		core = core.Children[0]
+	}
+	switch core.Op {
+	case plan.OpConst:
+		return runConstSelect(ctx, sel, prof)
+	case plan.OpUDTF, plan.OpDotProductJoin:
+		return runUDTF(ctx, db, sel, udtfCall(sel), prof)
+	case plan.OpAggregate:
+		plans, err := aggItemPlans(sel)
+		if err != nil {
+			return nil, err
+		}
+		in := core.Children[0]
+		// Run-aware fast path: the plan's Runs flag is advisory; the
+		// executor re-verifies and declines gracefully.
+		if core.Runs && in.Op == plan.OpSeqScan {
+			def, err := db.TableDef(in.Table)
+			if err != nil {
+				return nil, err
+			}
+			if res, handled, err := runAggregateRuns(ctx, db, sel, def, plans, prof); handled {
+				return res, err
+			}
+		}
+		data, err := execData(ctx, db, in, sel, prof)
+		if err != nil {
+			return nil, err
+		}
+		return aggregateBatch(ctx, sel, plans, data, prof)
+	case plan.OpProject:
+		in := core.Children[0]
+		data, err := execData(ctx, db, in, sel, prof)
+		if err != nil {
+			return nil, err
+		}
+		// SELECT * expands against the table definition for single-table
+		// scans (schema order, not reference order) and against the join
+		// output otherwise.
+		star := data.Schema
+		if in.Op != plan.OpHashJoin && in.Alias == "" {
+			def, err := db.TableDef(in.Table)
+			if err != nil {
+				return nil, err
+			}
+			star = def.Schema
+		}
+		return projectBatch(ctx, sel, star, data, prof)
+	}
+	return nil, fmt.Errorf("sqlexec: unexpected plan operator %s", core.Op)
+}
+
+// execData materializes the rows a scan or join subtree produces.
+func execData(ctx context.Context, db Database, n *plan.Node, sel *sqlparse.Select, prof *Profile) (*colstore.Batch, error) {
+	switch n.Op {
+	case plan.OpSeqScan, plan.OpIndexScan:
+		cols := n.Cols
+		if cols == nil {
+			def, err := db.TableDef(n.Table)
+			if err != nil {
+				return nil, err
+			}
+			cols, err = collectCols(sel, def.Schema)
+			if err != nil {
+				return nil, err
+			}
+		}
+		var data *colstore.Batch
+		var err error
+		if n.Op == plan.OpIndexScan {
+			data, err = scanTableIndex(ctx, db, n.Table, cols, n.Access, prof)
+		} else {
+			data, err = scanTableAccess(ctx, db, n.Table, cols, n.Access.Primary, n.Access.Zone, n.Access.Residual, prof)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if n.Alias != "" {
+			data = qualifySchema(data, n.Alias)
+		}
+		return data, nil
+	case plan.OpHashJoin:
+		l, err := execData(ctx, db, n.Children[0], sel, prof)
+		if err != nil {
+			return nil, err
+		}
+		r, err := execData(ctx, db, n.Children[1], sel, prof)
+		if err != nil {
+			return nil, err
+		}
+		return hashJoin(ctx, l, r, n, prof)
+	}
+	return nil, fmt.Errorf("sqlexec: unexpected plan input operator %s", n.Op)
+}
+
+// qualifySchema renames a scan's columns to their canonical "alias.column"
+// form for join execution. Vectors are shared, not copied.
+func qualifySchema(b *colstore.Batch, alias string) *colstore.Batch {
+	out := &colstore.Batch{Cols: b.Cols}
+	out.Schema = make(colstore.Schema, len(b.Schema))
+	for i, c := range b.Schema {
+		out.Schema[i] = colstore.ColumnSchema{Name: alias + "." + c.Name, Type: c.Type}
+	}
+	return out
+}
+
+// scanTableIndex serves a table scan through a B-tree secondary index:
+// per segment, Lookup yields matching row positions in scan order and
+// GatherRows decodes only the blocks holding them — O(log n + k) against
+// the full scan's O(n). Segments missing the index (possible mid-DDL or
+// mid-recovery) fall back to a full pushdown scan; row order per segment is
+// identical either way, so results match the sequential path bitwise.
+func scanTableIndex(ctx context.Context, db Database, table string, cols []string, acc *plan.Access, prof *Profile) (*colstore.Batch, error) {
+	def, err := db.TableDef(table)
+	if err != nil {
+		return nil, err
+	}
+	segs, err := db.Segments(table)
+	if err != nil {
+		return nil, err
+	}
+	if len(cols) == 0 {
+		cols = []string{def.Schema[0].Name}
+	}
+	if _, err := def.Schema.Project(cols); err != nil {
+		return nil, err
+	}
+	scanCols := cols
+	if acc.Residual != nil {
+		extra, err := collectCols(&sqlparse.Select{Where: acc.Residual}, def.Schema)
+		if err != nil {
+			return nil, err
+		}
+		scanCols = union(cols, extra)
+	}
+	scanDone := startOp(ctx, prof, "scan")
+	gathered := colstore.NewBatch(mustProject(def.Schema, scanCols))
+	var merged colstore.ScanStats
+	fellBack := 0
+	for _, seg := range segs {
+		if err := verr.Canceled(ctx.Err()); err != nil {
+			return nil, err
+		}
+		var st colstore.ScanStats
+		var rowids []uint32
+		var handled bool
+		if acc.Primary2 != nil {
+			rowids, handled = seg.IndexLookupRange(acc.Primary, acc.Primary2)
+		} else {
+			rowids, handled = seg.IndexLookup(acc.Primary)
+		}
+		if !handled {
+			fellBack++
+			var zone []colstore.Pred
+			if acc.Primary2 != nil {
+				// The upper bound prunes blocks here; its conjunct in
+				// Residual keeps the rows exact.
+				zone = []colstore.Pred{*acc.Primary2}
+			}
+			err := seg.ScanZoneWithStatsCtx(ctx, scanCols, acc.Primary, zone, &st, gathered.AppendBatch)
+			if err != nil {
+				return nil, err
+			}
+			merged.Add(st)
+			continue
+		}
+		b, err := seg.GatherRows(scanCols, rowids, &st)
+		if err != nil {
+			return nil, err
+		}
+		if err := gathered.AppendBatch(b); err != nil {
+			return nil, err
+		}
+		merged.Add(st)
+	}
+	probe := fmt.Sprintf("%s %v", acc.Primary.Op, acc.Primary.Val)
+	if acc.Primary2 != nil {
+		probe += fmt.Sprintf(" AND %s %v", acc.Primary2.Op, acc.Primary2.Val)
+	}
+	detail := fmt.Sprintf("index(%s) %s, %d segments, %d blocks decoded, %d untouched, %d KB",
+		acc.IndexCol, probe,
+		len(segs), merged.BlocksScanned, merged.BlocksSkipped, merged.BytesRead/1024)
+	if merged.TailRows > 0 {
+		detail += fmt.Sprintf(", %d tail rows", merged.TailRows)
+	}
+	if fellBack > 0 {
+		detail += fmt.Sprintf(", %d segments without index scanned", fellBack)
+	}
+	scanDone.Blocks = int64(merged.BlocksScanned)
+	scanDone.BlocksSkipped = int64(merged.BlocksSkipped)
+	scanDone.Bytes = int64(merged.BytesRead)
+	scanDone.Parallel = 1
+	scanDone.Done(int64(gathered.Len()), detail)
+	out := gathered
+	if acc.Residual != nil {
+		filterDone := startOp(ctx, prof, "filter")
+		keep, err := evalExpr(acc.Residual, gathered)
+		if err != nil {
+			return nil, err
+		}
+		if keep.Type != colstore.TypeBool {
+			return nil, fmt.Errorf("sqlexec: WHERE clause is not boolean")
+		}
+		var idx []int
+		for r, k := range keep.Bools {
+			if k {
+				idx = append(idx, r)
+			}
+		}
+		out = colstore.NewBatch(gathered.Schema)
+		if err := out.AppendGather(gathered, idx); err != nil {
+			return nil, err
+		}
+		filterDone.Done(int64(out.Len()), fmt.Sprintf("residual WHERE %s", acc.Residual.String()))
+	}
+	return out.Project(cols)
+}
+
+// hashJoin joins two materialized sides on single equality keys, emitting
+// matches in probe-row-major, build-row-ascending order — exactly what a
+// nested-loop join over the same inputs produces, so results are
+// deterministic and reference-checkable. Key equality follows the engine's
+// CompareValues semantics: ints compare exactly, mixed int/float widens to
+// float64, ±0.0 coincide, and NaN compares equal to everything — NaN rows go
+// to side lists that match all rows of the other side.
+func hashJoin(ctx context.Context, left, right *colstore.Batch, n *plan.Node, prof *Profile) (*colstore.Batch, error) {
+	joinDone := startOp(ctx, prof, "join")
+	li := left.Schema.ColIndex(n.LeftKey)
+	ri := right.Schema.ColIndex(n.RightKey)
+	if li < 0 || ri < 0 {
+		return nil, fmt.Errorf("sqlexec: join keys %s, %s not in scan output", n.LeftKey, n.RightKey)
+	}
+	lv, rv := left.Cols[li], right.Cols[ri]
+	norm, err := joinKeyNormalizer(lv.Type, rv.Type, n.LeftKey, n.RightKey)
+	if err != nil {
+		return nil, err
+	}
+	ht := make(map[any][]int, right.Len())
+	var nanBuild []int
+	for j, nr := 0, right.Len(); j < nr; j++ {
+		k, isNaN := norm(rv.Value(j))
+		if isNaN {
+			nanBuild = append(nanBuild, j)
+			continue
+		}
+		ht[k] = append(ht[k], j)
+	}
+	var lIdx, rIdx []int
+	emit := func(i, j int) { lIdx = append(lIdx, i); rIdx = append(rIdx, j) }
+	for i, nl := 0, left.Len(); i < nl; i++ {
+		if i%4096 == 0 {
+			if err := verr.Canceled(ctx.Err()); err != nil {
+				return nil, err
+			}
+		}
+		k, isNaN := norm(lv.Value(i))
+		if isNaN {
+			for j, nr := 0, right.Len(); j < nr; j++ {
+				emit(i, j)
+			}
+			continue
+		}
+		matches := ht[k]
+		if len(nanBuild) == 0 {
+			for _, j := range matches {
+				emit(i, j)
+			}
+			continue
+		}
+		// Merge equal-key rows with the match-everything NaN rows, keeping
+		// ascending build order.
+		a, b := 0, 0
+		for a < len(matches) || b < len(nanBuild) {
+			if a == len(matches) || (b < len(nanBuild) && nanBuild[b] < matches[a]) {
+				emit(i, nanBuild[b])
+				b++
+			} else {
+				emit(i, matches[a])
+				a++
+			}
+		}
+	}
+	lg := left.Gather(lIdx)
+	rg := right.Gather(rIdx)
+	out := &colstore.Batch{
+		Schema: append(append(colstore.Schema{}, lg.Schema...), rg.Schema...),
+		Cols:   append(append([]*colstore.Vector{}, lg.Cols...), rg.Cols...),
+	}
+	joinDone.Done(int64(out.Len()), fmt.Sprintf("%s = %s, %d build rows", n.LeftKey, n.RightKey, right.Len()))
+	if n.Residual != nil {
+		filterDone := startOp(ctx, prof, "filter")
+		keep, err := evalExpr(n.Residual, out)
+		if err != nil {
+			return nil, err
+		}
+		if keep.Type != colstore.TypeBool {
+			return nil, fmt.Errorf("sqlexec: WHERE clause is not boolean")
+		}
+		var idx []int
+		for r, k := range keep.Bools {
+			if k {
+				idx = append(idx, r)
+			}
+		}
+		out = out.Gather(idx)
+		filterDone.Done(int64(out.Len()), fmt.Sprintf("join filter %s", n.Residual.String()))
+	}
+	return out, nil
+}
+
+// joinKeyNormalizer returns a function mapping a key value to a hashable map
+// key such that two values normalize identically iff CompareValues reports
+// them equal — NaN excepted, which is reported separately (it "equals"
+// every value under the engine's ordering).
+func joinKeyNormalizer(lt, rt colstore.Type, lk, rk string) (func(any) (any, bool), error) {
+	numeric := func(t colstore.Type) bool { return t == colstore.TypeInt64 || t == colstore.TypeFloat64 }
+	switch {
+	case lt == colstore.TypeInt64 && rt == colstore.TypeInt64:
+		return func(v any) (any, bool) { return v, false }, nil
+	case numeric(lt) && numeric(rt):
+		return func(v any) (any, bool) {
+			var f float64
+			switch x := v.(type) {
+			case int64:
+				f = float64(x)
+			case float64:
+				f = x
+			}
+			if math.IsNaN(f) {
+				return nil, true
+			}
+			if f == 0 {
+				f = 0 // collapse -0.0 into +0.0
+			}
+			return f, false
+		}, nil
+	case lt == rt: // string = string, bool = bool
+		return func(v any) (any, bool) { return v, false }, nil
+	}
+	return nil, fmt.Errorf("sqlexec: join keys %s (%v) and %s (%v) are not comparable", lk, lt, rk, rt)
+}

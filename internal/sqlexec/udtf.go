@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"verticadr/internal/colstore"
+	"verticadr/internal/plan"
 	"verticadr/internal/sqlparse"
 	"verticadr/internal/udf"
 	"verticadr/internal/verr"
@@ -62,10 +63,16 @@ func runUDTF(ctx context.Context, db Database, sel *sqlparse.Select, fc *sqlpars
 	if err != nil {
 		return nil, err
 	}
-	// WHERE filters the UDTF's input rows before partitioning: one conjunct
-	// pushes down to the storage scan (zone-map skipping + compressed
-	// evaluation), the rest evaluates as a residual over the scanned batch.
-	pushed, residual := extractPushdownConj(sel.Where)
+	// WHERE filters the UDTF's input rows before partitioning: the planner's
+	// access chooser pushes the most selective pushable conjunct down to the
+	// storage scan exactly (zone-map skipping + compressed evaluation) and
+	// every other pushable conjunct as a zone-map-only pruning predicate;
+	// the rest evaluates as a residual over the scanned batch.
+	acc, err := plan.ScanAccess(db, sel.From, sel.Where, true)
+	if err != nil {
+		return nil, err
+	}
+	pushed, zone, residual := acc.Primary, acc.Zone, acc.Residual
 	if sel.Where != nil {
 		if _, err := collectCols(&sqlparse.Select{Where: sel.Where}, def.Schema); err != nil {
 			return nil, err
@@ -97,7 +104,7 @@ func runUDTF(ctx context.Context, db Database, sel *sqlparse.Select, fc *sqlpars
 	var scanRows int64
 	var parts []partition
 	for node, seg := range segs {
-		raw, err := readSegment(ctx, seg, need, def.Schema, pushed, residual, &scanStats)
+		raw, err := readSegment(ctx, seg, need, def.Schema, pushed, zone, residual, &scanStats)
 		if err != nil {
 			return nil, err
 		}
@@ -173,6 +180,9 @@ func runUDTF(ctx context.Context, db Database, sel *sqlparse.Select, fc *sqlpars
 	}
 	if pushed != nil {
 		scanDetail += fmt.Sprintf(", pushdown %s %s %v", pushed.Col, pushed.Op, pushed.Val)
+	}
+	if len(zone) > 0 {
+		scanDetail += fmt.Sprintf(", %d zone predicates", len(zone))
 	}
 	scanDone.Done(scanRows, scanDetail)
 
@@ -280,14 +290,14 @@ func (r *viewReader) Next() (*colstore.Batch, error) {
 	return &r.view, nil
 }
 
-func readSegment(ctx context.Context, seg *colstore.Segment, cols []string, schema colstore.Schema, pushed *colstore.Pred, residual sqlparse.Expr, st *colstore.ScanStats) (*colstore.Batch, error) {
+func readSegment(ctx context.Context, seg *colstore.Segment, cols []string, schema colstore.Schema, pushed *colstore.Pred, zone []colstore.Pred, residual sqlparse.Expr, st *colstore.ScanStats) (*colstore.Batch, error) {
 	if len(cols) == 0 {
 		// UDTF with no arguments still needs the row count; scan one column.
 		cols = []string{schema[0].Name}
 	}
 	out := colstore.NewBatch(mustProject(schema, cols))
 	var idx []int // residual-filter scratch, reused across batches
-	err := seg.ScanWithStatsCtx(ctx, cols, pushed, st, func(b *colstore.Batch) error {
+	err := seg.ScanZoneWithStatsCtx(ctx, cols, pushed, zone, st, func(b *colstore.Batch) error {
 		if residual != nil {
 			keep, err := evalExpr(residual, b)
 			if err != nil {

@@ -35,6 +35,32 @@ type DropTable struct{ Name string }
 
 func (*DropTable) stmtNode() {}
 
+// CreateIndex is CREATE INDEX name ON table (column): a secondary B-tree
+// index over one column of one table.
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Column string
+}
+
+func (*CreateIndex) stmtNode() {}
+
+// DropIndex is DROP INDEX name.
+type DropIndex struct{ Name string }
+
+func (*DropIndex) stmtNode() {}
+
+// Explain is EXPLAIN [(FORMAT JSON)] SELECT ...: the executor plans (and
+// runs) the inner statement and returns the physical plan — one row per
+// rendered line in text mode, a single JSON document in JSON mode — instead
+// of the query's rows.
+type Explain struct {
+	FormatJSON bool
+	Stmt       *Select
+}
+
+func (*Explain) stmtNode() {}
+
 // Insert is INSERT INTO name [(cols)] VALUES (...), (...).
 type Insert struct {
 	Table   string
@@ -57,14 +83,24 @@ type SelectItem struct {
 	Alias string
 }
 
-// Select is a SELECT statement over at most one table.
+// Join is one JOIN clause: an inner equi-join against another table.
+type Join struct {
+	Table string
+	Alias string // "" when the table name itself qualifies columns
+	On    Expr
+}
+
+// Select is a SELECT statement over at most one base table plus any number
+// of inner joins.
 type Select struct {
-	Items   []SelectItem
-	From    string // empty for table-less SELECT (e.g. SELECT 1+1)
-	Where   Expr
-	GroupBy []string
-	OrderBy []OrderItem
-	Limit   int // -1 when absent
+	Items     []SelectItem
+	From      string // empty for table-less SELECT (e.g. SELECT 1+1)
+	FromAlias string // optional alias for the base table
+	Joins     []Join
+	Where     Expr
+	GroupBy   []string
+	OrderBy   []OrderItem
+	Limit     int // -1 when absent
 	// Profile marks a PROFILE SELECT ...: the executor collects per-operator
 	// row counts and timings and attaches them to the result.
 	Profile bool
@@ -109,13 +145,22 @@ func quoteIdent(name string) string {
 	return `"` + name + `"`
 }
 
-// ColRef references a column by name.
-type ColRef struct{ Name string }
+// ColRef references a column by name, optionally qualified by a table name
+// or alias (Table is "" when unqualified).
+type ColRef struct {
+	Table string
+	Name  string
+}
 
 func (*ColRef) exprNode() {}
 
-// String returns the column name, quoted when necessary.
-func (c *ColRef) String() string { return quoteIdent(c.Name) }
+// String returns the (possibly qualified) column name, quoted when necessary.
+func (c *ColRef) String() string {
+	if c.Table != "" {
+		return quoteIdent(c.Table) + "." + quoteIdent(c.Name)
+	}
+	return quoteIdent(c.Name)
+}
 
 // NumberLit is a numeric literal; IsInt distinguishes INTEGER from FLOAT.
 type NumberLit struct {
@@ -288,6 +333,20 @@ func (sel *Select) String() string {
 	if sel.From != "" {
 		sb.WriteString(" FROM ")
 		sb.WriteString(quoteIdent(sel.From))
+		if sel.FromAlias != "" {
+			sb.WriteString(" AS ")
+			sb.WriteString(quoteIdent(sel.FromAlias))
+		}
+		for _, j := range sel.Joins {
+			sb.WriteString(" JOIN ")
+			sb.WriteString(quoteIdent(j.Table))
+			if j.Alias != "" {
+				sb.WriteString(" AS ")
+				sb.WriteString(quoteIdent(j.Alias))
+			}
+			sb.WriteString(" ON ")
+			sb.WriteString(j.On.String())
+		}
 	}
 	if sel.Where != nil {
 		sb.WriteString(" WHERE ")

@@ -23,9 +23,19 @@ func BindSelect(sel *Select, args []any) (*Select, error) {
 	}
 	out := &Select{
 		From:      sel.From,
+		FromAlias: sel.FromAlias,
 		Limit:     sel.Limit,
 		Profile:   sel.Profile,
 		NumParams: 0, // fully bound
+	}
+	if len(sel.Joins) > 0 {
+		out.Joins = make([]Join, len(sel.Joins))
+		for i, j := range sel.Joins {
+			out.Joins[i] = Join{Table: j.Table, Alias: j.Alias}
+			if j.On != nil {
+				out.Joins[i].On = bindExpr(j.On, lits)
+			}
+		}
 	}
 	out.Items = make([]SelectItem, len(sel.Items))
 	for i, it := range sel.Items {

@@ -18,6 +18,9 @@ func TestSelectStringRoundTrip(t *testing.T) {
 		"SELECT glmPredict(a, b USING PARAMETERS model='m', beta=2) OVER (PARTITION BEST) FROM t",
 		"SELECT f() OVER (), g(x) OVER (PARTITION BY a, b) FROM t",
 		"SELECT -a + 1.5e3 FROM t WHERE NOT NOT flag",
+		"SELECT t.a, u.b FROM t JOIN u ON t.id = u.id WHERE t.a > 1",
+		"SELECT x.a FROM t AS x JOIN t AS y ON x.id = y.id GROUP BY \"x.a\" ORDER BY \"x.a\" DESC",
+		"SELECT a FROM t JOIN u ON t.k = u.k JOIN v ON u.k2 = v.k2",
 	}
 	for _, q := range queries {
 		stmt, err := Parse(q)
@@ -50,6 +53,11 @@ func FuzzParseSelect(f *testing.F) {
 	f.Add("SELECT fn(a USING PARAMETERS k='v') OVER (PARTITION BEST) FROM t")
 	f.Add(`SELECT "wei rd", - - 1e-4 FROM "from"`)
 	f.Add("SELECT * FROM t;")
+	f.Add("SELECT t.a FROM t JOIN u ON t.id = u.id")
+	f.Add("SELECT a FROM t AS x JOIN t y ON x.id = y.id GROUP BY x.a")
+	f.Add("EXPLAIN (FORMAT JSON) SELECT a FROM t WHERE a = 1")
+	f.Add("CREATE INDEX i ON t (a)")
+	f.Add("DROP INDEX i")
 	f.Fuzz(func(t *testing.T, input string) {
 		stmt, err := Parse(input)
 		if err != nil {

@@ -42,7 +42,8 @@ var keywords = map[string]bool{
 	"VALUES": true, "SEGMENTED": true, "HASH": true, "ROUND": true,
 	"ROBIN": true, "USING": true, "PARAMETERS": true, "OVER": true,
 	"PARTITION": true, "BEST": true, "NULL": true, "DISTINCT": true,
-	"PROFILE": true,
+	"PROFILE": true, "JOIN": true, "ON": true, "INDEX": true,
+	"EXPLAIN": true, "FORMAT": true,
 }
 
 var symbols = []string{"<=", ">=", "<>", "!=", "(", ")", ",", ";", "*", "+", "-", "/", "=", "<", ">", ".", "?"}

@@ -81,6 +81,8 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseInsert()
 	case "SELECT":
 		return p.parseSelect()
+	case "EXPLAIN":
+		return p.parseExplain()
 	case "PROFILE":
 		p.next()
 		if p.cur().Kind != TokKeyword || p.cur().Text != "SELECT" {
@@ -106,8 +108,62 @@ func (p *parser) parseIdent() (string, error) {
 	return "", p.errf("expected identifier, found %q", t.Text)
 }
 
+// parseExplain parses EXPLAIN [(FORMAT JSON)] SELECT ... . JSON is matched
+// case-insensitively as a plain identifier (it is not a reserved word).
+func (p *parser) parseExplain() (Statement, error) {
+	p.next() // EXPLAIN
+	ex := &Explain{}
+	if p.accept(TokSymbol, "(") {
+		if _, err := p.expect(TokKeyword, "FORMAT"); err != nil {
+			return nil, err
+		}
+		t := p.cur()
+		if t.Kind != TokIdent || !strings.EqualFold(t.Text, "JSON") {
+			return nil, p.errf("expected JSON after FORMAT, found %q", t.Text)
+		}
+		p.pos++
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		ex.FormatJSON = true
+	}
+	if p.cur().Kind != TokKeyword || p.cur().Text != "SELECT" {
+		return nil, p.errf("EXPLAIN must be followed by SELECT, found %q", p.cur().Text)
+	}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	ex.Stmt = stmt.(*Select)
+	return ex, nil
+}
+
 func (p *parser) parseCreate() (Statement, error) {
 	p.next() // CREATE
+	if p.accept(TokKeyword, "INDEX") {
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		col, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &CreateIndex{Name: name, Table: table, Column: col}, nil
+	}
 	if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
 		return nil, err
 	}
@@ -169,6 +225,13 @@ func (p *parser) parseCreate() (Statement, error) {
 
 func (p *parser) parseDrop() (Statement, error) {
 	p.next() // DROP
+	if p.accept(TokKeyword, "INDEX") {
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &DropIndex{Name: name}, nil
+	}
 	if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
 		return nil, err
 	}
@@ -254,6 +317,28 @@ func (p *parser) parseSelect() (Statement, error) {
 			return nil, err
 		}
 		sel.From = name
+		if alias, ok := p.acceptAlias(); ok {
+			sel.FromAlias = alias
+		}
+		for p.accept(TokKeyword, "JOIN") {
+			jt, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			j := Join{Table: jt}
+			if alias, ok := p.acceptAlias(); ok {
+				j.Alias = alias
+			}
+			if _, err := p.expect(TokKeyword, "ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			j.On = on
+			sel.Joins = append(sel.Joins, j)
+		}
 	}
 	if p.accept(TokKeyword, "WHERE") {
 		e, err := p.parseExpr()
@@ -267,7 +352,7 @@ func (p *parser) parseSelect() (Statement, error) {
 			return nil, err
 		}
 		for {
-			c, err := p.parseIdent()
+			c, err := p.parseColName()
 			if err != nil {
 				return nil, err
 			}
@@ -282,7 +367,7 @@ func (p *parser) parseSelect() (Statement, error) {
 			return nil, err
 		}
 		for {
-			c, err := p.parseIdent()
+			c, err := p.parseColName()
 			if err != nil {
 				return nil, err
 			}
@@ -310,6 +395,40 @@ func (p *parser) parseSelect() (Statement, error) {
 		sel.Limit = n
 	}
 	return sel, nil
+}
+
+// acceptAlias consumes an optional table alias: AS ident, or a bare ident
+// (keywords such as JOIN / WHERE never alias, so the clause grammar stays
+// unambiguous). AS with no identifier is left for the caller's next expect
+// to report.
+func (p *parser) acceptAlias() (string, bool) {
+	if p.cur().Kind == TokKeyword && p.cur().Text == "AS" &&
+		p.toks[p.pos+1].Kind == TokIdent {
+		p.pos += 2
+		return p.toks[p.pos-1].Text, true
+	}
+	if p.cur().Kind == TokIdent {
+		return p.next().Text, true
+	}
+	return "", false
+}
+
+// parseColName parses a possibly-qualified column name for GROUP BY / ORDER
+// BY, returning the dotted form ("t.c") for qualified references. A quoted
+// identifier containing a dot denotes the same dotted name.
+func (p *parser) parseColName() (string, error) {
+	c, err := p.parseIdent()
+	if err != nil {
+		return "", err
+	}
+	if p.accept(TokSymbol, ".") {
+		c2, err := p.parseIdent()
+		if err != nil {
+			return "", err
+		}
+		return c + "." + c2, nil
+	}
+	return c, nil
 }
 
 func (p *parser) parseSelectItem() (SelectItem, error) {
@@ -501,6 +620,14 @@ func (p *parser) parsePrimary() (Expr, error) {
 		p.pos++
 		if p.cur().Kind == TokSymbol && p.cur().Text == "(" {
 			return p.parseFuncCall(t.Text)
+		}
+		if p.cur().Kind == TokSymbol && p.cur().Text == "." {
+			p.pos++
+			name, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Table: t.Text, Name: name}, nil
 		}
 		return &ColRef{Name: t.Text}, nil
 	default:

@@ -286,6 +286,106 @@ func TestQuickParseTotal(t *testing.T) {
 	}
 }
 
+func TestParseCreateDropIndex(t *testing.T) {
+	stmt, err := Parse(`CREATE INDEX idx_a ON t (a)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, ok := stmt.(*CreateIndex)
+	if !ok || ci.Name != "idx_a" || ci.Table != "t" || ci.Column != "a" {
+		t.Fatalf("got %#v", stmt)
+	}
+	stmt, err = Parse(`DROP INDEX idx_a;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if di, ok := stmt.(*DropIndex); !ok || di.Name != "idx_a" {
+		t.Fatalf("got %#v", stmt)
+	}
+	for _, bad := range []string{
+		"CREATE INDEX ON t (a)",
+		"CREATE INDEX i t (a)",
+		"CREATE INDEX i ON t a",
+		"CREATE INDEX i ON t (a, b)",
+		"DROP INDEX",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("expected parse error for %q", bad)
+		}
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	stmt, err := Parse(`EXPLAIN SELECT a FROM t WHERE a = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := stmt.(*Explain)
+	if !ok || ex.FormatJSON || ex.Stmt == nil || ex.Stmt.From != "t" {
+		t.Fatalf("got %#v", stmt)
+	}
+	stmt, err = Parse(`EXPLAIN (FORMAT JSON) SELECT COUNT(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex = stmt.(*Explain)
+	if !ex.FormatJSON {
+		t.Fatal("FORMAT JSON not recognized")
+	}
+	if _, err := Parse(`EXPLAIN (FORMAT json) SELECT 1`); err != nil {
+		t.Fatalf("json should match case-insensitively: %v", err)
+	}
+	for _, bad := range []string{
+		"EXPLAIN DROP TABLE t",
+		"EXPLAIN (FORMAT XML) SELECT 1",
+		"EXPLAIN (JSON) SELECT 1",
+		"EXPLAIN",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("expected parse error for %q", bad)
+		}
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	stmt, err := Parse(`SELECT t.a, u.b FROM t JOIN u ON t.id = u.id WHERE t.a > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*Select)
+	if sel.From != "t" || len(sel.Joins) != 1 || sel.Joins[0].Table != "u" {
+		t.Fatalf("sel = %+v", sel)
+	}
+	on := sel.Joins[0].On.(*Binary)
+	if on.Op != "=" || on.L.(*ColRef).Table != "t" || on.R.(*ColRef).Name != "id" {
+		t.Fatalf("on = %+v", on)
+	}
+	if c := sel.Items[1].Expr.(*ColRef); c.Table != "u" || c.Name != "b" {
+		t.Fatalf("item = %+v", c)
+	}
+
+	stmt, err = Parse(`SELECT x.a FROM t AS x JOIN t y ON x.id = y.id GROUP BY x.a ORDER BY x.a DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel = stmt.(*Select)
+	if sel.FromAlias != "x" || sel.Joins[0].Alias != "y" {
+		t.Fatalf("aliases = %q %q", sel.FromAlias, sel.Joins[0].Alias)
+	}
+	if sel.GroupBy[0] != "x.a" || sel.OrderBy[0].Col != "x.a" {
+		t.Fatalf("dotted names: %v %v", sel.GroupBy, sel.OrderBy)
+	}
+	for _, bad := range []string{
+		"SELECT a FROM t JOIN u",
+		"SELECT a FROM t JOIN ON t.id = u.id",
+		"SELECT a FROM t JOIN u ON",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("expected parse error for %q", bad)
+		}
+	}
+}
+
 func TestParseProfile(t *testing.T) {
 	stmt, err := Parse(`PROFILE SELECT a FROM t WHERE a > 1`)
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"verticadr/internal/catalog"
 	"verticadr/internal/colstore"
@@ -62,10 +63,12 @@ type DB struct {
 	cat      *catalog.Catalog
 	udfs     *udf.Registry
 	fs       *dfs.DFS
-	mu       sync.RWMutex // guards split, services, committers
+	mu       sync.RWMutex // guards split, services, committers, indexes
 	store    *txn.Store
 	split    map[string]*catalog.Splitter
 	services map[string]any
+	indexes  map[string]IndexDef
+	epoch    atomic.Uint64 // bumped by every DDL apply; see CatalogEpoch
 
 	// Durability (nil/zero for in-memory databases).
 	wal        *wal.Writer
@@ -106,6 +109,7 @@ func Open(cfg Config) (*DB, error) {
 		store:      txn.NewStore(),
 		split:      make(map[string]*catalog.Splitter),
 		services:   make(map[string]any),
+		indexes:    make(map[string]IndexDef),
 		committers: make(map[string]*committer),
 	}
 	db.services["dfs"] = fs
@@ -206,6 +210,7 @@ func (db *DB) applyCreate(def *catalog.TableDef) error {
 	db.split[def.Name] = sp
 	db.mu.Unlock()
 	db.store.Put(def.Name, segs)
+	db.epoch.Add(1)
 	return nil
 }
 
@@ -232,6 +237,8 @@ func (db *DB) applyDrop(name string) error {
 	delete(db.split, name)
 	db.mu.Unlock()
 	db.store.Drop(name)
+	db.dropTableIndexMeta(name)
+	db.epoch.Add(1)
 	return nil
 }
 
@@ -426,10 +433,18 @@ func (db *DB) RunStatement(ctx context.Context, stmt sqlparse.Statement, sql str
 			res.Profile.Query = strings.TrimRight(strings.TrimSpace(sql), ";")
 		}
 		return res, err
+	case *sqlparse.Explain:
+		sv := db.snapshotView()
+		defer sv.close()
+		return sqlexec.RunExplainCtx(ctx, sv, s)
 	case *sqlparse.CreateTable:
 		return emptyResult(), db.execCreate(s)
 	case *sqlparse.DropTable:
 		return emptyResult(), db.DropTable(s.Name)
+	case *sqlparse.CreateIndex:
+		return emptyResult(), db.CreateIndex(s.Name, s.Table, s.Column)
+	case *sqlparse.DropIndex:
+		return emptyResult(), db.DropIndex(s.Name)
 	case *sqlparse.Insert:
 		return emptyResult(), db.execInsert(s)
 	default:

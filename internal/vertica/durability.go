@@ -305,6 +305,18 @@ func (db *DB) applyWALRecord(lsn uint64, typ byte, body []byte) error {
 			return err
 		}
 		return db.applyLoad(table, parts)
+	case recCreateIndex:
+		name, table, column, err := decodeIndexDDL(body)
+		if err != nil {
+			return err
+		}
+		return db.applyCreateIndex(name, table, column)
+	case recDropIndex:
+		name, table, column, err := decodeIndexDDL(body)
+		if err != nil {
+			return err
+		}
+		return db.applyDropIndex(name, table, column)
 	case recBlobPut:
 		path, data, err := decodeBlobPut(body)
 		if err != nil {
@@ -355,6 +367,12 @@ func (db *DB) loadCheckpointImage(dir string) error {
 				return fmt.Errorf("table %q node %d: segment schema drift", pt.Name, node)
 			}
 			segs[node] = seg
+		}
+		// Reattach secondary indexes before publishing: checkpointed .vidx
+		// trees load directly, anything missing or corrupt rebuilds from the
+		// segment data just read.
+		if err := db.restoreIndexes(filepath.Join(dir, "tables", pt.Name), pc.Indexes, pt.Name, segs); err != nil {
+			return err
 		}
 		db.store.Put(pt.Name, segs)
 	}
@@ -414,6 +432,7 @@ func (db *DB) Checkpoint() (uint64, error) {
 		}
 		defs = append(defs, def)
 	}
+	idxs := db.Indexes()
 	blobs := make(map[string][]byte)
 	for _, info := range db.fs.List() {
 		data, err := db.fs.Read(info.Name)
@@ -437,7 +456,7 @@ func (db *DB) Checkpoint() (uint64, error) {
 	if err := os.MkdirAll(full, 0o755); err != nil {
 		return 0, err
 	}
-	manifest, err := encodeCatalogManifest(db.cfg.Nodes, defs)
+	manifest, err := encodeCatalogManifest(db.cfg.Nodes, defs, idxs)
 	if err != nil {
 		return 0, err
 	}
@@ -458,6 +477,11 @@ func (db *DB) Checkpoint() (uint64, error) {
 			if err := seg.Clone().Persist(filepath.Join(dir, fmt.Sprintf("node%d.vseg", node))); err != nil {
 				return 0, err
 			}
+		}
+		// Persist the B-trees of this table's secondary indexes so a restart
+		// from the checkpoint loads them instead of rebuilding.
+		if err := db.persistIndexes(dir, def.Name, segs, idxs); err != nil {
+			return 0, err
 		}
 	}
 	for name, data := range blobs {

@@ -1,0 +1,362 @@
+package vertica
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"verticadr/internal/faults"
+)
+
+// indexedNodes counts segments of table carrying an index on col.
+func indexedNodes(t *testing.T, db *DB, table, col string) int {
+	t.Helper()
+	segs, err := db.Segments(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, seg := range segs {
+		if seg.Index(col) != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// pointRows runs an indexable point query and returns the result rows
+// rendered as strings (engine-agnostic equivalence check).
+func pointRows(t *testing.T, db *DB, sql string) []string {
+	t.Helper()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, 0, res.Len())
+	for _, r := range res.Rows() {
+		out = append(out, fmt.Sprint(r))
+	}
+	return out
+}
+
+func TestCreateDropIndexRoundTrip(t *testing.T) {
+	db, err := Open(Config{Nodes: 3, BlockRows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	createDTable(t, db, "m")
+	if err := db.Load("m", dBatch(t, 0, 200)); err != nil {
+		t.Fatal(err)
+	}
+	before := pointRows(t, db, "SELECT id, x FROM m WHERE id = 137 ORDER BY id")
+	epoch0 := db.CatalogEpoch()
+
+	if err := db.Exec("CREATE INDEX m_id ON m (id)"); err != nil {
+		t.Fatal(err)
+	}
+	if db.CatalogEpoch() <= epoch0 {
+		t.Fatal("CREATE INDEX did not bump the catalog epoch")
+	}
+	if got := db.Indexes(); len(got) != 1 || got[0] != (IndexDef{Name: "m_id", Table: "m", Column: "id"}) {
+		t.Fatalf("index catalog = %+v", got)
+	}
+	if n := indexedNodes(t, db, "m", "id"); n != 3 {
+		t.Fatalf("index attached on %d/3 nodes", n)
+	}
+	if got := pointRows(t, db, "SELECT id, x FROM m WHERE id = 137 ORDER BY id"); !equalStrings(got, before) {
+		t.Fatalf("indexed point query %v != scan result %v", got, before)
+	}
+
+	// Error paths validate against the log-end catalog view.
+	if err := db.Exec("CREATE INDEX m_id ON m (x)"); err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("duplicate name on different column: %v", err)
+	}
+	if err := db.Exec("CREATE INDEX m_id ON m (id)"); err != nil {
+		t.Fatalf("identical re-create should be tolerated: %v", err)
+	}
+	if err := db.Exec("CREATE INDEX nope ON m (missing)"); err == nil {
+		t.Fatal("index on unknown column accepted")
+	}
+	if err := db.Exec("CREATE INDEX nope ON absent (id)"); err == nil {
+		t.Fatal("index on unknown table accepted")
+	}
+
+	if err := db.Exec("DROP INDEX m_id"); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Indexes(); len(got) != 0 {
+		t.Fatalf("index catalog after drop = %+v", got)
+	}
+	if n := indexedNodes(t, db, "m", "id"); n != 0 {
+		t.Fatalf("index still attached on %d nodes after drop", n)
+	}
+	if err := db.Exec("DROP INDEX m_id"); err == nil {
+		t.Fatal("dropping a missing index accepted")
+	}
+	if got := pointRows(t, db, "SELECT id, x FROM m WHERE id = 137 ORDER BY id"); !equalStrings(got, before) {
+		t.Fatalf("post-drop query %v != %v", got, before)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIndexMaintainedAcrossLoadsAndDroppedWithTable(t *testing.T) {
+	db, err := Open(Config{Nodes: 2, BlockRows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	createDTable(t, db, "m")
+	if err := db.Load("m", dBatch(t, 0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("CREATE INDEX m_id ON m (id)"); err != nil {
+		t.Fatal(err)
+	}
+	// Loads after CREATE INDEX must keep the tree covering every row.
+	for i := 1; i <= 4; i++ {
+		if err := db.Load("m", dBatch(t, i*1000, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := db.Segments("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node, seg := range segs {
+		tree := seg.Index("id")
+		if tree == nil {
+			t.Fatalf("node %d lost its index after loads", node)
+		}
+		if tree.Rows() != seg.Rows() {
+			t.Fatalf("node %d index covers %d rows, segment has %d", node, tree.Rows(), seg.Rows())
+		}
+	}
+	want := pointRows(t, db, "SELECT id, x FROM m WHERE id = 3007 ORDER BY id")
+	if len(want) != 1 {
+		t.Fatalf("expected the post-index row to be found, got %v", want)
+	}
+
+	// DROP TABLE clears the table's index catalog entries too.
+	if err := db.Exec("DROP TABLE m"); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Indexes(); len(got) != 0 {
+		t.Fatalf("index catalog survived DROP TABLE: %+v", got)
+	}
+}
+
+// TestDurableIndexReplayRebuild crashes (without a checkpoint) after index
+// DDL; recovery must replay the CREATE/DROP records and rebuild the trees
+// from the recovered table data.
+func TestDurableIndexReplayRebuild(t *testing.T) {
+	dir := t.TempDir()
+	db := durableDB(t, dir)
+	createDTable(t, db, "m")
+	if err := db.Load("m", dBatch(t, 0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("CREATE INDEX m_id ON m (id)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("CREATE INDEX m_x ON m (x)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("DROP INDEX m_x"); err != nil {
+		t.Fatal(err)
+	}
+	// Rows loaded after the DDL exercise replay ordering (create, then load).
+	if err := db.Load("m", dBatch(t, 5000, 40)); err != nil {
+		t.Fatal(err)
+	}
+	want := pointRows(t, db, "SELECT id, x FROM m WHERE id = 5017 ORDER BY id")
+	db.Close()
+
+	re := durableDB(t, dir)
+	defer re.Close()
+	if got := re.Indexes(); len(got) != 1 || got[0].Name != "m_id" {
+		t.Fatalf("recovered index catalog = %+v", got)
+	}
+	if n := indexedNodes(t, re, "m", "id"); n != 3 {
+		t.Fatalf("recovered index attached on %d/3 nodes", n)
+	}
+	if n := indexedNodes(t, re, "m", "x"); n != 0 {
+		t.Fatalf("dropped index resurrected on %d nodes", n)
+	}
+	segs, _ := re.Segments("m")
+	for node, seg := range segs {
+		if tree := seg.Index("id"); tree.Rows() != seg.Rows() {
+			t.Fatalf("node %d rebuilt index covers %d rows, segment has %d", node, tree.Rows(), seg.Rows())
+		}
+	}
+	if got := pointRows(t, re, "SELECT id, x FROM m WHERE id = 5017 ORDER BY id"); !equalStrings(got, want) {
+		t.Fatalf("recovered indexed query %v != pre-crash %v", got, want)
+	}
+}
+
+// TestCheckpointPersistsIndexTrees verifies the .vidx fast path: a restart
+// from a checkpoint loads the persisted trees, and a corrupted tree file
+// silently falls back to rebuilding from segment data.
+func TestCheckpointPersistsIndexTrees(t *testing.T) {
+	dir := t.TempDir()
+	db := durableDB(t, dir)
+	createDTable(t, db, "m")
+	if err := db.Load("m", dBatch(t, 0, 120)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("CREATE INDEX m_id ON m (id)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := pointRows(t, db, "SELECT id, x FROM m WHERE id = 88 ORDER BY id")
+	db.Close()
+
+	// The image must contain one tree file per node.
+	chks, err := filepath.Glob(filepath.Join(dir, "chk-*", "tables", "m", "node*.id.vidx"))
+	if err != nil || len(chks) != 3 {
+		t.Fatalf("checkpoint .vidx files = %v (%v)", chks, err)
+	}
+
+	re := durableDB(t, dir)
+	if n := indexedNodes(t, re, "m", "id"); n != 3 {
+		t.Fatalf("checkpoint restart attached index on %d/3 nodes", n)
+	}
+	if got := pointRows(t, re, "SELECT id, x FROM m WHERE id = 88 ORDER BY id"); !equalStrings(got, want) {
+		t.Fatalf("post-checkpoint query %v != %v", got, want)
+	}
+	re.Close()
+
+	// Corrupt one tree file: recovery must rebuild that node's tree from the
+	// segment instead of failing or serving a broken index.
+	if err := os.WriteFile(chks[0], []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re2 := durableDB(t, dir)
+	defer re2.Close()
+	if n := indexedNodes(t, re2, "m", "id"); n != 3 {
+		t.Fatalf("rebuild fallback attached index on %d/3 nodes", n)
+	}
+	segs, _ := re2.Segments("m")
+	for node, seg := range segs {
+		if tree := seg.Index("id"); tree.Rows() != seg.Rows() {
+			t.Fatalf("node %d fallback index covers %d rows, segment has %d", node, tree.Rows(), seg.Rows())
+		}
+	}
+	if got := pointRows(t, re2, "SELECT id, x FROM m WHERE id = 88 ORDER BY id"); !equalStrings(got, want) {
+		t.Fatalf("fallback query %v != %v", got, want)
+	}
+}
+
+// TestInjectedCrashMidIndexDDL is the acceptance crash suite for index DDL:
+// a crash injected inside the WAL append or fsync of a CREATE/DROP INDEX
+// burst must recover to exactly the acknowledged index catalog, with every
+// surviving index consistent with its table.
+func TestInjectedCrashMidIndexDDL(t *testing.T) {
+	for _, site := range []string{faults.SiteWALAppend, faults.SiteWALFsync} {
+		t.Run(site, func(t *testing.T) {
+			dir := t.TempDir()
+			db := durableDB(t, dir)
+			createDTable(t, db, "m")
+			if err := db.Load("m", dBatch(t, 0, 60)); err != nil {
+				t.Fatal(err)
+			}
+
+			in := faults.New(11)
+			in.MustArm(faults.Rule{Site: site, Kind: faults.Crash, EveryN: 3})
+			faults.Install(in)
+			for i := 0; i < 40; i++ {
+				var err error
+				switch i % 3 {
+				case 0:
+					err = db.Exec(fmt.Sprintf("CREATE INDEX ix%d ON m (id)", i))
+				case 1:
+					err = db.Load("m", dBatch(t, (i+1)*1000, 10))
+				default:
+					err = db.Exec(fmt.Sprintf("DROP INDEX ix%d", i-2))
+				}
+				if err != nil {
+					break // the crash: everything after this is the dead process
+				}
+			}
+			faults.Install(nil)
+			// Acknowledged state, captured from the dying process's memory.
+			wantIdx := db.Indexes()
+			wantImage := tableImage(t, db, "m")
+			db.Close()
+
+			re := durableDB(t, dir)
+			defer re.Close()
+			gotIdx := re.Indexes()
+			if len(gotIdx) != len(wantIdx) {
+				t.Fatalf("recovered %d indexes, acked %d (%+v vs %+v)", len(gotIdx), len(wantIdx), gotIdx, wantIdx)
+			}
+			for i := range wantIdx {
+				if gotIdx[i] != wantIdx[i] {
+					t.Fatalf("recovered index %+v, acked %+v", gotIdx[i], wantIdx[i])
+				}
+			}
+			if got := tableImage(t, re, "m"); !imagesEqual(wantImage, got) {
+				t.Fatal("recovered table image differs after index-DDL crash")
+			}
+			// Every recovered index must cover its segment exactly.
+			segs, _ := re.Segments("m")
+			for _, d := range gotIdx {
+				for node, seg := range segs {
+					tree := seg.Index(d.Column)
+					if tree == nil || tree.Rows() != seg.Rows() {
+						t.Fatalf("index %q node %d inconsistent after crash at %s", d.Name, node, site)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLegacyPersistRestoreRebuildsIndexes pins the non-WAL dump path: the
+// manifest records the index catalog and Restore rebuilds the trees.
+func TestLegacyPersistRestoreRebuildsIndexes(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{Nodes: 2, DataDir: dir, BlockRows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	createDTable(t, db, "m")
+	if err := db.Load("m", dBatch(t, 0, 80)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("CREATE INDEX m_id ON m (id)"); err != nil {
+		t.Fatal(err)
+	}
+	want := pointRows(t, db, "SELECT id, x FROM m WHERE id = 44 ORDER BY id")
+	if err := db.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	re, err := Restore(Config{DataDir: dir, BlockRows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if n := indexedNodes(t, re, "m", "id"); n != 2 {
+		t.Fatalf("restored index attached on %d/2 nodes", n)
+	}
+	if got := pointRows(t, re, "SELECT id, x FROM m WHERE id = 44 ORDER BY id"); !equalStrings(got, want) {
+		t.Fatalf("restored query %v != %v", got, want)
+	}
+}

@@ -27,9 +27,16 @@ type persistedTable struct {
 	SegColumn string            `json:"seg_column,omitempty"`
 }
 
+type persistedIndex struct {
+	Name   string `json:"name"`
+	Table  string `json:"table"`
+	Column string `json:"column"`
+}
+
 type persistedCatalog struct {
-	Nodes  int              `json:"nodes"`
-	Tables []persistedTable `json:"tables"`
+	Nodes   int              `json:"nodes"`
+	Tables  []persistedTable `json:"tables"`
+	Indexes []persistedIndex `json:"indexes,omitempty"`
 }
 
 // tableManifest renders one table definition into its manifest form (shared
@@ -67,10 +74,13 @@ func manifestTableDef(pt persistedTable) (*catalog.TableDef, error) {
 }
 
 // encodeCatalogManifest renders the full catalog manifest document.
-func encodeCatalogManifest(nodes int, defs []*catalog.TableDef) ([]byte, error) {
+func encodeCatalogManifest(nodes int, defs []*catalog.TableDef, idxs []IndexDef) ([]byte, error) {
 	pc := persistedCatalog{Nodes: nodes}
 	for _, def := range defs {
 		pc.Tables = append(pc.Tables, tableManifest(def))
+	}
+	for _, d := range idxs {
+		pc.Indexes = append(pc.Indexes, persistedIndex{Name: d.Name, Table: d.Table, Column: d.Column})
 	}
 	return json.MarshalIndent(pc, "", "  ")
 }
@@ -94,7 +104,7 @@ func (db *DB) persistCatalog() error {
 		}
 		defs = append(defs, def)
 	}
-	data, err := encodeCatalogManifest(db.cfg.Nodes, defs)
+	data, err := encodeCatalogManifest(db.cfg.Nodes, defs, db.Indexes())
 	if err != nil {
 		return err
 	}
@@ -145,6 +155,11 @@ func Restore(cfg Config) (*DB, error) {
 				return nil, fmt.Errorf("vertica: segment schema drift in %q node %d", pt.Name, node)
 			}
 			segs[node] = seg
+		}
+		// Legacy dumps carry no .vidx files; rebuild manifest indexes from
+		// the segment data (restoreIndexes falls back to BuildIndex).
+		if err := db.restoreIndexes(filepath.Join(cfg.DataDir, "tables", pt.Name), pc.Indexes, pt.Name, segs); err != nil {
+			return nil, err
 		}
 		db.store.Put(pt.Name, segs)
 	}

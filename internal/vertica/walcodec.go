@@ -27,6 +27,12 @@ const (
 	recBlobPut byte = 4
 	// recBlobDelete carries a DFS path (model drop).
 	recBlobDelete byte = 5
+	// recCreateIndex carries (name, table, column) of a secondary-index
+	// CREATE. Only the DDL is logged; replay rebuilds the B-tree from the
+	// recovered table data, so the record stays small and self-describing.
+	recCreateIndex byte = 6
+	// recDropIndex carries (name, table, column) of a secondary-index DROP.
+	recDropIndex byte = 7
 )
 
 // --- create / drop ---------------------------------------------------------
@@ -117,6 +123,29 @@ func decodeLoad(body []byte, schemaOf func(table string) (colstore.Schema, error
 		parts[n] = b
 	}
 	return table, parts, nil
+}
+
+// --- index DDL -------------------------------------------------------------
+
+// encodeIndexDDL frames three uvarint-prefixed strings: name, table, column.
+// CREATE and DROP share the layout; the record type carries the verb.
+func encodeIndexDDL(name, table, column string) []byte {
+	var buf []byte
+	for _, s := range []string{name, table, column} {
+		buf = appendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf
+}
+
+func decodeIndexDDL(body []byte) (name, table, column string, err error) {
+	rest := body
+	for _, dst := range []*string{&name, &table, &column} {
+		if *dst, rest, err = cutString(rest); err != nil {
+			return "", "", "", fmt.Errorf("vertica: wal index record: %w", err)
+		}
+	}
+	return name, table, column, nil
 }
 
 // --- blobs -----------------------------------------------------------------
