@@ -63,7 +63,8 @@ race:
 		./internal/algos/... ./internal/linalg/... ./internal/models/... \
 		./internal/udf/... ./internal/darray/... ./internal/catalog/... \
 		./internal/server/... ./internal/core/... \
-		./internal/wal/... ./internal/txn/... ./internal/vertica/...
+		./internal/wal/... ./internal/txn/... ./internal/vertica/... \
+		./internal/cluster/...
 
 # Microbenchmarks for the pooled transfer + vectorized prediction paths;
 # writes BENCH_PR4.json (committed alongside EXPERIMENTS.md).
@@ -81,10 +82,10 @@ bench-figures:
 # are fixed inside the tests, so failures reproduce exactly.
 .PHONY: chaos
 chaos:
-	$(GO) test -race -count=1 -run 'Chaos|Recover|Injected|Fault|Retr|Abort|Reap|FailWorker|Idempotent|Timeout' \
+	$(GO) test -race -count=1 -run 'Chaos|Recover|Injected|Fault|Retr|Abort|Reap|FailWorker|Idempotent|Timeout|Survives|Failover' \
 		./internal/faults/... ./internal/vft/... ./internal/dr/... ./internal/yarn/... ./internal/odbc/... \
 		./internal/parallel/... ./internal/colstore/... ./internal/models/... ./internal/udf/... \
-		./internal/server/... ./internal/wal/... ./internal/vertica/...
+		./internal/server/... ./internal/wal/... ./internal/vertica/... ./internal/cluster/...
 
 # Crash-recovery suite: injected crashes at the WAL append/fsync/checkpoint
 # boundaries, torn-tail handling, checkpoint replay, MVCC snapshot isolation
@@ -92,7 +93,8 @@ chaos:
 .PHONY: recover
 recover:
 	$(GO) test -race -count=1 -run 'Recover|Durab|Crash|WAL|Torn|Checkpoint|Snapshot|Redeploy|GroupCommit' \
-		./internal/wal/... ./internal/txn/... ./internal/vertica/... ./internal/models/... \
+		./internal/wal/... ./internal/txn/... ./internal/vertica/... \
+		./internal/cluster/... ./internal/models/... \
 		./internal/colstore/... ./internal/core/...
 
 # Serving-layer benchmark: closed-loop load generator against the concurrent
@@ -127,6 +129,15 @@ scan-bench:
 .PHONY: plan-bench
 plan-bench:
 	$(GO) run ./cmd/vdr-planbench -out BENCH_PR9.json
+
+# Cluster benchmark: routed vs single-process SELECT/PREDICT throughput at
+# 1/2/3 peers over real loopback TCP, replica-kill failover latency, and
+# the calibrated own-CPU-per-node simulation; writes BENCH_PR10.json
+# (committed alongside EXPERIMENTS.md). Fails if simulated 1->3-node
+# PREDICT scaling drops below 1.6x or routed results diverge.
+.PHONY: cluster-bench
+cluster-bench:
+	$(GO) run ./cmd/vdr-clusterbench -out BENCH_PR10.json
 
 # Fuzz smoke: run each fuzz target briefly (Go keeps regression inputs in
 # testdata/fuzz, which plain `go test` replays on every run). Raise FUZZTIME

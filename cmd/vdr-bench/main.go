@@ -19,8 +19,7 @@ import (
 	"os"
 
 	"verticadr/internal/bench"
-	"verticadr/internal/faults"
-	"verticadr/internal/parallel"
+	"verticadr/internal/cliflags"
 	"verticadr/internal/telemetry"
 )
 
@@ -28,21 +27,12 @@ func main() {
 	experiment := flag.String("experiment", "", "single experiment id (fig1, fig12..fig21, tab1, fig10)")
 	real := flag.Bool("real", false, "also run reduced-scale measured experiments on the live engines")
 	metrics := flag.String("metrics", "", "write the telemetry registry as JSON to this file after the run")
-	chaos := flag.Bool("chaos", false, "run the real-engine experiments under the standard fault-injection profile")
-	chaosSeed := flag.Int64("chaos-seed", 42, "seed for the chaos profile")
-	par := flag.Int("j", 0, "intra-node execution degree for scans/aggregation/IRLS (0 = GOMAXPROCS); results are identical at every degree")
+	chaos := cliflags.ChaosFlags(flag.CommandLine)
+	par := cliflags.Parallelism(flag.CommandLine)
 	flag.Parse()
 
-	if *par > 0 {
-		parallel.SetDefaultDegree(*par)
-	}
-
-	var injector *faults.Injector
-	if *chaos {
-		injector = faults.Chaos(*chaosSeed)
-		faults.Install(injector)
-		fmt.Printf("chaos profile armed (seed %d)\n", *chaosSeed)
-	}
+	cliflags.ApplyParallelism(*par)
+	chaos.Arm()
 
 	c := bench.DefaultCalib()
 	figs := bench.AllFigures(c)
@@ -71,8 +61,8 @@ func main() {
 		runReal()
 	}
 
-	if injector != nil {
-		fmt.Printf("\n%s\n", injector.String())
+	if rep := chaos.Report(); rep != "" {
+		fmt.Printf("\n%s\n", rep)
 	}
 
 	if *metrics != "" {

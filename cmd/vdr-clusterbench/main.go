@@ -1,0 +1,438 @@
+// Command vdr-clusterbench measures the PR 10 multi-node serving layer and
+// writes the figures to a JSON file (BENCH_PR10.json by default, `make
+// cluster-bench`).
+//
+// Measured (in-process peers over real loopback TCP, honest numbers for
+// this host): single-process SELECT/PREDICT throughput, routed throughput
+// through a cluster router at 1/2/3 peers, the latency of the first read
+// after a replica is killed (failover cost), and how long the health
+// prober takes to restore a restarted peer.
+//
+// Simulated (the calibrated discrete-event model, like the paper figures):
+// routed PREDICT throughput at 1/2/3 nodes where every node has its own
+// CPU — the deployment the cluster layer exists for, which a single-CPU
+// host cannot exhibit. Per-row cost and per-shard RPC overhead are
+// calibrated from the measurements above. The command exits non-zero if
+// the simulated 1→3-node PREDICT scaling falls below 1.6x, or if routed
+// results ever diverge from the single-process engine.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"verticadr/internal/algos"
+	"verticadr/internal/cliflags"
+	"verticadr/internal/cluster"
+	"verticadr/internal/colstore"
+	"verticadr/internal/core"
+	"verticadr/internal/server"
+	"verticadr/internal/simnet"
+)
+
+const (
+	shards    = 3
+	benchRows = 24000
+)
+
+var (
+	selectSQL  = `SELECT a, count(*) AS n, sum(x) AS sx, min(y) AS my FROM t GROUP BY a ORDER BY a`
+	predictSQL = `SELECT GlmPredict(x, y USING PARAMETERS model='m') OVER (PARTITION BEST) FROM t`
+)
+
+type throughput struct {
+	Queries   int     `json:"queries"`
+	QPS       float64 `json:"qps"`
+	RowsPerS  float64 `json:"rows_per_s,omitempty"`
+	MedianMS  float64 `json:"median_ms"`
+	WallMS    float64 `json:"wall_ms"`
+	ShardRows int     `json:"table_rows"`
+}
+
+type report struct {
+	Rows     int `json:"rows"`
+	Shards   int `json:"shards"`
+	Measured struct {
+		Local     map[string]throughput `json:"local"`     // single-process session
+		Routed    map[string]throughput `json:"routed"`    // "select@N"/"predict@N"
+		Failover  failoverFigure        `json:"failover"`  //
+		Agreement string                `json:"agreement"` // routed vs local check
+	} `json:"measured"`
+	Simulated simFigure `json:"simulated"`
+	Gates     gates     `json:"gates"`
+}
+
+type failoverFigure struct {
+	SteadyMedianMS   float64 `json:"steady_median_ms"`
+	FirstAfterKillMS float64 `json:"first_after_kill_ms"`
+	ProbeRestoreMS   float64 `json:"probe_restore_ms"`
+	FailedQueries    int     `json:"failed_queries"`
+}
+
+type simFigure struct {
+	PerRowNS      float64            `json:"calibrated_per_row_ns"`
+	RPCOverheadUS float64            `json:"calibrated_rpc_overhead_us"`
+	QPS           map[string]float64 `json:"predict_qps_by_nodes"`
+	Scaling13     float64            `json:"predict_scaling_1_to_3"`
+}
+
+type gates struct {
+	SimScaling13Min float64 `json:"sim_scaling_1_to_3_min"`
+	Pass            bool    `json:"pass"`
+}
+
+// node is one in-process cluster member.
+type node struct {
+	sess   *core.Session
+	router *cluster.Router
+	tcp    *server.TCPServer
+	addr   string
+}
+
+func freeAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lis := make([]net.Listener, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lis[i], addrs[i] = l, l.Addr().String()
+	}
+	for _, l := range lis {
+		_ = l.Close()
+	}
+	return addrs, nil
+}
+
+func sessionConfig() core.Config {
+	return core.Config{DBNodes: shards, DRWorkers: 2, InstancesPerWorker: 1, BlockRows: 4096}
+}
+
+func fill(load func(*colstore.Batch) error) error {
+	schema := colstore.Schema{
+		{Name: "id", Type: colstore.TypeInt64},
+		{Name: "a", Type: colstore.TypeInt64},
+		{Name: "x", Type: colstore.TypeFloat64},
+		{Name: "y", Type: colstore.TypeFloat64},
+	}
+	b := colstore.NewBatchCap(schema, benchRows)
+	for i := 0; i < benchRows; i++ {
+		if err := b.AppendRow(int64(i), int64(i%13), float64(i%201)/2, float64(i%157)/4); err != nil {
+			return err
+		}
+	}
+	return load(b)
+}
+
+const ddl = `CREATE TABLE t (id INTEGER, a INTEGER, x FLOAT, y FLOAT) SEGMENTED BY HASH(id)`
+
+var model = &algos.GLMModel{Family: algos.Gaussian, Coefficients: []float64{0.5, 1.25, -0.75}, Converged: true}
+
+// startNodes brings up n peers serving a fixed 3-shard topology.
+func startNodes(n int) ([]*node, func(), error) {
+	addrs, err := freeAddrs(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	topo, err := cluster.Topology{Addrs: addrs, Shards: shards, Replicas: min(2, n)}.Normalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	var nodes []*node
+	var closers []func()
+	closeAll := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	for i := 0; i < n; i++ {
+		sess, err := core.Start(sessionConfig())
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		closers = append(closers, sess.Close)
+		srv := server.New(sess, server.Config{MaxConcurrent: 8, MaxQueue: 64})
+		router, err := cluster.NewRouter(cluster.Config{
+			Addrs: addrs, Shards: topo.Shards, Replicas: topo.Replicas,
+			ProbeInterval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		closers = append(closers, router.Close)
+		peer := cluster.NewPeer(srv, topo, i)
+		tcp, err := server.Listen(srv, addrs[i],
+			server.WithFrontend(router),
+			server.WithExtension(cluster.NodeExtension(peer, router)))
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		t := tcp
+		closers = append(closers, func() { _ = t.Close() })
+		if err := sess.DeployModel("m", "bench", "cluster bench model", model); err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		nodes = append(nodes, &node{sess: sess, router: router, tcp: tcp, addr: addrs[i]})
+	}
+	return nodes, closeAll, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// measure runs fn queries times and folds wall clock + per-query latency.
+func measure(queries, tableRows int, fn func() (int, error)) (throughput, error) {
+	lat := make([]float64, 0, queries)
+	rows := 0
+	start := time.Now()
+	for i := 0; i < queries; i++ {
+		q0 := time.Now()
+		n, err := fn()
+		if err != nil {
+			return throughput{}, err
+		}
+		rows += n
+		lat = append(lat, float64(time.Since(q0).Microseconds())/1000)
+	}
+	wall := time.Since(start)
+	sort.Float64s(lat)
+	tp := throughput{
+		Queries:   queries,
+		QPS:       float64(queries) / wall.Seconds(),
+		RowsPerS:  float64(rows) / wall.Seconds(),
+		MedianMS:  lat[len(lat)/2],
+		WallMS:    float64(wall.Milliseconds()),
+		ShardRows: tableRows,
+	}
+	return tp, nil
+}
+
+// simPredictQPS runs the calibrated fan-out model: nodes CPUs (one
+// resource each), clients closed-loop routed PREDICTs, each query forking
+// one shard task per node-resident shard (rows/nodes rows of work at
+// perRowSec each) plus rpcSec of router overhead per shard call.
+func simPredictQPS(nodes, clients, queries, rows int, perRowSec, rpcSec float64) float64 {
+	s := simnet.New()
+	cpu := make([]*simnet.Resource, nodes)
+	for i := range cpu {
+		cpu[i] = s.NewResource(fmt.Sprintf("node%d", i), 1, 1/perRowSec)
+	}
+	done := 0
+	for c := 0; c < clients; c++ {
+		c := c
+		s.Go(fmt.Sprintf("client%d", c), func(p *simnet.Proc) {
+			for q := 0; q < queries/clients; q++ {
+				gate := s.NewGate(nodes)
+				for sh := 0; sh < nodes; sh++ {
+					sh := sh
+					s.Go(fmt.Sprintf("c%dq%ds%d", c, q, sh), func(sp *simnet.Proc) {
+						sp.Sleep(rpcSec)
+						cpu[sh].Use(sp, float64(rows/nodes))
+						gate.Done()
+					})
+				}
+				gate.Wait(p)
+			}
+			done += queries / clients
+		})
+	}
+	elapsed := s.Run()
+	return float64(done) / elapsed
+}
+
+func main() {
+	out := cliflags.BenchOut(flag.CommandLine, "BENCH_PR10.json")
+	par := cliflags.Parallelism(flag.CommandLine)
+	flag.Parse()
+	cliflags.ApplyParallelism(*par)
+	ctx := context.Background()
+
+	var rep report
+	rep.Rows, rep.Shards = benchRows, shards
+	rep.Measured.Local = map[string]throughput{}
+	rep.Measured.Routed = map[string]throughput{}
+
+	// -- local single-process reference --
+	base, err := core.Start(sessionConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer base.Close()
+	if err := base.Exec(ddl); err != nil {
+		log.Fatal(err)
+	}
+	if err := fill(func(b *colstore.Batch) error { return base.Load("t", b) }); err != nil {
+		log.Fatal(err)
+	}
+	if err := base.DeployModel("m", "bench", "cluster bench model", model); err != nil {
+		log.Fatal(err)
+	}
+	for name, sql := range map[string]string{"select": selectSQL, "predict": predictSQL} {
+		tp, err := measure(30, benchRows, func() (int, error) {
+			res, err := base.QueryContext(ctx, sql)
+			if err != nil {
+				return 0, err
+			}
+			return res.Batch.Len(), nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Measured.Local[name] = tp
+		fmt.Printf("local   %-7s  %7.1f q/s  %9.0f rows/s  median %6.2f ms\n", name, tp.QPS, tp.RowsPerS, tp.MedianMS)
+	}
+	refSelect, err := base.QueryContext(ctx, selectSQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// -- routed at 1/2/3 peers over real TCP --
+	agreement := "ok"
+	for _, n := range []int{1, 2, 3} {
+		nodes, closeAll, err := startNodes(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := nodes[0].router
+		if _, err := r.Query(ctx, ddl); err != nil {
+			log.Fatal(err)
+		}
+		if err := fill(func(b *colstore.Batch) error { return r.Load(ctx, "t", b) }); err != nil {
+			log.Fatal(err)
+		}
+		// Routed results must match the single-process engine exactly.
+		got, err := r.Query(ctx, selectSQL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fmt.Sprint(got.Rows()) != fmt.Sprint(refSelect.Rows()) {
+			agreement = fmt.Sprintf("DIVERGED at %d nodes", n)
+		}
+		for name, sql := range map[string]string{"select": selectSQL, "predict": predictSQL} {
+			tp, err := measure(30, benchRows, func() (int, error) {
+				res, err := r.Query(ctx, sql)
+				if err != nil {
+					return 0, err
+				}
+				return res.Batch.Len(), nil
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep.Measured.Routed[fmt.Sprintf("%s@%d", name, n)] = tp
+			fmt.Printf("routed  %-7s  %7.1f q/s  %9.0f rows/s  median %6.2f ms  (%d nodes)\n",
+				name, tp.QPS, tp.RowsPerS, tp.MedianMS, n)
+		}
+		if n == 3 {
+			rep.Measured.Failover = failoverBench(ctx, nodes)
+		}
+		closeAll()
+	}
+	rep.Measured.Agreement = agreement
+
+	// -- calibrated simulation: every node has its own CPU --
+	localPredict := rep.Measured.Local["predict"]
+	routed1 := rep.Measured.Routed["predict@1"]
+	perRowSec := (localPredict.MedianMS / 1000) / float64(benchRows)
+	rpcSec := (routed1.MedianMS - localPredict.MedianMS) / 1000 / shards
+	if rpcSec < 50e-6 {
+		rpcSec = 50e-6 // floor: a loopback RPC is never free
+	}
+	rep.Simulated.PerRowNS = perRowSec * 1e9
+	rep.Simulated.RPCOverheadUS = rpcSec * 1e6
+	rep.Simulated.QPS = map[string]float64{}
+	for _, n := range []int{1, 2, 3} {
+		qps := simPredictQPS(n, 4, 400, benchRows, perRowSec, rpcSec)
+		rep.Simulated.QPS[fmt.Sprint(n)] = qps
+		fmt.Printf("sim     predict  %7.1f q/s  (%d nodes, own CPU each)\n", qps, n)
+	}
+	rep.Simulated.Scaling13 = rep.Simulated.QPS["3"] / rep.Simulated.QPS["1"]
+
+	rep.Gates.SimScaling13Min = 1.6
+	rep.Gates.Pass = rep.Simulated.Scaling13 >= rep.Gates.SimScaling13Min && agreement == "ok"
+	fmt.Printf("predict scaling 1→3 nodes: %.2fx (gate ≥ %.1fx), agreement: %s\n",
+		rep.Simulated.Scaling13, rep.Gates.SimScaling13Min, agreement)
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("figures written to %s\n", *out)
+	if !rep.Gates.Pass {
+		log.Fatal("cluster bench gates FAILED")
+	}
+}
+
+// failoverBench measures the read path across a replica kill on a 3-node
+// cluster: steady-state median, the first read after the kill (the
+// failover penalty: dead connections detected, shard retried on the
+// replica), and the prober's restore time once the peer returns.
+func failoverBench(ctx context.Context, nodes []*node) failoverFigure {
+	var fig failoverFigure
+	r := nodes[0].router
+	var steady []float64
+	for i := 0; i < 20; i++ {
+		q0 := time.Now()
+		if _, err := r.Query(ctx, selectSQL); err != nil {
+			fig.FailedQueries++
+		}
+		steady = append(steady, float64(time.Since(q0).Microseconds())/1000)
+	}
+	sort.Float64s(steady)
+	fig.SteadyMedianMS = steady[len(steady)/2]
+
+	victim := nodes[2]
+	_ = victim.tcp.Close()
+	q0 := time.Now()
+	if _, err := r.Query(ctx, selectSQL); err != nil {
+		fig.FailedQueries++
+	}
+	fig.FirstAfterKillMS = float64(time.Since(q0).Microseconds()) / 1000
+
+	// Bring the peer back and time the prober's restore.
+	topo := r.Topology()
+	srv := server.New(victim.sess, server.Config{MaxConcurrent: 8, MaxQueue: 64})
+	peer := cluster.NewPeer(srv, topo, 2)
+	tcp, err := server.Listen(srv, victim.addr,
+		server.WithFrontend(victim.router),
+		server.WithExtension(cluster.NodeExtension(peer, victim.router)))
+	if err != nil {
+		fig.ProbeRestoreMS = -1
+		return fig
+	}
+	defer func() { _ = tcp.Close() }()
+	r0 := time.Now()
+	for {
+		if h := r.Health(); h[2].Up {
+			break
+		}
+		if time.Since(r0) > 5*time.Second {
+			fig.ProbeRestoreMS = -1
+			return fig
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	fig.ProbeRestoreMS = float64(time.Since(r0).Microseconds()) / 1000
+	fmt.Printf("failover: steady %.2f ms, first-after-kill %.2f ms, probe restore %.1f ms, failed queries %d\n",
+		fig.SteadyMedianMS, fig.FirstAfterKillMS, fig.ProbeRestoreMS, fig.FailedQueries)
+	return fig
+}

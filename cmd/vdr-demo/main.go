@@ -12,7 +12,7 @@ import (
 	"time"
 
 	"verticadr"
-	"verticadr/internal/faults"
+	"verticadr/internal/cliflags"
 )
 
 func step(n int, what string) {
@@ -20,18 +20,14 @@ func step(n int, what string) {
 }
 
 func main() {
-	nodes := flag.Int("nodes", 4, "cluster size")
-	rows := flag.Int("rows", 50000, "training rows")
-	chaos := flag.Bool("chaos", false, "run under the standard fault-injection profile (recovery paths must absorb it)")
-	chaosSeed := flag.Int64("chaos-seed", 42, "seed for the chaos profile")
-	par := flag.Int("j", 0, "intra-node execution degree for scans/aggregation/IRLS (0 = GOMAXPROCS); results are identical at every degree")
+	nodes := cliflags.Nodes(flag.CommandLine, 4)
+	rows := cliflags.Rows(flag.CommandLine, 50000, "training rows")
+	chaos := cliflags.ChaosFlags(flag.CommandLine)
+	par := cliflags.Parallelism(flag.CommandLine)
 	flag.Parse()
 
-	if *chaos {
-		in := faults.Chaos(*chaosSeed)
-		faults.Install(in)
-		fmt.Printf("chaos profile armed (seed %d)\n", *chaosSeed)
-		defer func() { fmt.Printf("\n%s\n", in.String()) }()
+	if chaos.Arm() {
+		defer func() { fmt.Printf("\n%s\n", chaos.Report()) }()
 	}
 
 	step(1, "library(distributedR); library(HPdregression)")

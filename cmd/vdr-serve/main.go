@@ -13,6 +13,18 @@
 // image + log replay), and a graceful shutdown writes a fresh checkpoint.
 // The -demo fixture is seeded only into a fresh directory.
 //
+// Cluster mode: -cluster-peers lists every node's address (comma-separated)
+// and -cluster-node says which entry this process is. The node opens its
+// database with -cluster-shards segments (default: one per peer), serves the
+// shard-level peer protocol, and fronts its own listener with a router, so a
+// plain client connected to ANY node gets cluster-wide results ("every node
+// is an initiator"). Tables segment across the shards with -cluster-replicas
+// copies; reads fail over to a replica when a node dies.
+//
+//	vdr-serve -addr :5001 -cluster-peers :5001,:5002,:5003 -cluster-node 0 &
+//	vdr-serve -addr :5002 -cluster-peers :5001,:5002,:5003 -cluster-node 1 &
+//	vdr-serve -addr :5003 -cluster-peers :5001,:5002,:5003 -cluster-node 2 &
+//
 // Bench mode (-bench) runs the closed-loop load generator instead: the
 // unprepared single-shot path vs. the prepared+cached path at -concurrency,
 // then an overload phase against a deliberately tiny server, and writes the
@@ -26,23 +38,38 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"verticadr/internal/bench"
+	"verticadr/internal/cliflags"
+	"verticadr/internal/cluster"
 	"verticadr/internal/core"
 	"verticadr/internal/server"
 	"verticadr/internal/telemetry"
 )
 
+// clusterOpts carries the -cluster-* flags; Peers == "" means plain mode.
+type clusterOpts struct {
+	Peers    string
+	Node     int
+	Shards   int
+	Replicas int
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:5433", "serve mode: listen address")
-		dataDir     = flag.String("data", "", "serve mode: durable persistence under this directory (WAL + checkpoints); restarting with the same -data recovers state. Disables -demo seeding after the first run.")
+		dataDir     = cliflags.DataDir(flag.CommandLine)
 		adminAddr   = flag.String("admin", "", "serve mode: admin HTTP listen address for /metrics, /statements, /traces/recent, /healthz and pprof (empty = disabled)")
 		drainWait   = flag.Duration("drain", 10*time.Second, "serve mode: graceful-shutdown drain deadline for in-flight queries")
 		demo        = flag.Bool("demo", true, "serve mode: preload the serve_pts table and serve_glm model")
-		nodes       = flag.Int("nodes", 4, "database nodes")
+		nodes       = cliflags.Nodes(flag.CommandLine, 4)
+		clPeers     = flag.String("cluster-peers", "", "cluster mode: comma-separated addresses of every node (this one included)")
+		clNode      = flag.Int("cluster-node", 0, "cluster mode: this node's index into -cluster-peers")
+		clShards    = flag.Int("cluster-shards", 0, "cluster mode: table segments across the cluster (0 = one per peer)")
+		clReplicas  = flag.Int("cluster-replicas", 0, "cluster mode: copies of each shard (0 = min(2, peers))")
 		workers     = flag.Int("workers", 4, "Distributed R workers")
 		maxConc     = flag.Int("max-concurrent", 8, "admission control: queries executing at once")
 		maxQueue    = flag.Int("max-queue", 64, "admission control: bounded wait queue length")
@@ -63,7 +90,8 @@ func main() {
 		}
 		return
 	}
-	if err := serve(*addr, *adminAddr, *dataDir, *drainWait, *demo, *nodes, *workers, server.Config{
+	cl := clusterOpts{Peers: *clPeers, Node: *clNode, Shards: *clShards, Replicas: *clReplicas}
+	if err := serve(*addr, *adminAddr, *dataDir, *drainWait, *demo, *nodes, *workers, cl, server.Config{
 		MaxConcurrent: *maxConc,
 		MaxQueue:      *maxQueue,
 		QueueWait:     *queueWait,
@@ -74,11 +102,30 @@ func main() {
 	}
 }
 
-func serve(addr, adminAddr, dataDir string, drainWait time.Duration, demo bool, nodes, workers int, cfg server.Config) error {
+func serve(addr, adminAddr, dataDir string, drainWait time.Duration, demo bool, nodes, workers int, cl clusterOpts, cfg server.Config) error {
 	var (
 		sess *core.Session
 		err  error
 	)
+	var topo cluster.Topology
+	clustered := cl.Peers != ""
+	if clustered {
+		topo, err = cluster.Topology{
+			Addrs:    strings.Split(cl.Peers, ","),
+			Shards:   cl.Shards,
+			Replicas: cl.Replicas,
+		}.Normalize()
+		if err != nil {
+			return err
+		}
+		if cl.Node < 0 || cl.Node >= len(topo.Addrs) {
+			return fmt.Errorf("vdr-serve: -cluster-node %d outside -cluster-peers", cl.Node)
+		}
+		// The local database's segment layout IS the cluster's shard layout:
+		// open with one node per shard, and only this peer's shards fill.
+		nodes = topo.Shards
+		demo = false // fixtures are loaded through the router, not per node
+	}
 	switch {
 	case dataDir != "":
 		// Durable mode: recover whatever a previous run committed, then serve.
@@ -115,20 +162,58 @@ func serve(addr, adminAddr, dataDir string, drainWait time.Duration, demo bool, 
 	defer sess.Close()
 
 	srv := server.New(sess, cfg)
-	tcp, err := server.Listen(srv, addr)
+	var (
+		listenOpts []server.ListenOption
+		adminOpts  []server.AdminOption
+		router     *cluster.Router
+	)
+	if clustered {
+		router, err = cluster.NewRouter(cluster.Config{
+			Addrs:    topo.Addrs,
+			Shards:   topo.Shards,
+			Replicas: topo.Replicas,
+		})
+		if err != nil {
+			return err
+		}
+		defer router.Close()
+		peer := cluster.NewPeer(srv, topo, cl.Node)
+		// Front the listener with the router (any node answers any query
+		// cluster-wide) and serve the shard-level peer ops underneath it.
+		listenOpts = append(listenOpts,
+			server.WithFrontend(router),
+			server.WithExtension(cluster.NodeExtension(peer, router)))
+		adminOpts = append(adminOpts,
+			server.WithClusterState(func() any { return router.Health() }))
+	} else {
+		// Plain mode still serves the peer ops (single-node topology), so the
+		// unified client's Load/TableDef work against any server.
+		topo := cluster.Topology{Addrs: []string{addr}, Shards: nodes, Replicas: 1}
+		if topo, err = topo.Normalize(); err != nil {
+			return err
+		}
+		listenOpts = append(listenOpts,
+			server.WithExtension(cluster.NewPeer(srv, topo, 0)))
+	}
+	tcp, err := server.Listen(srv, addr, listenOpts...)
 	if err != nil {
 		return err
 	}
 	defer tcp.Close()
-	fmt.Printf("vdr-serve: listening on %s (max-concurrent=%d queue=%d)\n",
-		tcp.Addr(), cfg.MaxConcurrent, cfg.MaxQueue)
+	if clustered {
+		fmt.Printf("vdr-serve: cluster node %d/%d listening on %s (shards=%d replicas=%d, owns %v)\n",
+			cl.Node, len(topo.Addrs), tcp.Addr(), topo.Shards, topo.Replicas, topo.OwnedShards(cl.Node))
+	} else {
+		fmt.Printf("vdr-serve: listening on %s (max-concurrent=%d queue=%d)\n",
+			tcp.Addr(), cfg.MaxConcurrent, cfg.MaxQueue)
+	}
 	if demo {
 		fmt.Printf("vdr-serve: try: %s\n", bench.ServePredictSQL)
 	}
 
 	var admin *http.Server
 	if adminAddr != "" {
-		admin = &http.Server{Addr: adminAddr, Handler: server.AdminHandler(srv)}
+		admin = &http.Server{Addr: adminAddr, Handler: server.AdminHandler(srv, adminOpts...)}
 		go func() {
 			fmt.Printf("vdr-serve: admin endpoint on http://%s (/metrics /statements /traces/recent /healthz /debug/pprof/)\n", adminAddr)
 			if err := admin.ListenAndServe(); err != nil && err != http.ErrServerClosed {

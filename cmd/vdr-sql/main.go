@@ -31,6 +31,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -39,23 +40,28 @@ import (
 	"strings"
 
 	"verticadr"
-	"verticadr/internal/faults"
+	"verticadr/internal/cliflags"
 	"verticadr/internal/telemetry"
 )
 
 func main() {
-	nodes := flag.Int("nodes", 4, "database cluster size")
-	data := flag.String("data", "", "durable mode: persist under this directory (write-ahead log + checkpoints); reopening recovers the previous state")
+	nodes := cliflags.Nodes(flag.CommandLine, 4)
+	data := cliflags.DataDir(flag.CommandLine)
 	demo := flag.Bool("demo", false, "create and fill a demo table plus a deployed model")
-	chaos := flag.Bool("chaos", false, "run under the standard fault-injection profile (recovery paths must absorb it)")
-	chaosSeed := flag.Int64("chaos-seed", 42, "seed for the chaos profile")
-	par := flag.Int("j", 0, "intra-node execution degree for scans/aggregation/IRLS (0 = GOMAXPROCS); results are identical at every degree")
+	connect := flag.String("connect", "", "comma-separated vdr-serve addresses: run as a remote shell against a (clustered) server instead of in-process")
+	chaos := cliflags.ChaosFlags(flag.CommandLine)
+	par := cliflags.Parallelism(flag.CommandLine)
 	flag.Parse()
 
-	if *chaos {
-		in := faults.Chaos(*chaosSeed)
-		faults.Install(in)
-		fmt.Printf("chaos profile armed (seed %d); \\metrics shows faults_injected_total\n", *chaosSeed)
+	if chaos.Arm() {
+		fmt.Println("\\metrics shows faults_injected_total")
+	}
+
+	if *connect != "" {
+		if err := remoteShell(*connect); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	s, err := verticadr.Start(verticadr.Config{DBNodes: *nodes, Parallelism: *par, DataDir: *data, Durable: *data != ""})
@@ -226,4 +232,66 @@ func seedDemo(s *verticadr.Session) {
 	fmt.Println(`  SELECT count(*), avg(y) FROM demo;`)
 	fmt.Println(`  SELECT * FROM R_Models;`)
 	fmt.Println(`  SELECT GlmPredict(a, b USING PARAMETERS model='m') OVER (PARTITION BEST) FROM demo LIMIT 5;`)
+}
+
+// remoteShell runs the shell against running vdr-serve nodes instead of an
+// in-process session: statements route through the unified cluster client,
+// which fails idempotent reads over to another node when one dies.
+func remoteShell(addrs string) error {
+	ctx := context.Background()
+	cfg := verticadr.ClusterConfig{Addrs: strings.Split(addrs, ",")}
+	cl, err := verticadr.Dial(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	fmt.Printf("connected: %d node(s) — %s\n", len(cfg.Addrs), addrs)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("vdr> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == "\\q" || line == "exit" || line == "quit":
+			return nil
+		case line == "\\health":
+			for _, h := range cl.Health(ctx) {
+				state := "up"
+				if !h.Up {
+					state = "down"
+				}
+				fmt.Printf("  node %d %s: %s, shards %v\n", h.Node, h.Addr, state, h.Shards)
+			}
+		default:
+			res, err := cl.Query(ctx, line)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			if res.Profile != nil {
+				if js, err := json.MarshalIndent(res.Profile, "", "  "); err == nil {
+					fmt.Println(string(js))
+				}
+			}
+			if len(res.Cols) > 0 {
+				fmt.Println(strings.Join(res.Cols, " | "))
+				for i, row := range res.Rows {
+					if i >= 50 {
+						fmt.Printf("... (%d rows total)\n", len(res.Rows))
+						break
+					}
+					parts := make([]string, len(row))
+					for j, v := range row {
+						parts[j] = fmt.Sprintf("%v", v)
+					}
+					fmt.Println(strings.Join(parts, " | "))
+				}
+			}
+			fmt.Println("OK")
+		}
+		fmt.Print("vdr> ")
+	}
+	return nil
 }

@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"verticadr/internal/colstore"
+	"verticadr/internal/server"
+	"verticadr/internal/sqlexec"
+	"verticadr/internal/verr"
+)
+
+func TestTopologyPlacement(t *testing.T) {
+	topo, err := Topology{Addrs: []string{"a", "b", "c"}, Shards: 3, Replicas: 2}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ring placement: shard s on peers (s, s+1) mod 3, primary first.
+	wantOwners := [][]int{{0, 1}, {1, 2}, {2, 0}}
+	for s, want := range wantOwners {
+		if got := topo.Owners(s); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Owners(%d) = %v, want %v", s, got, want)
+		}
+	}
+	wantShards := [][]int{{0, 2}, {0, 1}, {1, 2}}
+	for node, want := range wantShards {
+		if got := topo.OwnedShards(node); !reflect.DeepEqual(got, want) {
+			t.Fatalf("OwnedShards(%d) = %v, want %v", node, got, want)
+		}
+	}
+	if !topo.Owns(0, 2) || topo.Owns(0, 1) {
+		t.Fatal("Owns disagrees with Owners")
+	}
+
+	// Defaults: shards = peers, replicas = 2 capped to peer count.
+	one, err := Topology{Addrs: []string{"a"}}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Shards != 1 || one.Replicas != 1 {
+		t.Fatalf("single-peer defaults = %+v", one)
+	}
+	if _, err := (Topology{}).Normalize(); err == nil {
+		t.Fatal("empty topology normalized")
+	}
+	if _, err := (Topology{Addrs: []string{"a"}, Replicas: 2}.Normalize()); err == nil {
+		t.Fatal("replication factor above peer count normalized")
+	}
+}
+
+func TestWireValueRoundTripExact(t *testing.T) {
+	nanPayload := math.Float64frombits(0x7ff8deadbeef0001)
+	vals := []any{
+		nil, int64(-42), int64(0), "azul", "", true, false,
+		0.0, math.Copysign(0, -1), 2.5, math.Inf(1), math.Inf(-1),
+		math.NaN(), nanPayload,
+	}
+	for i, v := range vals {
+		w, err := encodeValue(v)
+		if err != nil {
+			t.Fatalf("value %d (%#v): %v", i, v, err)
+		}
+		got, err := w.decode()
+		if err != nil {
+			t.Fatalf("value %d (%#v): %v", i, v, err)
+		}
+		if !bitIdentical(v, got) {
+			t.Fatalf("value %d: %#v round-tripped to %#v", i, v, got)
+		}
+	}
+	// The NaN payload itself must survive, not just NaN-ness.
+	w, _ := encodeValue(nanPayload)
+	got, _ := w.decode()
+	if math.Float64bits(got.(float64)) != 0x7ff8deadbeef0001 {
+		t.Fatalf("NaN payload lost: %x", math.Float64bits(got.(float64)))
+	}
+	if _, err := encodeValue(int32(1)); err == nil {
+		t.Fatal("unboxable type encoded")
+	}
+}
+
+func TestAggPartialRoundTrip(t *testing.T) {
+	p := &sqlexec.AggPartial{
+		OutTypes: []colstore.Type{colstore.TypeInt64, colstore.TypeFloat64},
+		Groups: []sqlexec.AggPartialGroup{
+			{
+				Key:     "red\x00true",
+				KeyVals: []any{"red", true},
+				States: []*sqlexec.AggPartialState{
+					nil, // group-column passthrough
+					{Fn: "sum", Count: 7, Sum: 3.5, Min: math.Copysign(0, -1), Max: math.NaN()},
+				},
+			},
+			{
+				Key:     "blue\x00false",
+				KeyVals: []any{"blue", false},
+				States: []*sqlexec.AggPartialState{
+					nil,
+					{Fn: "count", Count: 0, Sum: 0, Min: nil, Max: nil},
+				},
+			},
+		},
+	}
+	w, err := encodeAggPartial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeAggPartial(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.OutTypes, p.OutTypes) {
+		t.Fatalf("out types %v != %v", got.OutTypes, p.OutTypes)
+	}
+	if len(got.Groups) != len(p.Groups) {
+		t.Fatalf("%d groups, want %d", len(got.Groups), len(p.Groups))
+	}
+	for gi := range p.Groups {
+		pg, gg := p.Groups[gi], got.Groups[gi]
+		if gg.Key != pg.Key {
+			t.Fatalf("group %d key %q != %q (NUL separator must survive)", gi, gg.Key, pg.Key)
+		}
+		for vi := range pg.KeyVals {
+			if !bitIdentical(pg.KeyVals[vi], gg.KeyVals[vi]) {
+				t.Fatalf("group %d keyval %d: %#v != %#v", gi, vi, gg.KeyVals[vi], pg.KeyVals[vi])
+			}
+		}
+		for si := range pg.States {
+			ps, gs := pg.States[si], gg.States[si]
+			if (ps == nil) != (gs == nil) {
+				t.Fatalf("group %d state %d nil-ness differs", gi, si)
+			}
+			if ps == nil {
+				continue
+			}
+			if gs.Fn != ps.Fn || gs.Count != ps.Count ||
+				math.Float64bits(gs.Sum) != math.Float64bits(ps.Sum) ||
+				!bitIdentical(ps.Min, gs.Min) || !bitIdentical(ps.Max, gs.Max) {
+				t.Fatalf("group %d state %d: %+v != %+v", gi, si, gs, ps)
+			}
+		}
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err   error
+		retry bool
+		conn  bool
+	}{
+		{verr.ErrNodeDown, true, true},
+		{verr.ErrClosed, true, true},
+		{verr.ErrOverloaded, true, false},
+		{fmt.Errorf("wrap: %w", verr.ErrOverloaded), true, false},
+		{verr.ErrCanceled, false, false},
+		{fmt.Errorf("%w: %w", verr.ErrNodeDown, verr.ErrCanceled), false, true},
+		{errors.New("syntax error"), false, false},
+	}
+	for i, c := range cases {
+		if got := retryable(c.err); got != c.retry {
+			t.Fatalf("case %d (%v): retryable = %v, want %v", i, c.err, got, c.retry)
+		}
+		if got := connFailure(c.err); got != c.conn {
+			t.Fatalf("case %d (%v): connFailure = %v, want %v", i, c.err, got, c.conn)
+		}
+	}
+}
+
+// TestRouterFailoverOnReplicaDeath kills one peer of a replicated 2-node
+// cluster and requires reads to keep answering from the survivor, the
+// health view to record the death, and the prober to resurrect the peer
+// when its listener returns.
+func TestRouterFailoverOnReplicaDeath(t *testing.T) {
+	tc := startCluster(t, 2, 2, 2)
+	ctx := context.Background()
+	tc.exec(fmt.Sprintf(testDDL, "t", "HASH(id)"))
+	tc.exec(`INSERT INTO t VALUES (1, 2, 3, 1.5, 2.5, 'red', true), (2, 3, 4, -0.5, 0.5, 'blue', false)`)
+
+	if err := tc.nodes[1].tcp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tc.router(0).Query(ctx, `SELECT count(*) AS n FROM t`)
+	if err != nil {
+		t.Fatalf("read did not fail over: %v", err)
+	}
+	if n := res.Rows()[0][0].(int64); n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+	if h := tc.router(0).Health(); h[1].Up {
+		t.Fatal("dead peer still marked up")
+	}
+
+	tcp, err := server.Listen(tc.nodes[1].srv, tc.nodes[1].addr,
+		server.WithFrontend(tc.nodes[1].router),
+		server.WithExtension(NodeExtension(tc.nodes[1].peer, tc.nodes[1].router)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tcp.Close() })
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if h := tc.router(0).Health(); h[1].Up {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("prober never restored the peer")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRouterPrepareExecute binds a router-side prepared statement; no peer
+// ever sees the unbound template.
+func TestRouterPrepareExecute(t *testing.T) {
+	tc := startCluster(t, 2, 2, 1)
+	ctx := context.Background()
+	tc.exec(fmt.Sprintf(testDDL, "t", "HASH(id)"))
+	tc.exec(`INSERT INTO t VALUES (1, 5, 0, 1.0, 0.0, 'red', true), (2, -5, 0, 2.0, 0.0, 'blue', false), (3, 9, 0, 3.0, 0.0, 'red', true)`)
+
+	r := tc.router(0)
+	if err := r.Prepare("above", `SELECT id, a FROM t WHERE a > ? ORDER BY id`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Execute(ctx, "above", int64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows()
+	if len(rows) != 2 || rows[0][0].(int64) != 1 || rows[1][0].(int64) != 3 {
+		t.Fatalf("execute rows = %v", rows)
+	}
+	if _, err := r.Execute(ctx, "missing"); err == nil {
+		t.Fatal("execute of unknown statement succeeded")
+	}
+	if err := r.Prepare("", `SELECT 1`); err == nil {
+		t.Fatal("empty statement name prepared")
+	}
+}
+
+// TestProbeHealth exercises the client-facing health probe helper against
+// one live and one dead address.
+func TestProbeHealth(t *testing.T) {
+	tc := startCluster(t, 1, 1, 1)
+	dead := freeAddrs(t, 1)[0]
+	hs := ProbeHealth(context.Background(), []string{tc.nodes[0].addr, dead}, time.Second)
+	if len(hs) != 2 {
+		t.Fatalf("%d reports, want 2", len(hs))
+	}
+	if !hs[0].Up {
+		t.Fatalf("live node reported down: %+v", hs[0])
+	}
+	if hs[1].Up {
+		t.Fatalf("dead address reported up: %+v", hs[1])
+	}
+}
+
+// TestDiscoverHealth dials a single node of a 3-node cluster and must get
+// a health report for all three, with per-node shard ownership, because
+// the contacted peer reports the full address list. A dead seed address
+// falls through to the next one.
+func TestDiscoverHealth(t *testing.T) {
+	tc := startCluster(t, 3, 3, 2)
+	ctx := context.Background()
+	dead := freeAddrs(t, 1)[0]
+	for _, seeds := range [][]string{
+		{tc.nodes[1].addr},
+		{dead, tc.nodes[0].addr},
+	} {
+		hs := DiscoverHealth(ctx, seeds, time.Second)
+		if len(hs) != 3 {
+			t.Fatalf("seeds %v: %d reports, want 3", seeds, len(hs))
+		}
+		for i, h := range hs {
+			if !h.Up || h.Addr != tc.nodes[i].addr {
+				t.Fatalf("seeds %v: node %d report %+v", seeds, i, h)
+			}
+			if want := tc.topo.OwnedShards(i); !reflect.DeepEqual(h.Shards, want) {
+				t.Fatalf("seeds %v: node %d shards %v, want %v", seeds, i, h.Shards, want)
+			}
+		}
+	}
+	// Nothing reachable: fall back to probing the seeds themselves.
+	hs := DiscoverHealth(ctx, []string{dead}, 200*time.Millisecond)
+	if len(hs) != 1 || hs[0].Up {
+		t.Fatalf("dead-only discovery = %+v", hs)
+	}
+}

@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"verticadr/internal/server"
+	"verticadr/internal/vft"
+)
+
+// nodeExt is the protocol extension a clustered vdr-serve registers: the
+// two cluster roles of one node behind a single dispatch. Shard-level ops
+// answer locally through the Peer; a front-door COPY — cl.load with Shard
+// == -1, "ingest this batch as if COPY'd at this node" — routes through
+// the Router instead, so rows land on their owning shards cluster-wide.
+// On a plain (non-clustered) server the Peer alone serves the same op by
+// loading through the local segmentation; the client cannot tell the
+// difference, which is what makes one client API serve both shapes.
+type nodeExt struct {
+	peer   *Peer
+	router *Router
+}
+
+// NodeExtension bundles a Peer and a Router into the extension handler of
+// a clustered node.
+func NodeExtension(p *Peer, r *Router) server.Extension { return &nodeExt{peer: p, router: r} }
+
+func (n *nodeExt) ServeExt(ctx context.Context, op string, payload json.RawMessage) (any, error) {
+	if op != opLoad {
+		return n.peer.ServeExt(ctx, op, payload)
+	}
+	var req loadRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, fmt.Errorf("cluster: bad %s request: %w", op, err)
+	}
+	mPeerOps(op).Inc()
+	if req.Shard != -1 {
+		return n.peer.serveLoad(ctx, req)
+	}
+	rt, err := n.router.table(ctx, req.Table)
+	if err != nil {
+		return nil, err
+	}
+	b, err := vft.DecodeChunk(req.Chunk, rt.def.Schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.router.Load(ctx, req.Table, b); err != nil {
+		return nil, err
+	}
+	return &loadReply{Rows: b.Len()}, nil
+}

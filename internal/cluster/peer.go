@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"verticadr/internal/server"
+	"verticadr/internal/sqlexec"
+	"verticadr/internal/sqlparse"
+	"verticadr/internal/telemetry"
+	"verticadr/internal/vertica"
+	"verticadr/internal/vft"
+)
+
+var (
+	mPeerOps = func(op string) *telemetry.Counter {
+		return telemetry.Default().Counter("cluster_peer_ops_total", telemetry.L("op", op))
+	}
+	mPeerShardRows = telemetry.Default().Counter("cluster_peer_shard_rows_total")
+	mPeerLoadRows  = telemetry.Default().Counter("cluster_peer_load_rows_total")
+)
+
+// Peer serves the cluster's shard-level protocol on one node. It is a
+// server.Extension: registered on the node's TCPServer it answers the
+// cl.* ops against the node's local database, whose segment layout is the
+// cluster's shard layout (the database opens with Topology.Shards nodes
+// and only the shards placed on this peer ever receive rows).
+//
+// Read ops run under the serving layer's admission control (Server.Admit),
+// so a saturated peer sheds shard work with verr.ErrOverloaded and the
+// router retries the shard on a replica. Write ops (cl.load) bypass
+// admission: a shed write would falsely mark the replica stale, and the
+// WAL group commit already paces concurrent loads.
+type Peer struct {
+	srv  *server.Server
+	db   *vertica.DB
+	topo Topology
+	node int
+}
+
+// NewPeer wraps srv as cluster peer node of topo (not validated against
+// the database's node count; the caller opens the database with
+// topo.Shards nodes).
+func NewPeer(srv *server.Server, topo Topology, node int) *Peer {
+	return &Peer{srv: srv, db: srv.Session().DB, topo: topo, node: node}
+}
+
+var _ server.Extension = (*Peer)(nil)
+
+// ServeExt dispatches one cluster op.
+func (p *Peer) ServeExt(ctx context.Context, op string, payload json.RawMessage) (any, error) {
+	mPeerOps(op).Inc()
+	switch op {
+	case opSelect:
+		var req selectRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, fmt.Errorf("cluster: bad %s request: %w", op, err)
+		}
+		return p.serveSelect(ctx, req)
+	case opAgg:
+		var req aggRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, fmt.Errorf("cluster: bad %s request: %w", op, err)
+		}
+		return p.serveAgg(ctx, req)
+	case opExplain:
+		var req explainRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, fmt.Errorf("cluster: bad %s request: %w", op, err)
+		}
+		return p.serveExplain(ctx, req)
+	case opLoad:
+		var req loadRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, fmt.Errorf("cluster: bad %s request: %w", op, err)
+		}
+		return p.serveLoad(ctx, req)
+	case opExec:
+		var req execRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, fmt.Errorf("cluster: bad %s request: %w", op, err)
+		}
+		return p.serveExec(ctx, req)
+	case opTableDef:
+		var req tableDefRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, fmt.Errorf("cluster: bad %s request: %w", op, err)
+		}
+		return p.db.TableDef(req.Table)
+	case opHealth:
+		h := p.srv.Health()
+		return healthReply{
+			Node:      p.node,
+			Shards:    p.topo.OwnedShards(p.node),
+			Peers:     p.topo.Addrs,
+			Epoch:     p.db.CatalogEpoch(),
+			Inflight:  int(h.Inflight),
+			Queued:    int(h.Queued),
+			Saturated: h.Saturated,
+		}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown op %q", op)
+}
+
+// checkShards validates a requested shard list against this peer's
+// ownership.
+func (p *Peer) checkShards(shards []int) error {
+	if len(shards) == 0 {
+		return fmt.Errorf("cluster: empty shard list")
+	}
+	for _, s := range shards {
+		if s < 0 || s >= p.topo.Shards {
+			return fmt.Errorf("cluster: no shard %d", s)
+		}
+		if !p.topo.Owns(p.node, s) {
+			return fmt.Errorf("cluster: peer %d does not own shard %d", p.node, s)
+		}
+	}
+	return nil
+}
+
+func parseSelect(sql string) (*sqlparse.Select, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparse.Select)
+	if !ok {
+		return nil, fmt.Errorf("cluster: expected SELECT, got %T", stmt)
+	}
+	return sel, nil
+}
+
+// serveSelect runs the SELECT once per requested shard over a restricted
+// snapshot view and returns each shard's finished rows as a vft chunk.
+// Each shard view pins its own snapshot; the shards of one request may
+// observe different commit timestamps, exactly as separate nodes of a real
+// cluster answer from their own commit horizons.
+func (p *Peer) serveSelect(ctx context.Context, req selectRequest) (*selectReply, error) {
+	if err := p.checkShards(req.Shards); err != nil {
+		return nil, err
+	}
+	sel, err := parseSelect(req.SQL)
+	if err != nil {
+		return nil, err
+	}
+	reply := &selectReply{}
+	_, err = p.srv.Admit(ctx, req.SQL, func(ctx context.Context) (*sqlexec.Result, error) {
+		for _, s := range req.Shards {
+			view, release := p.db.ShardView([]int{s})
+			res, err := sqlexec.RunSelectCtx(ctx, view, sel)
+			release()
+			if err != nil {
+				return nil, err
+			}
+			chunk, err := vft.EncodeChunk(res.Batch)
+			if err != nil {
+				return nil, err
+			}
+			if reply.Cols == nil {
+				for _, c := range res.Batch.Schema {
+					reply.Cols = append(reply.Cols, c.Name)
+					reply.Types = append(reply.Types, c.Type)
+				}
+				if reply.Cols == nil {
+					reply.Cols = []string{}
+				}
+			}
+			reply.Chunks = append(reply.Chunks, chunk)
+			mPeerShardRows.Add(int64(res.Batch.Len()))
+		}
+		return nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// serveAgg computes one aggregate partial per requested shard.
+func (p *Peer) serveAgg(ctx context.Context, req aggRequest) (*aggReply, error) {
+	if err := p.checkShards(req.Shards); err != nil {
+		return nil, err
+	}
+	sel, err := parseSelect(req.SQL)
+	if err != nil {
+		return nil, err
+	}
+	reply := &aggReply{}
+	_, err = p.srv.Admit(ctx, req.SQL, func(ctx context.Context) (*sqlexec.Result, error) {
+		for _, s := range req.Shards {
+			view, release := p.db.ShardView([]int{s})
+			part, err := sqlexec.RunPartialAggregate(ctx, view, sel)
+			release()
+			if err != nil {
+				return nil, err
+			}
+			wp, err := encodeAggPartial(part)
+			if err != nil {
+				return nil, err
+			}
+			reply.Partials = append(reply.Partials, wp)
+		}
+		return nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// serveExplain plans the statement against a view restricted to the
+// requested shards (the peer's own shards, typically) and returns the plan
+// rows as text.
+func (p *Peer) serveExplain(ctx context.Context, req explainRequest) (*explainReply, error) {
+	if err := p.checkShards(req.Shards); err != nil {
+		return nil, err
+	}
+	stmt, err := sqlparse.Parse(req.SQL)
+	if err != nil {
+		return nil, err
+	}
+	ex, ok := stmt.(*sqlparse.Explain)
+	if !ok {
+		return nil, fmt.Errorf("cluster: expected EXPLAIN, got %T", stmt)
+	}
+	view, release := p.db.ShardView(req.Shards)
+	defer release()
+	res, err := sqlexec.RunExplainCtx(ctx, view, ex)
+	if err != nil {
+		return nil, err
+	}
+	reply := &explainReply{}
+	for _, c := range res.Schema() {
+		reply.Cols = append(reply.Cols, c.Name)
+	}
+	for _, row := range res.Rows() {
+		out := make([]string, len(row))
+		for i, v := range row {
+			out[i] = fmt.Sprint(v)
+		}
+		reply.Rows = append(reply.Rows, out)
+	}
+	return reply, nil
+}
+
+// serveLoad appends a router-split batch to one shard (or, with Shard ==
+// -1, through the peer's own segmentation — the single-node passthrough).
+func (p *Peer) serveLoad(ctx context.Context, req loadRequest) (*loadReply, error) {
+	if err := verrCanceled(ctx); err != nil {
+		return nil, err
+	}
+	def, err := p.db.TableDef(req.Table)
+	if err != nil {
+		return nil, err
+	}
+	b, err := vft.DecodeChunk(req.Chunk, def.Schema)
+	if err != nil {
+		return nil, err
+	}
+	if req.Shard == -1 {
+		err = p.db.Load(req.Table, b)
+	} else {
+		if err := p.checkShards([]int{req.Shard}); err != nil {
+			return nil, err
+		}
+		err = p.db.LoadAt(req.Table, req.Shard, b)
+	}
+	if err != nil {
+		return nil, err
+	}
+	mPeerLoadRows.Add(int64(b.Len()))
+	return &loadReply{Rows: b.Len()}, nil
+}
+
+// serveExec runs a broadcast DDL statement locally. INSERT and SELECT are
+// refused: the router splits INSERTs itself (a broadcast would duplicate
+// rows) and SELECTs travel through the shard ops.
+func (p *Peer) serveExec(ctx context.Context, req execRequest) (*execReply, error) {
+	stmt, err := sqlparse.Parse(req.SQL)
+	if err != nil {
+		return nil, err
+	}
+	switch stmt.(type) {
+	case *sqlparse.Select, *sqlparse.Explain, *sqlparse.Insert:
+		return nil, fmt.Errorf("cluster: %T is not broadcastable", stmt)
+	}
+	if _, err := p.db.RunStatement(ctx, stmt, req.SQL); err != nil {
+		return nil, err
+	}
+	return &execReply{}, nil
+}

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"verticadr/internal/server"
+)
+
+// pool keeps idle protocol connections to one peer. Connections are
+// checked out per call; a connection that saw a transport error is closed
+// by the caller instead of returned, so the pool only ever holds
+// connections whose last round trip succeeded.
+type pool struct {
+	addr        string
+	dialTimeout time.Duration
+
+	mu   sync.Mutex
+	idle []*server.Client
+}
+
+// get returns an idle connection or dials a new one. Dial failures carry
+// verr.ErrNodeDown (see server.DialTimeout), which the router's failover
+// classifies as retryable.
+func (p *pool) get() (*server.Client, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	return server.DialTimeout(p.addr, p.dialTimeout)
+}
+
+// put returns a healthy connection for reuse.
+func (p *pool) put(c *server.Client) {
+	p.mu.Lock()
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+func (p *pool) closeAll() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, c := range idle {
+		_ = c.Close()
+	}
+}

@@ -1,0 +1,94 @@
+// Package cluster promotes the single-process N-node database model to N
+// real vdr-serve processes: a deterministic shard topology with k-way
+// replica placement, a peer-side protocol extension executing shard-local
+// work, and a router that fans SELECT/PREDICT/COPY out over TCP and merges
+// partial results deterministically (aggregates re-merged from partial
+// states, ORDER BY k-way merged, UDTF output concatenated in shard order).
+// It is the deployment shape of the paper's 24-node evaluation cluster:
+// tables are hash- or round-robin-segmented across shards exactly as the
+// in-process engine segments them across nodes, so a routed query is
+// bitwise-comparable to the same query on one big node.
+//
+// Failure handling: every peer is health-probed; idempotent reads retry on
+// the next replica when a peer is unreachable or sheds with
+// verr.ErrOverloaded; writes go to every replica of a shard, and a replica
+// that misses a write is never read again (no re-sync in this version —
+// the failover contract is documented in DESIGN.md §14). Only when every
+// replica of a shard is unusable does the router surface verr.ErrNodeDown.
+package cluster
+
+import "fmt"
+
+// Topology is the deterministic shard map: Shards hash segments placed on
+// len(Addrs) peers with Replicas-way replication on a ring. Shard s lives
+// on peers (s+r) mod n for r in 0..Replicas-1, primary first — the same
+// "neighboring node holds the buddy projection" placement the paper's
+// k-safety design uses.
+type Topology struct {
+	// Addrs are the peer addresses; the index is the peer's node ID.
+	Addrs []string
+	// Shards is the number of table segments (>= 1). Every peer opens its
+	// local database with this many nodes and owns the segments placed on
+	// it; unowned segments stay empty.
+	Shards int
+	// Replicas is the replication factor (1 <= Replicas <= len(Addrs)).
+	Replicas int
+}
+
+// Normalize fills defaults (Shards = number of peers, Replicas = 2 capped
+// to the peer count) and validates the result.
+func (t Topology) Normalize() (Topology, error) {
+	n := len(t.Addrs)
+	if n == 0 {
+		return t, fmt.Errorf("cluster: topology needs at least one peer address")
+	}
+	if t.Shards == 0 {
+		t.Shards = n
+	}
+	if t.Replicas == 0 {
+		t.Replicas = 2
+		if t.Replicas > n {
+			t.Replicas = n
+		}
+	}
+	if t.Shards < 1 {
+		return t, fmt.Errorf("cluster: %d shards", t.Shards)
+	}
+	if t.Replicas < 1 || t.Replicas > n {
+		return t, fmt.Errorf("cluster: replication factor %d with %d peers", t.Replicas, n)
+	}
+	return t, nil
+}
+
+// Owners returns the peers holding shard s, primary first, in ring order.
+func (t Topology) Owners(s int) []int {
+	owners := make([]int, t.Replicas)
+	for r := range owners {
+		owners[r] = (s + r) % len(t.Addrs)
+	}
+	return owners
+}
+
+// OwnedShards returns the shards peer node holds a replica of, ascending.
+func (t Topology) OwnedShards(node int) []int {
+	var shards []int
+	for s := 0; s < t.Shards; s++ {
+		for _, o := range t.Owners(s) {
+			if o == node {
+				shards = append(shards, s)
+				break
+			}
+		}
+	}
+	return shards
+}
+
+// Owns reports whether peer node holds a replica of shard s.
+func (t Topology) Owns(node, s int) bool {
+	for _, o := range t.Owners(s) {
+		if o == node {
+			return true
+		}
+	}
+	return false
+}

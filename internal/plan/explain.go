@@ -95,6 +95,12 @@ func nodeLabel(n *Node) string {
 	if n.Detail != "" {
 		s += " [" + n.Detail + "]"
 	}
+	// Scans over a segmented table fan out one worker per segment — the
+	// same shape a cluster router fans out per shard. Single-segment scans
+	// stay unannotated (and golden-stable).
+	if n.Segs > 1 {
+		s += fmt.Sprintf(" {fan-out %d segments}", n.Segs)
+	}
 	return s
 }
 
@@ -127,6 +133,7 @@ type jsonNode struct {
 	Alias      string      `json:"alias,omitempty"`
 	Index      string      `json:"index,omitempty"`
 	Detail     string      `json:"detail,omitempty"`
+	Segments   int         `json:"segments,omitempty"` // scan fan-out width when segmented (> 1)
 	EstRows    int64       `json:"est_rows"`
 	ActualRows *int64      `json:"actual_rows,omitempty"`
 	Children   []*jsonNode `json:"children,omitempty"`
@@ -141,6 +148,9 @@ func toJSONNode(n *Node, actuals map[int]int64) *jsonNode {
 	}
 	if n.Alias != "" && n.Alias != n.Table {
 		j.Alias = n.Alias
+	}
+	if n.Segs > 1 {
+		j.Segments = n.Segs
 	}
 	if n.Access != nil {
 		j.Index = n.Access.IndexCol

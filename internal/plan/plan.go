@@ -89,6 +89,7 @@ type Node struct {
 	Residual sqlparse.Expr
 	Runs     bool   // aggregate: run-aware fast path eligible
 	Fn       string // UDTF: function name
+	Segs     int    // scan nodes: segments the scan fans out over
 	Detail   string
 	EstRows  int64
 	Children []*Node
@@ -242,6 +243,7 @@ func (b *builder) scanNode(table, alias string, def *catalog.TableDef, ts *table
 	n.Table = table
 	n.Alias = alias
 	n.Access = acc
+	n.Segs = len(ts.segs)
 	n.EstRows = estimateRows(ts.rows, estSel)
 	return n
 }

@@ -19,7 +19,15 @@ import (
 //	GET /traces/recent  most recent traces as span trees (?n=  bounds count)
 //	GET /healthz        200 while admitting, 503 when saturated or closed
 //	/debug/pprof/*      the standard Go profiling surface
-func AdminHandler(srv *Server) http.Handler {
+//
+// On a clustered node (WithClusterState), /healthz additionally reports the
+// router's per-peer view — which peers are up and which shard replicas have
+// been retired as stale — under the "cluster" key.
+func AdminHandler(srv *Server, opts ...AdminOption) http.Handler {
+	var cfg adminCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	reg := telemetry.Default()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -43,7 +51,11 @@ func AdminHandler(srv *Server) http.Handler {
 		if h.Saturated {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
-		writeJSON(w, h)
+		if cfg.clusterState == nil {
+			writeJSON(w, h)
+			return
+		}
+		writeJSON(w, map[string]any{"server": h, "cluster": cfg.clusterState()})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -51,6 +63,19 @@ func AdminHandler(srv *Server) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// AdminOption customizes the admin surface.
+type AdminOption func(*adminCfg)
+
+type adminCfg struct {
+	clusterState func() any
+}
+
+// WithClusterState attaches a cluster-state source (typically the router's
+// Health) to /healthz.
+func WithClusterState(fn func() any) AdminOption {
+	return func(c *adminCfg) { c.clusterState = fn }
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -43,6 +43,11 @@ type protoRequest struct {
 	// trace across both processes.
 	Trace string `json:"trace,omitempty"`
 	Span  string `json:"span,omitempty"`
+	// Ext carries the op-specific payload of a protocol-extension request
+	// (ops outside the built-in set, dispatched to the listener's
+	// Extension). Binary batch data rides inside as base64 []byte fields,
+	// so float bits survive the JSON envelope untouched.
+	Ext json.RawMessage `json:"ext,omitempty"`
 }
 
 type protoResponse struct {
@@ -51,12 +56,34 @@ type protoResponse struct {
 	Cols    []string               `json:"cols,omitempty"`
 	Rows    [][]any                `json:"rows,omitempty"`
 	Profile *sqlexec.ProfileExport `json:"profile,omitempty"`
+	// Ext is the extension op's reply payload.
+	Ext json.RawMessage `json:"ext,omitempty"`
+}
+
+// Frontend serves the protocol's SQL ops. A plain server fronts its own
+// Server; a cluster peer fronts the router instead, so any node answers any
+// query with cluster-wide results (the MPP "every node is an initiator"
+// shape).
+type Frontend interface {
+	Query(ctx context.Context, sql string) (*sqlexec.Result, error)
+	Prepare(name, sql string) error
+	Execute(ctx context.Context, name string, args ...any) (*sqlexec.Result, error)
+}
+
+// Extension handles protocol ops outside the built-in set ("query",
+// "prepare", "execute", "ping"). It returns the op's reply payload, which
+// is marshaled into the response's Ext field; errors map to wire codes like
+// any other op. The cluster peer protocol is an Extension.
+type Extension interface {
+	ServeExt(ctx context.Context, op string, payload json.RawMessage) (any, error)
 }
 
 // TCPServer exposes a Server over a TCP listener.
 type TCPServer struct {
-	srv *Server
-	lis net.Listener
+	srv   *Server
+	front Frontend
+	ext   Extension
+	lis   net.Listener
 
 	mu       sync.Mutex
 	conns    map[net.Conn]bool // conn -> currently serving a request
@@ -65,13 +92,25 @@ type TCPServer struct {
 	wg       sync.WaitGroup
 }
 
+// ListenOption customizes a TCPServer before it starts accepting.
+type ListenOption func(*TCPServer)
+
+// WithFrontend routes the SQL ops through f instead of the Server itself.
+func WithFrontend(f Frontend) ListenOption { return func(t *TCPServer) { t.front = f } }
+
+// WithExtension registers a handler for protocol-extension ops.
+func WithExtension(e Extension) ListenOption { return func(t *TCPServer) { t.ext = e } }
+
 // Listen starts serving srv on addr (host:port; port 0 picks a free port).
-func Listen(srv *Server, addr string) (*TCPServer, error) {
+func Listen(srv *Server, addr string, opts ...ListenOption) (*TCPServer, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	t := &TCPServer{srv: srv, lis: lis, conns: map[net.Conn]bool{}}
+	t := &TCPServer{srv: srv, front: srv, lis: lis, conns: map[net.Conn]bool{}}
+	for _, o := range opts {
+		o(t)
+	}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -235,7 +274,7 @@ func (t *TCPServer) serve(frame []byte) protoResponse {
 	case "ping":
 		return protoResponse{Code: verr.CodeOK}
 	case "prepare":
-		if err := t.srv.Prepare(req.Name, req.SQL); err != nil {
+		if err := t.front.Prepare(req.Name, req.SQL); err != nil {
 			return errResponse(err)
 		}
 		return protoResponse{Code: verr.CodeOK}
@@ -244,18 +283,29 @@ func (t *TCPServer) serve(frame []byte) protoResponse {
 		if err != nil {
 			return protoResponse{Code: verr.CodeInternal, Msg: err.Error()}
 		}
-		res, err := t.srv.Execute(ctx, req.Name, args...)
+		res, err := t.front.Execute(ctx, req.Name, args...)
 		if err != nil {
 			return errResponse(err)
 		}
 		return okResponse(res)
 	case "query":
-		res, err := t.srv.Query(ctx, req.SQL)
+		res, err := t.front.Query(ctx, req.SQL)
 		if err != nil {
 			return errResponse(err)
 		}
 		return okResponse(res)
 	default:
+		if t.ext != nil {
+			reply, err := t.ext.ServeExt(ctx, req.Op, req.Ext)
+			if err != nil {
+				return errResponse(err)
+			}
+			raw, err := json.Marshal(reply)
+			if err != nil {
+				return protoResponse{Code: verr.CodeInternal, Msg: err.Error()}
+			}
+			return protoResponse{Code: verr.CodeOK, Ext: raw}
+		}
 		return protoResponse{Code: verr.CodeInternal, Msg: fmt.Sprintf("unknown op %q", req.Op)}
 	}
 }
@@ -327,6 +377,16 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn}, nil
 }
 
+// DialTimeout connects to a TCPServer with a dial deadline. Failures wrap
+// verr.ErrNodeDown so routing layers can classify them.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w: dial %s: %v", verr.ErrNodeDown, addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
 // Close tears down the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
@@ -357,15 +417,19 @@ func (c *Client) roundTrip(ctx context.Context, req protoRequest) (*protoRespons
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Transport failures — the peer is unreachable or tore the connection
+	// down mid-exchange — wrap verr.ErrNodeDown: the remote never produced
+	// a (coded) reply, which is exactly the condition a cluster router
+	// retries on a replica.
 	if err := vft.WriteFrame(c.conn, payload); err != nil {
-		return nil, fmt.Errorf("server: send: %w", err)
+		return nil, fmt.Errorf("server: %w: send: %v", verr.ErrNodeDown, err)
 	}
 	frame, err := vft.ReadFrame(c.conn, c.buf)
 	if err != nil {
 		if errors.Is(err, io.EOF) {
 			return nil, fmt.Errorf("server: connection closed: %w", verr.ErrClosed)
 		}
-		return nil, fmt.Errorf("server: recv: %w", err)
+		return nil, fmt.Errorf("server: %w: recv: %v", verr.ErrNodeDown, err)
 	}
 	c.buf = frame
 	var resp protoResponse
@@ -424,4 +488,30 @@ func (c *Client) Execute(ctx context.Context, name string, args ...any) (*Rows, 
 func (c *Client) Ping(ctx context.Context) error {
 	_, err := c.roundTrip(ctx, protoRequest{Op: "ping"})
 	return err
+}
+
+// Call round-trips a protocol-extension op: payload marshals into the
+// request's Ext field, the server's Extension handles it, and the reply's
+// Ext unmarshals into reply (skipped when reply is nil). Errors carry verr
+// identity like every other op.
+func (c *Client) Call(ctx context.Context, op string, payload, reply any) error {
+	var raw json.RawMessage
+	if payload != nil {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			return fmt.Errorf("server: %s payload: %w", op, err)
+		}
+		raw = b
+	}
+	resp, err := c.roundTrip(ctx, protoRequest{Op: op, Ext: raw})
+	if err != nil {
+		return err
+	}
+	if reply == nil {
+		return nil
+	}
+	if len(resp.Ext) == 0 {
+		return fmt.Errorf("server: %s: empty extension reply", op)
+	}
+	return json.Unmarshal(resp.Ext, reply)
 }

@@ -270,6 +270,20 @@ func (s *Server) run(ctx context.Context, fingerprint string, fn func(ctx contex
 	return res, err
 }
 
+// Admit runs fn under the server's admission control — the concurrency
+// limiter, bounded wait queue, queue-wait deadline and query timeout — and
+// records it in the per-statement statistics under fingerprint (which may
+// be empty to skip stats). Protocol extensions (the cluster peer ops) use
+// it so shard work on a peer queues and sheds exactly like local queries:
+// a saturated peer answers verr.ErrOverloaded and the router retries the
+// shard on a replica.
+func (s *Server) Admit(ctx context.Context, fingerprint string, fn func(ctx context.Context) (*sqlexec.Result, error)) (*sqlexec.Result, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("server: %w", verr.ErrClosed)
+	}
+	return s.run(ctx, fingerprint, fn)
+}
+
 // Prepare parses and validates sql (a SELECT, possibly with ? placeholders)
 // and registers it under name. Re-preparing a name replaces its statement.
 func (s *Server) Prepare(name, sql string) error {

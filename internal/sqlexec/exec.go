@@ -717,14 +717,42 @@ func runAggregate(ctx context.Context, db Database, sel *sqlparse.Select, prof *
 // count, so results are bitwise identical at every parallel degree.
 func aggregateBatch(ctx context.Context, sel *sqlparse.Select, plans []aggItemPlan, data *colstore.Batch, prof *Profile) (*Result, error) {
 	aggDone := startOp(ctx, prof, "aggregate")
+	part, argVecs, nchunks, err := aggregateChunks(ctx, sel, plans, data)
+	if err != nil {
+		return nil, err
+	}
+	outTypes, err := aggOutputTypes(plans, data, argVecs)
+	if err != nil {
+		return nil, err
+	}
+	out, err := buildAggOutput(sel, plans, outTypes, part.groups, part.order)
+	if err != nil {
+		return nil, err
+	}
+	aggDone.Parallel = parallel.Default().Degree()
+	aggDone.Done(int64(out.Len()), fmt.Sprintf("%d groups, %d aggregates, %d chunks", out.Len(), len(plans), nchunks))
+	return finishSelect(ctx, out, sel, prof)
+}
 
+// aggPartialAcc is the accumulated partial-aggregation state: groups keyed
+// by their rendered group key, plus the keys in first-appearance order.
+type aggPartialAcc struct {
+	groups map[string]*aggGroup
+	order  []string
+}
+
+// aggregateChunks runs the deterministic chunked partial aggregation over
+// data and returns the folded partial (plus the evaluated aggregate argument
+// vectors, for output typing). Shared by the local finalizing path and the
+// cluster's per-shard partial path.
+func aggregateChunks(ctx context.Context, sel *sqlparse.Select, plans []aggItemPlan, data *colstore.Batch) (*aggPartialAcc, []*colstore.Vector, int, error) {
 	// Evaluate aggregate argument vectors once.
 	argVecs := make([]*colstore.Vector, len(plans))
 	for pi, p := range plans {
 		if p.fn != nil && !p.fn.Star {
 			v, err := evalExpr(p.fn.Args[0], data)
 			if err != nil {
-				return nil, err
+				return nil, nil, 0, err
 			}
 			argVecs[pi] = v
 		}
@@ -739,10 +767,7 @@ func aggregateBatch(ctx context.Context, sel *sqlparse.Select, plans []aggItemPl
 	// deterministic tree. Merging adjacent chunks' first-appearance orders
 	// yields exactly the serial first-appearance order, and float sums are
 	// bitwise reproducible at every degree.
-	type aggPartial struct {
-		groups map[string]*aggGroup
-		order  []string
-	}
+	type aggPartial = aggPartialAcc
 	n := data.Len()
 	nchunks := (n + aggChunkRows - 1) / aggChunkRows
 	part, err := parallel.Reduce(parallel.Default(), nchunks,
@@ -814,12 +839,18 @@ func aggregateBatch(ctx context.Context, sel *sqlparse.Select, plans []aggItemPl
 			return a, nil
 		})
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
 	if part == nil { // zero rows scanned: no chunks ran
 		part = &aggPartial{groups: map[string]*aggGroup{}}
 	}
-	// Resolve output column types (MIN/MAX keep their input type).
+	return part, argVecs, nchunks, nil
+}
+
+// aggOutputTypes resolves output column types (MIN/MAX keep their input
+// type). Deterministic in the table schema and statement alone, so every
+// shard of a distributed aggregate resolves the same types.
+func aggOutputTypes(plans []aggItemPlan, data *colstore.Batch, argVecs []*colstore.Vector) ([]colstore.Type, error) {
 	outTypes := make([]colstore.Type, len(plans))
 	for pi, p := range plans {
 		if p.isGroupCol {
@@ -838,13 +869,7 @@ func aggregateBatch(ctx context.Context, sel *sqlparse.Select, plans []aggItemPl
 			outTypes[pi] = argVecs[pi].Type
 		}
 	}
-	out, err := buildAggOutput(sel, plans, outTypes, part.groups, part.order)
-	if err != nil {
-		return nil, err
-	}
-	aggDone.Parallel = parallel.Default().Degree()
-	aggDone.Done(int64(out.Len()), fmt.Sprintf("%d groups, %d aggregates, %d chunks", out.Len(), len(plans), nchunks))
-	return finishSelect(ctx, out, sel, prof)
+	return outTypes, nil
 }
 
 // buildAggOutput materializes the grouped aggregate states into the output

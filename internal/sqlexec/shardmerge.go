@@ -1,0 +1,118 @@
+package sqlexec
+
+import (
+	"context"
+	"fmt"
+
+	"verticadr/internal/colstore"
+	"verticadr/internal/sqlparse"
+	"verticadr/internal/verr"
+)
+
+// MergeShardRows combines per-shard results of a non-aggregate SELECT into
+// the final result. Each batch is one shard's already-finished output (the
+// shard applied WHERE, projection, its local ORDER BY and LIMIT); batches
+// must be given in shard order.
+//
+// Without ORDER BY the shards concatenate in shard order — exactly how the
+// single-process scan concatenates per-node segments. With ORDER BY the
+// sorted shard outputs k-way merge, ties breaking toward the lowest shard
+// index; a stable merge of stably-sorted runs is bitwise identical to the
+// stable sort of their concatenation, which is what the single-process
+// engine computes. LIMIT is reapplied to the merged stream (each shard
+// could only truncate locally).
+func MergeShardRows(ctx context.Context, sel *sqlparse.Select, batches []*colstore.Batch) (*Result, error) {
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("sqlexec: no shard results to merge")
+	}
+	schema := batches[0].Schema
+	for i, b := range batches[1:] {
+		if !b.Schema.Equal(schema) {
+			return nil, fmt.Errorf("sqlexec: shard %d result schema mismatch", i+1)
+		}
+	}
+	if err := verr.Canceled(ctx.Err()); err != nil {
+		return nil, err
+	}
+	limit := sel.Limit
+	if len(sel.OrderBy) == 0 {
+		out := colstore.NewBatch(schema)
+		for _, b := range batches {
+			if limit >= 0 && out.Len()+b.Len() > limit {
+				b = b.Slice(0, limit-out.Len())
+			}
+			if err := out.AppendBatch(b); err != nil {
+				return nil, err
+			}
+			if limit >= 0 && out.Len() >= limit {
+				break
+			}
+		}
+		return &Result{Batch: out}, nil
+	}
+	keys := make([]int, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		ci := schema.ColIndex(o.Col)
+		if ci < 0 {
+			return nil, fmt.Errorf("sqlexec: ORDER BY column %q not in output", o.Col)
+		}
+		keys[i] = ci
+	}
+	// less reports whether shard a's head row sorts strictly before shard
+	// b's; on equal keys neither does, and the scan below prefers the
+	// lowest shard index, which is the stable tie-break.
+	less := func(a *colstore.Batch, ra int, b *colstore.Batch, rb int) (bool, error) {
+		for k, ci := range keys {
+			c, err := colstore.CompareValues(a.Cols[ci].Value(ra), b.Cols[ci].Value(rb))
+			if err != nil {
+				return false, err
+			}
+			if c != 0 {
+				if sel.OrderBy[k].Desc {
+					return c > 0, nil
+				}
+				return c < 0, nil
+			}
+		}
+		return false, nil
+	}
+	out := colstore.NewBatch(schema)
+	heads := make([]int, len(batches))
+	total := 0
+	for _, b := range batches {
+		total += b.Len()
+	}
+	for out.Len() < total {
+		if limit >= 0 && out.Len() >= limit {
+			break
+		}
+		best := -1
+		for si, b := range batches {
+			if heads[si] >= b.Len() {
+				continue
+			}
+			if best < 0 {
+				best = si
+				continue
+			}
+			lt, err := less(b, heads[si], batches[best], heads[best])
+			if err != nil {
+				return nil, err
+			}
+			if lt {
+				best = si
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if err := out.AppendRow(batches[best].Row(heads[best])...); err != nil {
+			return nil, err
+		}
+		heads[best]++
+	}
+	if limit >= 0 && out.Len() > limit {
+		out = out.Slice(0, limit)
+	}
+	return &Result{Batch: out}, nil
+}

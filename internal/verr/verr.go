@@ -37,6 +37,10 @@ var (
 	// ErrClosed: the session or server is shut down; new work is rejected
 	// fail-fast.
 	ErrClosed = errors.New("session closed")
+	// ErrNodeDown: a cluster peer was unreachable (or every replica of a
+	// shard was), so a routed operation could not complete. The router
+	// retries idempotent reads on surviving replicas before surfacing this.
+	ErrNodeDown = errors.New("node down")
 )
 
 // canceledError attaches the concrete context cause (context.Canceled or
@@ -68,6 +72,7 @@ const (
 	CodeOverloaded    = "overloaded"
 	CodeCanceled      = "canceled"
 	CodeClosed        = "closed"
+	CodeNodeDown      = "node_down"
 	CodeInternal      = "internal"
 )
 
@@ -80,6 +85,7 @@ var codeOf = []struct {
 	{ErrOverloaded, CodeOverloaded},
 	{ErrCanceled, CodeCanceled},
 	{ErrClosed, CodeClosed},
+	{ErrNodeDown, CodeNodeDown},
 	{ErrTableNotFound, CodeTableNotFound},
 	{ErrUnknownColumn, CodeUnknownColumn},
 	{ErrModelNotFound, CodeModelNotFound},

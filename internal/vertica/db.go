@@ -501,6 +501,41 @@ func (v *snapshotView) Services() map[string]any { return v.db.Services() }
 
 var _ sqlexec.Database = (*snapshotView)(nil)
 
+// shardView restricts a pinned snapshot to a subset of node segments: its
+// Segments returns only the selected shards (in the order given), so the
+// executor sees a database whose nodes are exactly those shards. Cluster
+// peers use it to run a query over the shards they own.
+type shardView struct {
+	*snapshotView
+	shards []int
+}
+
+func (v *shardView) Segments(name string) ([]*colstore.Segment, error) {
+	segs, err := v.snapshotView.Segments(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*colstore.Segment, 0, len(v.shards))
+	for _, s := range v.shards {
+		if s < 0 || s >= len(segs) {
+			return nil, fmt.Errorf("vertica: table %q has no shard %d", name, s)
+		}
+		out = append(out, segs[s])
+	}
+	return out, nil
+}
+
+var _ sqlexec.Database = (*shardView)(nil)
+
+// ShardView returns an sqlexec.Database over a pinned MVCC snapshot
+// restricted to the given node segments, plus a release function that must
+// be called when the query finishes. The view observes the database as of
+// one commit timestamp, like RunStatement's SELECT path.
+func (db *DB) ShardView(shards []int) (sqlexec.Database, func()) {
+	sv := db.snapshotView()
+	return &shardView{snapshotView: sv, shards: shards}, sv.close
+}
+
 func emptyResult() *sqlexec.Result {
 	return &sqlexec.Result{Batch: colstore.NewBatch(colstore.Schema{})}
 }
@@ -530,6 +565,18 @@ func (db *DB) execInsert(s *sqlparse.Insert) error {
 	if err != nil {
 		return err
 	}
+	b, err := InsertBatch(def, s)
+	if err != nil {
+		return err
+	}
+	return db.Load(s.Table, b)
+}
+
+// InsertBatch materializes an INSERT statement's literal rows into a batch
+// in table-schema column order. Pure in the definition and statement: the
+// cluster router uses it to split INSERTs client-side with the same result
+// as a local execution.
+func InsertBatch(def *catalog.TableDef, s *sqlparse.Insert) (*colstore.Batch, error) {
 	cols := s.Columns
 	if cols == nil {
 		cols = make([]string, len(def.Schema))
@@ -538,7 +585,7 @@ func (db *DB) execInsert(s *sqlparse.Insert) error {
 		}
 	}
 	if len(cols) != len(def.Schema) {
-		return fmt.Errorf("vertica: INSERT must provide all %d columns", len(def.Schema))
+		return nil, fmt.Errorf("vertica: INSERT must provide all %d columns", len(def.Schema))
 	}
 	// Map provided column order onto the table order.
 	pos := make([]int, len(def.Schema))
@@ -548,33 +595,33 @@ func (db *DB) execInsert(s *sqlparse.Insert) error {
 	for provIdx, name := range cols {
 		ti := def.Schema.ColIndex(name)
 		if ti < 0 {
-			return fmt.Errorf("vertica: unknown column %q in INSERT", name)
+			return nil, fmt.Errorf("vertica: unknown column %q in INSERT", name)
 		}
 		pos[ti] = provIdx
 	}
 	for ti, p := range pos {
 		if p < 0 {
-			return fmt.Errorf("vertica: INSERT missing column %q", def.Schema[ti].Name)
+			return nil, fmt.Errorf("vertica: INSERT missing column %q", def.Schema[ti].Name)
 		}
 	}
 	b := colstore.NewBatch(def.Schema)
 	for ri, row := range s.Rows {
 		if len(row) != len(cols) {
-			return fmt.Errorf("vertica: INSERT row %d has %d values, want %d", ri, len(row), len(cols))
+			return nil, fmt.Errorf("vertica: INSERT row %d has %d values, want %d", ri, len(row), len(cols))
 		}
 		vals := make([]any, len(def.Schema))
 		for ti := range def.Schema {
 			v, ok := sqlexec.Literal(row[pos[ti]])
 			if !ok {
-				return fmt.Errorf("vertica: INSERT values must be literals (row %d)", ri)
+				return nil, fmt.Errorf("vertica: INSERT values must be literals (row %d)", ri)
 			}
 			vals[ti] = v
 		}
 		if err := b.AppendRow(vals...); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return db.Load(s.Table, b)
+	return b, nil
 }
 
 // Persist seals and writes every segment of every table under DataDir,

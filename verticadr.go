@@ -60,7 +60,25 @@
 //	res, err := srv.Execute(ctx, "score")
 //	if errors.Is(err, verticadr.ErrOverloaded) { /* back off and retry */ }
 //
-// # Migration from the pre-context API
+// # Multi-node serving
+//
+// Several vdr-serve processes form a sharded cluster: tables are hash- or
+// round-robin-segmented across the nodes with k-way replication, every
+// node routes queries cluster-wide ("every node is an initiator"), and
+// idempotent reads fail over to a replica when a node dies. The unified
+// Client talks to one server or a whole cluster through the same API:
+//
+//	cl, _ := verticadr.Dial(ctx, verticadr.ClusterConfig{
+//	    Addrs: []string{"10.0.0.1:5433", "10.0.0.2:5433", "10.0.0.3:5433"},
+//	    Replicas: 2,
+//	})
+//	defer cl.Close()
+//	cl.Exec(ctx, `CREATE TABLE pts (id FLOAT, a FLOAT, b FLOAT) SEGMENTED BY HASH(id)`)
+//	cl.Load(ctx, "pts", rows)                       // COPY, split across shards
+//	res, _ := cl.Predict(ctx, "rModel", "pts", "a", "b")
+//	if errors.Is(err, verticadr.ErrNodeDown) { /* every replica of a shard is gone */ }
+//
+// # Migration from the pre-context / single-node API
 //
 // Old signature                         → new signature
 //
@@ -71,8 +89,20 @@
 //	s.LoadODBC(table, cols, conns)     → s.LoadODBCContext(ctx, ...)
 //	s.DB2RDD(sc, table, cols, policy)  → s.DB2RDDContext(ctx, sc, ...)
 //
-// The old names still compile and behave identically (they pass
-// context.Background()); new code should pass a real context.
+// and from the single-connection client to the topology-aware one:
+//
+//	DialServer(addr) *ServerClient     → Dial(ctx, ClusterConfig{Addrs: []string{addr}}) *Client
+//	sc.Query(ctx, sql)                 → cl.Query(ctx, sql)        (routed + failover)
+//	sc.Prepare(ctx, name, sql)         → cl.Prepare(ctx, name, sql) (replayed on failover)
+//	sc.Execute(ctx, name, args...)     → cl.Execute(ctx, name, ...)
+//	manual GlmPredict SQL              → cl.Predict(ctx, model, table, cols...)
+//	(no COPY over the wire)            → cl.Load(ctx, table, rows)
+//
+// DialServer remains as a one-address convenience wrapper returning the
+// unified Client; ServerClient stays available for raw single-connection
+// protocol access via internal/server.Dial semantics (ping, extension
+// calls). The old names still compile and behave identically; new code
+// should pass a real context and a ClusterConfig.
 package verticadr
 
 import (
@@ -115,6 +145,9 @@ type (
 	ServerConfig = server.Config
 	// ServerClient is the TCP line-protocol client for cmd/vdr-serve.
 	ServerClient = server.Client
+	// Rows is a protocol-level result set (columns, row values, optional
+	// profile), as returned by Client and ServerClient queries.
+	Rows = server.Rows
 )
 
 // NewServer wraps a session in the serving layer.
@@ -126,8 +159,17 @@ func ListenAndServe(srv *Server, addr string) (*server.TCPServer, error) {
 	return server.Listen(srv, addr)
 }
 
-// DialServer connects a ServerClient to a vdr-serve endpoint.
-func DialServer(addr string) (*ServerClient, error) { return server.Dial(addr) }
+// DialServer connects to a single vdr-serve endpoint: the one-address
+// convenience wrapper over Dial. For clusters — or to control dial
+// timeouts and failover — use Dial with a ClusterConfig directly.
+func DialServer(addr string) (*Client, error) {
+	return Dial(context.Background(), ClusterConfig{Addrs: []string{addr}})
+}
+
+// RawDial opens one protocol connection without routing or failover (the
+// pre-cluster DialServer behavior), for callers that need the bare wire:
+// extension ops, or benchmarking a specific node.
+func RawDial(addr string) (*ServerClient, error) { return server.Dial(addr) }
 
 // Observability: traces, statement statistics and the admin HTTP surface.
 type (
@@ -159,8 +201,12 @@ func MetricsText() string { return telemetry.Default().PromText() }
 
 // AdminHandler is the observability HTTP surface for a Server — /metrics,
 // /statements, /traces/recent, /healthz and /debug/pprof/ — for embedding
-// vdr-serve's -admin endpoint in another process.
-func AdminHandler(srv *Server) http.Handler { return server.AdminHandler(srv) }
+// vdr-serve's -admin endpoint in another process. On clustered nodes pass
+// server.WithClusterState to include the router's per-peer view in
+// /healthz.
+func AdminHandler(srv *Server, opts ...server.AdminOption) http.Handler {
+	return server.AdminHandler(srv, opts...)
+}
 
 // Config sizes a session: database nodes, Distributed R workers, R
 // instances per worker, optional YARN brokering and persistence.
