@@ -11,6 +11,7 @@ import (
 	"verticadr/internal/cluster"
 	"verticadr/internal/colstore"
 	"verticadr/internal/server"
+	"verticadr/internal/sqlparse"
 	"verticadr/internal/verr"
 )
 
@@ -29,11 +30,14 @@ var ErrNodeDown = verr.ErrNodeDown
 
 // Client is the unified, topology-aware client for vdr-serve — one or
 // many nodes behind the same API. It holds one active connection; when a
-// transport failure marks that node unreachable, idempotent calls (Query,
-// Prepare, Execute, Predict, Ping) transparently reconnect to the next
-// configured address and re-prepare the client's named statements there.
-// Load is not retried across nodes — a COPY whose outcome is unknown must
-// surface, not silently double-apply.
+// transport failure marks that node unreachable, idempotent calls —
+// SELECT/EXPLAIN through Query, Prepare, Execute, Predict, Ping —
+// transparently reconnect to the next configured address and re-prepare
+// the client's named statements there. Statements with effects (INSERT
+// and DDL through Query/Exec, COPY through Load) fail over only when the
+// request provably never reached the node; once their outcome is unknown
+// the error surfaces instead of silently double-applying rows or
+// re-running DDL.
 //
 // A Client is safe for sequential use; open one Client per concurrent
 // request stream, exactly like ServerClient.
@@ -121,6 +125,10 @@ func transportFailure(err error) bool {
 
 // do runs fn over the active connection. Idempotent calls retry on the
 // next node after a transport failure, up to once per configured address.
+// Non-idempotent calls retry only when the failure happened before the
+// request reached the node (server.RequestNotSent) — re-running is then
+// provably safe; any later failure leaves the outcome unknown and must
+// surface to the caller.
 func (c *Client) do(ctx context.Context, idempotent bool, fn func(*server.Client) error) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -142,18 +150,37 @@ func (c *Client) do(ctx context.Context, idempotent bool, fn func(*server.Client
 		c.conn = nil
 		c.at = (c.at + 1) % len(c.cfg.Addrs)
 		lastErr = err
-		if !idempotent {
+		if !idempotent && !server.RequestNotSent(err) {
 			return err
 		}
 	}
 	return fmt.Errorf("verticadr: every node failed: %w: %v", verr.ErrNodeDown, lastErr)
 }
 
+// idempotentSQL reports whether sql is safe to re-run on another node when
+// a transport failure left its first outcome unknown: reads (SELECT,
+// EXPLAIN) are; INSERT and DDL are not. Unparseable SQL is classified
+// non-idempotent — the server's parse error comes back as a query error,
+// not a transport failure, so the conservative default costs nothing.
+func idempotentSQL(sql string) bool {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return false
+	}
+	switch stmt.(type) {
+	case *sqlparse.Select, *sqlparse.Explain:
+		return true
+	}
+	return false
+}
+
 // Query runs one-shot SQL. Against a cluster the node routes it over the
-// shards and merges, so the result is identical from any node.
+// shards and merges, so the result is identical from any node. Only reads
+// (SELECT, EXPLAIN) fail over once in flight; an INSERT or DDL statement
+// whose outcome is unknown surfaces the transport error instead.
 func (c *Client) Query(ctx context.Context, sql string) (*Rows, error) {
 	var rows *Rows
-	err := c.do(ctx, true, func(conn *server.Client) error {
+	err := c.do(ctx, idempotentSQL(sql), func(conn *server.Client) error {
 		r, err := conn.Query(ctx, sql)
 		rows = r
 		return err
@@ -202,7 +229,8 @@ func (c *Client) Predict(ctx context.Context, model, table string, cols ...strin
 }
 
 // Exec runs a statement for effect (DDL; against a cluster it is broadcast
-// to every node).
+// to every node). Like any write, it does not fail over once its outcome
+// is unknown; re-issuing the statement is the caller's recovery path.
 func (c *Client) Exec(ctx context.Context, sql string) error {
 	_, err := c.Query(ctx, sql)
 	return err
@@ -211,9 +239,10 @@ func (c *Client) Exec(ctx context.Context, sql string) error {
 // Load COPYs rows into a table through the connected node: the node splits
 // them by the table's segmentation — across the cluster's shards and
 // replicas when clustered, across local segments otherwise. Row values
-// must match the column types (int64, float64, string, bool). Load does
-// not fail over: an error means the batch's outcome must be checked, not
-// that it was retried elsewhere.
+// must match the column types (int64, float64, string, bool). Load fails
+// over only while the request provably never reached the node; after
+// that, an error means the batch's outcome must be checked, not that it
+// was retried elsewhere.
 func (c *Client) Load(ctx context.Context, table string, rows [][]any) error {
 	if len(rows) == 0 {
 		return nil

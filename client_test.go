@@ -2,6 +2,7 @@ package verticadr
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -12,6 +13,7 @@ import (
 	"verticadr/internal/cluster"
 	"verticadr/internal/core"
 	"verticadr/internal/server"
+	"verticadr/internal/vft"
 )
 
 // An in-process 2-node cluster behind the public API: Dial with several
@@ -159,6 +161,98 @@ func TestClientClusterEndToEnd(t *testing.T) {
 	_ = nodes[1].tcp.Close()
 	if _, err := cl.Query(ctx, `SELECT count(*) FROM pts`); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("query with no nodes = %v, want ErrNodeDown", err)
+	}
+}
+
+// startReplyLossNode serves the wire protocol but tears the connection
+// down on every "query" request after reading it — the server may have
+// executed the statement, only the reply is lost. Pings are answered so
+// the node looks healthy at dial time.
+func startReplyLossNode(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				var buf []byte
+				for {
+					frame, err := vft.ReadFrame(conn, buf)
+					if err != nil {
+						return
+					}
+					buf = frame
+					var req struct {
+						Op string `json:"op"`
+					}
+					if json.Unmarshal(frame, &req) == nil && req.Op == "query" {
+						return // drop the connection: outcome unknown
+					}
+					resp, _ := json.Marshal(map[string]string{"code": "ok"})
+					if vft.WriteFrame(conn, resp) != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return l.Addr().String()
+}
+
+// A write whose outcome is unknown — the node read the INSERT and the
+// reply was lost — must surface the transport error instead of re-running
+// on the next node (which would double-apply rows). Reads keep failing
+// over.
+func TestWriteDoesNotFailOverAfterSend(t *testing.T) {
+	nodes := startClientCluster(t, 1)
+	ctx := context.Background()
+	setup, err := Dial(ctx, ClusterConfig{Addrs: []string{nodes[0].addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer setup.Close()
+	if err := setup.Exec(ctx, `CREATE TABLE wt (k INTEGER, v FLOAT) SEGMENTED BY HASH(k)`); err != nil {
+		t.Fatal(err)
+	}
+
+	lossy := startReplyLossNode(t)
+	cl, err := Dial(ctx, ClusterConfig{Addrs: []string{lossy, nodes[0].addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	err = cl.Exec(ctx, `INSERT INTO wt VALUES (1, 0.5)`)
+	if err == nil {
+		t.Fatal("INSERT with lost reply returned nil, want the transport error surfaced")
+	}
+	if !errors.Is(err, ErrNodeDown) && !errors.Is(err, ErrClosed) {
+		t.Fatalf("INSERT with lost reply = %v, want a transport error", err)
+	}
+	// The statement must not have been replayed on the healthy node.
+	res, err := setup.Query(ctx, `SELECT count(*) AS n FROM wt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].(float64); got != 0 {
+		t.Fatalf("row count after refused failover = %v, want 0 (no double-apply)", got)
+	}
+
+	// The same client still fails reads over to the healthy node.
+	res, err = cl.Query(ctx, `SELECT count(*) AS n FROM wt`)
+	if err != nil {
+		t.Fatalf("read did not fail over: %v", err)
+	}
+	if got := res.Rows[0][0].(float64); got != 0 {
+		t.Fatalf("failover count = %v, want 0", got)
 	}
 }
 

@@ -7,6 +7,15 @@ import (
 	"verticadr/internal/server"
 )
 
+// Idle connections are bounded and aged out: a burst of concurrent calls
+// must not leave a permanent pile of sockets, and a connection that sat
+// idle long enough for the peer to have bounced is cheaper to re-dial than
+// to fail a call with.
+const (
+	poolMaxIdle = 8
+	poolIdleTTL = 30 * time.Second
+)
+
 // pool keeps idle protocol connections to one peer. Connections are
 // checked out per call; a connection that saw a transport error is closed
 // by the caller instead of returned, so the pool only ever holds
@@ -16,37 +25,73 @@ type pool struct {
 	dialTimeout time.Duration
 
 	mu   sync.Mutex
-	idle []*server.Client
+	idle []pooledConn
 }
 
-// get returns an idle connection or dials a new one. Dial failures carry
-// verr.ErrNodeDown (see server.DialTimeout), which the router's failover
-// classifies as retryable.
-func (p *pool) get() (*server.Client, error) {
+type pooledConn struct {
+	c     *server.Client
+	since time.Time // when the connection went idle
+}
+
+// get returns an idle connection (pooled=true) or dials a new one.
+// Connections idle past poolIdleTTL are discarded, newest first — put
+// appends, so if the freshest is expired the rest are too. Dial failures
+// carry verr.ErrNodeDown (see server.DialTimeout), which the router's
+// failover classifies as retryable.
+func (p *pool) get() (c *server.Client, pooled bool, err error) {
+	cutoff := time.Now().Add(-poolIdleTTL)
+	var expired []*server.Client
 	p.mu.Lock()
-	if n := len(p.idle); n > 0 {
-		c := p.idle[n-1]
+	for c == nil && len(p.idle) > 0 {
+		n := len(p.idle)
+		pc := p.idle[n-1]
 		p.idle = p.idle[:n-1]
-		p.mu.Unlock()
-		return c, nil
+		if pc.since.Before(cutoff) {
+			expired = append(expired, pc.c)
+			continue
+		}
+		c = pc.c
 	}
 	p.mu.Unlock()
+	for _, e := range expired {
+		_ = e.Close()
+	}
+	if c != nil {
+		return c, true, nil
+	}
+	c, err = p.dial()
+	return c, false, err
+}
+
+// dial opens a fresh connection, bypassing the idle list.
+func (p *pool) dial() (*server.Client, error) {
 	return server.DialTimeout(p.addr, p.dialTimeout)
 }
 
-// put returns a healthy connection for reuse.
+// put returns a healthy connection for reuse (closed instead when the idle
+// list is full).
 func (p *pool) put(c *server.Client) {
 	p.mu.Lock()
-	p.idle = append(p.idle, c)
+	if len(p.idle) >= poolMaxIdle {
+		p.mu.Unlock()
+		_ = c.Close()
+		return
+	}
+	p.idle = append(p.idle, pooledConn{c: c, since: time.Now()})
 	p.mu.Unlock()
 }
 
-func (p *pool) closeAll() {
+// flush closes every idle connection: once one pooled connection to a peer
+// turns out to be dead, its idle siblings almost certainly predate the
+// same restart.
+func (p *pool) flush() {
 	p.mu.Lock()
 	idle := p.idle
 	p.idle = nil
 	p.mu.Unlock()
-	for _, c := range idle {
-		_ = c.Close()
+	for _, pc := range idle {
+		_ = pc.c.Close()
 	}
 }
+
+func (p *pool) closeAll() { p.flush() }

@@ -176,6 +176,9 @@ func (r *Router) markDown(peer int) {
 	r.down[peer] = true
 	r.mu.Unlock()
 	if !was {
+		// Idle connections to a dead peer are dead too; drop them so the
+		// restored peer starts from fresh dials instead of failing calls.
+		r.pools[peer].flush()
 		gPeerUp(peer).Set(0)
 		mFailovers.Inc()
 	}
@@ -224,8 +227,10 @@ func (r *Router) probeLoop() {
 			if !r.isDown(peer) {
 				continue
 			}
+			// Probe over a fresh dial: any idle connection to a peer that
+			// was marked down predates the outage and proves nothing.
 			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.DialTimeout)
-			c, err := r.pools[peer].get()
+			c, err := r.pools[peer].dial()
 			if err == nil {
 				if err = c.Ping(ctx); err == nil {
 					r.pools[peer].put(c)
@@ -259,17 +264,39 @@ func connFailure(err error) bool {
 
 // peerCall round-trips one extension op on one peer over a pooled
 // connection. A failed connection is dropped, not reused.
-func (r *Router) peerCall(ctx context.Context, peer int, op string, payload, reply any) error {
-	c, err := r.pools[peer].get()
+//
+// A pooled connection can be long dead — the peer restarted since it went
+// idle — and failing the call on it would misclassify a healthy peer as
+// down. So when a *pooled* connection fails, the call retries once on a
+// freshly dialed connection (flushing the idle siblings, which predate the
+// same restart): always when the request provably never reached the peer
+// (server.RequestNotSent), and on any connection-level failure when the op
+// is idempotent. Only the fresh connection's verdict classifies the peer.
+func (r *Router) peerCall(ctx context.Context, peer int, op string, idempotent bool, payload, reply any) error {
+	c, pooled, err := r.pools[peer].get()
 	if err != nil {
 		return err
 	}
-	if err := c.Call(ctx, op, payload, reply); err != nil {
-		_ = c.Close()
-		return err
+	err = c.Call(ctx, op, payload, reply)
+	if err == nil {
+		r.pools[peer].put(c)
+		return nil
 	}
-	r.pools[peer].put(c)
-	return nil
+	_ = c.Close()
+	if pooled && (server.RequestNotSent(err) || (idempotent && connFailure(err))) {
+		r.pools[peer].flush()
+		c2, err2 := r.pools[peer].dial()
+		if err2 != nil {
+			return err2
+		}
+		if err2 := c2.Call(ctx, op, payload, reply); err2 != nil {
+			_ = c2.Close()
+			return err2
+		}
+		r.pools[peer].put(c2)
+		return nil
+	}
+	return err
 }
 
 // shardCall runs an idempotent read against shard's replicas in ring
@@ -277,7 +304,7 @@ func (r *Router) peerCall(ctx context.Context, peer int, op string, payload, rep
 // this shard are skipped up front.
 func (r *Router) shardCall(ctx context.Context, shard int, op string, payload, reply any) error {
 	var lastErr error
-	tried := 0
+	tried, sawConnFailure := 0, false
 	for _, peer := range r.topo.Owners(shard) {
 		if r.isStale(peer, shard) {
 			continue
@@ -289,13 +316,14 @@ func (r *Router) shardCall(ctx context.Context, shard int, op string, payload, r
 			mRetries.Inc()
 		}
 		tried++
-		err := r.peerCall(ctx, peer, op, payload, reply)
+		err := r.peerCall(ctx, peer, op, true, payload, reply)
 		if err == nil {
 			mShardCalls("ok").Inc()
 			return nil
 		}
 		lastErr = err
 		if connFailure(err) {
+			sawConnFailure = true
 			r.markDown(peer)
 		}
 		if !retryable(err) {
@@ -303,6 +331,14 @@ func (r *Router) shardCall(ctx context.Context, shard int, op string, payload, r
 			return err
 		}
 		mShardCalls("retry").Inc()
+	}
+	// Every reachable replica shed the read: that is admission back-pressure,
+	// not a dead shard. Keep the ErrOverloaded identity so clients back off
+	// instead of treating it as a transport failure and failing over (which
+	// would turn one overloaded shard into a cross-node retry storm).
+	if lastErr != nil && !sawConnFailure && errors.Is(lastErr, verr.ErrOverloaded) {
+		mShardCalls("shed").Inc()
+		return fmt.Errorf("cluster: shard %d: every replica shedding: %w", shard, lastErr)
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("no usable replica")
@@ -591,7 +627,7 @@ func (r *Router) routeExplain(ctx context.Context, sql string) (*sqlexec.Result,
 		if len(shards) == 0 {
 			continue
 		}
-		err := r.peerCall(ctx, peer, opExplain, explainRequest{SQL: sql, Shards: shards}, &rep)
+		err := r.peerCall(ctx, peer, opExplain, true, explainRequest{SQL: sql, Shards: shards}, &rep)
 		if err == nil {
 			peerUsed, done = peer, true
 			break
@@ -651,7 +687,7 @@ func (r *Router) table(ctx context.Context, name string) (*routedTable, error) {
 			continue
 		}
 		var d catalog.TableDef
-		err := r.peerCall(ctx, peer, opTableDef, tableDefRequest{Table: name}, &d)
+		err := r.peerCall(ctx, peer, opTableDef, true, tableDefRequest{Table: name}, &d)
 		if err == nil {
 			def, found = &d, true
 			break
@@ -724,28 +760,44 @@ func (r *Router) Load(ctx context.Context, table string, b *colstore.Batch) erro
 			go func(i, peer int) {
 				defer wg.Done()
 				var rep loadReply
-				results[i] = r.peerCall(ctx, peer, opLoad, req, &rep)
+				results[i] = r.peerCall(ctx, peer, opLoad, false, req, &rep)
 			}(i, peer)
 		}
 		wg.Wait()
-		for i, peer := range owners {
-			err := results[i]
+		for _, err := range results {
 			if err == nil {
 				okCount++
-				continue
 			}
-			if r.isStale(peer, shard) {
+		}
+		for i, peer := range owners {
+			err := results[i]
+			if err == nil || r.isStale(peer, shard) {
 				continue
 			}
 			lastErr = err
 			if connFailure(err) {
 				r.markDown(peer)
 			}
-			// The replica missed this write (or its outcome is unknown):
-			// reading it could serve short results, so retire it.
+			if okCount == 0 {
+				// No replica applied the batch — a canceled or failed-
+				// everywhere load leaves the replicas mutually consistent.
+				// The caller gets the error below; retiring every replica
+				// here would brick the shard without any divergence.
+				continue
+			}
+			// A sibling applied the write and this replica missed it (or
+			// its outcome is unknown) — even ErrCanceled counts, since the
+			// cancellation raced a sibling's success: reading this replica
+			// could serve short results, so retire it.
 			r.markStale(peer, shard)
 		}
 		if okCount == 0 {
+			if lastErr != nil && errors.Is(lastErr, verr.ErrCanceled) {
+				return fmt.Errorf("cluster: load shard %d of %q: %w", shard, table, lastErr)
+			}
+			if lastErr == nil {
+				lastErr = fmt.Errorf("no usable replica")
+			}
 			return fmt.Errorf("cluster: load shard %d of %q: every replica failed: %w: %v",
 				shard, table, verr.ErrNodeDown, lastErr)
 		}
@@ -782,7 +834,7 @@ func (r *Router) broadcastExec(ctx context.Context, sql string, stmt sqlparse.St
 		go func(peer int) {
 			defer wg.Done()
 			var rep execReply
-			errs[peer] = r.peerCall(ctx, peer, opExec, execRequest{SQL: sql}, &rep)
+			errs[peer] = r.peerCall(ctx, peer, opExec, false, execRequest{SQL: sql}, &rep)
 		}(peer)
 	}
 	wg.Wait()

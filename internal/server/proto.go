@@ -390,6 +390,18 @@ func DialTimeout(addr string, d time.Duration) (*Client, error) {
 // Close tears down the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// errNotSent marks a transport failure that happened before the request
+// frame reached the connection (or left it truncated, which the server
+// discards unread). Either way the peer never processed the request.
+var errNotSent = errors.New("request not sent")
+
+// RequestNotSent reports whether err is a transport failure that provably
+// occurred before the peer could process the request, so retrying it —
+// even a non-idempotent write — cannot double-apply. Failures after the
+// frame was sent (recv errors, EOF) do NOT qualify: the peer may have
+// executed the request and lost only the reply.
+func RequestNotSent(err error) bool { return errors.Is(err, errNotSent) }
+
 // roundTrip sends one request and decodes one response, mapping protocol
 // error codes back to the verr vocabulary.
 func (c *Client) roundTrip(ctx context.Context, req protoRequest) (*protoResponse, error) {
@@ -422,7 +434,7 @@ func (c *Client) roundTrip(ctx context.Context, req protoRequest) (*protoRespons
 	// a (coded) reply, which is exactly the condition a cluster router
 	// retries on a replica.
 	if err := vft.WriteFrame(c.conn, payload); err != nil {
-		return nil, fmt.Errorf("server: %w: send: %v", verr.ErrNodeDown, err)
+		return nil, fmt.Errorf("server: %w: %w: %v", verr.ErrNodeDown, errNotSent, err)
 	}
 	frame, err := vft.ReadFrame(c.conn, c.buf)
 	if err != nil {
